@@ -1,0 +1,95 @@
+// Ablation A1 (paper §2.2 discussion): the three cross-scope message
+// passing mechanisms the authors weighed before choosing shared objects.
+//
+//   serialization — serialize the object and copy it into an area the
+//                   receiver can reference (paper: "much less efficient");
+//   shared object — the pooled message in the common ancestor's SMM
+//                   (what Compadres generates);
+//   handoff       — a thread with structural knowledge writes straight
+//                   into the destination (fastest, least reusable).
+//
+// Expected shape: handoff <= shared-object << serialization.
+#include "cdr/cdr.hpp"
+#include "core/message_pool.hpp"
+#include "memory/immortal.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include <cstring>
+#include <vector>
+
+using namespace compadres;
+
+namespace {
+
+struct Message {
+    static constexpr std::size_t kCapacity = 2048;
+    std::array<std::uint8_t, kCapacity> data{};
+    std::size_t length = 0;
+};
+
+std::vector<std::uint8_t> make_payload(std::size_t n) {
+    std::vector<std::uint8_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint8_t>(i);
+    return p;
+}
+
+void BM_SharedObject(benchmark::State& state) {
+    const auto payload = make_payload(static_cast<std::size_t>(state.range(0)));
+    memory::ImmortalMemory ancestor(1024 * 1024, "ancestor");
+    core::MessagePool<Message> pool(ancestor, "Message", 4);
+    std::uint8_t sink[Message::kCapacity];
+    for (auto _ : state) {
+        // Sender: getMessage, fill, (deliver); receiver: read, release.
+        Message* msg = pool.acquire();
+        std::memcpy(msg->data.data(), payload.data(), payload.size());
+        msg->length = payload.size();
+        std::memcpy(sink, msg->data.data(), msg->length);
+        pool.release(msg);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+
+void BM_Serialization(benchmark::State& state) {
+    const auto payload = make_payload(static_cast<std::size_t>(state.range(0)));
+    std::uint8_t sink[Message::kCapacity];
+    for (auto _ : state) {
+        // Sender: CDR-encode; the frame is copied into an accessible area
+        // (the vector models it); receiver: decode into its own storage.
+        cdr::OutputStream out;
+        out.write_octet_seq(payload.data(), payload.size());
+        cdr::InputStream in(out.buffer().data(), out.buffer().size());
+        const auto [ptr, len] = in.read_octet_seq_view();
+        std::memcpy(sink, ptr, len);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+
+void BM_Handoff(benchmark::State& state) {
+    const auto payload = make_payload(static_cast<std::size_t>(state.range(0)));
+    // The handoff pattern: the sender knows exactly where the receiver's
+    // buffer lives (tight coupling) and writes once, no pool, no framing.
+    memory::ImmortalMemory ancestor(1024 * 1024, "ancestor");
+    auto* dest = ancestor.make<Message>();
+    for (auto _ : state) {
+        std::memcpy(dest->data.data(), payload.data(), payload.size());
+        dest->length = payload.size();
+        benchmark::DoNotOptimize(dest->data.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_SharedObject)->Arg(32)->Arg(128)->Arg(512)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_Serialization)->Arg(32)->Arg(128)->Arg(512)->Arg(1024)->Arg(2048);
+BENCHMARK(BM_Handoff)->Arg(32)->Arg(128)->Arg(512)->Arg(1024)->Arg(2048);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Ablation A4 (paper §2.2): pooled scoped regions vs create-on-demand.
+//
+// "Further optimization of component instantiation can be achieved by
+// creating pools of scoped memory areas in immortal memory and reusing
+// these areas at runtime."
+//
+// Measures the connect/disconnect churn of a dynamic child component —
+// what the ORB does per connection/request in the paper's design:
+//   pooled    — Smm::connect draws a pre-created region from the level
+//               pool (LT creation cost paid once at startup);
+//   on-demand — a fresh LTScopedMemory per child: its creation cost is
+//               linear in the region size, every time.
+//
+// Expected shape: pooled wins, and the on-demand cost scales with the
+// region size while the pooled cost does not.
+#include "core/application.hpp"
+#include "core/smm.hpp"
+#include "memory/scoped.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace compadres;
+
+namespace {
+
+class Worker : public core::Component {
+public:
+    explicit Worker(const core::ComponentContext& ctx) : core::Component(ctx) {
+        // A realistic child allocates some working state in its region.
+        region().allocate(1024);
+    }
+};
+
+void register_worker_once() {
+    static const bool done = [] {
+        core::ComponentRegistry::global().register_class<Worker>("Worker");
+        return true;
+    }();
+    (void)done;
+}
+
+void BM_PooledConnectDisconnect(benchmark::State& state) {
+    register_worker_once();
+    const auto scope_size = static_cast<std::size_t>(state.range(0));
+    core::RtsjAttributes attrs;
+    attrs.scoped_pools = {{1, scope_size, 2}};
+    core::Application app("pooled", attrs);
+    auto& parent = app.create_immortal<core::Component>("P");
+    int i = 0;
+    for (auto _ : state) {
+        core::ChildHandle handle =
+            parent.smm().connect("Worker", "w" + std::to_string(i++));
+        benchmark::DoNotOptimize(handle.component());
+        handle.release();
+    }
+    state.SetLabel("scope=" + std::to_string(scope_size / 1024) + "KiB");
+}
+
+void BM_OnDemandScopeCreation(benchmark::State& state) {
+    const auto scope_size = static_cast<std::size_t>(state.range(0));
+    memory::ImmortalMemory immortal(1024 * 1024, "parent");
+    for (auto _ : state) {
+        // Fresh region each time: creation is linear in scope_size (the
+        // LT property — the arena is touched up front).
+        memory::LTScopedMemory scope(scope_size, "fresh");
+        scope.enter(immortal);
+        scope.allocate(1024);
+        scope.exit();
+        benchmark::DoNotOptimize(scope.used());
+    }
+    state.SetLabel("scope=" + std::to_string(scope_size / 1024) + "KiB");
+}
+
+} // namespace
+
+BENCHMARK(BM_PooledConnectDisconnect)
+    ->Arg(64 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(1024 * 1024);
+BENCHMARK(BM_OnDemandScopeCreation)
+    ->Arg(64 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(1024 * 1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Ablation A2 (paper Fig. 5): shadow port vs per-level relay.
+//
+// Topology: A (immortal) > B (L1) > C (L2). C needs to talk to A.
+//   relay  — C sends to B, B's handler copies into its own pool and
+//            forwards to A ("additional and expensive message copying");
+//   shadow — C's out port is wired straight to A; pool and buffer live in
+//            A's SMM, nothing at B.
+//
+// Expected shape: shadow beats relay and the gap grows with message size.
+#include "core/application.hpp"
+#include "core/messages.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+using namespace compadres;
+
+namespace {
+
+core::InPortConfig sync_port() {
+    core::InPortConfig cfg;
+    cfg.min_threads = cfg.max_threads = 0; // inline: measures data movement
+    return cfg;
+}
+
+struct ShadowFixture {
+    core::Application app{"shadow", [] {
+        core::RtsjAttributes attrs;
+        attrs.immortal_size = 16 * 1024 * 1024;
+        attrs.scoped_pools = {{1, 1024 * 1024, 2}, {2, 1024 * 1024, 2}};
+        return attrs;
+    }()};
+    core::Component* a;
+    core::Component* b;
+    core::Component* c;
+    std::size_t received = 0;
+
+    ShadowFixture() {
+        core::register_builtin_message_types();
+        a = &app.create_immortal<core::Component>("A");
+        b = &app.create_scoped<core::Component>("B", *a, 1);
+        c = &app.create_scoped<core::Component>("C", *b, 2);
+
+        // Shadow path: C --> A directly.
+        c->add_out_port<core::OctetSeq>("shadowOut", "OctetSeq");
+        a->add_in_port<core::OctetSeq>(
+            "shadowIn", "OctetSeq", sync_port(),
+            [this](core::OctetSeq& m, core::Smm&) { received += m.length; });
+        app.connect(*c, "shadowOut", *a, "shadowIn");
+
+        // Relay path: C --> B (copy at B) --> A.
+        c->add_out_port<core::OctetSeq>("relayOut", "OctetSeq");
+        b->add_in_port<core::OctetSeq>(
+            "relayIn", "OctetSeq", sync_port(),
+            [this](core::OctetSeq& m, core::Smm&) {
+                auto& up = b->out_port_t<core::OctetSeq>("relayUp");
+                core::OctetSeq* fwd = up.get_message();
+                *fwd = m; // the extra copy the paper calls expensive
+                up.send(fwd, 5);
+            });
+        b->add_out_port<core::OctetSeq>("relayUp", "OctetSeq");
+        a->add_in_port<core::OctetSeq>(
+            "relayIn", "OctetSeq", sync_port(),
+            [this](core::OctetSeq& m, core::Smm&) { received += m.length; });
+        app.connect(*c, "relayOut", *b, "relayIn");
+        app.connect(*b, "relayUp", *a, "relayIn");
+        app.start();
+    }
+};
+
+void BM_ShadowPort(benchmark::State& state) {
+    ShadowFixture fx;
+    auto& out = fx.c->out_port_t<core::OctetSeq>("shadowOut");
+    const auto size = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> payload(size, 0x7E);
+    for (auto _ : state) {
+        core::OctetSeq* msg = out.get_message();
+        msg->assign(payload.data(), payload.size());
+        out.send(msg, 5);
+    }
+    benchmark::DoNotOptimize(fx.received);
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+
+void BM_RelayThroughParent(benchmark::State& state) {
+    ShadowFixture fx;
+    auto& out = fx.c->out_port_t<core::OctetSeq>("relayOut");
+    const auto size = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> payload(size, 0x7E);
+    for (auto _ : state) {
+        core::OctetSeq* msg = out.get_message();
+        msg->assign(payload.data(), payload.size());
+        out.send(msg, 5);
+    }
+    benchmark::DoNotOptimize(fx.received);
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_ShadowPort)->Arg(32)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_RelayThroughParent)->Arg(32)->Arg(256)->Arg(1024)->Arg(4096);
+
+BENCHMARK_MAIN();

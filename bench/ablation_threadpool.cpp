@@ -1,0 +1,105 @@
+// Ablation A3: In-port dispatch strategies (paper §2.2 port attributes).
+//
+//   sync       — pool sizes 0: the calling thread runs process() inline;
+//   dedicated  — one pool thread per port (cross-thread handoff per hop);
+//   shared     — one SMM-wide pool serving both ports.
+//
+// Measures the full Fig. 6-style round trip. Expected shape: sync is
+// cheapest (no context switches); dedicated and shared pay 3 cross-thread
+// hops; shared ~ dedicated at this load (it exists for footprint, not
+// speed — fewer idle threads on an embedded target).
+#include "core/application.hpp"
+#include "core/messages.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <mutex>
+
+using namespace compadres;
+
+namespace {
+
+enum class Strategy { kSync, kDedicated, kShared };
+
+struct PingPong {
+    core::Application app{"pingpong", [] {
+        core::RtsjAttributes attrs;
+        attrs.scoped_pools = {{1, 512 * 1024, 4}};
+        return attrs;
+    }()};
+    core::Component* driver;
+    core::Component* echo;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+
+    explicit PingPong(Strategy strategy) {
+        core::register_builtin_message_types();
+        core::InPortConfig cfg;
+        switch (strategy) {
+            case Strategy::kSync:
+                cfg.min_threads = cfg.max_threads = 0;
+                break;
+            case Strategy::kDedicated:
+                cfg.buffer_size = 8;
+                cfg.min_threads = cfg.max_threads = 1;
+                break;
+            case Strategy::kShared:
+                cfg.buffer_size = 8;
+                cfg.min_threads = 1;
+                cfg.max_threads = 2;
+                cfg.strategy = core::ThreadpoolStrategy::kShared;
+                break;
+        }
+        driver = &app.create_immortal<core::Component>("Driver");
+        echo = &app.create_immortal<core::Component>("Echo");
+        driver->add_out_port<core::MyInteger>("ping", "MyInteger");
+        echo->add_in_port<core::MyInteger>(
+            "in", "MyInteger", cfg, [this](core::MyInteger& m, core::Smm&) {
+                auto& out = echo->out_port_t<core::MyInteger>("out");
+                core::MyInteger* reply = out.get_message();
+                reply->value = m.value;
+                out.send(reply, 5);
+            });
+        echo->add_out_port<core::MyInteger>("out", "MyInteger");
+        driver->add_in_port<core::MyInteger>(
+            "pong", "MyInteger", cfg, [this](core::MyInteger&, core::Smm&) {
+                {
+                    std::lock_guard lk(mu);
+                    done = true;
+                }
+                cv.notify_one();
+            });
+        app.connect(*driver, "ping", *echo, "in");
+        app.connect(*echo, "out", *driver, "pong");
+        app.start();
+    }
+
+    void round_trip() {
+        auto& out = driver->out_port_t<core::MyInteger>("ping");
+        core::MyInteger* msg = out.get_message();
+        out.send(msg, 5);
+        std::unique_lock lk(mu);
+        cv.wait(lk, [&] { return done; });
+        done = false;
+    }
+};
+
+void BM_RoundTrip(benchmark::State& state) {
+    PingPong harness(static_cast<Strategy>(state.range(0)));
+    for (auto _ : state) {
+        harness.round_trip();
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_RoundTrip)
+    ->Arg(static_cast<int>(Strategy::kSync))
+    ->Arg(static_cast<int>(Strategy::kDedicated))
+    ->Arg(static_cast<int>(Strategy::kShared))
+    ->ArgNames({"strategy(0=sync,1=dedicated,2=shared)"})
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

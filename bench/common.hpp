@@ -1,0 +1,152 @@
+// Shared harness pieces for the paper-reproduction benches.
+#pragma once
+
+#include "core/application.hpp"
+#include "core/hooks.hpp"
+#include "core/messages.hpp"
+#include "rt/clock.hpp"
+#include "rt/stats.hpp"
+#include "simenv/platform.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace compadres::bench {
+
+/// Sample count per configuration; the paper used 10,000 steady-state
+/// observations (§3.1). Override with COMPADRES_SAMPLES for quick runs.
+inline std::size_t sample_count(std::size_t fallback = 10'000) {
+    if (const char* env = std::getenv("COMPADRES_SAMPLES")) {
+        const long v = std::atol(env);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return fallback;
+}
+
+/// Warm-up iterations discarded before summarizing (cold-start effects,
+/// §3.1 "measurements were based on steady state observations").
+inline std::size_t warmup_count() { return sample_count() / 5; }
+
+/// Installs a simulated platform's hooks into the framework for the
+/// lifetime of this object.
+class PlatformInstaller {
+public:
+    explicit PlatformInstaller(simenv::PlatformRuntime& runtime) {
+        core::hooks::set(
+            [](void* ctx, std::size_t bytes) {
+                static_cast<simenv::PlatformRuntime*>(ctx)->on_allocate(bytes);
+            },
+            [](void* ctx) {
+                static_cast<simenv::PlatformRuntime*>(ctx)->on_dispatch();
+            },
+            &runtime);
+        core::hooks::set_charge_all_acquires(
+            !runtime.profile().pooled_messages);
+    }
+    ~PlatformInstaller() { core::hooks::clear(); }
+};
+
+/// The paper's Fig. 6 co-located client/server assembly, reused by the
+/// Table 2 / Fig. 9 benches. Handlers match Figs. 7/8: a trigger on P1
+/// makes the client send a request (P3 -> P4); the server replies
+/// (P5 -> P6); P6's handler signals completion.
+class Fig6Harness {
+public:
+    explicit Fig6Harness(bool synchronous_ports = false) {
+        core::register_builtin_message_types();
+        core::RtsjAttributes attrs;
+        attrs.immortal_size = 8 * 1024 * 1024;
+        attrs.scoped_pools = {{1, 256 * 1024, 4}};
+        app_ = std::make_unique<core::Application>("fig6-bench", attrs);
+
+        core::InPortConfig port_cfg;
+        if (synchronous_ports) {
+            port_cfg.min_threads = port_cfg.max_threads = 0;
+        } else {
+            port_cfg.buffer_size = 10;
+            port_cfg.min_threads = 1;
+            port_cfg.max_threads = 5;
+        }
+
+        imc_ = &app_->create_immortal<core::Component>("IMC");
+        client_ = &app_->create_scoped<core::Component>("MyClient", *imc_, 1);
+        server_ = &app_->create_scoped<core::Component>("MyServer", *imc_, 1);
+
+        imc_->add_out_port<core::MyInteger>("P1", "MyInteger");
+        client_->add_in_port<core::MyInteger>(
+            "P2", "MyInteger", port_cfg, [](core::MyInteger&, core::Smm& smm) {
+                auto& p3 = static_cast<core::OutPort<core::MyInteger>&>(
+                    smm.get_out_port("P3"));
+                core::MyInteger* request = p3.get_message();
+                request->value = 3;
+                p3.send(request, 3);
+            });
+        client_->add_out_port<core::MyInteger>("P3", "MyInteger");
+        server_->add_in_port<core::MyInteger>(
+            "P4", "MyInteger", port_cfg, [](core::MyInteger&, core::Smm& smm) {
+                auto& p5 = static_cast<core::OutPort<core::MyInteger>&>(
+                    smm.get_out_port("P5"));
+                core::MyInteger* reply = p5.get_message();
+                reply->value = 4;
+                p5.send(reply, 3);
+            });
+        server_->add_out_port<core::MyInteger>("P5", "MyInteger");
+        client_->add_in_port<core::MyInteger>(
+            "P6", "MyInteger", port_cfg,
+            [this](core::MyInteger&, core::Smm&) { complete(); });
+
+        app_->connect(*imc_, "P1", *client_, "P2");
+        app_->connect(*client_, "P3", *server_, "P4");
+        app_->connect(*server_, "P5", *client_, "P6");
+        app_->start();
+    }
+
+    ~Fig6Harness() { app_->shutdown(); }
+
+    /// One measured round trip (trigger -> request -> reply -> done).
+    std::int64_t round_trip() {
+        const auto t0 = rt::now_ns();
+        auto& p1 = imc_->out_port_t<core::MyInteger>("P1");
+        core::MyInteger* trigger = p1.get_message();
+        p1.send(trigger, 2);
+        wait_complete();
+        return rt::now_ns() - t0;
+    }
+
+    /// Run warm-up + samples; returns the steady-state recorder.
+    rt::StatsRecorder measure(std::size_t samples, std::size_t warmup) {
+        rt::StatsRecorder recorder(samples + warmup);
+        for (std::size_t i = 0; i < samples + warmup; ++i) {
+            recorder.record(round_trip());
+        }
+        recorder.discard_warmup(warmup);
+        return recorder;
+    }
+
+private:
+    void complete() {
+        {
+            std::lock_guard lk(mu_);
+            done_ = true;
+        }
+        cv_.notify_one();
+    }
+    void wait_complete() {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return done_; });
+        done_ = false;
+    }
+
+    std::unique_ptr<core::Application> app_;
+    core::Component* imc_ = nullptr;
+    core::Component* client_ = nullptr;
+    core::Component* server_ = nullptr;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+};
+
+} // namespace compadres::bench

@@ -1,0 +1,116 @@
+// Fig. 11 + §3.3 reproduction: round-trip latency of the Compadres
+// component ORB vs the hand-coded RTZen-style baseline for message sizes
+// 32..1024 bytes, client and server co-located over a loopback connection.
+//
+// Paper result: both ORBs highly predictable (jitter 300 us Compadres vs
+// 230 us RTZen); medians grow with message size; the component ORB sits
+// slightly above the baseline — the price of ports, pools, and SMMs.
+#include "common.hpp"
+
+#include "net/transport.hpp"
+#include "orb/client_orb.hpp"
+#include "orb/server_orb.hpp"
+#include "rtzen/rtzen.hpp"
+
+#include <cstdio>
+
+using namespace compadres;
+
+namespace {
+
+orb::Servant make_echo_servant() {
+    return [](const std::string&, const std::uint8_t* payload, std::size_t len,
+              std::vector<std::uint8_t>& reply) {
+        reply.assign(payload, payload + len);
+        return true;
+    };
+}
+
+template <typename Client>
+rt::StatsSummary measure(Client& client, std::size_t payload_size,
+                         std::size_t samples, std::size_t warmup) {
+    std::vector<std::uint8_t> payload(payload_size);
+    for (std::size_t i = 0; i < payload_size; ++i) {
+        payload[i] = static_cast<std::uint8_t>(i);
+    }
+    rt::StatsRecorder recorder(samples + warmup);
+    for (std::size_t i = 0; i < samples + warmup; ++i) {
+        const auto t0 = rt::now_ns();
+        const auto reply =
+            client.invoke("Echo", "echo", payload.data(), payload.size());
+        recorder.record(rt::now_ns() - t0);
+        if (reply.size() != payload.size()) std::abort();
+    }
+    recorder.discard_warmup(warmup);
+    return recorder.summarize();
+}
+
+constexpr std::size_t kSizes[] = {32, 64, 128, 256, 512, 1024};
+
+} // namespace
+
+int main() {
+    const std::size_t samples = bench::sample_count();
+    const std::size_t warmup = bench::warmup_count();
+    std::printf("=== Fig. 11: Compadres ORB vs RTZen, loopback, single host ===\n");
+    std::printf("samples per (orb, size): %zu steady-state\n\n", samples);
+    std::printf("%-14s %6s %12s %12s %12s %12s\n", "ORB", "bytes", "min(us)",
+                "median(us)", "max(us)", "jitter(us)");
+
+    std::int64_t compadres_jitter_max = 0;
+    std::int64_t rtzen_jitter_max = 0;
+    std::int64_t compadres_median_sum = 0;
+    std::int64_t rtzen_median_sum = 0;
+
+    // --- Compadres component ORB (Fig. 10 structure) ---
+    {
+        orb::ServerOrb server;
+        server.register_servant("Echo", make_echo_servant());
+        auto [client_wire, server_wire] = net::make_loopback_pair();
+        server.attach(std::move(server_wire));
+        orb::ClientOrb client(std::move(client_wire));
+        for (const std::size_t size : kSizes) {
+            const auto s = measure(client, size, samples, warmup);
+            std::printf("%-14s %6zu %12.1f %12.1f %12.1f %12.1f\n",
+                        "Compadres", size,
+                        static_cast<double>(s.min) / 1000.0,
+                        static_cast<double>(s.median) / 1000.0,
+                        static_cast<double>(s.max) / 1000.0,
+                        static_cast<double>(s.jitter) / 1000.0);
+            compadres_jitter_max = std::max(compadres_jitter_max, s.jitter);
+            compadres_median_sum += s.median;
+        }
+    }
+
+    // --- RTZen-style hand-coded baseline ---
+    {
+        rtzen::RtzenServerOrb server;
+        server.register_servant("Echo", make_echo_servant());
+        auto [client_wire, server_wire] = net::make_loopback_pair();
+        server.attach(std::move(server_wire));
+        rtzen::RtzenClientOrb client(std::move(client_wire));
+        for (const std::size_t size : kSizes) {
+            const auto s = measure(client, size, samples, warmup);
+            std::printf("%-14s %6zu %12.1f %12.1f %12.1f %12.1f\n", "RTZen",
+                        size, static_cast<double>(s.min) / 1000.0,
+                        static_cast<double>(s.median) / 1000.0,
+                        static_cast<double>(s.max) / 1000.0,
+                        static_cast<double>(s.jitter) / 1000.0);
+            rtzen_jitter_max = std::max(rtzen_jitter_max, s.jitter);
+            rtzen_median_sum += s.median;
+        }
+    }
+
+    std::printf("\nworst-case jitter: Compadres=%.1fus RTZen=%.1fus "
+                "(paper: 300us vs 230us)\n",
+                static_cast<double>(compadres_jitter_max) / 1000.0,
+                static_cast<double>(rtzen_jitter_max) / 1000.0);
+    std::printf("shape check: Compadres median >= RTZen median overall: %s\n",
+                compadres_median_sum >= rtzen_median_sum ? "yes" : "NO");
+    std::printf("shape check: both jitters < 10 ms bound: %s\n",
+                (compadres_jitter_max < 10'000'000 &&
+                 rtzen_jitter_max < 10'000'000)
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

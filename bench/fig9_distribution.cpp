@@ -1,0 +1,67 @@
+// Fig. 9 reproduction: the distribution of round-trip latencies per
+// platform — min / median / max whiskers plus an ASCII histogram, the
+// series behind the paper's box plot.
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace compadres;
+
+namespace {
+
+void print_histogram(const rt::StatsRecorder& recorder,
+                     const rt::StatsSummary& s) {
+    constexpr std::size_t kBuckets = 16;
+    const auto hist = recorder.histogram(s.min, s.max + 1, kBuckets);
+    const std::size_t peak = *std::max_element(hist.begin(), hist.end());
+    const double width =
+        static_cast<double>(s.max + 1 - s.min) / static_cast<double>(kBuckets);
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        const double lo_us =
+            (static_cast<double>(s.min) + width * static_cast<double>(b)) /
+            1000.0;
+        const int bar = peak == 0
+                            ? 0
+                            : static_cast<int>(50.0 *
+                                               static_cast<double>(hist[b]) /
+                                               static_cast<double>(peak));
+        std::printf("  %9.1fus |%-50.*s| %zu\n", lo_us, bar,
+                    "##################################################",
+                    hist[b]);
+    }
+}
+
+} // namespace
+
+int main() {
+    const std::size_t samples = bench::sample_count();
+    const std::size_t warmup = bench::warmup_count();
+    std::printf("=== Fig. 9: round-trip latency distribution, single host ===\n");
+    std::printf("samples/platform: %zu steady-state\n", samples);
+
+    for (const auto platform :
+         {simenv::Platform::kMackinac, simenv::Platform::kTimesysRI,
+          simenv::Platform::kJdk14}) {
+        simenv::PlatformRuntime runtime(
+            simenv::PlatformProfile::for_platform(platform), 42);
+        bench::PlatformInstaller install(runtime);
+        bench::Fig6Harness harness;
+        auto recorder = harness.measure(samples, warmup);
+        const auto s = recorder.summarize();
+        std::printf("\n--- %s ---\n", simenv::to_string(platform));
+        std::printf("  min=%.1fus  p50=%.1fus  p90=%.1fus  p99=%.1fus  "
+                    "max=%.1fus  jitter=%.1fus\n",
+                    static_cast<double>(s.min) / 1000.0,
+                    static_cast<double>(s.median) / 1000.0,
+                    static_cast<double>(s.p90) / 1000.0,
+                    static_cast<double>(s.p99) / 1000.0,
+                    static_cast<double>(s.max) / 1000.0,
+                    static_cast<double>(s.jitter) / 1000.0);
+        print_histogram(recorder, s);
+    }
+    std::printf("\nexpected shape (paper Fig. 9): tight whiskers for the RT\n"
+                "platforms, a long upper whisker for JDK 1.4 where collector\n"
+                "pauses preempt the application threads.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+// §3.1 framework-overhead experiment (E4): the same request/reply logic as
+// a Compadres component assembly vs a hand-coded direct-call version —
+// "our Compadres example built with components incurs only minor time
+// overhead as compared to a comparable hand-coded example."
+//
+// Three rungs:
+//   hand-coded      — plain function calls, no framework at all
+//   components/sync — ports with pool size 0 (caller runs handlers inline)
+//   components/pool — ports with thread pools (cross-thread dispatch)
+#include "common.hpp"
+
+#include <cstdio>
+
+using namespace compadres;
+
+namespace {
+
+// The hand-coded equivalent of the Fig. 6 logic.
+struct HandCoded {
+    int server_process(int request) { return request + 1; }
+    int client_request() { return server_process(3); }
+    volatile int sink = 0;
+
+    std::int64_t round_trip() {
+        const auto t0 = rt::now_ns();
+        sink = client_request();
+        return rt::now_ns() - t0;
+    }
+};
+
+rt::StatsSummary run_handcoded(std::size_t samples, std::size_t warmup) {
+    HandCoded hc;
+    rt::StatsRecorder recorder(samples + warmup);
+    for (std::size_t i = 0; i < samples + warmup; ++i) {
+        recorder.record(hc.round_trip());
+    }
+    recorder.discard_warmup(warmup);
+    return recorder.summarize();
+}
+
+} // namespace
+
+int main() {
+    const std::size_t samples = bench::sample_count();
+    const std::size_t warmup = bench::warmup_count();
+    std::printf("=== Framework overhead: components vs hand-coded ===\n");
+    std::printf("samples per rung: %zu steady-state\n\n", samples);
+
+    const auto hand = run_handcoded(samples, warmup);
+
+    rt::StatsSummary sync_summary;
+    {
+        bench::Fig6Harness harness(/*synchronous_ports=*/true);
+        sync_summary = harness.measure(samples, warmup).summarize();
+    }
+    rt::StatsSummary pooled_summary;
+    {
+        bench::Fig6Harness harness(/*synchronous_ports=*/false);
+        pooled_summary = harness.measure(samples, warmup).summarize();
+    }
+
+    std::printf("%-22s %12s %12s %12s\n", "Variant", "median(us)", "max(us)",
+                "jitter(us)");
+    const auto row = [](const char* name, const rt::StatsSummary& s) {
+        std::printf("%-22s %12.2f %12.2f %12.2f\n", name,
+                    static_cast<double>(s.median) / 1000.0,
+                    static_cast<double>(s.max) / 1000.0,
+                    static_cast<double>(s.jitter) / 1000.0);
+    };
+    row("hand-coded", hand);
+    row("components (sync)", sync_summary);
+    row("components (pooled)", pooled_summary);
+
+    const double sync_over = hand.median > 0
+                                 ? static_cast<double>(sync_summary.median) /
+                                       static_cast<double>(hand.median)
+                                 : 0.0;
+    std::printf("\ncomponents(sync) / hand-coded median ratio: %.1fx\n",
+                sync_over);
+    std::printf("absolute sync overhead: %.2f us per round trip\n",
+                static_cast<double>(sync_summary.median - hand.median) /
+                    1000.0);
+    std::printf("absolute pooled overhead: %.2f us per round trip "
+                "(adds 3 cross-thread hops)\n",
+                static_cast<double>(pooled_summary.median - hand.median) /
+                    1000.0);
+    return 0;
+}

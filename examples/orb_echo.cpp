@@ -1,0 +1,99 @@
+// orb_echo: a remote method invocation through the Compadres RT-CORBA ORB
+// (paper §3.2) — servant registration, GIOP over TCP on localhost, and a
+// latency report comparing against the hand-coded RTZen-style baseline.
+//
+// Run:  ./orb_echo [requests] [payload_bytes]
+#include "net/tcp.hpp"
+#include "orb/client_orb.hpp"
+#include "orb/server_orb.hpp"
+#include "rt/clock.hpp"
+#include "rt/stats.hpp"
+#include "rtzen/rtzen.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace compadres;
+
+namespace {
+
+orb::Servant make_echo_servant() {
+    return [](const std::string&, const std::uint8_t* payload, std::size_t len,
+              std::vector<std::uint8_t>& reply) {
+        reply.assign(payload, payload + len);
+        return true;
+    };
+}
+
+template <typename Client>
+rt::StatsSummary drive(Client& client, int requests, std::size_t payload_size) {
+    std::vector<std::uint8_t> payload(payload_size);
+    for (std::size_t i = 0; i < payload_size; ++i) {
+        payload[i] = static_cast<std::uint8_t>(i);
+    }
+    rt::StatsRecorder recorder(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i) {
+        const auto t0 = rt::now_ns();
+        const auto reply =
+            client.invoke("Echo", "echo", payload.data(), payload.size());
+        recorder.record(rt::now_ns() - t0);
+        if (reply.size() != payload.size()) {
+            std::fprintf(stderr, "echo mismatch!\n");
+            std::exit(1);
+        }
+    }
+    recorder.discard_warmup(static_cast<std::size_t>(requests) / 5);
+    return recorder.summarize();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const int requests = argc > 1 ? std::atoi(argv[1]) : 2000;
+    const std::size_t payload = argc > 2
+                                    ? static_cast<std::size_t>(std::atoi(argv[2]))
+                                    : 128;
+
+    std::printf("orb_echo: %d requests, %zu-byte payload, TCP on 127.0.0.1\n\n",
+                requests, payload);
+
+    // --- Compadres component ORB ---
+    {
+        net::TcpAcceptor acceptor(0);
+        orb::ServerOrb server;
+        server.register_servant("Echo", make_echo_servant());
+        std::thread accept_thread([&] {
+            auto conn = acceptor.accept();
+            if (conn != nullptr) server.attach(std::move(conn));
+        });
+        auto wire = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+        accept_thread.join();
+        orb::ClientOrb client(std::move(wire));
+        const auto s = drive(client, requests, payload);
+        std::printf("%s\n",
+                    rt::StatsRecorder::format_row_us("Compadres ORB", s).c_str());
+    }
+
+    // --- RTZen-style hand-coded baseline, same wire format ---
+    {
+        net::TcpAcceptor acceptor(0);
+        rtzen::RtzenServerOrb server;
+        server.register_servant("Echo", make_echo_servant());
+        std::thread accept_thread([&] {
+            auto conn = acceptor.accept();
+            if (conn != nullptr) server.attach(std::move(conn));
+        });
+        auto wire = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+        accept_thread.join();
+        rtzen::RtzenClientOrb client(std::move(wire));
+        const auto s = drive(client, requests, payload);
+        std::printf("%s\n",
+                    rt::StatsRecorder::format_row_us("RTZen baseline", s).c_str());
+    }
+
+    std::printf("\nThe Compadres ORB pays a small premium for ports, pools and\n"
+                "SMM hops; both stay well inside the 10 ms bound the paper\n"
+                "calls typically acceptable for distributed real-time systems.\n");
+    return 0;
+}

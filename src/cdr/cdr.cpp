@@ -1,0 +1,102 @@
+#include "cdr/cdr.hpp"
+
+namespace compadres::cdr {
+
+void OutputStream::align(std::size_t boundary) {
+    const std::size_t misalign = buf_.size() % boundary;
+    if (misalign != 0) {
+        buf_.resize(buf_.size() + (boundary - misalign), 0);
+    }
+}
+
+void OutputStream::write_float(float v) {
+    static_assert(sizeof(float) == 4);
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    write_ulong(bits);
+}
+
+void OutputStream::write_double(double v) {
+    static_assert(sizeof(double) == 8);
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    write_ulonglong(bits);
+}
+
+void OutputStream::write_string(std::string_view s) {
+    write_ulong(static_cast<std::uint32_t>(s.size() + 1));
+    write_raw(s.data(), s.size());
+    write_octet(0);
+}
+
+void OutputStream::write_octet_seq(const std::uint8_t* data, std::size_t n) {
+    write_ulong(static_cast<std::uint32_t>(n));
+    write_raw(data, n);
+}
+
+void OutputStream::write_raw(const void* data, std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    std::memcpy(buf_.data() + at, data, n);
+}
+
+void OutputStream::patch_ulong(std::size_t offset, std::uint32_t v) {
+    if (offset + 4 > buf_.size()) {
+        throw MarshalError("patch_ulong out of range");
+    }
+    if (order_ != native_order()) v = detail::byteswap(v);
+    std::memcpy(buf_.data() + offset, &v, 4);
+}
+
+void InputStream::align(std::size_t boundary) {
+    const std::size_t misalign = pos_ % boundary;
+    if (misalign != 0) {
+        const std::size_t pad = boundary - misalign;
+        require(pad);
+        pos_ += pad;
+    }
+}
+
+float InputStream::read_float() {
+    const std::uint32_t bits = read_ulong();
+    float v;
+    std::memcpy(&v, &bits, 4);
+    return v;
+}
+
+double InputStream::read_double() {
+    const std::uint64_t bits = read_ulonglong();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+std::string InputStream::read_string() {
+    const std::uint32_t len = read_ulong();
+    if (len == 0) {
+        throw MarshalError("CDR string with zero length (must include NUL)");
+    }
+    require(len);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len - 1);
+    if (data_[pos_ + len - 1] != 0) {
+        throw MarshalError("CDR string missing NUL terminator");
+    }
+    pos_ += len;
+    return s;
+}
+
+std::pair<const std::uint8_t*, std::size_t> InputStream::read_octet_seq_view() {
+    const std::uint32_t len = read_ulong();
+    require(len);
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += len;
+    return {p, len};
+}
+
+void InputStream::read_raw(void* dst, std::size_t n) {
+    require(n);
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+}
+
+} // namespace compadres::cdr

@@ -1,0 +1,111 @@
+// GIOP 1.0-style message framing over CDR.
+//
+// Both ORBs in this repository (the Compadres component ORB and the
+// hand-coded RTZen-style baseline) speak this wire format, so the Fig. 11
+// comparison measures framework overhead, never protocol differences.
+// Relative to full GIOP 1.0 the service-context list is omitted (neither
+// ORB under test used it on the benchmarked path).
+#pragma once
+
+#include "cdr/cdr.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compadres::cdr {
+
+enum class GiopMsgType : std::uint8_t {
+    kRequest = 0,
+    kReply = 1,
+    kLocateRequest = 3,
+    kLocateReply = 4,
+    kCloseConnection = 5,
+};
+
+/// Values of the locate_status field (subset of CORBA's).
+enum class LocateStatus : std::uint32_t {
+    kUnknownObject = 0,
+    kObjectHere = 1,
+};
+
+/// Values of the reply_status field (subset of CORBA's).
+enum class ReplyStatus : std::uint32_t {
+    kNoException = 0,
+    kUserException = 1,
+    kSystemException = 2,
+};
+
+struct GiopHeader {
+    static constexpr std::size_t kSize = 12;
+    static constexpr std::uint8_t kMagic[4] = {'G', 'I', 'O', 'P'};
+    std::uint8_t version_major = 1;
+    std::uint8_t version_minor = 0;
+    ByteOrder byte_order = native_order();
+    GiopMsgType msg_type = GiopMsgType::kRequest;
+    std::uint32_t message_size = 0; ///< body bytes following the header
+};
+
+struct RequestHeader {
+    std::uint32_t request_id = 0;
+    bool response_expected = true;
+    std::string object_key;
+    std::string operation;
+};
+
+struct ReplyHeader {
+    std::uint32_t request_id = 0;
+    ReplyStatus status = ReplyStatus::kNoException;
+};
+
+/// Serialize a complete Request message: GIOP header + request header +
+/// `payload` as an octet sequence. Returns the full frame.
+std::vector<std::uint8_t> encode_request(const RequestHeader& req,
+                                         const std::uint8_t* payload,
+                                         std::size_t payload_len);
+
+/// Serialize a complete Reply message.
+std::vector<std::uint8_t> encode_reply(const ReplyHeader& rep,
+                                       const std::uint8_t* payload,
+                                       std::size_t payload_len);
+
+/// Parse and validate the 12-byte GIOP header.
+GiopHeader decode_header(const std::uint8_t* data, std::size_t size);
+
+/// Decoded view of a request/reply body. `payload` points into the frame.
+struct DecodedRequest {
+    RequestHeader header;
+    const std::uint8_t* payload = nullptr;
+    std::size_t payload_len = 0;
+};
+struct DecodedReply {
+    ReplyHeader header;
+    const std::uint8_t* payload = nullptr;
+    std::size_t payload_len = 0;
+};
+
+/// Decode a full frame (header + body). Throws MarshalError on any
+/// malformation (bad magic, wrong type, truncated body, ...).
+DecodedRequest decode_request(const std::uint8_t* frame, std::size_t size);
+DecodedReply decode_reply(const std::uint8_t* frame, std::size_t size);
+
+// ---- LocateRequest / LocateReply (GIOP 1.0 §15.4.5-6) ----
+// Used to probe whether an object key is served here without invoking it.
+
+struct LocateRequestHeader {
+    std::uint32_t request_id = 0;
+    std::string object_key;
+};
+struct LocateReplyHeader {
+    std::uint32_t request_id = 0;
+    LocateStatus status = LocateStatus::kUnknownObject;
+};
+
+std::vector<std::uint8_t> encode_locate_request(const LocateRequestHeader& req);
+std::vector<std::uint8_t> encode_locate_reply(const LocateReplyHeader& rep);
+LocateRequestHeader decode_locate_request(const std::uint8_t* frame,
+                                          std::size_t size);
+LocateReplyHeader decode_locate_reply(const std::uint8_t* frame,
+                                      std::size_t size);
+
+} // namespace compadres::cdr

@@ -1,0 +1,59 @@
+#include "compiler/assembler.hpp"
+
+namespace compadres::compiler {
+
+std::unique_ptr<core::Application> assemble(const AssemblyPlan& plan) {
+    auto app = std::make_unique<core::Application>(plan.application_name,
+                                                   plan.rtsj);
+    // Components: plan order is parents-before-children, so the parent
+    // always exists (and its region is enterable) when a child is created.
+    for (const PlannedComponent& pc : plan.components) {
+        core::Component* parent =
+            pc.parent_instance.empty() ? nullptr : app->find(pc.parent_instance);
+        if (!pc.parent_instance.empty() && parent == nullptr) {
+            throw core::AssemblyError("plan is out of order: parent '" +
+                                      pc.parent_instance + "' of '" +
+                                      pc.instance_name + "' not yet created");
+        }
+        core::Component& comp = app->create_by_name(
+            pc.class_name, pc.instance_name, parent, pc.type, pc.scope_level,
+            pc.port_configs);
+        (void)comp;
+    }
+    // Connections: the plan already fixed the hosting SMM; the runtime
+    // recomputes the common ancestor and must agree — a mismatch means the
+    // validator and runtime have diverged, which is a bug worth failing on.
+    for (const PlannedConnection& conn : plan.connections) {
+        core::Component& from = app->component(conn.from_instance);
+        core::Component& to = app->component(conn.to_instance);
+        core::Component& host = app->common_ancestor(from, to);
+        const std::string host_name =
+            &host == &app->root() ? "" : host.instance_name();
+        if (host_name != conn.host_instance) {
+            throw core::AssemblyError(
+                "SMM placement mismatch for " + conn.from_instance + "." +
+                conn.from_port + " -> " + conn.to_instance + "." + conn.to_port +
+                ": plan says '" + conn.host_instance + "', runtime computed '" +
+                host_name + "'");
+        }
+        app->connect(from.out_port(conn.from_port), to.in_port(conn.to_port),
+                     conn.pool_capacity);
+    }
+    return app;
+}
+
+std::unique_ptr<core::Application> assemble_from_files(
+    const std::string& cdl_path, const std::string& ccl_path) {
+    const CdlModel cdl = parse_cdl_file(cdl_path);
+    const CclModel ccl = parse_ccl_file(ccl_path);
+    return assemble(validate_and_plan(cdl, ccl));
+}
+
+std::unique_ptr<core::Application> assemble_from_strings(
+    const std::string& cdl_text, const std::string& ccl_text) {
+    const CdlModel cdl = parse_cdl_string(cdl_text);
+    const CclModel ccl = parse_ccl_string(ccl_text);
+    return assemble(validate_and_plan(cdl, ccl));
+}
+
+} // namespace compadres::compiler

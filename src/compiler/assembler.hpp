@@ -1,0 +1,30 @@
+// Assembler — executes an AssemblyPlan against the live runtime.
+//
+// In the paper the compiler emits RTSJ glue code that is then compiled
+// with javac; in C++ the equivalent "glue" is executed directly: create
+// the regions and pools, instantiate every component (by registered class
+// name) in its region, and wire every planned connection through the SMM
+// the plan assigned. The emitted-source path still exists for inspection
+// (see codegen.hpp), but the assembler is what applications use.
+#pragma once
+
+#include "compiler/validator.hpp"
+#include "core/application.hpp"
+
+#include <memory>
+
+namespace compadres::compiler {
+
+/// Build a ready-to-start Application from a validated plan. All component
+/// classes named by the plan must be registered in
+/// core::ComponentRegistry::global(), and all message types in
+/// core::MessageTypeRegistry::global().
+std::unique_ptr<core::Application> assemble(const AssemblyPlan& plan);
+
+/// One-call convenience: parse, validate, assemble.
+std::unique_ptr<core::Application> assemble_from_files(
+    const std::string& cdl_path, const std::string& ccl_path);
+std::unique_ptr<core::Application> assemble_from_strings(
+    const std::string& cdl_text, const std::string& ccl_text);
+
+} // namespace compadres::compiler

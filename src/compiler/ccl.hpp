@@ -1,0 +1,81 @@
+// Component Composition Language (CCL) — paper §2.2, Listing 1.2.
+//
+// The CCL instantiates components, nests them (parent/child scoping),
+// declares the port attributes (buffer size, threading strategy, pool
+// bounds) and the links between ports, and fixes the RTSJ memory layout
+// (<RTSJAttributes>: immortal size plus per-level scoped-region pools).
+#pragma once
+
+#include "core/application.hpp"
+#include "core/port.hpp"
+#include "xml/xml.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace compadres::compiler {
+
+class CclError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+enum class LinkKind { kInternal, kExternal };
+
+/// One <Link>: connects the enclosing port to `to_component.to_port`.
+/// Links may be declared on either endpoint; the validator orients them
+/// Out -> In using the CDL.
+struct CclLink {
+    LinkKind kind = LinkKind::kExternal;
+    std::string to_component; ///< instance name of the peer
+    std::string to_port;
+    int line = 0;
+};
+
+/// One <Port> inside a <Connection>.
+struct CclPortDecl {
+    std::string name;
+    core::InPortConfig attributes; ///< meaningful for In ports
+    bool has_attributes = false;
+    std::vector<CclLink> links;
+    int line = 0;
+};
+
+struct CclComponent {
+    std::string instance_name;
+    std::string class_name;
+    core::ComponentType type = core::ComponentType::kScoped;
+    int scope_level = 0; ///< 0 for immortal
+    std::vector<CclPortDecl> ports;
+    std::vector<CclComponent> children;
+    int line = 0;
+};
+
+struct CclModel {
+    std::string application_name;
+    std::vector<CclComponent> components; ///< top-level instances
+    core::RtsjAttributes rtsj;
+
+    /// Depth-first visit (parents before children).
+    template <typename F>
+    void for_each_component(F&& fn) const {
+        for (const CclComponent& c : components) visit(c, nullptr, fn);
+    }
+
+private:
+    template <typename F>
+    static void visit(const CclComponent& c, const CclComponent* parent, F& fn) {
+        fn(c, parent);
+        for (const CclComponent& child : c.children) visit(child, &c, fn);
+    }
+};
+
+/// Parse a CCL document rooted at <Application>. Throws CclError on
+/// structural problems; semantic checks live in the validator.
+CclModel parse_ccl(const xml::XmlNode& root);
+CclModel parse_ccl_file(const std::string& path);
+CclModel parse_ccl_string(const std::string& text);
+
+} // namespace compadres::compiler

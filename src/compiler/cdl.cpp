@@ -1,0 +1,93 @@
+#include "compiler/cdl.hpp"
+
+namespace compadres::compiler {
+
+const CdlPort* CdlComponent::find_port(const std::string& port_name) const noexcept {
+    for (const CdlPort& p : ports) {
+        if (p.name == port_name) return &p;
+    }
+    return nullptr;
+}
+
+const CdlComponent* CdlModel::find(const std::string& class_name) const noexcept {
+    auto it = components.find(class_name);
+    return it == components.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+CdlPort parse_port(const xml::XmlNode& node, const std::string& component_name) {
+    CdlPort port;
+    port.name = node.child_text("PortName");
+    if (port.name.empty()) {
+        throw CdlError("component '" + component_name +
+                       "': <Port> without <PortName> (line " +
+                       std::to_string(node.line) + ")");
+    }
+    const std::string type = node.child_text("PortType");
+    if (type == "In") {
+        port.direction = PortDirection::kIn;
+    } else if (type == "Out") {
+        port.direction = PortDirection::kOut;
+    } else {
+        throw CdlError("port '" + component_name + "." + port.name +
+                       "': <PortType> must be 'In' or 'Out', got '" + type + "'");
+    }
+    port.message_type = node.child_text("MessageType");
+    if (port.message_type.empty()) {
+        throw CdlError("port '" + component_name + "." + port.name +
+                       "' has no <MessageType>");
+    }
+    return port;
+}
+
+CdlComponent parse_component(const xml::XmlNode& node) {
+    CdlComponent comp;
+    comp.name = node.child_text("ComponentName");
+    if (comp.name.empty()) {
+        throw CdlError("<Component> without <ComponentName> (line " +
+                       std::to_string(node.line) + ")");
+    }
+    for (const xml::XmlNode* port_node : node.children_named("Port")) {
+        CdlPort port = parse_port(*port_node, comp.name);
+        if (comp.find_port(port.name) != nullptr) {
+            throw CdlError("component '" + comp.name + "': duplicate port '" +
+                           port.name + "'");
+        }
+        comp.ports.push_back(std::move(port));
+    }
+    return comp;
+}
+
+} // namespace
+
+CdlModel parse_cdl(const xml::XmlNode& root) {
+    CdlModel model;
+    std::vector<const xml::XmlNode*> component_nodes;
+    if (root.name == "Component") {
+        component_nodes.push_back(&root);
+    } else {
+        component_nodes = root.children_named("Component");
+    }
+    if (component_nodes.empty()) {
+        throw CdlError("CDL document declares no components");
+    }
+    for (const xml::XmlNode* node : component_nodes) {
+        CdlComponent comp = parse_component(*node);
+        if (model.components.count(comp.name) != 0) {
+            throw CdlError("duplicate component definition '" + comp.name + "'");
+        }
+        model.components.emplace(comp.name, std::move(comp));
+    }
+    return model;
+}
+
+CdlModel parse_cdl_file(const std::string& path) {
+    return parse_cdl(*xml::parse_file(path));
+}
+
+CdlModel parse_cdl_string(const std::string& text) {
+    return parse_cdl(*xml::parse(text));
+}
+
+} // namespace compadres::compiler

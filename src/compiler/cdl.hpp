@@ -1,0 +1,53 @@
+// Component Definition Language (CDL) — paper §2.1, Listing 1.1.
+//
+// The CDL declares component classes and their ports: name, direction
+// (In/Out relative to the component) and the message type carried. The
+// Compadres compiler uses it to (a) generate component/handler skeletons
+// and (b) validate the CCL's connections and message types.
+#pragma once
+
+#include "xml/xml.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace compadres::compiler {
+
+class CdlError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+enum class PortDirection { kIn, kOut };
+
+struct CdlPort {
+    std::string name;
+    PortDirection direction = PortDirection::kIn;
+    std::string message_type;
+};
+
+struct CdlComponent {
+    std::string name;
+    std::vector<CdlPort> ports;
+
+    const CdlPort* find_port(const std::string& port_name) const noexcept;
+};
+
+struct CdlModel {
+    /// Keyed by component class name.
+    std::map<std::string, CdlComponent> components;
+
+    const CdlComponent* find(const std::string& class_name) const noexcept;
+};
+
+/// Parse a CDL document. The root element may be a wrapper (<CDL>,
+/// <Components>, ...) holding <Component> children, or a single
+/// <Component> itself. Throws CdlError on structural problems (missing
+/// names, bad port types, duplicate components/ports).
+CdlModel parse_cdl(const xml::XmlNode& root);
+CdlModel parse_cdl_file(const std::string& path);
+CdlModel parse_cdl_string(const std::string& text);
+
+} // namespace compadres::compiler

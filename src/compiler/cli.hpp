@@ -1,0 +1,27 @@
+// compadresc — the Compadres compiler as a command-line tool.
+//
+// The paper's workflow runs its compiler twice: over the CDL to generate
+// component/handler skeletons (phase 1), and over the CDL+CCL to validate
+// the composition and produce the glue (phase 2). This is that tool:
+//
+//   compadresc check     <cdl> [<ccl>]        parse + validate, report issues
+//   compadresc skeletons <cdl> -o <dir>       emit C++ skeleton headers
+//   compadresc plan      <cdl> <ccl>          dump the derived assembly plan
+//   compadresc main-stub <cdl> <ccl> -o <dir> emit a main-application stub
+//
+// The entry point is a library function so tests drive it without spawning
+// processes; tools/compadresc.cpp is a two-line main.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace compadres::compiler {
+
+/// Runs the CLI. Returns a process exit code (0 ok, 1 usage error,
+/// 2 parse/validation failure, 3 I/O failure).
+int compadresc_main(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
+
+} // namespace compadres::compiler

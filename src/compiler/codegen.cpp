@@ -1,0 +1,122 @@
+#include "compiler/codegen.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace compadres::compiler {
+
+namespace {
+
+std::string to_snake_case(const std::string& name) {
+    std::string out;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        if (std::isupper(static_cast<unsigned char>(c))) {
+            if (i != 0) out.push_back('_');
+            out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string cpp_type_for_message(const std::string& cdl_type) {
+    if (cdl_type == "String") return "compadres::core::TextMessage";
+    if (cdl_type == "MyInteger") return "compadres::core::MyInteger";
+    if (cdl_type == "OctetSeq") return "compadres::core::OctetSeq";
+    if (cdl_type == "SensorSample") return "compadres::core::SensorSample";
+    return cdl_type;
+}
+
+std::map<std::string, std::string> generate_skeletons(const CdlModel& cdl) {
+    std::map<std::string, std::string> files;
+    for (const auto& [class_name, comp] : cdl.components) {
+        std::ostringstream out;
+        const std::string guard_name = to_snake_case(class_name);
+        out << "// GENERATED SKELETON for component class '" << class_name
+            << "'.\n"
+            << "// Fill in the process() bodies and (optionally) _start();\n"
+            << "// regenerate with --force to overwrite.\n"
+            << "#pragma once\n\n"
+            << "#include \"core/application.hpp\"\n"
+            << "#include \"core/messages.hpp\"\n\n"
+            << "namespace app {\n\n";
+
+        // Handler skeletons, one per In port.
+        for (const CdlPort& port : comp.ports) {
+            if (port.direction != PortDirection::kIn) continue;
+            const std::string cpp_type = cpp_type_for_message(port.message_type);
+            out << "class " << class_name << "_" << port.name
+                << "_Handler final\n    : public compadres::core::MessageHandler<"
+                << cpp_type << "> {\npublic:\n"
+                << "    void process(" << cpp_type
+                << "& msg, compadres::core::Smm& smm) override {\n"
+                << "        (void)msg; (void)smm;\n"
+                << "        // TODO: handle a message arriving at In port '"
+                << port.name << "'\n    }\n};\n\n";
+        }
+
+        // Component skeleton.
+        out << "class " << class_name
+            << " : public compadres::core::Component {\npublic:\n"
+            << "    explicit " << class_name
+            << "(const compadres::core::ComponentContext& ctx)\n"
+            << "        : compadres::core::Component(ctx) {\n";
+        for (const CdlPort& port : comp.ports) {
+            const std::string cpp_type = cpp_type_for_message(port.message_type);
+            if (port.direction == PortDirection::kIn) {
+                out << "        add_in_port<" << cpp_type << ">(\"" << port.name
+                    << "\", \"" << port.message_type << "\",\n"
+                    << "                    port_config(\"" << port.name
+                    << "\"), *region().make<" << class_name << "_" << port.name
+                    << "_Handler>());\n";
+            } else {
+                out << "        add_out_port<" << cpp_type << ">(\"" << port.name
+                    << "\", \"" << port.message_type << "\");\n";
+            }
+        }
+        out << "    }\n\n"
+            << "    void _start() override {\n"
+            << "        // TODO: initialization (may send the first messages)\n"
+            << "    }\n};\n\n"
+            << "inline void register_" << guard_name << "() {\n"
+            << "    compadres::core::ComponentRegistry::global().register_class<"
+            << class_name << ">(\"" << class_name << "\");\n}\n\n"
+            << "} // namespace app\n";
+
+        files[guard_name + "_component.hpp"] = out.str();
+    }
+    return files;
+}
+
+std::string generate_main_stub(const AssemblyPlan& plan) {
+    std::ostringstream out;
+    out << "// GENERATED MAIN for application '" << plan.application_name
+        << "'.\n"
+        << "#include \"compiler/assembler.hpp\"\n\n";
+    std::map<std::string, bool> classes;
+    for (const PlannedComponent& pc : plan.components) {
+        classes[pc.class_name] = true;
+    }
+    for (const auto& [cls, _] : classes) {
+        out << "#include \"" << to_snake_case(cls) << "_component.hpp\"\n";
+    }
+    out << "\nint main() {\n"
+        << "    compadres::core::register_builtin_message_types();\n";
+    for (const auto& [cls, _] : classes) {
+        out << "    app::register_" << to_snake_case(cls) << "();\n";
+    }
+    out << "    auto app = compadres::compiler::assemble_from_files(\n"
+        << "        \"" << plan.application_name << ".cdl.xml\", \""
+        << plan.application_name << ".ccl.xml\");\n"
+        << "    app->start();\n"
+        << "    // TODO: application logic / wait for completion\n"
+        << "    app->shutdown();\n"
+        << "    return 0;\n}\n";
+    return out.str();
+}
+
+} // namespace compadres::compiler

@@ -1,0 +1,38 @@
+// Skeleton generation — phase 1 of the paper's toolchain (§2.1): "The CDL
+// file is compiled to generate the skeletons of the implementation classes
+// of the components and the message handlers associated with the
+// components' In ports. The programmer adds the implementation..."
+//
+// For each CDL component class this emits one C++ header containing:
+//   * a component class deriving core::Component whose constructor adds
+//     every declared port (In ports pick up their CCL attributes via
+//     ComponentContext::port_config), and
+//   * one MessageHandler skeleton per In port with an empty process()
+//     body for the programmer to fill in,
+// plus a registration helper so the class is creatable by name.
+#pragma once
+
+#include "compiler/cdl.hpp"
+#include "compiler/validator.hpp"
+
+#include <map>
+#include <string>
+
+namespace compadres::compiler {
+
+/// Maps CDL <MessageType> names to C++ type names for emitted code.
+/// Unknown names pass through verbatim (the user's own types).
+std::string cpp_type_for_message(const std::string& cdl_type);
+
+/// Generate one skeleton header per component class.
+/// Keys are suggested file names ("server_component.hpp"), values the
+/// complete file contents.
+std::map<std::string, std::string> generate_skeletons(const CdlModel& cdl);
+
+/// Generate a main-application stub that registers the component classes,
+/// assembles the plan, and runs start()/shutdown() — the analogue of the
+/// generated "main application class that includes an empty start()
+/// method" (paper §2.2).
+std::string generate_main_stub(const AssemblyPlan& plan);
+
+} // namespace compadres::compiler

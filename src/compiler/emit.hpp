@@ -1,0 +1,25 @@
+// Model -> XML emission, the write direction of the toolchain.
+//
+// parse_cdl/parse_ccl read the paper's XML dialects; these functions write
+// them back out from the in-memory models. Uses: programmatic generation
+// of composition files (the "graphical user interface for connecting
+// components" the paper leaves as future work would sit on exactly this),
+// canonicalization, and round-trip testing of the parsers.
+#pragma once
+
+#include "compiler/ccl.hpp"
+#include "compiler/cdl.hpp"
+
+#include <string>
+
+namespace compadres::compiler {
+
+/// Serialize a CDL model to XML (root element <CDL>). parse_cdl_string of
+/// the output reproduces the model exactly.
+std::string emit_cdl(const CdlModel& model);
+
+/// Serialize a CCL model to XML (root element <Application>).
+/// parse_ccl_string of the output reproduces the model exactly.
+std::string emit_ccl(const CclModel& model);
+
+} // namespace compadres::compiler

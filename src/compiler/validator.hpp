@@ -1,0 +1,82 @@
+// CCL validation and assembly planning — the second phase of the paper's
+// compiler (§2.2: "In this phase the compiler serves two purposes:
+// validation and glue code generation").
+//
+// Validation enforces everything the paper lists:
+//   * every instance's class is defined in the CDL; ports exist;
+//   * Out ports connect to In ports and message types match exactly;
+//   * no loops (a component connected to itself, or the same edge twice);
+//   * internal links join a parent with its own child; external links join
+//     siblings — or, skipping generations, a component with a non-immediate
+//     ancestor, which the compiler turns into a *shadow port* (pool and
+//     buffer placed directly in the ancestor's SMM, paper Fig. 5);
+//   * scope levels are consistent (child = parent + 1; immortal components
+//     never nest inside scoped ones) — this is what guarantees the derived
+//     region structure satisfies the single-parent rule;
+//   * the derived SMM placement satisfies the Table-1 access rules;
+//   * every scoped level used has a scoped-region pool (explicit or
+//     defaulted) and port attributes are sane.
+//
+// The output is an AssemblyPlan: the ordered create-and-wire instructions
+// that Assembler executes — the runtime analogue of the generated RTSJ
+// glue code.
+#pragma once
+
+#include "compiler/ccl.hpp"
+#include "compiler/cdl.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace compadres::compiler {
+
+/// All problems found, reported together (a build tool that stops at the
+/// first error wastes the user's time).
+class ValidationError : public std::runtime_error {
+public:
+    explicit ValidationError(std::vector<std::string> issues);
+    const std::vector<std::string>& issues() const noexcept { return issues_; }
+
+private:
+    static std::string join(const std::vector<std::string>& issues);
+    std::vector<std::string> issues_;
+};
+
+struct PlannedComponent {
+    std::string instance_name;
+    std::string class_name;
+    core::ComponentType type = core::ComponentType::kImmortal;
+    int scope_level = 0;
+    std::string parent_instance; ///< empty = top level (root)
+    /// In-port attributes from the CCL, applied at construction.
+    std::map<std::string, core::InPortConfig> port_configs;
+};
+
+struct PlannedConnection {
+    std::string from_instance; ///< Out side
+    std::string from_port;
+    std::string to_instance; ///< In side
+    std::string to_port;
+    std::string message_type;
+    /// Instance whose SMM hosts the pool/buffer (closest common ancestor;
+    /// empty = the application root).
+    std::string host_instance;
+    /// True when the link skips generations — the compiler "detects the
+    /// need for a shadow port" (paper Fig. 5).
+    bool shadow = false;
+    std::size_t pool_capacity = 0;
+};
+
+struct AssemblyPlan {
+    std::string application_name;
+    core::RtsjAttributes rtsj;
+    std::vector<PlannedComponent> components; ///< parents before children
+    std::vector<PlannedConnection> connections;
+};
+
+/// Validate `ccl` against `cdl` and derive the plan. Throws
+/// ValidationError carrying every issue found.
+AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl);
+
+} // namespace compadres::compiler

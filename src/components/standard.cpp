@@ -1,0 +1,104 @@
+#include "components/standard.hpp"
+
+#include "rt/clock.hpp"
+
+namespace compadres::components {
+
+PeriodicSource::PeriodicSource(const core::ComponentContext& ctx)
+    : core::Component(ctx) {
+    add_out_port<core::MyInteger>("tick", "MyInteger");
+}
+
+PeriodicSource::~PeriodicSource() {
+    if (task_ != nullptr) task_->stop();
+}
+
+void PeriodicSource::_start() {
+    task_ = std::make_unique<rt::PeriodicTask>(
+        instance_name() + "-ticker", rt::Priority::clamped(priority_),
+        period_ns_, [this] {
+            auto& out = out_port_t<core::MyInteger>("tick");
+            // Skip a tick rather than block the periodic thread when the
+            // downstream is saturated — a late tick is worse than a lost
+            // one for time-driven consumers.
+            auto* pool =
+                static_cast<core::MessagePool<core::MyInteger>*>(out.pool());
+            if (pool == nullptr) return;
+            core::MyInteger* msg = pool->try_acquire();
+            if (msg == nullptr) return;
+            msg->value = static_cast<int>(ticks_.fetch_add(1) + 1);
+            try {
+                out.send(msg, priority_);
+            } catch (const std::exception&) {
+                // Downstream torn down mid-tick: drop the tick, never the
+                // process. send() already returned the message to the pool
+                // on its failure path.
+            }
+        });
+    task_->start();
+}
+
+void PeriodicSource::shutdown_dispatch() {
+    if (task_ != nullptr) task_->stop();
+    core::Component::shutdown_dispatch();
+}
+
+Watchdog::Watchdog(const core::ComponentContext& ctx) : core::Component(ctx) {
+    core::InPortConfig cfg;
+    cfg.buffer_size = 8;
+    cfg.min_threads = cfg.max_threads = 0; // heartbeat recording is trivial
+    add_in_port<core::MyInteger>("heartbeat", "MyInteger", cfg,
+                                 [this](core::MyInteger&, core::Smm&) {
+                                     last_beat_ns_.store(rt::now_ns());
+                                     beats_.fetch_add(1);
+                                 });
+    add_out_port<core::MyInteger>("alarm", "MyInteger");
+}
+
+Watchdog::~Watchdog() {
+    if (checker_ != nullptr) checker_->stop();
+}
+
+void Watchdog::_start() {
+    last_beat_ns_.store(rt::now_ns()); // grace period from startup
+    checker_ = std::make_unique<rt::PeriodicTask>(
+        instance_name() + "-check", rt::Priority::clamped(alarm_priority_),
+        deadline_ns_, [this] { check(); });
+    checker_->start();
+}
+
+void Watchdog::check() {
+    const std::int64_t silence = rt::now_ns() - last_beat_ns_.load();
+    if (silence <= deadline_ns_) return;
+    auto& out = out_port_t<core::MyInteger>("alarm");
+    if (!out.connected()) {
+        alarms_.fetch_add(1);
+        return;
+    }
+    auto* pool = static_cast<core::MessagePool<core::MyInteger>*>(out.pool());
+    core::MyInteger* msg = pool != nullptr ? pool->try_acquire() : nullptr;
+    if (msg == nullptr) {
+        alarms_.fetch_add(1); // counted even if the alarm path is saturated
+        return;
+    }
+    msg->value = static_cast<int>(alarms_.fetch_add(1) + 1);
+    try {
+        out.send(msg, alarm_priority_);
+    } catch (const std::exception&) {
+        // Alarm path torn down: the count above still records the miss;
+        // send() already returned the message to the pool.
+    }
+}
+
+void Watchdog::shutdown_dispatch() {
+    if (checker_ != nullptr) checker_->stop();
+    core::Component::shutdown_dispatch();
+}
+
+void register_standard_components() {
+    auto& reg = core::ComponentRegistry::global();
+    reg.register_class<PeriodicSource>("PeriodicSource");
+    reg.register_class<Watchdog>("Watchdog");
+}
+
+} // namespace compadres::components

@@ -1,0 +1,198 @@
+#include "core/application.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace compadres::core {
+
+Application::Application(std::string name, RtsjAttributes attrs)
+    : name_(std::move(name)), attrs_(std::move(attrs)),
+      immortal_(std::make_unique<memory::ImmortalMemory>(
+          attrs_.immortal_size, name_ + "-immortal")) {
+    for (const ScopePoolSpec& spec : attrs_.scoped_pools) {
+        if (pools_.count(spec.level) != 0) {
+            throw AssemblyError("duplicate scoped pool for level " +
+                                std::to_string(spec.level));
+        }
+        pools_[spec.level] = immortal_->make<memory::ScopePool>(
+            *immortal_, spec.level, spec.scope_size, spec.pool_size);
+    }
+    ComponentContext root_ctx{this, immortal_.get(), nullptr, "<root>", {}};
+    root_ = immortal_->make<Component>(root_ctx);
+}
+
+Application::~Application() { shutdown(); }
+
+memory::ScopePool& Application::pool_for_level(int level) {
+    auto it = pools_.find(level);
+    if (it != pools_.end()) return *it->second;
+    // Level not named in the CCL: give it a sane default pool so
+    // programmatic assemblies do not have to enumerate every level.
+    auto* pool = immortal_->make<memory::ScopePool>(*immortal_, level,
+                                                    ScopePoolSpec{}.scope_size,
+                                                    ScopePoolSpec{}.pool_size);
+    pools_[level] = pool;
+    return *pool;
+}
+
+Component& Application::create_by_name(const std::string& class_name,
+                                       const std::string& instance_name,
+                                       Component* parent, ComponentType type,
+                                       int level,
+                                       std::map<std::string, InPortConfig> port_configs) {
+    Component* effective_parent = parent != nullptr ? parent : root_;
+    if (type == ComponentType::kImmortal) {
+        ComponentContext ctx{this, immortal_.get(), effective_parent,
+                             instance_name, std::move(port_configs)};
+        Component* comp = ComponentRegistry::global().create(class_name, ctx);
+        adopt(*comp, nullptr, nullptr);
+        return *comp;
+    }
+    memory::ScopePool& pool = pool_for_level(level);
+    memory::LTScopedMemory& scope = pool.acquire();
+    memory::ScopeHandle keepalive(scope, effective_parent->region());
+    ComponentContext ctx{this, &scope, effective_parent, instance_name,
+                         std::move(port_configs)};
+    Component* comp = ComponentRegistry::global().create(class_name, ctx);
+    adopt(*comp, &pool, &scope, std::move(keepalive));
+    return *comp;
+}
+
+void Application::adopt(Component& comp, memory::ScopePool* pool,
+                        memory::LTScopedMemory* scope,
+                        memory::ScopeHandle keepalive) {
+    if (find(comp.instance_name()) != nullptr) {
+        throw AssemblyError("duplicate component instance name '" +
+                            comp.instance_name() + "'");
+    }
+    Record rec;
+    rec.comp = &comp;
+    rec.pool = pool;
+    rec.scope = scope;
+    rec.keepalive = std::move(keepalive);
+    records_.push_back(std::move(rec));
+}
+
+Component* Application::find(const std::string& instance_name) const noexcept {
+    for (const Record& rec : records_) {
+        if (rec.comp->instance_name() == instance_name) return rec.comp;
+    }
+    return nullptr;
+}
+
+Component& Application::component(const std::string& instance_name) const {
+    Component* c = find(instance_name);
+    if (c == nullptr) {
+        throw AssemblyError("no component instance named '" + instance_name +
+                            "'");
+    }
+    return *c;
+}
+
+Component& Application::common_ancestor(Component& a, Component& b) const {
+    std::set<const Component*> chain;
+    for (Component* c = &a; c != nullptr; c = c->parent()) chain.insert(c);
+    for (Component* c = &b; c != nullptr; c = c->parent()) {
+        if (chain.count(c) != 0) return *c;
+    }
+    throw AssemblyError("components '" + a.instance_name() + "' and '" +
+                        b.instance_name() + "' share no ancestor");
+}
+
+void Application::connect(OutPortBase& out, InPortBase& in,
+                          std::size_t pool_capacity) {
+    Component& host = common_ancestor(out.owner(), in.owner());
+    host.smm().wire(out, in, pool_capacity);
+}
+
+void Application::connect(Component& from, const std::string& out_name,
+                          Component& to, const std::string& in_name,
+                          std::size_t pool_capacity) {
+    connect(from.out_port(out_name), to.in_port(in_name), pool_capacity);
+}
+
+void Application::start() {
+    if (started_) return;
+    started_ = true;
+    // Creation order is parents-before-children by construction.
+    for (const Record& rec : records_) {
+        rec.comp->_start();
+    }
+}
+
+namespace {
+
+void describe_component(std::ostringstream& out, const Component& comp,
+                        int indent) {
+    out << std::string(static_cast<std::size_t>(indent) * 2, ' ') << "- "
+        << comp.instance_name() << " [" << memory::to_string(comp.region().kind());
+    if (comp.level() > 0) out << " L" << comp.level();
+    out << ", region '" << comp.region().name() << "', "
+        << comp.region().used() << "/" << comp.region().capacity() << " B]";
+    if (!comp.in_ports().empty() || !comp.out_ports().empty()) {
+        out << " ports:";
+        for (const InPortBase* p : comp.in_ports()) {
+            out << " in:" << p->name() << "<" << p->type_name() << ">";
+        }
+        for (const OutPortBase* p : comp.out_ports()) {
+            out << " out:" << p->name() << "<" << p->type_name() << ">";
+        }
+    }
+    out << "\n";
+    for (const Component* child : comp.children()) {
+        describe_component(out, *child, indent + 1);
+    }
+}
+
+} // namespace
+
+std::string Application::describe() const {
+    std::ostringstream out;
+    out << "application '" << name_ << "' (" << records_.size()
+        << " components)\n";
+    for (const Component* child : root_->children()) {
+        describe_component(out, *child, 0);
+    }
+    out << "connections:\n";
+    for (const Record& rec : records_) {
+        for (const OutPortBase* port : rec.comp->out_ports()) {
+            for (const InPortBase* target : port->targets()) {
+                out << "  " << port->qualified_name() << " -> "
+                    << target->qualified_name() << " <" << port->type_name()
+                    << ">";
+                if (port->smm() != nullptr) {
+                    const Component& host = port->smm()->owner();
+                    out << " via SMM of "
+                        << (&host == root_ ? "<root>" : host.instance_name());
+                }
+                out << "\n";
+            }
+        }
+    }
+    return out.str();
+}
+
+void Application::shutdown() {
+    if (shut_down_) return;
+    shut_down_ = true;
+    // 1. Quiesce: stop every dispatcher (newest components first) so no
+    //    handler runs while storage is being reclaimed.
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+        it->comp->shutdown_dispatch();
+    }
+    root_->shutdown_dispatch();
+    // 2. Reclaim scoped components in reverse creation order (children
+    //    before parents): dropping the keep-alive runs the component's
+    //    destructor via the scope's finalizers, then the region returns to
+    //    its pool. Immortal components are finalized when the immortal
+    //    region itself is destroyed with the Application.
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+        if (it->scope != nullptr) {
+            it->keepalive.release();
+            it->pool->release(*it->scope);
+        }
+    }
+    records_.clear();
+}
+
+} // namespace compadres::core

@@ -1,0 +1,160 @@
+// Application — the runtime that owns regions, scope pools, and the
+// component tree, and wires connections where the compiler's plan (or a
+// programmatic call) says they go.
+//
+// Region layout follows the CCL <RTSJAttributes>: one immortal region of
+// <ImmortalSize> bytes, plus one pool of pre-created LT scoped regions per
+// scope level (<ScopedPool>). Immortal components are allocated straight
+// into the immortal region; scoped components draw a region from their
+// level's pool, enter it from the parent's region (binding the scope
+// stack), and hold it until shutdown.
+#pragma once
+
+#include "core/component.hpp"
+#include "core/registry.hpp"
+#include "core/smm.hpp"
+#include "memory/immortal.hpp"
+#include "memory/scope_pool.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compadres::core {
+
+class AssemblyError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// CCL <ScopedPool> entry.
+struct ScopePoolSpec {
+    int level = 1;
+    std::size_t scope_size = 256 * 1024;
+    std::size_t pool_size = 4;
+};
+
+/// CCL <RTSJAttributes>.
+struct RtsjAttributes {
+    std::size_t immortal_size = 4 * 1024 * 1024;
+    std::vector<ScopePoolSpec> scoped_pools;
+};
+
+class Application {
+public:
+    explicit Application(std::string name, RtsjAttributes attrs = {});
+    ~Application();
+
+    Application(const Application&) = delete;
+    Application& operator=(const Application&) = delete;
+
+    const std::string& name() const noexcept { return name_; }
+    memory::ImmortalMemory& immortal() noexcept { return *immortal_; }
+
+    /// Scope pool for a nesting level; levels not named in the CCL get a
+    /// default pool (256 KiB x 4) so programmatic use stays convenient.
+    memory::ScopePool& pool_for_level(int level);
+
+    /// The hidden root component: the parent of all top-level components,
+    /// living in immortal memory. Its SMM hosts connections between
+    /// top-level siblings.
+    Component& root() noexcept { return *root_; }
+
+    // ---- component creation ----
+
+    /// Create an immortal component of concrete type C as a child of
+    /// `parent` (default: root).
+    template <typename C, typename... Args>
+    C& create_immortal(const std::string& instance_name, Args&&... args) {
+        ComponentContext ctx{this, immortal_.get(), root_, instance_name, {}};
+        auto* comp = immortal_->make<C>(ctx, std::forward<Args>(args)...);
+        adopt(*comp, nullptr, nullptr);
+        return *comp;
+    }
+
+    /// Create a scoped component of concrete type C under `parent` at
+    /// `level` (drawing a region from that level's pool).
+    template <typename C, typename... Args>
+    C& create_scoped(const std::string& instance_name, Component& parent,
+                     int level, Args&&... args) {
+        memory::ScopePool& pool = pool_for_level(level);
+        memory::LTScopedMemory& scope = pool.acquire();
+        memory::ScopeHandle keepalive(scope, parent.region());
+        ComponentContext ctx{this, &scope, &parent, instance_name, {}};
+        auto* comp = scope.make<C>(ctx, std::forward<Args>(args)...);
+        adopt(*comp, &pool, &scope, std::move(keepalive));
+        return *comp;
+    }
+
+    /// Create by CDL class name via the global ComponentRegistry.
+    /// `port_configs` carries the CCL <PortAttributes> for the instance's
+    /// In ports.
+    Component& create_by_name(const std::string& class_name,
+                              const std::string& instance_name,
+                              Component* parent, ComponentType type, int level,
+                              std::map<std::string, InPortConfig> port_configs = {});
+
+    Component* find(const std::string& instance_name) const noexcept;
+    Component& component(const std::string& instance_name) const;
+
+    // ---- wiring ----
+
+    /// Connect an Out port to an In port. The hosting SMM is the one of the
+    /// closest common ancestor component (the paper's rule — for a
+    /// parent->child link that is the parent; for siblings, their shared
+    /// parent; for a link skipping generations, the ancestor itself, which
+    /// is exactly the shadow-port optimization). Pool capacity defaults to
+    /// buffer size + max pool threads + 2 in-flight slack.
+    void connect(OutPortBase& out, InPortBase& in, std::size_t pool_capacity = 0);
+    void connect(Component& from, const std::string& out_name, Component& to,
+                 const std::string& in_name, std::size_t pool_capacity = 0);
+
+    /// The component whose SMM hosts a connection between these two
+    /// components (closest common ancestor; endpoints count as their own
+    /// ancestors). Exposed for tests and the compiler's validator.
+    Component& common_ancestor(Component& a, Component& b) const;
+
+    // ---- lifecycle ----
+
+    /// Calls _start() on every component in creation order (parents first,
+    /// since children are always created after their parent).
+    void start();
+
+    /// Stop all dispatchers, tear down scoped components (reverse creation
+    /// order, reclaiming their regions into the pools). Idempotent; also
+    /// run by the destructor.
+    void shutdown();
+
+    std::size_t component_count() const noexcept { return records_.size(); }
+
+    /// Human-readable topology dump: the component tree with regions and
+    /// levels, then every connection with its ports, message type, and
+    /// hosting SMM. For diagnostics and tooling.
+    std::string describe() const;
+
+private:
+    friend class Smm;
+
+    struct Record {
+        Component* comp = nullptr;
+        memory::ScopePool* pool = nullptr;        // null for immortal
+        memory::LTScopedMemory* scope = nullptr;  // null for immortal
+        memory::ScopeHandle keepalive;
+    };
+
+    void adopt(Component& comp, memory::ScopePool* pool,
+               memory::LTScopedMemory* scope,
+               memory::ScopeHandle keepalive = {});
+
+    std::string name_;
+    RtsjAttributes attrs_;
+    std::unique_ptr<memory::ImmortalMemory> immortal_;
+    std::map<int, memory::ScopePool*> pools_; // non-owning; live in immortal
+    Component* root_ = nullptr;                // lives in immortal
+    std::vector<Record> records_;
+    bool started_ = false;
+    bool shut_down_ = false;
+};
+
+} // namespace compadres::core

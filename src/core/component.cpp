@@ -1,0 +1,139 @@
+#include "core/component.hpp"
+
+#include "core/application.hpp"
+
+#include <algorithm>
+
+namespace compadres::core {
+
+Component::Component(const ComponentContext& ctx)
+    : app_(ctx.app), region_(ctx.region), parent_(ctx.parent),
+      instance_name_(ctx.instance_name), port_configs_(ctx.port_configs) {
+    if (region_ == nullptr) {
+        throw AssemblyError("component '" + instance_name_ +
+                            "' constructed without a memory region");
+    }
+    if (parent_ != nullptr) {
+        parent_->add_child(*this);
+    }
+}
+
+Component::~Component() {
+    shutdown_dispatch();
+    if (parent_ != nullptr) {
+        parent_->remove_child(*this);
+    }
+}
+
+void Component::remove_child(Component& child) {
+    children_.erase(std::remove(children_.begin(), children_.end(), &child),
+                    children_.end());
+}
+
+Smm& Component::smm() {
+    if (smm_ == nullptr) {
+        smm_ = region_->make<Smm>(*this);
+    }
+    return *smm_;
+}
+
+int Component::level() const noexcept {
+    return region_->kind() == memory::RegionKind::kScoped ? region_->depth() : 0;
+}
+
+InPortConfig Component::port_config(const std::string& port_name,
+                                    InPortConfig fallback) const {
+    auto it = port_configs_.find(port_name);
+    return it != port_configs_.end() ? it->second : fallback;
+}
+
+void Component::adopt_in_port(InPortBase& port) {
+    if (find_in_port(port.name()) != nullptr || find_out_port(port.name()) != nullptr) {
+        throw PortError("duplicate port name '" + port.name() +
+                        "' on component '" + instance_name_ + "'");
+    }
+    in_ports_.push_back(&port);
+    const InPortConfig& cfg = port.config();
+    if (cfg.strategy == ThreadpoolStrategy::kDedicated && cfg.max_threads > 0) {
+        // The port owns a thread pool: queue sized by <BufferSize>, threads
+        // by <Min/MaxThreadpoolSize>. Lives in this component's region so it
+        // dies (joining its workers) when the component does.
+        auto* d = region_->make<Dispatcher>(
+            port.qualified_name(),
+            DispatcherConfig{cfg.buffer_size, cfg.min_threads, cfg.max_threads,
+                             rt::Priority{}});
+        port.bind_dispatcher(*d);
+        dedicated_.push_back(d);
+    }
+    // max_threads == 0 (synchronous) or Shared: binding happens at wiring.
+}
+
+void Component::adopt_out_port(OutPortBase& port) {
+    if (find_in_port(port.name()) != nullptr || find_out_port(port.name()) != nullptr) {
+        throw PortError("duplicate port name '" + port.name() +
+                        "' on component '" + instance_name_ + "'");
+    }
+    out_ports_.push_back(&port);
+}
+
+InPortBase& Component::add_in_port_erased(const std::string& port_name,
+                                          std::type_index type,
+                                          const std::string& type_name,
+                                          InPortConfig config,
+                                          MessageHandlerBase& handler) {
+    auto* port = region_->make<InPortBase>(port_name, *this, type, type_name,
+                                           config, handler);
+    adopt_in_port(*port);
+    return *port;
+}
+
+OutPortBase& Component::add_out_port_erased(const std::string& port_name,
+                                            std::type_index type,
+                                            const std::string& type_name) {
+    auto* port = region_->make<OutPortBase>(port_name, *this, type, type_name);
+    adopt_out_port(*port);
+    return *port;
+}
+
+InPortBase* Component::find_in_port(const std::string& port_name) const noexcept {
+    for (InPortBase* p : in_ports_) {
+        if (p->name() == port_name) return p;
+    }
+    return nullptr;
+}
+
+OutPortBase* Component::find_out_port(const std::string& port_name) const noexcept {
+    for (OutPortBase* p : out_ports_) {
+        if (p->name() == port_name) return p;
+    }
+    return nullptr;
+}
+
+InPortBase& Component::in_port(const std::string& port_name) const {
+    InPortBase* p = find_in_port(port_name);
+    if (p == nullptr) {
+        throw PortError("component '" + instance_name_ + "' has no In port '" +
+                        port_name + "'");
+    }
+    return *p;
+}
+
+OutPortBase& Component::out_port(const std::string& port_name) const {
+    OutPortBase* p = find_out_port(port_name);
+    if (p == nullptr) {
+        throw PortError("component '" + instance_name_ + "' has no Out port '" +
+                        port_name + "'");
+    }
+    return *p;
+}
+
+void Component::shutdown_dispatch() {
+    for (Dispatcher* d : dedicated_) {
+        d->shutdown();
+    }
+    if (smm_ != nullptr) {
+        smm_->shutdown();
+    }
+}
+
+} // namespace compadres::core

@@ -1,0 +1,169 @@
+// Component — the unit of composition (paper §2).
+//
+// A component is created by the framework inside its own memory region
+// (immortal or scoped), declares typed In/Out ports, and implements
+// _start() for initialization. Components never see RTSJ-style memory
+// rules directly: they allocate through their region (or plain values) and
+// exchange strictly-typed messages through ports; the framework places
+// pools and buffers where the scoping rules require.
+#pragma once
+
+#include "core/port.hpp"
+#include "core/smm.hpp"
+#include "memory/region.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace compadres::core {
+
+class Application;
+
+/// Whether a component lives in immortal memory or in a pooled scoped
+/// region at a given nesting level (CCL <ComponentType>/<ScopeLevel>).
+enum class ComponentType { kImmortal, kScoped };
+
+/// Everything a component needs at construction; handed to the constructor
+/// by the framework (Application or Smm::connect).
+struct ComponentContext {
+    Application* app = nullptr;
+    memory::MemoryRegion* region = nullptr;
+    Component* parent = nullptr;
+    std::string instance_name;
+    /// Per-In-port attributes from the CCL (<PortAttributes>), keyed by
+    /// port name. Components consult port_config() when adding ports so
+    /// composition-time tuning reaches compile-time component classes.
+    std::map<std::string, InPortConfig> port_configs;
+};
+
+class Component {
+public:
+    explicit Component(const ComponentContext& ctx);
+    virtual ~Component();
+
+    Component(const Component&) = delete;
+    Component& operator=(const Component&) = delete;
+
+    /// Initialization hook, empty by default (paper: the generated start()
+    /// "is an empty method that may be implemented by the programmer").
+    virtual void _start() {}
+
+    const std::string& instance_name() const noexcept { return instance_name_; }
+    memory::MemoryRegion& region() const noexcept { return *region_; }
+    Application& app() const noexcept { return *app_; }
+    Component* parent() const noexcept { return parent_; }
+    const std::vector<Component*>& children() const noexcept { return children_; }
+
+    /// The component's SMM (for talking to its children); created lazily in
+    /// this component's region.
+    Smm& smm();
+    Smm* smm_if_created() const noexcept { return smm_; }
+
+    /// Scope-nesting level: 0 for immortal components, parent+1 for scoped.
+    int level() const noexcept;
+
+    /// The CCL-provided configuration for an In port, or `fallback` when
+    /// the composition did not name the port.
+    InPortConfig port_config(const std::string& port_name,
+                             InPortConfig fallback = {}) const;
+
+    // ---- port definition (paper: addInPort / addOutPort) ----
+
+    /// Add an In port with an externally-owned handler.
+    template <typename T>
+    InPort<T>& add_in_port(const std::string& port_name,
+                           const std::string& type_name, InPortConfig config,
+                           MessageHandlerBase& handler) {
+        auto* port = region_->make<InPort<T>>(port_name, *this, type_name,
+                                              config, handler);
+        adopt_in_port(*port);
+        return *port;
+    }
+
+    /// Add an In port with a lambda handler (allocated in this region).
+    template <typename T>
+    InPort<T>& add_in_port(const std::string& port_name,
+                           const std::string& type_name, InPortConfig config,
+                           typename FnHandler<T>::Fn fn) {
+        auto* handler = region_->make<FnHandler<T>>(std::move(fn));
+        return add_in_port<T>(port_name, type_name, config, *handler);
+    }
+
+    template <typename T>
+    OutPort<T>& add_out_port(const std::string& port_name,
+                             const std::string& type_name) {
+        auto* port = region_->make<OutPort<T>>(port_name, *this, type_name);
+        adopt_out_port(*port);
+        return *port;
+    }
+
+    /// Type-erased port creation, for infrastructure that routes messages
+    /// whose C++ type is only known as a type_index at runtime (e.g. the
+    /// remote bridge). The handler receives the raw message pointer.
+    InPortBase& add_in_port_erased(const std::string& port_name,
+                                   std::type_index type,
+                                   const std::string& type_name,
+                                   InPortConfig config,
+                                   MessageHandlerBase& handler);
+    OutPortBase& add_out_port_erased(const std::string& port_name,
+                                     std::type_index type,
+                                     const std::string& type_name);
+
+    // ---- port lookup ----
+    InPortBase* find_in_port(const std::string& port_name) const noexcept;
+    OutPortBase* find_out_port(const std::string& port_name) const noexcept;
+    InPortBase& in_port(const std::string& port_name) const;
+    OutPortBase& out_port(const std::string& port_name) const;
+
+    template <typename T>
+    InPort<T>& in_port_t(const std::string& port_name) const {
+        return checked_cast<InPort<T>>(in_port(port_name));
+    }
+    template <typename T>
+    OutPort<T>& out_port_t(const std::string& port_name) const {
+        return checked_cast<OutPort<T>>(out_port(port_name));
+    }
+
+    const std::vector<InPortBase*>& in_ports() const noexcept { return in_ports_; }
+    const std::vector<OutPortBase*>& out_ports() const noexcept { return out_ports_; }
+
+    /// Stop this component's dispatchers (dedicated pools and the shared
+    /// pool of its SMM). Called by Application::shutdown before teardown —
+    /// virtual so active components (periodic sources, watchdogs, bridges)
+    /// can stop their own threads first; overrides must call the base.
+    virtual void shutdown_dispatch();
+
+private:
+    friend class Application;
+    friend class Smm;
+
+    void adopt_in_port(InPortBase& port);
+    void adopt_out_port(OutPortBase& port);
+    void add_child(Component& child) { children_.push_back(&child); }
+    void remove_child(Component& child);
+
+    template <typename P, typename B>
+    static P& checked_cast(B& base) {
+        auto* p = dynamic_cast<P*>(&base);
+        if (p == nullptr) {
+            throw PortError("port '" + base.qualified_name() +
+                            "' has message type '" + base.type_name() +
+                            "', not the requested type");
+        }
+        return *p;
+    }
+
+    Application* app_;
+    memory::MemoryRegion* region_;
+    Component* parent_;
+    std::string instance_name_;
+    std::map<std::string, InPortConfig> port_configs_;
+    std::vector<InPortBase*> in_ports_;   // non-owning; live in region
+    std::vector<OutPortBase*> out_ports_; // non-owning; live in region
+    std::vector<Dispatcher*> dedicated_;  // non-owning; live in region
+    std::vector<Component*> children_;
+    Smm* smm_ = nullptr;
+};
+
+} // namespace compadres::core

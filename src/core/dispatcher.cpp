@@ -1,0 +1,115 @@
+#include "core/dispatcher.hpp"
+
+#include "core/message_pool.hpp"
+#include "core/port.hpp"
+
+#include <cstdio>
+
+namespace compadres::core {
+
+Dispatcher::Dispatcher(std::string name, DispatcherConfig config)
+    : name_(std::move(name)), config_(config),
+      queue_(std::make_unique<rt::PriorityBoundedQueue<Envelope>>(
+          config.queue_capacity ? config.queue_capacity : 1)) {
+    std::lock_guard lk(workers_mu_);
+    for (std::size_t i = 0; i < config_.min_threads; ++i) {
+        spawn_worker_locked();
+    }
+}
+
+Dispatcher::~Dispatcher() { shutdown(); }
+
+void Dispatcher::spawn_worker_locked() {
+    const auto idx = workers_.size();
+    workers_.push_back(std::make_unique<rt::RtThread>(
+        name_ + "-w" + std::to_string(idx), config_.base_priority,
+        [this] { worker_loop(); }));
+}
+
+void Dispatcher::submit(Envelope env) {
+    if (synchronous()) {
+        // Paper: pool sizes of 0 mean the calling thread executes process()
+        // synchronously. The caller keeps its own priority.
+        if (!execute(env)) errors_.fetch_add(1);
+        processed_.fetch_add(1);
+        return;
+    }
+    {
+        // Grow on demand: all workers busy with work still queued.
+        std::lock_guard lk(workers_mu_);
+        if (!shutdown_.load() && busy_.load() >= workers_.size() &&
+            workers_.size() < config_.max_threads) {
+            spawn_worker_locked();
+        }
+    }
+    const auto result = queue_->push(std::move(env), env.priority);
+    if (result == rt::PushResult::kClosed) {
+        throw PortError("dispatcher '" + name_ + "' is shut down");
+    }
+}
+
+void Dispatcher::ensure_capacity(std::size_t min_threads,
+                                 std::size_t max_threads) {
+    std::lock_guard lk(workers_mu_);
+    if (max_threads > config_.max_threads) config_.max_threads = max_threads;
+    if (min_threads > config_.min_threads) config_.min_threads = min_threads;
+    while (workers_.size() < config_.min_threads) {
+        spawn_worker_locked();
+    }
+}
+
+void Dispatcher::worker_loop() {
+    for (;;) {
+        auto item = queue_->pop();
+        if (!item.has_value()) return; // closed and drained
+        busy_.fetch_add(1);
+        // The pool thread assumes the priority of the message it is about
+        // to process (paper §2.2). Best-effort under an unprivileged OS.
+        rt::try_set_current_thread_priority(rt::Priority::clamped(item->second));
+        if (!execute(item->first)) errors_.fetch_add(1);
+        processed_.fetch_add(1);
+        busy_.fetch_sub(1);
+    }
+}
+
+bool Dispatcher::execute(const Envelope& env) noexcept {
+    bool ok = true;
+    try {
+        env.port->handler().process_raw(env.msg, *env.smm);
+    } catch (const std::exception& e) {
+        ok = false;
+        std::fprintf(stderr, "[compadres] handler error on port %s: %s\n",
+                     env.port->qualified_name().c_str(), e.what());
+    } catch (...) {
+        ok = false;
+        std::fprintf(stderr, "[compadres] handler error on port %s: unknown\n",
+                     env.port->qualified_name().c_str());
+    }
+    // The message returns to its pool after processing (paper §2.2) even if
+    // the handler threw — leaking pool slots would eventually wedge senders.
+    try {
+        env.pool->release_raw(env.msg);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "[compadres] pool release failed: %s\n", e.what());
+    }
+    env.port->on_processed(ok);
+    return ok;
+}
+
+void Dispatcher::shutdown() {
+    if (shutdown_.exchange(true)) return;
+    queue_->close();
+    std::vector<std::unique_ptr<rt::RtThread>> workers;
+    {
+        std::lock_guard lk(workers_mu_);
+        workers.swap(workers_);
+    }
+    for (auto& w : workers) w->join();
+}
+
+std::size_t Dispatcher::worker_count() const {
+    std::lock_guard lk(workers_mu_);
+    return workers_.size();
+}
+
+} // namespace compadres::core

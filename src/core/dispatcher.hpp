@@ -1,0 +1,90 @@
+// Dispatcher — the thread pool behind In ports.
+//
+// Paper §2.2: each In port has a message buffer and a thread pool. A thread
+// from the pool takes the highest-priority pending message, assumes its
+// priority, and runs the port's process() method. Pools start at
+// MinThreadpoolSize threads and grow on demand up to MaxThreadpoolSize.
+// When both are zero the calling thread runs process() synchronously.
+//
+// A Dispatcher is either dedicated to one In port or shared by all In ports
+// wired through one SMM (<Threadpool>Shared</Threadpool> in the CCL);
+// per-port buffer bounds are enforced by the ports themselves, so a shared
+// dispatcher's queue is sized to the sum of its ports' buffers.
+#pragma once
+
+#include "core/envelope.hpp"
+#include "rt/queue.hpp"
+#include "rt/thread.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace compadres::core {
+
+struct DispatcherConfig {
+    std::size_t queue_capacity = 16;
+    std::size_t min_threads = 1;
+    std::size_t max_threads = 1;
+    /// Baseline priority of idle workers; each message raises/lowers the
+    /// worker to the message priority while it is being processed.
+    rt::Priority base_priority{};
+};
+
+class Dispatcher {
+public:
+    Dispatcher(std::string name, DispatcherConfig config);
+    ~Dispatcher();
+
+    Dispatcher(const Dispatcher&) = delete;
+    Dispatcher& operator=(const Dispatcher&) = delete;
+
+    /// True when max_threads == 0: submit() runs the handler inline in the
+    /// calling thread (the paper's synchronous port mode).
+    bool synchronous() const noexcept { return config_.max_threads == 0; }
+
+    /// Hand an envelope over. Blocks while the queue is full (bounded
+    /// buffers give backpressure, never unbounded memory). May spawn a new
+    /// worker when all existing ones are busy and max_threads allows.
+    void submit(Envelope env);
+
+    /// Raise the pool floor/ceiling — used when several shared ports bind
+    /// with different CCL pool sizes. The queue is NOT resized (workers may
+    /// already be blocked on it); shared dispatchers are created with a
+    /// queue large enough for any sum of per-port buffer bounds.
+    void ensure_capacity(std::size_t min_threads, std::size_t max_threads);
+
+    /// Stop accepting work, drain, and join all workers. Idempotent.
+    void shutdown();
+
+    const std::string& name() const noexcept { return name_; }
+    std::size_t worker_count() const;
+    std::uint64_t processed_count() const noexcept { return processed_.load(); }
+    std::uint64_t error_count() const noexcept { return errors_.load(); }
+
+    /// Runs one envelope to completion: handler, then release-to-pool,
+    /// then the port's completion bookkeeping. Exceptions from handlers are
+    /// contained and counted — a faulty handler must not take down the
+    /// dispatch thread or leak the pooled message. Returns false if the
+    /// handler threw.
+    static bool execute(const Envelope& env) noexcept;
+
+private:
+    void worker_loop();
+    void spawn_worker_locked();
+
+    std::string name_;
+    DispatcherConfig config_;
+    std::unique_ptr<rt::PriorityBoundedQueue<Envelope>> queue_;
+    std::vector<std::unique_ptr<rt::RtThread>> workers_;
+    mutable std::mutex workers_mu_;
+    std::atomic<std::size_t> busy_{0};
+    std::atomic<std::uint64_t> processed_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<bool> shutdown_{false};
+};
+
+} // namespace compadres::core

@@ -1,0 +1,23 @@
+// Envelope — the unit that flows through In-port buffers.
+//
+// Carries the pooled message, the pool to return it to after process(),
+// the destination port (whose handler runs), the SMM hosting the
+// connection (handed to the handler), and the message priority set at
+// send() time (inherited by the dispatching thread, paper §2.2).
+#pragma once
+
+namespace compadres::core {
+
+class InPortBase;
+class MessagePoolBase;
+class Smm;
+
+struct Envelope {
+    void* msg = nullptr;
+    MessagePoolBase* pool = nullptr;
+    InPortBase* port = nullptr;
+    Smm* smm = nullptr;
+    int priority = 0;
+};
+
+} // namespace compadres::core

@@ -1,0 +1,48 @@
+// Message handlers — the user-written reaction code of a component.
+//
+// Paper §2.1: the compiler generates one message-handler skeleton per In
+// port; the programmer fills in process(). When a message arrives at an In
+// port, a pool thread (carrying the message's priority) calls process()
+// with the message and the SMM through which it arrived, so the handler can
+// fetch connected Out ports via smm.getOutPort() (paper Fig. 7/8).
+#pragma once
+
+#include <functional>
+#include <utility>
+
+namespace compadres::core {
+
+class Smm;
+
+/// Type-erased handler interface used by the dispatch machinery.
+class MessageHandlerBase {
+public:
+    virtual ~MessageHandlerBase() = default;
+    virtual void process_raw(void* msg, Smm& smm) = 0;
+};
+
+/// Strongly-typed handler base: subclass and implement process().
+template <typename T>
+class MessageHandler : public MessageHandlerBase {
+public:
+    virtual void process(T& msg, Smm& smm) = 0;
+
+    void process_raw(void* msg, Smm& smm) final {
+        process(*static_cast<T*>(msg), smm);
+    }
+};
+
+/// Lambda adaptor, for handlers small enough not to deserve a class.
+template <typename T>
+class FnHandler final : public MessageHandler<T> {
+public:
+    using Fn = std::function<void(T&, Smm&)>;
+    explicit FnHandler(Fn fn) : fn_(std::move(fn)) {}
+
+    void process(T& msg, Smm& smm) override { fn_(msg, smm); }
+
+private:
+    Fn fn_;
+};
+
+} // namespace compadres::core

@@ -1,0 +1,34 @@
+// Instrumentation hooks on the framework's hot path.
+//
+// The simulated-platform benches (Table 2 / Fig. 9) need to observe two
+// events inside the middleware: "a message object was allocated" (to drive
+// the simulated collector) and "a message hop was dispatched" (where a
+// non-RT OS may preempt us). The hooks are process-global function
+// pointers so the hot path pays a single predictable load when unset.
+#pragma once
+
+#include <cstddef>
+
+namespace compadres::core::hooks {
+
+using AllocHook = void (*)(void* ctx, std::size_t bytes);
+using DispatchHook = void (*)(void* ctx);
+
+/// Install (or clear, with nullptr) the hooks. Not thread-safe against
+/// concurrent traffic; install before starting the application.
+void set(AllocHook alloc, DispatchHook dispatch, void* ctx) noexcept;
+void clear() noexcept;
+
+/// Invoked by MessagePool on every acquire.
+void notify_alloc(std::size_t bytes) noexcept;
+
+/// Invoked by ports on every message hop.
+void notify_dispatch() noexcept;
+
+/// True if the installed profile wants pooled message reuse disabled
+/// semantics (each acquire charged as a fresh allocation). The pool always
+/// reuses storage; this flag only controls whether notify_alloc fires.
+void set_charge_all_acquires(bool charge) noexcept;
+bool charge_all_acquires() noexcept;
+
+} // namespace compadres::core::hooks

@@ -1,0 +1,161 @@
+// Per-type message pools — the paper's shared-object mechanism.
+//
+// Paper §2.2: "The Compadres framework creates a message pool per message
+// type in the parent component's SMM (allocated in the parent component's
+// memory area). To send a message, programmers get a message object from
+// the pool by calling getMessage(), set the message data, and then send the
+// message through the port via send(). The message is returned to the pool
+// after it is processed by the receiver."
+//
+// The pool's message objects genuinely live inside the owning region, so a
+// reference to an in-flight message from either the parent or any child of
+// that region is legal under the Table-1 rules — that is precisely why the
+// shared-object pattern works.
+#pragma once
+
+#include "core/hooks.hpp"
+#include "memory/region.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+namespace compadres::core {
+
+/// Thrown by try_acquire on an empty pool when the caller asked to fail
+/// rather than block.
+class PoolExhausted : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Type-erased pool interface; ports and envelopes deal in this.
+class MessagePoolBase {
+public:
+    MessagePoolBase(std::string type_name, std::type_index type,
+                    memory::MemoryRegion& region, std::size_t capacity)
+        : type_name_(std::move(type_name)), type_(type), region_(&region),
+          capacity_(capacity) {}
+    virtual ~MessagePoolBase() = default;
+
+    MessagePoolBase(const MessagePoolBase&) = delete;
+    MessagePoolBase& operator=(const MessagePoolBase&) = delete;
+
+    /// Blocking acquire: waits until a message object is free.
+    virtual void* acquire_raw() = 0;
+    /// Non-blocking acquire: nullptr when the pool is empty.
+    virtual void* try_acquire_raw() = 0;
+    /// Return a message to the pool (resets it to a default state).
+    virtual void release_raw(void* msg) = 0;
+    /// Copy-construct semantics for fan-out: acquire a message and copy
+    /// `src` into it.
+    virtual void* clone_raw(const void* src) = 0;
+
+    const std::string& type_name() const noexcept { return type_name_; }
+    std::type_index type() const noexcept { return type_; }
+    memory::MemoryRegion& region() const noexcept { return *region_; }
+    std::size_t capacity() const noexcept { return capacity_; }
+    virtual std::size_t available() const = 0;
+
+protected:
+    std::string type_name_;
+    std::type_index type_;
+    memory::MemoryRegion* region_;
+    std::size_t capacity_;
+};
+
+/// Concrete pool of `capacity` T objects constructed once inside `region`.
+///
+/// Messages must be default-constructible; fan-out additionally requires
+/// copy-assignability (checked at compile time only when clone is used).
+/// Message types must be RTSJ-safe in the paper's sense: all data reachable
+/// from a message must live in the message itself (no external pointers),
+/// which for C++ means value types.
+template <typename T>
+class MessagePool final : public MessagePoolBase {
+public:
+    MessagePool(memory::MemoryRegion& region, std::string type_name,
+                std::size_t capacity)
+        : MessagePoolBase(std::move(type_name), std::type_index(typeid(T)),
+                          region, capacity ? capacity : 1) {
+        slots_.reserve(capacity_);
+        free_.reserve(capacity_);
+        for (std::size_t i = 0; i < capacity_; ++i) {
+            T* obj = region.make<T>();
+            slots_.push_back(obj);
+            free_.push_back(obj);
+        }
+    }
+
+    T* acquire() {
+        std::unique_lock lk(mu_);
+        not_empty_.wait(lk, [&] { return !free_.empty(); });
+        return take_locked();
+    }
+
+    T* try_acquire() {
+        std::lock_guard lk(mu_);
+        if (free_.empty()) return nullptr;
+        return take_locked();
+    }
+
+    void release(T* msg) {
+        {
+            std::lock_guard lk(mu_);
+            if (!owns(msg)) {
+                throw std::logic_error("message does not belong to pool '" +
+                                       type_name_ + "'");
+            }
+            *msg = T{}; // scrub: the next sender sees a fresh message
+            free_.push_back(msg);
+        }
+        not_empty_.notify_one();
+    }
+
+    void* acquire_raw() override { return acquire(); }
+    void* try_acquire_raw() override { return try_acquire(); }
+    void release_raw(void* msg) override { release(static_cast<T*>(msg)); }
+
+    void* clone_raw(const void* src) override {
+        if constexpr (std::is_copy_assignable_v<T>) {
+            T* dst = acquire();
+            *dst = *static_cast<const T*>(src);
+            return dst;
+        } else {
+            throw std::logic_error("message type '" + type_name_ +
+                                   "' is not copyable; fan-out unsupported");
+        }
+    }
+
+    std::size_t available() const override {
+        std::lock_guard lk(mu_);
+        return free_.size();
+    }
+
+private:
+    T* take_locked() {
+        T* obj = free_.back();
+        free_.pop_back();
+        if (hooks::charge_all_acquires()) {
+            hooks::notify_alloc(sizeof(T));
+        }
+        return obj;
+    }
+
+    bool owns(const T* msg) const {
+        for (const T* s : slots_) {
+            if (s == msg) return true;
+        }
+        return false;
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::vector<T*> slots_; // non-owning; objects live in the region
+    std::vector<T*> free_;
+};
+
+} // namespace compadres::core

@@ -1,0 +1,57 @@
+// Built-in message types.
+//
+// Compadres messages must be "RTSJ-safe": every byte a message refers to
+// must live in the message itself so that a reference to the pooled object
+// is the only cross-scope reference in play (paper §2.2). In C++ terms:
+// flat value types, fixed-capacity buffers, no pointers.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace compadres::core {
+
+/// The paper's Listing example message.
+struct MyInteger {
+    int value = 0;
+};
+
+/// Fixed-capacity text message (CDL name "String").
+struct TextMessage {
+    static constexpr std::size_t kCapacity = 256;
+    std::array<char, kCapacity> data{};
+    std::size_t length = 0;
+
+    void assign(std::string_view s) {
+        length = std::min(s.size(), kCapacity);
+        std::memcpy(data.data(), s.data(), length);
+    }
+    std::string_view view() const noexcept { return {data.data(), length}; }
+};
+
+/// Fixed-capacity octet buffer (CDL name "OctetSeq"), sized to hold the
+/// largest evaluation payload (1024 B) plus GIOP framing with headroom.
+struct OctetSeq {
+    static constexpr std::size_t kCapacity = 4096;
+    std::array<std::uint8_t, kCapacity> data{};
+    std::size_t length = 0;
+
+    void assign(const std::uint8_t* src, std::size_t n) {
+        length = std::min(n, kCapacity);
+        std::memcpy(data.data(), src, length);
+    }
+    const std::uint8_t* begin_bytes() const noexcept { return data.data(); }
+};
+
+/// Timestamped sample used by the sensor-pipeline example.
+struct SensorSample {
+    std::int64_t timestamp_ns = 0;
+    std::int32_t sensor_id = 0;
+    double value = 0.0;
+};
+
+} // namespace compadres::core

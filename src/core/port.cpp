@@ -1,0 +1,179 @@
+#include "core/port.hpp"
+
+#include "core/component.hpp"
+#include "core/hooks.hpp"
+#include "core/registry.hpp"
+#include "core/smm.hpp"
+
+namespace compadres::core {
+
+std::string PortBase::qualified_name() const {
+    return owner_->instance_name() + "." + name_;
+}
+
+InPortBase::InPortBase(std::string name, Component& owner, std::type_index type,
+                       std::string type_name, InPortConfig config,
+                       MessageHandlerBase& handler)
+    : PortBase(std::move(name), owner, type, std::move(type_name)),
+      config_(config), handler_(&handler) {}
+
+InPortBase::~InPortBase() = default;
+
+void InPortBase::bind_dispatcher(Dispatcher& d) {
+    if (dispatcher_ != nullptr && dispatcher_ != &d) {
+        throw PortError("in-port " + qualified_name() +
+                        " is already bound to a dispatcher");
+    }
+    dispatcher_ = &d;
+}
+
+void InPortBase::deliver(Envelope env) {
+    // Per-port buffer bound (CCL <BufferSize>): the sender blocks while the
+    // port has buffer_size messages pending — bounded memory, backpressure.
+    {
+        std::unique_lock lk(mu_);
+        space_.wait(lk, [&] { return in_flight_.load() < config_.buffer_size; });
+        in_flight_.fetch_add(1);
+    }
+    delivered_.fetch_add(1);
+    env.port = this;
+    if (dispatcher_ == nullptr) {
+        // Not bound (synchronous wiring or pool sizes 0): run inline.
+        Dispatcher::execute(env);
+        return;
+    }
+    try {
+        dispatcher_->submit(std::move(env));
+    } catch (...) {
+        // Undo the in-flight slot so the accounting stays balanced; the
+        // caller (send_raw) returns the message to its pool.
+        {
+            std::lock_guard lk(mu_);
+            in_flight_.fetch_sub(1);
+        }
+        space_.notify_one();
+        delivered_.fetch_sub(1);
+        throw;
+    }
+}
+
+void InPortBase::on_processed(bool ok) noexcept {
+    if (ok) {
+        processed_.fetch_add(1);
+    } else {
+        errors_.fetch_add(1);
+    }
+    {
+        std::lock_guard lk(mu_);
+        in_flight_.fetch_sub(1);
+    }
+    space_.notify_one();
+}
+
+namespace {
+/// True if `candidate` is `component` itself or one of its ancestors.
+bool is_self_or_ancestor(const Component* candidate,
+                         const Component* component) noexcept {
+    for (const Component* c = component; c != nullptr; c = c->parent()) {
+        if (c == candidate) return true;
+    }
+    return false;
+}
+} // namespace
+
+void OutPortBase::attach(Smm& smm, const MessageTypeInfo& info) {
+    if (info.type != type()) {
+        throw PortError("message type info '" + info.name +
+                        "' does not match port " + qualified_name() + " type '" +
+                        type_name() + "'");
+    }
+    if (smm_ == nullptr) {
+        smm_ = &smm;
+        type_info_ = &info;
+        return;
+    }
+    if (smm_ == &smm) return;
+    // Fan-out across levels: this port's connections are hosted by
+    // different SMMs. The pool must live where ALL targets can reference
+    // it — the shallowest host. Hosts are common ancestors of this port's
+    // owner, so they are totally ordered along its ancestor chain; a
+    // shallower host's region is an ancestor of the deeper hosts' regions,
+    // satisfying the Table-1 rules for every connection.
+    if (pool_.load(std::memory_order_acquire) != nullptr) {
+        throw PortError("out-port " + qualified_name() +
+                        " cannot be re-hosted after traffic started");
+    }
+    if (is_self_or_ancestor(&smm.owner(), &smm_->owner())) {
+        smm_ = &smm; // the new host is shallower: adopt it
+    } else if (is_self_or_ancestor(&smm_->owner(), &smm.owner())) {
+        // current host already covers the new connection
+    } else {
+        throw PortError("out-port " + qualified_name() +
+                        " wired through unrelated SMMs ('" +
+                        smm_->owner().instance_name() + "' vs '" +
+                        smm.owner().instance_name() + "')");
+    }
+}
+
+MessagePoolBase* OutPortBase::pool() const {
+    MessagePoolBase* p = pool_.load(std::memory_order_acquire);
+    if (p == nullptr && smm_ != nullptr && type_info_ != nullptr) {
+        p = &smm_->pool_for_erased(*type_info_);
+        pool_.store(p, std::memory_order_release);
+    }
+    return p;
+}
+
+void OutPortBase::add_target(InPortBase& target) {
+    if (target.type() != type()) {
+        throw PortError("message type mismatch: " + qualified_name() + " ('" +
+                        type_name() + "') -> " + target.qualified_name() +
+                        " ('" + target.type_name() + "')");
+    }
+    for (const InPortBase* t : targets_) {
+        if (t == &target) {
+            throw PortError("duplicate connection " + qualified_name() + " -> " +
+                            target.qualified_name());
+        }
+    }
+    targets_.push_back(&target);
+}
+
+void* OutPortBase::get_message_raw() {
+    MessagePoolBase* p = pool();
+    if (p == nullptr) {
+        throw PortError("out-port " + qualified_name() +
+                        " is not wired (no message pool)");
+    }
+    return p->acquire_raw();
+}
+
+void OutPortBase::send_raw(void* msg, int priority) {
+    if (targets_.empty()) {
+        throw PortError("out-port " + qualified_name() + " is not connected");
+    }
+    hooks::notify_dispatch();
+    sent_.fetch_add(1);
+    MessagePoolBase* p = pool();
+    const int prio = rt::Priority::clamped(priority).value;
+    // Fan-out: receivers 2..N get pool clones so each handler owns (and
+    // releases) a distinct message; the original goes to the first target.
+    for (std::size_t i = 1; i < targets_.size(); ++i) {
+        Envelope copy{p->clone_raw(msg), p, targets_[i], smm_, prio};
+        try {
+            targets_[i]->deliver(copy);
+        } catch (...) {
+            p->release_raw(copy.msg);
+            throw;
+        }
+    }
+    Envelope env{msg, p, targets_[0], smm_, prio};
+    try {
+        targets_[0]->deliver(env);
+    } catch (...) {
+        p->release_raw(msg);
+        throw;
+    }
+}
+
+} // namespace compadres::core

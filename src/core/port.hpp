@@ -1,0 +1,190 @@
+// Ports — the only way Compadres components communicate.
+//
+// Out ports are connected to In ports with exactly matching message types
+// (validated by the compiler for XML-driven assemblies and re-checked at
+// wiring time for programmatic ones). A connection's message pool and
+// buffer live in the SMM of the closest common ancestor region, which is
+// what makes cross-scope delivery legal under the RTSJ reference rules —
+// including shadow ports, where that ancestor is not the sender's parent.
+#pragma once
+
+#include "core/dispatcher.hpp"
+#include "core/envelope.hpp"
+#include "core/handler.hpp"
+#include "core/message_pool.hpp"
+#include "rt/thread.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+namespace compadres::core {
+
+class Component;
+class Smm;
+struct MessageTypeInfo;
+
+/// Threading strategy of an In port (CCL <Threadpool> attribute).
+enum class ThreadpoolStrategy {
+    kDedicated, ///< the port owns its thread pool
+    kShared,    ///< the port uses the SMM-wide shared pool
+};
+
+/// Thrown on illegal port operations: sending on an unconnected port,
+/// wiring mismatched message types, connecting two ports twice, ...
+class PortError : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+/// Configuration of an In port, straight from the CCL <PortAttributes>.
+struct InPortConfig {
+    std::size_t buffer_size = 8;
+    ThreadpoolStrategy strategy = ThreadpoolStrategy::kDedicated;
+    std::size_t min_threads = 1;
+    std::size_t max_threads = 1;
+};
+
+class PortBase {
+public:
+    PortBase(std::string name, Component& owner, std::type_index type,
+             std::string type_name)
+        : name_(std::move(name)), owner_(&owner), type_(type),
+          type_name_(std::move(type_name)) {}
+    virtual ~PortBase() = default;
+
+    PortBase(const PortBase&) = delete;
+    PortBase& operator=(const PortBase&) = delete;
+
+    const std::string& name() const noexcept { return name_; }
+    Component& owner() const noexcept { return *owner_; }
+    std::type_index type() const noexcept { return type_; }
+    const std::string& type_name() const noexcept { return type_name_; }
+
+    /// "Instance.Port" — unique within an application.
+    std::string qualified_name() const;
+
+protected:
+    std::string name_;
+    Component* owner_;
+    std::type_index type_;
+    std::string type_name_;
+};
+
+/// Base of all In ports. Owns the per-port bound (CCL <BufferSize>) and
+/// points at the dispatcher that runs its handler.
+class InPortBase : public PortBase {
+public:
+    InPortBase(std::string name, Component& owner, std::type_index type,
+               std::string type_name, InPortConfig config,
+               MessageHandlerBase& handler);
+    ~InPortBase() override;
+
+    const InPortConfig& config() const noexcept { return config_; }
+    MessageHandlerBase& handler() const noexcept { return *handler_; }
+
+    /// Bind this port to the dispatcher that will run its handler.
+    /// Dedicated ports get their own; shared ports get the SMM's.
+    void bind_dispatcher(Dispatcher& d);
+    Dispatcher* dispatcher() const noexcept { return dispatcher_; }
+
+    /// Deliver one message: enforces the per-port buffer bound (blocking
+    /// the sender when full — bounded backpressure, not unbounded queues),
+    /// then submits to the dispatcher. Called by connected Out ports.
+    void deliver(Envelope env);
+
+    /// Completion bookkeeping, called by the dispatcher after process().
+    void on_processed(bool ok) noexcept;
+
+    std::uint64_t delivered_count() const noexcept { return delivered_.load(); }
+    std::uint64_t processed_count() const noexcept { return processed_.load(); }
+    std::uint64_t error_count() const noexcept { return errors_.load(); }
+    std::size_t in_flight() const noexcept { return in_flight_.load(); }
+
+private:
+    InPortConfig config_;
+    MessageHandlerBase* handler_;
+    Dispatcher* dispatcher_ = nullptr;
+    std::mutex mu_;
+    std::condition_variable space_;
+    std::atomic<std::size_t> in_flight_{0};
+    std::atomic<std::uint64_t> delivered_{0};
+    std::atomic<std::uint64_t> processed_{0};
+    std::atomic<std::uint64_t> errors_{0};
+};
+
+/// Base of all Out ports. Wired to one or more In ports; draws messages
+/// from the connection's pool in the hosting SMM.
+class OutPortBase : public PortBase {
+public:
+    OutPortBase(std::string name, Component& owner, std::type_index type,
+                std::string type_name)
+        : PortBase(std::move(name), owner, type, std::move(type_name)) {}
+
+    /// Wiring (done by Smm::wire / the Application assembler). The pool is
+    /// NOT resolved here: it materializes in the SMM on first use, sized by
+    /// the capacity reservations of every connection wired until then.
+    void attach(Smm& smm, const MessageTypeInfo& info);
+    void add_target(InPortBase& target);
+
+    bool connected() const noexcept { return !targets_.empty(); }
+    const std::vector<InPortBase*>& targets() const noexcept { return targets_; }
+    Smm* smm() const noexcept { return smm_; }
+
+    /// The connection's message pool (resolving it on first call).
+    /// Returns nullptr when the port is not wired.
+    MessagePoolBase* pool() const;
+
+    /// Default priority applied by send() overloads that don't name one.
+    void set_default_priority(int p) noexcept {
+        default_priority_ = rt::Priority::clamped(p).value;
+    }
+    int default_priority() const noexcept { return default_priority_; }
+
+    /// getMessage()/send() — the paper's two-step send protocol. The raw
+    /// variants are used by generic glue; components use the typed OutPort.
+    void* get_message_raw();
+    void send_raw(void* msg, int priority);
+
+    std::uint64_t sent_count() const noexcept { return sent_.load(); }
+
+private:
+    Smm* smm_ = nullptr;
+    const MessageTypeInfo* type_info_ = nullptr;
+    mutable std::atomic<MessagePoolBase*> pool_{nullptr};
+    std::vector<InPortBase*> targets_;
+    int default_priority_ = rt::Priority::kDefault;
+    std::atomic<std::uint64_t> sent_{0};
+};
+
+/// Typed In port.
+template <typename T>
+class InPort final : public InPortBase {
+public:
+    InPort(std::string name, Component& owner, std::string type_name,
+           InPortConfig config, MessageHandlerBase& handler)
+        : InPortBase(std::move(name), owner, std::type_index(typeid(T)),
+                     std::move(type_name), config, handler) {}
+};
+
+/// Typed Out port: getMessage() hands out a pooled T to fill in, send()
+/// ships it at a priority.
+template <typename T>
+class OutPort final : public OutPortBase {
+public:
+    OutPort(std::string name, Component& owner, std::string type_name)
+        : OutPortBase(std::move(name), owner, std::type_index(typeid(T)),
+                      std::move(type_name)) {}
+
+    T* get_message() { return static_cast<T*>(get_message_raw()); }
+
+    void send(T* msg, int priority) { send_raw(msg, priority); }
+    void send(T* msg) { send_raw(msg, default_priority()); }
+};
+
+} // namespace compadres::core

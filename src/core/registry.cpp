@@ -1,0 +1,76 @@
+#include "core/registry.hpp"
+
+#include "core/messages.hpp"
+
+namespace compadres::core {
+
+ComponentRegistry& ComponentRegistry::global() {
+    static ComponentRegistry instance;
+    return instance;
+}
+
+void ComponentRegistry::register_factory(const std::string& class_name,
+                                         Factory factory) {
+    factories_[class_name] = std::move(factory);
+}
+
+bool ComponentRegistry::has(const std::string& class_name) const {
+    return factories_.count(class_name) != 0;
+}
+
+Component* ComponentRegistry::create(const std::string& class_name,
+                                     const ComponentContext& ctx) const {
+    auto it = factories_.find(class_name);
+    if (it == factories_.end()) {
+        throw RegistryError("component class '" + class_name +
+                            "' is not registered");
+    }
+    return it->second(ctx);
+}
+
+MessageTypeRegistry& MessageTypeRegistry::global() {
+    static MessageTypeRegistry instance;
+    return instance;
+}
+
+void MessageTypeRegistry::add(const MessageTypeInfo& info) {
+    auto it = by_name_.find(info.name);
+    if (it != by_name_.end()) {
+        if (it->second.type != info.type) {
+            throw RegistryError("message type name '" + info.name +
+                                "' already registered for a different C++ type");
+        }
+        return; // idempotent re-registration
+    }
+    by_name_.emplace(info.name, info);
+}
+
+bool MessageTypeRegistry::has(const std::string& name) const {
+    return by_name_.count(name) != 0;
+}
+
+const MessageTypeInfo& MessageTypeRegistry::find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+        throw RegistryError("message type '" + name + "' is not registered");
+    }
+    return it->second;
+}
+
+const MessageTypeInfo* MessageTypeRegistry::find_by_type(
+    std::type_index type) const noexcept {
+    for (const auto& [name, info] : by_name_) {
+        if (info.type == type) return &info;
+    }
+    return nullptr;
+}
+
+void register_builtin_message_types() {
+    auto& reg = MessageTypeRegistry::global();
+    reg.register_type<MyInteger>("MyInteger");
+    reg.register_type<TextMessage>("String");
+    reg.register_type<OctetSeq>("OctetSeq");
+    reg.register_type<SensorSample>("SensorSample");
+}
+
+} // namespace compadres::core

@@ -1,0 +1,93 @@
+// Registries that let XML-driven assembly name things that are, in C++,
+// compile-time types.
+//
+// The paper's compiler generates Java classes from the CDL and links them
+// by name at composition time. A C++ reproduction cannot conjure types at
+// runtime, so components register a factory under their CDL class name and
+// message types register under their CDL <MessageType> name; the assembler
+// then resolves names to factories.
+#pragma once
+
+#include "core/component.hpp"
+#include "core/message_pool.hpp"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+
+namespace compadres::core {
+
+class RegistryError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Component class-name -> factory. The factory constructs the component
+/// inside ctx.region (so the component lives in its own memory area).
+class ComponentRegistry {
+public:
+    using Factory = std::function<Component*(const ComponentContext&)>;
+
+    static ComponentRegistry& global();
+
+    void register_factory(const std::string& class_name, Factory factory);
+
+    /// Convenience: register a default factory for C (constructible from
+    /// const ComponentContext&).
+    template <typename C>
+    void register_class(const std::string& class_name) {
+        register_factory(class_name, [](const ComponentContext& ctx) -> Component* {
+            return ctx.region->make<C>(ctx);
+        });
+    }
+
+    bool has(const std::string& class_name) const;
+    Component* create(const std::string& class_name,
+                      const ComponentContext& ctx) const;
+
+private:
+    std::map<std::string, Factory> factories_;
+};
+
+/// Message type-name -> pool factory + metadata.
+struct MessageTypeInfo {
+    std::string name;
+    std::type_index type;
+    std::size_t size_bytes;
+    /// Allocates a MessagePool<T> for this type inside `region`.
+    MessagePoolBase* (*make_pool)(memory::MemoryRegion& region,
+                                  const std::string& name, std::size_t capacity);
+};
+
+class MessageTypeRegistry {
+public:
+    static MessageTypeRegistry& global();
+
+    template <typename T>
+    void register_type(const std::string& name) {
+        MessageTypeInfo info{
+            name, std::type_index(typeid(T)), sizeof(T),
+            [](memory::MemoryRegion& region, const std::string& n,
+               std::size_t capacity) -> MessagePoolBase* {
+                return region.make<MessagePool<T>>(region, n, capacity);
+            }};
+        add(info);
+    }
+
+    bool has(const std::string& name) const;
+    const MessageTypeInfo& find(const std::string& name) const;
+    const MessageTypeInfo* find_by_type(std::type_index type) const noexcept;
+
+private:
+    void add(const MessageTypeInfo& info);
+    std::map<std::string, MessageTypeInfo> by_name_;
+};
+
+/// Registers the message types the examples/tests/ORB use under their CDL
+/// names (String, MyInteger, OctetSeq, ...). Idempotent.
+void register_builtin_message_types();
+
+} // namespace compadres::core

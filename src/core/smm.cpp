@@ -1,0 +1,181 @@
+#include "core/smm.hpp"
+
+#include "core/application.hpp"
+#include "core/component.hpp"
+#include "core/registry.hpp"
+
+namespace compadres::core {
+
+ChildHandle::~ChildHandle() { release(); }
+
+void ChildHandle::release() {
+    if (component_ == nullptr) return;
+    // Stop the child's dispatch threads before its storage goes away.
+    component_->shutdown_dispatch();
+    component_ = nullptr;
+    // Dropping the keep-alive lets the scope's entry count hit zero: the
+    // scope reclaims, running the component's destructor, and can then be
+    // returned to its pool for reuse.
+    keepalive_.release();
+    if (pool_ != nullptr && scope_ != nullptr) {
+        pool_->release(*scope_);
+    }
+    pool_ = nullptr;
+    scope_ = nullptr;
+}
+
+Smm::Smm(Component& owner) : owner_(&owner) {}
+
+Smm::~Smm() { shutdown(); }
+
+memory::MemoryRegion& Smm::region() const noexcept { return owner_->region(); }
+
+void Smm::reserve_pool_capacity(const MessageTypeInfo& info,
+                                std::size_t capacity) {
+    std::lock_guard lk(mu_);
+    if (pools_.count(info.type) != 0) {
+        // The pool already materialized (traffic started before this
+        // wiring); the existing capacity is what there is.
+        return;
+    }
+    pending_capacity_[info.type] += capacity;
+}
+
+MessagePoolBase& Smm::pool_for_erased(const MessageTypeInfo& info) {
+    std::lock_guard lk(mu_);
+    auto it = pools_.find(info.type);
+    if (it != pools_.end()) return *it->second;
+    std::size_t capacity = 8; // unreserved direct use
+    auto pending = pending_capacity_.find(info.type);
+    if (pending != pending_capacity_.end()) {
+        capacity = pending->second;
+        pending_capacity_.erase(pending);
+    }
+    MessagePoolBase* pool = info.make_pool(region(), info.name, capacity);
+    pools_.emplace(info.type, pool);
+    return *pool;
+}
+
+void Smm::wire(OutPortBase& out, InPortBase& in, std::size_t pool_capacity) {
+    if (out.type() != in.type()) {
+        throw PortError("message type mismatch wiring " + out.qualified_name() +
+                        " ('" + out.type_name() + "') -> " + in.qualified_name() +
+                        " ('" + in.type_name() + "')");
+    }
+    // The Table-1 soundness check: the pool/buffer region (this SMM's) must
+    // be legally referencable from both endpoints' regions, i.e. it must be
+    // each endpoint's region or an ancestor of it.
+    memory::assert_can_reference(out.owner().region(), region());
+    memory::assert_can_reference(in.owner().region(), region());
+
+    const MessageTypeInfo* info =
+        MessageTypeRegistry::global().find_by_type(out.type());
+    if (info == nullptr) {
+        throw RegistryError("message type '" + out.type_name() +
+                            "' of port " + out.qualified_name() +
+                            " is not registered in the MessageTypeRegistry");
+    }
+    if (pool_capacity == 0) {
+        pool_capacity = in.config().buffer_size + in.config().max_threads + 2;
+    }
+    out.attach(*this, *info);
+    // attach() may have kept (or adopted) a shallower host when this port
+    // fans out across levels — reserve and register on the effective one.
+    // Reservations accumulate across every connection of a type; the pool
+    // is created on first use with the total, so one pool can carry all
+    // the connections' in-flight messages without wedging.
+    Smm& host = *out.smm();
+    host.reserve_pool_capacity(*info, pool_capacity);
+    out.add_target(in);
+    host.register_out_port(out);
+
+    if (in.config().strategy == ThreadpoolStrategy::kShared &&
+        in.config().max_threads > 0) {
+        bind_shared_port(in);
+    }
+}
+
+void Smm::register_out_port(OutPortBase& port) {
+    std::lock_guard lk(mu_);
+    out_ports_[port.qualified_name()] = &port;
+    // Bare-name alias; collisions are remembered as ambiguous (nullptr).
+    auto [it, inserted] = out_ports_.try_emplace(port.name(), &port);
+    if (!inserted && it->second != &port) {
+        it->second = nullptr;
+    }
+}
+
+OutPortBase* Smm::find_out_port(const std::string& name) const noexcept {
+    std::lock_guard lk(mu_);
+    auto it = out_ports_.find(name);
+    return it == out_ports_.end() ? nullptr : it->second;
+}
+
+OutPortBase& Smm::get_out_port(const std::string& name) const {
+    std::lock_guard lk(mu_);
+    auto it = out_ports_.find(name);
+    if (it == out_ports_.end()) {
+        throw PortError("SMM of '" + owner_->instance_name() +
+                        "' knows no Out port '" + name + "'");
+    }
+    if (it->second == nullptr) {
+        throw PortError("Out port name '" + name +
+                        "' is ambiguous in the SMM of '" +
+                        owner_->instance_name() + "'; use Instance.Port");
+    }
+    return *it->second;
+}
+
+Dispatcher& Smm::shared_dispatcher() {
+    std::lock_guard lk(mu_);
+    if (shared_ == nullptr) {
+        // The queue is generously sized once: actual occupancy is bounded
+        // by the sum of the bound ports' per-port buffer limits, which the
+        // ports enforce themselves.
+        shared_ = region().make<Dispatcher>(
+            owner_->instance_name() + ".smm-shared",
+            DispatcherConfig{1024, 0, 0, rt::Priority{}});
+    }
+    return *shared_;
+}
+
+void Smm::bind_shared_port(InPortBase& port) {
+    Dispatcher& d = shared_dispatcher();
+    d.ensure_capacity(port.config().min_threads, port.config().max_threads);
+    port.bind_dispatcher(d);
+}
+
+ChildHandle Smm::connect(const std::string& class_name,
+                         const std::string& instance_name) {
+    return connect(class_name, instance_name, owner_->level() + 1);
+}
+
+ChildHandle Smm::connect(const std::string& class_name,
+                         const std::string& instance_name, int level) {
+    Application& app = owner_->app();
+    memory::ScopePool& pool = app.pool_for_level(level);
+    memory::LTScopedMemory& scope = pool.acquire();
+    memory::ScopeHandle keepalive(scope, region());
+    ComponentContext ctx{&app, &scope, owner_, instance_name, {}};
+    Component* comp = ComponentRegistry::global().create(class_name, ctx);
+    comp->_start();
+    ChildHandle handle;
+    handle.component_ = comp;
+    handle.scope_ = &scope;
+    handle.pool_ = &pool;
+    handle.keepalive_ = std::move(keepalive);
+    return handle;
+}
+
+void Smm::shutdown() {
+    Dispatcher* shared = nullptr;
+    {
+        std::lock_guard lk(mu_);
+        shared = shared_;
+    }
+    if (shared != nullptr) {
+        shared->shutdown();
+    }
+}
+
+} // namespace compadres::core

@@ -1,0 +1,146 @@
+// Scoped Memory Manager (SMM) — paper §2.2, Fig. 4.
+//
+// Each parent component owns exactly one SMM, allocated in the parent's
+// own memory region. The SMM hosts everything the parent shares with its
+// children and between its children:
+//   * one message pool per message type (the shared objects),
+//   * the message buffers of the connections wired through it,
+//   * the optional shared thread pool (<Threadpool>Shared</Threadpool>),
+//   * an Out-port registry so handlers can do smm.getOutPort("P3"),
+//   * dynamic child creation/reclamation: connect() pulls a scoped region
+//     from the level pool, instantiates the child there, and returns a
+//     handle; disconnect() lets the scope reclaim and returns it to the
+//     pool. This is the paper's proxy/wedge mechanism: the handle plays
+//     the role of the wedge thread keeping the child alive.
+#pragma once
+
+#include "core/dispatcher.hpp"
+#include "core/message_pool.hpp"
+#include "core/port.hpp"
+#include "memory/scope_pool.hpp"
+#include "memory/scoped.hpp"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <typeindex>
+
+namespace compadres::core {
+
+class Application;
+class Component;
+struct MessageTypeInfo;
+
+/// Keep-alive handle for a dynamically created child component.
+/// Destroying (or disconnect()ing) the handle lets the child's scope
+/// reclaim — running the component's destructor — and returns the scope
+/// to its pool for reuse.
+class ChildHandle {
+public:
+    ChildHandle() = default;
+    ChildHandle(ChildHandle&&) noexcept = default;
+    ChildHandle& operator=(ChildHandle&&) noexcept = default;
+    ~ChildHandle();
+
+    Component* component() const noexcept { return component_; }
+    memory::LTScopedMemory* scope() const noexcept { return scope_; }
+    explicit operator bool() const noexcept { return component_ != nullptr; }
+
+    /// Tear down the child now (idempotent).
+    void release();
+
+private:
+    friend class Smm;
+    Component* component_ = nullptr;
+    memory::LTScopedMemory* scope_ = nullptr;
+    memory::ScopePool* pool_ = nullptr;
+    memory::ScopeHandle keepalive_;
+};
+
+class Smm {
+public:
+    /// `owner` is the parent component; the SMM and all its pools live in
+    /// the owner's region. The application root has a hidden owner.
+    explicit Smm(Component& owner);
+    ~Smm();
+
+    Smm(const Smm&) = delete;
+    Smm& operator=(const Smm&) = delete;
+
+    Component& owner() const noexcept { return *owner_; }
+    memory::MemoryRegion& region() const noexcept;
+
+    /// Direct typed access to the per-type message pool ("a message pool
+    /// per message type in the parent component's SMM"). Creates the pool
+    /// immediately with `capacity` slots if it does not exist yet.
+    template <typename T>
+    MessagePool<T>& pool_for(const std::string& type_name, std::size_t capacity) {
+        std::lock_guard lk(mu_);
+        const std::type_index key(typeid(T));
+        auto it = pools_.find(key);
+        if (it != pools_.end()) {
+            return static_cast<MessagePool<T>&>(*it->second);
+        }
+        auto* pool = region().make<MessagePool<T>>(region(), type_name, capacity);
+        pools_.emplace(key, pool);
+        return *pool;
+    }
+
+    /// Record that a connection wired through this SMM will need
+    /// `capacity` slots of the given message type. Reservations made while
+    /// the pool does not exist yet accumulate — a pool shared by several
+    /// connections of the same type (the paper's one-pool-per-type rule)
+    /// must be sized for all of them, or in-flight messages could exhaust
+    /// it and deadlock the pipeline.
+    void reserve_pool_capacity(const MessageTypeInfo& info,
+                               std::size_t capacity);
+
+    /// The per-type pool; created on first use with the accumulated
+    /// reserved capacity (allocated inside region()).
+    MessagePoolBase& pool_for_erased(const MessageTypeInfo& info);
+
+    /// Wire an Out port to an In port through this SMM. Verifies the exact
+    /// message-type match and that this SMM's region is legally referencable
+    /// from both endpoints (the Table-1 check that makes the shared-object
+    /// pattern sound). `pool_capacity` sizes the pool on first use.
+    void wire(OutPortBase& out, InPortBase& in, std::size_t pool_capacity);
+
+    /// Handler-side port lookup (paper: smm.getOutPort("P3")). Accepts the
+    /// bare port name when unambiguous, or "Instance.Port".
+    OutPortBase& get_out_port(const std::string& name) const;
+    OutPortBase* find_out_port(const std::string& name) const noexcept;
+
+    /// The shared dispatcher used by In ports with the Shared strategy.
+    Dispatcher& shared_dispatcher();
+    /// Bind a shared-strategy port: grows the shared pool/queue to satisfy
+    /// the port's CCL attributes. Must happen before traffic starts.
+    void bind_shared_port(InPortBase& port);
+
+    /// Create a child component of class `class_name` (from the global
+    /// ComponentRegistry) inside a pooled scoped region one level below the
+    /// owner. The returned handle keeps the child alive.
+    ChildHandle connect(const std::string& class_name,
+                        const std::string& instance_name);
+    ChildHandle connect(const std::string& class_name,
+                        const std::string& instance_name, int level);
+
+    /// Tear down a dynamically created child (paper: parent "can kill the
+    /// temporary component by calling disconnect() with the handle").
+    static void disconnect(ChildHandle& handle) { handle.release(); }
+
+    /// Stop the shared dispatcher (called during application shutdown,
+    /// before components are destroyed).
+    void shutdown();
+
+    void register_out_port(OutPortBase& port);
+
+private:
+    Component* owner_;
+    mutable std::mutex mu_;
+    std::map<std::type_index, MessagePoolBase*> pools_; // non-owning (region)
+    std::map<std::type_index, std::size_t> pending_capacity_;
+    std::map<std::string, OutPortBase*> out_ports_;
+    Dispatcher* shared_ = nullptr; // lazily created in region
+};
+
+} // namespace compadres::core

@@ -1,0 +1,34 @@
+// ImmortalMemory — fixed-size arena whose lifetime equals the process.
+//
+// RTSJ immortal memory is never garbage collected; objects allocated there
+// persist until the VM exits. The CCL <ImmortalSize> attribute sizes it.
+#pragma once
+
+#include "memory/region.hpp"
+
+namespace compadres::memory {
+
+class ImmortalMemory final : public MemoryRegion {
+public:
+    explicit ImmortalMemory(std::size_t capacity,
+                            std::string name = "immortal")
+        : MemoryRegion(std::move(name), RegionKind::kImmortal, capacity) {}
+};
+
+/// A modelled garbage-collected heap region. Components never live here
+/// (the paper supports only scoped and immortal components); it exists so
+/// the Table-1 access-rule matrix — which includes heap rows/columns — can
+/// be represented and tested, and so the simulated JDK 1.4 platform has a
+/// region for its GC-managed allocations.
+class HeapMemory final : public MemoryRegion {
+public:
+    explicit HeapMemory(std::size_t capacity, std::string name = "heap")
+        : MemoryRegion(std::move(name), RegionKind::kHeap, capacity) {}
+
+    /// The JDK-profile simulation "collects" by resetting the arena once
+    /// no application objects are live (our benches only allocate
+    /// transient messages there).
+    void collect() { reset_arena(); }
+};
+
+} // namespace compadres::memory

@@ -1,0 +1,130 @@
+#include "memory/region.hpp"
+
+#include <cstring>
+
+namespace compadres::memory {
+
+const char* to_string(RegionKind kind) noexcept {
+    switch (kind) {
+        case RegionKind::kHeap: return "heap";
+        case RegionKind::kImmortal: return "immortal";
+        case RegionKind::kScoped: return "scoped";
+    }
+    return "?";
+}
+
+MemoryRegion::MemoryRegion(std::string name, RegionKind kind, std::size_t capacity)
+    : name_(std::move(name)), kind_(kind), capacity_(capacity),
+      storage_(std::make_unique<std::byte[]>(capacity)) {
+    // Touch the whole arena up front. This is what makes creation cost
+    // linear in the region size — the defining property of the RTSJ
+    // LTMemory the paper's components use — and it also pre-faults the
+    // pages so allocation never takes a page fault on the hot path.
+    std::memset(storage_.get(), 0, capacity_);
+}
+
+MemoryRegion::~MemoryRegion() {
+    reset_arena();
+}
+
+void* MemoryRegion::allocate(std::size_t bytes, std::size_t align) {
+    std::lock_guard lk(mu_);
+    return allocate_locked(bytes, align);
+}
+
+void* MemoryRegion::allocate_locked(std::size_t bytes, std::size_t align) {
+    // Align the actual address: the backing buffer itself is only
+    // max_align_t-aligned, so aligning the offset alone is not enough for
+    // over-aligned requests.
+    const auto base = reinterpret_cast<std::uintptr_t>(storage_.get());
+    const std::uintptr_t current = base + offset_;
+    const std::uintptr_t target = (current + align - 1) & ~(align - 1);
+    const std::size_t aligned = target - base;
+    if (aligned + bytes > capacity_) {
+        throw RegionExhausted("region '" + name_ + "' exhausted: need " +
+                              std::to_string(bytes) + "B at offset " +
+                              std::to_string(aligned) + " of " +
+                              std::to_string(capacity_) + "B");
+    }
+    void* p = storage_.get() + aligned;
+    offset_ = aligned + bytes;
+    ++alloc_count_;
+    return p;
+}
+
+void MemoryRegion::register_finalizer(void* obj, void (*fn)(void*)) {
+    std::lock_guard lk(mu_);
+    void* mem = allocate_locked(sizeof(FinalizerNode), alignof(FinalizerNode));
+    auto* node = new (mem) FinalizerNode{fn, obj, finalizers_};
+    finalizers_ = node;
+}
+
+std::size_t MemoryRegion::used() const noexcept {
+    std::lock_guard lk(mu_);
+    return offset_;
+}
+
+std::size_t MemoryRegion::allocation_count() const noexcept {
+    std::lock_guard lk(mu_);
+    return alloc_count_;
+}
+
+int MemoryRegion::depth() const noexcept {
+    // Scope-stack depth: immortal/heap are level 0; a scoped region is one
+    // deeper than its (scoped) parent chain.
+    int d = 0;
+    for (const MemoryRegion* r = this;
+         r != nullptr && r->kind_ == RegionKind::kScoped; r = r->parent_) {
+        ++d;
+    }
+    return d;
+}
+
+bool MemoryRegion::has_ancestor(const MemoryRegion* ancestor) const noexcept {
+    for (const MemoryRegion* r = parent_; r != nullptr; r = r->parent()) {
+        if (r == ancestor) return true;
+    }
+    return false;
+}
+
+void MemoryRegion::reset_arena() {
+    std::lock_guard lk(mu_);
+    // LIFO finalization: objects die in reverse allocation order, matching
+    // both C++ stack semantics and RTSJ scope teardown.
+    for (FinalizerNode* n = finalizers_; n != nullptr; n = n->next) {
+        n->fn(n->obj);
+    }
+    finalizers_ = nullptr;
+    offset_ = 0;
+    alloc_count_ = 0;
+}
+
+bool can_reference(const MemoryRegion& from, const MemoryRegion& to,
+                   bool no_heap) noexcept {
+    // A no-heap real-time thread may never hold heap references, not even
+    // heap-to-heap, so this check precedes the same-region shortcut.
+    if (to.kind() == RegionKind::kHeap) return !no_heap;
+    if (&from == &to) return true;
+    switch (to.kind()) {
+        case RegionKind::kHeap:
+            return !no_heap; // unreachable; kept for switch completeness
+        case RegionKind::kImmortal:
+            return true;
+        case RegionKind::kScoped:
+            // Legal only if `to` outlives `from`, i.e. `to` is a proper
+            // ancestor of `from` on the scope stack.
+            return from.has_ancestor(&to);
+    }
+    return false;
+}
+
+void assert_can_reference(const MemoryRegion& from, const MemoryRegion& to,
+                          bool no_heap) {
+    if (!can_reference(from, to, no_heap)) {
+        throw ScopeViolation("illegal reference from region '" + from.name() +
+                             "' (" + to_string(from.kind()) + ") into '" +
+                             to.name() + "' (" + to_string(to.kind()) + ")");
+    }
+}
+
+} // namespace compadres::memory

@@ -1,0 +1,148 @@
+// RTSJ-style memory regions.
+//
+// The RTSJ defines three region kinds — heap (garbage collected), immortal
+// (lives until VM shutdown) and scoped (reclaimed when the last thread
+// leaves). Compadres components are each placed in an immortal or scoped
+// region (paper §2.2). This module reproduces those regions as bump-pointer
+// arenas with the same observable semantics:
+//
+//   * allocation is O(1) (LT-scoped memory is "linear time" in the RTSJ
+//     sense: creation cost proportional to size, allocation predictable);
+//   * scoped regions are reclaimed in bulk when their entry count drops to
+//     zero, running finalizers (C++ destructors) in reverse allocation order;
+//   * immortal regions never free until the process ends.
+//
+// Cross-region reference legality (the paper's Table 1) is checked by
+// ScopeGraph at assembly time and, in debug builds, by assert_can_reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace compadres::memory {
+
+enum class RegionKind : std::uint8_t {
+    kHeap,      ///< garbage-collected heap (modelled, not used by components)
+    kImmortal,  ///< lives until process teardown
+    kScoped,    ///< LT scoped memory, reclaimed on last exit
+};
+
+const char* to_string(RegionKind kind) noexcept;
+
+/// Thrown when a region runs out of backing store. The paper's CCL fixes
+/// region sizes up front (<ImmortalSize>, <ScopeSize>); exhaustion is a
+/// configuration error, not something to handle at allocation sites.
+class RegionExhausted : public std::bad_alloc {
+public:
+    explicit RegionExhausted(std::string what) : what_(std::move(what)) {}
+    const char* what() const noexcept override { return what_.c_str(); }
+
+private:
+    std::string what_;
+};
+
+/// Thrown on violations of the RTSJ scoping rules (single-parent rule,
+/// illegal cross-scope reference, re-entering a reclaimed scope, ...).
+class ScopeViolation : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+/// A bump-pointer arena with finalizer support.
+///
+/// Finalizer records are themselves allocated from the arena (an intrusive
+/// LIFO list), so registering a destructor costs O(1) region bytes and no
+/// process-heap traffic — allocation stays predictable.
+class MemoryRegion {
+public:
+    MemoryRegion(std::string name, RegionKind kind, std::size_t capacity);
+    virtual ~MemoryRegion();
+
+    MemoryRegion(const MemoryRegion&) = delete;
+    MemoryRegion& operator=(const MemoryRegion&) = delete;
+
+    /// Raw allocation. O(1); throws RegionExhausted when the arena is full.
+    void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+    /// Construct a T inside the region. Registers the destructor as a
+    /// finalizer when T is not trivially destructible.
+    template <typename T, typename... Args>
+    T* make(Args&&... args) {
+        void* mem = allocate(sizeof(T), alignof(T));
+        T* obj = new (mem) T(std::forward<Args>(args)...);
+        if constexpr (!std::is_trivially_destructible_v<T>) {
+            register_finalizer(obj, [](void* p) { static_cast<T*>(p)->~T(); });
+        }
+        return obj;
+    }
+
+    /// Register an explicit finalizer; runs (LIFO) when the region is
+    /// reclaimed or destroyed.
+    void register_finalizer(void* obj, void (*fn)(void*));
+
+    const std::string& name() const noexcept { return name_; }
+    RegionKind kind() const noexcept { return kind_; }
+    std::size_t capacity() const noexcept { return capacity_; }
+    std::size_t used() const noexcept;
+    std::size_t allocation_count() const noexcept;
+
+    /// Parent region in the scope stack; nullptr for immortal/heap and for
+    /// scoped regions that have not been entered yet.
+    MemoryRegion* parent() const noexcept { return parent_; }
+
+    /// Nesting depth: 0 for immortal/heap, parent depth + 1 for scopes.
+    int depth() const noexcept;
+
+    /// True if `ancestor` is reachable by following parent links (a region
+    /// is not its own ancestor).
+    bool has_ancestor(const MemoryRegion* ancestor) const noexcept;
+
+protected:
+    /// Run finalizers LIFO and reset the bump pointer. Used by scoped
+    /// regions on reclaim and by destructors.
+    void reset_arena();
+
+    void set_parent(MemoryRegion* p) noexcept { parent_ = p; }
+
+    mutable std::mutex mu_;
+
+private:
+    struct FinalizerNode {
+        void (*fn)(void*);
+        void* obj;
+        FinalizerNode* next;
+    };
+
+    std::string name_;
+    RegionKind kind_;
+    std::size_t capacity_;
+    std::unique_ptr<std::byte[]> storage_;
+    std::size_t offset_ = 0;
+    std::size_t alloc_count_ = 0;
+    FinalizerNode* finalizers_ = nullptr;
+    MemoryRegion* parent_ = nullptr;
+
+    void* allocate_locked(std::size_t bytes, std::size_t align);
+};
+
+/// The paper's Table 1: a reference stored in `from` may point into `to`
+/// iff `to`'s lifetime is at least as long — i.e. same region, heap,
+/// immortal, or a proper ancestor scope of `from`. When `no_heap` is set
+/// (RTSJ NoHeapRealtimeThread semantics), references into the heap are
+/// additionally forbidden.
+bool can_reference(const MemoryRegion& from, const MemoryRegion& to,
+                   bool no_heap = false) noexcept;
+
+/// Debug-build guard for cross-region stores; throws ScopeViolation when
+/// the reference would be illegal under RTSJ rules.
+void assert_can_reference(const MemoryRegion& from, const MemoryRegion& to,
+                          bool no_heap = false);
+
+} // namespace compadres::memory

@@ -1,0 +1,46 @@
+// Standard-library allocator adaptor over a MemoryRegion.
+//
+// Lets components use std::vector/std::string/etc. whose storage lives in
+// their own region — the C++ analogue of "the user may allocate objects
+// using new ... without having to determine which RTSJ memory region to
+// use" (paper §2.1). Deallocation is a no-op: bump arenas reclaim in bulk.
+#pragma once
+
+#include "memory/region.hpp"
+
+#include <cstddef>
+
+namespace compadres::memory {
+
+template <typename T>
+class RegionAllocator {
+public:
+    using value_type = T;
+
+    explicit RegionAllocator(MemoryRegion& region) noexcept : region_(&region) {}
+
+    template <typename U>
+    RegionAllocator(const RegionAllocator<U>& other) noexcept
+        : region_(other.region_) {}
+
+    T* allocate(std::size_t n) {
+        return static_cast<T*>(region_->allocate(n * sizeof(T), alignof(T)));
+    }
+
+    void deallocate(T*, std::size_t) noexcept {
+        // Bulk reclaim only — individual frees are no-ops in a bump arena.
+    }
+
+    MemoryRegion& region() const noexcept { return *region_; }
+
+    template <typename U>
+    bool operator==(const RegionAllocator<U>& o) const noexcept {
+        return region_ == o.region_;
+    }
+
+private:
+    template <typename U> friend class RegionAllocator;
+    MemoryRegion* region_;
+};
+
+} // namespace compadres::memory

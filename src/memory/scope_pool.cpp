@@ -1,0 +1,54 @@
+#include "memory/scope_pool.hpp"
+
+#include <algorithm>
+
+namespace compadres::memory {
+
+ScopePool::ScopePool(ImmortalMemory& immortal, int level,
+                     std::size_t scope_size, std::size_t count)
+    : level_(level), scope_size_(scope_size) {
+    all_.reserve(count);
+    free_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        auto* scope = immortal.make<LTScopedMemory>(
+            scope_size, "pool-L" + std::to_string(level) + "-" + std::to_string(i));
+        all_.push_back(scope);
+        free_.push_back(scope);
+    }
+}
+
+LTScopedMemory& ScopePool::acquire() {
+    std::lock_guard lk(mu_);
+    if (free_.empty()) {
+        throw RegionExhausted("scope pool for level " + std::to_string(level_) +
+                              " exhausted (" + std::to_string(all_.size()) +
+                              " scopes all in use)");
+    }
+    LTScopedMemory* s = free_.back();
+    free_.pop_back();
+    return *s;
+}
+
+void ScopePool::release(LTScopedMemory& scope) {
+    std::lock_guard lk(mu_);
+    if (scope.entry_count() != 0) {
+        throw ScopeViolation("releasing scope '" + scope.name() +
+                             "' while still entered (" +
+                             std::to_string(scope.entry_count()) + " entries)");
+    }
+    if (std::find(all_.begin(), all_.end(), &scope) == all_.end()) {
+        throw ScopeViolation("scope '" + scope.name() +
+                             "' does not belong to this pool");
+    }
+    if (std::find(free_.begin(), free_.end(), &scope) != free_.end()) {
+        throw ScopeViolation("double release of scope '" + scope.name() + "'");
+    }
+    free_.push_back(&scope);
+}
+
+std::size_t ScopePool::available() const {
+    std::lock_guard lk(mu_);
+    return free_.size();
+}
+
+} // namespace compadres::memory

@@ -1,0 +1,54 @@
+// ScopePool — pre-created scoped memory regions, reused at runtime.
+//
+// Paper §2.2: "Further optimization of component instantiation can be
+// achieved by creating pools of scoped memory areas in immortal memory and
+// reusing these areas at runtime. The size and number of scopes in the pools
+// can be assigned in the CCL file under the RTSJAttributes tag."
+//
+// A ScopePool owns `count` LTScopedMemory areas of `scope_size` bytes for a
+// given scope level. The pool's bookkeeping (the LTScopedMemory control
+// objects) is allocated inside the immortal region, mirroring the paper.
+#pragma once
+
+#include "memory/immortal.hpp"
+#include "memory/scoped.hpp"
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace compadres::memory {
+
+class ScopePool {
+public:
+    /// Creates `count` scoped areas of `scope_size` bytes each. Control
+    /// blocks live in `immortal`; backing arenas are created eagerly so the
+    /// linear-time creation cost is paid at startup, never on the hot path.
+    ScopePool(ImmortalMemory& immortal, int level, std::size_t scope_size,
+              std::size_t count);
+
+    ScopePool(const ScopePool&) = delete;
+    ScopePool& operator=(const ScopePool&) = delete;
+
+    /// Take a free scope from the pool. Throws RegionExhausted if none is
+    /// available — CCL misconfiguration, as in the paper.
+    LTScopedMemory& acquire();
+
+    /// Return a scope. The scope must have been fully exited (entry count
+    /// zero, i.e. already reclaimed); returning a live scope throws.
+    void release(LTScopedMemory& scope);
+
+    int level() const noexcept { return level_; }
+    std::size_t scope_size() const noexcept { return scope_size_; }
+    std::size_t total() const noexcept { return all_.size(); }
+    std::size_t available() const;
+
+private:
+    int level_;
+    std::size_t scope_size_;
+    std::vector<LTScopedMemory*> all_;   // non-owning; objects live in immortal
+    std::vector<LTScopedMemory*> free_;
+    mutable std::mutex mu_;
+};
+
+} // namespace compadres::memory

@@ -1,0 +1,48 @@
+#include "memory/scoped.hpp"
+
+namespace compadres::memory {
+
+void LTScopedMemory::enter(MemoryRegion& from) {
+    std::lock_guard lk(mu_);
+    if (&from == this) {
+        // Re-entry from code already running in this scope.
+        entries_.fetch_add(1);
+        return;
+    }
+    if (entries_.load() == 0) {
+        // First entry binds the parent (scope joins the scope stack here).
+        set_parent(&from);
+    } else if (parent() != &from) {
+        throw ScopeViolation(
+            "single-parent rule violated: scope '" + name() +
+            "' already has parent '" +
+            (parent() != nullptr ? parent()->name() : std::string("<none>")) +
+            "', cannot be entered from '" + from.name() + "'");
+    }
+    entries_.fetch_add(1);
+}
+
+void LTScopedMemory::exit() {
+    bool reclaim = false;
+    {
+        std::lock_guard lk(mu_);
+        const int prev = entries_.fetch_sub(1);
+        if (prev <= 0) {
+            entries_.fetch_add(1);
+            throw ScopeViolation("exit() without matching enter() on scope '" +
+                                 name() + "'");
+        }
+        if (prev == 1) {
+            set_parent(nullptr);
+            reclaim = true;
+            reclaims_.fetch_add(1);
+        }
+    }
+    if (reclaim) {
+        // Finalize outside mu_ — finalizers may allocate/deallocate in other
+        // regions but must not touch this scope again.
+        reset_arena();
+    }
+}
+
+} // namespace compadres::memory

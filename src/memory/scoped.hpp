@@ -1,0 +1,83 @@
+// LTScopedMemory — linear-time scoped memory with entry counting.
+//
+// Semantics reproduced from the RTSJ (paper §2.2, "RTSJ Memory Structure"):
+//   * a scope's lifetime ends when no more threads execute in it; we count
+//     "entries" (thread executions and wedge handles) and reclaim at zero;
+//   * the single-parent rule: the first entry binds the parent; any attempt
+//     to enter from a region whose scope stack would give the scope a
+//     second parent throws ScopeViolation;
+//   * reclaim runs finalizers and resets the arena so the scope (and its
+//     backing memory) can be reused — this is what ScopePool exploits.
+#pragma once
+
+#include "memory/region.hpp"
+
+#include <atomic>
+
+namespace compadres::memory {
+
+class LTScopedMemory final : public MemoryRegion {
+public:
+    explicit LTScopedMemory(std::size_t capacity,
+                            std::string name = "scoped")
+        : MemoryRegion(std::move(name), RegionKind::kScoped, capacity) {}
+
+    /// Enter this scope from `from` (the region the entering thread is
+    /// currently executing in). First entry binds `from` as the parent;
+    /// subsequent entries must come from the same parent or from the scope
+    /// itself (re-entry), else the single-parent rule is violated.
+    void enter(MemoryRegion& from);
+
+    /// Leave the scope. When the entry count drops to zero the scope is
+    /// reclaimed: finalizers run, the arena resets, and the parent binding
+    /// is cleared so the scope can be re-entered under a new parent.
+    void exit();
+
+    int entry_count() const noexcept { return entries_.load(); }
+
+    /// Number of times this scope has been reclaimed — exposed so tests and
+    /// the scope-pool ablation can observe reuse.
+    std::uint64_t reclaim_count() const noexcept { return reclaims_.load(); }
+
+private:
+    std::atomic<int> entries_{0};
+    std::atomic<std::uint64_t> reclaims_{0};
+};
+
+/// RAII scope entry (the wedge-thread pattern's effect without the thread):
+/// holding a ScopeHandle keeps the scope alive exactly as the paper's
+/// generated wedge threads keep child components alive between messages.
+class ScopeHandle {
+public:
+    ScopeHandle() = default;
+    ScopeHandle(LTScopedMemory& scope, MemoryRegion& from) : scope_(&scope) {
+        scope.enter(from);
+    }
+    ScopeHandle(const ScopeHandle&) = delete;
+    ScopeHandle& operator=(const ScopeHandle&) = delete;
+    ScopeHandle(ScopeHandle&& o) noexcept : scope_(o.scope_) { o.scope_ = nullptr; }
+    ScopeHandle& operator=(ScopeHandle&& o) noexcept {
+        if (this != &o) {
+            release();
+            scope_ = o.scope_;
+            o.scope_ = nullptr;
+        }
+        return *this;
+    }
+    ~ScopeHandle() { release(); }
+
+    void release() {
+        if (scope_ != nullptr) {
+            scope_->exit();
+            scope_ = nullptr;
+        }
+    }
+
+    LTScopedMemory* scope() const noexcept { return scope_; }
+    explicit operator bool() const noexcept { return scope_ != nullptr; }
+
+private:
+    LTScopedMemory* scope_ = nullptr;
+};
+
+} // namespace compadres::memory

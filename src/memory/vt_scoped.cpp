@@ -1,0 +1,150 @@
+#include "memory/vt_scoped.hpp"
+
+#include <cstring>
+
+namespace compadres::memory {
+
+VTScopedMemory::VTScopedMemory(std::size_t capacity, std::string name)
+    : name_(std::move(name)),
+      capacity_(capacity < kHeaderSize + kMinPayload ? kHeaderSize + kMinPayload
+                                                     : capacity),
+      storage_(std::make_unique<std::byte[]>(capacity_)) {
+    std::lock_guard lk(mu_);
+    reset_locked();
+}
+
+void VTScopedMemory::reset_locked() {
+    std::memset(storage_.get(), 0, capacity_);
+    head_ = reinterpret_cast<BlockHeader*>(storage_.get());
+    head_->size = capacity_ - kHeaderSize;
+    head_->free = true;
+    head_->next = nullptr;
+    head_->prev = nullptr;
+    head_->next_free = nullptr;
+    head_->prev_free = nullptr;
+    free_head_ = head_;
+    used_ = 0;
+}
+
+void VTScopedMemory::push_free(BlockHeader* b) noexcept {
+    b->next_free = free_head_;
+    b->prev_free = nullptr;
+    if (free_head_ != nullptr) free_head_->prev_free = b;
+    free_head_ = b;
+}
+
+void VTScopedMemory::remove_free(BlockHeader* b) noexcept {
+    if (b->prev_free != nullptr) {
+        b->prev_free->next_free = b->next_free;
+    } else {
+        free_head_ = b->next_free;
+    }
+    if (b->next_free != nullptr) b->next_free->prev_free = b->prev_free;
+    b->next_free = nullptr;
+    b->prev_free = nullptr;
+}
+
+void* VTScopedMemory::allocate(std::size_t bytes, std::size_t align) {
+    if (align > kAlign) {
+        // Headers keep every payload max_align_t-aligned; over-alignment
+        // would need padding bookkeeping this comparison substrate does
+        // not carry.
+        throw RegionExhausted("VT region '" + name_ +
+                              "': over-aligned allocation unsupported");
+    }
+    if (bytes < kMinPayload) bytes = kMinPayload;
+    bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+
+    std::lock_guard lk(mu_);
+    // First fit over the free list — time varies with its length, which is
+    // exactly the VT behaviour under study.
+    for (BlockHeader* b = free_head_; b != nullptr; b = b->next_free) {
+        if (b->size < bytes) continue;
+        remove_free(b);
+        // Split when the remainder can hold another block.
+        if (b->size >= bytes + kHeaderSize + kMinPayload) {
+            auto* rest = reinterpret_cast<BlockHeader*>(payload_of(b) + bytes);
+            rest->size = b->size - bytes - kHeaderSize;
+            rest->free = true;
+            rest->next = b->next;
+            rest->prev = b;
+            rest->next_free = nullptr;
+            rest->prev_free = nullptr;
+            if (rest->next != nullptr) rest->next->prev = rest;
+            b->next = rest;
+            b->size = bytes;
+            push_free(rest);
+        }
+        b->free = false;
+        used_ += b->size;
+        return payload_of(b);
+    }
+    throw RegionExhausted("VT region '" + name_ + "' cannot fit " +
+                          std::to_string(bytes) + "B (fragmented or full)");
+}
+
+void VTScopedMemory::free(void* p) {
+    if (p == nullptr) return;
+    std::lock_guard lk(mu_);
+    BlockHeader* b = header_of(p);
+    if (b->free) {
+        throw ScopeViolation("double free in VT region '" + name_ + "'");
+    }
+    used_ -= b->size;
+    b->free = true;
+    // Coalesce with the next block (absorbing it into b).
+    if (b->next != nullptr && b->next->free) {
+        remove_free(b->next);
+        b->size += kHeaderSize + b->next->size;
+        b->next = b->next->next;
+        if (b->next != nullptr) b->next->prev = b;
+    }
+    // Coalesce with the previous block (b dissolves into prev, which is
+    // already on the free list).
+    if (b->prev != nullptr && b->prev->free) {
+        BlockHeader* prev = b->prev;
+        prev->size += kHeaderSize + b->size;
+        prev->next = b->next;
+        if (prev->next != nullptr) prev->next->prev = prev;
+        return;
+    }
+    push_free(b);
+}
+
+void VTScopedMemory::enter() { entries_.fetch_add(1); }
+
+void VTScopedMemory::exit() {
+    const int prev = entries_.fetch_sub(1);
+    if (prev <= 0) {
+        entries_.fetch_add(1);
+        throw ScopeViolation("exit() without matching enter() on VT region '" +
+                             name_ + "'");
+    }
+    if (prev == 1) {
+        std::lock_guard lk(mu_);
+        reset_locked();
+    }
+}
+
+std::size_t VTScopedMemory::used() const {
+    std::lock_guard lk(mu_);
+    return used_;
+}
+
+std::size_t VTScopedMemory::free_block_count() const {
+    std::lock_guard lk(mu_);
+    std::size_t count = 0;
+    for (BlockHeader* b = free_head_; b != nullptr; b = b->next_free) ++count;
+    return count;
+}
+
+std::size_t VTScopedMemory::largest_free_block() const {
+    std::lock_guard lk(mu_);
+    std::size_t largest = 0;
+    for (BlockHeader* b = free_head_; b != nullptr; b = b->next_free) {
+        if (b->size > largest) largest = b->size;
+    }
+    return largest;
+}
+
+} // namespace compadres::memory

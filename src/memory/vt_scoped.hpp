@@ -1,0 +1,104 @@
+// VTScopedMemory — variable-time scoped memory.
+//
+// RTSJ offers two scoped-memory flavours: LTMemory (linear-time creation,
+// allocation in predictable time) and VTMemory (allocation may take
+// variable time). The paper's model "only uses linear-time or
+// LTScopedMemory, which is allocated in a time proportional to its size
+// and therefore predictable" (§2.2). This class implements the road not
+// taken — a first-fit free-list allocator with per-object free() and
+// coalescing — so that design choice can be *measured* instead of
+// asserted: bench/ablation_ltmemory compares allocation-time
+// predictability of the two allocators under fragmentation, and the unit
+// tests pin the allocator's correctness.
+//
+// Compadres components never live in VT memory (matching the paper);
+// this is a comparison substrate, so it carries only the entry-counting
+// lifecycle, not the full scope-stack integration.
+#pragma once
+
+#include "memory/region.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace compadres::memory {
+
+class VTScopedMemory {
+public:
+    explicit VTScopedMemory(std::size_t capacity,
+                            std::string name = "vt-scoped");
+
+    VTScopedMemory(const VTScopedMemory&) = delete;
+    VTScopedMemory& operator=(const VTScopedMemory&) = delete;
+
+    /// First-fit allocation from the free list. O(number of free blocks) —
+    /// the "variable time" that makes VTMemory unsuitable where the paper
+    /// needs predictability. Throws RegionExhausted when no block fits
+    /// (which, unlike the bump allocator, can happen from fragmentation
+    /// even when enough total bytes are free).
+    void* allocate(std::size_t bytes,
+                   std::size_t align = alignof(std::max_align_t));
+
+    /// Return a block to the free list, coalescing with address-adjacent
+    /// free neighbours.
+    void free(void* p);
+
+    /// Entry counting with LTScopedMemory-like semantics: the last exit
+    /// resets the whole arena (bulk reclaim).
+    void enter();
+    void exit();
+    int entry_count() const noexcept { return entries_.load(); }
+
+    const std::string& name() const noexcept { return name_; }
+    std::size_t capacity() const noexcept { return capacity_; }
+    /// Bytes currently handed out (payload only, headers excluded).
+    std::size_t used() const;
+
+    /// Free-list introspection for tests and the ablation bench.
+    std::size_t free_block_count() const;
+    std::size_t largest_free_block() const;
+
+private:
+    // Header preceding every block (allocated or free). Blocks form an
+    // address-ordered doubly linked list covering the whole arena (for
+    // coalescing); free blocks are additionally threaded through a
+    // doubly-linked free list so allocation walks only free blocks.
+    struct BlockHeader {
+        std::size_t size; ///< payload bytes following the header
+        bool free;
+        BlockHeader* next;      ///< address order
+        BlockHeader* prev;      ///< address order
+        BlockHeader* next_free; ///< free list
+        BlockHeader* prev_free; ///< free list
+    };
+
+    static constexpr std::size_t kAlign = alignof(std::max_align_t);
+    static constexpr std::size_t kHeaderSize =
+        (sizeof(BlockHeader) + kAlign - 1) & ~(kAlign - 1);
+    static constexpr std::size_t kMinPayload = kAlign;
+
+    void reset_locked();
+    void push_free(BlockHeader* b) noexcept;
+    void remove_free(BlockHeader* b) noexcept;
+    static std::byte* payload_of(BlockHeader* b) noexcept {
+        return reinterpret_cast<std::byte*>(b) + kHeaderSize;
+    }
+    static BlockHeader* header_of(void* payload) noexcept {
+        return reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(payload) -
+                                              kHeaderSize);
+    }
+
+    std::string name_;
+    std::size_t capacity_;
+    std::unique_ptr<std::byte[]> storage_;
+    BlockHeader* head_ = nullptr;      ///< first block by address
+    BlockHeader* free_head_ = nullptr; ///< free-list head
+    std::size_t used_ = 0;
+    mutable std::mutex mu_;
+    std::atomic<int> entries_{0};
+};
+
+} // namespace compadres::memory

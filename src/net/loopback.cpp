@@ -1,0 +1,54 @@
+#include "net/transport.hpp"
+
+#include "rt/queue.hpp"
+
+#include <memory>
+
+namespace compadres::net {
+
+namespace {
+
+using FrameQueue = rt::BoundedQueue<std::vector<std::uint8_t>>;
+
+class LoopbackTransport final : public Transport {
+public:
+    LoopbackTransport(std::shared_ptr<FrameQueue> tx,
+                      std::shared_ptr<FrameQueue> rx, std::string label)
+        : tx_(std::move(tx)), rx_(std::move(rx)), label_(std::move(label)) {}
+
+    ~LoopbackTransport() override { close(); }
+
+    void send_frame(const std::vector<std::uint8_t>& frame) override {
+        if (tx_->push(frame) == rt::PushResult::kClosed) {
+            throw TransportError("loopback peer closed");
+        }
+    }
+
+    std::optional<std::vector<std::uint8_t>> recv_frame() override {
+        return rx_->pop();
+    }
+
+    void close() override {
+        tx_->close();
+        rx_->close();
+    }
+
+    std::string peer_description() const override { return label_; }
+
+private:
+    std::shared_ptr<FrameQueue> tx_;
+    std::shared_ptr<FrameQueue> rx_;
+    std::string label_;
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair(std::size_t queue_capacity) {
+    auto a_to_b = std::make_shared<FrameQueue>(queue_capacity);
+    auto b_to_a = std::make_shared<FrameQueue>(queue_capacity);
+    return {std::make_unique<LoopbackTransport>(a_to_b, b_to_a, "loopback:a"),
+            std::make_unique<LoopbackTransport>(b_to_a, a_to_b, "loopback:b")};
+}
+
+} // namespace compadres::net

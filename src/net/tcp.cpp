@@ -1,0 +1,166 @@
+#include "net/tcp.hpp"
+
+#include "cdr/giop.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace compadres::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+    throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Read exactly n bytes; false on orderly EOF at a frame boundary.
+bool read_exact(int fd, std::uint8_t* dst, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, dst + got, n - got);
+        if (r == 0) {
+            if (got == 0) return false;
+            throw TransportError("connection truncated mid-frame");
+        }
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            fail_errno("read");
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+void write_all(int fd, const std::uint8_t* src, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t w = ::write(fd, src + sent, n - sent);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            fail_errno("write");
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+}
+
+class TcpTransport final : public Transport {
+public:
+    TcpTransport(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {
+        set_nodelay(fd_);
+    }
+
+    ~TcpTransport() override { close(); }
+
+    void send_frame(const std::vector<std::uint8_t>& frame) override {
+        if (fd_ < 0) throw TransportError("transport closed");
+        write_all(fd_, frame.data(), frame.size());
+    }
+
+    std::optional<std::vector<std::uint8_t>> recv_frame() override {
+        if (fd_ < 0) return std::nullopt;
+        std::vector<std::uint8_t> frame(cdr::GiopHeader::kSize);
+        if (!read_exact(fd_, frame.data(), frame.size())) return std::nullopt;
+        const cdr::GiopHeader header =
+            cdr::decode_header(frame.data(), frame.size());
+        frame.resize(cdr::GiopHeader::kSize + header.message_size);
+        if (header.message_size > 0 &&
+            !read_exact(fd_, frame.data() + cdr::GiopHeader::kSize,
+                        header.message_size)) {
+            throw TransportError("connection truncated mid-frame");
+        }
+        return frame;
+    }
+
+    void close() override {
+        if (fd_ >= 0) {
+            ::shutdown(fd_, SHUT_RDWR);
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    std::string peer_description() const override { return peer_; }
+
+private:
+    int fd_;
+    std::string peer_;
+};
+
+} // namespace
+
+std::unique_ptr<Transport> tcp_connect(const std::string& host,
+                                       std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail_errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw TransportError("bad IPv4 address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        fail_errno("connect to " + host + ":" + std::to_string(port));
+    }
+    return std::make_unique<TcpTransport>(fd, host + ":" + std::to_string(port));
+}
+
+TcpAcceptor::TcpAcceptor(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) fail_errno("socket");
+    int one = 1;
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        fail_errno("bind");
+    }
+    if (::listen(fd_, 16) != 0) fail_errno("listen");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        fail_errno("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpAcceptor::~TcpAcceptor() { close(); }
+
+std::unique_ptr<Transport> TcpAcceptor::accept() {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+        if (errno == EBADF || errno == EINVAL) return nullptr; // closed
+        fail_errno("accept");
+    }
+    char buf[INET_ADDRSTRLEN] = {};
+    inet_ntop(AF_INET, &peer.sin_addr, buf, sizeof(buf));
+    return std::make_unique<TcpTransport>(
+        fd, std::string(buf) + ":" + std::to_string(ntohs(peer.sin_port)));
+}
+
+void TcpAcceptor::close() {
+    if (fd_ >= 0) {
+        ::shutdown(fd_, SHUT_RDWR);
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace compadres::net

@@ -1,0 +1,43 @@
+// TCP transport with GIOP-aware framing.
+//
+// A frame on the wire is a GIOP message: the receiver reads the fixed
+// 12-byte header, extracts message_size, and reads exactly that many more
+// bytes. TCP_NODELAY is set — request/reply traffic at message sizes of
+// 32-1024 B would otherwise serialize behind Nagle.
+#pragma once
+
+#include "net/transport.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace compadres::net {
+
+/// Connect to a listening acceptor. Throws TransportError on failure.
+std::unique_ptr<Transport> tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Listening socket; accept() yields one Transport per connection.
+class TcpAcceptor {
+public:
+    /// Binds and listens on 127.0.0.1:`port`; port 0 picks a free port
+    /// (see bound_port()).
+    explicit TcpAcceptor(std::uint16_t port);
+    ~TcpAcceptor();
+
+    TcpAcceptor(const TcpAcceptor&) = delete;
+    TcpAcceptor& operator=(const TcpAcceptor&) = delete;
+
+    std::uint16_t bound_port() const noexcept { return port_; }
+
+    /// Block for the next connection; nullptr after close().
+    std::unique_ptr<Transport> accept();
+
+    void close();
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace compadres::net

@@ -1,0 +1,46 @@
+// Frame transports.
+//
+// Both ORBs exchange self-contained GIOP frames. The evaluation (paper
+// §3.3) ran client and server "on a single machine connected via loopback
+// network"; we provide an in-process loopback transport for the benches
+// and a real TCP transport (with GIOP-aware framing) for distributed use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace compadres::net {
+
+class TransportError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Blocking, frame-oriented, bidirectional byte channel.
+class Transport {
+public:
+    virtual ~Transport() = default;
+
+    /// Ship one complete frame. Throws TransportError if the peer is gone.
+    virtual void send_frame(const std::vector<std::uint8_t>& frame) = 0;
+
+    /// Block for the next frame; empty optional when the channel closed.
+    virtual std::optional<std::vector<std::uint8_t>> recv_frame() = 0;
+
+    /// Close both directions; unblocks any pending recv.
+    virtual void close() = 0;
+
+    virtual std::string peer_description() const = 0;
+};
+
+/// In-process bidirectional pipe: two endpoints connected by bounded
+/// queues. `queue_capacity` bounds in-flight frames per direction.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair(std::size_t queue_capacity = 64);
+
+} // namespace compadres::net

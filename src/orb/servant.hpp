@@ -1,0 +1,43 @@
+// Servant interface shared by the Compadres ORB and the RTZen-style
+// baseline, so the Fig. 11 comparison dispatches identical user code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace compadres::orb {
+
+/// A servant handles one operation invocation: it reads the request
+/// payload and fills the reply. Returning false maps to a CORBA user
+/// exception in the reply status.
+using Servant = std::function<bool(const std::string& operation,
+                                   const std::uint8_t* payload,
+                                   std::size_t payload_len,
+                                   std::vector<std::uint8_t>& reply)>;
+
+/// Object-key -> servant map. Lives in immortal memory conceptually (it is
+/// owned by the ORB component and survives for the ORB's lifetime).
+class ServantRegistry {
+public:
+    void register_servant(const std::string& object_key, Servant servant) {
+        std::lock_guard lk(mu_);
+        servants_[object_key] = std::move(servant);
+    }
+
+    /// nullptr if the key is unknown (maps to OBJECT_NOT_EXIST).
+    const Servant* find(const std::string& object_key) const {
+        std::lock_guard lk(mu_);
+        auto it = servants_.find(object_key);
+        return it == servants_.end() ? nullptr : &it->second;
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, Servant> servants_;
+};
+
+} // namespace compadres::orb

@@ -1,0 +1,152 @@
+#include "remote/bridge.hpp"
+
+#include "cdr/giop.hpp"
+
+#include <cstdio>
+
+namespace compadres::remote {
+
+namespace {
+constexpr const char* kBridgeObjectKey = "compadres.bridge";
+} // namespace
+
+/// Type-erased handler on an export route's In port: serialize and ship.
+class RemoteBridge::ExportHandler final : public core::MessageHandlerBase {
+public:
+    ExportHandler(RemoteBridge& bridge, const Serializer& serializer,
+                  std::string route, int priority)
+        : bridge_(&bridge), serializer_(&serializer), route_(std::move(route)),
+          priority_(priority) {}
+
+    void process_raw(void* msg, core::Smm&) override {
+        cdr::OutputStream body;
+        body.write_ulong(static_cast<std::uint32_t>(priority_));
+        serializer_->encode(msg, body);
+
+        cdr::RequestHeader header;
+        header.request_id = 0;
+        header.response_expected = false;
+        header.object_key = kBridgeObjectKey;
+        header.operation = route_;
+        bridge_->wire_->send_frame(cdr::encode_request(
+            header, body.buffer().data(), body.buffer().size()));
+        bridge_->sent_.fetch_add(1);
+    }
+
+private:
+    RemoteBridge* bridge_;
+    const Serializer* serializer_;
+    std::string route_;
+    int priority_;
+};
+
+RemoteBridge::RemoteBridge(core::Application& app,
+                           std::unique_ptr<net::Transport> wire,
+                           std::string name)
+    : app_(&app), name_(std::move(name)), wire_(std::move(wire)) {
+    register_builtin_serializers();
+    component_ = &app_->create_immortal<core::Component>(name_);
+}
+
+RemoteBridge::~RemoteBridge() { shutdown(); }
+
+void RemoteBridge::export_route(core::OutPortBase& local_out,
+                                const std::string& route) {
+    if (started_.load()) {
+        throw BridgeError("cannot add routes after start()");
+    }
+    const Serializer& serializer =
+        SerializerRegistry::global().find(local_out.type());
+    // A sync In port on the bridge component: the sending component's
+    // thread serializes and writes the frame (natural backpressure).
+    core::InPortConfig cfg;
+    cfg.buffer_size = 16;
+    cfg.min_threads = cfg.max_threads = 0;
+    auto* handler = component_->region().make<ExportHandler>(
+        *this, serializer, route, local_out.default_priority());
+    core::InPortBase& in = component_->add_in_port_erased(
+        "exp" + std::to_string(next_port_id_++) + ":" + route,
+        local_out.type(), local_out.type_name(), cfg, *handler);
+    app_->connect(local_out, in);
+}
+
+void RemoteBridge::import_route(const std::string& route,
+                                core::InPortBase& local_in, int priority) {
+    if (started_.load()) {
+        throw BridgeError("cannot add routes after start()");
+    }
+    std::lock_guard lk(mu_);
+    if (imports_.count(route) != 0) {
+        throw BridgeError("route '" + route + "' already imported");
+    }
+    const Serializer& serializer =
+        SerializerRegistry::global().find(local_in.type());
+    core::OutPortBase& out = component_->add_out_port_erased(
+        "imp" + std::to_string(next_port_id_++) + ":" + route, local_in.type(),
+        local_in.type_name());
+    app_->connect(out, local_in);
+    imports_[route] = ImportRoute{&out, &serializer, priority};
+}
+
+void RemoteBridge::start() {
+    if (started_.exchange(true)) return;
+    reader_ = std::make_unique<rt::RtThread>(name_ + "-reader", rt::Priority{},
+                                             [this] { reader_loop(); });
+}
+
+void RemoteBridge::reader_loop() {
+    for (;;) {
+        std::optional<std::vector<std::uint8_t>> frame;
+        try {
+            frame = wire_->recv_frame();
+        } catch (const std::exception&) {
+            return;
+        }
+        if (!frame.has_value()) return;
+        handle_frame(frame->data(), frame->size());
+    }
+}
+
+void RemoteBridge::handle_frame(const std::uint8_t* frame, std::size_t size) {
+    received_.fetch_add(1);
+    try {
+        const cdr::DecodedRequest req = cdr::decode_request(frame, size);
+        if (req.header.object_key != kBridgeObjectKey) {
+            dropped_.fetch_add(1);
+            return;
+        }
+        ImportRoute route;
+        {
+            std::lock_guard lk(mu_);
+            auto it = imports_.find(req.header.operation);
+            if (it == imports_.end()) {
+                dropped_.fetch_add(1);
+                return;
+            }
+            route = it->second;
+        }
+        cdr::InputStream body(req.payload, req.payload_len);
+        const auto carried_priority = static_cast<int>(body.read_ulong());
+        void* msg = route.out->get_message_raw();
+        try {
+            route.serializer->decode(msg, body);
+        } catch (...) {
+            route.out->pool()->release_raw(msg);
+            throw;
+        }
+        route.out->send_raw(msg, route.priority >= 0 ? route.priority
+                                                     : carried_priority);
+    } catch (const std::exception& e) {
+        dropped_.fetch_add(1);
+        std::fprintf(stderr, "[compadres] bridge %s dropped a frame: %s\n",
+                     name_.c_str(), e.what());
+    }
+}
+
+void RemoteBridge::shutdown() {
+    if (stopped_.exchange(true)) return;
+    if (wire_ != nullptr) wire_->close();
+    if (reader_ != nullptr) reader_->join();
+}
+
+} // namespace compadres::remote

@@ -1,0 +1,99 @@
+// RemoteBridge — transparent remote port connections.
+//
+// Paper §5 (future work): "code generation for transparently handling
+// remote communication over a network." A RemoteBridge pairs two
+// applications (usually on different hosts) over one frame transport:
+//
+//   host A                                   host B
+//   sensor.out ──connect──▶ [bridge:export] ~~~wire~~~ [bridge:import] ──▶ fusion.in
+//
+// Each side owns an immortal "bridge" component inside its application.
+// Exported routes get a type-erased In port whose handler serializes the
+// message (via the SerializerRegistry) and ships a frame; imported routes
+// get a type-erased Out port that the reader thread feeds from incoming
+// frames. Both directions can share one wire. Components on either side
+// are completely unaware of the network, exactly as the paper envisioned.
+//
+// Wire format: GIOP Request frames (interoperable with the repository's
+// TCP framing): object_key "compadres.bridge", operation = route name,
+// response_expected = false, payload = CDR [ulong priority, encoded msg].
+#pragma once
+
+#include "core/application.hpp"
+#include "net/transport.hpp"
+#include "remote/serializer.hpp"
+#include "rt/thread.hpp"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace compadres::remote {
+
+class BridgeError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class RemoteBridge {
+public:
+    /// Creates the bridge component inside `app` (immortal memory) and
+    /// adopts the wire. Call export_route/import_route, then start().
+    RemoteBridge(core::Application& app, std::unique_ptr<net::Transport> wire,
+                 std::string name = "RemoteBridge");
+    ~RemoteBridge();
+
+    RemoteBridge(const RemoteBridge&) = delete;
+    RemoteBridge& operator=(const RemoteBridge&) = delete;
+
+    /// Ship everything `local_out` sends to the peer under `route`.
+    /// The message type must have a registered serializer.
+    void export_route(core::OutPortBase& local_out, const std::string& route);
+
+    /// Deliver frames arriving under `route` into `local_in`. Messages are
+    /// drawn from the connection's pool and sent at `priority` (or, when
+    /// priority < 0, at the priority carried in the frame).
+    void import_route(const std::string& route, core::InPortBase& local_in,
+                      int priority = -1);
+
+    /// Spawn the reader thread. Routes may not be added after start().
+    void start();
+
+    /// Close the wire and join the reader. Idempotent.
+    void shutdown();
+
+    std::uint64_t frames_sent() const noexcept { return sent_.load(); }
+    std::uint64_t frames_received() const noexcept { return received_.load(); }
+    /// Frames dropped because their route was unknown or decoding failed.
+    std::uint64_t frames_dropped() const noexcept { return dropped_.load(); }
+
+private:
+    struct ImportRoute {
+        core::OutPortBase* out = nullptr;
+        const Serializer* serializer = nullptr;
+        int priority = -1;
+    };
+
+    class ExportHandler;
+
+    void reader_loop();
+    void handle_frame(const std::uint8_t* frame, std::size_t size);
+
+    core::Application* app_;
+    std::string name_;
+    core::Component* component_ = nullptr; // lives in the app's immortal
+    std::unique_ptr<net::Transport> wire_;
+    std::mutex mu_;
+    std::map<std::string, ImportRoute> imports_;
+    std::unique_ptr<rt::RtThread> reader_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<std::uint64_t> sent_{0};
+    std::atomic<std::uint64_t> received_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    int next_port_id_ = 0;
+};
+
+} // namespace compadres::remote

@@ -1,0 +1,58 @@
+#include "remote/serializer.hpp"
+
+#include "core/messages.hpp"
+
+namespace compadres::remote {
+
+SerializerRegistry& SerializerRegistry::global() {
+    static SerializerRegistry instance;
+    return instance;
+}
+
+void SerializerRegistry::add(const Serializer& serializer) {
+    by_type_.insert_or_assign(serializer.type, serializer);
+}
+
+bool SerializerRegistry::has(std::type_index type) const {
+    return by_type_.count(type) != 0;
+}
+
+const Serializer& SerializerRegistry::find(std::type_index type) const {
+    auto it = by_type_.find(type);
+    if (it == by_type_.end()) {
+        throw SerializationError(
+            "no serializer registered for message type (typeid " +
+            std::string(type.name()) + ")");
+    }
+    return it->second;
+}
+
+const Serializer* SerializerRegistry::find_by_name(
+    const std::string& type_name) const noexcept {
+    for (const auto& [type, s] : by_type_) {
+        if (s.type_name == type_name) return &s;
+    }
+    return nullptr;
+}
+
+void register_builtin_serializers() {
+    auto& reg = SerializerRegistry::global();
+    reg.register_pod<core::MyInteger>("MyInteger");
+    reg.register_pod<core::TextMessage>("String");
+    reg.register_pod<core::SensorSample>("SensorSample");
+    // OctetSeq: ship only the filled prefix, not the whole 4 KiB buffer.
+    reg.register_custom<core::OctetSeq>(
+        "OctetSeq",
+        [](const core::OctetSeq& msg, cdr::OutputStream& out) {
+            out.write_octet_seq(msg.data.data(), msg.length);
+        },
+        [](core::OctetSeq& msg, cdr::InputStream& in) {
+            const auto [data, len] = in.read_octet_seq_view();
+            if (len > core::OctetSeq::kCapacity) {
+                throw SerializationError("OctetSeq payload exceeds capacity");
+            }
+            msg.assign(data, len);
+        });
+}
+
+} // namespace compadres::remote

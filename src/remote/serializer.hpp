@@ -1,0 +1,97 @@
+// Message serializers for remote port connections.
+//
+// The paper lists "code generation for transparently handling remote
+// communication over a network" as future work; this module (with
+// remote/bridge.hpp) implements it. Because Compadres messages are
+// RTSJ-safe flat value types, most serialize as a single octet run;
+// types with a fill level (like OctetSeq) register custom codecs so only
+// the meaningful bytes travel.
+#pragma once
+
+#include "cdr/cdr.hpp"
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <typeindex>
+
+namespace compadres::remote {
+
+class SerializationError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+struct Serializer {
+    std::string type_name;
+    std::type_index type = std::type_index(typeid(void));
+    std::function<void(const void* msg, cdr::OutputStream& out)> encode;
+    std::function<void(void* msg, cdr::InputStream& in)> decode;
+};
+
+class SerializerRegistry {
+public:
+    static SerializerRegistry& global();
+
+    /// Whole-struct codec for trivially copyable message types.
+    template <typename T>
+    void register_pod(const std::string& type_name) {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "register_pod requires a trivially copyable message");
+        Serializer s;
+        s.type_name = type_name;
+        s.type = std::type_index(typeid(T));
+        s.encode = [](const void* msg, cdr::OutputStream& out) {
+            out.write_octet_seq(static_cast<const std::uint8_t*>(msg),
+                                sizeof(T));
+        };
+        s.decode = [](void* msg, cdr::InputStream& in) {
+            const auto [data, len] = in.read_octet_seq_view();
+            if (len != sizeof(T)) {
+                throw SerializationError(
+                    "POD size mismatch: got " + std::to_string(len) +
+                    " bytes, expected " + std::to_string(sizeof(T)));
+            }
+            std::memcpy(msg, data, len);
+        };
+        add(s);
+    }
+
+    /// Custom codec (used when shipping the whole struct would waste wire
+    /// bytes, e.g. partially-filled buffers).
+    template <typename T>
+    void register_custom(const std::string& type_name,
+                         std::function<void(const T&, cdr::OutputStream&)> encode,
+                         std::function<void(T&, cdr::InputStream&)> decode) {
+        Serializer s;
+        s.type_name = type_name;
+        s.type = std::type_index(typeid(T));
+        s.encode = [encode = std::move(encode)](const void* msg,
+                                                cdr::OutputStream& out) {
+            encode(*static_cast<const T*>(msg), out);
+        };
+        s.decode = [decode = std::move(decode)](void* msg,
+                                                cdr::InputStream& in) {
+            decode(*static_cast<T*>(msg), in);
+        };
+        add(s);
+    }
+
+    bool has(std::type_index type) const;
+    const Serializer& find(std::type_index type) const;
+    const Serializer* find_by_name(const std::string& type_name) const noexcept;
+
+private:
+    void add(const Serializer& serializer);
+    std::map<std::type_index, Serializer> by_type_;
+};
+
+/// Registers codecs for the built-in message types: POD codecs for
+/// MyInteger/TextMessage/SensorSample, a length-aware codec for OctetSeq.
+/// Idempotent.
+void register_builtin_serializers();
+
+} // namespace compadres::remote

@@ -1,0 +1,39 @@
+// Monotonic time source for latency measurement and pacing.
+//
+// All latency-sensitive code in this repository timestamps with
+// rt::now_ns() (CLOCK_MONOTONIC) so that wall-clock adjustments can never
+// corrupt a measurement, mirroring how the paper's testbed measured
+// round-trip times with the RTSJ high-resolution clock.
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+
+namespace compadres::rt {
+
+/// Nanoseconds since an arbitrary (but fixed) epoch; strictly monotonic.
+inline std::int64_t now_ns() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+/// Busy-wait for approximately `ns` nanoseconds without yielding the CPU.
+/// Used by the simulated-platform noise injectors, where a sleep would be
+/// descheduled and under-shoot badly at microsecond granularity.
+inline void busy_wait_ns(std::int64_t ns) noexcept {
+    const std::int64_t deadline = now_ns() + ns;
+    while (now_ns() < deadline) {
+        // spin
+    }
+}
+
+/// Sleep (blocking, kernel timer) for `ns` nanoseconds.
+inline void sleep_ns(std::int64_t ns) noexcept {
+    timespec ts{};
+    ts.tv_sec  = ns / 1'000'000'000;
+    ts.tv_nsec = ns % 1'000'000'000;
+    nanosleep(&ts, nullptr);
+}
+
+} // namespace compadres::rt

@@ -1,0 +1,81 @@
+#include "rt/periodic.hpp"
+
+#include <stdexcept>
+
+namespace compadres::rt {
+
+PeriodicTask::PeriodicTask(std::string name, Priority priority,
+                           std::int64_t period_ns, std::function<void()> body)
+    : name_(std::move(name)), priority_(priority), period_ns_(period_ns),
+      body_(std::move(body)) {
+    if (period_ns_ <= 0) {
+        throw std::invalid_argument("period must be positive");
+    }
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start() {
+    std::lock_guard lk(mu_);
+    if (started_) return;
+    started_ = true;
+    stopping_ = false;
+    thread_ = std::make_unique<RtThread>(name_, priority_, [this] { loop(); });
+}
+
+void PeriodicTask::stop() {
+    {
+        std::lock_guard lk(mu_);
+        if (!started_) return;
+        stopping_ = true;
+    }
+    stop_cv_.notify_all();
+    thread_->join();
+    std::lock_guard lk(mu_);
+    started_ = false;
+}
+
+bool PeriodicTask::sleep_until(std::int64_t deadline_ns) {
+    std::unique_lock lk(mu_);
+    return !stop_cv_.wait_for(lk,
+                              std::chrono::nanoseconds(deadline_ns - now_ns()),
+                              [&] { return stopping_; });
+}
+
+void PeriodicTask::loop() {
+    const std::int64_t origin = now_ns();
+    std::int64_t k = 1; // next release index
+    for (;;) {
+        const std::int64_t scheduled = origin + k * period_ns_;
+        if (now_ns() < scheduled) {
+            if (!sleep_until(scheduled)) return;
+        }
+        {
+            std::lock_guard lk(mu_);
+            if (stopping_) return;
+        }
+        const std::int64_t released = now_ns();
+        {
+            std::lock_guard lk(stats_mu_);
+            jitter_.record(released - scheduled);
+        }
+        releases_.fetch_add(1);
+        body_();
+        // Overrun policy: if the body ran past one or more further release
+        // points, count the overrun and skip to the next future release.
+        const std::int64_t finished = now_ns();
+        std::int64_t next = k + 1;
+        if (finished >= origin + next * period_ns_) {
+            overruns_.fetch_add(1);
+            next = (finished - origin) / period_ns_ + 1;
+        }
+        k = next;
+    }
+}
+
+StatsSummary PeriodicTask::release_jitter() const {
+    std::lock_guard lk(stats_mu_);
+    return jitter_.summarize();
+}
+
+} // namespace compadres::rt

@@ -1,0 +1,75 @@
+// Periodic real-time tasks.
+//
+// DRE systems are built from periodic activities (sensor sampling, control
+// loops, heartbeats) — the workloads the paper's introduction motivates.
+// RTSJ models them as RealtimeThreads with PeriodicParameters and
+// waitForNextPeriod(); this is that abstraction: a thread released at
+// absolute period boundaries, with release-jitter statistics and
+// overrun (deadline-miss) accounting.
+#pragma once
+
+#include "rt/clock.hpp"
+#include "rt/stats.hpp"
+#include "rt/thread.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace compadres::rt {
+
+class PeriodicTask {
+public:
+    /// `body` runs once per period at `priority`. Releases are anchored to
+    /// absolute time (start + k*period), so execution-time variation does
+    /// not accumulate drift.
+    PeriodicTask(std::string name, Priority priority, std::int64_t period_ns,
+                 std::function<void()> body);
+    ~PeriodicTask();
+
+    PeriodicTask(const PeriodicTask&) = delete;
+    PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+    /// Begin releasing. The first release is one period after start().
+    void start();
+
+    /// Stop after the current release (if any) completes. Idempotent.
+    void stop();
+
+    const std::string& name() const noexcept { return name_; }
+    std::int64_t period_ns() const noexcept { return period_ns_; }
+
+    std::uint64_t release_count() const noexcept { return releases_.load(); }
+    /// Periods whose body overran into (at least) the next release; the
+    /// missed releases are skipped, not batched (the RTSJ "skip" policy).
+    std::uint64_t overrun_count() const noexcept { return overruns_.load(); }
+
+    /// Release jitter samples (ns): actual release time minus scheduled
+    /// release time. Snapshot; safe to call while running.
+    StatsSummary release_jitter() const;
+
+private:
+    void loop();
+    /// Sleep until the absolute monotonic time `deadline_ns`, unless
+    /// stopped. Returns false when stopping.
+    bool sleep_until(std::int64_t deadline_ns);
+
+    std::string name_;
+    Priority priority_;
+    std::int64_t period_ns_;
+    std::function<void()> body_;
+    std::unique_ptr<RtThread> thread_;
+    std::mutex mu_;
+    std::condition_variable stop_cv_;
+    bool stopping_ = false;
+    bool started_ = false;
+    std::atomic<std::uint64_t> releases_{0};
+    std::atomic<std::uint64_t> overruns_{0};
+    mutable std::mutex stats_mu_;
+    StatsRecorder jitter_;
+};
+
+} // namespace compadres::rt

@@ -1,0 +1,212 @@
+// Bounded blocking queues used for In-port message buffers and transports.
+//
+// The CCL <BufferSize> attribute bounds each In port's buffer; a bounded
+// queue is also what keeps memory use predictable on an embedded target.
+// Two flavours:
+//   * BoundedQueue<T>          — FIFO, used by transports.
+//   * PriorityBoundedQueue<T>  — pops the highest-priority element first;
+//     ties break FIFO. This is the dispatch order the paper specifies for
+//     In ports ("messages are assigned a priority in the send() method").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace compadres::rt {
+
+/// Result of a push attempt on a bounded queue.
+enum class PushResult {
+    kOk,        ///< element enqueued
+    kFull,      ///< non-blocking push found the queue full
+    kClosed,    ///< queue was closed; element rejected
+};
+
+/// Mutex+condvar bounded MPMC FIFO. Throughput is far beyond what the
+/// microsecond-scale middleware paths here need, and the blocking semantics
+/// (bounded, closable) are exactly what port buffers require.
+template <typename T>
+class BoundedQueue {
+public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+    /// Blocking push; waits while full. Returns kClosed if the queue is
+    /// closed before space becomes available.
+    PushResult push(T value) {
+        std::unique_lock lk(mu_);
+        not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return PushResult::kClosed;
+        items_.push_back(std::move(value));
+        lk.unlock();
+        not_empty_.notify_one();
+        return PushResult::kOk;
+    }
+
+    /// Non-blocking push.
+    PushResult try_push(T value) {
+        std::unique_lock lk(mu_);
+        if (closed_) return PushResult::kClosed;
+        if (items_.size() >= capacity_) return PushResult::kFull;
+        items_.push_back(std::move(value));
+        lk.unlock();
+        not_empty_.notify_one();
+        return PushResult::kOk;
+    }
+
+    /// Blocking pop; empty optional means the queue closed and drained.
+    std::optional<T> pop() {
+        std::unique_lock lk(mu_);
+        not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return std::nullopt;
+        T v = std::move(items_.front());
+        items_.pop_front();
+        lk.unlock();
+        not_full_.notify_one();
+        return v;
+    }
+
+    /// Non-blocking pop.
+    std::optional<T> try_pop() {
+        std::unique_lock lk(mu_);
+        if (items_.empty()) return std::nullopt;
+        T v = std::move(items_.front());
+        items_.pop_front();
+        lk.unlock();
+        not_full_.notify_one();
+        return v;
+    }
+
+    /// Close: wakes all waiters; pushes fail, pops drain then return empty.
+    void close() {
+        {
+            std::lock_guard lk(mu_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    bool closed() const {
+        std::lock_guard lk(mu_);
+        return closed_;
+    }
+
+    std::size_t size() const {
+        std::lock_guard lk(mu_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+/// Bounded queue that delivers the highest-priority element first.
+/// Stable for equal priorities (FIFO among equals) so that a stream of
+/// same-priority messages is processed in send order, as a port user expects.
+template <typename T>
+class PriorityBoundedQueue {
+public:
+    explicit PriorityBoundedQueue(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1) {}
+
+    PushResult push(T value, int priority) {
+        std::unique_lock lk(mu_);
+        not_full_.wait(lk, [&] { return closed_ || heap_.size() < capacity_; });
+        if (closed_) return PushResult::kClosed;
+        heap_.push(Entry{priority, seq_++, std::move(value)});
+        lk.unlock();
+        not_empty_.notify_one();
+        return PushResult::kOk;
+    }
+
+    PushResult try_push(T value, int priority) {
+        std::unique_lock lk(mu_);
+        if (closed_) return PushResult::kClosed;
+        if (heap_.size() >= capacity_) return PushResult::kFull;
+        heap_.push(Entry{priority, seq_++, std::move(value)});
+        lk.unlock();
+        not_empty_.notify_one();
+        return PushResult::kOk;
+    }
+
+    /// Blocking pop of the highest-priority element; empty optional on close.
+    /// The element's priority is returned alongside it so the dispatching
+    /// thread can inherit it (paper: the pool thread "is assigned the
+    /// priority of the incoming message").
+    std::optional<std::pair<T, int>> pop() {
+        std::unique_lock lk(mu_);
+        not_empty_.wait(lk, [&] { return closed_ || !heap_.empty(); });
+        if (heap_.empty()) return std::nullopt;
+        // std::priority_queue::top() returns const&; the entry is moved out
+        // via const_cast, which is safe because it is popped immediately.
+        Entry& top = const_cast<Entry&>(heap_.top());
+        std::pair<T, int> out{std::move(top.value), top.priority};
+        heap_.pop();
+        lk.unlock();
+        not_full_.notify_one();
+        return out;
+    }
+
+    std::optional<std::pair<T, int>> try_pop() {
+        std::unique_lock lk(mu_);
+        if (heap_.empty()) return std::nullopt;
+        Entry& top = const_cast<Entry&>(heap_.top());
+        std::pair<T, int> out{std::move(top.value), top.priority};
+        heap_.pop();
+        lk.unlock();
+        not_full_.notify_one();
+        return out;
+    }
+
+    void close() {
+        {
+            std::lock_guard lk(mu_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    std::size_t size() const {
+        std::lock_guard lk(mu_);
+        return heap_.size();
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    struct Entry {
+        int priority;
+        std::uint64_t seq;
+        T value;
+    };
+    struct Order {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.priority != b.priority) return a.priority < b.priority;
+            return a.seq > b.seq; // earlier sequence wins among equals
+        }
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::priority_queue<Entry, std::vector<Entry>, Order> heap_;
+    std::uint64_t seq_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace compadres::rt

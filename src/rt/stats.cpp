@@ -1,0 +1,84 @@
+#include "rt/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace compadres::rt {
+
+void StatsRecorder::discard_warmup(std::size_t n) {
+    if (n >= samples_.size()) {
+        samples_.clear();
+        return;
+    }
+    samples_.erase(samples_.begin(),
+                   samples_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+std::int64_t StatsRecorder::percentile(double q) const {
+    if (samples_.empty()) return 0;
+    if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile out of range");
+    std::vector<std::int64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (q == 0.0) return sorted.front();
+    // Nearest-rank: ceil(q/100 * N), 1-indexed.
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+StatsSummary StatsRecorder::summarize() const {
+    StatsSummary s;
+    if (samples_.empty()) return s;
+    std::vector<std::int64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    s.count = sorted.size();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.median = sorted[sorted.size() / 2];
+    const auto total = std::accumulate(sorted.begin(), sorted.end(),
+                                       static_cast<std::int64_t>(0));
+    s.mean = total / static_cast<std::int64_t>(sorted.size());
+    const auto rank = [&](double q) {
+        const auto r = static_cast<std::size_t>(
+            std::ceil(q / 100.0 * static_cast<double>(sorted.size())));
+        return sorted[std::min(std::max<std::size_t>(r, 1), sorted.size()) - 1];
+    };
+    s.p90 = rank(90.0);
+    s.p99 = rank(99.0);
+    s.jitter = s.max - s.min;
+    return s;
+}
+
+std::vector<std::size_t> StatsRecorder::histogram(std::int64_t lo, std::int64_t hi,
+                                                  std::size_t buckets) const {
+    if (buckets == 0 || hi <= lo) throw std::invalid_argument("bad histogram spec");
+    std::vector<std::size_t> out(buckets, 0);
+    const double width = static_cast<double>(hi - lo) / static_cast<double>(buckets);
+    for (const auto v : samples_) {
+        auto idx = static_cast<std::ptrdiff_t>(
+            std::floor(static_cast<double>(v - lo) / width));
+        idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                         static_cast<std::ptrdiff_t>(buckets) - 1);
+        ++out[static_cast<std::size_t>(idx)];
+    }
+    return out;
+}
+
+std::string StatsRecorder::format_row_us(const std::string& label,
+                                         const StatsSummary& s) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-28s median=%8.1fus jitter=%8.1fus min=%8.1fus max=%8.1fus n=%zu",
+                  label.c_str(),
+                  static_cast<double>(s.median) / 1000.0,
+                  static_cast<double>(s.jitter) / 1000.0,
+                  static_cast<double>(s.min) / 1000.0,
+                  static_cast<double>(s.max) / 1000.0,
+                  s.count);
+    return buf;
+}
+
+} // namespace compadres::rt

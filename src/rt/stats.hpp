@@ -1,0 +1,72 @@
+// Latency statistics used by every benchmark harness in bench/.
+//
+// The paper reports, for each configuration, the median round-trip time and
+// the jitter (defined in §3.1 as the range of the observations, i.e.
+// max - min) over 10,000 steady-state samples. StatsRecorder reproduces
+// exactly those statistics plus percentiles and a fixed-bucket histogram for
+// the Fig. 9 / Fig. 11 style whisker series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace compadres::rt {
+
+/// Summary of a latency sample set, in nanoseconds.
+struct StatsSummary {
+    std::size_t  count = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    std::int64_t median = 0;
+    std::int64_t mean = 0;
+    std::int64_t p90 = 0;
+    std::int64_t p99 = 0;
+    /// Range of observations (max - min) — the paper's jitter metric.
+    std::int64_t jitter = 0;
+};
+
+/// Accumulates raw latency samples and computes order statistics on demand.
+///
+/// Samples are stored verbatim (a 10k-sample run is 80 KB) so that exact
+/// order statistics — not streaming approximations — are reported, matching
+/// the paper's measurement methodology.
+class StatsRecorder {
+public:
+    StatsRecorder() = default;
+    explicit StatsRecorder(std::size_t expected_samples) {
+        samples_.reserve(expected_samples);
+    }
+
+    void record(std::int64_t sample_ns) { samples_.push_back(sample_ns); }
+
+    /// Drop the first `n` samples — used to discard warm-up iterations so
+    /// only steady-state observations are summarized (paper §3.1).
+    void discard_warmup(std::size_t n);
+
+    void clear() { samples_.clear(); }
+
+    std::size_t count() const noexcept { return samples_.size(); }
+    const std::vector<std::int64_t>& samples() const noexcept { return samples_; }
+
+    /// Exact percentile by nearest-rank on a sorted copy. `q` in [0, 100].
+    std::int64_t percentile(double q) const;
+
+    StatsSummary summarize() const;
+
+    /// Histogram over [lo, hi) with `buckets` equal-width buckets; samples
+    /// outside the range are clamped into the first/last bucket.
+    std::vector<std::size_t> histogram(std::int64_t lo, std::int64_t hi,
+                                       std::size_t buckets) const;
+
+    /// Render a one-line table row: "label  median  jitter  min  max" in
+    /// microseconds, the unit the paper's tables use.
+    static std::string format_row_us(const std::string& label,
+                                     const StatsSummary& s);
+
+private:
+    std::vector<std::int64_t> samples_;
+};
+
+} // namespace compadres::rt

@@ -1,0 +1,190 @@
+#include "rtzen/rtzen.hpp"
+
+#include "cdr/giop.hpp"
+
+namespace compadres::rtzen {
+
+// ---------------------------------------------------------------- client
+
+RtzenClientOrb::RtzenClientOrb(std::unique_ptr<net::Transport> wire)
+    : immortal_(1024 * 1024, "rtzen-client-immortal"),
+      transport_scope_(256 * 1024, "rtzen-client-transport"),
+      processing_scope_(256 * 1024, "rtzen-client-processing"),
+      transport_entry_(transport_scope_, immortal_),
+      processing_entry_(processing_scope_, transport_scope_),
+      wire_(std::move(wire)) {}
+
+RtzenClientOrb::~RtzenClientOrb() {
+    if (wire_ != nullptr) wire_->close();
+}
+
+std::vector<std::uint8_t> RtzenClientOrb::invoke(const std::string& object_key,
+                                                 const std::string& operation,
+                                                 const std::uint8_t* payload,
+                                                 std::size_t payload_len,
+                                                 int priority) {
+    std::lock_guard lk(invoke_mu_);
+    rt::try_set_current_thread_priority(rt::Priority::clamped(priority));
+
+    // "MessageProcessing layer", inlined: marshal the request.
+    cdr::RequestHeader header;
+    header.request_id = next_request_id_++;
+    header.response_expected = true;
+    header.object_key = object_key;
+    header.operation = operation;
+    const auto frame = cdr::encode_request(header, payload, payload_len);
+
+    // "Transport layer": blocking exchange on the wire.
+    wire_->send_frame(frame);
+    const auto reply_frame = wire_->recv_frame();
+    if (!reply_frame.has_value()) {
+        throw RtzenError("connection closed awaiting reply");
+    }
+
+    // Demarshal the reply.
+    const cdr::DecodedReply reply =
+        cdr::decode_reply(reply_frame->data(), reply_frame->size());
+    if (reply.header.request_id != header.request_id) {
+        throw RtzenError("reply correlation mismatch");
+    }
+    if (reply.header.status != cdr::ReplyStatus::kNoException) {
+        throw RtzenError("invocation '" + operation + "' failed with status " +
+                         std::to_string(static_cast<int>(reply.header.status)));
+    }
+    return {reply.payload, reply.payload + reply.payload_len};
+}
+
+void RtzenClientOrb::invoke_oneway(const std::string& object_key,
+                                   const std::string& operation,
+                                   const std::uint8_t* payload,
+                                   std::size_t payload_len, int priority) {
+    std::lock_guard lk(invoke_mu_);
+    rt::try_set_current_thread_priority(rt::Priority::clamped(priority));
+    cdr::RequestHeader header;
+    header.request_id = next_request_id_++;
+    header.response_expected = false;
+    header.object_key = object_key;
+    header.operation = operation;
+    wire_->send_frame(cdr::encode_request(header, payload, payload_len));
+}
+
+bool RtzenClientOrb::ping(const std::string& object_key, int priority) {
+    std::lock_guard lk(invoke_mu_);
+    rt::try_set_current_thread_priority(rt::Priority::clamped(priority));
+    cdr::LocateRequestHeader header;
+    header.request_id = next_request_id_++;
+    header.object_key = object_key;
+    wire_->send_frame(cdr::encode_locate_request(header));
+    const auto reply_frame = wire_->recv_frame();
+    if (!reply_frame.has_value()) {
+        throw RtzenError("connection closed awaiting LocateReply");
+    }
+    const cdr::LocateReplyHeader reply =
+        cdr::decode_locate_reply(reply_frame->data(), reply_frame->size());
+    if (reply.request_id != header.request_id) {
+        throw RtzenError("LocateReply correlation mismatch");
+    }
+    return reply.status == cdr::LocateStatus::kObjectHere;
+}
+
+// ---------------------------------------------------------------- server
+
+RtzenServerOrb::RtzenServerOrb()
+    : immortal_(1024 * 1024, "rtzen-server-immortal"),
+      poa_scope_(256 * 1024, "rtzen-server-poa"),
+      transport_scope_(256 * 1024, "rtzen-server-transport"),
+      processing_scope_(256 * 1024, "rtzen-server-processing"),
+      poa_entry_(poa_scope_, immortal_),
+      transport_entry_(transport_scope_, poa_scope_),
+      processing_entry_(processing_scope_, transport_scope_) {}
+
+RtzenServerOrb::~RtzenServerOrb() { shutdown(); }
+
+void RtzenServerOrb::register_servant(const std::string& object_key,
+                                      orb::Servant servant) {
+    servants_.register_servant(object_key, std::move(servant));
+}
+
+void RtzenServerOrb::attach(std::unique_ptr<net::Transport> wire) {
+    std::lock_guard lk(mu_);
+    if (stopping_) throw RtzenError("server is shut down");
+    net::Transport* raw = wire.get();
+    wires_.push_back(std::move(wire));
+    readers_.push_back(std::make_unique<rt::RtThread>(
+        "rtzen-reader-" + std::to_string(readers_.size()), rt::Priority{},
+        [this, raw] { reader_loop(*raw); }));
+}
+
+void RtzenServerOrb::reader_loop(net::Transport& wire) {
+    for (;;) {
+        std::optional<std::vector<std::uint8_t>> frame;
+        try {
+            frame = wire.recv_frame();
+        } catch (const std::exception&) {
+            return;
+        }
+        if (!frame.has_value()) return;
+
+        // The whole POA -> Transport -> RequestProcessing chain runs as
+        // direct calls on this thread — the hand-coded structure the paper
+        // compares against.
+        try {
+            const cdr::GiopHeader header =
+                cdr::decode_header(frame->data(), frame->size());
+            if (header.msg_type == cdr::GiopMsgType::kLocateRequest) {
+                const cdr::LocateRequestHeader locate =
+                    cdr::decode_locate_request(frame->data(), frame->size());
+                cdr::LocateReplyHeader reply;
+                reply.request_id = locate.request_id;
+                reply.status = servants_.find(locate.object_key) != nullptr
+                                   ? cdr::LocateStatus::kObjectHere
+                                   : cdr::LocateStatus::kUnknownObject;
+                wire.send_frame(cdr::encode_locate_reply(reply));
+                continue;
+            }
+        } catch (const cdr::MarshalError&) {
+            continue; // unparseable header
+        } catch (const std::exception&) {
+            return; // transport failure
+        }
+        cdr::ReplyHeader reply_header;
+        std::vector<std::uint8_t> reply_payload;
+        try {
+            const cdr::DecodedRequest req =
+                cdr::decode_request(frame->data(), frame->size());
+            reply_header.request_id = req.header.request_id;
+            const orb::Servant* servant = servants_.find(req.header.object_key);
+            if (servant == nullptr) {
+                reply_header.status = cdr::ReplyStatus::kSystemException;
+            } else {
+                const bool ok = (*servant)(req.header.operation, req.payload,
+                                           req.payload_len, reply_payload);
+                reply_header.status = ok ? cdr::ReplyStatus::kNoException
+                                         : cdr::ReplyStatus::kUserException;
+            }
+            if (!req.header.response_expected) continue;
+        } catch (const cdr::MarshalError&) {
+            reply_header.status = cdr::ReplyStatus::kSystemException;
+        }
+        try {
+            wire.send_frame(cdr::encode_reply(reply_header, reply_payload.data(),
+                                              reply_payload.size()));
+        } catch (const std::exception&) {
+            return;
+        }
+    }
+}
+
+void RtzenServerOrb::shutdown() {
+    std::vector<std::unique_ptr<rt::RtThread>> readers;
+    {
+        std::lock_guard lk(mu_);
+        if (stopping_) return;
+        stopping_ = true;
+        for (auto& w : wires_) w->close();
+        readers.swap(readers_);
+    }
+    for (auto& r : readers) r->join();
+}
+
+} // namespace compadres::rtzen

@@ -1,0 +1,103 @@
+// RTZen-style baseline ORB — the paper's comparison point (§3.3).
+//
+// RTZen (Raman et al., Middleware 2005) is a hand-coded RT-CORBA ORB for
+// RTSJ: the same scoped-memory architecture as the Compadres ORB, but with
+// direct method calls between the ORB/Transport/MessageProcessing layers
+// instead of ports, message pools, SMMs, and per-port thread pools. The
+// original is not available, so this module reproduces its *relevant
+// difference*: identical GIOP/CDR wire format and identical region layout,
+// with the layers invoked as plain function calls on the caller's thread.
+// Whatever Fig. 11 measures between the two ORBs is therefore exactly the
+// component framework's overhead.
+#pragma once
+
+#include "memory/immortal.hpp"
+#include "memory/scope_pool.hpp"
+#include "net/transport.hpp"
+#include "orb/servant.hpp"
+#include "rt/thread.hpp"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace compadres::rtzen {
+
+class RtzenError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Hand-coded client ORB: invoke() marshals, sends, receives, and
+/// demarshals directly on the calling thread.
+class RtzenClientOrb {
+public:
+    explicit RtzenClientOrb(std::unique_ptr<net::Transport> wire);
+    ~RtzenClientOrb();
+
+    RtzenClientOrb(const RtzenClientOrb&) = delete;
+    RtzenClientOrb& operator=(const RtzenClientOrb&) = delete;
+
+    std::vector<std::uint8_t> invoke(const std::string& object_key,
+                                     const std::string& operation,
+                                     const std::uint8_t* payload,
+                                     std::size_t payload_len,
+                                     int priority = rt::Priority::kDefault);
+
+    /// Oneway invocation: send and return, no reply expected.
+    void invoke_oneway(const std::string& object_key,
+                       const std::string& operation,
+                       const std::uint8_t* payload, std::size_t payload_len,
+                       int priority = rt::Priority::kDefault);
+
+    /// GIOP LocateRequest probe: true iff the server hosts `object_key`.
+    bool ping(const std::string& object_key,
+              int priority = rt::Priority::kDefault);
+
+private:
+    // Region layout mirroring the Compadres client ORB (immortal ORB,
+    // scoped transport, scoped message processing) so memory behaviour is
+    // comparable; the layers just call each other directly.
+    memory::ImmortalMemory immortal_;
+    memory::LTScopedMemory transport_scope_;
+    memory::LTScopedMemory processing_scope_;
+    memory::ScopeHandle transport_entry_;
+    memory::ScopeHandle processing_entry_;
+    std::unique_ptr<net::Transport> wire_;
+    std::mutex invoke_mu_;
+    std::uint32_t next_request_id_ = 1;
+};
+
+/// Hand-coded server ORB: one reader thread per connection runs the whole
+/// POA -> Transport -> RequestProcessing chain as direct calls.
+class RtzenServerOrb {
+public:
+    RtzenServerOrb();
+    ~RtzenServerOrb();
+
+    RtzenServerOrb(const RtzenServerOrb&) = delete;
+    RtzenServerOrb& operator=(const RtzenServerOrb&) = delete;
+
+    void register_servant(const std::string& object_key, orb::Servant servant);
+    void attach(std::unique_ptr<net::Transport> wire);
+    void shutdown();
+
+private:
+    void reader_loop(net::Transport& wire);
+
+    memory::ImmortalMemory immortal_;
+    memory::LTScopedMemory poa_scope_;
+    memory::LTScopedMemory transport_scope_;
+    memory::LTScopedMemory processing_scope_;
+    memory::ScopeHandle poa_entry_;
+    memory::ScopeHandle transport_entry_;
+    memory::ScopeHandle processing_entry_;
+    orb::ServantRegistry servants_;
+    std::mutex mu_;
+    bool stopping_ = false;
+    std::vector<std::unique_ptr<net::Transport>> wires_;
+    std::vector<std::unique_ptr<rt::RtThread>> readers_;
+};
+
+} // namespace compadres::rtzen

@@ -1,0 +1,97 @@
+// Simulated execution platforms for the Table 2 / Fig. 9 experiment.
+//
+// The paper measured its co-located client/server example on three
+// platforms it had in the lab in 2007:
+//   1. TimeSys RTSJ RI on TimeSys RT-Linux   — RT VM on an RT OS,
+//   2. Sun Mackinac on SunOS 5.10            — RT VM on a *non*-RT OS,
+//   3. Sun JDK 1.4 (default GC) on Linux     — non-RT VM with a GC.
+//
+// None of those VMs can run here, so we reproduce the *causal mechanisms*
+// that produced their jitter profiles (see DESIGN.md §2):
+//   * TimesysRI  — quiet: no injected noise, message pooling on.
+//   * Mackinac   — RT allocation behaviour, plus low-rate "system thread"
+//     preemption slices injected at dispatch points (a non-RT OS lets
+//     system threads preempt the application; paper §3.1 attributes
+//     Mackinac's larger jitter to exactly this).
+//   * Jdk14      — message pooling charged as fresh heap allocation, and a
+//     stop-the-world pause injected once allocation volume crosses a
+//     threshold (a young-gen collection preempting the application).
+//
+// The injectors are deterministic given a seed, so benches are repeatable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace compadres::simenv {
+
+enum class Platform { kTimesysRI, kMackinac, kJdk14, kRtgc };
+
+const char* to_string(Platform p) noexcept;
+
+/// Tunable description of one simulated platform.
+struct PlatformProfile {
+    std::string name;
+    /// False = every message acquisition is charged to the GC accountant
+    /// as a fresh allocation (plain-Java behaviour).
+    bool pooled_messages = true;
+    /// GC: a stop-the-world pause fires when this many bytes have been
+    /// "allocated" since the last pause. 0 disables the collector.
+    std::int64_t gc_threshold_bytes = 0;
+    std::int64_t gc_pause_min_ns = 0;
+    std::int64_t gc_pause_max_ns = 0;
+    /// OS noise: probability per dispatch point that a system thread
+    /// preempts the application for a slice in [min, max] ns.
+    double os_noise_probability = 0.0;
+    std::int64_t os_noise_min_ns = 0;
+    std::int64_t os_noise_max_ns = 0;
+    /// Garbage generated per message hop on a non-RTSJ VM (envelopes,
+    /// boxed arguments, stack-escaped temporaries). Charged to the GC
+    /// accountant from on_dispatch(); 0 for pooled/RTSJ platforms.
+    std::int64_t alloc_bytes_per_dispatch = 0;
+
+    static PlatformProfile timesys_ri();
+    static PlatformProfile mackinac();
+    static PlatformProfile jdk14();
+    /// A real-time garbage collector (Metronome-style, Bacon et al. —
+    /// paper §1's alternative to the RTSJ): collection work is chopped
+    /// into frequent, small, bounded increments. Latency inflates by a
+    /// bounded "minimum latency and large execution overhead" instead of
+    /// the rare long pauses of a stop-the-world collector.
+    static PlatformProfile rtgc();
+    static PlatformProfile for_platform(Platform p);
+};
+
+/// Runtime state of a simulated platform: deterministic RNG + GC accountant.
+/// Hook methods are called from the middleware's allocation and dispatch
+/// points (wired through core::hooks by the benches).
+class PlatformRuntime {
+public:
+    explicit PlatformRuntime(PlatformProfile profile, std::uint64_t seed = 42);
+
+    /// Allocation hook: charge `bytes` to the collector; possibly pause
+    /// (stop-the-world) right here, exactly where a JVM would.
+    void on_allocate(std::size_t bytes);
+
+    /// Dispatch hook: a message hop — the window where a non-RT OS may
+    /// schedule a system thread over us.
+    void on_dispatch();
+
+    const PlatformProfile& profile() const noexcept { return profile_; }
+    std::int64_t gc_pause_count() const noexcept { return gc_pauses_.load(); }
+    std::int64_t noise_event_count() const noexcept { return noise_events_.load(); }
+
+private:
+    PlatformProfile profile_;
+    std::atomic<std::uint64_t> rng_state_;
+    std::atomic<std::int64_t> allocated_since_gc_{0};
+    std::atomic<std::int64_t> gc_pauses_{0};
+    std::atomic<std::int64_t> noise_events_{0};
+
+    std::uint64_t next_random() noexcept;
+    /// Uniform in [lo, hi].
+    std::int64_t random_in(std::int64_t lo, std::int64_t hi) noexcept;
+};
+
+} // namespace compadres::simenv

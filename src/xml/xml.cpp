@@ -1,0 +1,343 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace compadres::xml {
+
+namespace {
+
+std::string trim(std::string_view s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view input) : in_(input) {}
+
+    std::unique_ptr<XmlNode> parse_document() {
+        skip_misc();
+        if (eof()) fail("document has no root element");
+        auto root = parse_element();
+        skip_misc();
+        if (!eof()) fail("trailing content after root element");
+        return root;
+    }
+
+private:
+    std::string_view in_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw XmlError(msg, line_, col_);
+    }
+
+    bool eof() const noexcept { return pos_ >= in_.size(); }
+
+    char peek() const noexcept { return eof() ? '\0' : in_[pos_]; }
+
+    bool starts_with(std::string_view s) const noexcept {
+        return in_.substr(pos_, s.size()) == s;
+    }
+
+    char advance() {
+        if (eof()) fail("unexpected end of input");
+        const char c = in_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    void advance_n(std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) advance();
+    }
+
+    void skip_ws() {
+        while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "', got '" + peek() + "'");
+        advance();
+    }
+
+    /// Skip whitespace, comments, processing instructions, and DOCTYPE —
+    /// the "misc" productions allowed around the root element.
+    void skip_misc() {
+        for (;;) {
+            skip_ws();
+            if (starts_with("<!--")) {
+                skip_comment();
+            } else if (starts_with("<?")) {
+                skip_pi();
+            } else if (starts_with("<!DOCTYPE")) {
+                skip_until('>');
+            } else {
+                return;
+            }
+        }
+    }
+
+    void skip_comment() {
+        advance_n(4); // <!--
+        while (!starts_with("-->")) {
+            if (eof()) fail("unterminated comment");
+            advance();
+        }
+        advance_n(3);
+    }
+
+    void skip_pi() {
+        advance_n(2); // <?
+        while (!starts_with("?>")) {
+            if (eof()) fail("unterminated processing instruction");
+            advance();
+        }
+        advance_n(2);
+    }
+
+    void skip_until(char c) {
+        while (!eof() && peek() != c) advance();
+        if (eof()) fail(std::string("expected '") + c + "'");
+        advance();
+    }
+
+    static bool is_name_start(char c) noexcept {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    }
+    static bool is_name_char(char c) noexcept {
+        return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+               c == '-' || c == '.';
+    }
+
+    std::string parse_name() {
+        if (!is_name_start(peek())) fail("expected a name");
+        std::string name;
+        while (!eof() && is_name_char(peek())) name.push_back(advance());
+        return name;
+    }
+
+    std::string parse_entity() {
+        // '&' already consumed by caller? No: caller sees '&' and calls us.
+        expect('&');
+        std::string ref;
+        while (!eof() && peek() != ';') ref.push_back(advance());
+        expect(';');
+        if (ref == "lt") return "<";
+        if (ref == "gt") return ">";
+        if (ref == "amp") return "&";
+        if (ref == "quot") return "\"";
+        if (ref == "apos") return "'";
+        if (!ref.empty() && ref[0] == '#') {
+            const bool hex = ref.size() > 1 && (ref[1] == 'x' || ref[1] == 'X');
+            const long code = std::strtol(ref.c_str() + (hex ? 2 : 1), nullptr,
+                                          hex ? 16 : 10);
+            if (code <= 0 || code > 0x10FFFF) fail("bad character reference &" + ref + ";");
+            // Encode as UTF-8.
+            std::string out;
+            const auto cp = static_cast<unsigned long>(code);
+            if (cp < 0x80) {
+                out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+                out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else if (cp < 0x10000) {
+                out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+                out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+                out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+                out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            return out;
+        }
+        fail("unknown entity &" + ref + ";");
+    }
+
+    std::string parse_attr_value() {
+        const char quote = peek();
+        if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+        advance();
+        std::string value;
+        while (peek() != quote) {
+            if (eof()) fail("unterminated attribute value");
+            if (peek() == '&') {
+                value += parse_entity();
+            } else if (peek() == '<') {
+                fail("'<' in attribute value");
+            } else {
+                value.push_back(advance());
+            }
+        }
+        advance();
+        return value;
+    }
+
+    std::unique_ptr<XmlNode> parse_element() {
+        expect('<');
+        auto node = std::make_unique<XmlNode>();
+        node->line = line_;
+        node->name = parse_name();
+
+        // Attributes.
+        for (;;) {
+            skip_ws();
+            if (peek() == '>' || starts_with("/>")) break;
+            std::string attr_name = parse_name();
+            skip_ws();
+            expect('=');
+            skip_ws();
+            node->attributes.emplace_back(std::move(attr_name), parse_attr_value());
+        }
+
+        if (starts_with("/>")) {
+            advance_n(2);
+            return node;
+        }
+        expect('>');
+
+        // Content.
+        std::string text;
+        for (;;) {
+            if (eof()) fail("unterminated element <" + node->name + ">");
+            if (starts_with("</")) {
+                advance_n(2);
+                const std::string closing = parse_name();
+                if (closing != node->name) {
+                    fail("mismatched closing tag </" + closing + "> for <" +
+                         node->name + ">");
+                }
+                skip_ws();
+                expect('>');
+                node->text = trim(text);
+                return node;
+            }
+            if (starts_with("<!--")) {
+                skip_comment();
+            } else if (starts_with("<![CDATA[")) {
+                advance_n(9);
+                while (!starts_with("]]>")) {
+                    if (eof()) fail("unterminated CDATA section");
+                    text.push_back(advance());
+                }
+                advance_n(3);
+            } else if (starts_with("<?")) {
+                skip_pi();
+            } else if (peek() == '<') {
+                node->children.push_back(parse_element());
+            } else if (peek() == '&') {
+                text += parse_entity();
+            } else {
+                text.push_back(advance());
+            }
+        }
+    }
+};
+
+void escape_into(std::ostringstream& out, std::string_view s, bool attr) {
+    for (const char c : s) {
+        switch (c) {
+            case '<': out << "&lt;"; break;
+            case '>': out << "&gt;"; break;
+            case '&': out << "&amp;"; break;
+            case '"':
+                if (attr) out << "&quot;";
+                else out << c;
+                break;
+            default: out << c;
+        }
+    }
+}
+
+void write_node(std::ostringstream& out, const XmlNode& node, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    out << pad << '<' << node.name;
+    for (const auto& [k, v] : node.attributes) {
+        out << ' ' << k << "=\"";
+        escape_into(out, v, /*attr=*/true);
+        out << '"';
+    }
+    if (node.children.empty() && node.text.empty()) {
+        out << "/>\n";
+        return;
+    }
+    out << '>';
+    if (node.children.empty()) {
+        escape_into(out, node.text, /*attr=*/false);
+        out << "</" << node.name << ">\n";
+        return;
+    }
+    out << '\n';
+    if (!node.text.empty()) {
+        out << pad << "  ";
+        escape_into(out, node.text, /*attr=*/false);
+        out << '\n';
+    }
+    for (const auto& child : node.children) {
+        write_node(out, *child, indent + 1);
+    }
+    out << pad << "</" << node.name << ">\n";
+}
+
+} // namespace
+
+const XmlNode* XmlNode::child(std::string_view child_name) const noexcept {
+    for (const auto& c : children) {
+        if (c->name == child_name) return c.get();
+    }
+    return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(std::string_view child_name) const {
+    std::vector<const XmlNode*> out;
+    for (const auto& c : children) {
+        if (c->name == child_name) out.push_back(c.get());
+    }
+    return out;
+}
+
+std::string XmlNode::child_text(std::string_view child_name,
+                                std::string fallback) const {
+    const XmlNode* c = child(child_name);
+    return c != nullptr ? c->text : std::move(fallback);
+}
+
+const std::string* XmlNode::attribute(std::string_view attr_name) const noexcept {
+    for (const auto& [k, v] : attributes) {
+        if (k == attr_name) return &v;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<XmlNode> parse(std::string_view input) {
+    return Parser(input).parse_document();
+}
+
+std::unique_ptr<XmlNode> parse_file(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("cannot open XML file: " + path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return parse(ss.str());
+}
+
+std::string write(const XmlNode& root) {
+    std::ostringstream out;
+    out << "<?xml version=\"1.0\"?>\n";
+    write_node(out, root, 0);
+    return out.str();
+}
+
+} // namespace compadres::xml

@@ -1,0 +1,77 @@
+// Minimal non-validating XML parser and writer.
+//
+// The Compadres toolchain is driven by two XML dialects — the Component
+// Definition Language (CDL) and the Component Composition Language (CCL).
+// This parser covers the XML subset those dialects use (elements,
+// attributes, character data, comments, declarations, CDATA, the five
+// predefined entities) with line-accurate error reporting, and is built
+// from scratch so the repository has no external dependencies.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace compadres::xml {
+
+/// Parse error with 1-based line/column of the offending input.
+class XmlError : public std::runtime_error {
+public:
+    XmlError(const std::string& message, int line, int column)
+        : std::runtime_error("XML error at " + std::to_string(line) + ":" +
+                             std::to_string(column) + ": " + message),
+          line_(line), column_(column) {}
+
+    int line() const noexcept { return line_; }
+    int column() const noexcept { return column_; }
+
+private:
+    int line_;
+    int column_;
+};
+
+/// One element. Character data of all text nodes directly under the element
+/// is concatenated (whitespace-trimmed) into `text` — sufficient for the
+/// CDL/CCL dialects, which never interleave text and elements.
+class XmlNode {
+public:
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> attributes;
+    std::vector<std::unique_ptr<XmlNode>> children;
+    std::string text;
+    int line = 0;
+
+    /// First child with the given element name, or nullptr.
+    const XmlNode* child(std::string_view child_name) const noexcept;
+
+    /// All children with the given element name.
+    std::vector<const XmlNode*> children_named(std::string_view child_name) const;
+
+    /// Trimmed text of the named child; `fallback` if absent.
+    std::string child_text(std::string_view child_name,
+                           std::string fallback = {}) const;
+
+    /// Attribute value, or nullptr if absent.
+    const std::string* attribute(std::string_view attr_name) const noexcept;
+
+    /// True if a child with this name exists.
+    bool has_child(std::string_view child_name) const noexcept {
+        return child(child_name) != nullptr;
+    }
+};
+
+/// Parse a complete document; returns the root element.
+/// Throws XmlError on malformed input (mismatched tags, bad entities,
+/// trailing content, ...).
+std::unique_ptr<XmlNode> parse(std::string_view input);
+
+/// Parse the file at `path` (throws std::runtime_error if unreadable).
+std::unique_ptr<XmlNode> parse_file(const std::string& path);
+
+/// Serialize a tree back to text (2-space indentation, entities escaped).
+std::string write(const XmlNode& root);
+
+} // namespace compadres::xml

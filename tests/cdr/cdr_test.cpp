@@ -1,0 +1,248 @@
+// CDR marshalling: alignment, round-trips, byte order, bounds checking.
+#include "cdr/cdr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+namespace cdr = compadres::cdr;
+
+TEST(CdrOutput, PrimitivesRoundTrip) {
+    cdr::OutputStream out;
+    out.write_octet(0xAB);
+    out.write_boolean(true);
+    out.write_char('Z');
+    out.write_short(-1234);
+    out.write_ushort(54321);
+    out.write_long(-123456789);
+    out.write_ulong(3'000'000'000u);
+    out.write_longlong(-9'000'000'000'000'000'000LL);
+    out.write_ulonglong(18'000'000'000'000'000'000ULL);
+    out.write_float(3.25f);
+    out.write_double(-2.5e100);
+
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_EQ(in.read_octet(), 0xAB);
+    EXPECT_TRUE(in.read_boolean());
+    EXPECT_EQ(in.read_char(), 'Z');
+    EXPECT_EQ(in.read_short(), -1234);
+    EXPECT_EQ(in.read_ushort(), 54321);
+    EXPECT_EQ(in.read_long(), -123456789);
+    EXPECT_EQ(in.read_ulong(), 3'000'000'000u);
+    EXPECT_EQ(in.read_longlong(), -9'000'000'000'000'000'000LL);
+    EXPECT_EQ(in.read_ulonglong(), 18'000'000'000'000'000'000ULL);
+    EXPECT_EQ(in.read_float(), 3.25f);
+    EXPECT_EQ(in.read_double(), -2.5e100);
+    EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(CdrOutput, NaturalAlignmentInserted) {
+    cdr::OutputStream out;
+    out.write_octet(1);    // offset 0
+    out.write_long(2);     // must pad to offset 4
+    EXPECT_EQ(out.size(), 8u);
+    EXPECT_EQ(out.buffer()[1], 0); // padding bytes zeroed
+    out.write_octet(3);    // offset 8
+    out.write_longlong(4); // pads to 16
+    EXPECT_EQ(out.size(), 24u);
+}
+
+TEST(CdrInput, AlignmentSkipsPadding) {
+    cdr::OutputStream out;
+    out.write_octet(7);
+    out.write_long(42);
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_EQ(in.read_octet(), 7);
+    EXPECT_EQ(in.read_long(), 42); // aligns to 4 internally
+}
+
+TEST(CdrString, RoundTrip) {
+    cdr::OutputStream out;
+    out.write_string("hello CORBA");
+    out.write_string("");
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_EQ(in.read_string(), "hello CORBA");
+    EXPECT_EQ(in.read_string(), "");
+}
+
+TEST(CdrString, LengthIncludesNul) {
+    cdr::OutputStream out;
+    out.write_string("abc");
+    // ulong length (4) + "abc\0" (4)
+    EXPECT_EQ(out.size(), 8u);
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_EQ(in.read_ulong(), 4u);
+}
+
+TEST(CdrOctetSeq, ViewIsZeroCopy) {
+    cdr::OutputStream out;
+    const std::uint8_t data[] = {9, 8, 7, 6};
+    out.write_octet_seq(data, sizeof(data));
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    const auto [ptr, len] = in.read_octet_seq_view();
+    EXPECT_EQ(len, 4u);
+    EXPECT_EQ(ptr, out.buffer().data() + 4); // points into the frame
+    EXPECT_EQ(ptr[0], 9);
+}
+
+TEST(CdrSwapped, ReaderMakesRight) {
+    // Encode in the non-native order; the reader must swap.
+    const cdr::ByteOrder foreign =
+        cdr::native_order() == cdr::ByteOrder::kLittleEndian
+            ? cdr::ByteOrder::kBigEndian
+            : cdr::ByteOrder::kLittleEndian;
+    cdr::OutputStream out(foreign);
+    out.write_ulong(0x01020304u);
+    out.write_ushort(0xA0B0);
+    out.write_double(1234.5678);
+    cdr::InputStream in(out.buffer().data(), out.buffer().size(), foreign);
+    EXPECT_EQ(in.read_ulong(), 0x01020304u);
+    EXPECT_EQ(in.read_ushort(), 0xA0B0);
+    EXPECT_EQ(in.read_double(), 1234.5678);
+}
+
+TEST(CdrSwapped, WrongOrderAssumptionGivesSwappedValue) {
+    cdr::OutputStream out; // native
+    out.write_ulong(0x01020304u);
+    const cdr::ByteOrder foreign =
+        cdr::native_order() == cdr::ByteOrder::kLittleEndian
+            ? cdr::ByteOrder::kBigEndian
+            : cdr::ByteOrder::kLittleEndian;
+    cdr::InputStream in(out.buffer().data(), out.buffer().size(), foreign);
+    EXPECT_EQ(in.read_ulong(), 0x04030201u);
+}
+
+TEST(CdrErrors, UnderflowThrows) {
+    const std::uint8_t tiny[] = {1, 2};
+    cdr::InputStream in(tiny, sizeof(tiny));
+    EXPECT_THROW(in.read_ulong(), cdr::MarshalError);
+}
+
+TEST(CdrErrors, StringWithoutNulThrows) {
+    cdr::OutputStream out;
+    out.write_ulong(3);
+    out.write_raw("abc", 3); // no NUL, length says 3
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_THROW(in.read_string(), cdr::MarshalError);
+}
+
+TEST(CdrErrors, ZeroLengthStringThrows) {
+    cdr::OutputStream out;
+    out.write_ulong(0);
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_THROW(in.read_string(), cdr::MarshalError);
+}
+
+TEST(CdrErrors, OctetSeqBeyondBufferThrows) {
+    cdr::OutputStream out;
+    out.write_ulong(1000); // claims 1000 bytes, provides none
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_THROW(in.read_octet_seq_view(), cdr::MarshalError);
+}
+
+TEST(CdrErrors, PatchOutOfRangeThrows) {
+    cdr::OutputStream out;
+    out.write_octet(1);
+    EXPECT_THROW(out.patch_ulong(0, 5), cdr::MarshalError);
+}
+
+TEST(CdrPatch, PatchesInPlace) {
+    cdr::OutputStream out;
+    out.write_ulong(0);
+    out.write_ulong(77);
+    out.patch_ulong(0, 0xDEADBEEF);
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_EQ(in.read_ulong(), 0xDEADBEEF);
+    EXPECT_EQ(in.read_ulong(), 77u);
+}
+
+TEST(CdrLimits, ExtremeValuesRoundTrip) {
+    cdr::OutputStream out;
+    out.write_long(std::numeric_limits<std::int32_t>::min());
+    out.write_long(std::numeric_limits<std::int32_t>::max());
+    out.write_longlong(std::numeric_limits<std::int64_t>::min());
+    out.write_double(std::numeric_limits<double>::infinity());
+    out.write_float(std::numeric_limits<float>::denorm_min());
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_EQ(in.read_long(), std::numeric_limits<std::int32_t>::min());
+    EXPECT_EQ(in.read_long(), std::numeric_limits<std::int32_t>::max());
+    EXPECT_EQ(in.read_longlong(), std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(in.read_double(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(in.read_float(), std::numeric_limits<float>::denorm_min());
+}
+
+// Property fuzz: random interleavings of typed writes must read back
+// identically, in both byte orders.
+class CdrFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CdrFuzzTest, RandomSequenceRoundTrips) {
+    std::mt19937_64 rng(GetParam());
+    const cdr::ByteOrder order = (GetParam() % 2 == 0)
+                                     ? cdr::native_order()
+                                     : (cdr::native_order() ==
+                                                cdr::ByteOrder::kLittleEndian
+                                            ? cdr::ByteOrder::kBigEndian
+                                            : cdr::ByteOrder::kLittleEndian);
+    cdr::OutputStream out(order);
+    std::vector<int> kinds;
+    std::vector<std::uint64_t> values;
+    std::vector<std::string> strings;
+    for (int i = 0; i < 200; ++i) {
+        const int kind = static_cast<int>(rng() % 5);
+        kinds.push_back(kind);
+        switch (kind) {
+            case 0: {
+                const auto v = static_cast<std::uint8_t>(rng());
+                values.push_back(v);
+                out.write_octet(v);
+                break;
+            }
+            case 1: {
+                const auto v = static_cast<std::uint16_t>(rng());
+                values.push_back(v);
+                out.write_ushort(v);
+                break;
+            }
+            case 2: {
+                const auto v = static_cast<std::uint32_t>(rng());
+                values.push_back(v);
+                out.write_ulong(v);
+                break;
+            }
+            case 3: {
+                const std::uint64_t v = rng();
+                values.push_back(v);
+                out.write_ulonglong(v);
+                break;
+            }
+            case 4: {
+                std::string s;
+                const auto len = rng() % 40;
+                for (std::uint64_t j = 0; j < len; ++j) {
+                    s.push_back(static_cast<char>('a' + rng() % 26));
+                }
+                strings.push_back(s);
+                values.push_back(0);
+                out.write_string(s);
+                break;
+            }
+        }
+    }
+    cdr::InputStream in(out.buffer().data(), out.buffer().size(), order);
+    std::size_t string_idx = 0;
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        switch (kinds[i]) {
+            case 0: ASSERT_EQ(in.read_octet(), values[i]); break;
+            case 1: ASSERT_EQ(in.read_ushort(), values[i]); break;
+            case 2: ASSERT_EQ(in.read_ulong(), values[i]); break;
+            case 3: ASSERT_EQ(in.read_ulonglong(), values[i]); break;
+            case 4: ASSERT_EQ(in.read_string(), strings[string_idx++]); break;
+        }
+    }
+    EXPECT_EQ(in.remaining(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdrFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u,
+                                           10u));

@@ -1,0 +1,181 @@
+// Assembler: end-to-end CDL + CCL -> running application (the paper's
+// two-phase toolchain, with the glue executed instead of emitted).
+#include "compiler/assembler.hpp"
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+using namespace compadres;
+
+namespace {
+
+std::atomic<int> g_pings{0};
+std::mutex g_mu;
+std::condition_variable g_cv;
+
+void note_ping() {
+    g_pings.fetch_add(1);
+    g_cv.notify_all();
+}
+
+bool wait_pings(int n) {
+    std::unique_lock lk(g_mu);
+    return g_cv.wait_for(lk, std::chrono::milliseconds(2000),
+                         [&] { return g_pings.load() >= n; });
+}
+
+/// Echoes every MyInteger to its "pong" Out port, +1.
+class Echoer : public core::Component {
+public:
+    explicit Echoer(const core::ComponentContext& ctx) : core::Component(ctx) {
+        add_in_port<core::MyInteger>(
+            "ping", "MyInteger", port_config("ping"),
+            [this](core::MyInteger& m, core::Smm&) {
+                auto& out = out_port_t<core::MyInteger>("pong");
+                core::MyInteger* reply = out.get_message();
+                reply->value = m.value + 1;
+                out.send(reply, 5);
+            });
+        add_out_port<core::MyInteger>("pong", "MyInteger");
+    }
+};
+
+/// Counts replies; exposes a trigger port.
+class Driver : public core::Component {
+public:
+    explicit Driver(const core::ComponentContext& ctx) : core::Component(ctx) {
+        add_out_port<core::MyInteger>("send", "MyInteger");
+        add_in_port<core::MyInteger>("recv", "MyInteger", port_config("recv"),
+                                     [](core::MyInteger& m, core::Smm&) {
+                                         last_value = m.value;
+                                         note_ping();
+                                     });
+    }
+    static inline std::atomic<int> last_value{0};
+};
+
+const char* kCdl = R"(
+<CDL>
+ <Component>
+  <ComponentName>Echoer</ComponentName>
+  <Port><PortName>ping</PortName><PortType>In</PortType><MessageType>MyInteger</MessageType></Port>
+  <Port><PortName>pong</PortName><PortType>Out</PortType><MessageType>MyInteger</MessageType></Port>
+ </Component>
+ <Component>
+  <ComponentName>Driver</ComponentName>
+  <Port><PortName>send</PortName><PortType>Out</PortType><MessageType>MyInteger</MessageType></Port>
+  <Port><PortName>recv</PortName><PortType>In</PortType><MessageType>MyInteger</MessageType></Port>
+ </Component>
+</CDL>)";
+
+const char* kCcl = R"(
+<Application>
+ <ApplicationName>PingPong</ApplicationName>
+ <Component>
+  <InstanceName>D</InstanceName>
+  <ClassName>Driver</ClassName>
+  <ComponentType>Immortal</ComponentType>
+  <Connection>
+   <Port>
+    <PortName>send</PortName>
+    <Link><PortType>Internal</PortType><ToComponent>E</ToComponent><ToPort>ping</ToPort></Link>
+   </Port>
+   <Port>
+    <PortName>recv</PortName>
+    <PortAttributes><BufferSize>4</BufferSize><MinThreadpoolSize>1</MinThreadpoolSize><MaxThreadpoolSize>2</MaxThreadpoolSize></PortAttributes>
+    <Link><PortType>Internal</PortType><ToComponent>E</ToComponent><ToPort>pong</ToPort></Link>
+   </Port>
+  </Connection>
+  <Component>
+   <InstanceName>E</InstanceName>
+   <ClassName>Echoer</ClassName>
+   <ComponentType>Scoped</ComponentType>
+   <ScopeLevel>1</ScopeLevel>
+   <Connection>
+    <Port>
+     <PortName>ping</PortName>
+     <PortAttributes><BufferSize>4</BufferSize><MinThreadpoolSize>1</MinThreadpoolSize><MaxThreadpoolSize>2</MaxThreadpoolSize></PortAttributes>
+    </Port>
+   </Connection>
+  </Component>
+ </Component>
+ <RTSJAttributes>
+  <ImmortalSize>4000000</ImmortalSize>
+  <ScopedPool><ScopeLevel>1</ScopeLevel><ScopeSize>262144</ScopeSize><PoolSize>2</PoolSize></ScopedPool>
+ </RTSJAttributes>
+</Application>)";
+
+class AssemblerTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        core::register_builtin_message_types();
+        auto& reg = core::ComponentRegistry::global();
+        reg.register_class<Echoer>("Echoer");
+        reg.register_class<Driver>("Driver");
+        g_pings.store(0);
+    }
+};
+
+} // namespace
+
+TEST_F(AssemblerTest, BuildsApplicationFromXml) {
+    auto app = compiler::assemble_from_strings(kCdl, kCcl);
+    EXPECT_EQ(app->name(), "PingPong");
+    EXPECT_EQ(app->component_count(), 2u);
+    core::Component& driver = app->component("D");
+    core::Component& echoer = app->component("E");
+    EXPECT_EQ(echoer.parent(), &driver);
+    EXPECT_EQ(echoer.level(), 1);
+    EXPECT_EQ(app->immortal().capacity(), 4'000'000u);
+    EXPECT_EQ(app->pool_for_level(1).scope_size(), 262'144u);
+}
+
+TEST_F(AssemblerTest, CclPortAttributesReachThePorts) {
+    auto app = compiler::assemble_from_strings(kCdl, kCcl);
+    core::InPortBase& recv = app->component("D").in_port("recv");
+    EXPECT_EQ(recv.config().buffer_size, 4u);
+    EXPECT_EQ(recv.config().max_threads, 2u);
+    ASSERT_NE(recv.dispatcher(), nullptr);
+    EXPECT_EQ(recv.dispatcher()->worker_count(), 1u); // min pool size
+}
+
+TEST_F(AssemblerTest, AssembledApplicationActuallyRuns) {
+    auto app = compiler::assemble_from_strings(kCdl, kCcl);
+    app->start();
+    auto& send = app->component("D").out_port_t<core::MyInteger>("send");
+    for (int i = 0; i < 10; ++i) {
+        core::MyInteger* m = send.get_message();
+        m->value = 100 + i;
+        send.send(m, 3);
+    }
+    ASSERT_TRUE(wait_pings(10));
+    app->shutdown();
+    EXPECT_GE(Driver::last_value.load(), 101); // echoed +1
+}
+
+TEST_F(AssemblerTest, UnregisteredClassFailsAssembly) {
+    const char* ccl =
+        "<Application><ApplicationName>X</ApplicationName>"
+        "<Component><InstanceName>I</InstanceName>"
+        "<ClassName>Phantom</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component></Application>";
+    const char* cdl =
+        "<Component><ComponentName>Phantom</ComponentName></Component>";
+    EXPECT_THROW(compiler::assemble_from_strings(cdl, ccl),
+                 core::RegistryError);
+}
+
+TEST_F(AssemblerTest, InvalidCclFailsBeforeAssembly) {
+    const char* bad_ccl =
+        "<Application><ApplicationName>X</ApplicationName>"
+        "<Component><InstanceName>I</InstanceName>"
+        "<ClassName>Ghost</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component></Application>";
+    EXPECT_THROW(compiler::assemble_from_strings(kCdl, bad_ccl),
+                 compiler::ValidationError);
+}

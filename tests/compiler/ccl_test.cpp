@@ -1,0 +1,218 @@
+// CCL parsing (paper Listing 1.2).
+#include "compiler/ccl.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace compadres;
+using compiler::CclError;
+using compiler::LinkKind;
+
+namespace {
+const char* kListing12 = R"(
+<Application>
+ <ApplicationName>MyApp</ApplicationName>
+ <Component>
+  <InstanceName>MyServer</InstanceName>
+  <ClassName>Server</ClassName>
+  <ComponentType>Immortal</ComponentType>
+  <Connection>
+   <Port>
+    <PortName>DataIn</PortName>
+    <PortAttributes>
+     <BufferSize>5</BufferSize>
+     <Threadpool>Shared</Threadpool>
+     <MinThreadpoolSize>2</MinThreadpoolSize>
+     <MaxThreadpoolSize>10</MaxThreadpoolSize>
+    </PortAttributes>
+    <Link>
+     <PortType>Internal</PortType>
+     <ToComponent>MyCalculator</ToComponent>
+     <ToPort>DataOut</ToPort>
+    </Link>
+   </Port>
+  </Connection>
+  <Component>
+   <InstanceName>MyCalculator</InstanceName>
+   <ClassName>Calculator</ClassName>
+   <ComponentType>Scoped</ComponentType>
+   <ScopeLevel>1</ScopeLevel>
+  </Component>
+ </Component>
+ <RTSJAttributes>
+  <ImmortalSize>400000</ImmortalSize>
+  <ScopedPool>
+   <ScopeLevel>1</ScopeLevel>
+   <ScopeSize>200000</ScopeSize>
+   <PoolSize>3</PoolSize>
+  </ScopedPool>
+ </RTSJAttributes>
+</Application>)";
+} // namespace
+
+TEST(Ccl, ParsesListing12) {
+    const auto model = compiler::parse_ccl_string(kListing12);
+    EXPECT_EQ(model.application_name, "MyApp");
+    ASSERT_EQ(model.components.size(), 1u);
+    const compiler::CclComponent& server = model.components[0];
+    EXPECT_EQ(server.instance_name, "MyServer");
+    EXPECT_EQ(server.class_name, "Server");
+    EXPECT_EQ(server.type, core::ComponentType::kImmortal);
+    ASSERT_EQ(server.children.size(), 1u);
+    EXPECT_EQ(server.children[0].instance_name, "MyCalculator");
+    EXPECT_EQ(server.children[0].type, core::ComponentType::kScoped);
+    EXPECT_EQ(server.children[0].scope_level, 1);
+}
+
+TEST(Ccl, ParsesPortAttributes) {
+    const auto model = compiler::parse_ccl_string(kListing12);
+    const compiler::CclPortDecl& port = model.components[0].ports.at(0);
+    EXPECT_EQ(port.name, "DataIn");
+    EXPECT_TRUE(port.has_attributes);
+    EXPECT_EQ(port.attributes.buffer_size, 5u);
+    EXPECT_EQ(port.attributes.strategy, core::ThreadpoolStrategy::kShared);
+    EXPECT_EQ(port.attributes.min_threads, 2u);
+    EXPECT_EQ(port.attributes.max_threads, 10u);
+}
+
+TEST(Ccl, ParsesLinks) {
+    const auto model = compiler::parse_ccl_string(kListing12);
+    const compiler::CclLink& link = model.components[0].ports.at(0).links.at(0);
+    EXPECT_EQ(link.kind, LinkKind::kInternal);
+    EXPECT_EQ(link.to_component, "MyCalculator");
+    EXPECT_EQ(link.to_port, "DataOut");
+}
+
+TEST(Ccl, ParsesRtsjAttributes) {
+    const auto model = compiler::parse_ccl_string(kListing12);
+    EXPECT_EQ(model.rtsj.immortal_size, 400'000u);
+    ASSERT_EQ(model.rtsj.scoped_pools.size(), 1u);
+    EXPECT_EQ(model.rtsj.scoped_pools[0].level, 1);
+    EXPECT_EQ(model.rtsj.scoped_pools[0].scope_size, 200'000u);
+    EXPECT_EQ(model.rtsj.scoped_pools[0].pool_size, 3u);
+}
+
+TEST(Ccl, ForEachComponentVisitsParentsFirst) {
+    const auto model = compiler::parse_ccl_string(kListing12);
+    std::vector<std::string> order;
+    model.for_each_component(
+        [&](const compiler::CclComponent& c, const compiler::CclComponent* p) {
+            order.push_back(c.instance_name +
+                            (p != nullptr ? "<" + p->instance_name : ""));
+        });
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "MyServer");
+    EXPECT_EQ(order[1], "MyCalculator<MyServer");
+}
+
+TEST(Ccl, DefaultsWhenOptionalTagsAbsent) {
+    const auto model = compiler::parse_ccl_string(
+        "<Application><ApplicationName>A</ApplicationName>"
+        "<Component><InstanceName>I</InstanceName><ClassName>C</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component></Application>");
+    EXPECT_GT(model.rtsj.immortal_size, 0u); // library default
+    EXPECT_TRUE(model.rtsj.scoped_pools.empty());
+    EXPECT_TRUE(model.components[0].ports.empty());
+}
+
+TEST(CclErrors, WrongRootElement) {
+    EXPECT_THROW(compiler::parse_ccl_string("<App/>"), CclError);
+}
+
+TEST(CclErrors, MissingApplicationName) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><Component>"
+                     "<InstanceName>I</InstanceName><ClassName>C</ClassName>"
+                     "<ComponentType>Immortal</ComponentType>"
+                     "</Component></Application>"),
+                 CclError);
+}
+
+TEST(CclErrors, NoComponents) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "</Application>"),
+                 CclError);
+}
+
+TEST(CclErrors, ScopedWithoutLevel) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Component><InstanceName>I</InstanceName>"
+                     "<ClassName>C</ClassName>"
+                     "<ComponentType>Scoped</ComponentType>"
+                     "</Component></Application>"),
+                 CclError);
+}
+
+TEST(CclErrors, BadComponentType) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Component><InstanceName>I</InstanceName>"
+                     "<ClassName>C</ClassName>"
+                     "<ComponentType>Eternal</ComponentType>"
+                     "</Component></Application>"),
+                 CclError);
+}
+
+TEST(CclErrors, NonNumericBufferSize) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Component><InstanceName>I</InstanceName>"
+                     "<ClassName>C</ClassName>"
+                     "<ComponentType>Immortal</ComponentType>"
+                     "<Connection><Port><PortName>P</PortName>"
+                     "<PortAttributes><BufferSize>lots</BufferSize>"
+                     "</PortAttributes></Port></Connection>"
+                     "</Component></Application>"),
+                 CclError);
+}
+
+TEST(CclErrors, MinGreaterThanMaxPool) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Component><InstanceName>I</InstanceName>"
+                     "<ClassName>C</ClassName>"
+                     "<ComponentType>Immortal</ComponentType>"
+                     "<Connection><Port><PortName>P</PortName>"
+                     "<PortAttributes><MinThreadpoolSize>5</MinThreadpoolSize>"
+                     "<MaxThreadpoolSize>2</MaxThreadpoolSize>"
+                     "</PortAttributes></Port></Connection>"
+                     "</Component></Application>"),
+                 CclError);
+}
+
+TEST(CclErrors, LinkMissingTarget) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Component><InstanceName>I</InstanceName>"
+                     "<ClassName>C</ClassName>"
+                     "<ComponentType>Immortal</ComponentType>"
+                     "<Connection><Port><PortName>P</PortName>"
+                     "<Link><PortType>External</PortType></Link>"
+                     "</Port></Connection></Component></Application>"),
+                 CclError);
+}
+
+TEST(CclErrors, BadLinkKind) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Component><InstanceName>I</InstanceName>"
+                     "<ClassName>C</ClassName>"
+                     "<ComponentType>Immortal</ComponentType>"
+                     "<Connection><Port><PortName>P</PortName>"
+                     "<Link><PortType>Diagonal</PortType>"
+                     "<ToComponent>X</ToComponent><ToPort>Y</ToPort></Link>"
+                     "</Port></Connection></Component></Application>"),
+                 CclError);
+}
+
+TEST(CclErrors, NegativeScopeLevel) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Component><InstanceName>I</InstanceName>"
+                     "<ClassName>C</ClassName>"
+                     "<ComponentType>Scoped</ComponentType>"
+                     "<ScopeLevel>0</ScopeLevel>"
+                     "</Component></Application>"),
+                 CclError);
+}

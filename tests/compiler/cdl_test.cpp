@@ -1,0 +1,134 @@
+// CDL parsing (paper Listing 1.1).
+#include "compiler/cdl.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace compadres;
+using compiler::CdlError;
+using compiler::PortDirection;
+
+namespace {
+const char* kListing11 = R"(
+<CDL>
+ <Component>
+  <ComponentName>Server</ComponentName>
+  <Port>
+   <PortName>DataOut</PortName>
+   <PortType>Out</PortType>
+   <MessageType>String</MessageType>
+  </Port>
+  <Port>
+   <PortName>DataIn</PortName>
+   <PortType>In</PortType>
+   <MessageType>CustomType</MessageType>
+  </Port>
+ </Component>
+ <Component>
+  <ComponentName>Calculator</ComponentName>
+  <Port>
+   <PortName>DataOut</PortName>
+   <PortType>Out</PortType>
+   <MessageType>String</MessageType>
+  </Port>
+ </Component>
+</CDL>)";
+} // namespace
+
+TEST(Cdl, ParsesListing11) {
+    const auto model = compiler::parse_cdl_string(kListing11);
+    EXPECT_EQ(model.components.size(), 2u);
+    const compiler::CdlComponent* server = model.find("Server");
+    ASSERT_NE(server, nullptr);
+    EXPECT_EQ(server->ports.size(), 2u);
+    const compiler::CdlPort* out = server->find_port("DataOut");
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->direction, PortDirection::kOut);
+    EXPECT_EQ(out->message_type, "String");
+    const compiler::CdlPort* in = server->find_port("DataIn");
+    ASSERT_NE(in, nullptr);
+    EXPECT_EQ(in->direction, PortDirection::kIn);
+    EXPECT_EQ(in->message_type, "CustomType");
+}
+
+TEST(Cdl, SingleComponentRootAccepted) {
+    const auto model = compiler::parse_cdl_string(
+        "<Component><ComponentName>Solo</ComponentName></Component>");
+    EXPECT_NE(model.find("Solo"), nullptr);
+}
+
+TEST(Cdl, FindUnknownComponentReturnsNull) {
+    const auto model = compiler::parse_cdl_string(kListing11);
+    EXPECT_EQ(model.find("Nope"), nullptr);
+}
+
+TEST(Cdl, FindUnknownPortReturnsNull) {
+    const auto model = compiler::parse_cdl_string(kListing11);
+    EXPECT_EQ(model.find("Server")->find_port("Nope"), nullptr);
+}
+
+TEST(CdlErrors, EmptyDocumentRejected) {
+    EXPECT_THROW(compiler::parse_cdl_string("<CDL></CDL>"), CdlError);
+}
+
+TEST(CdlErrors, MissingComponentName) {
+    EXPECT_THROW(compiler::parse_cdl_string("<CDL><Component/></CDL>"),
+                 CdlError);
+}
+
+TEST(CdlErrors, DuplicateComponentName) {
+    EXPECT_THROW(compiler::parse_cdl_string(
+                     "<CDL><Component><ComponentName>A</ComponentName></Component>"
+                     "<Component><ComponentName>A</ComponentName></Component></CDL>"),
+                 CdlError);
+}
+
+TEST(CdlErrors, MissingPortName) {
+    EXPECT_THROW(
+        compiler::parse_cdl_string(
+            "<Component><ComponentName>A</ComponentName>"
+            "<Port><PortType>In</PortType><MessageType>X</MessageType></Port>"
+            "</Component>"),
+        CdlError);
+}
+
+TEST(CdlErrors, BadPortDirection) {
+    EXPECT_THROW(
+        compiler::parse_cdl_string(
+            "<Component><ComponentName>A</ComponentName>"
+            "<Port><PortName>P</PortName><PortType>InOut</PortType>"
+            "<MessageType>X</MessageType></Port></Component>"),
+        CdlError);
+}
+
+TEST(CdlErrors, MissingMessageType) {
+    EXPECT_THROW(compiler::parse_cdl_string(
+                     "<Component><ComponentName>A</ComponentName>"
+                     "<Port><PortName>P</PortName><PortType>In</PortType>"
+                     "</Port></Component>"),
+                 CdlError);
+}
+
+TEST(CdlErrors, DuplicatePortNameWithinComponent) {
+    EXPECT_THROW(
+        compiler::parse_cdl_string(
+            "<Component><ComponentName>A</ComponentName>"
+            "<Port><PortName>P</PortName><PortType>In</PortType>"
+            "<MessageType>X</MessageType></Port>"
+            "<Port><PortName>P</PortName><PortType>Out</PortType>"
+            "<MessageType>X</MessageType></Port></Component>"),
+        CdlError);
+}
+
+TEST(CdlErrors, ErrorMessagesNameTheProblem) {
+    try {
+        compiler::parse_cdl_string(
+            "<Component><ComponentName>Gadget</ComponentName>"
+            "<Port><PortName>P</PortName><PortType>Sideways</PortType>"
+            "<MessageType>X</MessageType></Port></Component>");
+        FAIL() << "expected CdlError";
+    } catch (const CdlError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("Gadget.P"), std::string::npos);
+        EXPECT_NE(what.find("Sideways"), std::string::npos);
+    }
+}

@@ -1,0 +1,187 @@
+// compadresc CLI: the compiler's command-line front-end, driven in-process.
+#include "compiler/cli.hpp"
+#include "compiler/emit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using compadres::compiler::compadresc_main;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct TempDir {
+    fs::path path;
+    TempDir() {
+        path = fs::temp_directory_path() /
+               ("compadresc-test-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter++));
+        fs::create_directories(path);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    static inline int counter = 0;
+};
+
+fs::path write_file(const TempDir& dir, const std::string& name,
+                    const std::string& content) {
+    const fs::path p = dir.path / name;
+    std::ofstream f(p);
+    f << content;
+    return p;
+}
+
+const char* kCdl = R"(
+<CDL>
+ <Component>
+  <ComponentName>Pinger</ComponentName>
+  <Port><PortName>out</PortName><PortType>Out</PortType><MessageType>MyInteger</MessageType></Port>
+ </Component>
+ <Component>
+  <ComponentName>Ponger</ComponentName>
+  <Port><PortName>in</PortName><PortType>In</PortType><MessageType>MyInteger</MessageType></Port>
+ </Component>
+</CDL>)";
+
+const char* kCcl = R"(
+<Application>
+ <ApplicationName>PingApp</ApplicationName>
+ <Component>
+  <InstanceName>P1</InstanceName><ClassName>Pinger</ClassName>
+  <ComponentType>Immortal</ComponentType>
+  <Connection><Port><PortName>out</PortName>
+   <Link><PortType>Internal</PortType><ToComponent>P2</ToComponent><ToPort>in</ToPort></Link>
+  </Port></Connection>
+  <Component>
+   <InstanceName>P2</InstanceName><ClassName>Ponger</ClassName>
+   <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+  </Component>
+ </Component>
+</Application>)";
+
+struct CliResult {
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult run(std::vector<std::string> args) {
+    std::ostringstream out, err;
+    const int code = compadresc_main(args, out, err);
+    return {code, out.str(), err.str()};
+}
+
+} // namespace
+
+TEST(Cli, NoArgsPrintsUsage) {
+    const auto r = run({});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandPrintsUsage) {
+    const auto r = run({"frobnicate"});
+    EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, CheckCdlOnly) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto r = run({"check", cdl.string()});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("CDL ok: 2 component class(es)"), std::string::npos);
+}
+
+TEST(Cli, CheckCdlAndCcl) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto ccl = write_file(dir, "a.ccl.xml", kCcl);
+    const auto r = run({"check", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("CCL ok: 2 instance(s), 1 connection(s)"),
+              std::string::npos);
+}
+
+TEST(Cli, CheckReportsValidationIssues) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto ccl = write_file(
+        dir, "bad.ccl.xml",
+        "<Application><ApplicationName>X</ApplicationName>"
+        "<Component><InstanceName>I</InstanceName>"
+        "<ClassName>Ghost</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component></Application>");
+    const auto r = run({"check", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("Ghost"), std::string::npos);
+}
+
+TEST(Cli, CheckMissingFileIsError) {
+    const auto r = run({"check", "/nonexistent/file.xml"});
+    EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, SkeletonsWritesOneHeaderPerClass) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto out_dir = dir.path / "gen";
+    const auto r = run({"skeletons", cdl.string(), "-o", out_dir.string()});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_TRUE(fs::exists(out_dir / "pinger_component.hpp"));
+    EXPECT_TRUE(fs::exists(out_dir / "ponger_component.hpp"));
+    std::ifstream f(out_dir / "ponger_component.hpp");
+    std::stringstream content;
+    content << f.rdbuf();
+    EXPECT_NE(content.str().find("class Ponger"), std::string::npos);
+}
+
+TEST(Cli, SkeletonsRequiresOutputDir) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto r = run({"skeletons", cdl.string()});
+    EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, PlanDumpsTopology) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto ccl = write_file(dir, "a.ccl.xml", kCcl);
+    const auto r = run({"plan", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("application: PingApp"), std::string::npos);
+    EXPECT_NE(r.out.find("P1.out -> P2.in"), std::string::npos);
+    EXPECT_NE(r.out.find("host=P1"), std::string::npos);
+}
+
+TEST(Cli, MainStubWritesCompilableStub) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto ccl = write_file(dir, "a.ccl.xml", kCcl);
+    const auto out_dir = dir.path / "gen";
+    const auto r =
+        run({"main-stub", cdl.string(), ccl.string(), "-o", out_dir.string()});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_TRUE(fs::exists(out_dir / "PingApp_main.cpp"));
+}
+
+TEST(Cli, CanonReEmitsParseableDocuments) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto ccl = write_file(dir, "a.ccl.xml", kCcl);
+    const auto r = run({"canon", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("<CDL>"), std::string::npos);
+    EXPECT_NE(r.out.find("<Application>"), std::string::npos);
+    // The canonical output itself parses (split at the CCL root).
+    const auto app_pos = r.out.find("<?xml version=\"1.0\"?>\n<Application>");
+    ASSERT_NE(app_pos, std::string::npos);
+    EXPECT_NO_THROW(compadres::compiler::parse_cdl_string(
+        r.out.substr(0, app_pos)));
+    EXPECT_NO_THROW(compadres::compiler::parse_ccl_string(
+        r.out.substr(app_pos)));
+}

@@ -1,0 +1,91 @@
+// Skeleton generation: the C++ analogue of the paper's generated Java
+// component/handler skeletons.
+#include "compiler/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace compadres;
+
+namespace {
+const char* kCdl = R"(
+<CDL>
+ <Component>
+  <ComponentName>Server</ComponentName>
+  <Port><PortName>DataOut</PortName><PortType>Out</PortType><MessageType>String</MessageType></Port>
+  <Port><PortName>DataIn</PortName><PortType>In</PortType><MessageType>MyInteger</MessageType></Port>
+ </Component>
+ <Component>
+  <ComponentName>EchoClient</ComponentName>
+  <Port><PortName>reply</PortName><PortType>In</PortType><MessageType>String</MessageType></Port>
+ </Component>
+</CDL>)";
+} // namespace
+
+TEST(Codegen, OneFilePerComponentClass) {
+    const auto files =
+        compiler::generate_skeletons(compiler::parse_cdl_string(kCdl));
+    EXPECT_EQ(files.size(), 2u);
+    EXPECT_TRUE(files.count("server_component.hpp"));
+    EXPECT_TRUE(files.count("echo_client_component.hpp"));
+}
+
+TEST(Codegen, ComponentSkeletonDeclaresAllPorts) {
+    const auto files =
+        compiler::generate_skeletons(compiler::parse_cdl_string(kCdl));
+    const std::string& server = files.at("server_component.hpp");
+    EXPECT_NE(server.find("class Server : public compadres::core::Component"),
+              std::string::npos);
+    EXPECT_NE(server.find("add_out_port<compadres::core::TextMessage>(\"DataOut\""),
+              std::string::npos);
+    EXPECT_NE(server.find("add_in_port<compadres::core::MyInteger>(\"DataIn\""),
+              std::string::npos);
+}
+
+TEST(Codegen, HandlerSkeletonPerInPort) {
+    const auto files =
+        compiler::generate_skeletons(compiler::parse_cdl_string(kCdl));
+    const std::string& server = files.at("server_component.hpp");
+    EXPECT_NE(server.find("class Server_DataIn_Handler"), std::string::npos);
+    EXPECT_NE(server.find("void process(compadres::core::MyInteger& msg"),
+              std::string::npos);
+    // No handler for the Out port.
+    EXPECT_EQ(server.find("Server_DataOut_Handler"), std::string::npos);
+}
+
+TEST(Codegen, SkeletonUsesCclPortConfigHook) {
+    const auto files =
+        compiler::generate_skeletons(compiler::parse_cdl_string(kCdl));
+    EXPECT_NE(files.at("server_component.hpp").find("port_config(\"DataIn\")"),
+              std::string::npos);
+}
+
+TEST(Codegen, RegistrationHelperEmitted) {
+    const auto files =
+        compiler::generate_skeletons(compiler::parse_cdl_string(kCdl));
+    EXPECT_NE(files.at("server_component.hpp")
+                  .find("register_class<Server>(\"Server\")"),
+              std::string::npos);
+}
+
+TEST(Codegen, UnknownMessageTypesPassThrough) {
+    EXPECT_EQ(compiler::cpp_type_for_message("CustomType"), "CustomType");
+    EXPECT_EQ(compiler::cpp_type_for_message("String"),
+              "compadres::core::TextMessage");
+    EXPECT_EQ(compiler::cpp_type_for_message("OctetSeq"),
+              "compadres::core::OctetSeq");
+}
+
+TEST(Codegen, MainStubAssemblesAndStarts) {
+    const auto cdl = compiler::parse_cdl_string(kCdl);
+    const auto ccl = compiler::parse_ccl_string(
+        "<Application><ApplicationName>Demo</ApplicationName>"
+        "<Component><InstanceName>S</InstanceName><ClassName>Server</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component></Application>");
+    const auto plan = compiler::validate_and_plan(cdl, ccl);
+    const std::string main_stub = compiler::generate_main_stub(plan);
+    EXPECT_NE(main_stub.find("register_builtin_message_types"),
+              std::string::npos);
+    EXPECT_NE(main_stub.find("register_server()"), std::string::npos);
+    EXPECT_NE(main_stub.find("assemble_from_files"), std::string::npos);
+    EXPECT_NE(main_stub.find("app->start()"), std::string::npos);
+}

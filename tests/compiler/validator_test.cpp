@@ -1,0 +1,370 @@
+// Validator: every rule the paper's compiler enforces, exercised both ways.
+#include "compiler/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace compadres;
+using compiler::LinkKind;
+using compiler::ValidationError;
+
+namespace {
+
+// A CDL with enough shapes for all the link-topology cases.
+const char* kCdl = R"(
+<CDL>
+ <Component>
+  <ComponentName>Hub</ComponentName>
+  <Port><PortName>cmdOut</PortName><PortType>Out</PortType><MessageType>Cmd</MessageType></Port>
+  <Port><PortName>ackIn</PortName><PortType>In</PortType><MessageType>Ack</MessageType></Port>
+ </Component>
+ <Component>
+  <ComponentName>Node</ComponentName>
+  <Port><PortName>cmdIn</PortName><PortType>In</PortType><MessageType>Cmd</MessageType></Port>
+  <Port><PortName>ackOut</PortName><PortType>Out</PortType><MessageType>Ack</MessageType></Port>
+  <Port><PortName>fwdOut</PortName><PortType>Out</PortType><MessageType>Cmd</MessageType></Port>
+ </Component>
+</CDL>)";
+
+std::string ccl_app(const std::string& body) {
+    return "<Application><ApplicationName>T</ApplicationName>" + body +
+           "</Application>";
+}
+
+compiler::AssemblyPlan plan_of(const std::string& ccl_body) {
+    const auto cdl = compiler::parse_cdl_string(kCdl);
+    const auto ccl = compiler::parse_ccl_string(ccl_app(ccl_body));
+    return compiler::validate_and_plan(cdl, ccl);
+}
+
+std::vector<std::string> issues_of(const std::string& ccl_body) {
+    try {
+        plan_of(ccl_body);
+    } catch (const ValidationError& e) {
+        return e.issues();
+    }
+    return {};
+}
+
+bool any_issue_contains(const std::vector<std::string>& issues,
+                        const std::string& needle) {
+    for (const auto& issue : issues) {
+        if (issue.find(needle) != std::string::npos) return true;
+    }
+    return false;
+}
+
+// Component snippets.
+const char* kHubImmortal =
+    "<Component><InstanceName>H</InstanceName><ClassName>Hub</ClassName>"
+    "<ComponentType>Immortal</ComponentType>%BODY%</Component>";
+
+std::string hub_with(const std::string& body) {
+    std::string s = kHubImmortal;
+    return s.replace(s.find("%BODY%"), 6, body);
+}
+
+} // namespace
+
+TEST(Validator, AcceptsMinimalValidApp) {
+    const auto plan = plan_of(hub_with(""));
+    EXPECT_EQ(plan.application_name, "T");
+    ASSERT_EQ(plan.components.size(), 1u);
+    EXPECT_EQ(plan.components[0].class_name, "Hub");
+    EXPECT_TRUE(plan.connections.empty());
+}
+
+TEST(Validator, UnknownClassReported) {
+    const auto issues = issues_of(
+        "<Component><InstanceName>X</InstanceName><ClassName>Ghost</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component>");
+    EXPECT_TRUE(any_issue_contains(issues, "undefined component class 'Ghost'"));
+}
+
+TEST(Validator, DuplicateInstanceNamesReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Component><InstanceName>H</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component>");
+    EXPECT_TRUE(any_issue_contains(issues, "duplicate instance name 'H'"));
+}
+
+TEST(Validator, ParentChildLinkPlansInternalConnection) {
+    // Hub(immortal) contains Node(scoped L1); Hub.cmdOut -> Node.cmdIn.
+    const auto plan = plan_of(hub_with(
+        "<Connection><Port><PortName>cmdOut</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>N</ToComponent><ToPort>cmdIn</ToPort></Link>"
+        "</Port></Connection>"
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "</Component>"));
+    ASSERT_EQ(plan.connections.size(), 1u);
+    const auto& conn = plan.connections[0];
+    EXPECT_EQ(conn.from_instance, "H");
+    EXPECT_EQ(conn.from_port, "cmdOut");
+    EXPECT_EQ(conn.to_instance, "N");
+    EXPECT_EQ(conn.to_port, "cmdIn");
+    EXPECT_EQ(conn.host_instance, "H"); // parent hosts the pool
+    EXPECT_FALSE(conn.shadow);
+    EXPECT_EQ(conn.message_type, "Cmd");
+}
+
+TEST(Validator, LinkDeclaredOnInSideIsOrientedOutToIn) {
+    // Same topology, but the link written under the child's In port.
+    const auto plan = plan_of(hub_with(
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Connection><Port><PortName>cmdIn</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>H</ToComponent><ToPort>cmdOut</ToPort></Link>"
+        "</Port></Connection></Component>"));
+    ASSERT_EQ(plan.connections.size(), 1u);
+    EXPECT_EQ(plan.connections[0].from_instance, "H"); // Out side first
+    EXPECT_EQ(plan.connections[0].to_instance, "N");
+}
+
+TEST(Validator, SiblingLinkMustBeExternal) {
+    const auto issues = issues_of(hub_with(
+        "<Component><InstanceName>A</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Connection><Port><PortName>fwdOut</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>B</ToComponent><ToPort>cmdIn</ToPort></Link>"
+        "</Port></Connection></Component>"
+        "<Component><InstanceName>B</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "</Component>"));
+    EXPECT_TRUE(any_issue_contains(issues, "must be declared External"));
+}
+
+TEST(Validator, SiblingExternalLinkHostedByParent) {
+    const auto plan = plan_of(hub_with(
+        "<Component><InstanceName>A</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Connection><Port><PortName>fwdOut</PortName>"
+        "<Link><PortType>External</PortType>"
+        "<ToComponent>B</ToComponent><ToPort>cmdIn</ToPort></Link>"
+        "</Port></Connection></Component>"
+        "<Component><InstanceName>B</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "</Component>"));
+    ASSERT_EQ(plan.connections.size(), 1u);
+    EXPECT_EQ(plan.connections[0].host_instance, "H");
+    EXPECT_FALSE(plan.connections[0].shadow);
+}
+
+TEST(Validator, GrandparentLinkBecomesShadowPort) {
+    // Node (L2) -> Hub (immortal grandparent): compiler detects the shadow
+    // port (paper Fig. 5) and hosts the pool at the ancestor.
+    const auto plan = plan_of(hub_with(
+        "<Component><InstanceName>Mid</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Component><InstanceName>Leaf</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>"
+        "<Connection><Port><PortName>ackOut</PortName>"
+        "<Link><PortType>External</PortType>"
+        "<ToComponent>H</ToComponent><ToPort>ackIn</ToPort></Link>"
+        "</Port></Connection></Component></Component>"));
+    ASSERT_EQ(plan.connections.size(), 1u);
+    EXPECT_TRUE(plan.connections[0].shadow);
+    EXPECT_EQ(plan.connections[0].host_instance, "H");
+}
+
+TEST(Validator, GrandparentInternalLinkRejected) {
+    const auto issues = issues_of(hub_with(
+        "<Component><InstanceName>Mid</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Component><InstanceName>Leaf</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>"
+        "<Connection><Port><PortName>ackOut</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>H</ToComponent><ToPort>ackIn</ToPort></Link>"
+        "</Port></Connection></Component></Component>"));
+    EXPECT_TRUE(any_issue_contains(issues, "shadow port"));
+}
+
+TEST(Validator, OutToOutRejected) {
+    const auto issues = issues_of(hub_with(
+        "<Connection><Port><PortName>cmdOut</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>N</ToComponent><ToPort>fwdOut</ToPort></Link>"
+        "</Port></Connection>"
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "</Component>"));
+    EXPECT_TRUE(
+        any_issue_contains(issues, "Out ports must be connected to In ports"));
+}
+
+TEST(Validator, MessageTypeMismatchRejected) {
+    const auto issues = issues_of(hub_with(
+        "<Connection><Port><PortName>cmdOut</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>N</ToComponent><ToPort>cmdIn</ToPort></Link>"
+        "</Port><Port><PortName>ackIn</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>N</ToComponent><ToPort>fwdOut</ToPort></Link>"
+        "</Port></Connection>"
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "</Component>"));
+    // ackIn carries Ack; fwdOut carries Cmd.
+    EXPECT_TRUE(any_issue_contains(issues, "message type mismatch"));
+}
+
+TEST(Validator, SelfConnectionIsLoop) {
+    const auto issues = issues_of(hub_with(
+        "<Connection><Port><PortName>cmdOut</PortName>"
+        "<Link><PortType>External</PortType>"
+        "<ToComponent>H</ToComponent><ToPort>ackIn</ToPort></Link>"
+        "</Port></Connection>"));
+    EXPECT_TRUE(any_issue_contains(issues, "loop"));
+}
+
+TEST(Validator, UnknownPeerInstanceReported) {
+    const auto issues = issues_of(hub_with(
+        "<Connection><Port><PortName>cmdOut</PortName>"
+        "<Link><PortType>External</PortType>"
+        "<ToComponent>Ghost</ToComponent><ToPort>cmdIn</ToPort></Link>"
+        "</Port></Connection>"));
+    EXPECT_TRUE(any_issue_contains(issues, "unknown instance 'Ghost'"));
+}
+
+TEST(Validator, UnknownPortReported) {
+    const auto issues = issues_of(hub_with(
+        "<Connection><Port><PortName>cmdOut</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>N</ToComponent><ToPort>bogusPort</ToPort></Link>"
+        "</Port></Connection>"
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "</Component>"));
+    EXPECT_TRUE(any_issue_contains(issues, "unknown port"));
+}
+
+TEST(Validator, PortNotInClassReported) {
+    const auto issues = issues_of(hub_with(
+        "<Connection><Port><PortName>madeUp</PortName></Port></Connection>"));
+    EXPECT_TRUE(any_issue_contains(issues, "does not define"));
+}
+
+TEST(Validator, AttributesOnOutPortReported) {
+    const auto issues = issues_of(hub_with(
+        "<Connection><Port><PortName>cmdOut</PortName>"
+        "<PortAttributes><BufferSize>4</BufferSize></PortAttributes>"
+        "</Port></Connection>"));
+    EXPECT_TRUE(any_issue_contains(issues, "apply only to In ports"));
+}
+
+TEST(Validator, WrongScopeLevelReported) {
+    const auto issues = issues_of(hub_with(
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>3</ScopeLevel>"
+        "</Component>"));
+    EXPECT_TRUE(any_issue_contains(issues, "child must be parent + 1"));
+}
+
+TEST(Validator, ImmortalInsideScopedReported) {
+    const auto issues = issues_of(hub_with(
+        "<Component><InstanceName>Mid</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Component><InstanceName>Inner</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Immortal</ComponentType>"
+        "</Component></Component>"));
+    EXPECT_TRUE(any_issue_contains(issues, "cannot be nested inside scoped"));
+}
+
+TEST(Validator, CousinConnectionRejected) {
+    // Two scoped subtrees; leaf of one to leaf of the other: not siblings,
+    // not ancestor/descendant — illegal under the scoping rules.
+    const auto issues = issues_of(hub_with(
+        "<Component><InstanceName>L</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Component><InstanceName>LL</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>"
+        "<Connection><Port><PortName>fwdOut</PortName>"
+        "<Link><PortType>External</PortType>"
+        "<ToComponent>RR</ToComponent><ToPort>cmdIn</ToPort></Link>"
+        "</Port></Connection></Component></Component>"
+        "<Component><InstanceName>R</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Component><InstanceName>RR</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>"
+        "</Component></Component>"));
+    EXPECT_TRUE(any_issue_contains(issues, "neither parent/child"));
+}
+
+TEST(Validator, EdgeDeclaredOnBothEndsCollapsesToOne) {
+    const auto plan = plan_of(hub_with(
+        "<Connection><Port><PortName>cmdOut</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>N</ToComponent><ToPort>cmdIn</ToPort></Link>"
+        "</Port></Connection>"
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Connection><Port><PortName>cmdIn</PortName>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>H</ToComponent><ToPort>cmdOut</ToPort></Link>"
+        "</Port></Connection></Component>"));
+    EXPECT_EQ(plan.connections.size(), 1u);
+}
+
+TEST(Validator, UsedLevelsGetPoolsInPlan) {
+    const auto plan = plan_of(hub_with(
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Component><InstanceName>NN</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>2</ScopeLevel>"
+        "</Component></Component>"));
+    std::set<int> levels;
+    for (const auto& pool : plan.rtsj.scoped_pools) levels.insert(pool.level);
+    EXPECT_TRUE(levels.count(1));
+    EXPECT_TRUE(levels.count(2));
+}
+
+TEST(Validator, PoolCapacityDerivedFromPortAttributes) {
+    const auto plan = plan_of(hub_with(
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Connection><Port><PortName>cmdIn</PortName>"
+        "<PortAttributes><BufferSize>6</BufferSize>"
+        "<MinThreadpoolSize>1</MinThreadpoolSize>"
+        "<MaxThreadpoolSize>4</MaxThreadpoolSize></PortAttributes>"
+        "<Link><PortType>Internal</PortType>"
+        "<ToComponent>H</ToComponent><ToPort>cmdOut</ToPort></Link>"
+        "</Port></Connection></Component>"));
+    ASSERT_EQ(plan.connections.size(), 1u);
+    EXPECT_EQ(plan.connections[0].pool_capacity, 6u + 4u + 2u);
+}
+
+TEST(Validator, PortConfigsLandInPlannedComponent) {
+    const auto plan = plan_of(hub_with(
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Connection><Port><PortName>cmdIn</PortName>"
+        "<PortAttributes><BufferSize>9</BufferSize>"
+        "<Threadpool>Shared</Threadpool>"
+        "<MinThreadpoolSize>2</MinThreadpoolSize>"
+        "<MaxThreadpoolSize>3</MaxThreadpoolSize></PortAttributes>"
+        "</Port></Connection></Component>"));
+    const compiler::PlannedComponent* node = nullptr;
+    for (const auto& pc : plan.components) {
+        if (pc.instance_name == "N") node = &pc;
+    }
+    ASSERT_NE(node, nullptr);
+    ASSERT_TRUE(node->port_configs.count("cmdIn"));
+    EXPECT_EQ(node->port_configs.at("cmdIn").buffer_size, 9u);
+    EXPECT_EQ(node->port_configs.at("cmdIn").strategy,
+              core::ThreadpoolStrategy::kShared);
+}
+
+TEST(Validator, AllIssuesReportedTogether) {
+    const auto issues = issues_of(
+        "<Component><InstanceName>X</InstanceName><ClassName>Ghost1</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component>"
+        "<Component><InstanceName>Y</InstanceName><ClassName>Ghost2</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component>");
+    EXPECT_GE(issues.size(), 2u);
+}

@@ -1,0 +1,157 @@
+// Standard components: PeriodicSource and Watchdog behaviour.
+#include "components/standard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace compadres;
+
+namespace {
+
+class StandardComponentsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        core::register_builtin_message_types();
+        components::register_standard_components();
+    }
+
+    static core::InPortConfig sync_port() {
+        core::InPortConfig cfg;
+        cfg.buffer_size = 16;
+        cfg.min_threads = cfg.max_threads = 0;
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST_F(StandardComponentsTest, PeriodicSourceEmitsTicks) {
+    core::Application app("t");
+    auto& source = app.create_immortal<components::PeriodicSource>("Ticker");
+    source.set_period_ns(3'000'000); // 3 ms
+    std::atomic<int> got{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    auto& sink = app.create_immortal<core::Component>("Sink");
+    sink.add_in_port<core::MyInteger>("in", "MyInteger", sync_port(),
+                                      [&](core::MyInteger&, core::Smm&) {
+                                          got.fetch_add(1);
+                                          cv.notify_all();
+                                      });
+    app.connect(source, "tick", sink, "in");
+    app.start();
+    {
+        std::unique_lock lk(mu);
+        EXPECT_TRUE(cv.wait_for(lk, std::chrono::seconds(3),
+                                [&] { return got.load() >= 5; }));
+    }
+    app.shutdown();
+    EXPECT_GE(source.ticks_emitted(), 5u);
+}
+
+TEST_F(StandardComponentsTest, PeriodicSourceSkipsWhenDownstreamSaturated) {
+    core::Application app("t");
+    auto& source = app.create_immortal<components::PeriodicSource>("Ticker");
+    source.set_period_ns(1'000'000); // 1 ms
+    std::atomic<int> got{0};
+    auto& sink = app.create_immortal<core::Component>("Sink");
+    core::InPortConfig slow;
+    slow.buffer_size = 2;
+    slow.min_threads = slow.max_threads = 1;
+    sink.add_in_port<core::MyInteger>("in", "MyInteger", slow,
+                                      [&](core::MyInteger&, core::Smm&) {
+                                          rt::sleep_ns(20'000'000); // 20 ms
+                                          got.fetch_add(1);
+                                      });
+    app.connect(source, "tick", sink, "in", /*pool_capacity=*/4);
+    app.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    app.shutdown();
+    // The ticker must never have blocked: ticks were skipped, not queued
+    // without bound, and the app tears down promptly.
+    EXPECT_GT(got.load(), 0);
+    EXPECT_LT(source.ticks_emitted(), 200u);
+}
+
+TEST_F(StandardComponentsTest, WatchdogStaysQuietWhileHeartbeatsFlow) {
+    core::Application app("t");
+    auto& dog = app.create_immortal<components::Watchdog>("Dog");
+    dog.set_deadline_ns(30'000'000); // 30 ms
+    auto& client = app.create_immortal<core::Component>("Client");
+    auto& beat = client.add_out_port<core::MyInteger>("beat", "MyInteger");
+    app.connect(client, "beat", dog, "heartbeat");
+    app.start();
+    for (int i = 0; i < 10; ++i) {
+        beat.send(beat.get_message(), 5);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(dog.alarms_raised(), 0u);
+    EXPECT_GE(dog.heartbeats_seen(), 10u);
+    app.shutdown();
+}
+
+TEST_F(StandardComponentsTest, WatchdogRaisesAlarmOnSilence) {
+    core::Application app("t");
+    auto& dog = app.create_immortal<components::Watchdog>("Dog");
+    dog.set_deadline_ns(15'000'000); // 15 ms
+    std::atomic<int> alarms{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    auto& monitor = app.create_immortal<core::Component>("Monitor");
+    monitor.add_in_port<core::MyInteger>("alarms", "MyInteger", sync_port(),
+                                         [&](core::MyInteger&, core::Smm&) {
+                                             alarms.fetch_add(1);
+                                             cv.notify_all();
+                                         });
+    auto& client = app.create_immortal<core::Component>("Client");
+    client.add_out_port<core::MyInteger>("beat", "MyInteger");
+    app.connect(client, "beat", dog, "heartbeat");
+    app.connect(dog, "alarm", monitor, "alarms");
+    app.start();
+    // Send nothing: the watchdog must bark within a few deadlines.
+    {
+        std::unique_lock lk(mu);
+        EXPECT_TRUE(cv.wait_for(lk, std::chrono::seconds(3),
+                                [&] { return alarms.load() >= 1; }));
+    }
+    EXPECT_GE(dog.alarms_raised(), 1u);
+    app.shutdown();
+}
+
+TEST_F(StandardComponentsTest, WatchdogRecoversWhenHeartbeatsResume) {
+    core::Application app("t");
+    auto& dog = app.create_immortal<components::Watchdog>("Dog");
+    dog.set_deadline_ns(15'000'000);
+    auto& client = app.create_immortal<core::Component>("Client");
+    auto& beat = client.add_out_port<core::MyInteger>("beat", "MyInteger");
+    app.connect(client, "beat", dog, "heartbeat");
+    app.start();
+    // Go silent long enough to bark...
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    const auto barks = dog.alarms_raised();
+    EXPECT_GE(barks, 1u);
+    // ...then resume heartbeats: no further alarms accumulate.
+    for (int i = 0; i < 12; ++i) {
+        beat.send(beat.get_message(), 5);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_LE(dog.alarms_raised() - barks, 1u);
+    app.shutdown();
+}
+
+TEST_F(StandardComponentsTest, CreatableByNameFromRegistry) {
+    core::Application app("t");
+    core::Component& source = app.create_by_name(
+        "PeriodicSource", "S", nullptr, core::ComponentType::kImmortal, 0);
+    core::Component& dog = app.create_by_name(
+        "Watchdog", "D", nullptr, core::ComponentType::kImmortal, 0);
+    EXPECT_NE(dynamic_cast<components::PeriodicSource*>(&source), nullptr);
+    EXPECT_NE(dynamic_cast<components::Watchdog*>(&dog), nullptr);
+    EXPECT_NE(source.find_out_port("tick"), nullptr);
+    EXPECT_NE(dog.find_in_port("heartbeat"), nullptr);
+}

@@ -1,0 +1,217 @@
+// Application: region layout from RTSJAttributes, lookup, LCA, lifecycle,
+// and the paper's Fig. 6 client/server example built programmatically.
+#include "core/application.hpp"
+#include "core/messages.hpp"
+#include "rt/clock.hpp"
+#include "rt/stats.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace compadres;
+using test::TestMsg;
+
+namespace {
+
+class ApplicationTest : public ::testing::Test {
+protected:
+    void SetUp() override { test::register_test_types(); }
+
+    static core::InPortConfig sync_port() {
+        core::InPortConfig cfg;
+        cfg.min_threads = cfg.max_threads = 0;
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST_F(ApplicationTest, RtsjAttributesShapeRegions) {
+    core::RtsjAttributes attrs;
+    attrs.immortal_size = 1 * 1024 * 1024;
+    attrs.scoped_pools = {{1, 200'000, 3}, {2, 100'000, 5}};
+    core::Application app("MyApp", attrs);
+    EXPECT_EQ(app.immortal().capacity(), 1024u * 1024u);
+    EXPECT_EQ(app.pool_for_level(1).total(), 3u);
+    EXPECT_EQ(app.pool_for_level(1).scope_size(), 200'000u);
+    EXPECT_EQ(app.pool_for_level(2).total(), 5u);
+}
+
+TEST_F(ApplicationTest, DuplicatePoolLevelRejected) {
+    core::RtsjAttributes attrs;
+    attrs.scoped_pools = {{1, 1000, 1}, {1, 2000, 2}};
+    EXPECT_THROW(core::Application("bad", attrs), core::AssemblyError);
+}
+
+TEST_F(ApplicationTest, UndeclaredLevelGetsDefaultPool) {
+    core::Application app("t");
+    memory::ScopePool& pool = app.pool_for_level(7);
+    EXPECT_GT(pool.total(), 0u);
+    EXPECT_EQ(&pool, &app.pool_for_level(7)); // memoized
+}
+
+TEST_F(ApplicationTest, FindAndComponentLookup) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    EXPECT_EQ(app.find("A"), &a);
+    EXPECT_EQ(app.find("Z"), nullptr);
+    EXPECT_EQ(&app.component("A"), &a);
+    EXPECT_THROW(app.component("Z"), core::AssemblyError);
+    EXPECT_EQ(app.component_count(), 1u);
+}
+
+TEST_F(ApplicationTest, CommonAncestorComputation) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_scoped<core::Component>("B", a, 1);
+    auto& c = app.create_scoped<core::Component>("C", a, 1);
+    auto& d = app.create_scoped<core::Component>("D", c, 2);
+    EXPECT_EQ(&app.common_ancestor(b, c), &a);
+    EXPECT_EQ(&app.common_ancestor(b, d), &a);
+    EXPECT_EQ(&app.common_ancestor(c, d), &c); // ancestor endpoint
+    EXPECT_EQ(&app.common_ancestor(d, d), &d);
+    auto& e = app.create_immortal<core::Component>("E");
+    EXPECT_EQ(&app.common_ancestor(a, e), &app.root());
+}
+
+TEST_F(ApplicationTest, ShutdownIsIdempotent) {
+    core::Application app("t");
+    auto& p = app.create_immortal<core::Component>("P");
+    app.create_scoped<core::Component>("C", p, 1);
+    app.shutdown();
+    app.shutdown();
+    EXPECT_EQ(app.component_count(), 0u);
+}
+
+// ---- The paper's Fig. 6 example, built programmatically ----
+//
+// IMC (immortal) --P1--> Client.P2; Client --P3--> Server.P4 (siblings);
+// Server --P5--> Client.P6. Handlers mirror Fig. 7/8: P2 sends the request,
+// P4 replies, P6 records the round-trip completion.
+namespace {
+
+struct Fig6 {
+    core::Application app{"Fig6", [] {
+        core::RtsjAttributes attrs;
+        attrs.scoped_pools = {{1, 256 * 1024, 4}};
+        return attrs;
+    }()};
+    core::Component* imc = nullptr;
+    core::Component* client = nullptr;
+    core::Component* server = nullptr;
+    test::Collector<int> replies;
+
+    explicit Fig6(const core::InPortConfig& port_cfg) {
+        imc = &app.create_immortal<core::Component>("IMC");
+        client = &app.create_scoped<core::Component>("MyClient", *imc, 1);
+        server = &app.create_scoped<core::Component>("MyServer", *imc, 1);
+
+        imc->add_out_port<core::MyInteger>("P1", "MyInteger");
+        client->add_in_port<core::MyInteger>(
+            "P2", "MyInteger", port_cfg,
+            [this](core::MyInteger&, core::Smm& smm) {
+                // Fig. 7: P2's handler gets P3 from the SMM and sends the
+                // request to the server.
+                auto& p3 = static_cast<core::OutPort<core::MyInteger>&>(
+                    smm.get_out_port("P3"));
+                core::MyInteger* req = p3.get_message();
+                req->value = 3;
+                p3.send(req, 3);
+            });
+        client->add_out_port<core::MyInteger>("P3", "MyInteger");
+        server->add_in_port<core::MyInteger>(
+            "P4", "MyInteger", port_cfg,
+            [this](core::MyInteger&, core::Smm& smm) {
+                auto& p5 = static_cast<core::OutPort<core::MyInteger>&>(
+                    smm.get_out_port("P5"));
+                core::MyInteger* reply = p5.get_message();
+                reply->value = 4;
+                p5.send(reply, 3);
+            });
+        server->add_out_port<core::MyInteger>("P5", "MyInteger");
+        client->add_in_port<core::MyInteger>(
+            "P6", "MyInteger", port_cfg,
+            [this](core::MyInteger& m, core::Smm&) { replies.add(m.value); });
+
+        app.connect(*imc, "P1", *client, "P2");       // internal
+        app.connect(*client, "P3", *server, "P4");    // external (siblings)
+        app.connect(*server, "P5", *client, "P6");    // external (siblings)
+        app.start();
+    }
+
+    void trigger() {
+        auto& p1 = imc->out_port_t<core::MyInteger>("P1");
+        core::MyInteger* m = p1.get_message();
+        p1.send(m, 2);
+    }
+};
+
+} // namespace
+
+TEST_F(ApplicationTest, Fig6RoundTripSynchronous) {
+    core::InPortConfig sync;
+    sync.min_threads = sync.max_threads = 0;
+    Fig6 fig(sync);
+    fig.trigger();
+    ASSERT_TRUE(fig.replies.wait_for(1));
+    EXPECT_EQ(fig.replies.items().front(), 4);
+}
+
+TEST_F(ApplicationTest, Fig6RoundTripPooled) {
+    core::InPortConfig pooled;
+    pooled.buffer_size = 10;
+    pooled.min_threads = 1;
+    pooled.max_threads = 5;
+    Fig6 fig(pooled);
+    for (int i = 0; i < 50; ++i) fig.trigger();
+    ASSERT_TRUE(fig.replies.wait_for(50));
+    for (const int v : fig.replies.items()) EXPECT_EQ(v, 4);
+}
+
+TEST_F(ApplicationTest, Fig6PoolsHostedByImcSmm) {
+    core::InPortConfig sync;
+    sync.min_threads = sync.max_threads = 0;
+    Fig6 fig(sync);
+    // All three connections (IMC->Client internal, Client<->Server external)
+    // are hosted by IMC: its SMM owns every pool, in IMC's region.
+    auto& p3 = fig.client->out_port_t<core::MyInteger>("P3");
+    EXPECT_EQ(&p3.smm()->owner(), fig.imc);
+    EXPECT_EQ(&p3.pool()->region(), &fig.imc->region());
+}
+
+TEST_F(ApplicationTest, Fig6SteadyStateLatencyIsFinite) {
+    // A smoke version of the §3.1 measurement loop: steady-state
+    // round-trips complete and the recorder sees sane samples.
+    core::InPortConfig sync;
+    sync.min_threads = sync.max_threads = 0;
+    Fig6 fig(sync);
+    rt::StatsRecorder rec;
+    for (int i = 0; i < 200; ++i) {
+        const auto t0 = rt::now_ns();
+        fig.trigger();
+        ASSERT_TRUE(fig.replies.wait_for(i + 1));
+        rec.record(rt::now_ns() - t0);
+    }
+    rec.discard_warmup(50);
+    const auto s = rec.summarize();
+    EXPECT_EQ(s.count, 150u);
+    EXPECT_GT(s.median, 0);
+    EXPECT_GE(s.max, s.median);
+}
+
+TEST_F(ApplicationTest, DescribeListsTopologyAndConnections) {
+    core::Application app("desc");
+    auto& a = app.create_immortal<core::Component>("Alpha");
+    auto& b = app.create_scoped<core::Component>("Beta", a, 1);
+    a.add_out_port<TestMsg>("out", "TestMsg");
+    b.add_in_port<TestMsg>("in", "TestMsg", sync_port(),
+                           [](TestMsg&, core::Smm&) {});
+    app.connect(a, "out", b, "in");
+    const std::string text = app.describe();
+    EXPECT_NE(text.find("application 'desc' (2 components)"), std::string::npos);
+    EXPECT_NE(text.find("- Alpha [immortal"), std::string::npos);
+    EXPECT_NE(text.find("  - Beta [scoped L1"), std::string::npos);
+    EXPECT_NE(text.find("Alpha.out -> Beta.in <TestMsg> via SMM of Alpha"),
+              std::string::npos);
+}

@@ -1,0 +1,204 @@
+// Component: construction in regions, port management, hierarchy, levels.
+#include "core/application.hpp"
+#include "core/messages.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace compadres;
+using test::TestMsg;
+
+namespace {
+
+class ComponentTest : public ::testing::Test {
+protected:
+    void SetUp() override { test::register_test_types(); }
+};
+
+/// A component class in the paper's style: ports declared in the
+/// constructor, _start() implemented by the user.
+class Producer : public core::Component {
+public:
+    explicit Producer(const core::ComponentContext& ctx) : core::Component(ctx) {
+        add_out_port<TestMsg>("out", "TestMsg");
+    }
+
+    void _start() override { started = true; }
+
+    bool started = false;
+};
+
+} // namespace
+
+TEST_F(ComponentTest, ImmortalComponentLivesInImmortalRegion) {
+    core::Application app("t");
+    auto& c = app.create_immortal<core::Component>("A");
+    EXPECT_EQ(&c.region(), &app.immortal());
+    EXPECT_EQ(c.level(), 0);
+    EXPECT_EQ(c.parent(), &app.root());
+}
+
+TEST_F(ComponentTest, ScopedComponentLivesInPooledScope) {
+    core::Application app("t");
+    auto& parent = app.create_immortal<core::Component>("P");
+    auto& child = app.create_scoped<core::Component>("C", parent, 1);
+    EXPECT_EQ(child.region().kind(), memory::RegionKind::kScoped);
+    EXPECT_EQ(child.level(), 1);
+    EXPECT_EQ(child.parent(), &parent);
+    EXPECT_EQ(child.region().parent(), &parent.region());
+}
+
+TEST_F(ComponentTest, NestedScopedComponentsStackLevels) {
+    // The paper's Fig. 2: A (level 1) contains B and C; C contains D and E.
+    core::Application app("t");
+    auto& a = app.create_scoped<core::Component>("A", app.root(), 1);
+    auto& b = app.create_scoped<core::Component>("B", a, 2);
+    auto& c = app.create_scoped<core::Component>("C", a, 2);
+    auto& d = app.create_scoped<core::Component>("D", c, 3);
+    auto& e = app.create_scoped<core::Component>("E", c, 3);
+    EXPECT_EQ(a.level(), 1);
+    EXPECT_EQ(b.level(), 2);
+    EXPECT_EQ(d.level(), 3);
+    EXPECT_EQ(e.level(), 3);
+    EXPECT_EQ(a.children().size(), 2u);
+    EXPECT_EQ(c.children().size(), 2u);
+    EXPECT_TRUE(d.region().has_ancestor(&a.region()));
+    EXPECT_FALSE(b.region().has_ancestor(&c.region()));
+}
+
+TEST_F(ComponentTest, StartHookRunsOnApplicationStart) {
+    core::Application app("t");
+    auto& p = app.create_immortal<Producer>("P");
+    EXPECT_FALSE(p.started);
+    app.start();
+    EXPECT_TRUE(p.started);
+}
+
+TEST_F(ComponentTest, StartIsIdempotent) {
+    core::Application app("t");
+    auto& p = app.create_immortal<Producer>("P");
+    app.start();
+    p.started = false;
+    app.start(); // second call must not re-run _start
+    EXPECT_FALSE(p.started);
+}
+
+TEST_F(ComponentTest, PortLookupByName) {
+    core::Application app("t");
+    auto& c = app.create_immortal<core::Component>("A");
+    c.add_out_port<TestMsg>("out", "TestMsg");
+    core::InPortConfig sync{};
+    sync.min_threads = sync.max_threads = 0;
+    c.add_in_port<TestMsg>("in", "TestMsg", sync, [](TestMsg&, core::Smm&) {});
+    EXPECT_NE(c.find_out_port("out"), nullptr);
+    EXPECT_NE(c.find_in_port("in"), nullptr);
+    EXPECT_EQ(c.find_out_port("in"), nullptr);
+    EXPECT_EQ(c.find_in_port("missing"), nullptr);
+    EXPECT_THROW(c.out_port("missing"), core::PortError);
+    EXPECT_THROW(c.in_port("missing"), core::PortError);
+}
+
+TEST_F(ComponentTest, TypedPortAccessorChecksType) {
+    core::Application app("t");
+    auto& c = app.create_immortal<core::Component>("A");
+    c.add_out_port<TestMsg>("out", "TestMsg");
+    EXPECT_NO_THROW(c.out_port_t<TestMsg>("out"));
+    EXPECT_THROW(c.out_port_t<core::MyInteger>("out"), core::PortError);
+}
+
+TEST_F(ComponentTest, PortConfigComesFromContext) {
+    core::ComponentRegistry::global().register_class<core::Component>(
+        "Component");
+    core::Application app("t");
+    core::InPortConfig custom;
+    custom.buffer_size = 77;
+    custom.min_threads = 3;
+    custom.max_threads = 9;
+    auto& c = app.create_by_name("Component", "A", nullptr,
+                                 core::ComponentType::kImmortal, 0,
+                                 {{"in", custom}});
+    EXPECT_EQ(c.port_config("in").buffer_size, 77u);
+    EXPECT_EQ(c.port_config("in").max_threads, 9u);
+    // Fallback for ports the CCL did not configure.
+    EXPECT_EQ(c.port_config("other").buffer_size,
+              core::InPortConfig{}.buffer_size);
+}
+
+TEST_F(ComponentTest, ComponentObjectsAllocatedInsideTheirRegion) {
+    core::Application app("t");
+    const std::size_t imm_before = app.immortal().used();
+    app.create_immortal<Producer>("P");
+    EXPECT_GT(app.immortal().used(), imm_before);
+
+    auto& parent = app.create_immortal<core::Component>("Parent");
+    memory::ScopePool& pool = app.pool_for_level(1);
+    const std::size_t avail_before = pool.available();
+    auto& child = app.create_scoped<Producer>("Child", parent, 1);
+    EXPECT_EQ(pool.available(), avail_before - 1);
+    EXPECT_GT(child.region().used(), 0u);
+}
+
+TEST_F(ComponentTest, DuplicateInstanceNameRejected) {
+    core::Application app("t");
+    app.create_immortal<core::Component>("A");
+    EXPECT_THROW(app.create_immortal<core::Component>("A"),
+                 core::AssemblyError);
+}
+
+TEST_F(ComponentTest, ShutdownReturnsScopesToPools) {
+    core::Application app("t");
+    auto& parent = app.create_immortal<core::Component>("P");
+    memory::ScopePool& pool = app.pool_for_level(1);
+    const std::size_t total = pool.available();
+    app.create_scoped<core::Component>("C1", parent, 1);
+    app.create_scoped<core::Component>("C2", parent, 1);
+    EXPECT_EQ(pool.available(), total - 2);
+    app.shutdown();
+    EXPECT_EQ(pool.available(), total);
+}
+
+TEST_F(ComponentTest, ScopedComponentDestructorRunsOnShutdown) {
+    static int destroyed = 0;
+    destroyed = 0;
+    struct Tracked : core::Component {
+        explicit Tracked(const core::ComponentContext& ctx)
+            : core::Component(ctx) {}
+        ~Tracked() override { ++destroyed; }
+    };
+    {
+        core::Application app("t");
+        auto& parent = app.create_immortal<core::Component>("P");
+        app.create_scoped<Tracked>("C", parent, 1);
+        EXPECT_EQ(destroyed, 0);
+        app.shutdown();
+        EXPECT_EQ(destroyed, 1);
+    }
+    EXPECT_EQ(destroyed, 1); // not destroyed twice by the app destructor
+}
+
+TEST_F(ComponentTest, SmmIsCreatedLazilyInOwnRegion) {
+    core::Application app("t");
+    auto& c = app.create_immortal<core::Component>("A");
+    EXPECT_EQ(c.smm_if_created(), nullptr);
+    core::Smm& smm = c.smm();
+    EXPECT_EQ(&smm, c.smm_if_created());
+    EXPECT_EQ(&smm.region(), &c.region());
+    EXPECT_EQ(&smm.owner(), &c);
+}
+
+TEST_F(ComponentTest, CreateByNameRequiresRegisteredClass) {
+    core::Application app("t");
+    EXPECT_THROW(app.create_by_name("NoSuchClass", "x", nullptr,
+                                    core::ComponentType::kImmortal, 0),
+                 core::RegistryError);
+}
+
+TEST_F(ComponentTest, RegisteredClassCreatableByName) {
+    core::ComponentRegistry::global().register_class<Producer>("Producer");
+    core::Application app("t");
+    core::Component& c = app.create_by_name(
+        "Producer", "MyProducer", nullptr, core::ComponentType::kImmortal, 0);
+    EXPECT_NE(dynamic_cast<Producer*>(&c), nullptr);
+    EXPECT_EQ(c.instance_name(), "MyProducer");
+}

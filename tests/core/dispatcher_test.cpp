@@ -1,0 +1,205 @@
+// Dispatcher: pool growth, shared pools, shutdown draining.
+#include "core/application.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+using namespace compadres;
+using test::TestMsg;
+
+namespace {
+
+class DispatcherTest : public ::testing::Test {
+protected:
+    void SetUp() override { test::register_test_types(); }
+};
+
+core::InPortConfig cfg(std::size_t buffer, std::size_t min_t, std::size_t max_t,
+                       core::ThreadpoolStrategy strategy =
+                           core::ThreadpoolStrategy::kDedicated) {
+    core::InPortConfig c;
+    c.buffer_size = buffer;
+    c.min_threads = min_t;
+    c.max_threads = max_t;
+    c.strategy = strategy;
+    return c;
+}
+
+} // namespace
+
+TEST_F(DispatcherTest, StartsWithMinThreads) {
+    core::Application app("t");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& in = b.add_in_port<TestMsg>("in", "TestMsg", cfg(8, 2, 5),
+                                      [](TestMsg&, core::Smm&) {});
+    ASSERT_NE(in.dispatcher(), nullptr);
+    EXPECT_EQ(in.dispatcher()->worker_count(), 2u);
+    app.shutdown();
+}
+
+TEST_F(DispatcherTest, GrowsUpToMaxUnderLoad) {
+    // Paper: "The number of threads in the pool is initialized to
+    // MinThreadpoolSize value and can go up to the MaxThreadpoolSize".
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out = a.add_out_port<TestMsg>("out", "TestMsg");
+    std::mutex gate;
+    test::Waiter entered;
+    gate.lock();
+    auto& in = b.add_in_port<TestMsg>("in", "TestMsg", cfg(16, 1, 4),
+                                      [&](TestMsg&, core::Smm&) {
+                                          entered.notify();
+                                          std::lock_guard lk(gate);
+                                      });
+    app.connect(a, "out", b, "in", 32);
+    // Occupy the first worker, then submit while it is provably busy so
+    // the grow-on-demand branch is exercised deterministically.
+    out.send(out.get_message(), 1);
+    const bool first_started = entered.wait_for(1);
+    if (first_started) {
+        for (int i = 0; i < 7; ++i) out.send(out.get_message(), 1);
+        EXPECT_GT(in.dispatcher()->worker_count(), 1u);
+        EXPECT_LE(in.dispatcher()->worker_count(), 4u);
+    }
+    gate.unlock(); // always release before teardown, even on failure above
+    EXPECT_TRUE(first_started);
+    if (first_started) {
+        EXPECT_TRUE(entered.wait_for(8));
+    }
+    app.shutdown();
+}
+
+TEST_F(DispatcherTest, ParallelWorkersProcessConcurrently) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out = a.add_out_port<TestMsg>("out", "TestMsg");
+    std::atomic<int> concurrent{0};
+    std::atomic<int> peak{0};
+    test::Waiter done;
+    b.add_in_port<TestMsg>("in", "TestMsg", cfg(16, 4, 4),
+                           [&](TestMsg&, core::Smm&) {
+                               const int now = concurrent.fetch_add(1) + 1;
+                               int expected = peak.load();
+                               while (now > expected &&
+                                      !peak.compare_exchange_weak(expected, now)) {
+                               }
+                               std::this_thread::sleep_for(
+                                   std::chrono::milliseconds(30));
+                               concurrent.fetch_sub(1);
+                               done.notify();
+                           });
+    app.connect(a, "out", b, "in", 32);
+    for (int i = 0; i < 8; ++i) out.send(out.get_message(), 1);
+    ASSERT_TRUE(done.wait_for(8));
+    EXPECT_GE(peak.load(), 2);
+    app.shutdown();
+}
+
+TEST_F(DispatcherTest, SharedStrategyUsesOneDispatcherForSiblingPorts) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out1 = a.add_out_port<TestMsg>("out1", "TestMsg");
+    auto& out2 = a.add_out_port<TestMsg>("out2", "TestMsg");
+    test::Waiter done;
+    auto handler = [&](TestMsg&, core::Smm&) { done.notify(); };
+    auto& in1 = b.add_in_port<TestMsg>(
+        "in1", "TestMsg", cfg(4, 1, 2, core::ThreadpoolStrategy::kShared),
+        handler);
+    auto& in2 = b.add_in_port<TestMsg>(
+        "in2", "TestMsg", cfg(4, 1, 3, core::ThreadpoolStrategy::kShared),
+        handler);
+    app.connect(a, "out1", b, "in1");
+    app.connect(a, "out2", b, "in2");
+    // Both ports share the SMM-wide dispatcher of the connection host.
+    ASSERT_NE(in1.dispatcher(), nullptr);
+    EXPECT_EQ(in1.dispatcher(), in2.dispatcher());
+    out1.send(out1.get_message(), 1);
+    out2.send(out2.get_message(), 2);
+    ASSERT_TRUE(done.wait_for(2));
+    app.shutdown();
+}
+
+TEST_F(DispatcherTest, ShutdownDrainsPendingMessages) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out = a.add_out_port<TestMsg>("out", "TestMsg");
+    std::atomic<int> processed{0};
+    auto& in = b.add_in_port<TestMsg>("in", "TestMsg", cfg(32, 1, 1),
+                                      [&](TestMsg&, core::Smm&) {
+                                          std::this_thread::sleep_for(
+                                              std::chrono::milliseconds(1));
+                                          processed.fetch_add(1);
+                                      });
+    app.connect(a, "out", b, "in", 64);
+    for (int i = 0; i < 20; ++i) out.send(out.get_message(), 1);
+    app.shutdown(); // must not drop queued messages
+    EXPECT_EQ(processed.load(), 20);
+    EXPECT_EQ(in.processed_count(), 20u);
+}
+
+TEST_F(DispatcherTest, SubmitAfterShutdownThrows) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out = a.add_out_port<TestMsg>("out", "TestMsg");
+    b.add_in_port<TestMsg>("in", "TestMsg", cfg(8, 1, 1),
+                           [](TestMsg&, core::Smm&) {});
+    app.connect(a, "out", b, "in");
+    TestMsg* m = out.get_message();
+    app.shutdown();
+    EXPECT_THROW(out.send(m, 1), core::PortError);
+}
+
+TEST_F(DispatcherTest, WorkerThreadsInheritMessagePriorityBestEffort) {
+    // We cannot assert SCHED_FIFO was granted in a container, but the
+    // dispatch path must at least *attempt* it per message and the counter
+    // of denied requests must stay consistent (no crash, no hang).
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out = a.add_out_port<TestMsg>("out", "TestMsg");
+    test::Waiter done;
+    b.add_in_port<TestMsg>("in", "TestMsg", cfg(8, 1, 1),
+                           [&](TestMsg&, core::Smm&) { done.notify(); });
+    app.connect(a, "out", b, "in");
+    for (const int prio : {1, 50, 99}) out.send(out.get_message(), prio);
+    ASSERT_TRUE(done.wait_for(3));
+    app.shutdown();
+}
+
+TEST_F(DispatcherTest, DistinctDedicatedPortsHaveDistinctDispatchers) {
+    core::Application app("t");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& in1 = b.add_in_port<TestMsg>("in1", "TestMsg", cfg(4, 1, 1),
+                                       [](TestMsg&, core::Smm&) {});
+    auto& in2 = b.add_in_port<TestMsg>("in2", "TestMsg", cfg(4, 1, 1),
+                                       [](TestMsg&, core::Smm&) {});
+    EXPECT_NE(in1.dispatcher(), nullptr);
+    EXPECT_NE(in1.dispatcher(), in2.dispatcher());
+    app.shutdown();
+}
+
+TEST_F(DispatcherTest, ProcessedCountTracksThroughput) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out = a.add_out_port<TestMsg>("out", "TestMsg");
+    test::Waiter done;
+    auto& in = b.add_in_port<TestMsg>("in", "TestMsg", cfg(8, 2, 2),
+                                      [&](TestMsg&, core::Smm&) { done.notify(); });
+    app.connect(a, "out", b, "in", 32);
+    for (int i = 0; i < 25; ++i) out.send(out.get_message(), 1);
+    ASSERT_TRUE(done.wait_for(25));
+    app.shutdown();
+    EXPECT_EQ(in.dispatcher()->processed_count(), 25u);
+    EXPECT_EQ(in.dispatcher()->error_count(), 0u);
+}

@@ -1,0 +1,82 @@
+// Shared helpers for core-framework tests.
+#pragma once
+
+#include "core/application.hpp"
+#include "core/messages.hpp"
+#include "core/registry.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace compadres::test {
+
+struct TestMsg {
+    int value = 0;
+    int tag = 0;
+};
+
+inline void register_test_types() {
+    core::register_builtin_message_types();
+    core::MessageTypeRegistry::global().register_type<TestMsg>("TestMsg");
+}
+
+/// Counts events across threads and lets the test block until N happened.
+class Waiter {
+public:
+    void notify() {
+        {
+            std::lock_guard lk(mu_);
+            ++count_;
+        }
+        cv_.notify_all();
+    }
+
+    /// True if `n` notifications arrived within `timeout`.
+    bool wait_for(int n, std::chrono::milliseconds timeout =
+                             std::chrono::milliseconds(2000)) {
+        std::unique_lock lk(mu_);
+        return cv_.wait_for(lk, timeout, [&] { return count_ >= n; });
+    }
+
+    int count() const {
+        std::lock_guard lk(mu_);
+        return count_;
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    int count_ = 0;
+};
+
+/// Thread-safe value collector for observing handler deliveries.
+template <typename T>
+class Collector {
+public:
+    void add(T v) {
+        {
+            std::lock_guard lk(mu_);
+            items_.push_back(std::move(v));
+        }
+        waiter_.notify();
+    }
+
+    bool wait_for(int n, std::chrono::milliseconds timeout =
+                             std::chrono::milliseconds(2000)) {
+        return waiter_.wait_for(n, timeout);
+    }
+
+    std::vector<T> items() const {
+        std::lock_guard lk(mu_);
+        return items_;
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::vector<T> items_;
+    Waiter waiter_;
+};
+
+} // namespace compadres::test

@@ -1,0 +1,194 @@
+// MessagePool: the shared-object mechanism — pooled messages living inside
+// the SMM's region, acquired via getMessage() and returned after process().
+#include "core/message_pool.hpp"
+#include "core/messages.hpp"
+#include "memory/immortal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+using namespace compadres;
+
+namespace {
+struct Payload {
+    int value = 0;
+    double weight = 0.0;
+};
+} // namespace
+
+TEST(MessagePool, ObjectsAllocatedFromRegion) {
+    memory::ImmortalMemory region(64 * 1024);
+    const std::size_t before = region.used();
+    core::MessagePool<Payload> pool(region, "Payload", 8);
+    EXPECT_GE(region.used() - before, 8 * sizeof(Payload));
+}
+
+TEST(MessagePool, AcquireReturnsDistinctObjects) {
+    memory::ImmortalMemory region(64 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 4);
+    std::set<Payload*> seen;
+    for (int i = 0; i < 4; ++i) seen.insert(pool.acquire());
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(MessagePool, TryAcquireEmptyReturnsNull) {
+    memory::ImmortalMemory region(64 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 1);
+    Payload* a = pool.try_acquire();
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(pool.try_acquire(), nullptr);
+    pool.release(a);
+    EXPECT_NE(pool.try_acquire(), nullptr);
+}
+
+TEST(MessagePool, ReleaseScrubsMessageState) {
+    // The next getMessage() must see a fresh message, never stale data
+    // from the previous request (paper: the pool "reuses objects").
+    memory::ImmortalMemory region(64 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 1);
+    Payload* msg = pool.acquire();
+    msg->value = 42;
+    msg->weight = 3.14;
+    pool.release(msg);
+    Payload* again = pool.acquire();
+    EXPECT_EQ(again, msg);      // same storage...
+    EXPECT_EQ(again->value, 0); // ...fresh content
+    EXPECT_EQ(again->weight, 0.0);
+    pool.release(again);
+}
+
+TEST(MessagePool, ReleaseForeignPointerThrows) {
+    memory::ImmortalMemory region(64 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 2);
+    Payload foreign;
+    EXPECT_THROW(pool.release(&foreign), std::logic_error);
+}
+
+TEST(MessagePool, BlockingAcquireWaitsForRelease) {
+    memory::ImmortalMemory region(64 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 1);
+    Payload* held = pool.acquire();
+    std::atomic<bool> acquired{false};
+    std::thread t([&] {
+        Payload* p = pool.acquire();
+        acquired.store(true);
+        pool.release(p);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(acquired.load());
+    pool.release(held);
+    t.join();
+    EXPECT_TRUE(acquired.load());
+}
+
+TEST(MessagePool, CloneCopiesContent) {
+    memory::ImmortalMemory region(64 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 2);
+    Payload* a = pool.acquire();
+    a->value = 7;
+    auto* b = static_cast<Payload*>(pool.clone_raw(a));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(b->value, 7);
+    pool.release(a);
+    pool.release(b);
+}
+
+TEST(MessagePool, ZeroCapacityClampsToOne) {
+    memory::ImmortalMemory region(64 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 0);
+    EXPECT_EQ(pool.capacity(), 1u);
+}
+
+TEST(MessagePool, MetadataIsExposed) {
+    memory::ImmortalMemory region(64 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 3);
+    EXPECT_EQ(pool.type_name(), "Payload");
+    EXPECT_EQ(pool.type(), std::type_index(typeid(Payload)));
+    EXPECT_EQ(&pool.region(), &region);
+    EXPECT_EQ(pool.available(), 3u);
+}
+
+TEST(MessagePool, ConcurrentAcquireReleaseNeverOversubscribes) {
+    memory::ImmortalMemory region(256 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 8);
+    std::atomic<bool> oversubscribed{false};
+    std::atomic<int> in_use{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([&] {
+            for (int i = 0; i < 2000; ++i) {
+                Payload* p = pool.acquire();
+                const int users = in_use.fetch_add(1) + 1;
+                if (users > 8) oversubscribed.store(true);
+                p->value = i;
+                in_use.fetch_sub(1);
+                pool.release(p);
+            }
+        });
+    }
+    for (auto& t : workers) t.join();
+    EXPECT_FALSE(oversubscribed.load());
+    EXPECT_EQ(pool.available(), 8u);
+}
+
+TEST(Messages, BuiltinTypesAreFlatValueTypes) {
+    // RTSJ-safety: messages must carry all their data inline.
+    EXPECT_TRUE(std::is_trivially_copyable_v<core::MyInteger>);
+    EXPECT_TRUE(std::is_trivially_copyable_v<core::TextMessage>);
+    EXPECT_TRUE(std::is_trivially_copyable_v<core::OctetSeq>);
+    EXPECT_TRUE(std::is_trivially_copyable_v<core::SensorSample>);
+}
+
+TEST(Messages, TextMessageAssignTruncatesAtCapacity) {
+    core::TextMessage msg;
+    const std::string long_text(500, 'x');
+    msg.assign(long_text);
+    EXPECT_EQ(msg.length, core::TextMessage::kCapacity);
+    EXPECT_EQ(msg.view().size(), core::TextMessage::kCapacity);
+}
+
+TEST(Messages, OctetSeqAssignRoundTrips) {
+    core::OctetSeq seq;
+    const std::uint8_t data[] = {1, 2, 3, 4, 5};
+    seq.assign(data, sizeof(data));
+    EXPECT_EQ(seq.length, 5u);
+    EXPECT_EQ(seq.data[0], 1);
+    EXPECT_EQ(seq.data[4], 5);
+}
+
+TEST(Hooks, ChargeAllAcquiresFiresAllocHook) {
+    static std::atomic<std::size_t> charged;
+    charged = 0;
+    core::hooks::set(
+        [](void*, std::size_t bytes) { charged.fetch_add(bytes); }, nullptr,
+        nullptr);
+    core::hooks::set_charge_all_acquires(true);
+    {
+        memory::ImmortalMemory region(64 * 1024);
+        core::MessagePool<Payload> pool(region, "Payload", 2);
+        Payload* p = pool.acquire();
+        pool.release(p);
+    }
+    core::hooks::clear();
+    EXPECT_EQ(charged.load(), sizeof(Payload));
+}
+
+TEST(Hooks, NoChargeWhenPoolingEnabled) {
+    static std::atomic<int> calls;
+    calls = 0;
+    core::hooks::set([](void*, std::size_t) { calls.fetch_add(1); }, nullptr,
+                     nullptr);
+    core::hooks::set_charge_all_acquires(false);
+    {
+        memory::ImmortalMemory region(64 * 1024);
+        core::MessagePool<Payload> pool(region, "Payload", 2);
+        Payload* p = pool.acquire();
+        pool.release(p);
+    }
+    core::hooks::clear();
+    EXPECT_EQ(calls.load(), 0);
+}

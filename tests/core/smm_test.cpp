@@ -1,0 +1,234 @@
+// SMM: pool placement, out-port lookup, shadow-port hosting, dynamic
+// child connect/disconnect (the paper's Fig. 4/Fig. 5 machinery).
+#include "core/application.hpp"
+#include "core/messages.hpp"
+
+#include "helpers.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace compadres;
+using test::TestMsg;
+
+namespace {
+
+class SmmTest : public ::testing::Test {
+protected:
+    void SetUp() override { test::register_test_types(); }
+
+    static core::InPortConfig sync_port() {
+        core::InPortConfig cfg;
+        cfg.min_threads = cfg.max_threads = 0;
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST_F(SmmTest, SiblingConnectionHostedByCommonParent) {
+    // Paper Fig. 4: siblings B and C talk through the SMM of parent A.
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_scoped<core::Component>("B", a, 1);
+    auto& c = app.create_scoped<core::Component>("C", a, 1);
+    auto& out = b.add_out_port<TestMsg>("out", "TestMsg");
+    c.add_in_port<TestMsg>("in", "TestMsg", sync_port(),
+                           [](TestMsg&, core::Smm&) {});
+    app.connect(b, "out", c, "in");
+    ASSERT_NE(out.smm(), nullptr);
+    EXPECT_EQ(&out.smm()->owner(), &a);
+    // The shared-object pool lives in A's region: referencable from both.
+    EXPECT_EQ(&out.pool()->region(), &a.region());
+}
+
+TEST_F(SmmTest, ParentChildConnectionHostedByParent) {
+    core::Application app("t");
+    auto& parent = app.create_immortal<core::Component>("P");
+    auto& child = app.create_scoped<core::Component>("C", parent, 1);
+    auto& out = parent.add_out_port<TestMsg>("out", "TestMsg");
+    child.add_in_port<TestMsg>("in", "TestMsg", sync_port(),
+                               [](TestMsg&, core::Smm&) {});
+    app.connect(parent, "out", child, "in");
+    EXPECT_EQ(&out.smm()->owner(), &parent);
+}
+
+TEST_F(SmmTest, ShadowPortHostedByAncestorNotParent) {
+    // Paper Fig. 5: C talks to grandparent A directly; the pool/buffer is
+    // created only in A's memory area, nothing in B.
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_scoped<core::Component>("B", a, 1);
+    auto& c = app.create_scoped<core::Component>("C", b, 2);
+    auto& out = c.add_out_port<TestMsg>("shadowOut", "TestMsg");
+    test::Collector<int> got;
+    a.add_in_port<TestMsg>("in", "TestMsg", sync_port(),
+                           [&](TestMsg& m, core::Smm&) { got.add(m.value); });
+
+    const std::size_t b_used_before = b.region().used();
+    app.connect(c, "shadowOut", a, "in");
+    EXPECT_EQ(&out.smm()->owner(), &a);
+    EXPECT_EQ(&out.pool()->region(), &a.region());
+    EXPECT_EQ(b.region().used(), b_used_before); // nothing allocated in B
+
+    TestMsg* m = out.get_message();
+    m->value = 5;
+    out.send(m, 1);
+    ASSERT_TRUE(got.wait_for(1));
+    EXPECT_EQ(got.items().front(), 5);
+}
+
+TEST_F(SmmTest, TopLevelSiblingsHostedByRoot) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out = a.add_out_port<TestMsg>("out", "TestMsg");
+    b.add_in_port<TestMsg>("in", "TestMsg", sync_port(),
+                           [](TestMsg&, core::Smm&) {});
+    app.connect(a, "out", b, "in");
+    EXPECT_EQ(&out.smm()->owner(), &app.root());
+}
+
+TEST_F(SmmTest, OnePoolPerMessageTypePerSmm) {
+    // Paper: "a message pool per message type in the parent component's
+    // SMM" — two connections of the same type share one pool.
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out1 = a.add_out_port<TestMsg>("out1", "TestMsg");
+    auto& out2 = a.add_out_port<TestMsg>("out2", "TestMsg");
+    auto& out3 = a.add_out_port<core::MyInteger>("out3", "MyInteger");
+    b.add_in_port<TestMsg>("in1", "TestMsg", sync_port(),
+                           [](TestMsg&, core::Smm&) {});
+    b.add_in_port<TestMsg>("in2", "TestMsg", sync_port(),
+                           [](TestMsg&, core::Smm&) {});
+    b.add_in_port<core::MyInteger>("in3", "MyInteger", sync_port(),
+                                   [](core::MyInteger&, core::Smm&) {});
+    app.connect(a, "out1", b, "in1");
+    app.connect(a, "out2", b, "in2");
+    app.connect(a, "out3", b, "in3");
+    EXPECT_EQ(out1.pool(), out2.pool());
+    EXPECT_NE(out1.pool(), out3.pool());
+}
+
+TEST_F(SmmTest, GetOutPortByBareAndQualifiedName) {
+    // Paper Fig. 7: handlers fetch connected ports via smm.getOutPort("P3").
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("MyClient");
+    auto& b = app.create_immortal<core::Component>("MyServer");
+    auto& out = a.add_out_port<TestMsg>("P3", "TestMsg");
+    b.add_in_port<TestMsg>("P4", "TestMsg", sync_port(),
+                           [](TestMsg&, core::Smm&) {});
+    app.connect(a, "P3", b, "P4");
+    core::Smm& smm = app.root().smm();
+    EXPECT_EQ(&smm.get_out_port("P3"), &out);
+    EXPECT_EQ(&smm.get_out_port("MyClient.P3"), &out);
+    EXPECT_THROW(smm.get_out_port("nope"), core::PortError);
+}
+
+TEST_F(SmmTest, AmbiguousBareNameRequiresQualifiedLookup) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& sink = app.create_immortal<core::Component>("Sink");
+    a.add_out_port<TestMsg>("out", "TestMsg");
+    b.add_out_port<TestMsg>("out", "TestMsg");
+    sink.add_in_port<TestMsg>("in1", "TestMsg", sync_port(),
+                              [](TestMsg&, core::Smm&) {});
+    sink.add_in_port<TestMsg>("in2", "TestMsg", sync_port(),
+                              [](TestMsg&, core::Smm&) {});
+    app.connect(a, "out", sink, "in1");
+    app.connect(b, "out", sink, "in2");
+    core::Smm& smm = app.root().smm();
+    EXPECT_THROW(smm.get_out_port("out"), core::PortError); // ambiguous
+    EXPECT_NO_THROW(smm.get_out_port("A.out"));
+    EXPECT_NO_THROW(smm.get_out_port("B.out"));
+}
+
+TEST_F(SmmTest, HandlerReceivesHostingSmm) {
+    core::Application app("t");
+    auto& a = app.create_immortal<core::Component>("A");
+    auto& b = app.create_immortal<core::Component>("B");
+    auto& out = a.add_out_port<TestMsg>("out", "TestMsg");
+    core::Smm* seen = nullptr;
+    test::Waiter done;
+    b.add_in_port<TestMsg>("in", "TestMsg", sync_port(),
+                           [&](TestMsg&, core::Smm& smm) {
+                               seen = &smm;
+                               done.notify();
+                           });
+    app.connect(a, "out", b, "in");
+    out.send(out.get_message(), 1);
+    ASSERT_TRUE(done.wait_for(1));
+    EXPECT_EQ(seen, &app.root().smm());
+}
+
+namespace {
+/// Dynamic child used by connect/disconnect tests.
+class Ephemeral : public core::Component {
+public:
+    explicit Ephemeral(const core::ComponentContext& ctx)
+        : core::Component(ctx) {
+        ++instances;
+    }
+    ~Ephemeral() override { --instances; }
+    void _start() override { started = true; }
+    bool started = false;
+    static inline int instances = 0;
+};
+} // namespace
+
+TEST_F(SmmTest, ConnectCreatesChildInPooledScope) {
+    core::ComponentRegistry::global().register_class<Ephemeral>("Ephemeral");
+    core::Application app("t");
+    auto& parent = app.create_immortal<core::Component>("P");
+    memory::ScopePool& pool = app.pool_for_level(1);
+    const std::size_t avail = pool.available();
+    Ephemeral::instances = 0;
+    {
+        core::ChildHandle handle = parent.smm().connect("Ephemeral", "Child");
+        ASSERT_TRUE(static_cast<bool>(handle));
+        EXPECT_EQ(Ephemeral::instances, 1);
+        EXPECT_EQ(pool.available(), avail - 1);
+        auto* child = dynamic_cast<Ephemeral*>(handle.component());
+        ASSERT_NE(child, nullptr);
+        EXPECT_TRUE(child->started); // _start ran at connect time
+        EXPECT_EQ(child->parent(), &parent);
+        EXPECT_EQ(child->level(), 1);
+    }
+    // Handle destruction reclaims the scope and returns it to the pool.
+    EXPECT_EQ(Ephemeral::instances, 0);
+    EXPECT_EQ(pool.available(), avail);
+}
+
+TEST_F(SmmTest, DisconnectReclaimsExplicitly) {
+    core::ComponentRegistry::global().register_class<Ephemeral>("Ephemeral");
+    core::Application app("t");
+    auto& parent = app.create_immortal<core::Component>("P");
+    core::ChildHandle handle = parent.smm().connect("Ephemeral", "C2");
+    EXPECT_EQ(Ephemeral::instances, 1);
+    core::Smm::disconnect(handle);
+    EXPECT_EQ(Ephemeral::instances, 0);
+    EXPECT_FALSE(static_cast<bool>(handle));
+    core::Smm::disconnect(handle); // idempotent
+}
+
+TEST_F(SmmTest, ConnectUnknownClassThrows) {
+    core::Application app("t");
+    auto& parent = app.create_immortal<core::Component>("P");
+    EXPECT_THROW(parent.smm().connect("Unregistered", "x"),
+                 core::RegistryError);
+}
+
+TEST_F(SmmTest, ScopeReusedAcrossConnectDisconnectCycles) {
+    core::ComponentRegistry::global().register_class<Ephemeral>("Ephemeral");
+    core::RtsjAttributes attrs;
+    attrs.scoped_pools = {{1, 64 * 1024, 1}}; // a single pooled scope
+    core::Application app("t", attrs);
+    auto& parent = app.create_immortal<core::Component>("P");
+    for (int i = 0; i < 20; ++i) {
+        core::ChildHandle h =
+            parent.smm().connect("Ephemeral", "c" + std::to_string(i));
+        EXPECT_EQ(Ephemeral::instances, 1);
+    }
+    EXPECT_EQ(Ephemeral::instances, 0);
+}

@@ -1,0 +1,200 @@
+// Integration: cross-ORB wire compatibility and a DRE-style multi-level
+// sensor pipeline exercising nested components, priorities, and shadow
+// ports together.
+#include "core/application.hpp"
+#include "core/messages.hpp"
+#include "net/transport.hpp"
+#include "orb/client_orb.hpp"
+#include "orb/server_orb.hpp"
+#include "rtzen/rtzen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+using namespace compadres;
+
+namespace {
+
+orb::Servant echo_servant() {
+    return [](const std::string&, const std::uint8_t* payload, std::size_t len,
+              std::vector<std::uint8_t>& reply) {
+        reply.assign(payload, payload + len);
+        return true;
+    };
+}
+
+} // namespace
+
+TEST(CrossOrb, RtzenClientTalksToCompadresServer) {
+    // Same GIOP on both sides: the baseline client interoperates with the
+    // component server — the precondition for a fair Fig. 11 comparison.
+    orb::ServerOrb server;
+    server.register_servant("Echo", echo_servant());
+    auto [client_wire, server_wire] = net::make_loopback_pair();
+    server.attach(std::move(server_wire));
+    rtzen::RtzenClientOrb client(std::move(client_wire));
+    const std::uint8_t payload[] = {1, 2, 3, 4};
+    EXPECT_EQ(client.invoke("Echo", "echo", payload, 4),
+              std::vector<std::uint8_t>({1, 2, 3, 4}));
+}
+
+TEST(CrossOrb, CompadresClientTalksToRtzenServer) {
+    rtzen::RtzenServerOrb server;
+    server.register_servant("Echo", echo_servant());
+    auto [client_wire, server_wire] = net::make_loopback_pair();
+    server.attach(std::move(server_wire));
+    orb::ClientOrb client(std::move(client_wire));
+    const std::uint8_t payload[] = {9, 8, 7};
+    EXPECT_EQ(client.invoke("Echo", "echo", payload, 3),
+              std::vector<std::uint8_t>({9, 8, 7}));
+}
+
+// ---- DRE sensor pipeline ----
+//
+//   Fusion (immortal)
+//     +-- SensorBank (L1)   -- samples --> Filter (L1)  [siblings]
+//     |     +-- (shadow) raw alarms straight to Fusion
+//     +-- Filter --> Fusion.fused (internal, child->parent)
+namespace {
+
+std::atomic<int> g_fused{0};
+std::atomic<int> g_alarms{0};
+std::mutex g_mu;
+std::condition_variable g_cv;
+
+bool wait_count(std::atomic<int>& counter, int n) {
+    std::unique_lock lk(g_mu);
+    return g_cv.wait_for(lk, std::chrono::milliseconds(3000),
+                         [&] { return counter.load() >= n; });
+}
+
+core::InPortConfig pooled(std::size_t buffer, std::size_t threads) {
+    core::InPortConfig cfg;
+    cfg.buffer_size = buffer;
+    cfg.min_threads = 1;
+    cfg.max_threads = threads;
+    return cfg;
+}
+
+struct Pipeline {
+    core::Application app{"sensors", [] {
+        core::RtsjAttributes attrs;
+        attrs.scoped_pools = {{1, 512 * 1024, 4}, {2, 256 * 1024, 4}};
+        return attrs;
+    }()};
+    core::Component* fusion;
+    core::Component* bank;
+    core::Component* probe; // nested inside bank, uses a shadow port
+    core::Component* filter;
+
+    Pipeline() {
+        core::register_builtin_message_types();
+        fusion = &app.create_immortal<core::Component>("Fusion");
+        bank = &app.create_scoped<core::Component>("SensorBank", *fusion, 1);
+        probe = &app.create_scoped<core::Component>("Probe", *bank, 2);
+        filter = &app.create_scoped<core::Component>("Filter", *fusion, 1);
+
+        bank->add_out_port<core::SensorSample>("samples", "SensorSample");
+        filter->add_in_port<core::SensorSample>(
+            "raw", "SensorSample", pooled(16, 2),
+            [this](core::SensorSample& s, core::Smm&) {
+                if (s.value < 0) return; // drop invalid
+                auto& out = filter->out_port_t<core::SensorSample>("clean");
+                core::SensorSample* fwd = out.get_message();
+                *fwd = s;
+                fwd->value *= 2.0;
+                out.send(fwd, 7);
+            });
+        filter->add_out_port<core::SensorSample>("clean", "SensorSample");
+        fusion->add_in_port<core::SensorSample>(
+            "fused", "SensorSample", pooled(16, 2),
+            [](core::SensorSample&, core::Smm&) {
+                g_fused.fetch_add(1);
+                g_cv.notify_all();
+            });
+        // Shadow port: Probe (level 2) alerts Fusion (immortal grandparent^2)
+        // directly, skipping SensorBank.
+        probe->add_out_port<core::MyInteger>("alarm", "MyInteger");
+        fusion->add_in_port<core::MyInteger>("alarms", "MyInteger",
+                                             pooled(8, 1),
+                                             [](core::MyInteger&, core::Smm&) {
+                                                 g_alarms.fetch_add(1);
+                                                 g_cv.notify_all();
+                                             });
+
+        app.connect(*bank, "samples", *filter, "raw");     // siblings
+        app.connect(*filter, "clean", *fusion, "fused");   // child -> parent
+        app.connect(*probe, "alarm", *fusion, "alarms");   // shadow
+        app.start();
+    }
+};
+
+} // namespace
+
+TEST(SensorPipeline, SamplesFlowThroughFilterToFusion) {
+    g_fused.store(0);
+    Pipeline p;
+    auto& out = p.bank->out_port_t<core::SensorSample>("samples");
+    for (int i = 0; i < 30; ++i) {
+        core::SensorSample* s = out.get_message();
+        s->sensor_id = i;
+        s->value = 1.5;
+        out.send(s, 5);
+    }
+    ASSERT_TRUE(wait_count(g_fused, 30));
+    p.app.shutdown();
+}
+
+TEST(SensorPipeline, FilterDropsInvalidSamples) {
+    g_fused.store(0);
+    Pipeline p;
+    auto& out = p.bank->out_port_t<core::SensorSample>("samples");
+    for (int i = 0; i < 10; ++i) {
+        core::SensorSample* s = out.get_message();
+        s->value = (i % 2 == 0) ? 1.0 : -1.0; // half invalid
+        out.send(s, 5);
+    }
+    ASSERT_TRUE(wait_count(g_fused, 5));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(g_fused.load(), 5);
+    p.app.shutdown();
+}
+
+TEST(SensorPipeline, ShadowAlarmsBypassTheBank) {
+    g_alarms.store(0);
+    Pipeline p;
+    auto& alarm = p.probe->out_port_t<core::MyInteger>("alarm");
+    // The alarm pool must live in Fusion's region (shadow placement).
+    EXPECT_EQ(&alarm.pool()->region(), &p.fusion->region());
+    for (int i = 0; i < 5; ++i) {
+        core::MyInteger* m = alarm.get_message();
+        m->value = i;
+        alarm.send(m, 9);
+    }
+    ASSERT_TRUE(wait_count(g_alarms, 5));
+    p.app.shutdown();
+}
+
+TEST(SensorPipeline, MixedTrafficBothPathsDeliver) {
+    g_fused.store(0);
+    g_alarms.store(0);
+    Pipeline p;
+    auto& samples = p.bank->out_port_t<core::SensorSample>("samples");
+    auto& alarm = p.probe->out_port_t<core::MyInteger>("alarm");
+    for (int i = 0; i < 20; ++i) {
+        core::SensorSample* s = samples.get_message();
+        s->value = 1.0;
+        samples.send(s, 5);
+        if (i % 4 == 0) {
+            core::MyInteger* m = alarm.get_message();
+            alarm.send(m, 9);
+        }
+    }
+    ASSERT_TRUE(wait_count(g_fused, 20));
+    ASSERT_TRUE(wait_count(g_alarms, 5));
+    p.app.shutdown();
+}

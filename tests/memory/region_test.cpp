@@ -1,0 +1,190 @@
+// MemoryRegion basics: bump allocation, alignment, exhaustion, finalizers.
+#include "memory/immortal.hpp"
+#include "memory/region.hpp"
+#include "memory/region_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace mem = compadres::memory;
+
+TEST(Region, AllocationsAreDistinctAndInBounds) {
+    mem::ImmortalMemory region(4096);
+    void* a = region.allocate(64);
+    void* b = region.allocate(64);
+    EXPECT_NE(a, b);
+    EXPECT_GE(reinterpret_cast<std::uintptr_t>(b),
+              reinterpret_cast<std::uintptr_t>(a) + 64);
+}
+
+TEST(Region, RespectsAlignment) {
+    mem::ImmortalMemory region(4096);
+    region.allocate(1); // misalign the bump pointer
+    for (const std::size_t align : {2ul, 4ul, 8ul, 16ul, 64ul}) {
+        void* p = region.allocate(8, align);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+            << "alignment " << align;
+        region.allocate(1);
+    }
+}
+
+TEST(Region, UsedGrowsWithAllocations) {
+    mem::ImmortalMemory region(4096);
+    EXPECT_EQ(region.used(), 0u);
+    region.allocate(100);
+    EXPECT_GE(region.used(), 100u);
+    EXPECT_EQ(region.allocation_count(), 1u);
+}
+
+TEST(Region, ExhaustionThrowsRegionExhausted) {
+    mem::ImmortalMemory region(128);
+    EXPECT_THROW(region.allocate(4096), mem::RegionExhausted);
+}
+
+TEST(Region, ExhaustionMessageNamesRegion) {
+    mem::ImmortalMemory region(16, "tiny");
+    try {
+        region.allocate(1024);
+        FAIL() << "expected RegionExhausted";
+    } catch (const mem::RegionExhausted& e) {
+        EXPECT_NE(std::string(e.what()).find("tiny"), std::string::npos);
+    }
+}
+
+TEST(Region, ExhaustedRegionStillUsableForSmallerAllocations) {
+    mem::ImmortalMemory region(256);
+    EXPECT_THROW(region.allocate(1024), mem::RegionExhausted);
+    EXPECT_NO_THROW(region.allocate(32));
+}
+
+TEST(Region, MakeConstructsObject) {
+    mem::ImmortalMemory region(4096);
+    struct Point {
+        int x, y;
+    };
+    Point* p = region.make<Point>(3, 4);
+    EXPECT_EQ(p->x, 3);
+    EXPECT_EQ(p->y, 4);
+}
+
+namespace {
+struct DtorCounter {
+    explicit DtorCounter(int* counter, int id = 0) : counter_(counter), id_(id) {}
+    ~DtorCounter() {
+        ++*counter_;
+        if (order_ != nullptr) order_->push_back(id_);
+    }
+    int* counter_;
+    int id_;
+    std::vector<int>* order_ = nullptr;
+};
+} // namespace
+
+TEST(Region, FinalizersRunOnDestruction) {
+    int destroyed = 0;
+    {
+        mem::ImmortalMemory region(4096);
+        region.make<DtorCounter>(&destroyed);
+        region.make<DtorCounter>(&destroyed);
+        EXPECT_EQ(destroyed, 0);
+    }
+    EXPECT_EQ(destroyed, 2);
+}
+
+TEST(Region, FinalizersRunInReverseAllocationOrder) {
+    int destroyed = 0;
+    std::vector<int> order;
+    {
+        mem::ImmortalMemory region(4096);
+        for (int i = 0; i < 4; ++i) {
+            auto* obj = region.make<DtorCounter>(&destroyed, i);
+            obj->order_ = &order;
+        }
+    }
+    EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Region, TriviallyDestructibleTypesRegisterNoFinalizer) {
+    mem::ImmortalMemory region(256);
+    const std::size_t before = region.used();
+    region.make<int>(7);
+    // An int plus at most alignment padding — no finalizer node (which
+    // would add ~24 bytes).
+    EXPECT_LE(region.used() - before, sizeof(int) + alignof(int));
+}
+
+TEST(Region, DepthOfImmortalIsZero) {
+    mem::ImmortalMemory region(256);
+    EXPECT_EQ(region.depth(), 0);
+    EXPECT_EQ(region.parent(), nullptr);
+}
+
+TEST(Region, KindToString) {
+    EXPECT_STREQ(mem::to_string(mem::RegionKind::kHeap), "heap");
+    EXPECT_STREQ(mem::to_string(mem::RegionKind::kImmortal), "immortal");
+    EXPECT_STREQ(mem::to_string(mem::RegionKind::kScoped), "scoped");
+}
+
+TEST(RegionAllocator, VectorAllocatesInsideRegion) {
+    mem::ImmortalMemory region(64 * 1024);
+    const std::size_t before = region.used();
+    std::vector<int, mem::RegionAllocator<int>> v{
+        mem::RegionAllocator<int>(region)};
+    for (int i = 0; i < 100; ++i) v.push_back(i);
+    EXPECT_GE(region.used(), before + 100 * sizeof(int));
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(RegionAllocator, EqualityTracksRegionIdentity) {
+    mem::ImmortalMemory a(1024), b(1024);
+    mem::RegionAllocator<int> alloc_a(a), alloc_a2(a), alloc_b(b);
+    EXPECT_TRUE(alloc_a == alloc_a2);
+    EXPECT_FALSE(alloc_a == alloc_b);
+}
+
+TEST(RegionAllocator, RebindsAcrossTypes) {
+    mem::ImmortalMemory region(4096);
+    mem::RegionAllocator<int> ints(region);
+    mem::RegionAllocator<double> doubles(ints);
+    EXPECT_EQ(&doubles.region(), &region);
+}
+
+TEST(HeapMemory, CollectResetsArena) {
+    mem::HeapMemory heap(4096);
+    heap.allocate(1000);
+    EXPECT_GT(heap.used(), 0u);
+    heap.collect();
+    EXPECT_EQ(heap.used(), 0u);
+}
+
+// Allocation-size sweep: any mix of sizes fits as long as the arithmetic
+// says it should, and never overlaps.
+class RegionFillTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RegionFillTest, FillsWithoutOverlap) {
+    const std::size_t chunk = GetParam();
+    mem::ImmortalMemory region(16 * 1024);
+    std::vector<std::uint8_t*> chunks;
+    while (true) {
+        std::uint8_t* p = nullptr;
+        try {
+            p = static_cast<std::uint8_t*>(region.allocate(chunk, 1));
+        } catch (const mem::RegionExhausted&) {
+            break;
+        }
+        std::memset(p, static_cast<int>(chunks.size() & 0xFF), chunk);
+        chunks.push_back(p);
+    }
+    EXPECT_EQ(chunks.size(), 16 * 1024 / chunk);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        for (std::size_t j = 0; j < chunk; ++j) {
+            ASSERT_EQ(chunks[i][j], static_cast<std::uint8_t>(i & 0xFF));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, RegionFillTest,
+                         ::testing::Values(1, 2, 8, 64, 256, 1024));

@@ -1,0 +1,107 @@
+// ScopePool: pre-created scoped areas in immortal memory, reused at
+// runtime (the CCL <RTSJAttributes><ScopedPool> mechanism).
+#include "memory/scope_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mem = compadres::memory;
+
+namespace {
+mem::ImmortalMemory& big_immortal() {
+    static mem::ImmortalMemory immortal(8 * 1024 * 1024, "test-immortal");
+    return immortal;
+}
+} // namespace
+
+TEST(ScopePool, CreatesRequestedCount) {
+    mem::ImmortalMemory immortal(512 * 1024);
+    mem::ScopePool pool(immortal, 1, 4096, 3);
+    EXPECT_EQ(pool.total(), 3u);
+    EXPECT_EQ(pool.available(), 3u);
+    EXPECT_EQ(pool.level(), 1);
+    EXPECT_EQ(pool.scope_size(), 4096u);
+}
+
+TEST(ScopePool, ControlBlocksLiveInImmortal) {
+    mem::ImmortalMemory immortal(512 * 1024);
+    const std::size_t before = immortal.used();
+    mem::ScopePool pool(immortal, 1, 4096, 2);
+    EXPECT_GT(immortal.used(), before);
+}
+
+TEST(ScopePool, AcquireReturnsDistinctScopes) {
+    mem::ImmortalMemory immortal(512 * 1024);
+    mem::ScopePool pool(immortal, 1, 4096, 3);
+    std::set<mem::LTScopedMemory*> seen;
+    for (int i = 0; i < 3; ++i) seen.insert(&pool.acquire());
+    EXPECT_EQ(seen.size(), 3u);
+    EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(ScopePool, ExhaustionThrows) {
+    mem::ImmortalMemory immortal(512 * 1024);
+    mem::ScopePool pool(immortal, 2, 4096, 1);
+    pool.acquire();
+    EXPECT_THROW(pool.acquire(), mem::RegionExhausted);
+}
+
+TEST(ScopePool, ReleaseMakesScopeAvailableAgain) {
+    mem::ImmortalMemory immortal(512 * 1024);
+    mem::ScopePool pool(immortal, 1, 4096, 1);
+    mem::LTScopedMemory& scope = pool.acquire();
+    pool.release(scope);
+    EXPECT_EQ(&pool.acquire(), &scope); // same area reused
+}
+
+TEST(ScopePool, ReleaseOfLiveScopeThrows) {
+    mem::ImmortalMemory immortal(512 * 1024);
+    mem::ScopePool pool(immortal, 1, 4096, 1);
+    mem::LTScopedMemory& scope = pool.acquire();
+    scope.enter(immortal);
+    EXPECT_THROW(pool.release(scope), mem::ScopeViolation);
+    scope.exit();
+    EXPECT_NO_THROW(pool.release(scope));
+}
+
+TEST(ScopePool, DoubleReleaseThrows) {
+    mem::ImmortalMemory immortal(512 * 1024);
+    mem::ScopePool pool(immortal, 1, 4096, 2);
+    mem::LTScopedMemory& scope = pool.acquire();
+    pool.release(scope);
+    EXPECT_THROW(pool.release(scope), mem::ScopeViolation);
+}
+
+TEST(ScopePool, ForeignScopeRejected) {
+    mem::ImmortalMemory immortal(512 * 1024);
+    mem::ScopePool pool(immortal, 1, 4096, 1);
+    mem::LTScopedMemory foreign(4096, "foreign");
+    EXPECT_THROW(pool.release(foreign), mem::ScopeViolation);
+}
+
+TEST(ScopePool, ReusedScopeIsCleanAcrossParents) {
+    // The lifecycle the ORB relies on: acquire, enter under one parent,
+    // use, reclaim, release, re-acquire under a different parent.
+    mem::ImmortalMemory& immortal = big_immortal();
+    mem::ScopePool pool(immortal, 1, 8192, 1);
+    mem::LTScopedMemory parent_a(1024, "pa"), parent_b(1024, "pb");
+    parent_a.enter(immortal);
+    parent_b.enter(immortal);
+
+    mem::LTScopedMemory& s1 = pool.acquire();
+    s1.enter(parent_a);
+    s1.allocate(4096);
+    s1.exit();
+    pool.release(s1);
+
+    mem::LTScopedMemory& s2 = pool.acquire();
+    EXPECT_EQ(&s1, &s2);
+    s2.enter(parent_b); // different parent: legal after reclaim
+    EXPECT_EQ(s2.used(), 0u);
+    EXPECT_NO_THROW(s2.allocate(8000)); // full capacity available again
+    s2.exit();
+    pool.release(s2);
+    parent_b.exit();
+    parent_a.exit();
+}

@@ -1,0 +1,175 @@
+// LTScopedMemory: entry counting, reclamation, the single-parent rule,
+// and the wedge-pattern ScopeHandle.
+#include "memory/immortal.hpp"
+#include "memory/scoped.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mem = compadres::memory;
+
+TEST(Scoped, FirstEntryBindsParent) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory scope(1024);
+    EXPECT_EQ(scope.parent(), nullptr);
+    scope.enter(immortal);
+    EXPECT_EQ(scope.parent(), &immortal);
+    scope.exit();
+}
+
+TEST(Scoped, ReclaimUnbindsParent) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory scope(1024);
+    scope.enter(immortal);
+    scope.exit();
+    EXPECT_EQ(scope.parent(), nullptr);
+    EXPECT_EQ(scope.entry_count(), 0);
+}
+
+TEST(Scoped, SingleParentRuleRejectsSecondParent) {
+    // Paper §2.2: "a memory region can have only one parent ... a single
+    // scope cannot have two or more threads from different parent scopes
+    // enter it."
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory parent_a(1024, "A");
+    mem::LTScopedMemory parent_b(1024, "B");
+    parent_a.enter(immortal);
+    parent_b.enter(immortal);
+    mem::LTScopedMemory child(1024, "child");
+    child.enter(parent_a);
+    EXPECT_THROW(child.enter(parent_b), mem::ScopeViolation);
+    child.exit();
+    parent_b.exit();
+    parent_a.exit();
+}
+
+TEST(Scoped, SameParentMayEnterRepeatedly) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory scope(1024);
+    scope.enter(immortal);
+    scope.enter(immortal);
+    EXPECT_EQ(scope.entry_count(), 2);
+    scope.exit();
+    EXPECT_EQ(scope.entry_count(), 1);
+    EXPECT_EQ(scope.parent(), &immortal); // still live
+    scope.exit();
+    EXPECT_EQ(scope.entry_count(), 0);
+}
+
+TEST(Scoped, ReEntryFromScopeItselfAllowed) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory scope(1024);
+    scope.enter(immortal);
+    scope.enter(scope); // code running inside the scope re-enters
+    EXPECT_EQ(scope.entry_count(), 2);
+    scope.exit();
+    scope.exit();
+}
+
+TEST(Scoped, NewParentAllowedAfterReclaim) {
+    // After reclamation the scope rejoins the stack anywhere — this is what
+    // lets ScopePool reuse areas under different parents.
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory parent_a(1024, "A");
+    mem::LTScopedMemory parent_b(1024, "B");
+    parent_a.enter(immortal);
+    parent_b.enter(immortal);
+    mem::LTScopedMemory child(1024, "child");
+    child.enter(parent_a);
+    child.exit();
+    EXPECT_NO_THROW(child.enter(parent_b));
+    child.exit();
+    parent_b.exit();
+    parent_a.exit();
+}
+
+TEST(Scoped, ExitWithoutEnterThrows) {
+    mem::LTScopedMemory scope(1024);
+    EXPECT_THROW(scope.exit(), mem::ScopeViolation);
+}
+
+TEST(Scoped, ReclaimRunsFinalizersAndResets) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory scope(4096);
+    int destroyed = 0;
+    struct D {
+        int* c;
+        ~D() { ++*c; }
+    };
+    scope.enter(immortal);
+    scope.make<D>(&destroyed);
+    EXPECT_GT(scope.used(), 0u);
+    scope.exit();
+    EXPECT_EQ(destroyed, 1);
+    EXPECT_EQ(scope.used(), 0u);
+    EXPECT_EQ(scope.reclaim_count(), 1u);
+}
+
+TEST(Scoped, MemoryReusableAfterReclaim) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory scope(256);
+    for (int round = 0; round < 10; ++round) {
+        scope.enter(immortal);
+        scope.allocate(200); // would exhaust on the second round if leaked
+        scope.exit();
+    }
+    EXPECT_EQ(scope.reclaim_count(), 10u);
+}
+
+TEST(Scoped, DepthFollowsNesting) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory l1(1024, "L1"), l2(1024, "L2"), l3(1024, "L3");
+    l1.enter(immortal);
+    l2.enter(l1);
+    l3.enter(l2);
+    EXPECT_EQ(l1.depth(), 1);
+    EXPECT_EQ(l2.depth(), 2);
+    EXPECT_EQ(l3.depth(), 3);
+    EXPECT_TRUE(l3.has_ancestor(&l1));
+    EXPECT_TRUE(l3.has_ancestor(&immortal));
+    EXPECT_FALSE(l1.has_ancestor(&l3));
+    l3.exit();
+    l2.exit();
+    l1.exit();
+}
+
+TEST(ScopeHandle, KeepsScopeAliveWhileHeld) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory scope(1024);
+    {
+        mem::ScopeHandle handle(scope, immortal);
+        EXPECT_EQ(scope.entry_count(), 1);
+        EXPECT_TRUE(static_cast<bool>(handle));
+    }
+    EXPECT_EQ(scope.entry_count(), 0);
+}
+
+TEST(ScopeHandle, MoveTransfersOwnership) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory scope(1024);
+    mem::ScopeHandle a(scope, immortal);
+    mem::ScopeHandle b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(scope.entry_count(), 1);
+    b.release();
+    EXPECT_EQ(scope.entry_count(), 0);
+}
+
+TEST(ScopeHandle, ReleaseIsIdempotent) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory scope(1024);
+    mem::ScopeHandle handle(scope, immortal);
+    handle.release();
+    handle.release();
+    EXPECT_EQ(scope.entry_count(), 0);
+}
+
+TEST(ScopeHandle, MoveAssignReleasesPrevious) {
+    mem::ImmortalMemory immortal(1024);
+    mem::LTScopedMemory s1(1024, "s1"), s2(1024, "s2");
+    mem::ScopeHandle a(s1, immortal);
+    mem::ScopeHandle b(s2, immortal);
+    a = std::move(b);
+    EXPECT_EQ(s1.entry_count(), 0); // released by assignment
+    EXPECT_EQ(s2.entry_count(), 1);
+}

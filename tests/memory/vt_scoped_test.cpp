@@ -1,0 +1,201 @@
+// VTScopedMemory: the variable-time allocator the paper chose NOT to use —
+// correctness of first-fit, split, coalesce, and the fragmentation
+// behaviour that motivates the LT choice.
+#include "memory/vt_scoped.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+namespace mem = compadres::memory;
+
+TEST(VtScoped, AllocatesAndFrees) {
+    mem::VTScopedMemory region(4096);
+    void* a = region.allocate(100);
+    void* b = region.allocate(200);
+    EXPECT_NE(a, nullptr);
+    EXPECT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+    EXPECT_GE(region.used(), 300u);
+    region.free(a);
+    region.free(b);
+    EXPECT_EQ(region.used(), 0u);
+}
+
+TEST(VtScoped, PayloadsAreMaxAligned) {
+    mem::VTScopedMemory region(4096);
+    for (int i = 0; i < 5; ++i) {
+        void* p = region.allocate(24);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                      alignof(std::max_align_t),
+                  0u);
+    }
+}
+
+TEST(VtScoped, FreedMemoryIsReusable) {
+    mem::VTScopedMemory region(1024);
+    void* a = region.allocate(256);
+    region.free(a);
+    void* b = region.allocate(256);
+    EXPECT_EQ(a, b); // first fit hands back the same block
+}
+
+TEST(VtScoped, SplitLeavesRemainderUsable) {
+    mem::VTScopedMemory region(4096);
+    region.allocate(64);
+    // The initial block was split; the remainder must still serve.
+    EXPECT_NO_THROW(region.allocate(2048));
+}
+
+TEST(VtScoped, CoalescingMergesNeighbours) {
+    mem::VTScopedMemory region(4096);
+    void* a = region.allocate(512);
+    void* b = region.allocate(512);
+    void* c = region.allocate(512);
+    region.free(a);
+    region.free(c); // c merges with the free tail immediately
+    EXPECT_EQ(region.free_block_count(), 2u); // {a} and {c+tail}
+    region.free(b);                           // bridges everything
+    EXPECT_EQ(region.free_block_count(), 1u);
+    // And the coalesced block serves a large request.
+    EXPECT_NO_THROW(region.allocate(2048));
+}
+
+TEST(VtScoped, DoubleFreeThrows) {
+    mem::VTScopedMemory region(1024);
+    void* a = region.allocate(64);
+    region.free(a);
+    EXPECT_THROW(region.free(a), mem::ScopeViolation);
+}
+
+TEST(VtScoped, FreeNullIsNoop) {
+    mem::VTScopedMemory region(1024);
+    EXPECT_NO_THROW(region.free(nullptr));
+}
+
+TEST(VtScoped, ExhaustionThrows) {
+    mem::VTScopedMemory region(1024);
+    EXPECT_THROW(region.allocate(4096), mem::RegionExhausted);
+}
+
+TEST(VtScoped, FragmentationCanStarveLargeRequests) {
+    // The defining VT failure mode: enough total free bytes, but no
+    // contiguous block — exactly what a bump allocator cannot suffer.
+    mem::VTScopedMemory region(64 * 1024);
+    std::vector<void*> blocks;
+    for (;;) {
+        try {
+            blocks.push_back(region.allocate(512));
+        } catch (const mem::RegionExhausted&) {
+            break;
+        }
+    }
+    // Free every other block: half the arena is free but shredded.
+    for (std::size_t i = 0; i < blocks.size(); i += 2) {
+        region.free(blocks[i]);
+    }
+    EXPECT_GT(region.free_block_count(), 10u);
+    EXPECT_THROW(region.allocate(8 * 1024), mem::RegionExhausted);
+    // A small request still fits in a fragment.
+    EXPECT_NO_THROW(region.allocate(256));
+}
+
+TEST(VtScoped, EnterExitResetsArena) {
+    mem::VTScopedMemory region(4096);
+    region.enter();
+    region.allocate(1024);
+    region.allocate(1024);
+    EXPECT_GT(region.used(), 0u);
+    region.exit();
+    EXPECT_EQ(region.used(), 0u);
+    EXPECT_EQ(region.free_block_count(), 1u);
+}
+
+TEST(VtScoped, ExitWithoutEnterThrows) {
+    mem::VTScopedMemory region(1024);
+    EXPECT_THROW(region.exit(), mem::ScopeViolation);
+}
+
+TEST(VtScoped, OverAlignedRequestRejected) {
+    mem::VTScopedMemory region(4096);
+    EXPECT_THROW(region.allocate(64, 64), mem::RegionExhausted);
+}
+
+TEST(VtScoped, WritesDoNotCorruptNeighbours) {
+    mem::VTScopedMemory region(16 * 1024);
+    auto* a = static_cast<std::uint8_t*>(region.allocate(256));
+    auto* b = static_cast<std::uint8_t*>(region.allocate(256));
+    auto* c = static_cast<std::uint8_t*>(region.allocate(256));
+    std::memset(a, 0xAA, 256);
+    std::memset(b, 0xBB, 256);
+    std::memset(c, 0xCC, 256);
+    for (int i = 0; i < 256; ++i) {
+        ASSERT_EQ(a[i], 0xAA);
+        ASSERT_EQ(b[i], 0xBB);
+        ASSERT_EQ(c[i], 0xCC);
+    }
+    // Freeing b while a and c hold their contents must not disturb them.
+    region.free(b);
+    for (int i = 0; i < 256; ++i) {
+        ASSERT_EQ(a[i], 0xAA);
+        ASSERT_EQ(c[i], 0xCC);
+    }
+}
+
+// Property sweep: random alloc/free sequences keep the allocator
+// consistent (no overlap, used() accounting exact, full coalescing back
+// to one block at the end).
+class VtScopedFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VtScopedFuzzTest, RandomWorkloadStaysConsistent) {
+    std::mt19937 rng(GetParam());
+    mem::VTScopedMemory region(256 * 1024);
+    struct Live {
+        std::uint8_t* p;
+        std::size_t size;
+        std::uint8_t fill;
+    };
+    std::vector<Live> live;
+    std::size_t lower_bound = 0; // sum of aligned requested sizes
+    const auto aligned = [](std::size_t n) {
+        const std::size_t a = alignof(std::max_align_t);
+        return std::max((n + a - 1) & ~(a - 1), a);
+    };
+    // A block may be handed out slightly larger than requested when the
+    // remainder was too small to split off.
+    const std::size_t per_block_slack = 64;
+    for (int step = 0; step < 2000; ++step) {
+        if (live.empty() || rng() % 2 == 0) {
+            const std::size_t size = 1 + rng() % 800;
+            std::uint8_t* p = nullptr;
+            try {
+                p = static_cast<std::uint8_t*>(region.allocate(size));
+            } catch (const mem::RegionExhausted&) {
+                continue;
+            }
+            const auto fill = static_cast<std::uint8_t>(rng());
+            std::memset(p, fill, size);
+            live.push_back({p, size, fill});
+            lower_bound += aligned(size);
+        } else {
+            const std::size_t idx = rng() % live.size();
+            const Live item = live[idx];
+            for (std::size_t i = 0; i < item.size; ++i) {
+                ASSERT_EQ(item.p[i], item.fill) << "corruption at step " << step;
+            }
+            region.free(item.p);
+            lower_bound -= aligned(item.size);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+        ASSERT_GE(region.used(), lower_bound);
+        ASSERT_LE(region.used(), lower_bound + live.size() * per_block_slack);
+    }
+    for (const Live& item : live) region.free(item.p);
+    EXPECT_EQ(region.used(), 0u);
+    EXPECT_EQ(region.free_block_count(), 1u); // fully coalesced
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VtScopedFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));

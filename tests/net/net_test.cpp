@@ -1,0 +1,167 @@
+// Transports: loopback pair and TCP with GIOP framing.
+#include "cdr/giop.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace compadres;
+
+namespace {
+std::vector<std::uint8_t> make_frame(std::uint32_t request_id,
+                                     std::size_t payload_size) {
+    cdr::RequestHeader req;
+    req.request_id = request_id;
+    req.object_key = "K";
+    req.operation = "op";
+    std::vector<std::uint8_t> payload(payload_size, 0x5A);
+    return cdr::encode_request(req, payload.data(), payload.size());
+}
+} // namespace
+
+TEST(Loopback, FramesCrossInBothDirections) {
+    auto [a, b] = net::make_loopback_pair();
+    a->send_frame(make_frame(1, 8));
+    b->send_frame(make_frame(2, 8));
+    const auto at_b = b->recv_frame();
+    const auto at_a = a->recv_frame();
+    ASSERT_TRUE(at_b.has_value());
+    ASSERT_TRUE(at_a.has_value());
+    EXPECT_EQ(cdr::decode_request(at_b->data(), at_b->size()).header.request_id,
+              1u);
+    EXPECT_EQ(cdr::decode_request(at_a->data(), at_a->size()).header.request_id,
+              2u);
+}
+
+TEST(Loopback, PreservesFrameBoundariesAndOrder) {
+    auto [a, b] = net::make_loopback_pair();
+    for (std::uint32_t i = 0; i < 10; ++i) a->send_frame(make_frame(i, 16 + i));
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        const auto frame = b->recv_frame();
+        ASSERT_TRUE(frame.has_value());
+        EXPECT_EQ(
+            cdr::decode_request(frame->data(), frame->size()).header.request_id,
+            i);
+    }
+}
+
+TEST(Loopback, CloseUnblocksReceiver) {
+    auto [a, b] = net::make_loopback_pair();
+    std::thread closer([&a = a] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        a->close();
+    });
+    EXPECT_FALSE(b->recv_frame().has_value());
+    closer.join();
+}
+
+TEST(Loopback, SendAfterCloseThrows) {
+    auto [a, b] = net::make_loopback_pair();
+    b->close();
+    EXPECT_THROW(a->send_frame(make_frame(1, 4)), net::TransportError);
+}
+
+TEST(Tcp, AcceptorPicksFreePort) {
+    net::TcpAcceptor acceptor(0);
+    EXPECT_GT(acceptor.bound_port(), 0);
+}
+
+TEST(Tcp, ConnectSendReceive) {
+    net::TcpAcceptor acceptor(0);
+    std::unique_ptr<net::Transport> server_side;
+    std::thread accept_thread(
+        [&] { server_side = acceptor.accept(); });
+    auto client = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    accept_thread.join();
+    ASSERT_NE(server_side, nullptr);
+
+    client->send_frame(make_frame(77, 100));
+    const auto got = server_side->recv_frame();
+    ASSERT_TRUE(got.has_value());
+    const auto decoded = cdr::decode_request(got->data(), got->size());
+    EXPECT_EQ(decoded.header.request_id, 77u);
+    EXPECT_EQ(decoded.payload_len, 100u);
+
+    // And back.
+    cdr::ReplyHeader rep;
+    rep.request_id = 77;
+    server_side->send_frame(cdr::encode_reply(rep, nullptr, 0));
+    const auto reply = client->recv_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(cdr::decode_reply(reply->data(), reply->size()).header.request_id,
+              77u);
+}
+
+TEST(Tcp, LargeFrameCrossesIntact) {
+    net::TcpAcceptor acceptor(0);
+    std::unique_ptr<net::Transport> server_side;
+    std::thread accept_thread([&] { server_side = acceptor.accept(); });
+    auto client = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    accept_thread.join();
+
+    std::vector<std::uint8_t> payload(512 * 1024);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::uint8_t>(i);
+    }
+    cdr::RequestHeader req;
+    req.object_key = "big";
+    req.operation = "op";
+    client->send_frame(cdr::encode_request(req, payload.data(), payload.size()));
+    const auto got = server_side->recv_frame();
+    ASSERT_TRUE(got.has_value());
+    const auto decoded = cdr::decode_request(got->data(), got->size());
+    ASSERT_EQ(decoded.payload_len, payload.size());
+    EXPECT_EQ(std::memcmp(decoded.payload, payload.data(), payload.size()), 0);
+}
+
+TEST(Tcp, PeerCloseYieldsNullopt) {
+    net::TcpAcceptor acceptor(0);
+    std::unique_ptr<net::Transport> server_side;
+    std::thread accept_thread([&] { server_side = acceptor.accept(); });
+    auto client = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    accept_thread.join();
+    client->close();
+    EXPECT_FALSE(server_side->recv_frame().has_value());
+}
+
+TEST(Tcp, ConnectToClosedPortThrows) {
+    // Bind-then-close to find a port that is (very likely) not listening.
+    std::uint16_t dead_port;
+    {
+        net::TcpAcceptor a(0);
+        dead_port = a.bound_port();
+    }
+    EXPECT_THROW(net::tcp_connect("127.0.0.1", dead_port), net::TransportError);
+}
+
+TEST(Tcp, BadAddressThrows) {
+    EXPECT_THROW(net::tcp_connect("not-an-ip", 1234), net::TransportError);
+}
+
+TEST(Tcp, ManySequentialRoundTrips) {
+    net::TcpAcceptor acceptor(0);
+    std::unique_ptr<net::Transport> server_side;
+    std::thread accept_thread([&] { server_side = acceptor.accept(); });
+    auto client = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    accept_thread.join();
+
+    std::thread echo([&] {
+        for (;;) {
+            auto frame = server_side->recv_frame();
+            if (!frame.has_value()) return;
+            server_side->send_frame(*frame);
+        }
+    });
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        client->send_frame(make_frame(i, 64));
+        const auto back = client->recv_frame();
+        ASSERT_TRUE(back.has_value());
+        ASSERT_EQ(
+            cdr::decode_request(back->data(), back->size()).header.request_id,
+            i);
+    }
+    client->close();
+    echo.join();
+}

@@ -1,0 +1,293 @@
+// RemoteBridge: transparent remote port connections between two
+// applications (the paper's future-work feature, implemented).
+#include "remote/bridge.hpp"
+
+#include "core/messages.hpp"
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace compadres;
+
+namespace {
+
+core::InPortConfig sync_port() {
+    core::InPortConfig cfg;
+    cfg.min_threads = cfg.max_threads = 0;
+    return cfg;
+}
+
+/// Collects ints delivered to an In port across threads.
+struct IntSink {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<int> values;
+
+    void add(int v) {
+        {
+            std::lock_guard lk(mu);
+            values.push_back(v);
+        }
+        cv.notify_all();
+    }
+    bool wait_for(std::size_t n) {
+        std::unique_lock lk(mu);
+        return cv.wait_for(lk, std::chrono::milliseconds(3000),
+                           [&] { return values.size() >= n; });
+    }
+};
+
+class BridgeTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        core::register_builtin_message_types();
+        remote::register_builtin_serializers();
+    }
+};
+
+} // namespace
+
+TEST_F(BridgeTest, MessageCrossesBetweenApplications) {
+    core::Application sender_app("sender");
+    core::Application receiver_app("receiver");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge_a(sender_app, std::move(wire_a));
+    remote::RemoteBridge bridge_b(receiver_app, std::move(wire_b));
+
+    auto& producer = sender_app.create_immortal<core::Component>("Producer");
+    auto& out = producer.add_out_port<core::MyInteger>("out", "MyInteger");
+    bridge_a.export_route(out, "telemetry");
+
+    IntSink sink;
+    auto& consumer = receiver_app.create_immortal<core::Component>("Consumer");
+    auto& in = consumer.add_in_port<core::MyInteger>(
+        "in", "MyInteger", sync_port(),
+        [&](core::MyInteger& m, core::Smm&) { sink.add(m.value); });
+    bridge_b.import_route("telemetry", in);
+
+    bridge_a.start();
+    bridge_b.start();
+    sender_app.start();
+    receiver_app.start();
+
+    for (int i = 0; i < 10; ++i) {
+        core::MyInteger* msg = out.get_message();
+        msg->value = i * 11;
+        out.send(msg, 5);
+    }
+    ASSERT_TRUE(sink.wait_for(10));
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(sink.values[i], i * 11);
+    EXPECT_EQ(bridge_a.frames_sent(), 10u);
+    EXPECT_EQ(bridge_b.frames_received(), 10u);
+    EXPECT_EQ(bridge_b.frames_dropped(), 0u);
+}
+
+TEST_F(BridgeTest, BidirectionalOverOneWire) {
+    core::Application app_a("a"), app_b("b");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge_a(app_a, std::move(wire_a));
+    remote::RemoteBridge bridge_b(app_b, std::move(wire_b));
+
+    IntSink sink_a, sink_b;
+    auto& comp_a = app_a.create_immortal<core::Component>("A");
+    auto& comp_b = app_b.create_immortal<core::Component>("B");
+    auto& out_a = comp_a.add_out_port<core::MyInteger>("out", "MyInteger");
+    auto& in_a = comp_a.add_in_port<core::MyInteger>(
+        "in", "MyInteger", sync_port(),
+        [&](core::MyInteger& m, core::Smm&) { sink_a.add(m.value); });
+    auto& out_b = comp_b.add_out_port<core::MyInteger>("out", "MyInteger");
+    auto& in_b = comp_b.add_in_port<core::MyInteger>(
+        "in", "MyInteger", sync_port(),
+        [&](core::MyInteger& m, core::Smm&) { sink_b.add(m.value); });
+
+    bridge_a.export_route(out_a, "a-to-b");
+    bridge_a.import_route("b-to-a", in_a);
+    bridge_b.export_route(out_b, "b-to-a");
+    bridge_b.import_route("a-to-b", in_b);
+    bridge_a.start();
+    bridge_b.start();
+
+    core::MyInteger* ma = out_a.get_message();
+    ma->value = 1;
+    out_a.send(ma, 5);
+    core::MyInteger* mb = out_b.get_message();
+    mb->value = 2;
+    out_b.send(mb, 5);
+    ASSERT_TRUE(sink_b.wait_for(1));
+    ASSERT_TRUE(sink_a.wait_for(1));
+    EXPECT_EQ(sink_b.values[0], 1);
+    EXPECT_EQ(sink_a.values[0], 2);
+}
+
+TEST_F(BridgeTest, OctetSeqShipsOnlyFilledPrefix) {
+    core::Application app_a("a"), app_b("b");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge_a(app_a, std::move(wire_a));
+    remote::RemoteBridge bridge_b(app_b, std::move(wire_b));
+
+    auto& producer = app_a.create_immortal<core::Component>("P");
+    auto& out = producer.add_out_port<core::OctetSeq>("out", "OctetSeq");
+    bridge_a.export_route(out, "bytes");
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::uint8_t> got;
+    auto& consumer = app_b.create_immortal<core::Component>("C");
+    auto& in = consumer.add_in_port<core::OctetSeq>(
+        "in", "OctetSeq", sync_port(), [&](core::OctetSeq& m, core::Smm&) {
+            std::lock_guard lk(mu);
+            got.assign(m.data.begin(),
+                       m.data.begin() + static_cast<long>(m.length));
+            cv.notify_all();
+        });
+    bridge_b.import_route("bytes", in);
+    bridge_a.start();
+    bridge_b.start();
+
+    core::OctetSeq* msg = out.get_message();
+    const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+    msg->assign(payload, sizeof(payload));
+    out.send(msg, 5);
+
+    std::unique_lock lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, std::chrono::milliseconds(2000),
+                            [&] { return !got.empty(); }));
+    EXPECT_EQ(got, std::vector<std::uint8_t>({1, 2, 3, 4, 5}));
+}
+
+TEST_F(BridgeTest, UnknownRouteCountedAsDropped) {
+    core::Application app_a("a"), app_b("b");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge_a(app_a, std::move(wire_a));
+    remote::RemoteBridge bridge_b(app_b, std::move(wire_b));
+
+    auto& producer = app_a.create_immortal<core::Component>("P");
+    auto& out = producer.add_out_port<core::MyInteger>("out", "MyInteger");
+    bridge_a.export_route(out, "nobody-listens");
+    bridge_a.start();
+    bridge_b.start();
+
+    core::MyInteger* msg = out.get_message();
+    out.send(msg, 5);
+    // Drops are asynchronous; poll briefly.
+    for (int i = 0; i < 100 && bridge_b.frames_dropped() == 0; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(bridge_b.frames_dropped(), 1u);
+}
+
+TEST_F(BridgeTest, DuplicateImportRouteRejected) {
+    core::Application app("a");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge(app, std::move(wire_a));
+    auto& comp = app.create_immortal<core::Component>("C");
+    auto& in1 = comp.add_in_port<core::MyInteger>(
+        "in1", "MyInteger", sync_port(), [](core::MyInteger&, core::Smm&) {});
+    auto& in2 = comp.add_in_port<core::MyInteger>(
+        "in2", "MyInteger", sync_port(), [](core::MyInteger&, core::Smm&) {});
+    bridge.import_route("r", in1);
+    EXPECT_THROW(bridge.import_route("r", in2), remote::BridgeError);
+}
+
+TEST_F(BridgeTest, RoutesFrozenAfterStart) {
+    core::Application app("a");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge(app, std::move(wire_a));
+    auto& comp = app.create_immortal<core::Component>("C");
+    auto& out = comp.add_out_port<core::MyInteger>("out", "MyInteger");
+    auto& in = comp.add_in_port<core::MyInteger>(
+        "in", "MyInteger", sync_port(), [](core::MyInteger&, core::Smm&) {});
+    bridge.start();
+    EXPECT_THROW(bridge.export_route(out, "late"), remote::BridgeError);
+    EXPECT_THROW(bridge.import_route("late", in), remote::BridgeError);
+}
+
+TEST_F(BridgeTest, WorksOverRealTcp) {
+    net::TcpAcceptor acceptor(0);
+    core::Application app_a("a"), app_b("b");
+
+    std::unique_ptr<net::Transport> server_wire;
+    std::thread accept_thread([&] { server_wire = acceptor.accept(); });
+    auto client_wire = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    accept_thread.join();
+
+    remote::RemoteBridge bridge_a(app_a, std::move(client_wire));
+    remote::RemoteBridge bridge_b(app_b, std::move(server_wire));
+
+    auto& producer = app_a.create_immortal<core::Component>("P");
+    auto& out = producer.add_out_port<core::SensorSample>("out", "SensorSample");
+    bridge_a.export_route(out, "samples");
+
+    std::mutex mu;
+    std::condition_variable cv;
+    int received = 0;
+    double last = 0;
+    auto& consumer = app_b.create_immortal<core::Component>("C");
+    auto& in = consumer.add_in_port<core::SensorSample>(
+        "in", "SensorSample", sync_port(),
+        [&](core::SensorSample& s, core::Smm&) {
+            std::lock_guard lk(mu);
+            ++received;
+            last = s.value;
+            cv.notify_all();
+        });
+    bridge_b.import_route("samples", in);
+    bridge_a.start();
+    bridge_b.start();
+
+    for (int i = 0; i < 50; ++i) {
+        core::SensorSample* s = out.get_message();
+        s->sensor_id = i;
+        s->value = i * 0.5;
+        out.send(s, 5);
+    }
+    std::unique_lock lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, std::chrono::milliseconds(3000),
+                            [&] { return received >= 50; }));
+    EXPECT_EQ(last, 49 * 0.5);
+}
+
+TEST_F(BridgeTest, ImportPriorityOverrideApplies) {
+    // With an override, the bridge sends at the configured priority; we
+    // can at least verify traffic still flows with the override set.
+    core::Application app_a("a"), app_b("b");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge_a(app_a, std::move(wire_a));
+    remote::RemoteBridge bridge_b(app_b, std::move(wire_b));
+
+    auto& producer = app_a.create_immortal<core::Component>("P");
+    auto& out = producer.add_out_port<core::MyInteger>("out", "MyInteger");
+    bridge_a.export_route(out, "r");
+
+    IntSink sink;
+    auto& consumer = app_b.create_immortal<core::Component>("C");
+    auto& in = consumer.add_in_port<core::MyInteger>(
+        "in", "MyInteger", sync_port(),
+        [&](core::MyInteger& m, core::Smm&) { sink.add(m.value); });
+    bridge_b.import_route("r", in, /*priority=*/77);
+    bridge_a.start();
+    bridge_b.start();
+
+    core::MyInteger* msg = out.get_message();
+    msg->value = 7;
+    out.send(msg, 5);
+    ASSERT_TRUE(sink.wait_for(1));
+    EXPECT_EQ(sink.values[0], 7);
+}
+
+TEST_F(BridgeTest, ShutdownStopsReaderCleanly) {
+    core::Application app_a("a"), app_b("b");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge_a(app_a, std::move(wire_a));
+    remote::RemoteBridge bridge_b(app_b, std::move(wire_b));
+    bridge_a.start();
+    bridge_b.start();
+    bridge_a.shutdown();
+    bridge_a.shutdown(); // idempotent
+    bridge_b.shutdown();
+}

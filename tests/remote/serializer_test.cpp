@@ -1,0 +1,128 @@
+// Serializers: POD and custom codecs, registry behaviour, error paths.
+#include "remote/serializer.hpp"
+
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace compadres;
+
+namespace {
+
+struct Telemetry {
+    int id = 0;
+    double value = 0.0;
+    char tag[8] = {};
+};
+
+class SerializerTest : public ::testing::Test {
+protected:
+    void SetUp() override { remote::register_builtin_serializers(); }
+};
+
+} // namespace
+
+TEST_F(SerializerTest, PodRoundTrips) {
+    auto& reg = remote::SerializerRegistry::global();
+    reg.register_pod<Telemetry>("Telemetry");
+    const remote::Serializer& s = reg.find(std::type_index(typeid(Telemetry)));
+
+    Telemetry original;
+    original.id = 7;
+    original.value = 2.5;
+    original.tag[0] = 'x';
+    cdr::OutputStream out;
+    s.encode(&original, out);
+
+    Telemetry decoded;
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    s.decode(&decoded, in);
+    EXPECT_EQ(decoded.id, 7);
+    EXPECT_EQ(decoded.value, 2.5);
+    EXPECT_EQ(decoded.tag[0], 'x');
+}
+
+TEST_F(SerializerTest, PodSizeMismatchRejected) {
+    auto& reg = remote::SerializerRegistry::global();
+    reg.register_pod<Telemetry>("Telemetry");
+    const remote::Serializer& s = reg.find(std::type_index(typeid(Telemetry)));
+    cdr::OutputStream out;
+    const std::uint8_t junk[3] = {1, 2, 3};
+    out.write_octet_seq(junk, sizeof(junk)); // wrong length
+    Telemetry decoded;
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    EXPECT_THROW(s.decode(&decoded, in), remote::SerializationError);
+}
+
+TEST_F(SerializerTest, OctetSeqCodecShipsOnlyFilledBytes) {
+    const remote::Serializer& s = remote::SerializerRegistry::global().find(
+        std::type_index(typeid(core::OctetSeq)));
+    core::OctetSeq msg;
+    const std::uint8_t data[] = {9, 8, 7};
+    msg.assign(data, sizeof(data));
+    cdr::OutputStream out;
+    s.encode(&msg, out);
+    // ulong length + 3 bytes, nowhere near the 4 KiB struct.
+    EXPECT_LE(out.size(), 16u);
+
+    core::OctetSeq decoded;
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    s.decode(&decoded, in);
+    EXPECT_EQ(decoded.length, 3u);
+    EXPECT_EQ(decoded.data[0], 9);
+    EXPECT_EQ(decoded.data[2], 7);
+}
+
+TEST_F(SerializerTest, UnknownTypeThrows) {
+    struct Unregistered {};
+    EXPECT_THROW(remote::SerializerRegistry::global().find(
+                     std::type_index(typeid(Unregistered))),
+                 remote::SerializationError);
+    EXPECT_FALSE(remote::SerializerRegistry::global().has(
+        std::type_index(typeid(Unregistered))));
+}
+
+TEST_F(SerializerTest, FindByNameWorks) {
+    const remote::Serializer* s =
+        remote::SerializerRegistry::global().find_by_name("MyInteger");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->type, std::type_index(typeid(core::MyInteger)));
+    EXPECT_EQ(remote::SerializerRegistry::global().find_by_name("Nope"),
+              nullptr);
+}
+
+TEST_F(SerializerTest, CustomCodecOverridesAndRoundTrips) {
+    auto& reg = remote::SerializerRegistry::global();
+    // A custom codec that ships only the id field of Telemetry.
+    reg.register_custom<Telemetry>(
+        "TelemetryIdOnly",
+        [](const Telemetry& t, cdr::OutputStream& out) {
+            out.write_long(t.id);
+        },
+        [](Telemetry& t, cdr::InputStream& in) { t.id = in.read_long(); });
+    const remote::Serializer& s = reg.find(std::type_index(typeid(Telemetry)));
+    EXPECT_EQ(s.type_name, "TelemetryIdOnly"); // re-registration replaced
+
+    Telemetry original;
+    original.id = 42;
+    original.value = 99.0;
+    cdr::OutputStream out;
+    s.encode(&original, out);
+    EXPECT_EQ(out.size(), 4u); // just the long
+
+    Telemetry decoded;
+    cdr::InputStream in(out.buffer().data(), out.buffer().size());
+    s.decode(&decoded, in);
+    EXPECT_EQ(decoded.id, 42);
+    EXPECT_EQ(decoded.value, 0.0); // not shipped
+
+    // Restore the POD codec for other tests in this process.
+    reg.register_pod<Telemetry>("Telemetry");
+}
+
+TEST_F(SerializerTest, BuiltinRegistrationIsIdempotent) {
+    remote::register_builtin_serializers();
+    remote::register_builtin_serializers();
+    EXPECT_TRUE(remote::SerializerRegistry::global().has(
+        std::type_index(typeid(core::SensorSample))));
+}

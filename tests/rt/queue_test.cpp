@@ -1,0 +1,198 @@
+// Bounded queues: port buffers and transports depend on their bounding,
+// blocking, priority-ordering, and close semantics.
+#include "rt/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rt = compadres::rt;
+
+TEST(BoundedQueue, FifoOrder) {
+    rt::BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i) ASSERT_EQ(q.push(i), rt::PushResult::kOk);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BoundedQueue, TryPushFullReturnsFull) {
+    rt::BoundedQueue<int> q(2);
+    EXPECT_EQ(q.try_push(1), rt::PushResult::kOk);
+    EXPECT_EQ(q.try_push(2), rt::PushResult::kOk);
+    EXPECT_EQ(q.try_push(3), rt::PushResult::kFull);
+}
+
+TEST(BoundedQueue, TryPopEmptyReturnsNullopt) {
+    rt::BoundedQueue<int> q(2);
+    EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+    rt::BoundedQueue<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_EQ(q.try_push(1), rt::PushResult::kOk);
+    EXPECT_EQ(q.try_push(2), rt::PushResult::kFull);
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+    rt::BoundedQueue<int> q(1);
+    ASSERT_EQ(q.push(1), rt::PushResult::kOk);
+    std::atomic<bool> pushed{false};
+    std::thread t([&] {
+        q.push(2);
+        pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 1);
+    t.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueue, BlockingPopWaitsForData) {
+    rt::BoundedQueue<int> q(1);
+    std::atomic<int> got{-1};
+    std::thread t([&] { got.store(q.pop().value()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(got.load(), -1);
+    q.push(7);
+    t.join();
+    EXPECT_EQ(got.load(), 7);
+}
+
+TEST(BoundedQueue, CloseUnblocksPopWithNullopt) {
+    rt::BoundedQueue<int> q(1);
+    std::atomic<bool> got_nullopt{false};
+    std::thread t([&] { got_nullopt.store(!q.pop().has_value()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    t.join();
+    EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(BoundedQueue, CloseRejectsPush) {
+    rt::BoundedQueue<int> q(4);
+    q.close();
+    EXPECT_EQ(q.push(1), rt::PushResult::kClosed);
+    EXPECT_EQ(q.try_push(1), rt::PushResult::kClosed);
+}
+
+TEST(BoundedQueue, PopDrainsAfterClose) {
+    rt::BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.close();
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersDeliverEverything) {
+    rt::BoundedQueue<int> q(16);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 500;
+    std::atomic<long> sum{0};
+    std::atomic<int> received{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+        consumers.emplace_back([&] {
+            for (;;) {
+                auto v = q.pop();
+                if (!v.has_value()) return;
+                sum.fetch_add(*v);
+                received.fetch_add(1);
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                q.push(p * kPerProducer + i);
+            }
+        });
+    }
+    for (auto& t : producers) t.join();
+    q.close();
+    for (auto& t : consumers) t.join();
+    const int total = kProducers * kPerProducer;
+    EXPECT_EQ(received.load(), total);
+    EXPECT_EQ(sum.load(), static_cast<long>(total) * (total - 1) / 2);
+}
+
+TEST(PriorityQueue, HigherPriorityPopsFirst) {
+    rt::PriorityBoundedQueue<std::string> q(8);
+    q.push("low", 1);
+    q.push("high", 9);
+    q.push("mid", 5);
+    EXPECT_EQ(q.pop()->first, "high");
+    EXPECT_EQ(q.pop()->first, "mid");
+    EXPECT_EQ(q.pop()->first, "low");
+}
+
+TEST(PriorityQueue, PopReturnsPriorityAlongside) {
+    rt::PriorityBoundedQueue<int> q(4);
+    q.push(42, 7);
+    const auto item = q.pop();
+    EXPECT_EQ(item->first, 42);
+    EXPECT_EQ(item->second, 7);
+}
+
+TEST(PriorityQueue, EqualPrioritiesAreFifo) {
+    rt::PriorityBoundedQueue<int> q(16);
+    for (int i = 0; i < 10; ++i) q.push(i, 5);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop()->first, i);
+}
+
+TEST(PriorityQueue, MixedPrioritiesStableWithinLevel) {
+    rt::PriorityBoundedQueue<int> q(16);
+    q.push(1, 5);
+    q.push(2, 9);
+    q.push(3, 5);
+    q.push(4, 9);
+    EXPECT_EQ(q.pop()->first, 2);
+    EXPECT_EQ(q.pop()->first, 4);
+    EXPECT_EQ(q.pop()->first, 1);
+    EXPECT_EQ(q.pop()->first, 3);
+}
+
+TEST(PriorityQueue, TryPushFullAndClosed) {
+    rt::PriorityBoundedQueue<int> q(1);
+    EXPECT_EQ(q.try_push(1, 1), rt::PushResult::kOk);
+    EXPECT_EQ(q.try_push(2, 1), rt::PushResult::kFull);
+    q.close();
+    EXPECT_EQ(q.try_push(3, 1), rt::PushResult::kClosed);
+}
+
+TEST(PriorityQueue, CloseDrainsInPriorityOrder) {
+    rt::PriorityBoundedQueue<int> q(8);
+    q.push(1, 1);
+    q.push(2, 2);
+    q.close();
+    EXPECT_EQ(q.pop()->first, 2);
+    EXPECT_EQ(q.pop()->first, 1);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+// Parameterized: all permutations of three priorities must pop sorted.
+class PriorityOrderTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PriorityOrderTest, AlwaysPopsDescendingPriority) {
+    const auto [a, b, c] = GetParam();
+    rt::PriorityBoundedQueue<int> q(4);
+    q.push(a, a);
+    q.push(b, b);
+    q.push(c, c);
+    std::vector<int> out;
+    for (int i = 0; i < 3; ++i) out.push_back(q.pop()->second);
+    EXPECT_TRUE(std::is_sorted(out.rbegin(), out.rend()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Permutations, PriorityOrderTest,
+    ::testing::Values(std::tuple{1, 2, 3}, std::tuple{1, 3, 2},
+                      std::tuple{2, 1, 3}, std::tuple{2, 3, 1},
+                      std::tuple{3, 1, 2}, std::tuple{3, 2, 1}));

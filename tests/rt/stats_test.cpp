@@ -1,0 +1,177 @@
+// StatsRecorder: the measurement methodology of every bench depends on
+// these statistics being exactly right (median, jitter = max - min,
+// nearest-rank percentiles over steady-state samples).
+#include "rt/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace rt = compadres::rt;
+
+TEST(Stats, EmptyRecorderSummarizesToZeros) {
+    rt::StatsRecorder rec;
+    const auto s = rec.summarize();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.min, 0);
+    EXPECT_EQ(s.max, 0);
+    EXPECT_EQ(s.median, 0);
+    EXPECT_EQ(s.jitter, 0);
+}
+
+TEST(Stats, SingleSample) {
+    rt::StatsRecorder rec;
+    rec.record(42);
+    const auto s = rec.summarize();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_EQ(s.min, 42);
+    EXPECT_EQ(s.max, 42);
+    EXPECT_EQ(s.median, 42);
+    EXPECT_EQ(s.mean, 42);
+    EXPECT_EQ(s.jitter, 0);
+}
+
+TEST(Stats, JitterIsRangeOfObservations) {
+    // Paper §3.1: "The range of the observations, i.e., jitter".
+    rt::StatsRecorder rec;
+    for (const auto v : {100, 150, 125, 90, 180}) rec.record(v);
+    EXPECT_EQ(rec.summarize().jitter, 180 - 90);
+}
+
+TEST(Stats, MedianOfOddCount) {
+    rt::StatsRecorder rec;
+    for (const auto v : {5, 1, 3}) rec.record(v);
+    EXPECT_EQ(rec.summarize().median, 3);
+}
+
+TEST(Stats, MedianIsUpperOfEvenCount) {
+    rt::StatsRecorder rec;
+    for (const auto v : {1, 2, 3, 4}) rec.record(v);
+    EXPECT_EQ(rec.summarize().median, 3);
+}
+
+TEST(Stats, MeanIsIntegerAverage) {
+    rt::StatsRecorder rec;
+    for (const auto v : {10, 20, 31}) rec.record(v);
+    EXPECT_EQ(rec.summarize().mean, 61 / 3);
+}
+
+TEST(Stats, DiscardWarmupDropsPrefix) {
+    rt::StatsRecorder rec;
+    for (int i = 0; i < 10; ++i) rec.record(i);
+    rec.discard_warmup(4);
+    EXPECT_EQ(rec.count(), 6u);
+    EXPECT_EQ(rec.summarize().min, 4);
+}
+
+TEST(Stats, DiscardWarmupMoreThanCountClears) {
+    rt::StatsRecorder rec;
+    rec.record(1);
+    rec.discard_warmup(5);
+    EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(Stats, PercentileZeroIsMin) {
+    rt::StatsRecorder rec;
+    for (int i = 1; i <= 100; ++i) rec.record(i);
+    EXPECT_EQ(rec.percentile(0.0), 1);
+}
+
+TEST(Stats, PercentileHundredIsMax) {
+    rt::StatsRecorder rec;
+    for (int i = 1; i <= 100; ++i) rec.record(i);
+    EXPECT_EQ(rec.percentile(100.0), 100);
+}
+
+TEST(Stats, NearestRankPercentiles) {
+    rt::StatsRecorder rec;
+    for (int i = 1; i <= 100; ++i) rec.record(i); // values 1..100
+    EXPECT_EQ(rec.percentile(50.0), 50);
+    EXPECT_EQ(rec.percentile(90.0), 90);
+    EXPECT_EQ(rec.percentile(99.0), 99);
+}
+
+TEST(Stats, PercentileOutOfRangeThrows) {
+    rt::StatsRecorder rec;
+    rec.record(1);
+    EXPECT_THROW(rec.percentile(-1.0), std::invalid_argument);
+    EXPECT_THROW(rec.percentile(100.5), std::invalid_argument);
+}
+
+TEST(Stats, PercentilesIndependentOfInsertionOrder) {
+    std::vector<std::int64_t> values(1000);
+    std::iota(values.begin(), values.end(), 0);
+    std::mt19937 rng(7);
+    std::shuffle(values.begin(), values.end(), rng);
+    rt::StatsRecorder rec;
+    for (const auto v : values) rec.record(v);
+    EXPECT_EQ(rec.percentile(50.0), 499);
+    EXPECT_EQ(rec.summarize().median, 500);
+    EXPECT_EQ(rec.summarize().min, 0);
+    EXPECT_EQ(rec.summarize().max, 999);
+}
+
+TEST(Stats, HistogramCountsEveryBucket) {
+    rt::StatsRecorder rec;
+    for (int i = 0; i < 100; ++i) rec.record(i);
+    const auto h = rec.histogram(0, 100, 10);
+    ASSERT_EQ(h.size(), 10u);
+    for (const auto count : h) EXPECT_EQ(count, 10u);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+    rt::StatsRecorder rec;
+    rec.record(-50);
+    rec.record(500);
+    const auto h = rec.histogram(0, 100, 4);
+    EXPECT_EQ(h.front(), 1u);
+    EXPECT_EQ(h.back(), 1u);
+}
+
+TEST(Stats, HistogramBadSpecThrows) {
+    rt::StatsRecorder rec;
+    EXPECT_THROW(rec.histogram(0, 100, 0), std::invalid_argument);
+    EXPECT_THROW(rec.histogram(100, 100, 4), std::invalid_argument);
+}
+
+TEST(Stats, FormatRowUsesMicroseconds) {
+    rt::StatsSummary s;
+    s.count = 3;
+    s.median = 1'500;   // 1.5 us
+    s.jitter = 92'000;  // 92 us
+    s.min = 1'000;
+    s.max = 93'000;
+    const std::string row = rt::StatsRecorder::format_row_us("Mackinac", s);
+    EXPECT_NE(row.find("Mackinac"), std::string::npos);
+    EXPECT_NE(row.find("median="), std::string::npos);
+    EXPECT_NE(row.find("92.0us"), std::string::npos);
+}
+
+// Property sweep: for uniformly random data, summarize() must agree with a
+// direct computation on the sorted sample set.
+class StatsPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StatsPropertyTest, SummaryMatchesDirectComputation) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_int_distribution<std::int64_t> dist(0, 1'000'000);
+    rt::StatsRecorder rec;
+    std::vector<std::int64_t> values;
+    const std::size_t n = 1 + GetParam() * 37 % 500;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto v = dist(rng);
+        values.push_back(v);
+        rec.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    const auto s = rec.summarize();
+    EXPECT_EQ(s.count, values.size());
+    EXPECT_EQ(s.min, values.front());
+    EXPECT_EQ(s.max, values.back());
+    EXPECT_EQ(s.median, values[values.size() / 2]);
+    EXPECT_EQ(s.jitter, values.back() - values.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));

@@ -1,0 +1,86 @@
+// RtThread: the paper's dispatch rule assigns message priorities to pool
+// threads; on an unprivileged host SCHED_FIFO degrades gracefully, which
+// these tests pin down (they must pass with or without CAP_SYS_NICE).
+#include "rt/clock.hpp"
+#include "rt/thread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace rt = compadres::rt;
+
+TEST(Priority, ClampsIntoValidRange) {
+    EXPECT_EQ(rt::Priority::clamped(-5).value, rt::Priority::kMin);
+    EXPECT_EQ(rt::Priority::clamped(0).value, rt::Priority::kMin);
+    EXPECT_EQ(rt::Priority::clamped(50).value, 50);
+    EXPECT_EQ(rt::Priority::clamped(1000).value, rt::Priority::kMax);
+}
+
+TEST(RtThread, RunsBodyAndJoins) {
+    std::atomic<bool> ran{false};
+    {
+        rt::RtThread t("test-worker", rt::Priority{10}, [&] { ran.store(true); });
+        t.join();
+    }
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(RtThread, DestructorJoins) {
+    std::atomic<int> value{0};
+    {
+        rt::RtThread t("dtor-join", rt::Priority{10}, [&] { value.store(42); });
+    }
+    EXPECT_EQ(value.load(), 42);
+}
+
+TEST(RtThread, JoinIsIdempotent) {
+    rt::RtThread t("double-join", rt::Priority{10}, [] {});
+    t.join();
+    t.join(); // must not crash or throw
+    EXPECT_FALSE(t.joinable());
+}
+
+TEST(RtThread, ReportsNameAndPriority) {
+    rt::RtThread t("named", rt::Priority{33}, [] {});
+    EXPECT_EQ(t.name(), "named");
+    EXPECT_EQ(t.priority().value, 33);
+    t.join();
+}
+
+TEST(RtThread, PriorityRequestEitherGrantedOrCounted) {
+    const auto denied_before = rt::rt_denied_count();
+    rt::RtThread t("prio-check", rt::Priority{20}, [] {});
+    t.join();
+    // Either the kernel granted SCHED_FIFO (priority_applied) or the denial
+    // counter moved — never silent failure.
+    if (!t.priority_applied()) {
+        EXPECT_GT(rt::rt_denied_count(), denied_before);
+    }
+}
+
+TEST(RtThread, DefaultConstructedIsNotJoinable) {
+    rt::RtThread t;
+    EXPECT_FALSE(t.joinable());
+}
+
+TEST(Clock, MonotonicNeverGoesBackwards) {
+    std::int64_t prev = rt::now_ns();
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t now = rt::now_ns();
+        ASSERT_GE(now, prev);
+        prev = now;
+    }
+}
+
+TEST(Clock, BusyWaitWaitsAtLeastRequested) {
+    const auto t0 = rt::now_ns();
+    rt::busy_wait_ns(2'000'000); // 2 ms
+    EXPECT_GE(rt::now_ns() - t0, 2'000'000);
+}
+
+TEST(Clock, SleepWaitsAtLeastRequested) {
+    const auto t0 = rt::now_ns();
+    rt::sleep_ns(5'000'000); // 5 ms
+    EXPECT_GE(rt::now_ns() - t0, 5'000'000);
+}

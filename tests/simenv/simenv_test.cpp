@@ -1,0 +1,160 @@
+// Simulated platforms: the injectors must be deterministic, correctly
+// parameterized, and produce the causal behaviours the Table 2 / Fig. 9
+// experiment relies on.
+#include "simenv/platform.hpp"
+
+#include "rt/clock.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace compadres;
+
+TEST(Profiles, TimesysIsQuiet) {
+    const auto p = simenv::PlatformProfile::timesys_ri();
+    EXPECT_TRUE(p.pooled_messages);
+    EXPECT_EQ(p.gc_threshold_bytes, 0);
+    EXPECT_EQ(p.os_noise_probability, 0.0);
+}
+
+TEST(Profiles, MackinacHasOsNoiseButNoGc) {
+    const auto p = simenv::PlatformProfile::mackinac();
+    EXPECT_TRUE(p.pooled_messages);
+    EXPECT_EQ(p.gc_threshold_bytes, 0);
+    EXPECT_GT(p.os_noise_probability, 0.0);
+    EXPECT_GT(p.os_noise_max_ns, p.os_noise_min_ns);
+}
+
+TEST(Profiles, Jdk14HasGcAndFreshAllocation) {
+    const auto p = simenv::PlatformProfile::jdk14();
+    EXPECT_FALSE(p.pooled_messages);
+    EXPECT_GT(p.gc_threshold_bytes, 0);
+    EXPECT_GT(p.gc_pause_max_ns, p.gc_pause_min_ns);
+}
+
+TEST(Profiles, ForPlatformMapsAllThree) {
+    EXPECT_EQ(simenv::PlatformProfile::for_platform(
+                  simenv::Platform::kTimesysRI).name,
+              "TimesysRI");
+    EXPECT_EQ(simenv::PlatformProfile::for_platform(
+                  simenv::Platform::kMackinac).name,
+              "Mackinac");
+    EXPECT_EQ(simenv::PlatformProfile::for_platform(simenv::Platform::kJdk14).name,
+              "JDK1.4");
+}
+
+TEST(Profiles, ToStringNames) {
+    EXPECT_STREQ(simenv::to_string(simenv::Platform::kTimesysRI), "TimesysRI");
+    EXPECT_STREQ(simenv::to_string(simenv::Platform::kMackinac), "Mackinac");
+    EXPECT_STREQ(simenv::to_string(simenv::Platform::kJdk14), "JDK1.4");
+}
+
+TEST(GcInjector, PausesOnlyAfterThresholdBytes) {
+    auto profile = simenv::PlatformProfile::jdk14();
+    profile.gc_threshold_bytes = 10'000;
+    profile.gc_pause_min_ns = 100'000;
+    profile.gc_pause_max_ns = 100'000;
+    simenv::PlatformRuntime runtime(profile, 1);
+    for (int i = 0; i < 9; ++i) runtime.on_allocate(1'000);
+    EXPECT_EQ(runtime.gc_pause_count(), 0);
+    runtime.on_allocate(1'000); // crosses 10k
+    EXPECT_EQ(runtime.gc_pause_count(), 1);
+}
+
+TEST(GcInjector, AccountingResetsAfterPause) {
+    auto profile = simenv::PlatformProfile::jdk14();
+    profile.gc_threshold_bytes = 1'000;
+    profile.gc_pause_min_ns = 1'000;
+    profile.gc_pause_max_ns = 1'000;
+    simenv::PlatformRuntime runtime(profile, 1);
+    for (int i = 0; i < 10; ++i) runtime.on_allocate(1'000);
+    EXPECT_EQ(runtime.gc_pause_count(), 10);
+}
+
+TEST(GcInjector, PauseActuallyTakesTime) {
+    auto profile = simenv::PlatformProfile::jdk14();
+    profile.gc_threshold_bytes = 1;
+    profile.gc_pause_min_ns = 2'000'000;
+    profile.gc_pause_max_ns = 2'000'000;
+    simenv::PlatformRuntime runtime(profile, 1);
+    const auto t0 = rt::now_ns();
+    runtime.on_allocate(10);
+    EXPECT_GE(rt::now_ns() - t0, 2'000'000);
+}
+
+TEST(GcInjector, DisabledCollectorNeverPauses) {
+    simenv::PlatformRuntime runtime(simenv::PlatformProfile::timesys_ri(), 1);
+    for (int i = 0; i < 1000; ++i) runtime.on_allocate(1'000'000);
+    EXPECT_EQ(runtime.gc_pause_count(), 0);
+}
+
+TEST(NoiseInjector, FiresAtRoughlyConfiguredRate) {
+    auto profile = simenv::PlatformProfile::mackinac();
+    profile.os_noise_probability = 0.10;
+    profile.os_noise_min_ns = 0;
+    profile.os_noise_max_ns = 0;
+    simenv::PlatformRuntime runtime(profile, 7);
+    constexpr int kTrials = 20'000;
+    for (int i = 0; i < kTrials; ++i) runtime.on_dispatch();
+    const double rate =
+        static_cast<double>(runtime.noise_event_count()) / kTrials;
+    EXPECT_GT(rate, 0.05);
+    EXPECT_LT(rate, 0.15);
+}
+
+TEST(NoiseInjector, QuietProfileNeverFires) {
+    simenv::PlatformRuntime runtime(simenv::PlatformProfile::timesys_ri(), 7);
+    for (int i = 0; i < 10'000; ++i) runtime.on_dispatch();
+    EXPECT_EQ(runtime.noise_event_count(), 0);
+}
+
+TEST(NoiseInjector, DeterministicForFixedSeed) {
+    auto profile = simenv::PlatformProfile::mackinac();
+    profile.os_noise_min_ns = 0;
+    profile.os_noise_max_ns = 0;
+    simenv::PlatformRuntime a(profile, 1234);
+    simenv::PlatformRuntime b(profile, 1234);
+    for (int i = 0; i < 5'000; ++i) {
+        a.on_dispatch();
+        b.on_dispatch();
+    }
+    EXPECT_EQ(a.noise_event_count(), b.noise_event_count());
+}
+
+TEST(NoiseInjector, DifferentSeedsDiverge) {
+    auto profile = simenv::PlatformProfile::mackinac();
+    profile.os_noise_probability = 0.5;
+    profile.os_noise_min_ns = 0;
+    profile.os_noise_max_ns = 0;
+    simenv::PlatformRuntime a(profile, 1);
+    simenv::PlatformRuntime b(profile, 2);
+    for (int i = 0; i < 5'000; ++i) {
+        a.on_dispatch();
+        b.on_dispatch();
+    }
+    EXPECT_NE(a.noise_event_count(), b.noise_event_count());
+}
+
+TEST(Profiles, RtgcIsIncrementalNotStopTheWorld) {
+    const auto rtgc = simenv::PlatformProfile::rtgc();
+    const auto jdk = simenv::PlatformProfile::jdk14();
+    EXPECT_FALSE(rtgc.pooled_messages);
+    // Smaller increments, triggered more often: bounded pauses.
+    EXPECT_LT(rtgc.gc_threshold_bytes, jdk.gc_threshold_bytes);
+    EXPECT_LT(rtgc.gc_pause_max_ns, jdk.gc_pause_min_ns);
+}
+
+TEST(Profiles, RtgcMappedByForPlatform) {
+    EXPECT_EQ(simenv::PlatformProfile::for_platform(simenv::Platform::kRtgc).name,
+              "RTGC");
+    EXPECT_STREQ(simenv::to_string(simenv::Platform::kRtgc), "RTGC");
+}
+
+TEST(GcInjector, RtgcPausesOftenButBriefly) {
+    simenv::PlatformRuntime rtgc(simenv::PlatformProfile::rtgc(), 3);
+    simenv::PlatformRuntime jdk(simenv::PlatformProfile::jdk14(), 3);
+    for (int i = 0; i < 200; ++i) {
+        rtgc.on_allocate(2048);
+        jdk.on_allocate(2048);
+    }
+    EXPECT_GT(rtgc.gc_pause_count(), jdk.gc_pause_count());
+}

@@ -1,0 +1,202 @@
+// XML substrate: parsing, navigation, error reporting, write round-trips.
+#include "xml/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xml = compadres::xml;
+
+TEST(Xml, ParsesSimpleElement) {
+    auto root = xml::parse("<Root/>");
+    EXPECT_EQ(root->name, "Root");
+    EXPECT_TRUE(root->children.empty());
+    EXPECT_TRUE(root->text.empty());
+}
+
+TEST(Xml, ParsesTextContent) {
+    auto root = xml::parse("<Name>Server</Name>");
+    EXPECT_EQ(root->text, "Server");
+}
+
+TEST(Xml, TrimsWhitespaceAroundText) {
+    auto root = xml::parse("<N>\n   hello world \n</N>");
+    EXPECT_EQ(root->text, "hello world");
+}
+
+TEST(Xml, ParsesNestedElements) {
+    auto root = xml::parse(
+        "<Component><ComponentName>Server</ComponentName>"
+        "<Port><PortName>DataOut</PortName></Port></Component>");
+    ASSERT_EQ(root->children.size(), 2u);
+    EXPECT_EQ(root->child_text("ComponentName"), "Server");
+    ASSERT_NE(root->child("Port"), nullptr);
+    EXPECT_EQ(root->child("Port")->child_text("PortName"), "DataOut");
+}
+
+TEST(Xml, ChildrenNamedReturnsAllMatches) {
+    auto root = xml::parse("<R><P>1</P><Q>x</Q><P>2</P><P>3</P></R>");
+    const auto ports = root->children_named("P");
+    ASSERT_EQ(ports.size(), 3u);
+    EXPECT_EQ(ports[0]->text, "1");
+    EXPECT_EQ(ports[2]->text, "3");
+}
+
+TEST(Xml, ChildTextFallback) {
+    auto root = xml::parse("<R><A>v</A></R>");
+    EXPECT_EQ(root->child_text("A", "d"), "v");
+    EXPECT_EQ(root->child_text("Missing", "d"), "d");
+}
+
+TEST(Xml, ParsesAttributes) {
+    auto root = xml::parse(R"(<Port name="P1" type='In' idx="3"/>)");
+    ASSERT_NE(root->attribute("name"), nullptr);
+    EXPECT_EQ(*root->attribute("name"), "P1");
+    EXPECT_EQ(*root->attribute("type"), "In");
+    EXPECT_EQ(*root->attribute("idx"), "3");
+    EXPECT_EQ(root->attribute("missing"), nullptr);
+}
+
+TEST(Xml, ParsesXmlDeclarationAndComments) {
+    auto root = xml::parse(
+        "<?xml version=\"1.0\"?>\n<!-- a comment -->\n"
+        "<R><!-- inner --><A>1</A></R>\n<!-- trailing -->");
+    EXPECT_EQ(root->name, "R");
+    EXPECT_EQ(root->child_text("A"), "1");
+}
+
+TEST(Xml, ParsesCdata) {
+    auto root = xml::parse("<R><![CDATA[a < b && c > d]]></R>");
+    EXPECT_EQ(root->text, "a < b && c > d");
+}
+
+TEST(Xml, DecodesEntities) {
+    auto root = xml::parse("<R>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</R>");
+    EXPECT_EQ(root->text, "<tag> & \"q\" 'a'");
+}
+
+TEST(Xml, DecodesNumericCharacterReferences) {
+    auto root = xml::parse("<R>&#65;&#x42;</R>");
+    EXPECT_EQ(root->text, "AB");
+}
+
+TEST(Xml, EntitiesInAttributes) {
+    auto root = xml::parse(R"(<R v="a&amp;b"/>)");
+    EXPECT_EQ(*root->attribute("v"), "a&b");
+}
+
+TEST(Xml, LineNumbersAreTracked) {
+    auto root = xml::parse("<R>\n  <A/>\n  <B/>\n</R>");
+    EXPECT_EQ(root->line, 1);
+    EXPECT_EQ(root->child("A")->line, 2);
+    EXPECT_EQ(root->child("B")->line, 3);
+}
+
+TEST(XmlErrors, MismatchedClosingTag) {
+    EXPECT_THROW(xml::parse("<A><B></A></B>"), xml::XmlError);
+}
+
+TEST(XmlErrors, UnterminatedElement) {
+    EXPECT_THROW(xml::parse("<A><B/>"), xml::XmlError);
+}
+
+TEST(XmlErrors, TrailingContent) {
+    EXPECT_THROW(xml::parse("<A/><B/>"), xml::XmlError);
+}
+
+TEST(XmlErrors, EmptyDocument) {
+    EXPECT_THROW(xml::parse(""), xml::XmlError);
+    EXPECT_THROW(xml::parse("   \n  "), xml::XmlError);
+}
+
+TEST(XmlErrors, UnknownEntity) {
+    EXPECT_THROW(xml::parse("<A>&bogus;</A>"), xml::XmlError);
+}
+
+TEST(XmlErrors, BadAttributeQuoting) {
+    EXPECT_THROW(xml::parse("<A v=unquoted/>"), xml::XmlError);
+}
+
+TEST(XmlErrors, UnterminatedComment) {
+    EXPECT_THROW(xml::parse("<A><!-- never closed </A>"), xml::XmlError);
+}
+
+TEST(XmlErrors, ReportsLineAndColumn) {
+    try {
+        xml::parse("<A>\n<B>\n</C>\n</A>");
+        FAIL() << "expected XmlError";
+    } catch (const xml::XmlError& e) {
+        EXPECT_EQ(e.line(), 3);
+        EXPECT_NE(std::string(e.what()).find("3:"), std::string::npos);
+    }
+}
+
+TEST(XmlErrors, MissingFileThrows) {
+    EXPECT_THROW(xml::parse_file("/nonexistent/path.xml"), std::runtime_error);
+}
+
+TEST(XmlWrite, RoundTripsStructure) {
+    const char* doc =
+        "<Application><ApplicationName>MyApp</ApplicationName>"
+        "<Component><InstanceName>S</InstanceName>"
+        "<Port k=\"v&amp;w\">text</Port></Component></Application>";
+    auto original = xml::parse(doc);
+    const std::string written = xml::write(*original);
+    auto reparsed = xml::parse(written);
+    EXPECT_EQ(reparsed->name, "Application");
+    EXPECT_EQ(reparsed->child_text("ApplicationName"), "MyApp");
+    const xml::XmlNode* port = reparsed->child("Component")->child("Port");
+    ASSERT_NE(port, nullptr);
+    EXPECT_EQ(port->text, "text");
+    EXPECT_EQ(*port->attribute("k"), "v&w");
+}
+
+TEST(XmlWrite, EscapesSpecialCharacters) {
+    xml::XmlNode node;
+    node.name = "N";
+    node.text = "a<b>&c";
+    node.attributes.emplace_back("q", "say \"hi\" & bye");
+    const std::string out = xml::write(node);
+    auto reparsed = xml::parse(out);
+    EXPECT_EQ(reparsed->text, "a<b>&c");
+    EXPECT_EQ(*reparsed->attribute("q"), "say \"hi\" & bye");
+}
+
+TEST(Xml, ParsesThePaperListing11Shape) {
+    // The CDL example from the paper (Listing 1.1), wrapped in a root.
+    const char* doc = R"(
+<CDL>
+ <Component>
+  <ComponentName>Server</ComponentName>
+  <Port><PortName>DataOut</PortName><PortType>Out</PortType>
+        <MessageType>String</MessageType></Port>
+  <Port><PortName>DataIn</PortName><PortType>In</PortType>
+        <MessageType>CustomType</MessageType></Port>
+ </Component>
+ <Component><ComponentName>Calculator</ComponentName></Component>
+</CDL>)";
+    auto root = xml::parse(doc);
+    const auto comps = root->children_named("Component");
+    ASSERT_EQ(comps.size(), 2u);
+    EXPECT_EQ(comps[0]->child_text("ComponentName"), "Server");
+    EXPECT_EQ(comps[0]->children_named("Port").size(), 2u);
+}
+
+// Deep-nesting sweep: parser must handle depth without recursion issues.
+class XmlDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlDepthTest, NestedDocumentParses) {
+    const int depth = GetParam();
+    std::string doc;
+    for (int i = 0; i < depth; ++i) doc += "<n" + std::to_string(i) + ">";
+    doc += "x";
+    for (int i = depth - 1; i >= 0; --i) doc += "</n" + std::to_string(i) + ">";
+    auto root = xml::parse(doc);
+    const xml::XmlNode* cur = root.get();
+    for (int i = 1; i < depth; ++i) {
+        ASSERT_EQ(cur->children.size(), 1u);
+        cur = cur->children[0].get();
+    }
+    EXPECT_EQ(cur->text, "x");
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, XmlDepthTest,
+                         ::testing::Values(1, 2, 8, 64, 256));

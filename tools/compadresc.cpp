@@ -1,0 +1,10 @@
+// compadresc: command-line front-end of the Compadres compiler.
+#include "compiler/cli.hpp"
+
+#include <iostream>
+#include <vector>
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return compadres::compiler::compadresc_main(args, std::cout, std::cerr);
+}
