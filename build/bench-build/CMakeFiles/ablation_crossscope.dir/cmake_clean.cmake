@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_crossscope"
+  "../bench/ablation_crossscope.pdb"
+  "CMakeFiles/ablation_crossscope.dir/ablation_crossscope.cpp.o"
+  "CMakeFiles/ablation_crossscope.dir/ablation_crossscope.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_crossscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ltmemory"
+  "../bench/ablation_ltmemory.pdb"
+  "CMakeFiles/ablation_ltmemory.dir/ablation_ltmemory.cpp.o"
+  "CMakeFiles/ablation_ltmemory.dir/ablation_ltmemory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ltmemory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scopepool"
+  "../bench/ablation_scopepool.pdb"
+  "CMakeFiles/ablation_scopepool.dir/ablation_scopepool.cpp.o"
+  "CMakeFiles/ablation_scopepool.dir/ablation_scopepool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scopepool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

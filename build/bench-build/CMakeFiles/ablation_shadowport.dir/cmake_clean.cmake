@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_shadowport"
+  "../bench/ablation_shadowport.pdb"
+  "CMakeFiles/ablation_shadowport.dir/ablation_shadowport.cpp.o"
+  "CMakeFiles/ablation_shadowport.dir/ablation_shadowport.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shadowport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_threadpool"
+  "../bench/ablation_threadpool.pdb"
+  "CMakeFiles/ablation_threadpool.dir/ablation_threadpool.cpp.o"
+  "CMakeFiles/ablation_threadpool.dir/ablation_threadpool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threadpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

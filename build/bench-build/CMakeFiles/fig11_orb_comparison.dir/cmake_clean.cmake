@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_orb_comparison"
+  "../bench/fig11_orb_comparison.pdb"
+  "CMakeFiles/fig11_orb_comparison.dir/fig11_orb_comparison.cpp.o"
+  "CMakeFiles/fig11_orb_comparison.dir/fig11_orb_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_orb_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overhead_framework"
+  "../bench/overhead_framework.pdb"
+  "CMakeFiles/overhead_framework.dir/overhead_framework.cpp.o"
+  "CMakeFiles/overhead_framework.dir/overhead_framework.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_platforms"
+  "../bench/table2_platforms.pdb"
+  "CMakeFiles/table2_platforms.dir/table2_platforms.cpp.o"
+  "CMakeFiles/table2_platforms.dir/table2_platforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

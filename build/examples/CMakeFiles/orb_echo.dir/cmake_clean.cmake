@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orb_echo.dir/orb_echo.cpp.o"
+  "CMakeFiles/orb_echo.dir/orb_echo.cpp.o.d"
+  "orb_echo"
+  "orb_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orb_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

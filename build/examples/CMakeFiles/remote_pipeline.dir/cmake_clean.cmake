@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_pipeline.dir/remote_pipeline.cpp.o"
+  "CMakeFiles/remote_pipeline.dir/remote_pipeline.cpp.o.d"
+  "remote_pipeline"
+  "remote_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

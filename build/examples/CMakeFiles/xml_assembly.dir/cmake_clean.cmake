@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_assembly.dir/xml_assembly.cpp.o"
+  "CMakeFiles/xml_assembly.dir/xml_assembly.cpp.o.d"
+  "xml_assembly"
+  "xml_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("rt")
+subdirs("memory")
+subdirs("xml")
+subdirs("simenv")
+subdirs("core")
+subdirs("components")
+subdirs("compiler")
+subdirs("cdr")
+subdirs("net")
+subdirs("remote")
+subdirs("orb")
+subdirs("rtzen")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_cdr.dir/cdr.cpp.o"
+  "CMakeFiles/compadres_cdr.dir/cdr.cpp.o.d"
+  "CMakeFiles/compadres_cdr.dir/giop.cpp.o"
+  "CMakeFiles/compadres_cdr.dir/giop.cpp.o.d"
+  "libcompadres_cdr.a"
+  "libcompadres_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

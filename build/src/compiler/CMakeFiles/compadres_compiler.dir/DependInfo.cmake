@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/assembler.cpp" "src/compiler/CMakeFiles/compadres_compiler.dir/assembler.cpp.o" "gcc" "src/compiler/CMakeFiles/compadres_compiler.dir/assembler.cpp.o.d"
+  "/root/repo/src/compiler/ccl.cpp" "src/compiler/CMakeFiles/compadres_compiler.dir/ccl.cpp.o" "gcc" "src/compiler/CMakeFiles/compadres_compiler.dir/ccl.cpp.o.d"
+  "/root/repo/src/compiler/cdl.cpp" "src/compiler/CMakeFiles/compadres_compiler.dir/cdl.cpp.o" "gcc" "src/compiler/CMakeFiles/compadres_compiler.dir/cdl.cpp.o.d"
+  "/root/repo/src/compiler/cli.cpp" "src/compiler/CMakeFiles/compadres_compiler.dir/cli.cpp.o" "gcc" "src/compiler/CMakeFiles/compadres_compiler.dir/cli.cpp.o.d"
+  "/root/repo/src/compiler/codegen.cpp" "src/compiler/CMakeFiles/compadres_compiler.dir/codegen.cpp.o" "gcc" "src/compiler/CMakeFiles/compadres_compiler.dir/codegen.cpp.o.d"
+  "/root/repo/src/compiler/emit.cpp" "src/compiler/CMakeFiles/compadres_compiler.dir/emit.cpp.o" "gcc" "src/compiler/CMakeFiles/compadres_compiler.dir/emit.cpp.o.d"
+  "/root/repo/src/compiler/validator.cpp" "src/compiler/CMakeFiles/compadres_compiler.dir/validator.cpp.o" "gcc" "src/compiler/CMakeFiles/compadres_compiler.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/compadres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/compadres_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/compadres_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/compadres_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

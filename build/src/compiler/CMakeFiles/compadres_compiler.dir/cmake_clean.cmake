@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_compiler.dir/assembler.cpp.o"
+  "CMakeFiles/compadres_compiler.dir/assembler.cpp.o.d"
+  "CMakeFiles/compadres_compiler.dir/ccl.cpp.o"
+  "CMakeFiles/compadres_compiler.dir/ccl.cpp.o.d"
+  "CMakeFiles/compadres_compiler.dir/cdl.cpp.o"
+  "CMakeFiles/compadres_compiler.dir/cdl.cpp.o.d"
+  "CMakeFiles/compadres_compiler.dir/cli.cpp.o"
+  "CMakeFiles/compadres_compiler.dir/cli.cpp.o.d"
+  "CMakeFiles/compadres_compiler.dir/codegen.cpp.o"
+  "CMakeFiles/compadres_compiler.dir/codegen.cpp.o.d"
+  "CMakeFiles/compadres_compiler.dir/emit.cpp.o"
+  "CMakeFiles/compadres_compiler.dir/emit.cpp.o.d"
+  "CMakeFiles/compadres_compiler.dir/validator.cpp.o"
+  "CMakeFiles/compadres_compiler.dir/validator.cpp.o.d"
+  "libcompadres_compiler.a"
+  "libcompadres_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_components.dir/standard.cpp.o"
+  "CMakeFiles/compadres_components.dir/standard.cpp.o.d"
+  "libcompadres_components.a"
+  "libcompadres_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

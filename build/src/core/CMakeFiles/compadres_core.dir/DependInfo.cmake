@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/application.cpp" "src/core/CMakeFiles/compadres_core.dir/application.cpp.o" "gcc" "src/core/CMakeFiles/compadres_core.dir/application.cpp.o.d"
+  "/root/repo/src/core/component.cpp" "src/core/CMakeFiles/compadres_core.dir/component.cpp.o" "gcc" "src/core/CMakeFiles/compadres_core.dir/component.cpp.o.d"
+  "/root/repo/src/core/dispatcher.cpp" "src/core/CMakeFiles/compadres_core.dir/dispatcher.cpp.o" "gcc" "src/core/CMakeFiles/compadres_core.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/core/hooks.cpp" "src/core/CMakeFiles/compadres_core.dir/hooks.cpp.o" "gcc" "src/core/CMakeFiles/compadres_core.dir/hooks.cpp.o.d"
+  "/root/repo/src/core/port.cpp" "src/core/CMakeFiles/compadres_core.dir/port.cpp.o" "gcc" "src/core/CMakeFiles/compadres_core.dir/port.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/compadres_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/compadres_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/smm.cpp" "src/core/CMakeFiles/compadres_core.dir/smm.cpp.o" "gcc" "src/core/CMakeFiles/compadres_core.dir/smm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/compadres_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/compadres_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

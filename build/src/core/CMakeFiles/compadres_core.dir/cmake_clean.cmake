@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_core.dir/application.cpp.o"
+  "CMakeFiles/compadres_core.dir/application.cpp.o.d"
+  "CMakeFiles/compadres_core.dir/component.cpp.o"
+  "CMakeFiles/compadres_core.dir/component.cpp.o.d"
+  "CMakeFiles/compadres_core.dir/dispatcher.cpp.o"
+  "CMakeFiles/compadres_core.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/compadres_core.dir/hooks.cpp.o"
+  "CMakeFiles/compadres_core.dir/hooks.cpp.o.d"
+  "CMakeFiles/compadres_core.dir/port.cpp.o"
+  "CMakeFiles/compadres_core.dir/port.cpp.o.d"
+  "CMakeFiles/compadres_core.dir/registry.cpp.o"
+  "CMakeFiles/compadres_core.dir/registry.cpp.o.d"
+  "CMakeFiles/compadres_core.dir/smm.cpp.o"
+  "CMakeFiles/compadres_core.dir/smm.cpp.o.d"
+  "libcompadres_core.a"
+  "libcompadres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/region.cpp" "src/memory/CMakeFiles/compadres_memory.dir/region.cpp.o" "gcc" "src/memory/CMakeFiles/compadres_memory.dir/region.cpp.o.d"
+  "/root/repo/src/memory/scope_pool.cpp" "src/memory/CMakeFiles/compadres_memory.dir/scope_pool.cpp.o" "gcc" "src/memory/CMakeFiles/compadres_memory.dir/scope_pool.cpp.o.d"
+  "/root/repo/src/memory/scoped.cpp" "src/memory/CMakeFiles/compadres_memory.dir/scoped.cpp.o" "gcc" "src/memory/CMakeFiles/compadres_memory.dir/scoped.cpp.o.d"
+  "/root/repo/src/memory/vt_scoped.cpp" "src/memory/CMakeFiles/compadres_memory.dir/vt_scoped.cpp.o" "gcc" "src/memory/CMakeFiles/compadres_memory.dir/vt_scoped.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/compadres_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_memory.dir/region.cpp.o"
+  "CMakeFiles/compadres_memory.dir/region.cpp.o.d"
+  "CMakeFiles/compadres_memory.dir/scope_pool.cpp.o"
+  "CMakeFiles/compadres_memory.dir/scope_pool.cpp.o.d"
+  "CMakeFiles/compadres_memory.dir/scoped.cpp.o"
+  "CMakeFiles/compadres_memory.dir/scoped.cpp.o.d"
+  "CMakeFiles/compadres_memory.dir/vt_scoped.cpp.o"
+  "CMakeFiles/compadres_memory.dir/vt_scoped.cpp.o.d"
+  "libcompadres_memory.a"
+  "libcompadres_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/loopback.cpp" "src/net/CMakeFiles/compadres_net.dir/loopback.cpp.o" "gcc" "src/net/CMakeFiles/compadres_net.dir/loopback.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/compadres_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/compadres_net.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/compadres_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/compadres_cdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

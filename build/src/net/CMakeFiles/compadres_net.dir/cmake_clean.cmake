@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_net.dir/loopback.cpp.o"
+  "CMakeFiles/compadres_net.dir/loopback.cpp.o.d"
+  "CMakeFiles/compadres_net.dir/tcp.cpp.o"
+  "CMakeFiles/compadres_net.dir/tcp.cpp.o.d"
+  "libcompadres_net.a"
+  "libcompadres_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

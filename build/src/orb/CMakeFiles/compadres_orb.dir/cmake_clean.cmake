@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_orb.dir/orb.cpp.o"
+  "CMakeFiles/compadres_orb.dir/orb.cpp.o.d"
+  "libcompadres_orb.a"
+  "libcompadres_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

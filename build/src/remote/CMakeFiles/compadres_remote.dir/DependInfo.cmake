@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remote/bridge.cpp" "src/remote/CMakeFiles/compadres_remote.dir/bridge.cpp.o" "gcc" "src/remote/CMakeFiles/compadres_remote.dir/bridge.cpp.o.d"
+  "/root/repo/src/remote/serializer.cpp" "src/remote/CMakeFiles/compadres_remote.dir/serializer.cpp.o" "gcc" "src/remote/CMakeFiles/compadres_remote.dir/serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/compadres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/compadres_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/compadres_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/compadres_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/compadres_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_remote.dir/bridge.cpp.o"
+  "CMakeFiles/compadres_remote.dir/bridge.cpp.o.d"
+  "CMakeFiles/compadres_remote.dir/serializer.cpp.o"
+  "CMakeFiles/compadres_remote.dir/serializer.cpp.o.d"
+  "libcompadres_remote.a"
+  "libcompadres_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/periodic.cpp" "src/rt/CMakeFiles/compadres_rt.dir/periodic.cpp.o" "gcc" "src/rt/CMakeFiles/compadres_rt.dir/periodic.cpp.o.d"
+  "/root/repo/src/rt/stats.cpp" "src/rt/CMakeFiles/compadres_rt.dir/stats.cpp.o" "gcc" "src/rt/CMakeFiles/compadres_rt.dir/stats.cpp.o.d"
+  "/root/repo/src/rt/thread.cpp" "src/rt/CMakeFiles/compadres_rt.dir/thread.cpp.o" "gcc" "src/rt/CMakeFiles/compadres_rt.dir/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_rt.dir/periodic.cpp.o"
+  "CMakeFiles/compadres_rt.dir/periodic.cpp.o.d"
+  "CMakeFiles/compadres_rt.dir/stats.cpp.o"
+  "CMakeFiles/compadres_rt.dir/stats.cpp.o.d"
+  "CMakeFiles/compadres_rt.dir/thread.cpp.o"
+  "CMakeFiles/compadres_rt.dir/thread.cpp.o.d"
+  "libcompadres_rt.a"
+  "libcompadres_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtzen/rtzen.cpp" "src/rtzen/CMakeFiles/compadres_rtzen.dir/rtzen.cpp.o" "gcc" "src/rtzen/CMakeFiles/compadres_rtzen.dir/rtzen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memory/CMakeFiles/compadres_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/compadres_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/compadres_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/compadres_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

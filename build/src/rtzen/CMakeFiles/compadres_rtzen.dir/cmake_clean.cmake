@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_rtzen.dir/rtzen.cpp.o"
+  "CMakeFiles/compadres_rtzen.dir/rtzen.cpp.o.d"
+  "libcompadres_rtzen.a"
+  "libcompadres_rtzen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_rtzen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

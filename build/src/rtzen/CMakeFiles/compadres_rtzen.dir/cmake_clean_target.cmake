@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcompadres_rtzen.a"
+)

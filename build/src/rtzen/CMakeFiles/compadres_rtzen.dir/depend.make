@@ -1,0 +1,2 @@
+# Empty dependencies file for compadres_rtzen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_simenv.dir/platform.cpp.o"
+  "CMakeFiles/compadres_simenv.dir/platform.cpp.o.d"
+  "libcompadres_simenv.a"
+  "libcompadres_simenv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_simenv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadres_xml.dir/xml.cpp.o"
+  "CMakeFiles/compadres_xml.dir/xml.cpp.o.d"
+  "libcompadres_xml.a"
+  "libcompadres_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadres_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_assembler_test.dir/compiler/assembler_test.cpp.o"
+  "CMakeFiles/compiler_assembler_test.dir/compiler/assembler_test.cpp.o.d"
+  "compiler_assembler_test"
+  "compiler_assembler_test.pdb"
+  "compiler_assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

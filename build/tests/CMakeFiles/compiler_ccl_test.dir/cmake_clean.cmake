@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_ccl_test.dir/compiler/ccl_test.cpp.o"
+  "CMakeFiles/compiler_ccl_test.dir/compiler/ccl_test.cpp.o.d"
+  "compiler_ccl_test"
+  "compiler_ccl_test.pdb"
+  "compiler_ccl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_ccl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_cdl_test.dir/compiler/cdl_test.cpp.o"
+  "CMakeFiles/compiler_cdl_test.dir/compiler/cdl_test.cpp.o.d"
+  "compiler_cdl_test"
+  "compiler_cdl_test.pdb"
+  "compiler_cdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_cdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_cli_test.dir/compiler/cli_test.cpp.o"
+  "CMakeFiles/compiler_cli_test.dir/compiler/cli_test.cpp.o.d"
+  "compiler_cli_test"
+  "compiler_cli_test.pdb"
+  "compiler_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

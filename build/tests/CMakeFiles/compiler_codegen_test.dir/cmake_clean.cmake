@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_codegen_test.dir/compiler/codegen_test.cpp.o"
+  "CMakeFiles/compiler_codegen_test.dir/compiler/codegen_test.cpp.o.d"
+  "compiler_codegen_test"
+  "compiler_codegen_test.pdb"
+  "compiler_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_emit_test.dir/compiler/emit_test.cpp.o"
+  "CMakeFiles/compiler_emit_test.dir/compiler/emit_test.cpp.o.d"
+  "compiler_emit_test"
+  "compiler_emit_test.pdb"
+  "compiler_emit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_emit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

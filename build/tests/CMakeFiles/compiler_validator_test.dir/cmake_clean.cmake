@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_validator_test.dir/compiler/validator_test.cpp.o"
+  "CMakeFiles/compiler_validator_test.dir/compiler/validator_test.cpp.o.d"
+  "compiler_validator_test"
+  "compiler_validator_test.pdb"
+  "compiler_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/components_standard_test.dir/components/standard_test.cpp.o"
+  "CMakeFiles/components_standard_test.dir/components/standard_test.cpp.o.d"
+  "components_standard_test"
+  "components_standard_test.pdb"
+  "components_standard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/components_standard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_application_test.dir/core/application_test.cpp.o"
+  "CMakeFiles/core_application_test.dir/core/application_test.cpp.o.d"
+  "core_application_test"
+  "core_application_test.pdb"
+  "core_application_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_application_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

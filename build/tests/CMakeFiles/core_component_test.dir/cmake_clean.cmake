@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_component_test.dir/core/component_test.cpp.o"
+  "CMakeFiles/core_component_test.dir/core/component_test.cpp.o.d"
+  "core_component_test"
+  "core_component_test.pdb"
+  "core_component_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

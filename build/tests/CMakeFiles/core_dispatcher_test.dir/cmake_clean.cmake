@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dispatcher_test.dir/core/dispatcher_test.cpp.o"
+  "CMakeFiles/core_dispatcher_test.dir/core/dispatcher_test.cpp.o.d"
+  "core_dispatcher_test"
+  "core_dispatcher_test.pdb"
+  "core_dispatcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dispatcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_port_test.dir/core/port_test.cpp.o"
+  "CMakeFiles/core_port_test.dir/core/port_test.cpp.o.d"
+  "core_port_test"
+  "core_port_test.pdb"
+  "core_port_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_port_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_smm_test.dir/core/smm_test.cpp.o"
+  "CMakeFiles/core_smm_test.dir/core/smm_test.cpp.o.d"
+  "core_smm_test"
+  "core_smm_test.pdb"
+  "core_smm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_smm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_fig6_test.dir/integration/fig6_test.cpp.o"
+  "CMakeFiles/integration_fig6_test.dir/integration/fig6_test.cpp.o.d"
+  "integration_fig6_test"
+  "integration_fig6_test.pdb"
+  "integration_fig6_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_fig6_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_topology_fuzz_test.dir/integration/topology_fuzz_test.cpp.o"
+  "CMakeFiles/integration_topology_fuzz_test.dir/integration/topology_fuzz_test.cpp.o.d"
+  "integration_topology_fuzz_test"
+  "integration_topology_fuzz_test.pdb"
+  "integration_topology_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_topology_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_access_rules_test.dir/memory/access_rules_test.cpp.o"
+  "CMakeFiles/memory_access_rules_test.dir/memory/access_rules_test.cpp.o.d"
+  "memory_access_rules_test"
+  "memory_access_rules_test.pdb"
+  "memory_access_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_access_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

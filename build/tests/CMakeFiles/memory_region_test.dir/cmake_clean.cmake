@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_region_test.dir/memory/region_test.cpp.o"
+  "CMakeFiles/memory_region_test.dir/memory/region_test.cpp.o.d"
+  "memory_region_test"
+  "memory_region_test.pdb"
+  "memory_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_scope_pool_test.dir/memory/scope_pool_test.cpp.o"
+  "CMakeFiles/memory_scope_pool_test.dir/memory/scope_pool_test.cpp.o.d"
+  "memory_scope_pool_test"
+  "memory_scope_pool_test.pdb"
+  "memory_scope_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_scope_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

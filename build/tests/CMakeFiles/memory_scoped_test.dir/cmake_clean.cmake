@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_scoped_test.dir/memory/scoped_test.cpp.o"
+  "CMakeFiles/memory_scoped_test.dir/memory/scoped_test.cpp.o.d"
+  "memory_scoped_test"
+  "memory_scoped_test.pdb"
+  "memory_scoped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_scoped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

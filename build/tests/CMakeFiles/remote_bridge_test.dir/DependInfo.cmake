@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/remote/bridge_test.cpp" "tests/CMakeFiles/remote_bridge_test.dir/remote/bridge_test.cpp.o" "gcc" "tests/CMakeFiles/remote_bridge_test.dir/remote/bridge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/compadres_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/compadres_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtzen/CMakeFiles/compadres_rtzen.dir/DependInfo.cmake"
+  "/root/repo/build/src/simenv/CMakeFiles/compadres_simenv.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/compadres_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/components/CMakeFiles/compadres_components.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/compadres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdr/CMakeFiles/compadres_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/compadres_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/compadres_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/compadres_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/compadres_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

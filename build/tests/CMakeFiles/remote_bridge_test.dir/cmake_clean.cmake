@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_bridge_test.dir/remote/bridge_test.cpp.o"
+  "CMakeFiles/remote_bridge_test.dir/remote/bridge_test.cpp.o.d"
+  "remote_bridge_test"
+  "remote_bridge_test.pdb"
+  "remote_bridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_bridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_serializer_test.dir/remote/serializer_test.cpp.o"
+  "CMakeFiles/remote_serializer_test.dir/remote/serializer_test.cpp.o.d"
+  "remote_serializer_test"
+  "remote_serializer_test.pdb"
+  "remote_serializer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_serializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_periodic_test.dir/rt/periodic_test.cpp.o"
+  "CMakeFiles/rt_periodic_test.dir/rt/periodic_test.cpp.o.d"
+  "rt_periodic_test"
+  "rt_periodic_test.pdb"
+  "rt_periodic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_periodic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_queue_test.dir/rt/queue_test.cpp.o"
+  "CMakeFiles/rt_queue_test.dir/rt/queue_test.cpp.o.d"
+  "rt_queue_test"
+  "rt_queue_test.pdb"
+  "rt_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_stats_test.dir/rt/stats_test.cpp.o"
+  "CMakeFiles/rt_stats_test.dir/rt/stats_test.cpp.o.d"
+  "rt_stats_test"
+  "rt_stats_test.pdb"
+  "rt_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_thread_test.dir/rt/thread_test.cpp.o"
+  "CMakeFiles/rt_thread_test.dir/rt/thread_test.cpp.o.d"
+  "rt_thread_test"
+  "rt_thread_test.pdb"
+  "rt_thread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtzen_test.dir/orb/rtzen_test.cpp.o"
+  "CMakeFiles/rtzen_test.dir/orb/rtzen_test.cpp.o.d"
+  "rtzen_test"
+  "rtzen_test.pdb"
+  "rtzen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtzen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simenv_test.dir/simenv/simenv_test.cpp.o"
+  "CMakeFiles/simenv_test.dir/simenv/simenv_test.cpp.o.d"
+  "simenv_test"
+  "simenv_test.pdb"
+  "simenv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simenv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compadresc.dir/compadresc.cpp.o"
+  "CMakeFiles/compadresc.dir/compadresc.cpp.o.d"
+  "compadresc"
+  "compadresc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compadresc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
