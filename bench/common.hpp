@@ -8,7 +8,9 @@
 #include "rt/stats.hpp"
 #include "simenv/platform.hpp"
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -30,24 +32,146 @@ inline std::size_t sample_count(std::size_t fallback = 10'000) {
 /// §3.1 "measurements were based on steady state observations").
 inline std::size_t warmup_count() { return sample_count() / 5; }
 
-/// Installs a simulated platform's hooks into the framework for the
+/// TraceSink adapter feeding a simulated platform's cost model from the
+/// framework's alloc/dispatch events.
+class PlatformSink final : public core::hooks::TraceSink {
+public:
+    explicit PlatformSink(simenv::PlatformRuntime& runtime)
+        : runtime_(&runtime) {}
+    void on_alloc(std::size_t bytes) noexcept override {
+        runtime_->on_allocate(bytes);
+    }
+    void on_dispatch() noexcept override { runtime_->on_dispatch(); }
+
+private:
+    simenv::PlatformRuntime* runtime_;
+};
+
+/// Installs a simulated platform as the framework's trace sink for the
 /// lifetime of this object.
 class PlatformInstaller {
 public:
-    explicit PlatformInstaller(simenv::PlatformRuntime& runtime) {
-        core::hooks::set(
-            [](void* ctx, std::size_t bytes) {
-                static_cast<simenv::PlatformRuntime*>(ctx)->on_allocate(bytes);
-            },
-            [](void* ctx) {
-                static_cast<simenv::PlatformRuntime*>(ctx)->on_dispatch();
-            },
-            &runtime);
+    explicit PlatformInstaller(simenv::PlatformRuntime& runtime)
+        : sink_(runtime) {
+        core::hooks::set_sink(&sink_);
         core::hooks::set_charge_all_acquires(
             !runtime.profile().pooled_messages);
     }
     ~PlatformInstaller() { core::hooks::clear(); }
+
+private:
+    PlatformSink sink_;
 };
+
+/// One-hop pipeline (Source.tick -> Sink.tick, pooled port, one worker)
+/// for measuring the delivery fabric's per-hop cost in isolation.
+class HopHarness {
+public:
+    HopHarness() {
+        core::register_builtin_message_types();
+        app_ = std::make_unique<core::Application>("hop-bench");
+        auto& source = app_->create_immortal<core::Component>("Source");
+        auto& sink = app_->create_immortal<core::Component>("Sink");
+        out_ = &source.add_out_port<core::MyInteger>("tick", "MyInteger");
+        core::InPortConfig cfg;
+        cfg.buffer_size = 64; // never exhausted: hops stay uncontended
+        cfg.min_threads = cfg.max_threads = 1;
+        in_ = &sink.add_in_port<core::MyInteger>(
+            "tick", "MyInteger", cfg, [this](core::MyInteger&, core::Smm&) {
+                entry_ns_.store(rt::now_ns(), std::memory_order_relaxed);
+                {
+                    std::lock_guard lk(mu_);
+                    done_ = true;
+                }
+                cv_.notify_one();
+            });
+        app_->connect(source, "tick", sink, "tick", /*pool_capacity=*/128);
+        app_->start();
+    }
+
+    ~HopHarness() { app_->shutdown(); }
+
+    /// One measured hop: send -> handler entry (one message in flight).
+    std::int64_t hop() { return timed_hop(rt::now_ns()); }
+
+    /// Same, but with the clock started by the caller — lets a legacy
+    /// rung charge its extra admission work to the hop.
+    std::int64_t timed_hop(std::int64_t t0) {
+        core::MyInteger* msg = out_->get_message();
+        msg->value = 1;
+        out_->send(msg, 3);
+        wait_done();
+        return entry_ns_.load(std::memory_order_relaxed) - t0;
+    }
+
+    core::InPortBase& in() { return *in_; }
+
+private:
+    void wait_done() {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return done_; });
+        done_ = false;
+    }
+
+    std::unique_ptr<core::Application> app_;
+    core::OutPort<core::MyInteger>* out_ = nullptr;
+    core::InPortBase* in_ = nullptr;
+    std::atomic<std::int64_t> entry_ns_{0};
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+};
+
+/// The legacy port-buffer rendezvous the credit fabric replaced: a mutex +
+/// condvar guarding an in-flight count, taken once on admission and once on
+/// completion. Wrapping a hop with it re-creates the old two-lock cost.
+struct LegacyGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t in_flight = 0;
+    std::size_t capacity = 64;
+
+    void admit() {
+        std::unique_lock lk(mu);
+        cv.wait(lk, [&] { return in_flight < capacity; });
+        ++in_flight;
+    }
+    void complete() {
+        {
+            std::lock_guard lk(mu);
+            --in_flight;
+        }
+        cv.notify_one();
+    }
+};
+
+/// Steady-state hop latencies through the shipped single-lock fabric.
+inline rt::StatsSummary measure_single_lock_hops(HopHarness& h,
+                                                 std::size_t samples,
+                                                 std::size_t warmup) {
+    rt::StatsRecorder recorder(samples + warmup);
+    for (std::size_t i = 0; i < samples + warmup; ++i) {
+        recorder.record(h.hop());
+    }
+    recorder.discard_warmup(warmup);
+    return recorder.summarize();
+}
+
+/// Steady-state hop latencies with the legacy two-lock rendezvous re-added.
+inline rt::StatsSummary measure_two_lock_hops(HopHarness& h, LegacyGate& gate,
+                                              std::size_t samples,
+                                              std::size_t warmup) {
+    rt::StatsRecorder recorder(samples + warmup);
+    for (std::size_t i = 0; i < samples + warmup; ++i) {
+        const std::int64_t t0 = rt::now_ns();
+        gate.admit();
+        const std::int64_t d = h.timed_hop(t0);
+        gate.complete();
+        recorder.record(d);
+    }
+    recorder.discard_warmup(warmup);
+    return recorder.summarize();
+}
 
 /// The paper's Fig. 6 co-located client/server assembly, reused by the
 /// Table 2 / Fig. 9 benches. Handlers match Figs. 7/8: a trigger on P1

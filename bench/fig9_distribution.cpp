@@ -2,6 +2,7 @@
 // platform — min / median / max whiskers plus an ASCII histogram, the
 // series behind the paper's box plot.
 #include "common.hpp"
+#include "core/hop_trace.hpp"
 
 #include <algorithm>
 #include <cstdio>
@@ -63,5 +64,28 @@ int main() {
     std::printf("\nexpected shape (paper Fig. 9): tight whiskers for the RT\n"
                 "platforms, a long upper whisker for JDK 1.4 where collector\n"
                 "pauses preempt the application threads.\n");
+
+    // Where does a round trip go? Hop-level tracing splits each port's
+    // latency into queue wait (enqueue -> worker pickup) vs handler run
+    // time — the breakdown behind the box plots above.
+    std::printf("\n=== Per-port breakdown: queue wait vs handler time ===\n");
+    core::HopTraceRecorder recorder;
+    core::hooks::set_sink(&recorder);
+    {
+        bench::Fig6Harness harness;
+        harness.measure(samples, warmup);
+    }
+    core::hooks::clear();
+    std::printf("%-16s %14s %14s %14s\n", "Port", "queue-wait p50",
+                "handler p50", "total p50");
+    for (const auto& port : recorder.ports()) {
+        const auto qw = recorder.queue_wait_summary(port);
+        const auto hd = recorder.handler_summary(port);
+        const auto tot = recorder.total_summary(port);
+        std::printf("%-16s %12.2fus %12.2fus %12.2fus\n", port.c_str(),
+                    static_cast<double>(qw.median) / 1000.0,
+                    static_cast<double>(hd.median) / 1000.0,
+                    static_cast<double>(tot.median) / 1000.0);
+    }
     return 0;
 }

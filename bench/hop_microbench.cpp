@@ -1,0 +1,121 @@
+// Before/after microbenchmark for the credit-based delivery fabric.
+//
+// One hop = OutPort::send() -> handler entry on a dispatcher worker. The
+// shipped fabric settles admission with a lock-free credit CAS and pays a
+// single lock acquisition per hop (the intake-queue push). The "before"
+// rung re-creates the legacy rendezvous cost on the same pipeline: a
+// port-level mutex + condition-variable bookkeeping wrapped around every
+// send and completion, the way the old buffer-mutex worked, on top of the
+// intake lock — two locks per hop.
+//
+// The binary is also a correctness gate (run by the `hop_bench` tool
+// target): it asserts exactly one lock acquisition and zero credit stalls
+// per uncontended hop, and that the single-lock median is not worse than
+// the two-lock emulation. Results land in BENCH_hop.json.
+#include "common.hpp"
+
+#include <cstdio>
+
+using namespace compadres;
+
+namespace {
+
+void print_row(const char* name, const rt::StatsSummary& s) {
+    std::printf("%-24s %10.2f %10.2f %10.2f %10.2f\n", name,
+                static_cast<double>(s.median) / 1000.0,
+                static_cast<double>(s.p90) / 1000.0,
+                static_cast<double>(s.p99) / 1000.0,
+                static_cast<double>(s.max) / 1000.0);
+}
+
+void emit_json(const char* path, std::size_t hops,
+               const rt::StatsSummary& single, const rt::StatsSummary& two,
+               double locks_per_hop, std::uint64_t stalls) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
+    }
+    const auto obj = [&](const rt::StatsSummary& s) {
+        std::fprintf(f,
+                     "{\"median_ns\": %lld, \"mean_ns\": %lld, "
+                     "\"p90_ns\": %lld, \"p99_ns\": %lld, \"max_ns\": %lld}",
+                     static_cast<long long>(s.median),
+                     static_cast<long long>(s.mean),
+                     static_cast<long long>(s.p90),
+                     static_cast<long long>(s.p99),
+                     static_cast<long long>(s.max));
+    };
+    std::fprintf(f, "{\n  \"benchmark\": \"hop_microbench\",\n");
+    std::fprintf(f, "  \"hops\": %zu,\n", hops);
+    std::fprintf(f, "  \"single_lock\": ");
+    obj(single);
+    std::fprintf(f, ",\n  \"two_lock_emulation\": ");
+    obj(two);
+    std::fprintf(f, ",\n  \"locks_per_uncontended_hop\": %.3f,\n",
+                 locks_per_hop);
+    std::fprintf(f, "  \"credit_stalls\": %llu\n}\n",
+                 static_cast<unsigned long long>(stalls));
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const char* json_path = argc > 1 ? argv[1] : "BENCH_hop.json";
+    const std::size_t samples = bench::sample_count(5'000);
+    const std::size_t warmup = bench::warmup_count();
+    std::printf("=== Hop microbenchmark: credit fabric vs two-lock hop ===\n");
+    std::printf("samples per rung: %zu steady-state\n\n", samples);
+
+    rt::StatsSummary single;
+    double locks_per_hop = 0.0;
+    std::uint64_t stalls = 0;
+    {
+        bench::HopHarness h;
+        single = bench::measure_single_lock_hops(h, samples, warmup);
+        const std::size_t total = samples + warmup;
+        locks_per_hop =
+            static_cast<double>(h.in().dispatcher()->queue_lock_count()) /
+            static_cast<double>(total);
+        stalls = h.in().credits().stall_count();
+    }
+    rt::StatsSummary two;
+    {
+        bench::HopHarness h;
+        bench::LegacyGate gate;
+        two = bench::measure_two_lock_hops(h, gate, samples, warmup);
+    }
+
+    std::printf("%-24s %10s %10s %10s %10s\n", "Variant", "p50(us)",
+                "p90(us)", "p99(us)", "max(us)");
+    print_row("single-lock (shipped)", single);
+    print_row("two-lock (emulated)", two);
+    std::printf("\nlocks per uncontended hop: %.3f (credit stalls: %llu)\n",
+                locks_per_hop, static_cast<unsigned long long>(stalls));
+
+    emit_json(json_path, samples, single, two, locks_per_hop, stalls);
+
+    // Gate 1: the uncontended hop takes exactly one lock — the intake push.
+    bool ok = true;
+    if (locks_per_hop > 1.0001 || stalls != 0) {
+        std::fprintf(stderr,
+                     "FAIL: expected 1 lock / 0 stalls per uncontended hop, "
+                     "got %.3f locks, %llu stalls\n",
+                     locks_per_hop, static_cast<unsigned long long>(stalls));
+        ok = false;
+    }
+    // Gate 2: dropping a lock must not make the hop slower. Allow 10% + 2us
+    // slack so scheduler noise can't flake the gate.
+    if (single.median > two.median + two.median / 10 + 2'000) {
+        std::fprintf(stderr,
+                     "FAIL: single-lock median %lldns worse than two-lock "
+                     "median %lldns\n",
+                     static_cast<long long>(single.median),
+                     static_cast<long long>(two.median));
+        ok = false;
+    }
+    std::printf("%s\n", ok ? "hop gates PASSED" : "hop gates FAILED");
+    return ok ? 0 : 1;
+}

@@ -84,5 +84,28 @@ int main() {
                 "(adds 3 cross-thread hops)\n",
                 static_cast<double>(pooled_summary.median - hand.median) /
                     1000.0);
+
+    // Before/after on a single hop: the shipped credit fabric (one intake
+    // lock per hop) vs the legacy two-lock rendezvous re-created on the
+    // same pipeline.
+    std::printf("\n=== Hop cost: credit fabric vs legacy two-lock ===\n");
+    rt::StatsSummary hop_single;
+    double locks_per_hop = 0.0;
+    {
+        bench::HopHarness h;
+        hop_single = bench::measure_single_lock_hops(h, samples, warmup);
+        locks_per_hop =
+            static_cast<double>(h.in().dispatcher()->queue_lock_count()) /
+            static_cast<double>(samples + warmup);
+    }
+    rt::StatsSummary hop_two;
+    {
+        bench::HopHarness h;
+        bench::LegacyGate gate;
+        hop_two = bench::measure_two_lock_hops(h, gate, samples, warmup);
+    }
+    row("hop (single-lock)", hop_single);
+    row("hop (two-lock)", hop_two);
+    std::printf("locks per uncontended hop: %.3f\n", locks_per_hop);
     return 0;
 }

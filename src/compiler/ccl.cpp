@@ -72,6 +72,15 @@ core::InPortConfig parse_port_attributes(const xml::XmlNode& node,
                        ") exceeds MaxThreadpoolSize (" +
                        std::to_string(cfg.max_threads) + ")");
     }
+    const std::string overflow = node.child_text("Overflow", "Block");
+    if (overflow == "Block") {
+        cfg.overflow = core::OverflowPolicy::kBlock;
+    } else if (overflow == "Ring") {
+        cfg.overflow = core::OverflowPolicy::kRingOverwrite;
+    } else {
+        throw CclError("Overflow of '" + port_name +
+                       "' must be 'Block' or 'Ring', got '" + overflow + "'");
+    }
     return cfg;
 }
 

@@ -72,6 +72,9 @@ void dump_plan(const AssemblyPlan& plan, std::ostream& out) {
                 << (cfg.strategy == core::ThreadpoolStrategy::kShared
                         ? " shared"
                         : " dedicated")
+                << (cfg.overflow == core::OverflowPolicy::kRingOverwrite
+                        ? " overflow=ring"
+                        : "")
                 << "\n";
         }
     }

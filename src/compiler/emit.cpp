@@ -45,6 +45,11 @@ std::unique_ptr<XmlNode> ccl_port_node(const CclPortDecl& port) {
             "MinThreadpoolSize", std::to_string(port.attributes.min_threads)));
         attrs->children.push_back(text_element(
             "MaxThreadpoolSize", std::to_string(port.attributes.max_threads)));
+        attrs->children.push_back(text_element(
+            "Overflow",
+            port.attributes.overflow == core::OverflowPolicy::kRingOverwrite
+                ? "Ring"
+                : "Block"));
         node->children.push_back(std::move(attrs));
     }
     for (const CclLink& link : port.links) {

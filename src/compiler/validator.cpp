@@ -124,6 +124,17 @@ AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl) {
                                  "' is an Out port; <PortAttributes> (buffer/"
                                  "threadpool) apply only to In ports");
             }
+            if (own != nullptr && own->direction == PortDirection::kIn &&
+                port.has_attributes &&
+                port.attributes.overflow ==
+                    core::OverflowPolicy::kRingOverwrite &&
+                port.attributes.max_threads == 0) {
+                issues.push_back(
+                    "port '" + c.instance_name + "." + port.name +
+                    "' sets <Overflow>Ring</Overflow> but MaxThreadpoolSize "
+                    "is 0: a synchronous port never queues messages, so "
+                    "there is nothing to overwrite");
+            }
             for (const CclLink& link : port.links) {
                 auto peer_it = table.find(link.to_component);
                 if (peer_it == table.end()) {

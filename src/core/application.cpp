@@ -172,6 +172,42 @@ std::string Application::describe() const {
     return out.str();
 }
 
+TraceReport Application::trace_report() const {
+    TraceReport report;
+    auto* recorder = dynamic_cast<HopTraceRecorder*>(hooks::sink());
+    std::set<const Dispatcher*> dispatchers;
+    for (const Record& rec : records_) {
+        for (const InPortBase* port : rec.comp->in_ports()) {
+            PortTrace row;
+            row.port = port->qualified_name();
+            row.delivered = port->delivered_count();
+            row.processed = port->processed_count();
+            row.errors = port->error_count();
+            row.overwritten = port->overwritten_count();
+            row.dropped = port->dropped_count();
+            row.credit_stalls = port->credits().stall_count();
+            row.buffer_limit = port->credits().limit();
+            row.depth_high_water = port->credits().depth_high_water();
+            if (const Dispatcher* d = port->dispatcher()) {
+                row.dispatcher = d->name();
+                dispatchers.insert(d);
+            }
+            if (recorder != nullptr) {
+                row.queue_wait = recorder->queue_wait_summary(row.port);
+                row.handler = recorder->handler_summary(row.port);
+                row.total = recorder->total_summary(row.port);
+                row.traced = row.total.count > 0;
+            }
+            report.credit_stalls += row.credit_stalls;
+            report.ports.push_back(std::move(row));
+        }
+    }
+    for (const Dispatcher* d : dispatchers) {
+        report.queue_lock_acquisitions += d->queue_lock_count();
+    }
+    return report;
+}
+
 void Application::shutdown() {
     if (shut_down_) return;
     shut_down_ = true;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "core/component.hpp"
+#include "core/hop_trace.hpp"
 #include "core/registry.hpp"
 #include "core/smm.hpp"
 #include "memory/immortal.hpp"
@@ -132,6 +133,14 @@ public:
     /// levels, then every connection with its ports, message type, and
     /// hosting SMM. For diagnostics and tooling.
     std::string describe() const;
+
+    /// Snapshot of the delivery fabric: one row per In port with its
+    /// delivered/processed/error/overwrite/drop counters, credit-stall
+    /// count, and queue-depth high-water mark (all live atomics), plus the
+    /// summed intake-queue lock acquisitions of every dispatcher. When a
+    /// HopTraceRecorder is installed as the hooks sink, each row also
+    /// carries queue-wait / handler / total latency quantiles.
+    TraceReport trace_report() const;
 
 private:
     friend class Smm;

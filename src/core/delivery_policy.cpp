@@ -1,0 +1,59 @@
+#include "core/delivery_policy.hpp"
+
+#include "core/dispatcher.hpp"
+#include "core/message_pool.hpp"
+
+namespace compadres::core {
+
+namespace {
+
+/// Lossless bounded backpressure — the paper's semantics and the default.
+class BlockingPolicy final : public DeliveryPolicy {
+public:
+    const char* name() const noexcept override { return "Block"; }
+
+    DeliveryOutcome admit(InPortBase& port, Envelope&) override {
+        port.credits().acquire();
+        return DeliveryOutcome::kAdmitted;
+    }
+};
+
+/// Freshest-value sensor semantics: the sender never blocks. On an
+/// exhausted budget the stalest *queued* envelope of the port is evicted
+/// and its credit transferred to the incoming message; if every credit is
+/// held by a handler mid-process (nothing queued to evict), the incoming
+/// message is dropped instead.
+class RingOverwritePolicy final : public DeliveryPolicy {
+public:
+    const char* name() const noexcept override { return "Ring"; }
+
+    DeliveryOutcome admit(InPortBase& port, Envelope& env) override {
+        rt::CreditGate& gate = port.credits();
+        if (gate.try_acquire()) return DeliveryOutcome::kAdmitted;
+        if (Dispatcher* d = port.dispatcher()) {
+            if (auto stolen = d->steal_queued(port)) {
+                // The stolen envelope's credit moves to `env` (invariant 3
+                // in rt/intake_queue.hpp): in-flight count unchanged.
+                stolen->pool->release_raw(stolen->msg);
+                return DeliveryOutcome::kOverwrote;
+            }
+        }
+        // Nothing queued to evict — a completion may still have freed a
+        // credit since the first try; give it one more lock-free chance
+        // before declaring the message lost.
+        if (gate.try_acquire()) return DeliveryOutcome::kAdmitted;
+        env.pool->release_raw(env.msg);
+        return DeliveryOutcome::kDropped;
+    }
+};
+
+} // namespace
+
+DeliveryPolicy& delivery_policy_for(OverflowPolicy overflow) noexcept {
+    static BlockingPolicy block;
+    static RingOverwritePolicy ring;
+    if (overflow == OverflowPolicy::kRingOverwrite) return ring;
+    return block;
+}
+
+} // namespace compadres::core

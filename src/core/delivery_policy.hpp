@@ -1,0 +1,51 @@
+// DeliveryPolicy — the pluggable admission layer of the delivery fabric.
+//
+// Following Walker et al. ("Promoting Component Reuse by Separating
+// Transmission Policy from Implementation"), what happens when an In port's
+// <BufferSize> budget is exhausted is a composition-time policy, not part
+// of the port implementation:
+//
+//   * Block (default)  — the sender waits for a credit: lossless bounded
+//     backpressure, the paper's semantics.
+//   * RingOverwrite    — freshest-value sensor semantics: the stalest
+//     *queued* message of the port is evicted (its credit transfers to the
+//     incoming message); if nothing is queued — every credit is held by a
+//     handler mid-process — the incoming message is dropped instead. The
+//     sender never blocks.
+//
+// Policies are stateless singletons: all per-port state (the CreditGate,
+// the counters) lives in the port, so one instance serves every port with
+// that policy. Selected per port by the CCL <Overflow> attribute.
+#pragma once
+
+#include "core/envelope.hpp"
+#include "core/port.hpp"
+
+namespace compadres::core {
+
+/// What admit() did with the envelope.
+enum class DeliveryOutcome {
+    kAdmitted,  ///< credit acquired; caller enqueues
+    kOverwrote, ///< a stale queued message was evicted; caller enqueues
+                ///< reusing its credit
+    kDropped,   ///< envelope consumed (message released to its pool);
+                ///< caller must NOT enqueue
+};
+
+class DeliveryPolicy {
+public:
+    virtual ~DeliveryPolicy() = default;
+    virtual const char* name() const noexcept = 0;
+
+    /// Acquire admission for one envelope on `port`. Must uphold the credit
+    /// protocol invariants documented in rt/intake_queue.hpp: on kAdmitted
+    /// and kOverwrote the envelope holds exactly one credit of the port's
+    /// gate; on kDropped the gate is untouched and env.msg has been
+    /// returned to its pool.
+    virtual DeliveryOutcome admit(InPortBase& port, Envelope& env) = 0;
+};
+
+/// The shared policy instance for an overflow mode.
+DeliveryPolicy& delivery_policy_for(OverflowPolicy overflow) noexcept;
+
+} // namespace compadres::core

@@ -1,7 +1,9 @@
 #include "core/dispatcher.hpp"
 
+#include "core/hooks.hpp"
 #include "core/message_pool.hpp"
 #include "core/port.hpp"
+#include "rt/clock.hpp"
 
 #include <cstdio>
 
@@ -9,8 +11,8 @@ namespace compadres::core {
 
 Dispatcher::Dispatcher(std::string name, DispatcherConfig config)
     : name_(std::move(name)), config_(config),
-      queue_(std::make_unique<rt::PriorityBoundedQueue<Envelope>>(
-          config.queue_capacity ? config.queue_capacity : 1)) {
+      queue_(config.queue_capacity ? config.queue_capacity : 1) {
+    max_threads_.store(config_.max_threads, std::memory_order_relaxed);
     std::lock_guard lk(workers_mu_);
     for (std::size_t i = 0; i < config_.min_threads; ++i) {
         spawn_worker_locked();
@@ -24,6 +26,7 @@ void Dispatcher::spawn_worker_locked() {
     workers_.push_back(std::make_unique<rt::RtThread>(
         name_ + "-w" + std::to_string(idx), config_.base_priority,
         [this] { worker_loop(); }));
+    worker_count_.store(workers_.size(), std::memory_order_relaxed);
 }
 
 void Dispatcher::submit(Envelope env) {
@@ -34,24 +37,37 @@ void Dispatcher::submit(Envelope env) {
         processed_.fetch_add(1);
         return;
     }
-    {
-        // Grow on demand: all workers busy with work still queued.
+    // Grow on demand: all workers busy with work still arriving. The check
+    // reads lock-free shadows; workers_mu_ is taken only when a spawn is
+    // actually warranted, so the steady-state hop stays at one lock (the
+    // intake-queue push below).
+    const std::size_t workers = worker_count_.load(std::memory_order_relaxed);
+    if (busy_.load(std::memory_order_relaxed) >= workers &&
+        workers < max_threads_.load(std::memory_order_relaxed)) {
         std::lock_guard lk(workers_mu_);
         if (!shutdown_.load() && busy_.load() >= workers_.size() &&
             workers_.size() < config_.max_threads) {
             spawn_worker_locked();
         }
     }
-    const auto result = queue_->push(std::move(env), env.priority);
-    if (result == rt::PushResult::kClosed) {
+    const int prio = env.priority;
+    if (!queue_.push(std::move(env), prio)) {
         throw PortError("dispatcher '" + name_ + "' is shut down");
     }
+}
+
+std::optional<Envelope> Dispatcher::steal_queued(const InPortBase& port) {
+    return queue_.steal_oldest_if(
+        [&](const Envelope& e) { return e.port == &port; });
 }
 
 void Dispatcher::ensure_capacity(std::size_t min_threads,
                                  std::size_t max_threads) {
     std::lock_guard lk(workers_mu_);
-    if (max_threads > config_.max_threads) config_.max_threads = max_threads;
+    if (max_threads > config_.max_threads) {
+        config_.max_threads = max_threads;
+        max_threads_.store(max_threads, std::memory_order_relaxed);
+    }
     if (min_threads > config_.min_threads) config_.min_threads = min_threads;
     while (workers_.size() < config_.min_threads) {
         spawn_worker_locked();
@@ -60,8 +76,9 @@ void Dispatcher::ensure_capacity(std::size_t min_threads,
 
 void Dispatcher::worker_loop() {
     for (;;) {
-        auto item = queue_->pop();
+        auto item = queue_.pop();
         if (!item.has_value()) return; // closed and drained
+        if (hooks::tracing()) item->first.t_dequeue = rt::now_ns();
         busy_.fetch_add(1);
         // The pool thread assumes the priority of the message it is about
         // to process (paper §2.2). Best-effort under an unprivileged OS.
@@ -73,6 +90,8 @@ void Dispatcher::worker_loop() {
 }
 
 bool Dispatcher::execute(const Envelope& env) noexcept {
+    const bool traced = hooks::tracing();
+    const std::int64_t start = traced ? rt::now_ns() : 0;
     bool ok = true;
     try {
         env.port->handler().process_raw(env.msg, *env.smm);
@@ -85,6 +104,7 @@ bool Dispatcher::execute(const Envelope& env) noexcept {
         std::fprintf(stderr, "[compadres] handler error on port %s: unknown\n",
                      env.port->qualified_name().c_str());
     }
+    const std::int64_t end = traced ? rt::now_ns() : 0;
     // The message returns to its pool after processing (paper §2.2) even if
     // the handler threw — leaking pool slots would eventually wedge senders.
     try {
@@ -93,23 +113,30 @@ bool Dispatcher::execute(const Envelope& env) noexcept {
         std::fprintf(stderr, "[compadres] pool release failed: %s\n", e.what());
     }
     env.port->on_processed(ok);
+    if (traced) {
+        hooks::HopTimes t;
+        t.process_start_ns = start;
+        t.process_end_ns = end;
+        // Synchronous hops (and hops enqueued before the sink went in) have
+        // no queue stamps; collapse them onto process start so the queue
+        // wait reads as zero instead of as decades.
+        t.enqueue_ns = env.t_enqueue != 0 ? env.t_enqueue : start;
+        t.dequeue_ns = env.t_dequeue != 0 ? env.t_dequeue : start;
+        t.priority = env.priority;
+        hooks::notify_hop(*env.port, t);
+    }
     return ok;
 }
 
 void Dispatcher::shutdown() {
     if (shutdown_.exchange(true)) return;
-    queue_->close();
+    queue_.close();
     std::vector<std::unique_ptr<rt::RtThread>> workers;
     {
         std::lock_guard lk(workers_mu_);
         workers.swap(workers_);
     }
     for (auto& w : workers) w->join();
-}
-
-std::size_t Dispatcher::worker_count() const {
-    std::lock_guard lk(workers_mu_);
-    return workers_.size();
 }
 
 } // namespace compadres::core

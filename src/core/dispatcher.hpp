@@ -7,25 +7,34 @@
 // When both are zero the calling thread runs process() synchronously.
 //
 // A Dispatcher is either dedicated to one In port or shared by all In ports
-// wired through one SMM (<Threadpool>Shared</Threadpool> in the CCL);
-// per-port buffer bounds are enforced by the ports themselves, so a shared
-// dispatcher's queue is sized to the sum of its ports' buffers.
+// wired through one SMM (<Threadpool>Shared</Threadpool> in the CCL). The
+// intake queue (rt/intake_queue.hpp) is unbounded by construction: every
+// submitted envelope already holds a credit of its port's <BufferSize>
+// budget, so occupancy is bounded by the sum of the bound ports' budgets
+// and submit() never blocks — one lock acquisition per hop. The grow-on-
+// demand check reads atomic shadows and takes the workers mutex only when
+// a worker will actually be spawned, keeping the steady-state hop at that
+// single lock.
 #pragma once
 
 #include "core/envelope.hpp"
-#include "rt/queue.hpp"
+#include "rt/intake_queue.hpp"
 #include "rt/thread.hpp"
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace compadres::core {
 
+class InPortBase;
+
 struct DispatcherConfig {
+    /// Initial reservation of the intake queue (entries, not a bound).
     std::size_t queue_capacity = 16;
     std::size_t min_threads = 1;
     std::size_t max_threads = 1;
@@ -44,29 +53,42 @@ public:
 
     /// True when max_threads == 0: submit() runs the handler inline in the
     /// calling thread (the paper's synchronous port mode).
-    bool synchronous() const noexcept { return config_.max_threads == 0; }
+    bool synchronous() const noexcept {
+        return max_threads_.load(std::memory_order_relaxed) == 0;
+    }
 
-    /// Hand an envelope over. Blocks while the queue is full (bounded
-    /// buffers give backpressure, never unbounded memory). May spawn a new
-    /// worker when all existing ones are busy and max_threads allows.
+    /// Hand an envelope over. The port's credit gate has already settled
+    /// admission, so this never blocks: one queue-lock acquisition on the
+    /// uncontended path. May spawn a new worker when all existing ones are
+    /// busy and max_threads allows.
     void submit(Envelope env);
 
+    /// Remove the oldest queued envelope bound for `port` (the ring-
+    /// overwrite eviction path). Empty when nothing of that port is queued.
+    std::optional<Envelope> steal_queued(const InPortBase& port);
+
     /// Raise the pool floor/ceiling — used when several shared ports bind
-    /// with different CCL pool sizes. The queue is NOT resized (workers may
-    /// already be blocked on it); shared dispatchers are created with a
-    /// queue large enough for any sum of per-port buffer bounds.
+    /// with different CCL pool sizes. Must happen before traffic starts.
     void ensure_capacity(std::size_t min_threads, std::size_t max_threads);
 
     /// Stop accepting work, drain, and join all workers. Idempotent.
     void shutdown();
 
     const std::string& name() const noexcept { return name_; }
-    std::size_t worker_count() const;
+    std::size_t worker_count() const noexcept {
+        return worker_count_.load(std::memory_order_relaxed);
+    }
     std::uint64_t processed_count() const noexcept { return processed_.load(); }
     std::uint64_t error_count() const noexcept { return errors_.load(); }
+    /// Lock acquisitions performed by intake-queue pushes — the delivery
+    /// fabric's one-lock-per-hop evidence, surfaced in trace reports.
+    std::uint64_t queue_lock_count() const noexcept {
+        return queue_.push_lock_count();
+    }
 
     /// Runs one envelope to completion: handler, then release-to-pool,
-    /// then the port's completion bookkeeping. Exceptions from handlers are
+    /// then the port's completion bookkeeping, then the HopTrace
+    /// notification when a sink is installed. Exceptions from handlers are
     /// contained and counted — a faulty handler must not take down the
     /// dispatch thread or leak the pooled message. Returns false if the
     /// handler threw.
@@ -78,9 +100,13 @@ private:
 
     std::string name_;
     DispatcherConfig config_;
-    std::unique_ptr<rt::PriorityBoundedQueue<Envelope>> queue_;
+    rt::IntakeQueue<Envelope> queue_;
     std::vector<std::unique_ptr<rt::RtThread>> workers_;
     mutable std::mutex workers_mu_;
+    /// Lock-free shadows of the worker roster / config so the grow check on
+    /// submit() does not touch workers_mu_ in steady state.
+    std::atomic<std::size_t> worker_count_{0};
+    std::atomic<std::size_t> max_threads_{0};
     std::atomic<std::size_t> busy_{0};
     std::atomic<std::uint64_t> processed_{0};
     std::atomic<std::uint64_t> errors_{0};

@@ -4,7 +4,14 @@
 // the destination port (whose handler runs), the SMM hosting the
 // connection (handed to the handler), and the message priority set at
 // send() time (inherited by the dispatching thread, paper §2.2).
+//
+// The two timestamps are HopTrace stamps: zero unless a trace sink is
+// installed (core/hooks.hpp), in which case the delivery path records when
+// the envelope entered the intake queue and when a worker picked it up —
+// the difference is the hop's queue wait.
 #pragma once
+
+#include <cstdint>
 
 namespace compadres::core {
 
@@ -18,6 +25,8 @@ struct Envelope {
     InPortBase* port = nullptr;
     Smm* smm = nullptr;
     int priority = 0;
+    std::int64_t t_enqueue = 0; ///< HopTrace stamp; 0 when tracing is off
+    std::int64_t t_dequeue = 0; ///< HopTrace stamp; 0 when tracing is off
 };
 
 } // namespace compadres::core

@@ -1,44 +1,21 @@
 #include "core/hooks.hpp"
 
-#include <atomic>
-
 namespace compadres::core::hooks {
 
-namespace {
-std::atomic<AllocHook> g_alloc{nullptr};
-std::atomic<DispatchHook> g_dispatch{nullptr};
-std::atomic<void*> g_ctx{nullptr};
-std::atomic<bool> g_charge_all{false};
-} // namespace
+TraceSink::~TraceSink() = default;
+void TraceSink::on_alloc(std::size_t) noexcept {}
+void TraceSink::on_dispatch() noexcept {}
+void TraceSink::on_hop(const InPortBase&, const HopTimes&) noexcept {}
 
-void set(AllocHook alloc, DispatchHook dispatch, void* ctx) noexcept {
-    g_ctx.store(ctx);
-    g_alloc.store(alloc);
-    g_dispatch.store(dispatch);
-}
+void set_sink(TraceSink* sink) noexcept { detail::g_sink.store(sink); }
 
 void clear() noexcept {
-    g_alloc.store(nullptr);
-    g_dispatch.store(nullptr);
-    g_ctx.store(nullptr);
-    g_charge_all.store(false);
+    detail::g_sink.store(nullptr);
+    detail::g_charge_all.store(false);
 }
 
-void notify_alloc(std::size_t bytes) noexcept {
-    if (AllocHook h = g_alloc.load(std::memory_order_relaxed)) {
-        h(g_ctx.load(std::memory_order_relaxed), bytes);
-    }
-}
-
-void notify_dispatch() noexcept {
-    if (DispatchHook h = g_dispatch.load(std::memory_order_relaxed)) {
-        h(g_ctx.load(std::memory_order_relaxed));
-    }
-}
-
-void set_charge_all_acquires(bool charge) noexcept { g_charge_all.store(charge); }
-bool charge_all_acquires() noexcept {
-    return g_charge_all.load(std::memory_order_relaxed);
+void set_charge_all_acquires(bool charge) noexcept {
+    detail::g_charge_all.store(charge);
 }
 
 } // namespace compadres::core::hooks

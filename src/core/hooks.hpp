@@ -1,34 +1,91 @@
-// Instrumentation hooks on the framework's hot path.
+// HopTrace instrumentation layer — the framework's hot-path observability.
 //
-// The simulated-platform benches (Table 2 / Fig. 9) need to observe two
-// events inside the middleware: "a message object was allocated" (to drive
-// the simulated collector) and "a message hop was dispatched" (where a
-// non-RT OS may preempt us). The hooks are process-global function
-// pointers so the hot path pays a single predictable load when unset.
+// A single process-global TraceSink observes three kinds of events:
+//   * on_alloc    — a message object was charged as an allocation (drives
+//                   the simulated collector of the Table 2 / Fig. 9 rigs);
+//   * on_dispatch — a message hop was initiated by send() (where a non-RT
+//                   OS may preempt us);
+//   * on_hop      — one complete hop finished: enqueue, dequeue,
+//                   process-start and process-end timestamps, so a sink can
+//                   split hop latency into queue wait vs handler time.
+//
+// The sink is stored in one atomic pointer; with no sink installed every
+// notify_* is a single predictable relaxed load and a not-taken branch, so
+// an untraced build pays effectively nothing. Install core::HopTraceRecorder
+// (core/hop_trace.hpp) to collect per-port latency quantiles that
+// Application::trace_report() folds into its report.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+
+namespace compadres::core {
+class InPortBase;
+} // namespace compadres::core
 
 namespace compadres::core::hooks {
 
-using AllocHook = void (*)(void* ctx, std::size_t bytes);
-using DispatchHook = void (*)(void* ctx);
+/// Timestamps of one completed hop, in rt::now_ns() nanoseconds.
+/// For synchronous ports (no queue) all four collapse to the same instant
+/// bracketing the inline handler run.
+struct HopTimes {
+    std::int64_t enqueue_ns = 0;       ///< credit acquired, envelope queued
+    std::int64_t dequeue_ns = 0;       ///< a worker picked the envelope up
+    std::int64_t process_start_ns = 0; ///< handler entered
+    std::int64_t process_end_ns = 0;   ///< handler returned (or threw)
+    int priority = 0;                  ///< message priority of the hop
+};
 
-/// Install (or clear, with nullptr) the hooks. Not thread-safe against
+/// Event observer. Default implementations do nothing, so a sink overrides
+/// only what it needs. on_hop is called concurrently from dispatcher
+/// workers; implementations must be thread-safe.
+class TraceSink {
+public:
+    virtual ~TraceSink();
+    virtual void on_alloc(std::size_t bytes) noexcept;
+    virtual void on_dispatch() noexcept;
+    virtual void on_hop(const InPortBase& port, const HopTimes& times) noexcept;
+};
+
+namespace detail {
+inline std::atomic<TraceSink*> g_sink{nullptr};
+inline std::atomic<bool> g_charge_all{false};
+} // namespace detail
+
+/// Install (or clear, with nullptr) the sink. Not thread-safe against
 /// concurrent traffic; install before starting the application.
-void set(AllocHook alloc, DispatchHook dispatch, void* ctx) noexcept;
+void set_sink(TraceSink* sink) noexcept;
 void clear() noexcept;
 
-/// Invoked by MessagePool on every acquire.
-void notify_alloc(std::size_t bytes) noexcept;
+/// The installed sink — one relaxed load, the only cost the hot path pays
+/// when tracing is off.
+inline TraceSink* sink() noexcept {
+    return detail::g_sink.load(std::memory_order_relaxed);
+}
+inline bool tracing() noexcept { return sink() != nullptr; }
 
-/// Invoked by ports on every message hop.
-void notify_dispatch() noexcept;
+/// Invoked by MessagePool on every charged acquire.
+inline void notify_alloc(std::size_t bytes) noexcept {
+    if (TraceSink* s = sink()) s->on_alloc(bytes);
+}
+
+/// Invoked by Out ports on every message hop start.
+inline void notify_dispatch() noexcept {
+    if (TraceSink* s = sink()) s->on_dispatch();
+}
+
+/// Invoked by the dispatcher when a hop completes.
+inline void notify_hop(const InPortBase& port, const HopTimes& times) noexcept {
+    if (TraceSink* s = sink()) s->on_hop(port, times);
+}
 
 /// True if the installed profile wants pooled message reuse disabled
 /// semantics (each acquire charged as a fresh allocation). The pool always
-/// reuses storage; this flag only controls whether notify_alloc fires.
+/// reuses storage; this flag only controls whether on_alloc fires.
 void set_charge_all_acquires(bool charge) noexcept;
-bool charge_all_acquires() noexcept;
+inline bool charge_all_acquires() noexcept {
+    return detail::g_charge_all.load(std::memory_order_relaxed);
+}
 
 } // namespace compadres::core::hooks

@@ -1,0 +1,98 @@
+#include "core/hop_trace.hpp"
+
+#include "core/port.hpp"
+
+#include <sstream>
+
+namespace compadres::core {
+
+void HopTraceRecorder::on_hop(const InPortBase& port,
+                              const hooks::HopTimes& t) noexcept {
+    try {
+        std::lock_guard lk(mu_);
+        auto [it, inserted] = series_.try_emplace(&port);
+        if (inserted) it->second.name = port.qualified_name();
+        it->second.queue_wait.record(t.dequeue_ns - t.enqueue_ns);
+        it->second.handler.record(t.process_end_ns - t.process_start_ns);
+        it->second.total.record(t.process_end_ns - t.enqueue_ns);
+    } catch (...) {
+        // A sink must never take down the dispatch thread; dropping one
+        // sample under memory pressure is the lesser evil.
+    }
+}
+
+std::vector<std::string> HopTraceRecorder::ports() const {
+    std::lock_guard lk(mu_);
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto& [_, s] : series_) out.push_back(s.name);
+    return out;
+}
+
+const HopTraceRecorder::PortSeries*
+HopTraceRecorder::find(const std::string& port) const {
+    for (const auto& [_, s] : series_) {
+        if (s.name == port) return &s;
+    }
+    return nullptr;
+}
+
+rt::StatsSummary
+HopTraceRecorder::queue_wait_summary(const std::string& port) const {
+    std::lock_guard lk(mu_);
+    const PortSeries* s = find(port);
+    return s != nullptr ? s->queue_wait.summarize() : rt::StatsSummary{};
+}
+
+rt::StatsSummary
+HopTraceRecorder::handler_summary(const std::string& port) const {
+    std::lock_guard lk(mu_);
+    const PortSeries* s = find(port);
+    return s != nullptr ? s->handler.summarize() : rt::StatsSummary{};
+}
+
+rt::StatsSummary
+HopTraceRecorder::total_summary(const std::string& port) const {
+    std::lock_guard lk(mu_);
+    const PortSeries* s = find(port);
+    return s != nullptr ? s->total.summarize() : rt::StatsSummary{};
+}
+
+void HopTraceRecorder::clear() {
+    std::lock_guard lk(mu_);
+    series_.clear();
+}
+
+std::string TraceReport::to_string() const {
+    std::ostringstream out;
+    out << "delivery fabric trace: " << ports.size() << " port(s), "
+        << queue_lock_acquisitions << " intake lock acquisition(s), "
+        << credit_stalls << " credit stall(s)\n";
+    for (const PortTrace& p : ports) {
+        out << "  " << p.port << " [buffer " << p.buffer_limit << ", hwm "
+            << p.depth_high_water << "] delivered=" << p.delivered
+            << " processed=" << p.processed << " errors=" << p.errors;
+        if (p.overwritten != 0 || p.dropped != 0) {
+            out << " overwritten=" << p.overwritten << " dropped=" << p.dropped;
+        }
+        out << " stalls=" << p.credit_stalls;
+        if (!p.dispatcher.empty()) out << " via " << p.dispatcher;
+        out << "\n";
+        if (p.traced && p.total.count > 0) {
+            const auto us = [](std::int64_t ns) {
+                return static_cast<double>(ns) / 1000.0;
+            };
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "    queue-wait p50=%.1fus p99=%.1fus | handler "
+                          "p50=%.1fus p99=%.1fus | total p50=%.1fus p99=%.1fus\n",
+                          us(p.queue_wait.median), us(p.queue_wait.p99),
+                          us(p.handler.median), us(p.handler.p99),
+                          us(p.total.median), us(p.total.p99));
+            out << line;
+        }
+    }
+    return out.str();
+}
+
+} // namespace compadres::core

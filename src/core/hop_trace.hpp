@@ -1,0 +1,84 @@
+// HopTraceRecorder — the built-in TraceSink that turns per-hop timestamps
+// into per-port latency series, plus the TraceReport structure that
+// Application::trace_report() returns.
+//
+// The recorder keys its series by port pointer (no per-hop string
+// allocation); the qualified name is resolved once on the port's first hop.
+// on_hop runs concurrently on dispatcher workers, so the series map is
+// mutex-protected — an installed sink is allowed to cost, the unset one is
+// not (see core/hooks.hpp).
+#pragma once
+
+#include "core/hooks.hpp"
+#include "rt/stats.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace compadres::core {
+
+/// Per-port latency series split the way the Fig. 9 analysis needs them:
+/// how long envelopes sat in the intake queue vs how long handlers ran.
+class HopTraceRecorder final : public hooks::TraceSink {
+public:
+    void on_hop(const InPortBase& port,
+                const hooks::HopTimes& times) noexcept override;
+
+    /// Qualified names of every port that completed at least one hop.
+    std::vector<std::string> ports() const;
+
+    /// Order statistics per port (zero summaries for unknown ports).
+    rt::StatsSummary queue_wait_summary(const std::string& port) const;
+    rt::StatsSummary handler_summary(const std::string& port) const;
+    rt::StatsSummary total_summary(const std::string& port) const;
+
+    void clear();
+
+private:
+    struct PortSeries {
+        std::string name;
+        rt::StatsRecorder queue_wait; ///< dequeue - enqueue
+        rt::StatsRecorder handler;    ///< process_end - process_start
+        rt::StatsRecorder total;      ///< process_end - enqueue
+    };
+
+    const PortSeries* find(const std::string& port) const;
+
+    mutable std::mutex mu_;
+    std::map<const InPortBase*, PortSeries> series_;
+};
+
+/// One In port's row in a trace report. Counters are always live (they are
+/// plain atomics on the delivery path); the latency summaries are filled
+/// only when a HopTraceRecorder was installed (`traced` is true then).
+struct PortTrace {
+    std::string port;
+    std::string dispatcher;
+    std::uint64_t delivered = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t overwritten = 0; ///< ring-overwrite evictions
+    std::uint64_t dropped = 0;     ///< ring-overwrite drops (nothing to evict)
+    std::uint64_t credit_stalls = 0;
+    std::size_t buffer_limit = 0;
+    std::size_t depth_high_water = 0;
+    bool traced = false;
+    rt::StatsSummary queue_wait;
+    rt::StatsSummary handler;
+    rt::StatsSummary total;
+};
+
+struct TraceReport {
+    std::vector<PortTrace> ports;
+    /// Summed over all dispatchers: intake-queue lock acquisitions.
+    std::uint64_t queue_lock_acquisitions = 0;
+    /// Summed over all ports: credit acquires that had to wait.
+    std::uint64_t credit_stalls = 0;
+
+    std::string to_string() const;
+};
+
+} // namespace compadres::core

@@ -16,6 +16,7 @@
 #include "core/hooks.hpp"
 #include "memory/region.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <stdexcept>
@@ -53,18 +54,24 @@ public:
     /// Copy-construct semantics for fan-out: acquire a message and copy
     /// `src` into it.
     virtual void* clone_raw(const void* src) = 0;
+    /// Add `extra` message slots (allocated in the owning region). Used when
+    /// a later-wired connection reserves capacity on a pool that already
+    /// exists — pools only ever grow, so in-flight messages stay valid.
+    virtual void grow(std::size_t extra) = 0;
 
     const std::string& type_name() const noexcept { return type_name_; }
     std::type_index type() const noexcept { return type_; }
     memory::MemoryRegion& region() const noexcept { return *region_; }
-    std::size_t capacity() const noexcept { return capacity_; }
+    std::size_t capacity() const noexcept {
+        return capacity_.load(std::memory_order_relaxed);
+    }
     virtual std::size_t available() const = 0;
 
 protected:
     std::string type_name_;
     std::type_index type_;
     memory::MemoryRegion* region_;
-    std::size_t capacity_;
+    std::atomic<std::size_t> capacity_;
 };
 
 /// Concrete pool of `capacity` T objects constructed once inside `region`.
@@ -81,9 +88,10 @@ public:
                 std::size_t capacity)
         : MessagePoolBase(std::move(type_name), std::type_index(typeid(T)),
                           region, capacity ? capacity : 1) {
-        slots_.reserve(capacity_);
-        free_.reserve(capacity_);
-        for (std::size_t i = 0; i < capacity_; ++i) {
+        const std::size_t n = this->capacity();
+        slots_.reserve(n);
+        free_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
             T* obj = region.make<T>();
             slots_.push_back(obj);
             free_.push_back(obj);
@@ -118,6 +126,29 @@ public:
     void* acquire_raw() override { return acquire(); }
     void* try_acquire_raw() override { return try_acquire(); }
     void release_raw(void* msg) override { release(static_cast<T*>(msg)); }
+
+    void grow(std::size_t extra) override {
+        if (extra == 0) return;
+        // Allocate from the region before taking mu_: the region has its own
+        // lock, and nesting it under the pool's would order the two.
+        std::vector<T*> fresh;
+        fresh.reserve(extra);
+        for (std::size_t i = 0; i < extra; ++i) {
+            fresh.push_back(region().make<T>());
+        }
+        {
+            std::lock_guard lk(mu_);
+            slots_.reserve(slots_.size() + extra);
+            free_.reserve(slots_.size() + extra);
+            for (T* obj : fresh) {
+                slots_.push_back(obj);
+                free_.push_back(obj);
+            }
+            capacity_.fetch_add(extra, std::memory_order_relaxed);
+        }
+        // Senders may be parked on an exhausted pool that just gained slots.
+        not_empty_.notify_all();
+    }
 
     void* clone_raw(const void* src) override {
         if constexpr (std::is_copy_assignable_v<T>) {

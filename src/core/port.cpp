@@ -1,9 +1,11 @@
 #include "core/port.hpp"
 
 #include "core/component.hpp"
+#include "core/delivery_policy.hpp"
 #include "core/hooks.hpp"
 #include "core/registry.hpp"
 #include "core/smm.hpp"
+#include "rt/clock.hpp"
 
 namespace compadres::core {
 
@@ -15,7 +17,9 @@ InPortBase::InPortBase(std::string name, Component& owner, std::type_index type,
                        std::string type_name, InPortConfig config,
                        MessageHandlerBase& handler)
     : PortBase(std::move(name), owner, type, std::move(type_name)),
-      config_(config), handler_(&handler) {}
+      config_(config), handler_(&handler),
+      policy_(&delivery_policy_for(config.overflow)),
+      credits_(config.buffer_size) {}
 
 InPortBase::~InPortBase() = default;
 
@@ -28,30 +32,36 @@ void InPortBase::bind_dispatcher(Dispatcher& d) {
 }
 
 void InPortBase::deliver(Envelope env) {
-    // Per-port buffer bound (CCL <BufferSize>): the sender blocks while the
-    // port has buffer_size messages pending — bounded memory, backpressure.
-    {
-        std::unique_lock lk(mu_);
-        space_.wait(lk, [&] { return in_flight_.load() < config_.buffer_size; });
-        in_flight_.fetch_add(1);
+    env.port = this;
+    // Admission against the per-port credit budget (CCL <BufferSize>):
+    // lock-free in steady state; what happens on an exhausted budget is the
+    // port's DeliveryPolicy — block the sender, or evict/drop under ring-
+    // overwrite.
+    switch (policy_->admit(*this, env)) {
+    case DeliveryOutcome::kDropped:
+        // The policy returned env.msg to its pool; nothing to enqueue.
+        dropped_.fetch_add(1);
+        return;
+    case DeliveryOutcome::kOverwrote:
+        overwritten_.fetch_add(1);
+        break;
+    case DeliveryOutcome::kAdmitted:
+        break;
     }
     delivered_.fetch_add(1);
-    env.port = this;
+    if (hooks::tracing()) env.t_enqueue = rt::now_ns();
     if (dispatcher_ == nullptr) {
         // Not bound (synchronous wiring or pool sizes 0): run inline.
+        // execute() ends with on_processed(), which releases the credit.
         Dispatcher::execute(env);
         return;
     }
     try {
         dispatcher_->submit(std::move(env));
     } catch (...) {
-        // Undo the in-flight slot so the accounting stays balanced; the
-        // caller (send_raw) returns the message to its pool.
-        {
-            std::lock_guard lk(mu_);
-            in_flight_.fetch_sub(1);
-        }
-        space_.notify_one();
+        // Undo the credit so the accounting stays balanced; the caller
+        // (send_raw) returns the message to its pool.
+        credits_.release();
         delivered_.fetch_sub(1);
         throw;
     }
@@ -63,11 +73,9 @@ void InPortBase::on_processed(bool ok) noexcept {
     } else {
         errors_.fetch_add(1);
     }
-    {
-        std::lock_guard lk(mu_);
-        in_flight_.fetch_sub(1);
-    }
-    space_.notify_one();
+    // Release the envelope's credit; wakes a blocked sender only when one
+    // is registered, so the steady-state completion path is lock-free.
+    credits_.release();
 }
 
 namespace {
@@ -81,47 +89,54 @@ bool is_self_or_ancestor(const Component* candidate,
 }
 } // namespace
 
-void OutPortBase::attach(Smm& smm, const MessageTypeInfo& info) {
+void OutPortBase::attach(Smm& smm, const MessageTypeInfo& info,
+                         std::size_t pool_capacity) {
     if (info.type != type()) {
         throw PortError("message type info '" + info.name +
                         "' does not match port " + qualified_name() + " type '" +
                         type_name() + "'");
     }
+    reserved_total_ += pool_capacity;
+    bool rehosted = false;
     if (smm_ == nullptr) {
         smm_ = &smm;
         type_info_ = &info;
-        return;
+    } else if (smm_ != &smm) {
+        // Fan-out across levels: this port's connections are hosted by
+        // different SMMs. The pool must live where ALL targets can
+        // reference it — the shallowest host. Hosts are common ancestors of
+        // this port's owner, so they are totally ordered along its ancestor
+        // chain; a shallower host's region is an ancestor of the deeper
+        // hosts' regions, satisfying the Table-1 rules for every connection.
+        if (traffic_started_.load(std::memory_order_acquire)) {
+            throw PortError("out-port " + qualified_name() +
+                            " cannot be re-hosted after traffic started");
+        }
+        if (is_self_or_ancestor(&smm.owner(), &smm_->owner())) {
+            smm_ = &smm; // the new host is shallower: adopt it
+            rehosted = true;
+        } else if (is_self_or_ancestor(&smm_->owner(), &smm.owner())) {
+            // current host already covers the new connection
+        } else {
+            throw PortError("out-port " + qualified_name() +
+                            " wired through unrelated SMMs ('" +
+                            smm_->owner().instance_name() + "' vs '" +
+                            smm.owner().instance_name() + "')");
+        }
     }
-    if (smm_ == &smm) return;
-    // Fan-out across levels: this port's connections are hosted by
-    // different SMMs. The pool must live where ALL targets can reference
-    // it — the shallowest host. Hosts are common ancestors of this port's
-    // owner, so they are totally ordered along its ancestor chain; a
-    // shallower host's region is an ancestor of the deeper hosts' regions,
-    // satisfying the Table-1 rules for every connection.
-    if (pool_.load(std::memory_order_acquire) != nullptr) {
-        throw PortError("out-port " + qualified_name() +
-                        " cannot be re-hosted after traffic started");
-    }
-    if (is_self_or_ancestor(&smm.owner(), &smm_->owner())) {
-        smm_ = &smm; // the new host is shallower: adopt it
-    } else if (is_self_or_ancestor(&smm_->owner(), &smm.owner())) {
-        // current host already covers the new connection
+    // Eager pool resolution: size the host's per-type pool now and cache it,
+    // so pool() on the send path is a plain load with no first-use race.
+    // Reservations accumulate across every connection of the type (growing a
+    // pool that already exists), so one pool can carry all the connections'
+    // in-flight messages without wedging. On a re-host the full accumulated
+    // total moves to the new (shallower) host.
+    if (rehosted || pool_.load(std::memory_order_acquire) == nullptr) {
+        smm_->reserve_pool_capacity(info, rehosted ? reserved_total_
+                                                   : pool_capacity);
     } else {
-        throw PortError("out-port " + qualified_name() +
-                        " wired through unrelated SMMs ('" +
-                        smm_->owner().instance_name() + "' vs '" +
-                        smm.owner().instance_name() + "')");
+        smm_->reserve_pool_capacity(info, pool_capacity);
     }
-}
-
-MessagePoolBase* OutPortBase::pool() const {
-    MessagePoolBase* p = pool_.load(std::memory_order_acquire);
-    if (p == nullptr && smm_ != nullptr && type_info_ != nullptr) {
-        p = &smm_->pool_for_erased(*type_info_);
-        pool_.store(p, std::memory_order_release);
-    }
-    return p;
+    pool_.store(&smm_->pool_for_erased(info), std::memory_order_release);
 }
 
 void OutPortBase::add_target(InPortBase& target) {
@@ -145,6 +160,7 @@ void* OutPortBase::get_message_raw() {
         throw PortError("out-port " + qualified_name() +
                         " is not wired (no message pool)");
     }
+    traffic_started_.store(true, std::memory_order_release);
     return p->acquire_raw();
 }
 

@@ -6,18 +6,23 @@
 // buffer live in the SMM of the closest common ancestor region, which is
 // what makes cross-scope delivery legal under the RTSJ reference rules —
 // including shadow ports, where that ancestor is not the sender's parent.
+//
+// Delivery is a credit-based fabric (rt/intake_queue.hpp): the per-port
+// <BufferSize> bound is a budget of credits acquired lock-free at deliver()
+// and released at on_processed(), so the uncontended hop pays exactly one
+// lock acquisition — the dispatcher's intake queue — instead of the legacy
+// port-mutex + queue-mutex rendezvous pair.
 #pragma once
 
 #include "core/dispatcher.hpp"
 #include "core/envelope.hpp"
 #include "core/handler.hpp"
 #include "core/message_pool.hpp"
+#include "rt/intake_queue.hpp"
 #include "rt/thread.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <typeindex>
@@ -26,6 +31,7 @@
 namespace compadres::core {
 
 class Component;
+class DeliveryPolicy;
 class Smm;
 struct MessageTypeInfo;
 
@@ -33,6 +39,14 @@ struct MessageTypeInfo;
 enum class ThreadpoolStrategy {
     kDedicated, ///< the port owns its thread pool
     kShared,    ///< the port uses the SMM-wide shared pool
+};
+
+/// Overflow behavior of an In port (CCL <Overflow> attribute): what happens
+/// to a sender when every <BufferSize> credit is in flight.
+enum class OverflowPolicy {
+    kBlock,         ///< sender waits for a credit (lossless backpressure)
+    kRingOverwrite, ///< freshest value wins: evict the stalest queued
+                    ///< message, never block the sender (sensor streams)
 };
 
 /// Thrown on illegal port operations: sending on an unconnected port,
@@ -48,6 +62,7 @@ struct InPortConfig {
     ThreadpoolStrategy strategy = ThreadpoolStrategy::kDedicated;
     std::size_t min_threads = 1;
     std::size_t max_threads = 1;
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
 };
 
 class PortBase {
@@ -76,8 +91,8 @@ protected:
     std::string type_name_;
 };
 
-/// Base of all In ports. Owns the per-port bound (CCL <BufferSize>) and
-/// points at the dispatcher that runs its handler.
+/// Base of all In ports. Owns the per-port credit budget (CCL <BufferSize>)
+/// and points at the dispatcher that runs its handler.
 class InPortBase : public PortBase {
 public:
     InPortBase(std::string name, Component& owner, std::type_index type,
@@ -93,29 +108,43 @@ public:
     void bind_dispatcher(Dispatcher& d);
     Dispatcher* dispatcher() const noexcept { return dispatcher_; }
 
-    /// Deliver one message: enforces the per-port buffer bound (blocking
-    /// the sender when full — bounded backpressure, not unbounded queues),
-    /// then submits to the dispatcher. Called by connected Out ports.
+    /// Deliver one message through the delivery fabric: the port's
+    /// DeliveryPolicy settles admission against the credit budget (blocking
+    /// the sender, or evicting/dropping under ring-overwrite), then the
+    /// envelope is enqueued — one lock on the uncontended path. Called by
+    /// connected Out ports.
     void deliver(Envelope env);
 
-    /// Completion bookkeeping, called by the dispatcher after process().
+    /// Completion bookkeeping, called by the dispatcher after process():
+    /// counts the outcome and releases the envelope's credit (waking a
+    /// blocked sender only when one is registered).
     void on_processed(bool ok) noexcept;
+
+    /// The admission budget: one credit per in-flight message, lock-free in
+    /// steady state. Exposed for policies, trace reports, and tests.
+    rt::CreditGate& credits() noexcept { return credits_; }
+    const rt::CreditGate& credits() const noexcept { return credits_; }
 
     std::uint64_t delivered_count() const noexcept { return delivered_.load(); }
     std::uint64_t processed_count() const noexcept { return processed_.load(); }
     std::uint64_t error_count() const noexcept { return errors_.load(); }
-    std::size_t in_flight() const noexcept { return in_flight_.load(); }
+    /// Ring-overwrite evictions (a queued message was replaced).
+    std::uint64_t overwritten_count() const noexcept { return overwritten_.load(); }
+    /// Ring-overwrite drops (budget full with nothing queued to evict).
+    std::uint64_t dropped_count() const noexcept { return dropped_.load(); }
+    std::size_t in_flight() const noexcept { return credits_.in_use(); }
 
 private:
     InPortConfig config_;
     MessageHandlerBase* handler_;
+    DeliveryPolicy* policy_;
     Dispatcher* dispatcher_ = nullptr;
-    std::mutex mu_;
-    std::condition_variable space_;
-    std::atomic<std::size_t> in_flight_{0};
+    rt::CreditGate credits_;
     std::atomic<std::uint64_t> delivered_{0};
     std::atomic<std::uint64_t> processed_{0};
     std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> overwritten_{0};
+    std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// Base of all Out ports. Wired to one or more In ports; draws messages
@@ -126,19 +155,26 @@ public:
                 std::string type_name)
         : PortBase(std::move(name), owner, type, std::move(type_name)) {}
 
-    /// Wiring (done by Smm::wire / the Application assembler). The pool is
-    /// NOT resolved here: it materializes in the SMM on first use, sized by
-    /// the capacity reservations of every connection wired until then.
-    void attach(Smm& smm, const MessageTypeInfo& info);
+    /// Wiring (done by Smm::wire / the Application assembler). Resolves the
+    /// connection's pool EAGERLY: the hosting SMM's per-type pool is grown
+    /// by `pool_capacity` slots and cached here before any traffic, so
+    /// pool() is a plain load with no first-use race. When a later
+    /// connection re-hosts the port in a shallower SMM (fan-out across
+    /// levels), the accumulated capacity of every connection is reserved
+    /// there.
+    void attach(Smm& smm, const MessageTypeInfo& info,
+                std::size_t pool_capacity);
     void add_target(InPortBase& target);
 
     bool connected() const noexcept { return !targets_.empty(); }
     const std::vector<InPortBase*>& targets() const noexcept { return targets_; }
     Smm* smm() const noexcept { return smm_; }
 
-    /// The connection's message pool (resolving it on first call).
+    /// The connection's message pool, resolved at wire() time.
     /// Returns nullptr when the port is not wired.
-    MessagePoolBase* pool() const;
+    MessagePoolBase* pool() const noexcept {
+        return pool_.load(std::memory_order_acquire);
+    }
 
     /// Default priority applied by send() overloads that don't name one.
     void set_default_priority(int p) noexcept {
@@ -156,10 +192,12 @@ public:
 private:
     Smm* smm_ = nullptr;
     const MessageTypeInfo* type_info_ = nullptr;
-    mutable std::atomic<MessagePoolBase*> pool_{nullptr};
+    std::atomic<MessagePoolBase*> pool_{nullptr};
+    std::size_t reserved_total_ = 0; ///< capacity across all connections
     std::vector<InPortBase*> targets_;
     int default_priority_ = rt::Priority::kDefault;
     std::atomic<std::uint64_t> sent_{0};
+    std::atomic<bool> traffic_started_{false};
 };
 
 /// Typed In port.

@@ -33,9 +33,13 @@ memory::MemoryRegion& Smm::region() const noexcept { return owner_->region(); }
 void Smm::reserve_pool_capacity(const MessageTypeInfo& info,
                                 std::size_t capacity) {
     std::lock_guard lk(mu_);
-    if (pools_.count(info.type) != 0) {
-        // The pool already materialized (traffic started before this
-        // wiring); the existing capacity is what there is.
+    auto it = pools_.find(info.type);
+    if (it != pools_.end()) {
+        // The pool already materialized (an earlier connection resolved it,
+        // or traffic started through pool_for): grow it in place so this
+        // connection's in-flight messages cannot exhaust it and wedge the
+        // pipeline.
+        it->second->grow(capacity);
         return;
     }
     pending_capacity_[info.type] += capacity;
@@ -78,16 +82,13 @@ void Smm::wire(OutPortBase& out, InPortBase& in, std::size_t pool_capacity) {
     if (pool_capacity == 0) {
         pool_capacity = in.config().buffer_size + in.config().max_threads + 2;
     }
-    out.attach(*this, *info);
-    // attach() may have kept (or adopted) a shallower host when this port
-    // fans out across levels — reserve and register on the effective one.
-    // Reservations accumulate across every connection of a type; the pool
-    // is created on first use with the total, so one pool can carry all
-    // the connections' in-flight messages without wedging.
-    Smm& host = *out.smm();
-    host.reserve_pool_capacity(*info, pool_capacity);
+    // attach() picks the effective host (it may keep, or adopt, a shallower
+    // SMM when this port fans out across levels), accumulates the capacity
+    // reservation there — growing a pool that already exists — and resolves
+    // the pool eagerly so the send path never races a first-use lookup.
+    out.attach(*this, *info, pool_capacity);
     out.add_target(in);
-    host.register_out_port(out);
+    out.smm()->register_out_port(out);
 
     if (in.config().strategy == ThreadpoolStrategy::kShared &&
         in.config().max_threads > 0) {
@@ -129,12 +130,12 @@ OutPortBase& Smm::get_out_port(const std::string& name) const {
 Dispatcher& Smm::shared_dispatcher() {
     std::lock_guard lk(mu_);
     if (shared_ == nullptr) {
-        // The queue is generously sized once: actual occupancy is bounded
-        // by the sum of the bound ports' per-port buffer limits, which the
-        // ports enforce themselves.
+        // Queue occupancy is bounded by the sum of the bound ports'
+        // <BufferSize> credit budgets; 256 is only the initial reservation
+        // of the (unbounded-by-construction) intake queue.
         shared_ = region().make<Dispatcher>(
             owner_->instance_name() + ".smm-shared",
-            DispatcherConfig{1024, 0, 0, rt::Priority{}});
+            DispatcherConfig{256, 0, 0, rt::Priority{}});
     }
     return *shared_;
 }

@@ -88,13 +88,22 @@ bool MemoryRegion::has_ancestor(const MemoryRegion* ancestor) const noexcept {
 }
 
 void MemoryRegion::reset_arena() {
-    std::lock_guard lk(mu_);
+    FinalizerNode* pending = nullptr;
+    {
+        std::lock_guard lk(mu_);
+        pending = finalizers_;
+        finalizers_ = nullptr;
+    }
     // LIFO finalization: objects die in reverse allocation order, matching
-    // both C++ stack semantics and RTSJ scope teardown.
-    for (FinalizerNode* n = finalizers_; n != nullptr; n = n->next) {
+    // both C++ stack semantics and RTSJ scope teardown. Finalizers run
+    // without the region lock held — destructors are free to take their own
+    // locks (SMMs, dispatchers, pools) with no ordering against allocation.
+    // The nodes live in the arena storage, which stays mapped until the
+    // offsets are reset below.
+    for (FinalizerNode* n = pending; n != nullptr; n = n->next) {
         n->fn(n->obj);
     }
-    finalizers_ = nullptr;
+    std::lock_guard lk(mu_);
     offset_ = 0;
     alloc_count_ = 0;
 }

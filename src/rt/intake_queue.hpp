@@ -1,0 +1,262 @@
+// Credit-gated intake queue — the single-rendezvous message hop.
+//
+// The legacy delivery path paid two mutex/condvar rendezvous per hop: the
+// In port's own lock (enforcing the CCL <BufferSize> bound) followed by the
+// dispatcher queue's lock. The delivery fabric splits those concerns:
+//
+//   * CreditGate — a per-port admission counter. The <BufferSize> bound is
+//     a budget of `limit` credits; a sender acquires one credit per message
+//     (lock-free CAS on the uncontended path) and the completion path
+//     releases it after process(). Only a sender that finds the budget
+//     exhausted falls back to a mutex/condvar wait, and only a releaser
+//     that observes registered waiters touches the mutex to wake them.
+//   * IntakeQueue — the dispatcher's priority queue. Admission is already
+//     settled by the gate, so push never blocks on "full": one lock
+//     acquisition, one heap insert, one (only-if-consumer-waiting) wake.
+//
+// Credit protocol invariants:
+//   1. credits in flight (gate.in_use())  <=  limit == <BufferSize>.
+//   2. Every admitted envelope holds exactly one credit from acquisition in
+//      InPortBase::deliver until InPortBase::on_processed releases it —
+//      queued time and handler time both count against the bound, exactly
+//      like the legacy in_flight_ accounting.
+//   3. Ring-overwrite admission transfers the credit of the overwritten
+//      (stolen) envelope to the incoming one; the count in flight is
+//      unchanged, so invariant 1 holds without touching the counter.
+//   4. release() never blocks: it is a single fetch_sub plus a wake that is
+//      taken only when a waiter is registered, so the completion path stays
+//      O(1) and lock-free in steady state.
+//
+// The uncontended hop therefore performs exactly ONE lock acquisition (the
+// IntakeQueue push); both classes export counters (stall_count,
+// lock_acquisitions) so benches and tests can assert that.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace compadres::rt {
+
+/// Admission budget for one In port: `limit` credits, one per in-flight
+/// message. Lock-free on the uncontended acquire/release path; a mutex and
+/// condvar back only the exhausted-budget slow path.
+class CreditGate {
+public:
+    explicit CreditGate(std::size_t limit) : limit_(limit ? limit : 1) {}
+
+    CreditGate(const CreditGate&) = delete;
+    CreditGate& operator=(const CreditGate&) = delete;
+
+    /// Lock-free: take one credit if the budget allows. Never touches the
+    /// mutex.
+    bool try_acquire() noexcept {
+        std::size_t cur = in_use_.load();
+        while (cur < limit_) {
+            if (in_use_.compare_exchange_weak(cur, cur + 1)) {
+                note_depth(cur + 1);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /// Take one credit, waiting (backpressure) while the budget is
+    /// exhausted. Each wait is counted as a stall.
+    void acquire() noexcept {
+        if (try_acquire()) return;
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock lk(mu_);
+        waiters_.fetch_add(1);
+        cv_.wait(lk, [&] { return try_acquire(); });
+        waiters_.fetch_sub(1);
+    }
+
+    /// Return one credit. Wakes a waiter only when one is registered, so
+    /// the steady-state completion path never takes the mutex.
+    void release() noexcept {
+        in_use_.fetch_sub(1);
+        if (waiters_.load() > 0) {
+            std::lock_guard lk(mu_);
+            cv_.notify_one();
+        }
+    }
+
+    std::size_t limit() const noexcept { return limit_; }
+    std::size_t in_use() const noexcept { return in_use_.load(); }
+    std::size_t available() const noexcept {
+        const std::size_t used = in_use_.load();
+        return used >= limit_ ? 0 : limit_ - used;
+    }
+
+    /// Number of acquires that found the budget exhausted and had to wait.
+    std::uint64_t stall_count() const noexcept {
+        return stalls_.load(std::memory_order_relaxed);
+    }
+    /// Highest number of credits ever simultaneously in flight — the
+    /// port's queue-depth high-water mark.
+    std::size_t depth_high_water() const noexcept {
+        return hwm_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void note_depth(std::size_t depth) noexcept {
+        std::size_t cur = hwm_.load(std::memory_order_relaxed);
+        while (depth > cur &&
+               !hwm_.compare_exchange_weak(cur, depth,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    const std::size_t limit_;
+    std::atomic<std::size_t> in_use_{0};
+    std::atomic<std::size_t> hwm_{0};
+    std::atomic<std::uint64_t> stalls_{0};
+    std::atomic<int> waiters_{0};
+    std::mutex mu_;
+    std::condition_variable cv_;
+};
+
+/// Outcome of a non-blocking IntakeQueue pop.
+enum class IntakePop {
+    kOk,      ///< an element was returned
+    kEmpty,   ///< nothing queued right now (more may arrive)
+    kDrained, ///< closed and empty: no element will ever arrive again
+};
+
+/// The dispatcher's priority queue. Highest priority pops first, FIFO among
+/// equals. Unbounded by construction: every push already holds a port
+/// credit, so occupancy is bounded by the sum of the bound ports'
+/// <BufferSize> budgets. push() therefore never blocks — one lock, one heap
+/// insert, one wake only if a consumer is parked.
+template <typename T>
+class IntakeQueue {
+public:
+    explicit IntakeQueue(std::size_t initial_capacity = 16) {
+        heap_.reserve(initial_capacity ? initial_capacity : 1);
+    }
+
+    /// Single-rendezvous enqueue. Returns false when the queue is closed.
+    bool push(T value, int priority) {
+        std::unique_lock lk(mu_);
+        locks_.fetch_add(1, std::memory_order_relaxed);
+        if (closed_) return false;
+        heap_.push_back(Entry{priority, seq_++, std::move(value)});
+        std::push_heap(heap_.begin(), heap_.end(), Order{});
+        const bool wake = consumers_waiting_ > 0;
+        lk.unlock();
+        if (wake) not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocking pop of the highest-priority element (with its priority, so
+    /// the dispatching thread can inherit it). Empty optional means closed
+    /// and drained.
+    std::optional<std::pair<T, int>> pop() {
+        std::unique_lock lk(mu_);
+        ++consumers_waiting_;
+        not_empty_.wait(lk, [&] { return closed_ || !heap_.empty(); });
+        --consumers_waiting_;
+        if (heap_.empty()) return std::nullopt;
+        return pop_top_locked();
+    }
+
+    /// Non-blocking pop that distinguishes "nothing right now" from
+    /// "closed and drained".
+    IntakePop try_pop(std::pair<T, int>& out) {
+        std::lock_guard lk(mu_);
+        if (heap_.empty()) return closed_ ? IntakePop::kDrained : IntakePop::kEmpty;
+        out = pop_top_locked();
+        return IntakePop::kOk;
+    }
+
+    /// Remove and return the OLDEST entry matching `pred` (lowest sequence
+    /// number, regardless of priority) — the ring-overwrite "freshest value
+    /// wins" policy steals the stalest queued message of an overflowing
+    /// port. O(n) scan + re-heapify; this is the overflow path, not the hot
+    /// path.
+    template <typename Pred>
+    std::optional<T> steal_oldest_if(Pred pred) {
+        std::lock_guard lk(mu_);
+        std::size_t best = heap_.size();
+        for (std::size_t i = 0; i < heap_.size(); ++i) {
+            if (!pred(heap_[i].value)) continue;
+            if (best == heap_.size() || heap_[i].seq < heap_[best].seq) best = i;
+        }
+        if (best == heap_.size()) return std::nullopt;
+        T out = std::move(heap_[best].value);
+        heap_[best] = std::move(heap_.back());
+        heap_.pop_back();
+        std::make_heap(heap_.begin(), heap_.end(), Order{});
+        return out;
+    }
+
+    /// Close: pushes fail, pops drain the backlog then report kDrained.
+    void close() {
+        {
+            std::lock_guard lk(mu_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+    }
+
+    bool closed() const {
+        std::lock_guard lk(mu_);
+        return closed_;
+    }
+
+    /// True once the queue is closed AND empty — no pop will ever succeed.
+    bool drained() const {
+        std::lock_guard lk(mu_);
+        return closed_ && heap_.empty();
+    }
+
+    std::size_t size() const {
+        std::lock_guard lk(mu_);
+        return heap_.size();
+    }
+
+    /// Total lock acquisitions performed by push() — exported so benches
+    /// can assert the one-lock-per-hop property of the delivery fabric.
+    std::uint64_t push_lock_count() const noexcept {
+        return locks_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct Entry {
+        int priority;
+        std::uint64_t seq;
+        T value;
+    };
+    /// std::push_heap keeps the *greatest* element first, so "less than"
+    /// means lower priority, or later arrival among equals.
+    struct Order {
+        bool operator()(const Entry& a, const Entry& b) const noexcept {
+            if (a.priority != b.priority) return a.priority < b.priority;
+            return a.seq > b.seq; // earlier sequence wins among equals
+        }
+    };
+
+    std::pair<T, int> pop_top_locked() {
+        std::pop_heap(heap_.begin(), heap_.end(), Order{});
+        Entry top = std::move(heap_.back());
+        heap_.pop_back();
+        return {std::move(top.value), top.priority};
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::vector<Entry> heap_;
+    std::uint64_t seq_ = 0;
+    std::atomic<std::uint64_t> locks_{0};
+    int consumers_waiting_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace compadres::rt

@@ -1,4 +1,4 @@
-// Bounded blocking queues used for In-port message buffers and transports.
+// Bounded blocking queues used for transports and legacy buffers.
 //
 // The CCL <BufferSize> attribute bounds each In port's buffer; a bounded
 // queue is also what keeps memory use predictable on an embedded target.
@@ -7,15 +7,19 @@
 //   * PriorityBoundedQueue<T>  — pops the highest-priority element first;
 //     ties break FIFO. This is the dispatch order the paper specifies for
 //     In ports ("messages are assigned a priority in the send() method").
+//
+// In-port delivery itself no longer uses these: the delivery fabric
+// (rt/intake_queue.hpp) enforces the buffer bound with per-port credit
+// counters and a single-lock intake queue.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -28,9 +32,16 @@ enum class PushResult {
     kClosed,    ///< queue was closed; element rejected
 };
 
+/// Result of a non-blocking pop attempt.
+enum class PopResult {
+    kOk,      ///< element returned
+    kEmpty,   ///< nothing queued right now; more may still arrive
+    kDrained, ///< closed and empty: no element will ever arrive again
+};
+
 /// Mutex+condvar bounded MPMC FIFO. Throughput is far beyond what the
 /// microsecond-scale middleware paths here need, and the blocking semantics
-/// (bounded, closable) are exactly what port buffers require.
+/// (bounded, closable) are exactly what transport buffers require.
 template <typename T>
 class BoundedQueue {
 public:
@@ -71,14 +82,25 @@ public:
         return v;
     }
 
-    /// Non-blocking pop.
-    std::optional<T> try_pop() {
+    /// Non-blocking pop distinguishing "empty for now" from "closed and
+    /// drained" — a poller must know whether to come back.
+    PopResult try_pop(T& out) {
         std::unique_lock lk(mu_);
-        if (items_.empty()) return std::nullopt;
-        T v = std::move(items_.front());
+        if (items_.empty()) {
+            return closed_ ? PopResult::kDrained : PopResult::kEmpty;
+        }
+        out = std::move(items_.front());
         items_.pop_front();
         lk.unlock();
         not_full_.notify_one();
+        return PopResult::kOk;
+    }
+
+    /// Non-blocking pop; use the status overload (or drained()) to tell an
+    /// empty queue from a finished one.
+    std::optional<T> try_pop() {
+        T v;
+        if (try_pop(v) != PopResult::kOk) return std::nullopt;
         return v;
     }
 
@@ -95,6 +117,12 @@ public:
     bool closed() const {
         std::lock_guard lk(mu_);
         return closed_;
+    }
+
+    /// True once the queue is closed AND empty: every pop from now on fails.
+    bool drained() const {
+        std::lock_guard lk(mu_);
+        return closed_ && items_.empty();
     }
 
     std::size_t size() const {
@@ -115,7 +143,10 @@ private:
 
 /// Bounded queue that delivers the highest-priority element first.
 /// Stable for equal priorities (FIFO among equals) so that a stream of
-/// same-priority messages is processed in send order, as a port user expects.
+/// same-priority messages is processed in send order, as a port user
+/// expects. Entries live in a handwritten std::push_heap/std::pop_heap heap
+/// over a std::vector so the top element can be moved out without the
+/// const_cast contortion std::priority_queue::top() would force.
 template <typename T>
 class PriorityBoundedQueue {
 public:
@@ -126,7 +157,7 @@ public:
         std::unique_lock lk(mu_);
         not_full_.wait(lk, [&] { return closed_ || heap_.size() < capacity_; });
         if (closed_) return PushResult::kClosed;
-        heap_.push(Entry{priority, seq_++, std::move(value)});
+        push_locked(std::move(value), priority);
         lk.unlock();
         not_empty_.notify_one();
         return PushResult::kOk;
@@ -136,7 +167,7 @@ public:
         std::unique_lock lk(mu_);
         if (closed_) return PushResult::kClosed;
         if (heap_.size() >= capacity_) return PushResult::kFull;
-        heap_.push(Entry{priority, seq_++, std::move(value)});
+        push_locked(std::move(value), priority);
         lk.unlock();
         not_empty_.notify_one();
         return PushResult::kOk;
@@ -150,24 +181,28 @@ public:
         std::unique_lock lk(mu_);
         not_empty_.wait(lk, [&] { return closed_ || !heap_.empty(); });
         if (heap_.empty()) return std::nullopt;
-        // std::priority_queue::top() returns const&; the entry is moved out
-        // via const_cast, which is safe because it is popped immediately.
-        Entry& top = const_cast<Entry&>(heap_.top());
-        std::pair<T, int> out{std::move(top.value), top.priority};
-        heap_.pop();
+        auto out = pop_top_locked();
         lk.unlock();
         not_full_.notify_one();
         return out;
     }
 
-    std::optional<std::pair<T, int>> try_pop() {
+    /// Non-blocking pop distinguishing "empty for now" from "closed and
+    /// drained".
+    PopResult try_pop(std::pair<T, int>& out) {
         std::unique_lock lk(mu_);
-        if (heap_.empty()) return std::nullopt;
-        Entry& top = const_cast<Entry&>(heap_.top());
-        std::pair<T, int> out{std::move(top.value), top.priority};
-        heap_.pop();
+        if (heap_.empty()) {
+            return closed_ ? PopResult::kDrained : PopResult::kEmpty;
+        }
+        out = pop_top_locked();
         lk.unlock();
         not_full_.notify_one();
+        return PopResult::kOk;
+    }
+
+    std::optional<std::pair<T, int>> try_pop() {
+        std::pair<T, int> out;
+        if (try_pop(out) != PopResult::kOk) return std::nullopt;
         return out;
     }
 
@@ -178,6 +213,12 @@ public:
         }
         not_empty_.notify_all();
         not_full_.notify_all();
+    }
+
+    /// True once the queue is closed AND empty: every pop from now on fails.
+    bool drained() const {
+        std::lock_guard lk(mu_);
+        return closed_ && heap_.empty();
     }
 
     std::size_t size() const {
@@ -193,6 +234,8 @@ private:
         std::uint64_t seq;
         T value;
     };
+    /// std::push_heap keeps the *greatest* element first, so "less than"
+    /// means lower priority, or later arrival among equals.
     struct Order {
         bool operator()(const Entry& a, const Entry& b) const noexcept {
             if (a.priority != b.priority) return a.priority < b.priority;
@@ -200,11 +243,23 @@ private:
         }
     };
 
+    void push_locked(T value, int priority) {
+        heap_.push_back(Entry{priority, seq_++, std::move(value)});
+        std::push_heap(heap_.begin(), heap_.end(), Order{});
+    }
+
+    std::pair<T, int> pop_top_locked() {
+        std::pop_heap(heap_.begin(), heap_.end(), Order{});
+        Entry top = std::move(heap_.back());
+        heap_.pop_back();
+        return {std::move(top.value), top.priority};
+    }
+
     const std::size_t capacity_;
     mutable std::mutex mu_;
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
-    std::priority_queue<Entry, std::vector<Entry>, Order> heap_;
+    std::vector<Entry> heap_;
     std::uint64_t seq_ = 0;
     bool closed_ = false;
 };

@@ -72,6 +72,21 @@ TEST(Ccl, ParsesPortAttributes) {
     EXPECT_EQ(port.attributes.strategy, core::ThreadpoolStrategy::kShared);
     EXPECT_EQ(port.attributes.min_threads, 2u);
     EXPECT_EQ(port.attributes.max_threads, 10u);
+    // <Overflow> is optional and defaults to lossless backpressure.
+    EXPECT_EQ(port.attributes.overflow, core::OverflowPolicy::kBlock);
+}
+
+TEST(Ccl, ParsesRingOverflow) {
+    const auto model = compiler::parse_ccl_string(
+        "<Application><ApplicationName>A</ApplicationName>"
+        "<Component><InstanceName>I</InstanceName><ClassName>C</ClassName>"
+        "<ComponentType>Immortal</ComponentType>"
+        "<Connection><Port><PortName>in</PortName>"
+        "<PortAttributes><BufferSize>2</BufferSize>"
+        "<Overflow>Ring</Overflow></PortAttributes>"
+        "</Port></Connection></Component></Application>");
+    const compiler::CclPortDecl& port = model.components[0].ports.at(0);
+    EXPECT_EQ(port.attributes.overflow, core::OverflowPolicy::kRingOverwrite);
 }
 
 TEST(Ccl, ParsesLinks) {
@@ -178,6 +193,19 @@ TEST(CclErrors, MinGreaterThanMaxPool) {
                      "<MaxThreadpoolSize>2</MaxThreadpoolSize>"
                      "</PortAttributes></Port></Connection>"
                      "</Component></Application>"),
+                 CclError);
+}
+
+TEST(CclErrors, BadOverflowValue) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Component><InstanceName>I</InstanceName>"
+                     "<ClassName>C</ClassName>"
+                     "<ComponentType>Immortal</ComponentType>"
+                     "<Connection><Port><PortName>in</PortName>"
+                     "<PortAttributes><Overflow>Newest</Overflow>"
+                     "</PortAttributes>"
+                     "</Port></Connection></Component></Application>"),
                  CclError);
 }
 

@@ -48,7 +48,8 @@ bool components_equal(const CclComponent& a, const CclComponent& b) {
             (p.attributes.buffer_size != q.attributes.buffer_size ||
              p.attributes.strategy != q.attributes.strategy ||
              p.attributes.min_threads != q.attributes.min_threads ||
-             p.attributes.max_threads != q.attributes.max_threads)) {
+             p.attributes.max_threads != q.attributes.max_threads ||
+             p.attributes.overflow != q.attributes.overflow)) {
             return false;
         }
         for (std::size_t j = 0; j < p.links.size(); ++j) {
@@ -121,6 +122,7 @@ TEST(Emit, CclRoundTripsListing12Shape) {
     port.attributes.strategy = core::ThreadpoolStrategy::kShared;
     port.attributes.min_threads = 2;
     port.attributes.max_threads = 10;
+    port.attributes.overflow = core::OverflowPolicy::kRingOverwrite;
     port.links.push_back({LinkKind::kInternal, "MyCalculator", "DataOut", 0});
     server.ports.push_back(port);
 
@@ -194,6 +196,9 @@ TEST_P(EmitFuzzTest, RandomCclRoundTrips) {
             port.attributes.strategy = rng() % 2 == 0
                                            ? core::ThreadpoolStrategy::kShared
                                            : core::ThreadpoolStrategy::kDedicated;
+            port.attributes.overflow =
+                rng() % 2 == 0 ? core::OverflowPolicy::kBlock
+                               : core::OverflowPolicy::kRingOverwrite;
             if (rng() % 2 == 0) {
                 port.links.push_back({rng() % 2 == 0 ? LinkKind::kInternal
                                                      : LinkKind::kExternal,

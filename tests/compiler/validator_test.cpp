@@ -360,6 +360,39 @@ TEST(Validator, PortConfigsLandInPlannedComponent) {
               core::ThreadpoolStrategy::kShared);
 }
 
+TEST(Validator, RingOverflowOnSynchronousPortReported) {
+    // A synchronous port (MaxThreadpoolSize 0) runs handlers inline and
+    // never queues, so ring-overwrite has nothing to evict.
+    const auto issues = issues_of(hub_with(
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Connection><Port><PortName>cmdIn</PortName>"
+        "<PortAttributes><MinThreadpoolSize>0</MinThreadpoolSize>"
+        "<MaxThreadpoolSize>0</MaxThreadpoolSize>"
+        "<Overflow>Ring</Overflow></PortAttributes>"
+        "</Port></Connection></Component>"));
+    EXPECT_TRUE(any_issue_contains(issues, "Overflow"));
+    EXPECT_TRUE(any_issue_contains(issues, "MaxThreadpoolSize is 0"));
+}
+
+TEST(Validator, RingOverflowAcceptedAndPlanned) {
+    const auto plan = plan_of(hub_with(
+        "<Component><InstanceName>N</InstanceName><ClassName>Node</ClassName>"
+        "<ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>"
+        "<Connection><Port><PortName>cmdIn</PortName>"
+        "<PortAttributes><BufferSize>2</BufferSize>"
+        "<Overflow>Ring</Overflow></PortAttributes>"
+        "</Port></Connection></Component>"));
+    const compiler::PlannedComponent* node = nullptr;
+    for (const auto& pc : plan.components) {
+        if (pc.instance_name == "N") node = &pc;
+    }
+    ASSERT_NE(node, nullptr);
+    ASSERT_TRUE(node->port_configs.count("cmdIn"));
+    EXPECT_EQ(node->port_configs.at("cmdIn").overflow,
+              core::OverflowPolicy::kRingOverwrite);
+}
+
 TEST(Validator, AllIssuesReportedTogether) {
     const auto issues = issues_of(
         "<Component><InstanceName>X</InstanceName><ClassName>Ghost1</ClassName>"

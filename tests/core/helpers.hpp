@@ -26,10 +26,11 @@ inline void register_test_types() {
 class Waiter {
 public:
     void notify() {
-        {
-            std::lock_guard lk(mu_);
-            ++count_;
-        }
+        // Notify while holding the lock: a woken waiter may destroy this
+        // Waiter as soon as it can re-acquire mu_, so the signal must not
+        // touch cv_ after the unlock.
+        std::lock_guard lk(mu_);
+        ++count_;
         cv_.notify_all();
     }
 

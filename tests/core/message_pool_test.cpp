@@ -160,12 +160,21 @@ TEST(Messages, OctetSeqAssignRoundTrips) {
     EXPECT_EQ(seq.data[4], 5);
 }
 
+namespace {
+class CountingSink final : public core::hooks::TraceSink {
+public:
+    void on_alloc(std::size_t bytes) noexcept override {
+        calls.fetch_add(1);
+        charged.fetch_add(bytes);
+    }
+    std::atomic<int> calls{0};
+    std::atomic<std::size_t> charged{0};
+};
+} // namespace
+
 TEST(Hooks, ChargeAllAcquiresFiresAllocHook) {
-    static std::atomic<std::size_t> charged;
-    charged = 0;
-    core::hooks::set(
-        [](void*, std::size_t bytes) { charged.fetch_add(bytes); }, nullptr,
-        nullptr);
+    CountingSink sink;
+    core::hooks::set_sink(&sink);
     core::hooks::set_charge_all_acquires(true);
     {
         memory::ImmortalMemory region(64 * 1024);
@@ -174,14 +183,12 @@ TEST(Hooks, ChargeAllAcquiresFiresAllocHook) {
         pool.release(p);
     }
     core::hooks::clear();
-    EXPECT_EQ(charged.load(), sizeof(Payload));
+    EXPECT_EQ(sink.charged.load(), sizeof(Payload));
 }
 
 TEST(Hooks, NoChargeWhenPoolingEnabled) {
-    static std::atomic<int> calls;
-    calls = 0;
-    core::hooks::set([](void*, std::size_t) { calls.fetch_add(1); }, nullptr,
-                     nullptr);
+    CountingSink sink;
+    core::hooks::set_sink(&sink);
     core::hooks::set_charge_all_acquires(false);
     {
         memory::ImmortalMemory region(64 * 1024);
@@ -190,5 +197,20 @@ TEST(Hooks, NoChargeWhenPoolingEnabled) {
         pool.release(p);
     }
     core::hooks::clear();
-    EXPECT_EQ(calls.load(), 0);
+    EXPECT_EQ(sink.calls.load(), 0);
+}
+
+TEST(MessagePool, GrowAddsSlotsWithoutInvalidatingInFlight) {
+    memory::ImmortalMemory region(64 * 1024);
+    core::MessagePool<Payload> pool(region, "Payload", 2);
+    Payload* a = pool.acquire();
+    Payload* b = pool.acquire();
+    EXPECT_EQ(pool.available(), 0u);
+    pool.grow(3);
+    EXPECT_EQ(pool.capacity(), 5u);
+    EXPECT_EQ(pool.available(), 3u);
+    // Messages handed out before the grow still belong to the pool.
+    pool.release(a);
+    pool.release(b);
+    EXPECT_EQ(pool.available(), 5u);
 }

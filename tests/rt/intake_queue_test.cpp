@@ -1,0 +1,184 @@
+// Credit gate + intake queue: the single-rendezvous delivery fabric.
+#include "rt/intake_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace compadres;
+
+TEST(CreditGate, TryAcquireHonorsBudget) {
+    rt::CreditGate gate(2);
+    EXPECT_EQ(gate.limit(), 2u);
+    EXPECT_TRUE(gate.try_acquire());
+    EXPECT_TRUE(gate.try_acquire());
+    EXPECT_FALSE(gate.try_acquire());
+    EXPECT_EQ(gate.in_use(), 2u);
+    EXPECT_EQ(gate.available(), 0u);
+    gate.release();
+    EXPECT_TRUE(gate.try_acquire());
+    gate.release();
+    gate.release();
+    EXPECT_EQ(gate.in_use(), 0u);
+}
+
+TEST(CreditGate, ZeroLimitClampsToOne) {
+    rt::CreditGate gate(0);
+    EXPECT_EQ(gate.limit(), 1u);
+    EXPECT_TRUE(gate.try_acquire());
+    EXPECT_FALSE(gate.try_acquire());
+}
+
+TEST(CreditGate, AcquireBlocksUntilReleaseAndCountsStall) {
+    rt::CreditGate gate(1);
+    gate.acquire();
+    EXPECT_EQ(gate.stall_count(), 0u); // uncontended: no stall recorded
+    std::atomic<bool> acquired{false};
+    std::thread waiter([&] {
+        gate.acquire(); // budget exhausted: must wait
+        acquired.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_FALSE(acquired.load());
+    gate.release();
+    waiter.join();
+    EXPECT_TRUE(acquired.load());
+    EXPECT_EQ(gate.stall_count(), 1u);
+    gate.release();
+}
+
+TEST(CreditGate, TracksDepthHighWater) {
+    rt::CreditGate gate(4);
+    EXPECT_EQ(gate.depth_high_water(), 0u);
+    gate.acquire();
+    gate.acquire();
+    gate.acquire();
+    EXPECT_EQ(gate.depth_high_water(), 3u);
+    gate.release();
+    gate.release();
+    gate.acquire();
+    EXPECT_EQ(gate.depth_high_water(), 3u); // high-water, not current depth
+}
+
+TEST(CreditGate, MultiProducerStressStaysBalanced) {
+    // Also the TSan workload: concurrent CAS acquires, blocking acquires,
+    // and only-if-waiters wakes must race cleanly.
+    rt::CreditGate gate(3);
+    constexpr int kThreads = 4;
+    constexpr int kIterations = 2000;
+    std::vector<std::thread> producers;
+    producers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&] {
+            for (int i = 0; i < kIterations; ++i) {
+                gate.acquire();
+                gate.release();
+            }
+        });
+    }
+    for (auto& p : producers) p.join();
+    EXPECT_EQ(gate.in_use(), 0u);
+    EXPECT_LE(gate.depth_high_water(), gate.limit());
+}
+
+TEST(IntakeQueue, PopsHighestPriorityFifoAmongEquals) {
+    rt::IntakeQueue<int> q;
+    ASSERT_TRUE(q.push(1, 2));
+    ASSERT_TRUE(q.push(2, 9));
+    ASSERT_TRUE(q.push(3, 2));
+    ASSERT_TRUE(q.push(4, 9));
+    auto a = q.pop();
+    auto b = q.pop();
+    auto c = q.pop();
+    auto d = q.pop();
+    ASSERT_TRUE(a && b && c && d);
+    EXPECT_EQ(a->first, 2); // priority 9, first in
+    EXPECT_EQ(b->first, 4); // priority 9, second in
+    EXPECT_EQ(c->first, 1); // priority 2, FIFO among equals
+    EXPECT_EQ(d->first, 3);
+    EXPECT_EQ(a->second, 9);
+}
+
+TEST(IntakeQueue, TryPopDistinguishesEmptyFromDrained) {
+    rt::IntakeQueue<int> q;
+    std::pair<int, int> out;
+    EXPECT_EQ(q.try_pop(out), rt::IntakePop::kEmpty);
+    q.push(7, 1);
+    EXPECT_EQ(q.try_pop(out), rt::IntakePop::kOk);
+    EXPECT_EQ(out.first, 7);
+    q.push(8, 1);
+    q.close();
+    EXPECT_EQ(q.try_pop(out), rt::IntakePop::kOk); // backlog drains
+    EXPECT_EQ(out.first, 8);
+    EXPECT_EQ(q.try_pop(out), rt::IntakePop::kDrained);
+    EXPECT_TRUE(q.drained());
+}
+
+TEST(IntakeQueue, PushFailsAfterClose) {
+    rt::IntakeQueue<int> q;
+    q.close();
+    EXPECT_FALSE(q.push(1, 1));
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(IntakeQueue, StealOldestIfTakesLowestSequenceMatch) {
+    rt::IntakeQueue<int> q;
+    q.push(10, 5); // oldest even
+    q.push(11, 9);
+    q.push(12, 7); // newer even, higher priority than 10
+    auto stolen = q.steal_oldest_if([](int v) { return v % 2 == 0; });
+    ASSERT_TRUE(stolen.has_value());
+    EXPECT_EQ(*stolen, 10); // oldest match wins regardless of priority
+    EXPECT_EQ(q.size(), 2u);
+    // Remaining order is still priority-correct after the re-heapify.
+    EXPECT_EQ(q.pop()->first, 11);
+    EXPECT_EQ(q.pop()->first, 12);
+    EXPECT_FALSE(q.steal_oldest_if([](int) { return true; }).has_value());
+}
+
+TEST(IntakeQueue, CountsPushLockAcquisitions) {
+    rt::IntakeQueue<int> q;
+    EXPECT_EQ(q.push_lock_count(), 0u);
+    for (int i = 0; i < 5; ++i) q.push(i, 0);
+    EXPECT_EQ(q.push_lock_count(), 5u);
+    std::pair<int, int> out;
+    while (q.try_pop(out) == rt::IntakePop::kOk) {
+    }
+    EXPECT_EQ(q.push_lock_count(), 5u); // pops are not counted
+}
+
+TEST(IntakeQueue, CreditGatedProducersConsumersStress) {
+    // The delivery-fabric shape: producers acquire a credit, push, the
+    // consumer pops and releases. TSan-clean and fully balanced at the end.
+    rt::CreditGate gate(8);
+    rt::IntakeQueue<int> q;
+    constexpr int kProducers = 3;
+    constexpr int kPerProducer = 1500;
+    std::atomic<int> consumed{0};
+    std::thread consumer([&] {
+        while (auto item = q.pop()) {
+            gate.release();
+            consumed.fetch_add(1);
+        }
+    });
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kProducers; ++t) {
+        producers.emplace_back([&, t] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                gate.acquire();
+                ASSERT_TRUE(q.push(t * kPerProducer + i, i % 7));
+            }
+        });
+    }
+    for (auto& p : producers) p.join();
+    while (q.size() != 0) std::this_thread::yield();
+    q.close();
+    consumer.join();
+    EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+    EXPECT_EQ(gate.in_use(), 0u);
+    EXPECT_EQ(q.push_lock_count(),
+              static_cast<std::uint64_t>(kProducers * kPerProducer));
+}
