@@ -3,7 +3,7 @@
 namespace compadres::cdr {
 
 void OutputStream::align(std::size_t boundary) {
-    const std::size_t misalign = buf_.size() % boundary;
+    const std::size_t misalign = (buf_.size() - origin_) % boundary;
     if (misalign != 0) {
         buf_.resize(buf_.size() + (boundary - misalign), 0);
     }
@@ -35,6 +35,7 @@ void OutputStream::write_octet_seq(const std::uint8_t* data, std::size_t n) {
 }
 
 void OutputStream::write_raw(const void* data, std::size_t n) {
+    if (n == 0) return;
     const std::size_t at = buf_.size();
     buf_.resize(at + n);
     std::memcpy(buf_.data() + at, data, n);
@@ -81,6 +82,20 @@ std::string InputStream::read_string() {
     if (data_[pos_ + len - 1] != 0) {
         throw MarshalError("CDR string missing NUL terminator");
     }
+    pos_ += len;
+    return s;
+}
+
+std::string_view InputStream::read_string_view() {
+    const std::uint32_t len = read_ulong();
+    if (len == 0) {
+        throw MarshalError("CDR string with zero length (must include NUL)");
+    }
+    require(len);
+    if (data_[pos_ + len - 1] != 0) {
+        throw MarshalError("CDR string missing NUL terminator");
+    }
+    std::string_view s(reinterpret_cast<const char*>(data_ + pos_), len - 1);
     pos_ += len;
     return s;
 }

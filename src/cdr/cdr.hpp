@@ -47,10 +47,32 @@ class OutputStream {
 public:
     explicit OutputStream(ByteOrder order = native_order()) : order_(order) {}
 
+    /// Adopt existing storage (cleared) so the stream writes into recycled
+    /// capacity instead of allocating — the frame pool's encode path.
+    explicit OutputStream(std::vector<std::uint8_t> storage,
+                          ByteOrder order = native_order())
+        : order_(order), buf_(std::move(storage)) {
+        buf_.clear();
+    }
+
     ByteOrder order() const noexcept { return order_; }
     const std::vector<std::uint8_t>& buffer() const noexcept { return buf_; }
     std::vector<std::uint8_t> take_buffer() noexcept { return std::move(buf_); }
     std::size_t size() const noexcept { return buf_.size(); }
+
+    /// Rewind to empty, keeping the capacity (scratch-stream reuse).
+    void clear() noexcept {
+        buf_.clear();
+        origin_ = 0;
+    }
+    void reserve(std::size_t n) { buf_.reserve(n); }
+
+    /// Make subsequent alignment relative to the current position. An
+    /// encoder writing a message body directly after a frame header calls
+    /// rebase() first, so the body's padding matches what a body-origin
+    /// InputStream (and the old two-stream encode) expects.
+    void rebase() noexcept { origin_ = buf_.size(); }
+    std::size_t origin() const noexcept { return origin_; }
 
     void align(std::size_t boundary);
 
@@ -91,6 +113,7 @@ private:
 
     ByteOrder order_;
     std::vector<std::uint8_t> buf_;
+    std::size_t origin_ = 0; ///< alignment base (see rebase())
 };
 
 /// Bounds-checked input stream over an existing buffer (not owned).
@@ -122,6 +145,10 @@ public:
     double read_double();
 
     std::string read_string();
+
+    /// Like read_string(), but a view into the underlying buffer (no
+    /// allocation). Valid only while the buffer outlives the view.
+    std::string_view read_string_view();
 
     /// Reads the length prefix, checks bounds, and returns a view into the
     /// underlying buffer (zero copy).

@@ -97,6 +97,64 @@ DecodedRequest decode_request(const std::uint8_t* frame, std::size_t size) {
     return out;
 }
 
+DecodedRequestView decode_request_view(const std::uint8_t* frame,
+                                       std::size_t size) {
+    const GiopHeader h = decode_header(frame, size);
+    if (h.msg_type != GiopMsgType::kRequest) {
+        throw MarshalError("expected GIOP Request");
+    }
+    if (GiopHeader::kSize + h.message_size > size) {
+        throw MarshalError("truncated GIOP Request body");
+    }
+    InputStream in(frame + GiopHeader::kSize, h.message_size, h.byte_order);
+    DecodedRequestView out;
+    out.byte_order = h.byte_order;
+    out.header.request_id = in.read_ulong();
+    out.header.response_expected = in.read_boolean();
+    const auto [key, key_len] = in.read_octet_seq_view();
+    out.header.object_key =
+        std::string_view(reinterpret_cast<const char*>(key), key_len);
+    out.header.operation = in.read_string_view();
+    const auto [payload, payload_len] = in.read_octet_seq_view();
+    out.payload = payload;
+    out.payload_len = payload_len;
+    return out;
+}
+
+std::size_t begin_request_payload(OutputStream& out, std::uint32_t request_id,
+                                  bool response_expected,
+                                  std::string_view object_key,
+                                  std::string_view operation) {
+    encode_giop_header(out, GiopMsgType::kRequest);
+    out.write_ulong(request_id);
+    out.write_boolean(response_expected);
+    out.write_octet_seq(reinterpret_cast<const std::uint8_t*>(object_key.data()),
+                        object_key.size());
+    out.write_string(operation);
+    out.write_ulong(0); // payload length, patched by finish_payload()
+    const std::size_t len_offset = out.size() - 4;
+    out.rebase(); // body alignment relative to the payload start
+    return len_offset;
+}
+
+std::size_t begin_reply_payload(OutputStream& out, std::uint32_t request_id,
+                                ReplyStatus status) {
+    encode_giop_header(out, GiopMsgType::kReply);
+    out.write_ulong(request_id);
+    out.write_ulong(static_cast<std::uint32_t>(status));
+    out.write_ulong(0); // payload length, patched by finish_payload()
+    const std::size_t len_offset = out.size() - 4;
+    out.rebase();
+    return len_offset;
+}
+
+void finish_payload(OutputStream& out, std::size_t payload_len_offset) {
+    out.patch_ulong(payload_len_offset,
+                    static_cast<std::uint32_t>(out.size() -
+                                               (payload_len_offset + 4)));
+    finish_frame(out);
+}
+
 std::vector<std::uint8_t> encode_locate_request(const LocateRequestHeader& req) {
     OutputStream out;
     encode_giop_header(out, GiopMsgType::kLocateRequest);

@@ -89,6 +89,49 @@ struct DecodedReply {
 DecodedRequest decode_request(const std::uint8_t* frame, std::size_t size);
 DecodedReply decode_reply(const std::uint8_t* frame, std::size_t size);
 
+// ---- Allocation-free fast path ----
+// View decode reads the request header without copying the key/operation
+// strings out of the frame, and the begin/finish pair encodes a message
+// body directly into the frame stream (no intermediate payload buffer).
+
+/// Request header fields as views into the frame. Valid only while the
+/// frame bytes stay alive and unmodified.
+struct RequestHeaderView {
+    std::uint32_t request_id = 0;
+    bool response_expected = true;
+    std::string_view object_key;
+    std::string_view operation;
+};
+
+struct DecodedRequestView {
+    RequestHeaderView header;
+    ByteOrder byte_order = native_order(); ///< order the payload was encoded in
+    const std::uint8_t* payload = nullptr;
+    std::size_t payload_len = 0;
+};
+
+/// decode_request without the header-string copies.
+DecodedRequestView decode_request_view(const std::uint8_t* frame,
+                                       std::size_t size);
+
+/// Write GIOP + request headers and open the payload octet-sequence.
+/// Returns the offset of the payload length field. The caller encodes the
+/// payload body directly into `out` — alignment is rebased to the payload
+/// start, so the body's padding is identical to an encode into a separate
+/// payload stream — then calls finish_payload().
+std::size_t begin_request_payload(OutputStream& out, std::uint32_t request_id,
+                                  bool response_expected,
+                                  std::string_view object_key,
+                                  std::string_view operation);
+
+/// Same, for a Reply message.
+std::size_t begin_reply_payload(OutputStream& out, std::uint32_t request_id,
+                                ReplyStatus status);
+
+/// Patch the payload length and GIOP message_size once the body is
+/// in place. `payload_len_offset` is the value begin_*_payload returned.
+void finish_payload(OutputStream& out, std::size_t payload_len_offset);
+
 // ---- LocateRequest / LocateReply (GIOP 1.0 §15.4.5-6) ----
 // Used to probe whether an object key is served here without invoking it.
 

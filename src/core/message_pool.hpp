@@ -16,6 +16,7 @@
 #include "core/hooks.hpp"
 #include "memory/region.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
@@ -67,11 +68,24 @@ public:
     }
     virtual std::size_t available() const = 0;
 
+    /// By default release_raw scrubs the message (`*msg = T{}`) so the
+    /// next sender starts from a fresh object. For large message types
+    /// that is a full-object write per release; a path whose messages are
+    /// always completely overwritten before anyone reads them (the remote
+    /// bridge's import decode, for one) can turn it off.
+    void set_scrub_on_release(bool scrub) noexcept {
+        scrub_on_release_.store(scrub, std::memory_order_relaxed);
+    }
+    bool scrub_on_release() const noexcept {
+        return scrub_on_release_.load(std::memory_order_relaxed);
+    }
+
 protected:
     std::string type_name_;
     std::type_index type_;
     memory::MemoryRegion* region_;
     std::atomic<std::size_t> capacity_;
+    std::atomic<bool> scrub_on_release_{true};
 };
 
 /// Concrete pool of `capacity` T objects constructed once inside `region`.
@@ -96,11 +110,16 @@ public:
             slots_.push_back(obj);
             free_.push_back(obj);
         }
+        std::sort(slots_.begin(), slots_.end());
     }
 
     T* acquire() {
         std::unique_lock lk(mu_);
-        not_empty_.wait(lk, [&] { return !free_.empty(); });
+        if (free_.empty()) {
+            ++waiting_;
+            not_empty_.wait(lk, [&] { return !free_.empty(); });
+            --waiting_;
+        }
         return take_locked();
     }
 
@@ -111,16 +130,23 @@ public:
     }
 
     void release(T* msg) {
+        bool wake;
         {
             std::lock_guard lk(mu_);
             if (!owns(msg)) {
                 throw std::logic_error("message does not belong to pool '" +
                                        type_name_ + "'");
             }
-            *msg = T{}; // scrub: the next sender sees a fresh message
+            if (scrub_on_release()) {
+                *msg = T{}; // scrub: the next sender sees a fresh message
+            }
             free_.push_back(msg);
+            // Signal only when a sender actually sleeps on an exhausted
+            // pool; the steady state releases into a non-empty free list
+            // with nobody waiting.
+            wake = waiting_ > 0;
         }
-        not_empty_.notify_one();
+        if (wake) not_empty_.notify_one();
     }
 
     void* acquire_raw() override { return acquire(); }
@@ -144,6 +170,7 @@ public:
                 slots_.push_back(obj);
                 free_.push_back(obj);
             }
+            std::sort(slots_.begin(), slots_.end());
             capacity_.fetch_add(extra, std::memory_order_relaxed);
         }
         // Senders may be parked on an exhausted pool that just gained slots.
@@ -176,17 +203,17 @@ private:
         return obj;
     }
 
+    // slots_ is kept sorted (construction and grow are the only writers)
+    // so the per-release ownership check is a binary search, not a scan.
     bool owns(const T* msg) const {
-        for (const T* s : slots_) {
-            if (s == msg) return true;
-        }
-        return false;
+        return std::binary_search(slots_.begin(), slots_.end(), msg);
     }
 
     mutable std::mutex mu_;
     std::condition_variable not_empty_;
     std::vector<T*> slots_; // non-owning; objects live in the region
     std::vector<T*> free_;
+    std::size_t waiting_ = 0; ///< senders parked on an exhausted pool
 };
 
 } // namespace compadres::core

@@ -1,0 +1,135 @@
+#include "net/frame_pool.hpp"
+
+namespace compadres::net {
+
+namespace {
+
+/// Smallest class that can hold `n`; kClassCount when n is oversize.
+std::size_t class_for_acquire(std::size_t n,
+                              const std::size_t (&sizes)[4]) noexcept {
+    for (std::size_t c = 0; c < 4; ++c) {
+        if (n <= sizes[c]) return c;
+    }
+    return 4;
+}
+
+/// Largest class whose size fits within `capacity`; kClassCount when the
+/// storage is smaller than every class (not worth keeping).
+std::size_t class_for_recycle(std::size_t capacity,
+                              const std::size_t (&sizes)[4]) noexcept {
+    for (std::size_t c = 4; c-- > 0;) {
+        if (capacity >= sizes[c]) return c;
+    }
+    return 4;
+}
+
+/// One-slot thread cache over the process-wide pool. The hot remote path
+/// recycles a frame and immediately acquires the next one on the same
+/// thread (a bridge reader recycles the inbound frame, then encodes its
+/// reply into fresh storage), so a single slot absorbs the pool-mutex
+/// round trip for that traffic. Only the immortal global() pool uses the
+/// slot: per-instance pools (tests, tools) can die while the thread still
+/// holds their storage, and an owner check against a dead pool would be a
+/// dangling compare.
+struct TlsSlot {
+    std::vector<std::uint8_t> storage;
+    bool full = false;
+};
+thread_local TlsSlot t_slot;
+
+} // namespace
+
+FrameBufferPool::FrameBufferPool() {
+    // Reserve the free-list spines up front so recycle() itself never
+    // allocates on the hot path.
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+        free_[c].reserve(kMaxFreePerClass[c]);
+    }
+}
+
+FrameBufferPool& FrameBufferPool::global() {
+    static FrameBufferPool instance;
+    return instance;
+}
+
+std::vector<std::uint8_t> FrameBufferPool::acquire_storage(
+    std::size_t capacity_hint) {
+    if (this == &global() && t_slot.full &&
+        t_slot.storage.capacity() >= capacity_hint) {
+        acquires_.fetch_add(1, std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        t_slot.full = false;
+        std::vector<std::uint8_t> out = std::move(t_slot.storage);
+        out.clear();
+        return out;
+    }
+    const std::size_t cls = class_for_acquire(capacity_hint, kClassSizes);
+    acquires_.fetch_add(1, std::memory_order_relaxed);
+    if (cls < kClassCount) {
+        std::lock_guard lk(mu_);
+        if (!free_[cls].empty()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            std::vector<std::uint8_t> out = std::move(free_[cls].back());
+            free_[cls].pop_back();
+            out.clear();
+            return out;
+        }
+    }
+    if (cls < kClassCount) {
+        allocations_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        oversize_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::vector<std::uint8_t> fresh;
+    // A miss reserves the full class size so the buffer re-enters the same
+    // class on recycle and every later resize within the class is free.
+    fresh.reserve(cls < kClassCount ? kClassSizes[cls] : capacity_hint);
+    return fresh;
+}
+
+void FrameBufferPool::prewarm(std::size_t bytes, std::size_t count) {
+    const std::size_t cls = class_for_acquire(bytes, kClassSizes);
+    if (cls >= kClassCount) return; // oversize requests are never pooled
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<std::uint8_t> storage;
+        storage.reserve(kClassSizes[cls]);
+        {
+            std::lock_guard lk(mu_);
+            if (free_[cls].size() >= kMaxFreePerClass[cls]) return;
+            free_[cls].push_back(std::move(storage));
+        }
+    }
+}
+
+FrameBuffer FrameBufferPool::acquire(std::size_t size) {
+    std::vector<std::uint8_t> storage = acquire_storage(size);
+    storage.resize(size);
+    return FrameBuffer(std::move(storage), this);
+}
+
+void FrameBufferPool::recycle(std::vector<std::uint8_t>&& bytes) noexcept {
+    const std::size_t cls = class_for_recycle(bytes.capacity(), kClassSizes);
+    if (cls >= kClassCount) return; // sub-class storage: just free it
+    if (this == &global() && !t_slot.full) {
+        recycled_.fetch_add(1, std::memory_order_relaxed);
+        t_slot.storage = std::move(bytes);
+        t_slot.full = true;
+        return;
+    }
+    std::lock_guard lk(mu_);
+    if (free_[cls].size() >= kMaxFreePerClass[cls]) return; // bound memory
+    recycled_.fetch_add(1, std::memory_order_relaxed);
+    free_[cls].push_back(std::move(bytes));
+}
+
+FrameBufferPool::Stats FrameBufferPool::stats() const {
+    Stats s;
+    s.acquires = acquires_.load(std::memory_order_relaxed);
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.allocations = allocations_.load(std::memory_order_relaxed);
+    s.oversize = oversize_.load(std::memory_order_relaxed);
+    s.recycled = recycled_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace compadres::net

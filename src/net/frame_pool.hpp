@@ -1,0 +1,247 @@
+// Pooled wire-frame buffers — the allocation seam of the remote fast path.
+//
+// Every GIOP frame that crosses a transport used to be a fresh
+// std::vector: one heap allocation (plus growth reallocations) per message
+// on the send side and another on the receive side. A FrameBufferPool
+// keeps size-classed storage on free lists so a steady-state remote hop
+// recycles the same few buffers forever; the pool's allocation counter is
+// what bench/remote_roundtrip gates to zero.
+//
+// Three pieces:
+//   * FrameBuffer     — move-only handle over pooled storage; returns the
+//                       storage to its home pool on destruction.
+//   * FrameBufferPool — size-classed free lists (mutex-guarded; the lock is
+//                       held for a pointer swap only) with hit/miss stats.
+//   * FrameRing       — fixed-capacity closable MPMC ring of FrameBuffers.
+//                       Transports queue frames through this instead of a
+//                       std::deque, whose chunk allocation/deallocation on
+//                       block boundaries would break the zero-alloc gate.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace compadres::net {
+
+class FrameBufferPool;
+
+/// Move-only handle over a frame's bytes. The storage is a std::vector
+/// whose capacity survives the round trip through the pool, so resize()
+/// within the size class never allocates.
+class FrameBuffer {
+public:
+    FrameBuffer() = default;
+    FrameBuffer(FrameBuffer&& other) noexcept
+        : bytes_(std::move(other.bytes_)), home_(other.home_) {
+        other.home_ = nullptr;
+        other.bytes_.clear();
+    }
+    FrameBuffer& operator=(FrameBuffer&& other) noexcept {
+        if (this != &other) {
+            release();
+            bytes_ = std::move(other.bytes_);
+            home_ = other.home_;
+            other.home_ = nullptr;
+            other.bytes_.clear();
+        }
+        return *this;
+    }
+    FrameBuffer(const FrameBuffer&) = delete;
+    FrameBuffer& operator=(const FrameBuffer&) = delete;
+    ~FrameBuffer() { release(); }
+
+    std::uint8_t* data() noexcept { return bytes_.data(); }
+    const std::uint8_t* data() const noexcept { return bytes_.data(); }
+    std::size_t size() const noexcept { return bytes_.size(); }
+    bool empty() const noexcept { return bytes_.empty(); }
+    std::size_t capacity() const noexcept { return bytes_.capacity(); }
+
+    /// Never allocates while n stays within the pooled capacity.
+    void resize(std::size_t n) { bytes_.resize(n); }
+
+    void assign(const std::uint8_t* src, std::size_t n) {
+        bytes_.resize(n);
+        if (n > 0) std::memcpy(bytes_.data(), src, n);
+    }
+
+    /// Return the storage to the home pool now (also done on destruction).
+    void release() noexcept;
+
+private:
+    friend class FrameBufferPool;
+    FrameBuffer(std::vector<std::uint8_t> bytes, FrameBufferPool* home)
+        : bytes_(std::move(bytes)), home_(home) {}
+
+    std::vector<std::uint8_t> bytes_;
+    FrameBufferPool* home_ = nullptr; ///< null: plain heap-backed buffer
+};
+
+/// Size-classed recycling pool for frame storage.
+class FrameBufferPool {
+public:
+    struct Stats {
+        std::uint64_t acquires = 0;    ///< acquire + acquire_storage calls
+        std::uint64_t hits = 0;        ///< served from a free list
+        std::uint64_t allocations = 0; ///< fresh storage allocated (misses)
+        std::uint64_t oversize = 0;    ///< above the largest class: unpooled
+        std::uint64_t recycled = 0;    ///< buffers returned to a free list
+    };
+
+    FrameBufferPool();
+
+    /// Process-wide pool shared by the transports.
+    static FrameBufferPool& global();
+
+    /// A buffer of exactly `size` bytes (content uninitialized/stale).
+    FrameBuffer acquire(std::size_t size);
+
+    /// Raw storage with capacity >= `capacity_hint` and size 0 — the encode
+    /// path adopts this into a cdr::OutputStream, then wraps the encoded
+    /// bytes back into a FrameBuffer with adopt().
+    std::vector<std::uint8_t> acquire_storage(std::size_t capacity_hint);
+
+    /// Fill the free list of the class covering `bytes` with up to `count`
+    /// buffers (bounded by the class cap). Real-time deployments call this
+    /// at initialization so peak in-flight demand never touches the heap
+    /// mid-flight — the pool analogue of RTSJ immortal preallocation.
+    void prewarm(std::size_t bytes, std::size_t count);
+
+    /// Wrap already-filled storage as a pooled frame (no copy). The bytes
+    /// rejoin this pool's free lists when the FrameBuffer dies.
+    FrameBuffer adopt(std::vector<std::uint8_t>&& bytes) {
+        return FrameBuffer(std::move(bytes), this);
+    }
+
+    /// Return storage to the matching free list (or free it when it is
+    /// smaller than every class or the list is full).
+    void recycle(std::vector<std::uint8_t>&& bytes) noexcept;
+
+    Stats stats() const;
+
+private:
+    // Classes cover the GIOP traffic this repo benches (32 B..1 KiB
+    // payloads), bulk frames, and the occasional jumbo message.
+    static constexpr std::size_t kClassSizes[] = {512, 4096, 65536,
+                                                  1024 * 1024};
+    static constexpr std::size_t kClassCount =
+        sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+    /// Per-class free-list bounds. Small classes keep deep lists because
+    /// peak concurrent demand (frames in flight across both directions of
+    /// a pipelined wire) must fit entirely in the free list for the
+    /// steady state to stay allocation-free; large classes stay shallow to
+    /// bound worst-case resident memory (≈ 21 MiB if every class fills).
+    static constexpr std::size_t kMaxFreePerClass[] = {512, 256, 64, 16};
+
+    mutable std::mutex mu_; ///< guards the free lists only
+    std::vector<std::vector<std::uint8_t>> free_[kClassCount];
+    // Relaxed atomics, not mutex-guarded fields: the thread-cached fast
+    // path (see frame_pool.cpp) serves hits without touching mu_ and still
+    // has to show up in stats().
+    std::atomic<std::uint64_t> acquires_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> allocations_{0};
+    std::atomic<std::uint64_t> oversize_{0};
+    std::atomic<std::uint64_t> recycled_{0};
+};
+
+inline void FrameBuffer::release() noexcept {
+    if (home_ != nullptr) {
+        FrameBufferPool* home = home_;
+        home_ = nullptr;
+        home->recycle(std::move(bytes_));
+    }
+    bytes_.clear();
+}
+
+/// Bounded, closable MPMC ring of FrameBuffers. Fixed storage: pushes and
+/// pops move handles in and out of a preallocated slot array, so queueing a
+/// frame never touches the heap (unlike std::deque's chunk management).
+class FrameRing {
+public:
+    /// Capacity is rounded up to a power of two so slot indexing is a mask,
+    /// not a division.
+    explicit FrameRing(std::size_t capacity)
+        : slots_(round_up_pow2(capacity ? capacity : 1)),
+          mask_(slots_.size() - 1) {}
+
+    /// Blocking push; false when the ring closed before space appeared.
+    bool push(FrameBuffer frame) {
+        std::unique_lock lk(mu_);
+        if (count_ >= slots_.size() && !closed_) {
+            ++waiting_pushers_;
+            not_full_.wait(lk,
+                           [&] { return closed_ || count_ < slots_.size(); });
+            --waiting_pushers_;
+        }
+        if (closed_) return false;
+        slots_[(head_ + count_) & mask_] = std::move(frame);
+        ++count_;
+        // Signal only when a popper actually sleeps: the no-waiter
+        // notify_one would otherwise cost a condvar touch on every frame.
+        const bool wake = waiting_poppers_ > 0;
+        lk.unlock();
+        if (wake) not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocking pop; empty optional when closed and drained.
+    std::optional<FrameBuffer> pop() {
+        std::unique_lock lk(mu_);
+        if (count_ == 0 && !closed_) {
+            ++waiting_poppers_;
+            not_empty_.wait(lk, [&] { return closed_ || count_ > 0; });
+            --waiting_poppers_;
+        }
+        if (count_ == 0) return std::nullopt;
+        FrameBuffer out = std::move(slots_[head_]);
+        head_ = (head_ + 1) & mask_;
+        --count_;
+        const bool wake = waiting_pushers_ > 0;
+        lk.unlock();
+        if (wake) not_full_.notify_one();
+        return out;
+    }
+
+    /// Close: wakes all waiters; pushes fail, pops drain then return empty.
+    /// Frames still queued stay poppable (and are released to their pool
+    /// with the ring otherwise).
+    void close() {
+        {
+            std::lock_guard lk(mu_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    std::size_t size() const {
+        std::lock_guard lk(mu_);
+        return count_;
+    }
+    std::size_t capacity() const noexcept { return slots_.size(); }
+
+private:
+    static std::size_t round_up_pow2(std::size_t n) noexcept {
+        std::size_t p = 1;
+        while (p < n) p <<= 1;
+        return p;
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::vector<FrameBuffer> slots_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::size_t waiting_pushers_ = 0;
+    std::size_t waiting_poppers_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace compadres::net

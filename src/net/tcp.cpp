@@ -6,10 +6,14 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 
 namespace compadres::net {
 
@@ -22,6 +26,19 @@ namespace {
 void set_nodelay(int fd) {
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Clamp kernel socket buffers when the options ask for a bound (0 keeps
+/// the autotuned default). Best-effort: the kernel enforces its own floor.
+void set_buffer_bounds(int fd, const TcpOptions& options) {
+    if (options.send_buffer_bytes > 0) {
+        const int bytes = static_cast<int>(options.send_buffer_bytes);
+        setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+    }
+    if (options.recv_buffer_bytes > 0) {
+        const int bytes = static_cast<int>(options.recv_buffer_bytes);
+        setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+    }
 }
 
 /// Read exactly n bytes; false on orderly EOF at a frame boundary.
@@ -42,65 +59,262 @@ bool read_exact(int fd, std::uint8_t* dst, std::size_t n) {
     return true;
 }
 
-void write_all(int fd, const std::uint8_t* src, std::size_t n) {
-    std::size_t sent = 0;
-    while (sent < n) {
-        const ssize_t w = ::write(fd, src + sent, n - sent);
-        if (w < 0) {
-            if (errno == EINTR) continue;
-            fail_errno("write");
-        }
-        sent += static_cast<std::size_t>(w);
-    }
-}
-
 class TcpTransport final : public Transport {
 public:
-    TcpTransport(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {
+    TcpTransport(int fd, std::string peer, TcpOptions options)
+        : fd_(fd), peer_(std::move(peer)), opts_(options),
+          intake_(opts_.intake_capacity ? opts_.intake_capacity : 1) {
         set_nodelay(fd_);
+        set_buffer_bounds(fd_, opts_);
+        // Writer-only scratch, sized once: drains never touch the heap.
+        batch_.reserve(opts_.max_batch_frames ? opts_.max_batch_frames : 1);
+        iov_.reserve(batch_.capacity());
     }
 
-    ~TcpTransport() override { close(); }
-
-    void send_frame(const std::vector<std::uint8_t>& frame) override {
-        if (fd_ < 0) throw TransportError("transport closed");
-        write_all(fd_, frame.data(), frame.size());
-    }
-
-    std::optional<std::vector<std::uint8_t>> recv_frame() override {
-        if (fd_ < 0) return std::nullopt;
-        std::vector<std::uint8_t> frame(cdr::GiopHeader::kSize);
-        if (!read_exact(fd_, frame.data(), frame.size())) return std::nullopt;
-        const cdr::GiopHeader header =
-            cdr::decode_header(frame.data(), frame.size());
-        frame.resize(cdr::GiopHeader::kSize + header.message_size);
-        if (header.message_size > 0 &&
-            !read_exact(fd_, frame.data() + cdr::GiopHeader::kSize,
-                        header.message_size)) {
-            throw TransportError("connection truncated mid-frame");
-        }
-        return frame;
-    }
-
-    void close() override {
+    ~TcpTransport() override {
+        close();
         if (fd_ >= 0) {
-            ::shutdown(fd_, SHUT_RDWR);
             ::close(fd_);
             fd_ = -1;
         }
     }
 
+    void send_frame(FrameBuffer frame) override {
+        std::unique_lock lk(mu_);
+        if (opts_.policy == WritePolicy::kDirect) {
+            // Serialize writers on the same flag close() waits on.
+            cv_.wait(lk, [&] { return closing_ || !writer_active_; });
+            throw_if_unwritable();
+            writer_active_ = true;
+            batch_.push_back(std::move(frame));
+            flush_batch(lk); // unlocks around the write; rethrows on failure
+            return;
+        }
+        cv_.wait(lk, [&] {
+            return closing_ || send_failed_ || count_ < intake_.size();
+        });
+        throw_if_unwritable();
+        enqueue(std::move(frame));
+        if (writer_active_) return; // the active drainer will batch it
+        writer_active_ = true;
+        drain(lk);
+        const bool failed = send_failed_;
+        const int err = send_errno_;
+        lk.unlock();
+        cv_.notify_all();
+        if (failed) {
+            throw TransportError(std::string("send: ") + std::strerror(err));
+        }
+    }
+
+    std::optional<FrameBuffer> recv_frame() override {
+        if (fd_ < 0) return std::nullopt;
+        std::uint8_t header_bytes[cdr::GiopHeader::kSize];
+        if (!read_exact(fd_, header_bytes, sizeof(header_bytes))) {
+            return std::nullopt;
+        }
+        const cdr::GiopHeader header =
+            cdr::decode_header(header_bytes, sizeof(header_bytes));
+        const std::size_t total =
+            cdr::GiopHeader::kSize + static_cast<std::size_t>(header.message_size);
+        if (total > opts_.max_frame_bytes) {
+            // Validate before sizing the buffer: a corrupt or hostile
+            // header must not drive an unbounded allocation.
+            throw TransportError(
+                "GIOP frame of " + std::to_string(total) +
+                " bytes exceeds the max-frame limit (" +
+                std::to_string(opts_.max_frame_bytes) + ")");
+        }
+        FrameBuffer frame = FrameBufferPool::global().acquire(total);
+        std::memcpy(frame.data(), header_bytes, cdr::GiopHeader::kSize);
+        if (header.message_size > 0 &&
+            !read_exact(fd_, frame.data() + cdr::GiopHeader::kSize,
+                        header.message_size)) {
+            throw TransportError("connection truncated mid-frame");
+        }
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        return frame;
+    }
+
+    void close() override {
+        {
+            std::lock_guard lk(mu_);
+            closing_ = true;
+        }
+        cv_.notify_all();
+        // Unblocks a reader parked in read() and fails any in-flight
+        // sendmsg. The fd itself stays open until destruction so no thread
+        // can race a reused descriptor.
+        if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return !writer_active_; });
+        drop_queue_locked();
+    }
+
     std::string peer_description() const override { return peer_; }
 
+    TransportStats stats() const override {
+        TransportStats s;
+        s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+        s.frames_received = frames_received_.load(std::memory_order_relaxed);
+        s.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+        s.send_syscalls = send_syscalls_.load(std::memory_order_relaxed);
+        s.send_batches = send_batches_.load(std::memory_order_relaxed);
+        s.max_batch_frames = max_batch_.load(std::memory_order_relaxed);
+        return s;
+    }
+
 private:
+    void throw_if_unwritable() {
+        if (closing_) throw TransportError("transport closed");
+        if (send_failed_) {
+            throw TransportError(std::string("send: ") +
+                                 std::strerror(send_errno_));
+        }
+    }
+
+    void enqueue(FrameBuffer frame) {
+        intake_[(head_ + count_) % intake_.size()] = std::move(frame);
+        ++count_;
+    }
+
+    FrameBuffer dequeue() {
+        FrameBuffer out = std::move(intake_[head_]);
+        head_ = (head_ + 1) % intake_.size();
+        --count_;
+        return out;
+    }
+
+    /// Drop every queued frame (storage returns to the pool) and account
+    /// for it. Called with mu_ held once the writer has quiesced.
+    void drop_queue_locked() {
+        if (count_ == 0) return;
+        frames_dropped_.fetch_add(count_, std::memory_order_relaxed);
+        while (count_ > 0) dequeue().release();
+    }
+
+    /// Writer loop: repeatedly peel up to max_batch_frames off the intake
+    /// and ship them with one scatter-gather syscall each flush. Entered
+    /// with mu_ held and writer_active_ set; returns the same way.
+    void drain(std::unique_lock<std::mutex>& lk) {
+        const std::size_t cap =
+            opts_.max_batch_frames ? opts_.max_batch_frames : 1;
+        while (count_ > 0 && !closing_ && !send_failed_) {
+            const std::size_t n = count_ < cap ? count_ : cap;
+            for (std::size_t i = 0; i < n; ++i) batch_.push_back(dequeue());
+            lk.unlock();
+            cv_.notify_all(); // intake space freed: admit blocked senders
+            const bool ok = write_batch();
+            for (auto& b : batch_) b.release();
+            batch_.clear();
+            lk.lock();
+            if (ok) {
+                frames_sent_.fetch_add(n, std::memory_order_relaxed);
+            } else {
+                send_failed_ = true;
+                frames_dropped_.fetch_add(n, std::memory_order_relaxed);
+            }
+        }
+        if (closing_ || send_failed_) drop_queue_locked();
+        writer_active_ = false;
+    }
+
+    /// Direct-policy flush of the single frame staged in batch_. Entered
+    /// with mu_ held and writer_active_ set.
+    void flush_batch(std::unique_lock<std::mutex>& lk) {
+        lk.unlock();
+        const bool ok = write_batch();
+        for (auto& b : batch_) b.release();
+        batch_.clear();
+        lk.lock();
+        writer_active_ = false;
+        if (ok) {
+            frames_sent_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            send_failed_ = true;
+            frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
+        const int err = send_errno_;
+        lk.unlock();
+        cv_.notify_all();
+        if (!ok) {
+            throw TransportError(std::string("send: ") + std::strerror(err));
+        }
+    }
+
+    /// Ship batch_ with sendmsg(MSG_NOSIGNAL), advancing iovecs across
+    /// partial writes. Returns false (with send_errno_ set) on failure.
+    bool write_batch() {
+        iov_.clear();
+        for (auto& b : batch_) {
+            if (b.size() == 0) continue;
+            iov_.push_back(iovec{b.data(), b.size()});
+        }
+        send_batches_.fetch_add(1, std::memory_order_relaxed);
+        std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+        while (batch_.size() > prev &&
+               !max_batch_.compare_exchange_weak(prev, batch_.size(),
+                                                 std::memory_order_relaxed)) {
+        }
+        std::size_t at = 0;
+        while (at < iov_.size()) {
+            msghdr mh{};
+            mh.msg_iov = iov_.data() + at;
+            mh.msg_iovlen = iov_.size() - at;
+            const ssize_t w = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
+            if (w < 0) {
+                if (errno == EINTR) continue;
+                send_errno_ = errno;
+                return false;
+            }
+            send_syscalls_.fetch_add(1, std::memory_order_relaxed);
+            std::size_t advanced = static_cast<std::size_t>(w);
+            while (advanced > 0 && at < iov_.size()) {
+                if (advanced >= iov_[at].iov_len) {
+                    advanced -= iov_[at].iov_len;
+                    ++at;
+                } else {
+                    iov_[at].iov_base =
+                        static_cast<std::uint8_t*>(iov_[at].iov_base) + advanced;
+                    iov_[at].iov_len -= advanced;
+                    advanced = 0;
+                }
+            }
+        }
+        return true;
+    }
+
     int fd_;
     std::string peer_;
+    TcpOptions opts_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<FrameBuffer> intake_; ///< fixed ring: slots never realloc
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    bool writer_active_ = false;
+    bool closing_ = false;
+    bool send_failed_ = false;
+    int send_errno_ = 0;
+
+    // Owned by whichever thread holds writer_active_.
+    std::vector<FrameBuffer> batch_;
+    std::vector<iovec> iov_;
+
+    std::atomic<std::uint64_t> frames_sent_{0};
+    std::atomic<std::uint64_t> frames_received_{0};
+    std::atomic<std::uint64_t> frames_dropped_{0};
+    std::atomic<std::uint64_t> send_syscalls_{0};
+    std::atomic<std::uint64_t> send_batches_{0};
+    std::atomic<std::uint64_t> max_batch_{0};
 };
 
 } // namespace
 
 std::unique_ptr<Transport> tcp_connect(const std::string& host,
-                                       std::uint16_t port) {
+                                       std::uint16_t port,
+                                       const TcpOptions& options) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) fail_errno("socket");
     sockaddr_in addr{};
@@ -116,14 +330,19 @@ std::unique_ptr<Transport> tcp_connect(const std::string& host,
         errno = saved;
         fail_errno("connect to " + host + ":" + std::to_string(port));
     }
-    return std::make_unique<TcpTransport>(fd, host + ":" + std::to_string(port));
+    return std::make_unique<TcpTransport>(
+        fd, host + ":" + std::to_string(port), options);
 }
 
-TcpAcceptor::TcpAcceptor(std::uint16_t port) {
+TcpAcceptor::TcpAcceptor(std::uint16_t port, const TcpOptions& options)
+    : options_(options) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) fail_errno("socket");
     int one = 1;
     setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    // SO_RCVBUF must be set on the listening socket so accepted
+    // connections inherit the bound before the TCP window is negotiated.
+    set_buffer_bounds(fd_, options_);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -152,7 +371,8 @@ std::unique_ptr<Transport> TcpAcceptor::accept() {
     char buf[INET_ADDRSTRLEN] = {};
     inet_ntop(AF_INET, &peer.sin_addr, buf, sizeof(buf));
     return std::make_unique<TcpTransport>(
-        fd, std::string(buf) + ":" + std::to_string(ntohs(peer.sin_port)));
+        fd, std::string(buf) + ":" + std::to_string(ntohs(peer.sin_port)),
+        options_);
 }
 
 void TcpAcceptor::close() {

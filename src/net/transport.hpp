@@ -4,9 +4,17 @@
 // §3.3) ran client and server "on a single machine connected via loopback
 // network"; we provide an in-process loopback transport for the benches
 // and a real TCP transport (with GIOP-aware framing) for distributed use.
+//
+// Frames travel as pooled FrameBuffers (net/frame_pool.hpp): a steady-state
+// send or receive recycles storage instead of allocating it. The
+// std::vector overload of send_frame is a compatibility shim that copies
+// through the pool, for callers that still build frames as vectors.
 #pragma once
 
+#include "net/frame_pool.hpp"
+
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -21,21 +29,47 @@ public:
     using std::runtime_error::runtime_error;
 };
 
+/// Wire counters; all zero for transports that do not track them.
+struct TransportStats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    /// Frames accepted by send_frame but dropped unsent — the coalescing
+    /// writer's queue at close(), or a batch that failed mid-write.
+    std::uint64_t frames_dropped = 0;
+    std::uint64_t send_syscalls = 0;  ///< sendmsg/writev calls issued
+    std::uint64_t send_batches = 0;   ///< coalesced flushes
+    std::uint64_t max_batch_frames = 0; ///< largest single-flush batch
+};
+
 /// Blocking, frame-oriented, bidirectional byte channel.
 class Transport {
 public:
     virtual ~Transport() = default;
 
-    /// Ship one complete frame. Throws TransportError if the peer is gone.
-    virtual void send_frame(const std::vector<std::uint8_t>& frame) = 0;
+    /// Ship one complete frame; ownership of the buffer passes to the
+    /// transport (it returns to its pool once written). Throws
+    /// TransportError if the peer is gone.
+    virtual void send_frame(FrameBuffer frame) = 0;
 
     /// Block for the next frame; empty optional when the channel closed.
-    virtual std::optional<std::vector<std::uint8_t>> recv_frame() = 0;
+    /// The returned buffer is pooled — dropping it recycles the storage.
+    virtual std::optional<FrameBuffer> recv_frame() = 0;
 
-    /// Close both directions; unblocks any pending recv.
+    /// Close both directions; unblocks any pending recv. Queued unsent
+    /// frames are dropped deterministically and counted in
+    /// stats().frames_dropped.
     virtual void close() = 0;
 
     virtual std::string peer_description() const = 0;
+
+    virtual TransportStats stats() const { return {}; }
+
+    /// Compat shim: copy a vector-built frame through the frame pool.
+    void send_frame(const std::vector<std::uint8_t>& frame) {
+        FrameBuffer buf = FrameBufferPool::global().acquire(frame.size());
+        if (!frame.empty()) std::memcpy(buf.data(), frame.data(), frame.size());
+        send_frame(std::move(buf));
+    }
 };
 
 /// In-process bidirectional pipe: two endpoints connected by bounded

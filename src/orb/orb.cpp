@@ -56,14 +56,20 @@ private:
                 process_locate(msg, *completion);
                 return;
             }
-            cdr::RequestHeader header;
-            header.request_id = msg.request_id;
-            header.response_expected = completion != nullptr;
-            header.object_key.assign(msg.object_key.data(), msg.key_len);
-            header.operation.assign(msg.operation.data(), msg.op_len);
-            const auto frame = cdr::encode_request(header, msg.payload.data(),
-                                                   msg.payload_len);
-            wire_->send_frame(frame);
+            // Encode straight into pooled storage: headers and payload go
+            // through one stream, and the filled buffer ships without a
+            // copy (wire-identical to the old encode_request frame).
+            cdr::OutputStream out(net::FrameBufferPool::global().acquire_storage(
+                cdr::GiopHeader::kSize + 64 + msg.key_len + msg.op_len +
+                msg.payload_len));
+            const std::size_t len_offset = cdr::begin_request_payload(
+                out, msg.request_id, completion != nullptr,
+                std::string_view(msg.object_key.data(), msg.key_len),
+                std::string_view(msg.operation.data(), msg.op_len));
+            out.write_raw(msg.payload.data(), msg.payload_len);
+            cdr::finish_payload(out, len_offset);
+            wire_->send_frame(
+                net::FrameBufferPool::global().adopt(out.take_buffer()));
             if (completion == nullptr) return; // oneway: fire and forget
 
             const auto reply_frame = wire_->recv_frame();
@@ -126,10 +132,10 @@ public:
             [this](OrbRequest& msg, core::Smm&) {
                 // Relay into the child scope: copy into the pool hosted by
                 // *this* component's SMM and forward (the paper's regular,
-                // non-shadow port path).
+                // non-shadow port path). Only the filled prefixes move.
                 auto& out = out_port_t<OrbRequest>("toMp");
                 OrbRequest* fwd = out.get_message();
-                *fwd = msg;
+                fwd->copy_from(msg);
                 out.send(fwd, out.default_priority());
             });
         add_out_port<OrbRequest>("toMp", "OrbRequest");
@@ -352,7 +358,7 @@ private:
     void reader_loop(net::Transport& wire) {
         auto& out = out_port_t<GiopFrame>("toTransport");
         for (;;) {
-            std::optional<std::vector<std::uint8_t>> frame;
+            std::optional<net::FrameBuffer> frame;
             try {
                 frame = wire.recv_frame();
             } catch (const std::exception&) {
@@ -390,7 +396,7 @@ public:
             [this](GiopFrame& msg, core::Smm&) {
                 auto& out = out_port_t<GiopFrame>("toRp");
                 GiopFrame* fwd = out.get_message();
-                *fwd = msg;
+                fwd->copy_from(msg); // filled prefix only, not 4 KiB
                 out.send(fwd, out.default_priority());
             });
         add_out_port<GiopFrame>("toRp", "GiopFrame");
@@ -430,17 +436,20 @@ private:
             return; // unparseable header: nothing sane to reply to
         }
         cdr::ReplyHeader reply_header;
-        std::vector<std::uint8_t> reply_payload;
+        reply_payload_.clear(); // reused scratch: capacity survives messages
         try {
-            const cdr::DecodedRequest req =
-                cdr::decode_request(msg.bytes.data(), msg.length);
+            // View decode: the request is demarshalled in place on the
+            // frame bytes — no header-string or payload copies.
+            const cdr::DecodedRequestView req =
+                cdr::decode_request_view(msg.bytes.data(), msg.length);
             reply_header.request_id = req.header.request_id;
             const Servant* servant = servants_->find(req.header.object_key);
             if (servant == nullptr) {
                 reply_header.status = cdr::ReplyStatus::kSystemException;
             } else {
-                const bool ok = (*servant)(req.header.operation, req.payload,
-                                           req.payload_len, reply_payload);
+                op_scratch_.assign(req.header.operation);
+                const bool ok = (*servant)(op_scratch_, req.payload,
+                                           req.payload_len, reply_payload_);
                 reply_header.status = ok ? cdr::ReplyStatus::kNoException
                                          : cdr::ReplyStatus::kUserException;
             }
@@ -448,12 +457,20 @@ private:
         } catch (const cdr::MarshalError&) {
             reply_header.status = cdr::ReplyStatus::kSystemException;
         }
-        const auto frame = cdr::encode_reply(reply_header, reply_payload.data(),
-                                             reply_payload.size());
-        msg.reply_wire->send_frame(frame);
+        // Encode the reply into pooled storage and ship it without a copy.
+        cdr::OutputStream out(net::FrameBufferPool::global().acquire_storage(
+            cdr::GiopHeader::kSize + 16 + reply_payload_.size()));
+        const std::size_t len_offset = cdr::begin_reply_payload(
+            out, reply_header.request_id, reply_header.status);
+        out.write_raw(reply_payload_.data(), reply_payload_.size());
+        cdr::finish_payload(out, len_offset);
+        msg.reply_wire->send_frame(
+            net::FrameBufferPool::global().adopt(out.take_buffer()));
     }
 
     ServantRegistry* servants_;
+    std::string op_scratch_;               ///< reused operation-name buffer
+    std::vector<std::uint8_t> reply_payload_; ///< reused reply scratch
 };
 
 } // namespace

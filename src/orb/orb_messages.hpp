@@ -79,6 +79,20 @@ struct OrbRequest {
         payload_len = std::min(n, kPayloadCapacity);
         std::memcpy(payload.data(), data, payload_len);
     }
+
+    /// Relay copy that moves only the filled prefixes, not the full
+    /// 2 KiB struct (`*this = other` copies every capacity byte).
+    void copy_from(const OrbRequest& other) {
+        request_id = other.request_id;
+        key_len = other.key_len;
+        std::memcpy(object_key.data(), other.object_key.data(), key_len);
+        op_len = other.op_len;
+        std::memcpy(operation.data(), other.operation.data(), op_len);
+        payload_len = other.payload_len;
+        std::memcpy(payload.data(), other.payload.data(), payload_len);
+        completion = other.completion;
+        locate = other.locate;
+    }
 };
 
 /// Server-side pipeline message: one raw GIOP frame, plus the wire to send
@@ -92,6 +106,13 @@ struct GiopFrame {
     void assign(const std::uint8_t* data, std::size_t n) {
         length = std::min(n, kCapacity);
         std::memcpy(bytes.data(), data, length);
+    }
+
+    /// Relay copy of the filled prefix only (`*this = other` would copy
+    /// the whole 4 KiB array regardless of frame length).
+    void copy_from(const GiopFrame& other) {
+        assign(other.bytes.data(), other.length);
+        reply_wire = other.reply_wire;
     }
 };
 

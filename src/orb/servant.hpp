@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace compadres::orb {
@@ -28,8 +29,10 @@ public:
         servants_[object_key] = std::move(servant);
     }
 
-    /// nullptr if the key is unknown (maps to OBJECT_NOT_EXIST).
-    const Servant* find(const std::string& object_key) const {
+    /// nullptr if the key is unknown (maps to OBJECT_NOT_EXIST). The
+    /// string_view overload looks up a key still sitting in a wire frame
+    /// without materializing a std::string (heterogeneous find).
+    const Servant* find(std::string_view object_key) const {
         std::lock_guard lk(mu_);
         auto it = servants_.find(object_key);
         return it == servants_.end() ? nullptr : &it->second;
@@ -37,7 +40,7 @@ public:
 
 private:
     mutable std::mutex mu_;
-    std::map<std::string, Servant> servants_;
+    std::map<std::string, Servant, std::less<>> servants_;
 };
 
 } // namespace compadres::orb

@@ -26,9 +26,12 @@
 
 #include <atomic>
 #include <map>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace compadres::remote {
 
@@ -37,12 +40,21 @@ public:
     using std::runtime_error::runtime_error;
 };
 
+struct BridgeOptions {
+    /// Route frames through the pre-pool wire path: fresh buffers and
+    /// header-string copies per message, payload copied before decode.
+    /// Exists so bench/remote_roundtrip can measure the fast path against
+    /// the old allocation profile in the same run. Wire-compatible with
+    /// the fast path (the frames are byte-identical).
+    bool legacy_wire_path = false;
+};
+
 class RemoteBridge {
 public:
     /// Creates the bridge component inside `app` (immortal memory) and
     /// adopts the wire. Call export_route/import_route, then start().
     RemoteBridge(core::Application& app, std::unique_ptr<net::Transport> wire,
-                 std::string name = "RemoteBridge");
+                 std::string name = "RemoteBridge", BridgeOptions options = {});
     ~RemoteBridge();
 
     RemoteBridge(const RemoteBridge&) = delete;
@@ -66,27 +78,56 @@ public:
 
     std::uint64_t frames_sent() const noexcept { return sent_.load(); }
     std::uint64_t frames_received() const noexcept { return received_.load(); }
-    /// Frames dropped because their route was unknown or decoding failed.
-    std::uint64_t frames_dropped() const noexcept { return dropped_.load(); }
+    /// Frames dropped anywhere between send and delivery: unknown route,
+    /// decode failure, or frames the transport accepted but dropped unsent
+    /// (a coalescer queue discarded at close, a batch that failed
+    /// mid-write).
+    std::uint64_t frames_dropped() const noexcept {
+        std::uint64_t n = dropped_.load();
+        if (wire_ != nullptr) n += wire_->stats().frames_dropped;
+        return n;
+    }
 
 private:
     struct ImportRoute {
         core::OutPortBase* out = nullptr;
-        const Serializer* serializer = nullptr;
+        /// Codec resolved once at import_route: dispatching a frame is a
+        /// plain indirect call, no registry lookup and no virtual hop.
+        Serializer::DecodeFn decode_fn = nullptr;
+        const void* decode_ctx = nullptr;
+        std::shared_ptr<const void> decode_state; ///< keepalive for ctx
+        /// Pre-change dispatch shape (nested std::function erasure) so the
+        /// legacy_wire_path baseline pays what the seed paid per call.
+        std::function<void(void*, cdr::InputStream&)> legacy_decode;
         int priority = -1;
     };
 
     class ExportHandler;
 
+    /// Request-id route cache. The peer stamps each export route's id into
+    /// the GIOP request_id field (legacy frames leave it 0); after the
+    /// first frame the reader resolves a repeat id with an array index and
+    /// one name check instead of a map lookup. Touched by the reader
+    /// thread only, populated lazily from imports_ (whose map keys give
+    /// the entries stable string_view names).
+    struct IdCacheEntry {
+        const ImportRoute* route = nullptr;
+        std::string_view name;
+    };
+
     void reader_loop();
     void handle_frame(const std::uint8_t* frame, std::size_t size);
+    void handle_frame_legacy(const std::uint8_t* frame, std::size_t size);
 
     core::Application* app_;
     std::string name_;
+    BridgeOptions options_;
     core::Component* component_ = nullptr; // lives in the app's immortal
     std::unique_ptr<net::Transport> wire_;
-    std::mutex mu_;
-    std::map<std::string, ImportRoute> imports_;
+    std::mutex mu_; ///< guards imports_ before start(); frozen after
+    std::map<std::string, ImportRoute, std::less<>> imports_;
+    std::vector<IdCacheEntry> id_cache_; ///< sized at start(); never grows
+    std::uint32_t next_export_id_ = 0;   ///< ids start at 1; 0 = untagged
     std::unique_ptr<rt::RtThread> reader_;
     std::atomic<bool> started_{false};
     std::atomic<bool> stopped_{false};

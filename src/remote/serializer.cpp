@@ -35,24 +35,31 @@ const Serializer* SerializerRegistry::find_by_name(
     return nullptr;
 }
 
+namespace {
+
+// OctetSeq: ship only the filled prefix, not the whole 4 KiB buffer.
+// Plain functions so the codec registers as a stateless fn pointer.
+void encode_octet_seq(const core::OctetSeq& msg, cdr::OutputStream& out) {
+    out.write_octet_seq(msg.data.data(), msg.length);
+}
+
+void decode_octet_seq(core::OctetSeq& msg, cdr::InputStream& in) {
+    const auto [data, len] = in.read_octet_seq_view();
+    if (len > core::OctetSeq::kCapacity) {
+        throw SerializationError("OctetSeq payload exceeds capacity");
+    }
+    msg.assign(data, len);
+}
+
+} // namespace
+
 void register_builtin_serializers() {
     auto& reg = SerializerRegistry::global();
     reg.register_pod<core::MyInteger>("MyInteger");
     reg.register_pod<core::TextMessage>("String");
     reg.register_pod<core::SensorSample>("SensorSample");
-    // OctetSeq: ship only the filled prefix, not the whole 4 KiB buffer.
-    reg.register_custom<core::OctetSeq>(
-        "OctetSeq",
-        [](const core::OctetSeq& msg, cdr::OutputStream& out) {
-            out.write_octet_seq(msg.data.data(), msg.length);
-        },
-        [](core::OctetSeq& msg, cdr::InputStream& in) {
-            const auto [data, len] = in.read_octet_seq_view();
-            if (len > core::OctetSeq::kCapacity) {
-                throw SerializationError("OctetSeq payload exceeds capacity");
-            }
-            msg.assign(data, len);
-        });
+    reg.register_custom_fn<core::OctetSeq>("OctetSeq", &encode_octet_seq,
+                                           &decode_octet_seq);
 }
 
 } // namespace compadres::remote

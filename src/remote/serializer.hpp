@@ -13,6 +13,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -25,11 +26,31 @@ public:
     using std::runtime_error::runtime_error;
 };
 
+/// A registered codec. Dispatch is a plain function-pointer call with an
+/// opaque context — no std::function indirection on the wire hot path.
+/// Routes resolve a Serializer once at export/import time and then call
+/// encode()/decode() per message.
 struct Serializer {
+    using EncodeFn = void (*)(const void* ctx, const void* msg,
+                              cdr::OutputStream& out);
+    using DecodeFn = void (*)(const void* ctx, void* msg,
+                              cdr::InputStream& in);
+
     std::string type_name;
     std::type_index type = std::type_index(typeid(void));
-    std::function<void(const void* msg, cdr::OutputStream& out)> encode;
-    std::function<void(void* msg, cdr::InputStream& in)> decode;
+    EncodeFn encode_fn = nullptr;
+    DecodeFn decode_fn = nullptr;
+    const void* encode_ctx = nullptr;
+    const void* decode_ctx = nullptr;
+    /// Keeps a std::function-backed context (register_custom) alive.
+    std::shared_ptr<const void> state;
+
+    void encode(const void* msg, cdr::OutputStream& out) const {
+        encode_fn(encode_ctx, msg, out);
+    }
+    void decode(void* msg, cdr::InputStream& in) const {
+        decode_fn(decode_ctx, msg, in);
+    }
 };
 
 class SerializerRegistry {
@@ -44,11 +65,12 @@ public:
         Serializer s;
         s.type_name = type_name;
         s.type = std::type_index(typeid(T));
-        s.encode = [](const void* msg, cdr::OutputStream& out) {
+        s.encode_fn = [](const void*, const void* msg,
+                         cdr::OutputStream& out) {
             out.write_octet_seq(static_cast<const std::uint8_t*>(msg),
                                 sizeof(T));
         };
-        s.decode = [](void* msg, cdr::InputStream& in) {
+        s.decode_fn = [](const void*, void* msg, cdr::InputStream& in) {
             const auto [data, len] = in.read_octet_seq_view();
             if (len != sizeof(T)) {
                 throw SerializationError(
@@ -60,22 +82,55 @@ public:
         add(s);
     }
 
-    /// Custom codec (used when shipping the whole struct would waste wire
-    /// bytes, e.g. partially-filled buffers).
+    /// Stateless custom codec from plain functions — dispatches with zero
+    /// indirection beyond the trampoline (the target pointer rides in ctx).
+    template <typename T>
+    void register_custom_fn(const std::string& type_name,
+                            void (*encode)(const T&, cdr::OutputStream&),
+                            void (*decode)(T&, cdr::InputStream&)) {
+        Serializer s;
+        s.type_name = type_name;
+        s.type = std::type_index(typeid(T));
+        s.encode_ctx = reinterpret_cast<const void*>(encode);
+        s.decode_ctx = reinterpret_cast<const void*>(decode);
+        s.encode_fn = [](const void* ctx, const void* msg,
+                         cdr::OutputStream& out) {
+            reinterpret_cast<void (*)(const T&, cdr::OutputStream&)>(
+                const_cast<void*>(ctx))(*static_cast<const T*>(msg), out);
+        };
+        s.decode_fn = [](const void* ctx, void* msg, cdr::InputStream& in) {
+            reinterpret_cast<void (*)(T&, cdr::InputStream&)>(
+                const_cast<void*>(ctx))(*static_cast<T*>(msg), in);
+        };
+        add(s);
+    }
+
+    /// Custom codec from arbitrary callables (state rides in a shared
+    /// context the Serializer keeps alive). Prefer register_custom_fn for
+    /// stateless codecs.
     template <typename T>
     void register_custom(const std::string& type_name,
                          std::function<void(const T&, cdr::OutputStream&)> encode,
                          std::function<void(T&, cdr::InputStream&)> decode) {
+        struct State {
+            std::function<void(const T&, cdr::OutputStream&)> enc;
+            std::function<void(T&, cdr::InputStream&)> dec;
+        };
+        auto state = std::make_shared<State>(
+            State{std::move(encode), std::move(decode)});
         Serializer s;
         s.type_name = type_name;
         s.type = std::type_index(typeid(T));
-        s.encode = [encode = std::move(encode)](const void* msg,
-                                                cdr::OutputStream& out) {
-            encode(*static_cast<const T*>(msg), out);
+        s.encode_ctx = state.get();
+        s.decode_ctx = state.get();
+        s.state = std::shared_ptr<const void>(state, state.get());
+        s.encode_fn = [](const void* ctx, const void* msg,
+                         cdr::OutputStream& out) {
+            static_cast<const State*>(ctx)->enc(*static_cast<const T*>(msg),
+                                                out);
         };
-        s.decode = [decode = std::move(decode)](void* msg,
-                                                cdr::InputStream& in) {
-            decode(*static_cast<T*>(msg), in);
+        s.decode_fn = [](const void* ctx, void* msg, cdr::InputStream& in) {
+            static_cast<const State*>(ctx)->dec(*static_cast<T*>(msg), in);
         };
         add(s);
     }

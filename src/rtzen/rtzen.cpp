@@ -117,7 +117,7 @@ void RtzenServerOrb::attach(std::unique_ptr<net::Transport> wire) {
 
 void RtzenServerOrb::reader_loop(net::Transport& wire) {
     for (;;) {
-        std::optional<std::vector<std::uint8_t>> frame;
+        std::optional<net::FrameBuffer> frame;
         try {
             frame = wire.recv_frame();
         } catch (const std::exception&) {

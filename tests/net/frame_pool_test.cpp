@@ -1,0 +1,119 @@
+// FrameBufferPool / FrameBuffer / FrameRing — the wire allocation seam.
+#include "net/frame_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace compadres;
+
+TEST(FrameBufferPool, RecyclesStorageWithinSizeClass) {
+    net::FrameBufferPool pool;
+    const auto before = pool.stats();
+    {
+        net::FrameBuffer b = pool.acquire(256);
+        EXPECT_EQ(b.size(), 256u);
+        EXPECT_GE(b.capacity(), 512u); // misses reserve the full class
+    } // destruction recycles
+    {
+        net::FrameBuffer b = pool.acquire(300); // same 512-byte class
+        EXPECT_EQ(b.size(), 300u);
+    } // recycles again
+    const auto after = pool.stats();
+    EXPECT_EQ(after.acquires - before.acquires, 2u);
+    EXPECT_EQ(after.allocations - before.allocations, 1u);
+    EXPECT_EQ(after.hits - before.hits, 1u);
+    EXPECT_EQ(after.recycled - before.recycled, 2u);
+}
+
+TEST(FrameBufferPool, SteadyStateHitsEveryTime) {
+    net::FrameBufferPool pool;
+    { net::FrameBuffer warm = pool.acquire(1000); } // prime the 4 KiB class
+    const auto warm_stats = pool.stats();
+    for (int i = 0; i < 100; ++i) {
+        net::FrameBuffer b = pool.acquire(1000);
+        b.data()[0] = static_cast<std::uint8_t>(i);
+    }
+    const auto after = pool.stats();
+    EXPECT_EQ(after.hits - warm_stats.hits, 100u);
+    EXPECT_EQ(after.allocations, warm_stats.allocations);
+}
+
+TEST(FrameBufferPool, OversizeRequestsAreNotPooled) {
+    net::FrameBufferPool pool;
+    { net::FrameBuffer b = pool.acquire(8 * 1024 * 1024); }
+    const auto stats = pool.stats();
+    EXPECT_EQ(stats.oversize, 1u);
+    // Oversize storage re-enters the largest class it covers (1 MiB), so
+    // even jumbo frames stop allocating after the first.
+    EXPECT_EQ(stats.recycled, 1u);
+}
+
+TEST(FrameBufferPool, AdoptWrapsFilledStorageWithoutCopy) {
+    net::FrameBufferPool pool;
+    std::vector<std::uint8_t> storage = pool.acquire_storage(64);
+    storage.assign({1, 2, 3});
+    const std::uint8_t* raw = storage.data();
+    net::FrameBuffer frame = pool.adopt(std::move(storage));
+    EXPECT_EQ(frame.data(), raw);
+    ASSERT_EQ(frame.size(), 3u);
+    EXPECT_EQ(frame.data()[2], 3);
+}
+
+TEST(FrameBuffer, MoveTransfersOwnership) {
+    net::FrameBufferPool pool;
+    net::FrameBuffer a = pool.acquire(16);
+    a.data()[0] = 42;
+    net::FrameBuffer b = std::move(a);
+    EXPECT_EQ(a.size(), 0u); // NOLINT(bugprone-use-after-move): post-move probe
+    ASSERT_EQ(b.size(), 16u);
+    EXPECT_EQ(b.data()[0], 42);
+    b.release();
+    EXPECT_EQ(pool.stats().recycled, 1u);
+}
+
+TEST(FrameRing, PreservesFifoOrder) {
+    net::FrameRing ring(8);
+    net::FrameBufferPool pool;
+    for (std::uint8_t i = 0; i < 5; ++i) {
+        net::FrameBuffer f = pool.acquire(4);
+        f.data()[0] = i;
+        ASSERT_TRUE(ring.push(std::move(f)));
+    }
+    for (std::uint8_t i = 0; i < 5; ++i) {
+        auto f = ring.pop();
+        ASSERT_TRUE(f.has_value());
+        EXPECT_EQ(f->data()[0], i);
+    }
+}
+
+TEST(FrameRing, BlockedPushUnblocksOnPop) {
+    net::FrameRing ring(1);
+    net::FrameBufferPool pool;
+    ASSERT_TRUE(ring.push(pool.acquire(4)));
+    std::thread pusher([&] { EXPECT_TRUE(ring.push(pool.acquire(4))); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(ring.pop().has_value());
+    pusher.join();
+    EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(FrameRing, CloseDrainsThenReturnsEmpty) {
+    net::FrameRing ring(4);
+    net::FrameBufferPool pool;
+    ASSERT_TRUE(ring.push(pool.acquire(4)));
+    ring.close();
+    EXPECT_FALSE(ring.push(pool.acquire(4)));
+    EXPECT_TRUE(ring.pop().has_value()); // queued frame still poppable
+    EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(FrameRing, CloseUnblocksWaitingPopper) {
+    net::FrameRing ring(4);
+    std::thread closer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ring.close();
+    });
+    EXPECT_FALSE(ring.pop().has_value());
+    closer.join();
+}

@@ -151,7 +151,7 @@ TEST(Tcp, ManySequentialRoundTrips) {
         for (;;) {
             auto frame = server_side->recv_frame();
             if (!frame.has_value()) return;
-            server_side->send_frame(*frame);
+            server_side->send_frame(std::move(*frame));
         }
     });
     for (std::uint32_t i = 0; i < 200; ++i) {
@@ -164,4 +164,133 @@ TEST(Tcp, ManySequentialRoundTrips) {
     }
     client->close();
     echo.join();
+}
+
+namespace {
+
+/// accept() one connection while a client connects; returns both ends.
+std::pair<std::unique_ptr<net::Transport>, std::unique_ptr<net::Transport>>
+tcp_pair(net::TcpAcceptor& acceptor, const net::TcpOptions& client_options = {}) {
+    std::unique_ptr<net::Transport> server_side;
+    std::thread accept_thread([&] { server_side = acceptor.accept(); });
+    auto client =
+        net::tcp_connect("127.0.0.1", acceptor.bound_port(), client_options);
+    accept_thread.join();
+    return {std::move(client), std::move(server_side)};
+}
+
+} // namespace
+
+TEST(Tcp, OversizedFrameRejectedBeforeAllocation) {
+    net::TcpOptions server_options;
+    server_options.max_frame_bytes = 1024; // applies to accepted transports
+    net::TcpAcceptor acceptor(0, server_options);
+    auto [client, server_side] = tcp_pair(acceptor);
+
+    client->send_frame(make_frame(1, 4096));
+    EXPECT_THROW(server_side->recv_frame(), net::TransportError);
+}
+
+TEST(Tcp, TruncatedMidFrameThrows) {
+    net::TcpAcceptor acceptor(0);
+    auto [client, server_side] = tcp_pair(acceptor);
+
+    // A header that promises a 100-byte body followed by only 10 bytes;
+    // closing the connection leaves the receiver mid-frame.
+    cdr::OutputStream out;
+    out.write_raw(cdr::GiopHeader::kMagic, 4);
+    out.write_octet(1);
+    out.write_octet(0);
+    out.write_octet(static_cast<std::uint8_t>(cdr::native_order()));
+    out.write_octet(static_cast<std::uint8_t>(cdr::GiopMsgType::kRequest));
+    out.write_ulong(100);
+    for (int i = 0; i < 10; ++i) out.write_octet(0xAB);
+    client->send_frame(out.buffer());
+    client->close();
+    EXPECT_THROW(server_side->recv_frame(), net::TransportError);
+}
+
+TEST(Tcp, SendToVanishedPeerThrowsInsteadOfSigpipe) {
+    net::TcpAcceptor acceptor(0);
+    auto [client, server_side] = tcp_pair(acceptor);
+
+    server_side.reset(); // peer gone; the fd is closed with data unread
+    // The first sends land in the socket buffer; once the RST arrives a
+    // send must surface as TransportError on this thread. Under the old
+    // raw write() path the process would die on SIGPIPE here.
+    bool threw = false;
+    try {
+        for (int i = 0; i < 1000 && !threw; ++i) {
+            client->send_frame(make_frame(static_cast<std::uint32_t>(i),
+                                          16 * 1024));
+        }
+    } catch (const net::TransportError&) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+}
+
+TEST(Tcp, CoalescerBatchesUnderBurst) {
+    // Clamp kernel buffering on both ends: with autotuned buffers the whole
+    // burst can vanish into the kernel without any sendmsg ever blocking,
+    // and an unblocked coalescer legitimately flushes one frame at a time.
+    net::TcpOptions bounded;
+    bounded.send_buffer_bytes = 16 * 1024;
+    bounded.recv_buffer_bytes = 16 * 1024;
+    net::TcpAcceptor acceptor(0, bounded);
+    auto [client, server_side] = tcp_pair(acceptor, bounded);
+
+    constexpr int kSenders = 4;
+    constexpr int kPerSender = 200;
+    constexpr std::size_t kPayload = 4096;
+    std::vector<std::thread> senders;
+    for (int t = 0; t < kSenders; ++t) {
+        senders.emplace_back([&client] {
+            for (int i = 0; i < kPerSender; ++i) {
+                client->send_frame(make_frame(static_cast<std::uint32_t>(i),
+                                              kPayload));
+            }
+        });
+    }
+    // A delayed reader lets the socket buffer fill, so senders pile into
+    // the intake and drains flush multi-frame batches.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    for (int i = 0; i < kSenders * kPerSender; ++i) {
+        ASSERT_TRUE(server_side->recv_frame().has_value());
+    }
+    for (auto& s : senders) s.join();
+
+    const net::TransportStats stats = client->stats();
+    EXPECT_EQ(stats.frames_sent, static_cast<std::uint64_t>(kSenders) *
+                                     kPerSender);
+    EXPECT_GE(stats.max_batch_frames, 2u);
+    EXPECT_LT(stats.send_syscalls, stats.frames_sent);
+    EXPECT_EQ(stats.frames_dropped, 0u);
+}
+
+TEST(Tcp, CloseDropsQueuedFramesDeterministically) {
+    net::TcpAcceptor acceptor(0);
+    auto [client, server_side] = tcp_pair(acceptor);
+
+    // Two senders against a reader that never reads: the first blocks in
+    // sendmsg once the socket buffer fills, the second fills the intake.
+    std::vector<std::thread> senders;
+    for (int t = 0; t < 2; ++t) {
+        senders.emplace_back([&client] {
+            try {
+                for (int i = 0; i < 10'000; ++i) {
+                    client->send_frame(
+                        make_frame(static_cast<std::uint32_t>(i), 64 * 1024));
+                }
+            } catch (const net::TransportError&) {
+                // expected: close() below fails the in-flight sends
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    client->close(); // must flush-or-drop, never hang
+    for (auto& s : senders) s.join();
+
+    const net::TransportStats stats = client->stats();
+    EXPECT_GT(stats.frames_dropped, 0u);
 }
