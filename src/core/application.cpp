@@ -205,7 +205,29 @@ TraceReport Application::trace_report() const {
     for (const Dispatcher* d : dispatchers) {
         report.queue_lock_acquisitions += d->queue_lock_count();
     }
+    {
+        // Snapshot under the source lock: a concurrent
+        // remove_counter_source blocks here until the callback it is
+        // about to invalidate has returned.
+        std::lock_guard lk(counter_mu_);
+        for (const auto& [token, source] : counter_sources_) {
+            report.counters.push_back(source());
+        }
+    }
     return report;
+}
+
+std::uint64_t
+Application::add_counter_source(std::function<CounterGroup()> source) {
+    std::lock_guard lk(counter_mu_);
+    const std::uint64_t token = next_counter_token_++;
+    counter_sources_.emplace(token, std::move(source));
+    return token;
+}
+
+void Application::remove_counter_source(std::uint64_t token) {
+    std::lock_guard lk(counter_mu_);
+    counter_sources_.erase(token);
 }
 
 void Application::shutdown() {

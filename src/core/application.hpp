@@ -17,8 +17,11 @@
 #include "memory/immortal.hpp"
 #include "memory/scope_pool.hpp"
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -139,8 +142,20 @@ public:
     /// count, and queue-depth high-water mark (all live atomics), plus the
     /// summed intake-queue lock acquisitions of every dispatcher. When a
     /// HopTraceRecorder is installed as the hooks sink, each row also
-    /// carries queue-wait / handler / total latency quantiles.
+    /// carries queue-wait / handler / total latency quantiles. Registered
+    /// counter sources (see add_counter_source) are snapshotted into
+    /// TraceReport::counters.
     TraceReport trace_report() const;
+
+    /// Register a counter snapshot callback (a bridge's wire stats, the
+    /// frame pool's hit rate, a reactor's event counts) that
+    /// trace_report() folds into its output. Returns a token for
+    /// remove_counter_source. Callbacks run under the source lock —
+    /// remove_counter_source therefore blocks until any in-flight
+    /// trace_report has finished with the callback, so an owner may free
+    /// the counted object immediately after removal.
+    std::uint64_t add_counter_source(std::function<CounterGroup()> source);
+    void remove_counter_source(std::uint64_t token);
 
 private:
     friend class Smm;
@@ -162,6 +177,9 @@ private:
     std::map<int, memory::ScopePool*> pools_; // non-owning; live in immortal
     Component* root_ = nullptr;                // lives in immortal
     std::vector<Record> records_;
+    mutable std::mutex counter_mu_; ///< guards counter_sources_ + calls
+    std::map<std::uint64_t, std::function<CounterGroup()>> counter_sources_;
+    std::uint64_t next_counter_token_ = 1;
     bool started_ = false;
     bool shut_down_ = false;
 };

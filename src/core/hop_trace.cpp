@@ -92,6 +92,13 @@ std::string TraceReport::to_string() const {
             out << line;
         }
     }
+    for (const CounterGroup& g : counters) {
+        out << "  [" << g.source << "]";
+        for (const auto& [name, value] : g.counters) {
+            out << " " << name << "=" << value;
+        }
+        out << "\n";
+    }
     return out.str();
 }
 

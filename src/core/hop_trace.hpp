@@ -71,12 +71,23 @@ struct PortTrace {
     rt::StatsSummary total;
 };
 
+/// Named counters contributed by a subsystem outside the delivery fabric
+/// (a remote bridge's wire, the frame pool, an I/O reactor). The core
+/// cannot link against those layers, so they register a generic callback
+/// via Application::add_counter_source and show up here by name.
+struct CounterGroup {
+    std::string source; ///< e.g. "bridge:uplink", "frame-pool"
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
 struct TraceReport {
     std::vector<PortTrace> ports;
     /// Summed over all dispatchers: intake-queue lock acquisitions.
     std::uint64_t queue_lock_acquisitions = 0;
     /// Summed over all ports: credit acquires that had to wait.
     std::uint64_t credit_stalls = 0;
+    /// Snapshots from registered counter sources, in registration order.
+    std::vector<CounterGroup> counters;
 
     std::string to_string() const;
 };

@@ -23,19 +23,38 @@ std::size_t class_for_recycle(std::size_t capacity,
     return 4;
 }
 
-/// One-slot thread cache over the process-wide pool. The hot remote path
-/// recycles a frame and immediately acquires the next one on the same
-/// thread (a bridge reader recycles the inbound frame, then encodes its
-/// reply into fresh storage), so a single slot absorbs the pool-mutex
-/// round trip for that traffic. Only the immortal global() pool uses the
-/// slot: per-instance pools (tests, tools) can die while the thread still
-/// holds their storage, and an owner check against a dead pool would be a
-/// dangling compare.
-struct TlsSlot {
-    std::vector<std::uint8_t> storage;
-    bool full = false;
+/// Per-size-class thread cache over the process-wide pool. The hot remote
+/// path recycles a frame and immediately acquires the next one on the
+/// same thread (a bridge reader recycles the inbound frame, then encodes
+/// its reply into fresh storage), so a shallow cache absorbs the
+/// pool-mutex round trip for that traffic.
+///
+/// Why per-class and not one shared stack: a reactor thread serves many
+/// wires whose frames span size classes. With a single shared slot,
+/// interleaved classes evict each other (every acquire after a class
+/// switch falls through to the mutex), and a capacity>=hint check would
+/// hand a 1 MiB buffer to a 512 B acquire, hoarding the large class
+/// behind small traffic. Per-class slots keep the hit rate flat no matter
+/// how many wires share the thread.
+///
+/// Why deeper than one slot: a corked reactor pump holds a whole burst of
+/// frames in flight on one thread — acquired one per assembled frame,
+/// recycled together when the batched flush completes — so a one-slot
+/// cache serves only the first of each burst and sends the rest through
+/// the mutex twice (acquire and recycle). Depth follows the writer's
+/// coalescing batch for the small classes and tapers where a cached
+/// buffer is real memory (a 1 MiB slot per thread is plenty).
+///
+/// Only the immortal global() pool uses the cache: per-instance pools
+/// (tests, tools) can die while the thread still holds their storage, and
+/// an owner check against a dead pool would be a dangling compare.
+constexpr std::size_t kTlsDepthMax = 16;
+constexpr std::size_t kTlsDepth[4] = {16, 16, 2, 1};
+struct TlsCache {
+    std::vector<std::uint8_t> storage[4][kTlsDepthMax];
+    std::size_t count[4] = {};
 };
-thread_local TlsSlot t_slot;
+thread_local TlsCache t_cache;
 
 } // namespace
 
@@ -54,17 +73,16 @@ FrameBufferPool& FrameBufferPool::global() {
 
 std::vector<std::uint8_t> FrameBufferPool::acquire_storage(
     std::size_t capacity_hint) {
-    if (this == &global() && t_slot.full &&
-        t_slot.storage.capacity() >= capacity_hint) {
-        acquires_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t cls = class_for_acquire(capacity_hint, kClassSizes);
+    acquires_.fetch_add(1, std::memory_order_relaxed);
+    if (cls < kClassCount && this == &global() && t_cache.count[cls] > 0) {
         hits_.fetch_add(1, std::memory_order_relaxed);
-        t_slot.full = false;
-        std::vector<std::uint8_t> out = std::move(t_slot.storage);
+        tls_hits_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t i = --t_cache.count[cls];
+        std::vector<std::uint8_t> out = std::move(t_cache.storage[cls][i]);
         out.clear();
         return out;
     }
-    const std::size_t cls = class_for_acquire(capacity_hint, kClassSizes);
-    acquires_.fetch_add(1, std::memory_order_relaxed);
     if (cls < kClassCount) {
         std::lock_guard lk(mu_);
         if (!free_[cls].empty()) {
@@ -110,10 +128,9 @@ FrameBuffer FrameBufferPool::acquire(std::size_t size) {
 void FrameBufferPool::recycle(std::vector<std::uint8_t>&& bytes) noexcept {
     const std::size_t cls = class_for_recycle(bytes.capacity(), kClassSizes);
     if (cls >= kClassCount) return; // sub-class storage: just free it
-    if (this == &global() && !t_slot.full) {
+    if (this == &global() && t_cache.count[cls] < kTlsDepth[cls]) {
         recycled_.fetch_add(1, std::memory_order_relaxed);
-        t_slot.storage = std::move(bytes);
-        t_slot.full = true;
+        t_cache.storage[cls][t_cache.count[cls]++] = std::move(bytes);
         return;
     }
     std::lock_guard lk(mu_);
@@ -126,6 +143,7 @@ FrameBufferPool::Stats FrameBufferPool::stats() const {
     Stats s;
     s.acquires = acquires_.load(std::memory_order_relaxed);
     s.hits = hits_.load(std::memory_order_relaxed);
+    s.tls_hits = tls_hits_.load(std::memory_order_relaxed);
     s.allocations = allocations_.load(std::memory_order_relaxed);
     s.oversize = oversize_.load(std::memory_order_relaxed);
     s.recycled = recycled_.load(std::memory_order_relaxed);

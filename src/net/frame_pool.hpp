@@ -86,7 +86,9 @@ class FrameBufferPool {
 public:
     struct Stats {
         std::uint64_t acquires = 0;    ///< acquire + acquire_storage calls
-        std::uint64_t hits = 0;        ///< served from a free list
+        std::uint64_t hits = 0;        ///< served without fresh allocation
+        std::uint64_t tls_hits = 0;    ///< subset of hits: thread cache,
+                                       ///< no pool mutex touched
         std::uint64_t allocations = 0; ///< fresh storage allocated (misses)
         std::uint64_t oversize = 0;    ///< above the largest class: unpooled
         std::uint64_t recycled = 0;    ///< buffers returned to a free list
@@ -144,6 +146,7 @@ private:
     // has to show up in stats().
     std::atomic<std::uint64_t> acquires_{0};
     std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> tls_hits_{0};
     std::atomic<std::uint64_t> allocations_{0};
     std::atomic<std::uint64_t> oversize_{0};
     std::atomic<std::uint64_t> recycled_{0};

@@ -1,0 +1,128 @@
+// Epoll reactor: multiplex many wires onto a bounded event-loop pool.
+//
+// The thread-per-wire reader model (one blocking recv_frame loop per
+// transport) costs a stack, a kernel thread, and scheduler churn per
+// connection — heavy fan-in hits those walls long before the
+// allocation-free wire path is the bottleneck. The reactor inverts it:
+// a small pool of event-loop threads (default min(4, hw_concurrency),
+// override with COMPADRES_REACTOR_THREADS or ReactorOptions::threads)
+// owns every registered descriptor through epoll(7) and drives both
+// readiness directions:
+//
+//   * reads   — edge-triggered (EPOLLET): on EPOLLIN the loop reads until
+//               EAGAIN, assembling GIOP frames incrementally (12-byte
+//               header, then exactly message_size more bytes) into a
+//               resident pooled FrameBuffer, and hands each completed
+//               frame to the wire's on_frame callback on the loop thread.
+//   * writes  — the transport's coalescing writer parks its batch on
+//               EAGAIN and calls the request-writable waker; the loop
+//               arms EPOLLOUT (EPOLL_CTL_MOD re-edges, so a socket that
+//               is already writable fires immediately — no lost wakeup)
+//               and resumes the flush via ReactorHook::flush_pending_writes.
+//
+// Cross-thread operations (register, deregister, arm-write, stop) post
+// commands through an eventfd so the owning loop applies every epoll
+// mutation itself; no epoll_ctl races with epoll_wait consumers.
+//
+// Wires are assigned to loops round-robin, or pinned by priority band
+// (band % thread_count) so an urgent route never shares a loop thread
+// with bulk traffic when the caller separates them.
+//
+// Shutdown ordering is deterministic: deregistration first flushes the
+// transport's coalescing intake on the loop thread (drop-and-count if the
+// peer stopped draining), then removes the descriptor from epoll, then
+// releases any partially-assembled inbound frame back to the pool.
+// stop() and deregister_wire() are idempotent; deregister_wire is safe
+// from the loop's own callbacks (executed inline) or any other thread
+// (blocking handshake). stop() joins the loop threads, so call it from
+// outside the loops.
+#pragma once
+
+#include "net/transport.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace compadres::net {
+
+struct ReactorOptions {
+    /// Event-loop threads. 0 = COMPADRES_REACTOR_THREADS env var if set,
+    /// else min(4, hardware_concurrency).
+    std::size_t threads = 0;
+    /// Run loop threads under SCHED_BATCH (best-effort, unprivileged).
+    /// A loop that wakeup-preempts the producers feeding it sees one
+    /// frame per epoll edge and can never coalesce; the batch hint lets
+    /// a bursting sender finish before the loop runs, so one pump sees
+    /// the whole burst and replies fold into one sendmsg. Turn off when
+    /// loop threads are given an explicit RT scheduling class instead.
+    bool sched_batch_hint = true;
+};
+
+/// Aggregated across all loops; monotonic over the reactor's lifetime.
+struct ReactorStats {
+    std::uint64_t frames_assembled = 0;   ///< complete frames handed out
+    std::uint64_t writable_events = 0;    ///< EPOLLOUT deliveries handled
+    std::uint64_t spurious_writables = 0; ///< EPOLLOUT with nothing armed
+    std::uint64_t wakeups = 0;            ///< eventfd command wakeups
+    std::uint64_t wires_registered = 0;
+    std::uint64_t wires_closed = 0;       ///< EOF/error-driven closes
+};
+
+class Reactor {
+public:
+    explicit Reactor(ReactorOptions options = {});
+    ~Reactor(); ///< stop()s; pending wires are deregistered (flush/drop)
+
+    Reactor(const Reactor&) = delete;
+    Reactor& operator=(const Reactor&) = delete;
+
+    /// Complete inbound frame, delivered on the owning loop thread. The
+    /// handler must not block indefinitely: it stalls every wire on the
+    /// same loop (that is the reactor bargain).
+    using FrameHandler = std::function<void(FrameBuffer)>;
+    /// The wire hit EOF or a wire error and was removed from the loop.
+    /// Runs once, on the loop thread, after epoll deregistration.
+    using ClosedHandler = std::function<void()>;
+
+    /// Hand a transport's descriptor to the pool. The transport must
+    /// expose a ReactorHook (Transport::reactor_hook() != nullptr) and is
+    /// switched to non-blocking reactor mode here; recv_frame() on it
+    /// becomes invalid. `band` < 0 assigns round-robin; `band` >= 0 pins
+    /// to loop (band % thread_count) so callers can keep priority classes
+    /// on separate threads. Returns a wire id for deregister/poke.
+    std::uint64_t register_wire(Transport& transport, FrameHandler on_frame,
+                                ClosedHandler on_closed = {}, int band = -1);
+
+    /// Flush-then-remove (see shutdown ordering above). Blocks until the
+    /// owning loop finished the removal; inline when called from that
+    /// loop. Unknown/already-removed ids are a no-op.
+    void deregister_wire(std::uint64_t wire_id);
+
+    /// Stop every loop and join the threads. Registered wires are
+    /// deregistered (flush/drop) first. Idempotent.
+    void stop();
+
+    std::size_t thread_count() const noexcept;
+
+    ReactorStats stats() const;
+
+    /// Test seam: arm EPOLLOUT for a wire that parked nothing, producing
+    /// the spurious-writable delivery the rearm path must tolerate.
+    void poke_writable(std::uint64_t wire_id);
+
+    /// Process-wide reactor for components that multiplex by default
+    /// (RemoteBridge's kReactor reader model). Constructed on first use,
+    /// intentionally never destroyed: wires are torn down by their owners,
+    /// and leaking the loops sidesteps static-destruction-order races.
+    static Reactor& shared();
+
+private:
+    class Loop;
+    std::vector<std::unique_ptr<Loop>> loops_;
+    struct State;
+    std::unique_ptr<State> state_;
+};
+
+} // namespace compadres::net

@@ -3,6 +3,7 @@
 #include "cdr/giop.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -41,6 +42,11 @@ void set_buffer_bounds(int fd, const TcpOptions& options) {
     }
 }
 
+/// Staging size for blocking-read coalescing: one read() pulls whatever
+/// the kernel has queued (bursts of small replies) instead of two reads
+/// per frame (header, then body).
+constexpr std::size_t kRecvScratchBytes = 16 * 1024;
+
 /// Read exactly n bytes; false on orderly EOF at a frame boundary.
 bool read_exact(int fd, std::uint8_t* dst, std::size_t n) {
     std::size_t got = 0;
@@ -59,7 +65,7 @@ bool read_exact(int fd, std::uint8_t* dst, std::size_t n) {
     return true;
 }
 
-class TcpTransport final : public Transport {
+class TcpTransport final : public Transport, public ReactorHook {
 public:
     TcpTransport(int fd, std::string peer, TcpOptions options)
         : fd_(fd), peer_(std::move(peer)), opts_(options),
@@ -87,7 +93,7 @@ public:
             throw_if_unwritable();
             writer_active_ = true;
             batch_.push_back(std::move(frame));
-            flush_batch(lk); // unlocks around the write; rethrows on failure
+            flush_direct(lk); // unlocks around the write; rethrows on failure
             return;
         }
         cv_.wait(lk, [&] {
@@ -95,13 +101,21 @@ public:
         });
         throw_if_unwritable();
         enqueue(std::move(frame));
-        if (writer_active_) return; // the active drainer will batch it
+        // A parked batch means the socket would not take more bytes the
+        // last time anyone tried: attempting again from every sender would
+        // burn a syscall per enqueue. The reactor's EPOLLOUT resumes it.
+        if (writer_active_ || parked_) return;
+        // Corked (mid read-pump): stage replies for one flush at uncork.
+        // A full intake still drains here so corking never deadlocks a
+        // sender against its own backpressure.
+        if (corked_ && count_ < intake_.size()) return;
         writer_active_ = true;
-        drain(lk);
+        const bool want_writable = drain(lk);
         const bool failed = send_failed_;
         const int err = send_errno_;
         lk.unlock();
         cv_.notify_all();
+        if (want_writable && request_writable_) request_writable_();
         if (failed) {
             throw TransportError(std::string("send: ") + std::strerror(err));
         }
@@ -109,8 +123,13 @@ public:
 
     std::optional<FrameBuffer> recv_frame() override {
         if (fd_ < 0) return std::nullopt;
+        if (nonblocking_.load(std::memory_order_relaxed)) {
+            throw TransportError(
+                "recv_frame on a reactor-managed transport (the reactor "
+                "owns the read direction)");
+        }
         std::uint8_t header_bytes[cdr::GiopHeader::kSize];
-        if (!read_exact(fd_, header_bytes, sizeof(header_bytes))) {
+        if (!buffered_read(header_bytes, sizeof(header_bytes))) {
             return std::nullopt;
         }
         const cdr::GiopHeader header =
@@ -128,8 +147,8 @@ public:
         FrameBuffer frame = FrameBufferPool::global().acquire(total);
         std::memcpy(frame.data(), header_bytes, cdr::GiopHeader::kSize);
         if (header.message_size > 0 &&
-            !read_exact(fd_, frame.data() + cdr::GiopHeader::kSize,
-                        header.message_size)) {
+            !buffered_read(frame.data() + cdr::GiopHeader::kSize,
+                           header.message_size)) {
             throw TransportError("connection truncated mid-frame");
         }
         frames_received_.fetch_add(1, std::memory_order_relaxed);
@@ -148,6 +167,9 @@ public:
         if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
         std::unique_lock lk(mu_);
         cv_.wait(lk, [&] { return !writer_active_; });
+        // A parked batch has no drainer to wake: drop it here along with
+        // the queue, deterministically and counted.
+        drop_parked_locked();
         drop_queue_locked();
     }
 
@@ -164,7 +186,116 @@ public:
         return s;
     }
 
+    ReactorHook* reactor_hook() noexcept override { return this; }
+
+    // ---- ReactorHook ----
+
+    int descriptor() const noexcept override { return fd_; }
+
+    void enter_reactor_mode(std::function<void()> request_writable) override {
+        std::lock_guard lk(mu_);
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+        // Parked-write resumption stages EAGAIN'd output in the intake
+        // machinery; kDirect has nowhere to stage it, so reactor mode
+        // always coalesces (uncontended it degenerates to one sendmsg per
+        // frame anyway).
+        opts_.policy = WritePolicy::kCoalesce;
+        request_writable_ = std::move(request_writable);
+        nonblocking_.store(true, std::memory_order_relaxed);
+    }
+
+    bool flush_pending_writes() override {
+        std::unique_lock lk(mu_);
+        // An active drainer owns the socket; its own EAGAIN re-requests
+        // writability, so there is nothing for the reactor to take over.
+        if (writer_active_) return true;
+        if (!parked_ && count_ == 0) return true; // spurious wake: no-op
+        if (closing_ || send_failed_) {
+            drop_parked_locked();
+            drop_queue_locked();
+            lk.unlock();
+            cv_.notify_all();
+            return true;
+        }
+        writer_active_ = true;
+        const bool want_writable = drain(lk);
+        lk.unlock();
+        cv_.notify_all();
+        if (want_writable && request_writable_) request_writable_();
+        return !want_writable;
+    }
+
+    std::size_t max_frame_bytes() const noexcept override {
+        return opts_.max_frame_bytes;
+    }
+
+    void note_frame_received() noexcept override {
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void set_corked(bool on) override {
+        std::unique_lock lk(mu_);
+        corked_ = on;
+        if (on) return;
+        // Uncork: flush whatever the pump's callbacks staged. Skip if a
+        // drainer already owns the socket or a parked batch awaits its
+        // EPOLLOUT — both resume the queue on their own.
+        if (writer_active_ || parked_ || count_ == 0) return;
+        if (closing_ || send_failed_) return;
+        writer_active_ = true;
+        const bool want_writable = drain(lk);
+        lk.unlock();
+        cv_.notify_all();
+        if (want_writable && request_writable_) request_writable_();
+    }
+
 private:
+    enum class WriteOutcome { kDone, kAgain, kError };
+
+    /// Buffered read_exact: drains the recv staging buffer first and
+    /// refills it with single read() calls sized to the whole buffer, so a
+    /// burst of queued frames costs ~one syscall instead of two per frame.
+    /// Remainders at least a buffer long bypass staging and land directly
+    /// in the caller's storage (no copy for large bodies). Same contract
+    /// as read_exact: false on orderly EOF at a frame boundary, throws on
+    /// truncation or error. Reader-thread only, like recv_frame itself.
+    bool buffered_read(std::uint8_t* dst, std::size_t n) {
+        std::size_t got = 0;
+        while (got < n) {
+            const std::size_t have = rlen_ - rpos_;
+            if (have > 0) {
+                const std::size_t take = have < n - got ? have : n - got;
+                std::memcpy(dst + got, rbuf_.data() + rpos_, take);
+                rpos_ += take;
+                got += take;
+                continue;
+            }
+            // Lazily sized: reactor-managed transports never stage here.
+            if (rbuf_.empty()) rbuf_.resize(kRecvScratchBytes);
+            if (n - got >= rbuf_.size()) {
+                if (!read_exact(fd_, dst + got, n - got)) {
+                    if (got == 0) return false;
+                    throw TransportError("connection truncated mid-frame");
+                }
+                return true;
+            }
+            rpos_ = 0;
+            rlen_ = 0;
+            const ssize_t r = ::read(fd_, rbuf_.data(), rbuf_.size());
+            if (r == 0) {
+                if (got == 0) return false;
+                throw TransportError("connection truncated mid-frame");
+            }
+            if (r < 0) {
+                if (errno == EINTR) continue;
+                fail_errno("read");
+            }
+            rlen_ = static_cast<std::size_t>(r);
+        }
+        return true;
+    }
+
     void throw_if_unwritable() {
         if (closing_) throw TransportError("transport closed");
         if (send_failed_) {
@@ -193,42 +324,80 @@ private:
         while (count_ > 0) dequeue().release();
     }
 
+    /// Drop a batch parked mid-write (the peer sees a truncated stream —
+    /// only reached when the connection is going down anyway). mu_ held.
+    void drop_parked_locked() {
+        if (batch_.empty()) return;
+        frames_dropped_.fetch_add(batch_.size(), std::memory_order_relaxed);
+        for (auto& b : batch_) b.release();
+        batch_.clear();
+        iov_.clear();
+        iov_at_ = 0;
+        parked_ = false;
+    }
+
     /// Writer loop: repeatedly peel up to max_batch_frames off the intake
-    /// and ship them with one scatter-gather syscall each flush. Entered
-    /// with mu_ held and writer_active_ set; returns the same way.
-    void drain(std::unique_lock<std::mutex>& lk) {
+    /// (or resume a parked batch) and ship them with one scatter-gather
+    /// syscall each flush. Entered with mu_ held and writer_active_ set;
+    /// returns the same way with writer_active_ cleared. Returns true when
+    /// the batch parked on EAGAIN and the caller must invoke
+    /// request_writable_ (outside the lock) so the reactor resumes it.
+    bool drain(std::unique_lock<std::mutex>& lk) {
         const std::size_t cap =
             opts_.max_batch_frames ? opts_.max_batch_frames : 1;
-        while (count_ > 0 && !closing_ && !send_failed_) {
-            const std::size_t n = count_ < cap ? count_ : cap;
-            for (std::size_t i = 0; i < n; ++i) batch_.push_back(dequeue());
+        while (!closing_ && !send_failed_) {
+            if (!parked_) {
+                if (count_ == 0) break;
+                const std::size_t n = count_ < cap ? count_ : cap;
+                for (std::size_t i = 0; i < n; ++i) batch_.push_back(dequeue());
+                stage_batch();
+            } else {
+                parked_ = false; // resume the saved iovec position
+            }
             lk.unlock();
             cv_.notify_all(); // intake space freed: admit blocked senders
-            const bool ok = write_batch();
+            const WriteOutcome outcome = write_batch_step();
+            if (outcome == WriteOutcome::kAgain) {
+                lk.lock();
+                parked_ = true;
+                writer_active_ = false;
+                return true;
+            }
+            const std::size_t n = batch_.size();
             for (auto& b : batch_) b.release();
             batch_.clear();
+            iov_.clear();
+            iov_at_ = 0;
             lk.lock();
-            if (ok) {
+            if (outcome == WriteOutcome::kDone) {
                 frames_sent_.fetch_add(n, std::memory_order_relaxed);
             } else {
                 send_failed_ = true;
                 frames_dropped_.fetch_add(n, std::memory_order_relaxed);
             }
         }
-        if (closing_ || send_failed_) drop_queue_locked();
+        if (closing_ || send_failed_) {
+            drop_parked_locked();
+            drop_queue_locked();
+        }
         writer_active_ = false;
+        return false;
     }
 
     /// Direct-policy flush of the single frame staged in batch_. Entered
-    /// with mu_ held and writer_active_ set.
-    void flush_batch(std::unique_lock<std::mutex>& lk) {
+    /// with mu_ held and writer_active_ set. Blocking sockets only (reactor
+    /// mode forces kCoalesce), so the write never parks.
+    void flush_direct(std::unique_lock<std::mutex>& lk) {
+        stage_batch();
         lk.unlock();
-        const bool ok = write_batch();
+        const WriteOutcome outcome = write_batch_step();
         for (auto& b : batch_) b.release();
         batch_.clear();
+        iov_.clear();
+        iov_at_ = 0;
         lk.lock();
         writer_active_ = false;
-        if (ok) {
+        if (outcome == WriteOutcome::kDone) {
             frames_sent_.fetch_add(1, std::memory_order_relaxed);
         } else {
             send_failed_ = true;
@@ -237,15 +406,15 @@ private:
         const int err = send_errno_;
         lk.unlock();
         cv_.notify_all();
-        if (!ok) {
+        if (outcome != WriteOutcome::kDone) {
             throw TransportError(std::string("send: ") + std::strerror(err));
         }
     }
 
-    /// Ship batch_ with sendmsg(MSG_NOSIGNAL), advancing iovecs across
-    /// partial writes. Returns false (with send_errno_ set) on failure.
-    bool write_batch() {
+    /// Build the iovec array for batch_ and account the flush attempt.
+    void stage_batch() {
         iov_.clear();
+        iov_at_ = 0;
         for (auto& b : batch_) {
             if (b.size() == 0) continue;
             iov_.push_back(iovec{b.data(), b.size()});
@@ -256,32 +425,43 @@ private:
                !max_batch_.compare_exchange_weak(prev, batch_.size(),
                                                  std::memory_order_relaxed)) {
         }
-        std::size_t at = 0;
-        while (at < iov_.size()) {
+    }
+
+    /// Ship the staged iovecs with sendmsg(MSG_NOSIGNAL), advancing across
+    /// partial writes. kAgain (non-blocking sockets only) keeps iov_at_ and
+    /// the partially-advanced iovecs so a later call resumes exactly where
+    /// the socket stopped accepting bytes.
+    WriteOutcome write_batch_step() {
+        while (iov_at_ < iov_.size()) {
             msghdr mh{};
-            mh.msg_iov = iov_.data() + at;
-            mh.msg_iovlen = iov_.size() - at;
+            mh.msg_iov = iov_.data() + iov_at_;
+            mh.msg_iovlen = iov_.size() - iov_at_;
             const ssize_t w = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
             if (w < 0) {
                 if (errno == EINTR) continue;
+                if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+                    nonblocking_.load(std::memory_order_relaxed)) {
+                    return WriteOutcome::kAgain;
+                }
                 send_errno_ = errno;
-                return false;
+                return WriteOutcome::kError;
             }
             send_syscalls_.fetch_add(1, std::memory_order_relaxed);
             std::size_t advanced = static_cast<std::size_t>(w);
-            while (advanced > 0 && at < iov_.size()) {
-                if (advanced >= iov_[at].iov_len) {
-                    advanced -= iov_[at].iov_len;
-                    ++at;
+            while (advanced > 0 && iov_at_ < iov_.size()) {
+                if (advanced >= iov_[iov_at_].iov_len) {
+                    advanced -= iov_[iov_at_].iov_len;
+                    ++iov_at_;
                 } else {
-                    iov_[at].iov_base =
-                        static_cast<std::uint8_t*>(iov_[at].iov_base) + advanced;
-                    iov_[at].iov_len -= advanced;
+                    iov_[iov_at_].iov_base =
+                        static_cast<std::uint8_t*>(iov_[iov_at_].iov_base) +
+                        advanced;
+                    iov_[iov_at_].iov_len -= advanced;
                     advanced = 0;
                 }
             }
         }
-        return true;
+        return WriteOutcome::kDone;
     }
 
     int fd_;
@@ -296,11 +476,24 @@ private:
     bool writer_active_ = false;
     bool closing_ = false;
     bool send_failed_ = false;
+    /// Reactor mode: a batch hit EAGAIN mid-write and waits for EPOLLOUT.
+    bool parked_ = false;
+    // Reactor read-pump cork: replies staged in the intake flush together
+    // at uncork instead of one sendmsg each (set_corked).
+    bool corked_ = false;
+    // recv_frame staging (reader thread only, untouched in reactor mode).
+    std::vector<std::uint8_t> rbuf_;
+    std::size_t rpos_ = 0;
+    std::size_t rlen_ = 0;
     int send_errno_ = 0;
+    std::atomic<bool> nonblocking_{false};
+    std::function<void()> request_writable_;
 
-    // Owned by whichever thread holds writer_active_.
+    // Owned by whichever thread holds writer_active_ (or, while parked_,
+    // by nobody — protected by mu_ until a resumer claims it).
     std::vector<FrameBuffer> batch_;
     std::vector<iovec> iov_;
+    std::size_t iov_at_ = 0; ///< first iovec not yet fully written
 
     std::atomic<std::uint64_t> frames_sent_{0};
     std::atomic<std::uint64_t> frames_received_{0};
@@ -350,7 +543,7 @@ TcpAcceptor::TcpAcceptor(std::uint16_t port, const TcpOptions& options)
     if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
         fail_errno("bind");
     }
-    if (::listen(fd_, 16) != 0) fail_errno("listen");
+    if (::listen(fd_, 128) != 0) fail_errno("listen");
     socklen_t len = sizeof(addr);
     if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
         fail_errno("getsockname");

@@ -22,6 +22,12 @@
 //
 // All writes use sendmsg(MSG_NOSIGNAL): a vanished peer surfaces as a
 // TransportError on the sending thread, never as a SIGPIPE process kill.
+//
+// Reactor mode (net/reactor.hpp): the transport exposes a ReactorHook, so
+// an epoll loop can own the read direction (recv_frame then throws) and
+// resume EAGAIN-parked coalescing batches on EPOLLOUT. Entering reactor
+// mode sets O_NONBLOCK and forces kCoalesce — the parked batch lives in
+// the coalescer's staging area, which kDirect doesn't have.
 #pragma once
 
 #include "net/transport.hpp"

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -41,6 +42,49 @@ struct TransportStats {
     std::uint64_t max_batch_frames = 0; ///< largest single-flush batch
 };
 
+/// Hooks an epoll reactor (net/reactor.hpp) uses to drive a transport
+/// without dedicating a blocking thread to it. Obtained via
+/// Transport::reactor_hook(); transports that cannot be multiplexed (the
+/// in-process loopback has no pollable descriptor) return nullptr and
+/// callers fall back to a blocking reader thread.
+class ReactorHook {
+public:
+    virtual ~ReactorHook() = default;
+
+    /// The pollable descriptor the reactor registers with epoll.
+    virtual int descriptor() const noexcept = 0;
+
+    /// Switch the transport into non-blocking reactor mode. The descriptor
+    /// is set O_NONBLOCK; recv_frame() becomes invalid (the reactor owns
+    /// the read direction and assembles frames itself); send_frame keeps
+    /// its blocking-backpressure contract but, instead of blocking in
+    /// sendmsg when the socket backs up, parks the unwritten output and
+    /// invokes `request_writable` (from any thread) so the reactor arms
+    /// EPOLLOUT and resumes the flush when the socket drains.
+    virtual void enter_reactor_mode(std::function<void()> request_writable) = 0;
+
+    /// Reactor-thread call on EPOLLOUT (or before deregistration):
+    /// continue the coalescing drain without blocking. Returns true when
+    /// EPOLLOUT interest can be dropped — nothing is parked, or another
+    /// thread owns the drain and will re-invoke request_writable on its
+    /// own EAGAIN.
+    virtual bool flush_pending_writes() = 0;
+
+    /// Upper bound on header + body the reactor's frame assembly accepts
+    /// (mirrors the transport's own receive bound).
+    virtual std::size_t max_frame_bytes() const noexcept = 0;
+
+    /// Account a reactor-assembled frame in the transport's stats().
+    virtual void note_frame_received() noexcept = 0;
+
+    /// Reactor-thread hint bracketing one read pump: while corked,
+    /// send_frame enqueues without flushing (unless the intake fills, to
+    /// preserve the backpressure contract), so every reply a pump's frame
+    /// callbacks produce leaves in one scatter-gather flush at uncork.
+    /// Default no-op for transports without a coalescing writer.
+    virtual void set_corked(bool) {}
+};
+
 /// Blocking, frame-oriented, bidirectional byte channel.
 class Transport {
 public:
@@ -63,6 +107,10 @@ public:
     virtual std::string peer_description() const = 0;
 
     virtual TransportStats stats() const { return {}; }
+
+    /// Non-null when this transport can hand its descriptor to an epoll
+    /// reactor (see ReactorHook). Default: not multiplexable.
+    virtual ReactorHook* reactor_hook() noexcept { return nullptr; }
 
     /// Compat shim: copy a vector-built frame through the frame pool.
     void send_frame(const std::vector<std::uint8_t>& frame) {

@@ -3,6 +3,7 @@
 
 #include "cdr/giop.hpp"
 #include "core/registry.hpp"
+#include "net/reactor.hpp"
 #include "rt/thread.hpp"
 
 #include <atomic>
@@ -323,10 +324,12 @@ private:
 };
 
 /// Level-1 POA/Acceptor: adopts wires, reads frames, feeds the pipeline.
+/// Reactor-capable wires are served by the shared epoll pool (O(1)
+/// resident reader threads under fan-in); others get a reader thread.
 class PoaAcceptorComponent final : public core::Component {
 public:
-    explicit PoaAcceptorComponent(const core::ComponentContext& ctx)
-        : core::Component(ctx) {
+    PoaAcceptorComponent(const core::ComponentContext& ctx, bool use_reactor)
+        : core::Component(ctx), use_reactor_(use_reactor) {
         add_out_port<GiopFrame>("toTransport", "GiopFrame");
     }
 
@@ -337,6 +340,13 @@ public:
         if (stopping_) throw OrbError("POA is shut down");
         net::Transport* raw = wire.get();
         wires_.push_back(std::move(wire));
+        if (use_reactor_ && raw->reactor_hook() != nullptr) {
+            reactor_wires_.push_back(net::Reactor::shared().register_wire(
+                *raw, [this, raw](net::FrameBuffer frame) {
+                    feed_pipeline(*raw, frame.data(), frame.size());
+                }));
+            return;
+        }
         readers_.push_back(std::make_unique<rt::RtThread>(
             "poa-reader-" + std::to_string(readers_.size()), rt::Priority{},
             [this, raw] { reader_loop(*raw); }));
@@ -344,19 +354,49 @@ public:
 
     void stop() {
         std::vector<std::unique_ptr<rt::RtThread>> readers;
+        std::vector<std::uint64_t> reactor_wires;
         {
             std::lock_guard lk(mu_);
             if (stopping_) return;
             stopping_ = true;
-            for (auto& w : wires_) w->close();
+            reactor_wires.swap(reactor_wires_);
             readers.swap(readers_);
+        }
+        // Reactor wires first: deregistration flushes any parked replies
+        // on the loop thread and guarantees no frame handler runs past
+        // this point, so the close below cannot race a delivery.
+        for (const std::uint64_t id : reactor_wires) {
+            net::Reactor::shared().deregister_wire(id);
+        }
+        {
+            std::lock_guard lk(mu_);
+            for (auto& w : wires_) w->close();
         }
         for (auto& r : readers) r->join();
     }
 
 private:
-    void reader_loop(net::Transport& wire) {
+    /// One inbound frame into the pipeline. False when the pipeline is
+    /// shutting down (message pool gone) and the caller should stop.
+    bool feed_pipeline(net::Transport& wire, const std::uint8_t* data,
+                       std::size_t size) {
+        if (size > GiopFrame::kCapacity) {
+            return true; // oversized frame: drop (would be MARSHAL error)
+        }
         auto& out = out_port_t<GiopFrame>("toTransport");
+        GiopFrame* msg = nullptr;
+        try {
+            msg = out.get_message();
+        } catch (const std::exception&) {
+            return false; // pipeline shut down under us
+        }
+        msg->assign(data, size);
+        msg->reply_wire = &wire;
+        out.send(msg, out.default_priority());
+        return true;
+    }
+
+    void reader_loop(net::Transport& wire) {
         for (;;) {
             std::optional<net::FrameBuffer> frame;
             try {
@@ -365,24 +405,15 @@ private:
                 return; // connection torn down
             }
             if (!frame.has_value()) return;
-            if (frame->size() > GiopFrame::kCapacity) {
-                continue; // oversized frame: drop (would be MARSHAL error)
-            }
-            GiopFrame* msg = nullptr;
-            try {
-                msg = out.get_message();
-            } catch (const std::exception&) {
-                return; // pipeline shut down under us
-            }
-            msg->assign(frame->data(), frame->size());
-            msg->reply_wire = &wire;
-            out.send(msg, out.default_priority());
+            if (!feed_pipeline(wire, frame->data(), frame->size())) return;
         }
     }
 
     std::mutex mu_;
     bool stopping_ = false;
+    bool use_reactor_ = true;
     std::vector<std::unique_ptr<net::Transport>> wires_;
+    std::vector<std::uint64_t> reactor_wires_;
     std::vector<std::unique_ptr<rt::RtThread>> readers_;
 };
 
@@ -482,7 +513,8 @@ struct ServerOrb::Impl {
     RequestProcessingComponent* rp = nullptr;
 };
 
-ServerOrb::ServerOrb() : impl_(std::make_unique<Impl>()) {
+ServerOrb::ServerOrb(ServerOrbOptions options)
+    : impl_(std::make_unique<Impl>()) {
     register_orb_message_types();
     core::RtsjAttributes attrs;
     attrs.immortal_size = 8 * 1024 * 1024;
@@ -491,8 +523,8 @@ ServerOrb::ServerOrb() : impl_(std::make_unique<Impl>()) {
     app_ = std::make_unique<core::Application>("compadres-server-orb", attrs);
 
     impl_->orb = &app_->create_immortal<ServerOrbComponent>("Orb");
-    impl_->poa =
-        &app_->create_scoped<PoaAcceptorComponent>("Poa", *impl_->orb, 1);
+    impl_->poa = &app_->create_scoped<PoaAcceptorComponent>(
+        "Poa", *impl_->orb, 1, options.use_reactor);
     impl_->transport = &app_->create_scoped<ServerTransportComponent>(
         "ServerTransport", *impl_->poa, 2);
     impl_->rp = &app_->create_scoped<RequestProcessingComponent>(

@@ -24,9 +24,19 @@
 
 namespace compadres::orb {
 
+struct ServerOrbOptions {
+    /// Serve adopted wires from the shared epoll reactor pool
+    /// (net/reactor.hpp) instead of spawning one blocking poa-reader
+    /// thread per connection — the difference between O(connections)
+    /// and O(1) resident reader threads under fan-in. Wires without a
+    /// pollable descriptor (the in-process loopback) always fall back
+    /// to a per-wire reader thread.
+    bool use_reactor = true;
+};
+
 class ServerOrb {
 public:
-    ServerOrb();
+    explicit ServerOrb(ServerOrbOptions options = {});
     ~ServerOrb();
 
     ServerOrb(const ServerOrb&) = delete;
@@ -34,9 +44,10 @@ public:
 
     void register_servant(const std::string& object_key, Servant servant);
 
-    /// Adopt a connected wire: a reader thread feeds its requests into the
-    /// POA pipeline; replies go back on the same wire. May be called for
-    /// multiple connections.
+    /// Adopt a connected wire: its requests feed the POA pipeline (from a
+    /// reactor loop or a dedicated reader thread, per ServerOrbOptions);
+    /// replies go back on the same wire. May be called for multiple
+    /// connections.
     void attach(std::unique_ptr<net::Transport> wire);
 
     /// Stop reader threads and the component pipeline.

@@ -115,6 +115,26 @@ RemoteBridge::RemoteBridge(core::Application& app,
       wire_(std::move(wire)) {
     register_builtin_serializers();
     component_ = &app_->create_immortal<core::Component>(name_);
+    // Surface the wire and frame-pool health next to the delivery-fabric
+    // counters; removed in shutdown() before the wire can die.
+    counter_token_ = app_->add_counter_source([this] {
+        core::CounterGroup g;
+        g.source = "bridge:" + name_;
+        const net::TransportStats wire_stats = wire_->stats();
+        const net::FrameBufferPool::Stats pool =
+            net::FrameBufferPool::global().stats();
+        g.counters = {
+            {"frames_sent", frames_sent()},
+            {"frames_received", frames_received()},
+            {"frames_dropped", frames_dropped()},
+            {"send_syscalls", wire_stats.send_syscalls},
+            {"send_batches", wire_stats.send_batches},
+            {"pool_hits", pool.hits},
+            {"pool_tls_hits", pool.tls_hits},
+            {"pool_misses", pool.allocations},
+        };
+        return g;
+    });
 }
 
 RemoteBridge::~RemoteBridge() { shutdown(); }
@@ -178,9 +198,24 @@ void RemoteBridge::import_route(const std::string& route,
 
 void RemoteBridge::start() {
     if (started_.exchange(true)) return;
-    // Fixed-size id cache, allocated before the reader exists so the hot
+    // Fixed-size id cache, allocated before any reader exists so the hot
     // path never grows it. Ids above the bound just take the map path.
-    id_cache_.assign(64, {});
+    id_cache_.reset(64);
+    if (options_.reader_model == ReaderModel::kReactor &&
+        wire_->reactor_hook() != nullptr) {
+        reactor_ = options_.reactor != nullptr ? options_.reactor
+                                               : &net::Reactor::shared();
+        reactor_wire_ = reactor_->register_wire(
+            *wire_,
+            [this](net::FrameBuffer frame) {
+                // In-place decode on the resident buffer; the pooled
+                // storage recycles when `frame` dies on return.
+                handle_frame(frame.data(), frame.size());
+            },
+            /*on_closed=*/{}, options_.reactor_band);
+        reactor_attached_ = true;
+        return;
+    }
     reader_ = std::make_unique<rt::RtThread>(name_ + "-reader", rt::Priority{},
                                              [this] { reader_loop(); });
 }
@@ -212,20 +247,15 @@ void RemoteBridge::handle_frame(const std::uint8_t* frame, std::size_t size) {
             dropped_.fetch_add(1, std::memory_order_relaxed);
             return;
         }
-        // Routes are frozen once start() spawns this thread, so no lock is
-        // needed anywhere here. Repeat traffic resolves through the
-        // request-id cache (array index + one name check, the name check
-        // because ids are peer-assigned and untrusted); the map — found by
-        // string_view thanks to std::less<>, no temporary std::string — is
-        // only walked for untagged or first-seen ids.
-        const ImportRoute* found = nullptr;
+        // Routes are frozen at start(), so imports_ needs no lock here.
+        // Repeat traffic resolves through the lock-free request-id cache
+        // (array index + one name check — ids are peer-assigned and
+        // untrusted; see route_cache.hpp for why concurrent readers are
+        // safe); the map — found by string_view thanks to std::less<>, no
+        // temporary std::string — is only walked for untagged or
+        // first-seen ids.
         const std::uint32_t id = req.header.request_id;
-        if (id < id_cache_.size()) {
-            const IdCacheEntry& entry = id_cache_[id];
-            if (entry.route != nullptr && entry.name == req.header.operation) {
-                found = entry.route;
-            }
-        }
+        const ImportRoute* found = id_cache_.lookup(id, req.header.operation);
         if (found == nullptr) {
             auto it = imports_.find(req.header.operation);
             if (it == imports_.end()) {
@@ -233,9 +263,7 @@ void RemoteBridge::handle_frame(const std::uint8_t* frame, std::size_t size) {
                 return;
             }
             found = &it->second;
-            if (id != 0 && id < id_cache_.size()) {
-                id_cache_[id] = IdCacheEntry{found, it->first};
-            }
+            if (id != 0) id_cache_.publish(id, found, it->first);
         }
         const ImportRoute& route = *found;
         cdr::InputStream body(req.payload, req.payload_len, req.byte_order);
@@ -299,11 +327,22 @@ void RemoteBridge::handle_frame_legacy(const std::uint8_t* frame,
 
 void RemoteBridge::shutdown() {
     if (stopped_.exchange(true)) return;
-    // close() unblocks the reader and deterministically drops whatever the
-    // coalescing writer still has queued (counted in the wire's
-    // frames_dropped, which frames_dropped() folds in).
+    // Deterministic teardown order: (1) deregister from the reactor —
+    // this flushes the coalescing intake on the loop thread before the
+    // descriptor leaves epoll, so no frame handler runs past this line;
+    // (2) close the wire, which drops-and-counts anything still unsent;
+    // (3) join the blocking reader, if this bridge ran one; (4) retire
+    // the counter source so trace_report can never touch a dead wire.
+    if (reactor_attached_) {
+        reactor_->deregister_wire(reactor_wire_);
+        reactor_attached_ = false;
+    }
     if (wire_ != nullptr) wire_->close();
     if (reader_ != nullptr) reader_->join();
+    if (counter_token_ != 0) {
+        app_->remove_counter_source(counter_token_);
+        counter_token_ = 0;
+    }
 }
 
 } // namespace compadres::remote

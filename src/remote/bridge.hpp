@@ -20,7 +20,9 @@
 #pragma once
 
 #include "core/application.hpp"
+#include "net/reactor.hpp"
 #include "net/transport.hpp"
+#include "remote/route_cache.hpp"
 #include "remote/serializer.hpp"
 #include "rt/thread.hpp"
 
@@ -40,6 +42,19 @@ public:
     using std::runtime_error::runtime_error;
 };
 
+/// How inbound frames reach handle_frame.
+enum class ReaderModel : std::uint8_t {
+    /// One blocking reader thread per wire — a stack, a kernel thread,
+    /// and scheduler churn per connection. Kept selectable as the
+    /// same-run baseline (mirroring the legacy_wire_path toggle).
+    kThreadPerWire,
+    /// The wire's descriptor joins the shared epoll reactor pool
+    /// (net/reactor.hpp): a bounded set of loop threads serves every
+    /// wire. Transports without a pollable descriptor (the in-process
+    /// loopback) silently fall back to kThreadPerWire.
+    kReactor,
+};
+
 struct BridgeOptions {
     /// Route frames through the pre-pool wire path: fresh buffers and
     /// header-string copies per message, payload copied before decode.
@@ -47,6 +62,11 @@ struct BridgeOptions {
     /// the old allocation profile in the same run. Wire-compatible with
     /// the fast path (the frames are byte-identical).
     bool legacy_wire_path = false;
+    ReaderModel reader_model = ReaderModel::kReactor;
+    /// Reactor to register with; nullptr uses net::Reactor::shared().
+    net::Reactor* reactor = nullptr;
+    /// Priority band for loop assignment (band % threads); -1 round-robin.
+    int reactor_band = -1;
 };
 
 class RemoteBridge {
@@ -70,8 +90,14 @@ public:
     void import_route(const std::string& route, core::InPortBase& local_in,
                       int priority = -1);
 
-    /// Spawn the reader thread. Routes may not be added after start().
+    /// Start receiving: register with the reactor (ReaderModel::kReactor
+    /// on a reactor-capable wire) or spawn the blocking reader thread.
+    /// Routes may not be added after start().
     void start();
+
+    /// True when frames are delivered by a reactor loop rather than a
+    /// dedicated reader thread (resolved at start()).
+    bool using_reactor() const noexcept { return reactor_attached_; }
 
     /// Close the wire and join the reader. Idempotent.
     void shutdown();
@@ -104,17 +130,6 @@ private:
 
     class ExportHandler;
 
-    /// Request-id route cache. The peer stamps each export route's id into
-    /// the GIOP request_id field (legacy frames leave it 0); after the
-    /// first frame the reader resolves a repeat id with an array index and
-    /// one name check instead of a map lookup. Touched by the reader
-    /// thread only, populated lazily from imports_ (whose map keys give
-    /// the entries stable string_view names).
-    struct IdCacheEntry {
-        const ImportRoute* route = nullptr;
-        std::string_view name;
-    };
-
     void reader_loop();
     void handle_frame(const std::uint8_t* frame, std::size_t size);
     void handle_frame_legacy(const std::uint8_t* frame, std::size_t size);
@@ -126,9 +141,19 @@ private:
     std::unique_ptr<net::Transport> wire_;
     std::mutex mu_; ///< guards imports_ before start(); frozen after
     std::map<std::string, ImportRoute, std::less<>> imports_;
-    std::vector<IdCacheEntry> id_cache_; ///< sized at start(); never grows
-    std::uint32_t next_export_id_ = 0;   ///< ids start at 1; 0 = untagged
+    /// Request-id route cache, sized at start(). The peer stamps each
+    /// export route's id into the GIOP request_id field (legacy frames
+    /// leave it 0); repeat traffic resolves with an array index and one
+    /// name check instead of a map lookup. Lock-free publish/lookup so
+    /// reactor loop threads and reader threads can share it — see
+    /// remote/route_cache.hpp for the memory-order argument.
+    RouteIdCache<ImportRoute> id_cache_;
+    std::uint32_t next_export_id_ = 0; ///< ids start at 1; 0 = untagged
     std::unique_ptr<rt::RtThread> reader_;
+    net::Reactor* reactor_ = nullptr;  ///< resolved at start()
+    std::uint64_t reactor_wire_ = 0;
+    bool reactor_attached_ = false;
+    std::uint64_t counter_token_ = 0;
     std::atomic<bool> started_{false};
     std::atomic<bool> stopped_{false};
     std::atomic<std::uint64_t> sent_{0};

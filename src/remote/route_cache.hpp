@@ -1,0 +1,93 @@
+// Request-id route cache, safe for concurrent readers.
+//
+// The sending bridge stamps each export route's small integer id into the
+// GIOP request_id field; the receiving side resolves repeat ids with an
+// array index and one name check instead of a route-map lookup. The cache
+// was originally touched by exactly one reader thread per wire; under the
+// epoll reactor (net/reactor.hpp) frames for one bridge can be handled by
+// a pooled loop thread while another thread (a second wire, a test, a
+// late thread-per-wire reader) resolves the same cache, so slots are
+// published atomically.
+//
+// Memory-order argument:
+//   * A slot holds an atomic pointer to an immutable Entry. publish()
+//     fully constructs the Entry (route pointer + name view) *before* the
+//     release store of the slot pointer; lookup()'s acquire load therefore
+//     synchronizes-with the store, and every reader that observes the
+//     pointer also observes the Entry's fields (release/acquire pairing —
+//     no reader can see a half-written entry).
+//   * Entries are write-once: the slot transitions nullptr -> entry via
+//     compare_exchange and never changes again, so there is no ABA and no
+//     reclamation while readers run. Entries are freed only by
+//     reset()/destruction, which the owner calls strictly before or after
+//     the reader threads exist.
+//   * Ids are peer-assigned and untrusted, hence the name check in
+//     lookup(): a stale or hostile id that aliases a different route fails
+//     the compare and falls back to the map. The referenced name storage
+//     (the import map's keys) is frozen before readers start.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace compadres::remote {
+
+template <typename Route>
+class RouteIdCache {
+public:
+    RouteIdCache() = default;
+    ~RouteIdCache() { reset(0); }
+
+    RouteIdCache(const RouteIdCache&) = delete;
+    RouteIdCache& operator=(const RouteIdCache&) = delete;
+
+    /// Size the slot array (ids >= `slots` always take the slow path) and
+    /// free previous entries. NOT safe concurrently with lookup/publish —
+    /// call before readers start or after they stop.
+    void reset(std::size_t slots) {
+        for (auto& slot : slots_) {
+            delete slot.load(std::memory_order_relaxed);
+        }
+        slots_.clear();
+        if (slots > 0) {
+            slots_ = std::vector<std::atomic<const Entry*>>(slots);
+        }
+    }
+
+    /// The route published for `id`, or nullptr when the id is unknown,
+    /// out of range, or names a different operation. Wait-free.
+    const Route* lookup(std::uint32_t id, std::string_view operation) const {
+        if (id >= slots_.size()) return nullptr;
+        const Entry* entry = slots_[id].load(std::memory_order_acquire);
+        if (entry == nullptr || entry->name != operation) return nullptr;
+        return entry->route;
+    }
+
+    /// Record `id` -> `route` (first writer wins; later publishes for the
+    /// same id are dropped, keeping entries immutable). `name` must
+    /// outlive the cache — it is the map key the route lives under.
+    void publish(std::uint32_t id, const Route* route, std::string_view name) {
+        if (id >= slots_.size()) return;
+        const Entry* expected = nullptr;
+        auto* fresh = new Entry{route, name};
+        if (!slots_[id].compare_exchange_strong(expected, fresh,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed)) {
+            delete fresh; // lost the race (or a stale id re-use): keep first
+        }
+    }
+
+    std::size_t capacity() const noexcept { return slots_.size(); }
+
+private:
+    struct Entry {
+        const Route* route;
+        std::string_view name;
+    };
+
+    std::vector<std::atomic<const Entry*>> slots_;
+};
+
+} // namespace compadres::remote

@@ -31,10 +31,11 @@ struct IntSink {
     std::vector<int> values;
 
     void add(int v) {
-        {
-            std::lock_guard lk(mu);
-            values.push_back(v);
-        }
+        // Notify under the mutex: the waiter owns this stack-allocated sink
+        // and tears it down the moment wait_for returns, so notifying after
+        // unlock races the destruction of the condvar being notified.
+        std::lock_guard lk(mu);
+        values.push_back(v);
         cv.notify_all();
     }
     bool wait_for(std::size_t n) {
@@ -405,11 +406,20 @@ TEST_F(BridgeTest, ShutdownWithQueuedFramesReportsDropped) {
     // Flood a TCP wire nobody reads: the coalescer's queue is still full
     // when shutdown() closes the wire, and those frames must be dropped
     // deterministically (no hang) and reported via frames_dropped().
-    net::TcpAcceptor acceptor(0);
+    //
+    // Socket buffers are clamped small on both ends: shutdown flushes
+    // whatever the kernel will still accept before dropping the rest, and
+    // with default (multi-megabyte, autotuned) buffers the entire backlog
+    // can fit — flushing everything and legitimately reporting zero drops.
+    // Bounded buffers guarantee an unflushable remainder to count.
+    net::TcpOptions opts;
+    opts.send_buffer_bytes = 32 * 1024;
+    opts.recv_buffer_bytes = 32 * 1024;
+    net::TcpAcceptor acceptor(0, opts);
     core::Application app("a");
     std::unique_ptr<net::Transport> server_wire;
     std::thread accept_thread([&] { server_wire = acceptor.accept(); });
-    auto client_wire = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    auto client_wire = net::tcp_connect("127.0.0.1", acceptor.bound_port(), opts);
     accept_thread.join();
 
     remote::RemoteBridge bridge(app, std::move(client_wire));

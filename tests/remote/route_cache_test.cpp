@@ -1,0 +1,138 @@
+// RouteIdCache: lock-free publish/lookup under concurrent readers.
+//
+// The interesting executions are racy by construction, so this suite is
+// written to be run under TSan (cmake -DCOMPADRES_SANITIZE=thread ..) as
+// well as plain: readers hammer lookup() while writers race publish() for
+// the same slots, and the release/acquire argument in route_cache.hpp is
+// what keeps TSan silent. Without TSan the tests still check the
+// functional contract (first writer wins, name mismatch rejects, out of
+// range ids fall through).
+#include "remote/route_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using compadres::remote::RouteIdCache;
+
+namespace {
+struct Route {
+    int tag = 0;
+};
+} // namespace
+
+TEST(RouteIdCache, LookupMissesUntilPublished) {
+    RouteIdCache<Route> cache;
+    cache.reset(8);
+    EXPECT_EQ(cache.capacity(), 8u);
+    EXPECT_EQ(cache.lookup(3, "r3"), nullptr);
+
+    Route r;
+    cache.publish(3, &r, "r3");
+    EXPECT_EQ(cache.lookup(3, "r3"), &r);
+}
+
+TEST(RouteIdCache, NameMismatchRejectsAliasedId) {
+    // Peer-assigned ids are untrusted: an id that aliases a different
+    // operation must miss, not return the wrong route.
+    RouteIdCache<Route> cache;
+    cache.reset(4);
+    Route r;
+    cache.publish(1, &r, "telemetry");
+    EXPECT_EQ(cache.lookup(1, "telemetry"), &r);
+    EXPECT_EQ(cache.lookup(1, "command"), nullptr);
+}
+
+TEST(RouteIdCache, OutOfRangeIdsAreIgnored) {
+    RouteIdCache<Route> cache;
+    cache.reset(4);
+    Route r;
+    cache.publish(99, &r, "r"); // silently dropped
+    EXPECT_EQ(cache.lookup(99, "r"), nullptr);
+    EXPECT_EQ(cache.lookup(4, "r"), nullptr);
+}
+
+TEST(RouteIdCache, FirstPublishWins) {
+    RouteIdCache<Route> cache;
+    cache.reset(4);
+    Route first, second;
+    cache.publish(2, &first, "op");
+    cache.publish(2, &second, "op"); // dropped, entry stays immutable
+    EXPECT_EQ(cache.lookup(2, "op"), &first);
+}
+
+TEST(RouteIdCache, ResetFreesAndResizes) {
+    RouteIdCache<Route> cache;
+    cache.reset(4);
+    Route r;
+    cache.publish(0, &r, "op");
+    cache.reset(2); // frees the entry; new empty slots
+    EXPECT_EQ(cache.lookup(0, "op"), nullptr);
+    EXPECT_EQ(cache.capacity(), 2u);
+}
+
+TEST(RouteIdCache, ConcurrentReadersSeeOnlyCompleteEntries) {
+    // The reactor scenario: loop threads resolve ids while another thread
+    // (a second wire's reader, or a racing duplicate frame) publishes the
+    // same slots. A reader must observe either a miss or a fully-formed
+    // entry whose name matches — never a torn one. Run under TSan to
+    // check the release/acquire pairing, not just the outcome.
+    constexpr std::size_t kSlots = 64;
+    constexpr int kReaders = 4;
+    constexpr int kWriters = 2;
+    constexpr int kRounds = 2000;
+
+    // Stable storage outliving the cache, as the bridge's import map
+    // guarantees for its keys.
+    std::vector<Route> routes(kSlots);
+    std::vector<std::string> names(kSlots);
+    for (std::size_t i = 0; i < kSlots; ++i) {
+        routes[i].tag = static_cast<int>(i);
+        names[i] = "route-" + std::to_string(i);
+    }
+
+    RouteIdCache<Route> cache;
+    cache.reset(kSlots);
+
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> hits{0};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&] {
+            while (!go.load(std::memory_order_acquire)) {}
+            for (int round = 0; round < kRounds; ++round) {
+                const std::uint32_t id =
+                    static_cast<std::uint32_t>(round % kSlots);
+                cache.publish(id, &routes[id], names[id]);
+            }
+        });
+    }
+    for (int r = 0; r < kReaders; ++r) {
+        threads.emplace_back([&] {
+            while (!go.load(std::memory_order_acquire)) {}
+            for (int round = 0; round < kRounds; ++round) {
+                const std::uint32_t id =
+                    static_cast<std::uint32_t>(round % kSlots);
+                const Route* found = cache.lookup(id, names[id]);
+                if (found != nullptr) {
+                    // A hit is always the one immutable entry for this id.
+                    ASSERT_EQ(found, &routes[id]);
+                    ASSERT_EQ(found->tag, static_cast<int>(id));
+                    hits.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+
+    // Everything was published by the end, so late lookups all hit.
+    for (std::size_t i = 0; i < kSlots; ++i) {
+        EXPECT_EQ(cache.lookup(static_cast<std::uint32_t>(i), names[i]),
+                  &routes[i]);
+    }
+    EXPECT_GT(hits.load(), 0u);
+}
