@@ -109,20 +109,48 @@ struct Command {
 /// in place), so epoll_ctl never races epoll_wait.
 class Reactor::Loop {
 public:
+    /// Throws TransportError when the epoll/eventfd plumbing cannot be
+    /// set up: a loop whose epoll_wait would EBADF on the first cycle
+    /// silently accepts wires and never delivers a frame, so the failure
+    /// must surface at construction, not as a dead pool.
     explicit Loop(std::size_t index, bool sched_batch_hint)
         : sched_batch_hint_(sched_batch_hint) {
         epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+        if (epfd_ < 0) {
+            throw TransportError(std::string("epoll_create1: ") +
+                                 std::strerror(errno));
+        }
         evfd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+        if (evfd_ < 0) {
+            const int err = errno;
+            ::close(epfd_);
+            throw TransportError(std::string("eventfd: ") +
+                                 std::strerror(err));
+        }
         epoll_event ev{};
         ev.events = EPOLLIN;
         ev.data.u64 = 0; // id 0 is reserved for the eventfd
-        ::epoll_ctl(epfd_, EPOLL_CTL_ADD, evfd_, &ev);
+        if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, evfd_, &ev) != 0) {
+            const int err = errno;
+            ::close(evfd_);
+            ::close(epfd_);
+            throw TransportError(std::string("epoll_ctl(eventfd): ") +
+                                 std::strerror(err));
+        }
         events_.resize(64);
         commands_.reserve(64);
         scratch_.reserve(64);
-        thread_ = std::make_unique<rt::RtThread>(
-            "reactor-" + std::to_string(index), rt::Priority{},
-            [this] { run(); });
+        try {
+            thread_ = std::make_unique<rt::RtThread>(
+                "reactor-" + std::to_string(index), rt::Priority{},
+                [this] { run(); });
+        } catch (...) {
+            // A throwing constructor skips the destructor: close the fds
+            // ourselves or they leak.
+            ::close(evfd_);
+            ::close(epfd_);
+            throw;
+        }
     }
 
     ~Loop() {
@@ -195,6 +223,8 @@ public:
             spurious_writables_.load(std::memory_order_relaxed);
         out.wakeups += wakeups_.load(std::memory_order_relaxed);
         out.wires_closed += wires_closed_.load(std::memory_order_relaxed);
+        out.register_failures +=
+            register_failures_.load(std::memory_order_relaxed);
     }
 
 private:
@@ -222,6 +252,10 @@ private:
 
     void run() {
         t_current_loop = this;
+        // Transports must see sends from this thread's callbacks as
+        // loop-thread sends (never block on intake backpressure that only
+        // this thread's EPOLLOUT handling could relieve).
+        mark_reactor_loop_thread();
         // Batch-hint the loop thread: an event loop that wakeup-preempts
         // the very producers that feed it sees one frame per edge and
         // never gets to coalesce (EEVDF preempts on wake far more eagerly
@@ -349,11 +383,20 @@ private:
         if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wire->hook->descriptor(), &ev) !=
             0) {
             // Unusable descriptor: surface as an immediate close.
+            register_failures_.fetch_add(1, std::memory_order_relaxed);
             wires_closed_.fetch_add(1, std::memory_order_relaxed);
             if (wire->on_closed) wire->on_closed();
             return;
         }
+        ReactorHook* hook = wire->hook;
         wires_.emplace(wire->id, std::move(wire));
+        // The transport entered reactor mode before this command was
+        // posted, so a concurrent send may already have parked on EAGAIN
+        // and requested writability while the wire was unknown here —
+        // that arm silently no-op'd. Re-flush now that the wire is
+        // registered: a batch still parked re-requests from its own
+        // EAGAIN, and this time do_arm (inline, same thread) sticks.
+        hook->flush_pending_writes();
     }
 
     /// Deliberate removal (deregister/stop): flush the coalescing intake
@@ -527,6 +570,7 @@ private:
     std::atomic<std::uint64_t> spurious_writables_{0};
     std::atomic<std::uint64_t> wakeups_{0};
     std::atomic<std::uint64_t> wires_closed_{0};
+    std::atomic<std::uint64_t> register_failures_{0};
 
     bool sched_batch_hint_ = true;
     std::unique_ptr<rt::RtThread> thread_; ///< started last in the ctor

@@ -68,6 +68,9 @@ struct ReactorStats {
     std::uint64_t wakeups = 0;            ///< eventfd command wakeups
     std::uint64_t wires_registered = 0;
     std::uint64_t wires_closed = 0;       ///< EOF/error-driven closes
+    /// Registrations whose EPOLL_CTL_ADD failed (unusable descriptor);
+    /// each also fired the wire's on_closed and counts in wires_closed.
+    std::uint64_t register_failures = 0;
 };
 
 class Reactor {
@@ -80,7 +83,11 @@ public:
 
     /// Complete inbound frame, delivered on the owning loop thread. The
     /// handler must not block indefinitely: it stalls every wire on the
-    /// same loop (that is the reactor bargain).
+    /// same loop (that is the reactor bargain). send_frame from a handler
+    /// is safe even under hard backpressure — a loop-thread sender never
+    /// waits for intake space (it would be waiting on its own EPOLLOUT);
+    /// it resumes a parked batch inline when possible and otherwise drops
+    /// the frame, counted in the transport's stats().frames_dropped.
     using FrameHandler = std::function<void(FrameBuffer)>;
     /// The wire hit EOF or a wire error and was removed from the loop.
     /// Runs once, on the loop thread, after epoll deregistration.

@@ -20,6 +20,11 @@ namespace compadres::net {
 
 namespace {
 
+/// Set by mark_reactor_loop_thread(): this thread delivers EPOLLOUT for
+/// the wires it owns, so it must never block waiting for the intake
+/// space that only its own event handling can free.
+thread_local bool t_reactor_loop_thread = false;
+
 [[noreturn]] void fail_errno(const std::string& what) {
     throw TransportError(what + ": " + std::strerror(errno));
 }
@@ -91,10 +96,42 @@ public:
             // Serialize writers on the same flag close() waits on.
             cv_.wait(lk, [&] { return closing_ || !writer_active_; });
             throw_if_unwritable();
-            writer_active_ = true;
-            batch_.push_back(std::move(frame));
-            flush_direct(lk); // unlocks around the write; rethrows on failure
-            return;
+            if (opts_.policy == WritePolicy::kDirect) {
+                writer_active_ = true;
+                batch_.push_back(std::move(frame));
+                flush_direct(lk); // unlocks around write; rethrows on failure
+                return;
+            }
+            // enter_reactor_mode flipped the policy while we waited (the
+            // flip can also leave a kAgain'd direct batch parked, see
+            // flush_direct): fall through to the coalescing path.
+        }
+        if (t_reactor_loop_thread && !closing_ && !send_failed_ &&
+            count_ == intake_.size()) {
+            // A loop-thread sender (frame/closed callback replying under
+            // backpressure) must never wait for intake space: the only
+            // drain that frees it is the EPOLLOUT this very thread
+            // delivers, so the wait below would deadlock the loop — and
+            // every wire it owns. One inline resume attempt either ships
+            // the parked batch (freeing intake slots) or re-parks on
+            // EAGAIN; if the intake is still full after it, a counted
+            // drop beats a frozen loop.
+            if (parked_ && !writer_active_) {
+                writer_active_ = true;
+                const bool want_writable = drain(lk);
+                if (want_writable) {
+                    lk.unlock();
+                    cv_.notify_all();
+                    if (request_writable_) request_writable_();
+                    lk.lock();
+                }
+            }
+            if (!closing_ && !send_failed_ && count_ == intake_.size()) {
+                frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+                lk.unlock();
+                frame.release();
+                return;
+            }
         }
         cv_.wait(lk, [&] {
             return closing_ || send_failed_ || count_ < intake_.size();
@@ -385,12 +422,30 @@ private:
     }
 
     /// Direct-policy flush of the single frame staged in batch_. Entered
-    /// with mu_ held and writer_active_ set. Blocking sockets only (reactor
-    /// mode forces kCoalesce), so the write never parks.
+    /// with mu_ held and writer_active_ set; returns (or throws) with mu_
+    /// released. Normally the socket is blocking and the write completes
+    /// or fails — but enter_reactor_mode can flip the fd to O_NONBLOCK
+    /// while this send is in flight (the only way a direct flush sees
+    /// kAgain), and that must not poison the transport: the remainder
+    /// parks exactly as drain() would, and the reactor's EPOLLOUT resumes
+    /// it. The policy is already kCoalesce for every later sender.
     void flush_direct(std::unique_lock<std::mutex>& lk) {
         stage_batch();
         lk.unlock();
         const WriteOutcome outcome = write_batch_step();
+        if (outcome == WriteOutcome::kAgain) {
+            lk.lock();
+            parked_ = true;
+            writer_active_ = false;
+            lk.unlock();
+            cv_.notify_all();
+            // kAgain implies nonblocking_, which enter_reactor_mode set
+            // (under mu_, since reacquired) after request_writable_ — the
+            // hook is safely visible. The frame is accounted as sent (or
+            // dropped) when the parked batch finishes in drain().
+            if (request_writable_) request_writable_();
+            return;
+        }
         for (auto& b : batch_) b.release();
         batch_.clear();
         iov_.clear();
@@ -504,6 +559,8 @@ private:
 };
 
 } // namespace
+
+void mark_reactor_loop_thread() noexcept { t_reactor_loop_thread = true; }
 
 std::unique_ptr<Transport> tcp_connect(const std::string& host,
                                        std::uint16_t port,

@@ -85,6 +85,16 @@ public:
     virtual void set_corked(bool) {}
 };
 
+/// Mark the calling thread as a reactor event-loop thread (one-way; the
+/// reactor calls it once at loop start). Transports consult the mark to
+/// keep backpressure from deadlocking the loop: under the reactor the
+/// only thing that frees a full coalescer intake is the EPOLLOUT that
+/// this very thread delivers, so a send_frame issued from a frame or
+/// closed callback must never wait for intake space. A marked-thread
+/// sender instead resumes a parked batch inline when it can and
+/// otherwise drops the frame, counted in stats().frames_dropped.
+void mark_reactor_loop_thread() noexcept;
+
 /// Blocking, frame-oriented, bidirectional byte channel.
 class Transport {
 public:

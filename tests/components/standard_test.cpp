@@ -126,7 +126,10 @@ TEST_F(StandardComponentsTest, WatchdogRaisesAlarmOnSilence) {
 TEST_F(StandardComponentsTest, WatchdogRecoversWhenHeartbeatsResume) {
     core::Application app("t");
     auto& dog = app.create_immortal<components::Watchdog>("Dog");
-    dog.set_deadline_ns(15'000'000);
+    // 30 ms deadline against 5 ms heartbeats: wide enough that scheduler
+    // jitter under a parallel test run cannot fake a missed beat, small
+    // enough that the silent phase below still barks.
+    dog.set_deadline_ns(30'000'000);
     auto& client = app.create_immortal<core::Component>("Client");
     auto& beat = client.add_out_port<core::MyInteger>("beat", "MyInteger");
     app.connect(client, "beat", dog, "heartbeat");

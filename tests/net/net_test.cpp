@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 using namespace compadres;
@@ -293,4 +295,57 @@ TEST(Tcp, CloseDropsQueuedFramesDeterministically) {
 
     const net::TransportStats stats = client->stats();
     EXPECT_GT(stats.frames_dropped, 0u);
+}
+
+TEST(Tcp, DirectPolicySurvivesReactorFlipMidSend) {
+    // enter_reactor_mode can flip the fd to O_NONBLOCK while a kDirect
+    // send is blocked in sendmsg: the next partial-write step then sees
+    // EAGAIN. That must park the remainder for EPOLLOUT resumption (here
+    // stood in for by a polling flusher thread), never poison the
+    // transport as a hard send failure.
+    net::TcpOptions direct;
+    direct.policy = net::WritePolicy::kDirect;
+    direct.send_buffer_bytes = 16 * 1024;
+    direct.recv_buffer_bytes = 16 * 1024;
+    net::TcpAcceptor acceptor(0, direct);
+    auto [client, server_side] = tcp_pair(acceptor, direct);
+
+    constexpr int kFrames = 32;
+    std::thread sender([&client] {
+        for (int i = 0; i < kFrames; ++i) {
+            client->send_frame(
+                make_frame(static_cast<std::uint32_t>(i), 32 * 1024));
+        }
+    });
+    // Let the sender fill the socket and block inside sendmsg, then flip.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    net::ReactorHook* hook = client->reactor_hook();
+    ASSERT_NE(hook, nullptr);
+    hook->enter_reactor_mode([] {}); // writability requests polled below
+    std::atomic<bool> done{false};
+    std::thread flusher([&] {
+        while (!done.load()) {
+            hook->flush_pending_writes();
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    });
+    for (int i = 0; i < kFrames; ++i) {
+        ASSERT_TRUE(server_side->recv_frame().has_value());
+    }
+    sender.join();
+    done.store(true);
+    flusher.join();
+
+    // Sent-counter accounting trails the last byte reaching the peer
+    // (the flusher bumps it after its sendmsg returns). Poll briefly.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (client->stats().frames_sent <
+               static_cast<std::uint64_t>(kFrames) &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const net::TransportStats stats = client->stats();
+    EXPECT_EQ(stats.frames_sent, static_cast<std::uint64_t>(kFrames));
+    EXPECT_EQ(stats.frames_dropped, 0u);
 }

@@ -254,6 +254,47 @@ TEST(Reactor, ParkedWriterResumesOnWritable) {
     EXPECT_GE(reactor.stats().writable_events, 1u);
 }
 
+TEST(Reactor, LoopThreadReplyUnderBackpressureNeverFreezesTheLoop) {
+    // The echo shape against a client that never reads its replies: the
+    // handler sends on the same wire it receives from. Once the socket
+    // buffer, the parked batch, and the coalescer intake all fill, a
+    // loop-thread send that waited for intake space would be waiting on
+    // the EPOLLOUT only this very thread can deliver — freezing the loop
+    // and every wire on it, forever. The contract instead: the loop keeps
+    // pumping inbound frames and un-sendable replies are dropped and
+    // counted (stats().frames_dropped).
+    net::TcpOptions bounded;
+    bounded.send_buffer_bytes = 8 * 1024;
+    bounded.recv_buffer_bytes = 8 * 1024;
+    bounded.intake_capacity = 4;
+    net::TcpAcceptor acceptor(0, bounded);
+    auto [client, server_side] = tcp_pair(acceptor, bounded);
+
+    net::Reactor reactor(net::ReactorOptions{1});
+    FrameSink sink;
+    net::Transport* server = server_side.get();
+    const std::uint64_t wire = reactor.register_wire(
+        *server_side,
+        [&](net::FrameBuffer) {
+            {
+                std::lock_guard<std::mutex> lk(sink.mu);
+                ++sink.frames;
+                sink.cv.notify_all();
+            }
+            server->send_frame(make_frame(0, 4096)); // peer never reads it
+        },
+        sink.on_closed());
+
+    constexpr std::uint32_t kFrames = 200;
+    for (std::uint32_t i = 0; i < kFrames; ++i) {
+        client->send_frame(make_frame(i, 64));
+    }
+    // Pre-fix this deadlocks after a handful of frames and times out.
+    ASSERT_TRUE(sink.wait_frames(kFrames));
+    EXPECT_GT(server->stats().frames_dropped, 0u);
+    reactor.deregister_wire(wire);
+}
+
 TEST(Reactor, SpuriousWritableIsCountedAndHarmless) {
     net::TcpAcceptor acceptor(0);
     auto [client, server_side] = tcp_pair(acceptor);

@@ -98,6 +98,7 @@ TEST(RouteIdCache, ConcurrentReadersSeeOnlyCompleteEntries) {
     cache.reset(kSlots);
 
     std::atomic<bool> go{false};
+    std::atomic<int> writers_active{kWriters};
     std::atomic<std::uint64_t> hits{0};
     std::vector<std::thread> threads;
     for (int w = 0; w < kWriters; ++w) {
@@ -108,22 +109,33 @@ TEST(RouteIdCache, ConcurrentReadersSeeOnlyCompleteEntries) {
                     static_cast<std::uint32_t>(round % kSlots);
                 cache.publish(id, &routes[id], names[id]);
             }
+            writers_active.fetch_sub(1, std::memory_order_release);
         });
     }
     for (int r = 0; r < kReaders; ++r) {
         threads.emplace_back([&] {
             while (!go.load(std::memory_order_acquire)) {}
-            for (int round = 0; round < kRounds; ++round) {
-                const std::uint32_t id =
-                    static_cast<std::uint32_t>(round % kSlots);
-                const Route* found = cache.lookup(id, names[id]);
-                if (found != nullptr) {
-                    // A hit is always the one immutable entry for this id.
-                    ASSERT_EQ(found, &routes[id]);
-                    ASSERT_EQ(found->tag, static_cast<int>(id));
-                    hits.fetch_add(1, std::memory_order_relaxed);
+            auto pass = [&] {
+                for (std::size_t i = 0; i < kSlots; ++i) {
+                    const std::uint32_t id = static_cast<std::uint32_t>(i);
+                    const Route* found = cache.lookup(id, names[i]);
+                    if (found != nullptr) {
+                        // A hit is always the one immutable entry for
+                        // this id.
+                        ASSERT_EQ(found, &routes[i]);
+                        ASSERT_EQ(found->tag, static_cast<int>(i));
+                        hits.fetch_add(1, std::memory_order_relaxed);
+                    }
                 }
+            };
+            // Race the writers for as long as they run (the schedule
+            // decides how many passes that is — could be zero overlap),
+            // then take one pass against the fully-published cache so
+            // the hit assertion below never depends on timing.
+            while (writers_active.load(std::memory_order_acquire) > 0) {
+                pass();
             }
+            pass();
         });
     }
     go.store(true, std::memory_order_release);
@@ -134,5 +146,6 @@ TEST(RouteIdCache, ConcurrentReadersSeeOnlyCompleteEntries) {
         EXPECT_EQ(cache.lookup(static_cast<std::uint32_t>(i), names[i]),
                   &routes[i]);
     }
-    EXPECT_GT(hits.load(), 0u);
+    // Every reader's final pass ran against the complete cache.
+    EXPECT_GE(hits.load(), static_cast<std::uint64_t>(kReaders) * kSlots);
 }
