@@ -63,10 +63,16 @@ GiopHeader decode_header(const std::uint8_t* data, std::size_t size) {
         throw MarshalError("unsupported GIOP major version " +
                            std::to_string(h.version_major));
     }
-    if (data[6] > 1) {
-        throw MarshalError("bad GIOP byte-order flag");
+    // Flags octet: bit 0 = byte order, bits 4-6 = priority band (our
+    // extension; zero on stock GIOP 1.0 frames). Bits 1-3 and 7 stay
+    // reserved-must-be-zero so genuinely corrupt octets still fail.
+    if ((data[GiopHeader::kFlagsOffset] &
+         ~static_cast<std::uint8_t>(
+             0x01 | (GiopHeader::kBandMask << GiopHeader::kBandShift))) != 0) {
+        throw MarshalError("bad GIOP flags octet");
     }
-    h.byte_order = static_cast<ByteOrder>(data[6]);
+    h.byte_order = static_cast<ByteOrder>(data[GiopHeader::kFlagsOffset] & 0x01);
+    h.band = frame_band(data);
     h.msg_type = static_cast<GiopMsgType>(data[7]);
     InputStream in(data + 8, 4, h.byte_order);
     h.message_size = in.read_ulong();

@@ -39,12 +39,37 @@ enum class ReplyStatus : std::uint32_t {
 struct GiopHeader {
     static constexpr std::size_t kSize = 12;
     static constexpr std::uint8_t kMagic[4] = {'G', 'I', 'O', 'P'};
+    /// Offset of the flags octet within the header. GIOP 1.0 defines only
+    /// bit 0 (byte order); this repository carries the frame's priority
+    /// band in bits 4-6 (see frame_band/set_frame_band) — the octet's
+    /// reserved bits, which stock GIOP 1.0 requires to be zero, so a
+    /// band-0 frame stays byte-identical to a stock frame.
+    static constexpr std::size_t kFlagsOffset = 6;
+    static constexpr std::uint8_t kBandShift = 4;
+    static constexpr std::uint8_t kBandMask = 0x07;
     std::uint8_t version_major = 1;
     std::uint8_t version_minor = 0;
     ByteOrder byte_order = native_order();
     GiopMsgType msg_type = GiopMsgType::kRequest;
+    std::uint8_t band = 0; ///< priority band carried in the flags octet
     std::uint32_t message_size = 0; ///< body bytes following the header
 };
+
+/// Priority band (0-7) carried in a frame's flags octet. `frame` must be
+/// at least GiopHeader::kSize bytes.
+inline std::uint8_t frame_band(const std::uint8_t* frame) noexcept {
+    return static_cast<std::uint8_t>(
+        (frame[GiopHeader::kFlagsOffset] >> GiopHeader::kBandShift) &
+        GiopHeader::kBandMask);
+}
+
+/// Stamp a priority band into an already-encoded frame's flags octet.
+inline void set_frame_band(std::uint8_t* frame, std::uint8_t band) noexcept {
+    frame[GiopHeader::kFlagsOffset] = static_cast<std::uint8_t>(
+        (frame[GiopHeader::kFlagsOffset] &
+         ~(GiopHeader::kBandMask << GiopHeader::kBandShift)) |
+        ((band & GiopHeader::kBandMask) << GiopHeader::kBandShift));
+}
 
 struct RequestHeader {
     std::uint32_t request_id = 0;

@@ -145,6 +145,62 @@ CclComponent parse_component(const xml::XmlNode& node) {
     return comp;
 }
 
+CclRemoteRoute parse_remote_route(const xml::XmlNode& node,
+                                  const char* element_name) {
+    CclRemoteRoute route;
+    route.line = node.line;
+    route.component = node.child_text("Component");
+    route.port = node.child_text("Port");
+    route.route = node.child_text("Route");
+    if (route.component.empty() || route.port.empty() || route.route.empty()) {
+        throw CclError(std::string("<") + element_name +
+                       "> needs <Component>, <Port> and <Route> (line " +
+                       std::to_string(node.line) + ")");
+    }
+    if (const xml::XmlNode* band = node.child("Band")) {
+        const long v = parse_number(band->text, "Band of route " + route.route,
+                                    band->line);
+        if (v < 0) {
+            throw CclError("Band of route '" + route.route +
+                           "' must be >= 0 (line " +
+                           std::to_string(band->line) + ")");
+        }
+        route.band = static_cast<int>(v);
+    }
+    return route;
+}
+
+CclRemote parse_remote(const xml::XmlNode& node) {
+    CclRemote remote;
+    remote.line = node.line;
+    remote.name = node.child_text("RemoteName");
+    if (remote.name.empty()) {
+        throw CclError("<Remote> without <RemoteName> (line " +
+                       std::to_string(node.line) + ")");
+    }
+    if (const xml::XmlNode* bands = node.child("Bands")) {
+        const long v = parse_number(bands->text, "Bands of " + remote.name,
+                                    bands->line);
+        if (v < 1) {
+            throw CclError("Bands of '" + remote.name +
+                           "' must be >= 1 (line " +
+                           std::to_string(bands->line) + ")");
+        }
+        remote.bands = static_cast<std::size_t>(v);
+    }
+    for (const xml::XmlNode* exp : node.children_named("Export")) {
+        remote.exports.push_back(parse_remote_route(*exp, "Export"));
+    }
+    for (const xml::XmlNode* imp : node.children_named("Import")) {
+        remote.imports.push_back(parse_remote_route(*imp, "Import"));
+    }
+    if (remote.exports.empty() && remote.imports.empty()) {
+        throw CclError("<Remote> '" + remote.name +
+                       "' declares no <Export> or <Import> routes");
+    }
+    return remote;
+}
+
 core::RtsjAttributes parse_rtsj(const xml::XmlNode& node) {
     core::RtsjAttributes attrs;
     if (const xml::XmlNode* imm = node.child("ImmortalSize")) {
@@ -173,6 +229,11 @@ core::RtsjAttributes parse_rtsj(const xml::XmlNode& node) {
         }
         attrs.scoped_pools.push_back(spec);
     }
+    if (const xml::XmlNode* bands = node.child("ReactorBands")) {
+        const long v = parse_number(bands->text, "ReactorBands", bands->line);
+        if (v < 1) throw CclError("ReactorBands must be >= 1");
+        attrs.reactor_bands = static_cast<std::size_t>(v);
+    }
     return attrs;
 }
 
@@ -193,6 +254,9 @@ CclModel parse_ccl(const xml::XmlNode& root) {
     }
     if (model.components.empty()) {
         throw CclError("CCL application instantiates no components");
+    }
+    for (const xml::XmlNode* remote : root.children_named("Remote")) {
+        model.remotes.push_back(parse_remote(*remote));
     }
     if (const xml::XmlNode* rtsj = root.child("RTSJAttributes")) {
         model.rtsj = parse_rtsj(*rtsj);

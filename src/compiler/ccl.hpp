@@ -53,9 +53,32 @@ struct CclComponent {
     int line = 0;
 };
 
+/// One <Export> or <Import> inside a <Remote>: binds an instance's port
+/// to a named wire route, optionally pinning the route to a priority
+/// band (exports only; imports take the band stamped by the peer).
+struct CclRemoteRoute {
+    std::string component; ///< instance name
+    std::string port;
+    std::string route; ///< wire route name
+    int band = -1;     ///< -1: derived from the port's default priority
+    int line = 0;
+};
+
+/// One <Remote>: a lane-group connection to a peer application. <Bands>
+/// is the lane count (priority-banded TCP wires) the connection shards
+/// across — see net/lane_group.hpp.
+struct CclRemote {
+    std::string name;
+    std::size_t bands = 2;
+    std::vector<CclRemoteRoute> exports;
+    std::vector<CclRemoteRoute> imports;
+    int line = 0;
+};
+
 struct CclModel {
     std::string application_name;
     std::vector<CclComponent> components; ///< top-level instances
+    std::vector<CclRemote> remotes;
     core::RtsjAttributes rtsj;
 
     /// Depth-first visit (parents before children).

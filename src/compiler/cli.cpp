@@ -86,6 +86,23 @@ void dump_plan(const AssemblyPlan& plan, std::ostream& out) {
             << (conn.shadow ? " [shadow]" : "") << " pool="
             << conn.pool_capacity << "\n";
     }
+    for (const auto& remote : plan.remotes) {
+        out << "remote: " << remote.name << " bands=" << remote.bands << "\n";
+        for (const auto& r : remote.exports) {
+            out << "  export " << r.route << ": " << r.instance << "."
+                << r.port << " type=" << r.message_type << " band=";
+            if (r.band >= 0) {
+                out << r.band;
+            } else {
+                out << "auto";
+            }
+            out << "\n";
+        }
+        for (const auto& r : remote.imports) {
+            out << "  import " << r.route << ": " << r.instance << "."
+                << r.port << " type=" << r.message_type << "\n";
+        }
+    }
 }
 
 } // namespace
@@ -114,7 +131,8 @@ int compadresc_main(const std::vector<std::string>& args_in, std::ostream& out,
                 const AssemblyPlan plan = validate_and_plan(cdl, ccl);
                 out << "CCL ok: " << plan.components.size()
                     << " instance(s), " << plan.connections.size()
-                    << " connection(s)\n";
+                    << " connection(s), " << plan.remotes.size()
+                    << " remote(s)\n";
             }
             return kOk;
         }

@@ -111,6 +111,32 @@ std::string emit_ccl(const CclModel& model) {
     for (const CclComponent& comp : model.components) {
         root->children.push_back(ccl_component_node(comp));
     }
+    for (const CclRemote& remote : model.remotes) {
+        auto node = element("Remote");
+        node->children.push_back(text_element("RemoteName", remote.name));
+        node->children.push_back(
+            text_element("Bands", std::to_string(remote.bands)));
+        const auto route_node = [](const char* name,
+                                   const CclRemoteRoute& route) {
+            auto n = std::make_unique<XmlNode>();
+            n->name = name;
+            n->children.push_back(text_element("Component", route.component));
+            n->children.push_back(text_element("Port", route.port));
+            n->children.push_back(text_element("Route", route.route));
+            if (route.band >= 0) {
+                n->children.push_back(
+                    text_element("Band", std::to_string(route.band)));
+            }
+            return n;
+        };
+        for (const CclRemoteRoute& route : remote.exports) {
+            node->children.push_back(route_node("Export", route));
+        }
+        for (const CclRemoteRoute& route : remote.imports) {
+            node->children.push_back(route_node("Import", route));
+        }
+        root->children.push_back(std::move(node));
+    }
     auto rtsj = element("RTSJAttributes");
     rtsj->children.push_back(text_element(
         "ImmortalSize", std::to_string(model.rtsj.immortal_size)));
@@ -124,6 +150,8 @@ std::string emit_ccl(const CclModel& model) {
             text_element("PoolSize", std::to_string(pool.pool_size)));
         rtsj->children.push_back(std::move(pool_node));
     }
+    rtsj->children.push_back(text_element(
+        "ReactorBands", std::to_string(model.rtsj.reactor_bands)));
     root->children.push_back(std::move(rtsj));
     return xml::write(*root);
 }

@@ -278,7 +278,129 @@ AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl) {
         plan.connections.push_back(std::move(conn));
     }
 
-    // ---- pass 4: planned components + scope pools ----
+    // ---- pass 4: remote connections (<Remote> / <Bands>) ----
+    // The GIOP flags octet carries the band in 3 bits, so 8 lanes is the
+    // wire-format ceiling (net::kMaxLanes); the deployment's reactor-band
+    // count is the deployment ceiling — a lane beyond it would share a
+    // loop thread with another band, silently voiding the isolation the
+    // bands declare.
+    constexpr std::size_t kWireBandLimit = 8;
+    std::set<std::string> remote_names;
+    for (const CclRemote& remote : ccl.remotes) {
+        if (!remote_names.insert(remote.name).second) {
+            issues.push_back("duplicate remote name '" + remote.name +
+                             "' (line " + std::to_string(remote.line) + ")");
+            continue;
+        }
+        PlannedRemote pr;
+        pr.name = remote.name;
+        pr.bands = remote.bands;
+        if (remote.bands < 1) {
+            issues.push_back("remote '" + remote.name +
+                             "': <Bands> must be >= 1");
+        }
+        if (remote.bands > kWireBandLimit) {
+            issues.push_back("remote '" + remote.name + "': <Bands> " +
+                             std::to_string(remote.bands) +
+                             " exceeds the wire-format limit of " +
+                             std::to_string(kWireBandLimit) +
+                             " (3-bit band field in the GIOP flags octet)");
+        }
+        if (remote.bands > plan.rtsj.reactor_bands) {
+            issues.push_back(
+                "remote '" + remote.name + "': <Bands> " +
+                std::to_string(remote.bands) +
+                " exceeds <ReactorBands> " +
+                std::to_string(plan.rtsj.reactor_bands) +
+                " — lanes beyond the reactor's band count would share a "
+                "loop thread, voiding the priority isolation they declare");
+        }
+        std::set<std::string> export_routes;
+        std::set<std::string> import_routes;
+        const auto check_route = [&](const CclRemoteRoute& r, bool is_export)
+            -> const CdlPort* {
+            const char* what = is_export ? "export" : "import";
+            auto it = table.find(r.component);
+            if (it == table.end()) {
+                issues.push_back("remote '" + remote.name + "' " + what +
+                                 " '" + r.route + "' names unknown instance '" +
+                                 r.component + "' (line " +
+                                 std::to_string(r.line) + ")");
+                return nullptr;
+            }
+            const CdlComponent* cls = cdl.find(it->second.decl->class_name);
+            const CdlPort* port =
+                cls != nullptr ? cls->find_port(r.port) : nullptr;
+            if (cls != nullptr && port == nullptr) {
+                issues.push_back("remote '" + remote.name + "' " + what +
+                                 " '" + r.route + "' names unknown port '" +
+                                 r.component + "." + r.port + "'");
+                return nullptr;
+            }
+            if (port != nullptr) {
+                const PortDirection want =
+                    is_export ? PortDirection::kOut : PortDirection::kIn;
+                if (port->direction != want) {
+                    issues.push_back(
+                        "remote '" + remote.name + "' " + what + " '" +
+                        r.route + "': port '" + r.component + "." + r.port +
+                        "' is an " +
+                        (port->direction == PortDirection::kIn ? "In" : "Out") +
+                        " port; exports ship from Out ports, imports feed "
+                        "In ports");
+                    return nullptr;
+                }
+            }
+            auto& seen = is_export ? export_routes : import_routes;
+            if (!seen.insert(r.route).second) {
+                issues.push_back("remote '" + remote.name +
+                                 "': duplicate " + what + " route '" +
+                                 r.route + "'");
+                return nullptr;
+            }
+            return port;
+        };
+        for (const CclRemoteRoute& r : remote.exports) {
+            const CdlPort* port = check_route(r, /*is_export=*/true);
+            if (r.band >= 0 && static_cast<std::size_t>(r.band) >=
+                                   remote.bands) {
+                issues.push_back("remote '" + remote.name + "' export '" +
+                                 r.route + "': <Band> " +
+                                 std::to_string(r.band) +
+                                 " is outside the remote's band range [0, " +
+                                 std::to_string(remote.bands) + ")");
+                continue;
+            }
+            if (port == nullptr) continue;
+            PlannedRemoteRoute planned;
+            planned.instance = r.component;
+            planned.port = r.port;
+            planned.route = r.route;
+            planned.band = r.band;
+            planned.message_type = port->message_type;
+            pr.exports.push_back(std::move(planned));
+        }
+        for (const CclRemoteRoute& r : remote.imports) {
+            const CdlPort* port = check_route(r, /*is_export=*/false);
+            if (r.band >= 0) {
+                issues.push_back("remote '" + remote.name + "' import '" +
+                                 r.route +
+                                 "' declares a <Band>; imports take the band "
+                                 "stamped by the exporting peer");
+                continue;
+            }
+            if (port == nullptr) continue;
+            PlannedRemoteRoute planned;
+            planned.instance = r.component;
+            planned.port = r.port;
+            planned.route = r.route;
+            planned.message_type = port->message_type;
+            pr.imports.push_back(std::move(planned));
+        }
+        plan.remotes.push_back(std::move(pr));
+    }
+
+    // ---- pass 5: planned components + scope pools ----
     std::set<int> used_levels;
     ccl.for_each_component([&](const CclComponent& c, const CclComponent* parent) {
         PlannedComponent pc;

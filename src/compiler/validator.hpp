@@ -68,11 +68,32 @@ struct PlannedConnection {
     std::size_t pool_capacity = 0;
 };
 
+/// One validated remote route (export or import) of a <Remote>.
+struct PlannedRemoteRoute {
+    std::string instance;
+    std::string port;
+    std::string route;
+    /// Exports: the priority-banded lane the route rides (-1 = derived
+    /// from the port's default priority at bridge setup). Always -1 for
+    /// imports — the band travels in the frame.
+    int band = -1;
+    std::string message_type;
+};
+
+/// One validated <Remote>: a lane-group connection to a peer application.
+struct PlannedRemote {
+    std::string name;
+    std::size_t bands = 2; ///< lane count (validated <= rtsj.reactor_bands)
+    std::vector<PlannedRemoteRoute> exports;
+    std::vector<PlannedRemoteRoute> imports;
+};
+
 struct AssemblyPlan {
     std::string application_name;
     core::RtsjAttributes rtsj;
     std::vector<PlannedComponent> components; ///< parents before children
     std::vector<PlannedConnection> connections;
+    std::vector<PlannedRemote> remotes;
 };
 
 /// Validate `ccl` against `cdl` and derive the plan. Throws

@@ -43,6 +43,12 @@ struct ScopePoolSpec {
 struct RtsjAttributes {
     std::size_t immortal_size = 4 * 1024 * 1024;
     std::vector<ScopePoolSpec> scoped_pools;
+    /// CCL <ReactorBands>: how many priority bands the deployment's epoll
+    /// reactor separates onto distinct loop threads. Remote connections
+    /// may not declare more <Bands> than this (validated by the CCL
+    /// compiler) — lanes beyond it would silently share a loop and the
+    /// head-of-line isolation the bands promise would be fiction.
+    std::size_t reactor_bands = 4;
 };
 
 class Application {

@@ -45,20 +45,35 @@ std::size_t class_for_recycle(std::size_t capacity,
 /// coalescing batch for the small classes and tapers where a cached
 /// buffer is real memory (a 1 MiB slot per thread is plenty).
 ///
-/// Only the immortal global() pool uses the cache: per-instance pools
-/// (tests, tools) can die while the thread still holds their storage, and
-/// an owner check against a dead pool would be a dangling compare.
+/// Slots are claimed per class by whichever thread-cache-enabled pool
+/// recycles into an empty slot first, and tagged with the owner pool's
+/// never-reused id — not its pointer, so a slot left behind by a destroyed
+/// pool can never be mistaken for a live one (the storage itself is plain
+/// byte vectors the ring owns outright; a dead owner just means the slot
+/// sits idle until its entries are displaced). A pool whose class slot is
+/// held by another pool falls through to its own mutexed free list —
+/// still allocation-free, just not mutex-free — instead of evicting, so
+/// two pools alternating on one thread never thrash each other's warm
+/// storage. In practice each reactor loop serves one band's lane, so each
+/// loop thread's slots end up owned by that lane's pool.
 constexpr std::size_t kTlsDepthMax = 16;
-constexpr std::size_t kTlsDepth[4] = {16, 16, 2, 1};
 struct TlsCache {
     std::vector<std::uint8_t> storage[4][kTlsDepthMax];
+    std::uint64_t owner[4] = {}; ///< pool id holding the class slot; 0: free
     std::size_t count[4] = {};
 };
 thread_local TlsCache t_cache;
 
+std::uint64_t next_pool_id() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    // Pre-increment: id 0 stays reserved as the "slot unclaimed" tag.
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 } // namespace
 
-FrameBufferPool::FrameBufferPool() {
+FrameBufferPool::FrameBufferPool(FramePoolOptions options)
+    : opts_(options), id_(next_pool_id()) {
     // Reserve the free-list spines up front so recycle() itself never
     // allocates on the hot path.
     for (std::size_t c = 0; c < kClassCount; ++c) {
@@ -67,7 +82,11 @@ FrameBufferPool::FrameBufferPool() {
 }
 
 FrameBufferPool& FrameBufferPool::global() {
-    static FrameBufferPool instance;
+    static FrameBufferPool instance{[] {
+        FramePoolOptions o;
+        o.thread_cache = true;
+        return o;
+    }()};
     return instance;
 }
 
@@ -75,7 +94,8 @@ std::vector<std::uint8_t> FrameBufferPool::acquire_storage(
     std::size_t capacity_hint) {
     const std::size_t cls = class_for_acquire(capacity_hint, kClassSizes);
     acquires_.fetch_add(1, std::memory_order_relaxed);
-    if (cls < kClassCount && this == &global() && t_cache.count[cls] > 0) {
+    if (cls < kClassCount && opts_.thread_cache &&
+        t_cache.owner[cls] == id_ && t_cache.count[cls] > 0) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         tls_hits_.fetch_add(1, std::memory_order_relaxed);
         const std::size_t i = --t_cache.count[cls];
@@ -128,10 +148,16 @@ FrameBuffer FrameBufferPool::acquire(std::size_t size) {
 void FrameBufferPool::recycle(std::vector<std::uint8_t>&& bytes) noexcept {
     const std::size_t cls = class_for_recycle(bytes.capacity(), kClassSizes);
     if (cls >= kClassCount) return; // sub-class storage: just free it
-    if (this == &global() && t_cache.count[cls] < kTlsDepth[cls]) {
-        recycled_.fetch_add(1, std::memory_order_relaxed);
-        t_cache.storage[cls][t_cache.count[cls]++] = std::move(bytes);
-        return;
+    if (opts_.thread_cache) {
+        if (t_cache.count[cls] == 0) t_cache.owner[cls] = id_; // claim
+        const std::size_t depth = opts_.tls_depth[cls] < kTlsDepthMax
+                                      ? opts_.tls_depth[cls]
+                                      : kTlsDepthMax;
+        if (t_cache.owner[cls] == id_ && t_cache.count[cls] < depth) {
+            recycled_.fetch_add(1, std::memory_order_relaxed);
+            t_cache.storage[cls][t_cache.count[cls]++] = std::move(bytes);
+            return;
+        }
     }
     std::lock_guard lk(mu_);
     if (free_[cls].size() >= kMaxFreePerClass[cls]) return; // bound memory

@@ -81,6 +81,22 @@ private:
     FrameBufferPool* home_ = nullptr; ///< null: plain heap-backed buffer
 };
 
+/// Construction-time knobs for a FrameBufferPool instance. The defaults
+/// reproduce the process-global pool's behavior; per-wire/per-lane pools
+/// (net/lane_group.hpp) tune the thread-cache depths to their own burst
+/// shape instead of inheriting the global ring sizing.
+struct FramePoolOptions {
+    /// Per-size-class thread-cache (TLS ring) depths, clamped to the
+    /// compile-time maximum (16). Meaningful only with thread_cache on.
+    std::size_t tls_depth[4] = {16, 16, 2, 1};
+    /// Serve repeat acquire/recycle traffic from a per-thread ring without
+    /// touching the pool mutex. Off by default for ad-hoc instance pools
+    /// (their storage may outlive them in the ring, which is memory-safe —
+    /// the ring owns plain byte vectors — but claims ring slots other
+    /// pools could use); the process-global pool and lane pools enable it.
+    bool thread_cache = false;
+};
+
 /// Size-classed recycling pool for frame storage.
 class FrameBufferPool {
 public:
@@ -94,7 +110,7 @@ public:
         std::uint64_t recycled = 0;    ///< buffers returned to a free list
     };
 
-    FrameBufferPool();
+    explicit FrameBufferPool(FramePoolOptions options = {});
 
     /// Process-wide pool shared by the transports.
     static FrameBufferPool& global();
@@ -138,6 +154,13 @@ private:
     /// steady state to stay allocation-free; large classes stay shallow to
     /// bound worst-case resident memory (≈ 21 MiB if every class fills).
     static constexpr std::size_t kMaxFreePerClass[] = {512, 256, 64, 16};
+
+    const FramePoolOptions opts_;
+    /// Process-unique, never-reused id keying this pool's thread-cache
+    /// slots (see frame_pool.cpp): the ring tags entries with the owning
+    /// pool's id instead of its pointer, so a ring slot left behind by a
+    /// destroyed pool can never be mistaken for a live one.
+    const std::uint64_t id_;
 
     mutable std::mutex mu_; ///< guards the free lists only
     std::vector<std::vector<std::uint8_t>> free_[kClassCount];

@@ -531,7 +531,9 @@ private:
                     if (total > w.hook->max_frame_bytes()) {
                         return PumpResult::kClosed;
                     }
-                    w.frame = FrameBufferPool::global().acquire(total);
+                    // Draw from the wire's own pool (per-lane for lane
+                    // groups) so bands never share a pool ring.
+                    w.frame = w.hook->frame_pool().acquire(total);
                     std::memcpy(w.frame.data(), w.header,
                                 cdr::GiopHeader::kSize);
                     w.frame_total = total;

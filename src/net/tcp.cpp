@@ -74,6 +74,7 @@ class TcpTransport final : public Transport, public ReactorHook {
 public:
     TcpTransport(int fd, std::string peer, TcpOptions options)
         : fd_(fd), peer_(std::move(peer)), opts_(options),
+          pool_(opts_.pool ? opts_.pool : &FrameBufferPool::global()),
           intake_(opts_.intake_capacity ? opts_.intake_capacity : 1) {
         set_nodelay(fd_);
         set_buffer_bounds(fd_, opts_);
@@ -94,6 +95,9 @@ public:
         std::unique_lock lk(mu_);
         if (opts_.policy == WritePolicy::kDirect) {
             // Serialize writers on the same flag close() waits on.
+            if (!closing_ && writer_active_) {
+                send_stalls_.fetch_add(1, std::memory_order_relaxed);
+            }
             cv_.wait(lk, [&] { return closing_ || !writer_active_; });
             throw_if_unwritable();
             if (opts_.policy == WritePolicy::kDirect) {
@@ -133,8 +137,13 @@ public:
                 return;
             }
         }
+        if (!closing_ && !send_failed_ && !no_new_frames_ &&
+            count_ >= intake_.size()) {
+            send_stalls_.fetch_add(1, std::memory_order_relaxed);
+        }
         cv_.wait(lk, [&] {
-            return closing_ || send_failed_ || count_ < intake_.size();
+            return closing_ || send_failed_ || no_new_frames_ ||
+                   count_ < intake_.size();
         });
         throw_if_unwritable();
         enqueue(std::move(frame));
@@ -181,7 +190,7 @@ public:
                 " bytes exceeds the max-frame limit (" +
                 std::to_string(opts_.max_frame_bytes) + ")");
         }
-        FrameBuffer frame = FrameBufferPool::global().acquire(total);
+        FrameBuffer frame = pool_->acquire(total);
         std::memcpy(frame.data(), header_bytes, cdr::GiopHeader::kSize);
         if (header.message_size > 0 &&
             !buffered_read(frame.data() + cdr::GiopHeader::kSize,
@@ -210,6 +219,39 @@ public:
         drop_queue_locked();
     }
 
+    void prepare_close() override {
+        std::unique_lock lk(mu_);
+        if (closing_ || send_failed_) return;
+        // Phase 1 of the lane group's two-phase close: refuse new frames,
+        // push what is already queued onto the wire, send NO FIN. Senders
+        // blocked on intake space wake and throw as if close() ran.
+        no_new_frames_ = true;
+        cv_.notify_all();
+        if (t_reactor_loop_thread) {
+            // A loop thread cannot wait for a quiescing writer or a parked
+            // batch — both may need this very thread's events to progress.
+            // close() on this lane will drop whatever remains, counted.
+            return;
+        }
+        cv_.wait(lk, [&] { return !writer_active_; });
+        if (!closing_ && !send_failed_ && !parked_ && count_ > 0) {
+            writer_active_ = true;
+            const bool want_writable = drain(lk);
+            if (want_writable) {
+                lk.unlock();
+                cv_.notify_all();
+                if (request_writable_) request_writable_();
+                lk.lock();
+            }
+        }
+        // A parked batch (reactor mode, socket backed up) finishes via
+        // EPOLLOUT: wait until it flushes or the connection dies, so every
+        // frame accepted before this call is on the wire when we return.
+        cv_.wait(lk, [&] {
+            return closing_ || send_failed_ || (!parked_ && count_ == 0);
+        });
+    }
+
     std::string peer_description() const override { return peer_; }
 
     TransportStats stats() const override {
@@ -220,10 +262,20 @@ public:
         s.send_syscalls = send_syscalls_.load(std::memory_order_relaxed);
         s.send_batches = send_batches_.load(std::memory_order_relaxed);
         s.max_batch_frames = max_batch_.load(std::memory_order_relaxed);
+        s.send_stalls = send_stalls_.load(std::memory_order_relaxed);
+        s.intake_depth_hwm = intake_hwm_.load(std::memory_order_relaxed);
         return s;
     }
 
     ReactorHook* reactor_hook() noexcept override { return this; }
+
+    // One override serves both bases: Transport::frame_pool and
+    // ReactorHook::frame_pool share the signature.
+    FrameBufferPool& frame_pool() noexcept override { return *pool_; }
+
+    void set_frame_pool(FrameBufferPool* pool) noexcept override {
+        pool_ = pool ? pool : &FrameBufferPool::global();
+    }
 
     // ---- ReactorHook ----
 
@@ -334,7 +386,9 @@ private:
     }
 
     void throw_if_unwritable() {
-        if (closing_) throw TransportError("transport closed");
+        if (closing_ || no_new_frames_) {
+            throw TransportError("transport closed");
+        }
         if (send_failed_) {
             throw TransportError(std::string("send: ") +
                                  std::strerror(send_errno_));
@@ -344,6 +398,11 @@ private:
     void enqueue(FrameBuffer frame) {
         intake_[(head_ + count_) % intake_.size()] = std::move(frame);
         ++count_;
+        // mu_ is held, so a plain load/store high-water update suffices
+        // (the atomic is only for the lock-free read in stats()).
+        if (count_ > intake_hwm_.load(std::memory_order_relaxed)) {
+            intake_hwm_.store(count_, std::memory_order_relaxed);
+        }
     }
 
     FrameBuffer dequeue() {
@@ -522,6 +581,8 @@ private:
     int fd_;
     std::string peer_;
     TcpOptions opts_;
+    /// Inbound frame storage source; swapped only before traffic flows.
+    FrameBufferPool* pool_;
 
     std::mutex mu_;
     std::condition_variable cv_;
@@ -531,6 +592,8 @@ private:
     bool writer_active_ = false;
     bool closing_ = false;
     bool send_failed_ = false;
+    /// prepare_close() ran: new sends throw, queued frames still flush.
+    bool no_new_frames_ = false;
     /// Reactor mode: a batch hit EAGAIN mid-write and waits for EPOLLOUT.
     bool parked_ = false;
     // Reactor read-pump cork: replies staged in the intake flush together
@@ -556,6 +619,8 @@ private:
     std::atomic<std::uint64_t> send_syscalls_{0};
     std::atomic<std::uint64_t> send_batches_{0};
     std::atomic<std::uint64_t> max_batch_{0};
+    std::atomic<std::uint64_t> send_stalls_{0};
+    std::atomic<std::uint64_t> intake_hwm_{0};
 };
 
 } // namespace

@@ -60,6 +60,10 @@ struct TcpOptions {
     /// window is negotiated.)
     std::size_t send_buffer_bytes = 0;
     std::size_t recv_buffer_bytes = 0;
+    /// Frame pool inbound storage is drawn from; nullptr uses the
+    /// process-global pool. Lane groups hand each wire its own pool so
+    /// bands never share a pool ring. Must outlive the transport.
+    FrameBufferPool* pool = nullptr;
 };
 
 /// Connect to a listening acceptor. Throws TransportError on failure.

@@ -40,6 +40,13 @@ struct TransportStats {
     std::uint64_t send_syscalls = 0;  ///< sendmsg/writev calls issued
     std::uint64_t send_batches = 0;   ///< coalesced flushes
     std::uint64_t max_batch_frames = 0; ///< largest single-flush batch
+    /// Times a sender blocked waiting for intake space (the coalescing
+    /// writer's queue was full) — per-lane stall visibility for the trace
+    /// report; a non-reactor sender stalls, a reactor-thread sender drops.
+    std::uint64_t send_stalls = 0;
+    /// High-water mark of the coalescing intake depth — how close the
+    /// lane came to stalling even when it never did.
+    std::uint64_t intake_depth_hwm = 0;
 };
 
 /// Hooks an epoll reactor (net/reactor.hpp) uses to drive a transport
@@ -83,6 +90,13 @@ public:
     /// callbacks produce leaves in one scatter-gather flush at uncork.
     /// Default no-op for transports without a coalescing writer.
     virtual void set_corked(bool) {}
+
+    /// Pool the reactor draws inbound frame storage from when assembling
+    /// this wire's frames. Default: the process-global pool; lane wires
+    /// return their per-lane pool so bands never share a pool ring.
+    virtual FrameBufferPool& frame_pool() noexcept {
+        return FrameBufferPool::global();
+    }
 };
 
 /// Mark the calling thread as a reactor event-loop thread (one-way; the
@@ -122,9 +136,37 @@ public:
     /// reactor (see ReactorHook). Default: not multiplexable.
     virtual ReactorHook* reactor_hook() noexcept { return nullptr; }
 
+    /// Phase 1 of a two-phase close: stop accepting new frames and flush
+    /// what is already queued, WITHOUT sending FIN. Lane groups call this
+    /// on every lane before close() on any, so the peer never sees one
+    /// lane's FIN while another lane still holds undelivered frames.
+    /// Default no-op; close() alone keeps its full contract.
+    virtual void prepare_close() {}
+
+    /// Pool this transport draws inbound frame storage from. Mirrors
+    /// ReactorHook::frame_pool for callers holding only a Transport.
+    virtual FrameBufferPool& frame_pool() noexcept {
+        return FrameBufferPool::global();
+    }
+
+    /// Re-point the transport at another pool. Only valid before any
+    /// traffic flows (a lane group injects per-lane pools right after
+    /// accept, before the wire is registered anywhere). Default no-op for
+    /// transports without pooled receive storage.
+    virtual void set_frame_pool(FrameBufferPool*) noexcept {}
+
+    /// Number of underlying wires. 1 for plain transports; a LaneGroup
+    /// reports its band count so callers (RemoteBridge) can register each
+    /// lane with the reactor individually.
+    virtual std::size_t lane_count() const noexcept { return 1; }
+
+    /// The i-th underlying wire (i < lane_count()). Plain transports
+    /// return themselves.
+    virtual Transport& lane(std::size_t) noexcept { return *this; }
+
     /// Compat shim: copy a vector-built frame through the frame pool.
     void send_frame(const std::vector<std::uint8_t>& frame) {
-        FrameBuffer buf = FrameBufferPool::global().acquire(frame.size());
+        FrameBuffer buf = frame_pool().acquire(frame.size());
         if (!frame.empty()) std::memcpy(buf.data(), frame.data(), frame.size());
         send_frame(std::move(buf));
     }

@@ -1,6 +1,7 @@
 #include "remote/bridge.hpp"
 
 #include "cdr/giop.hpp"
+#include "net/lane_group.hpp"
 
 #include <cstdio>
 
@@ -23,7 +24,8 @@ constexpr const char* kBridgeObjectKey = "compadres.bridge";
 class RemoteBridge::ExportHandler final : public core::MessageHandlerBase {
 public:
     ExportHandler(RemoteBridge& bridge, const Serializer& serializer,
-                  std::string route, std::uint32_t route_id, int priority)
+                  std::string route, std::uint32_t route_id, int priority,
+                  int band)
         : bridge_(&bridge), encode_fn_(serializer.encode_fn),
           encode_ctx_(serializer.encode_ctx), encode_state_(serializer.state),
           route_(std::move(route)), priority_(priority) {
@@ -35,6 +37,20 @@ public:
             prefix, route_id, /*response_expected=*/false, kBridgeObjectKey,
             route_);
         header_template_ = prefix.take_buffer();
+        // Static per-route band, stamped once into the template's flags
+        // octet: every frame the route ships classifies for free. Storage
+        // comes from the band's own lane pool so a route's whole send
+        // path stays inside one pool ring.
+        const std::size_t lanes = bridge.wire_->lane_count();
+        pool_ = &bridge.wire_->frame_pool();
+        if (band >= 0 && lanes > 1) {
+            cdr::set_frame_band(header_template_.data(),
+                                static_cast<std::uint8_t>(band));
+            const std::size_t lane =
+                net::LanePolicy::band_for_frame(header_template_.data(),
+                                                lanes);
+            pool_ = &bridge.wire_->lane(lane).frame_pool();
+        }
         // Legacy baseline keeps the seed's doubly-erased std::function shape.
         std::function<void(const void*, cdr::OutputStream&)> inner =
             [fn = encode_fn_, ctx = encode_ctx_](const void* msg,
@@ -52,9 +68,8 @@ public:
             process_legacy(msg);
             return;
         }
-        cdr::OutputStream out(
-            net::FrameBufferPool::global().acquire_storage(
-                scratch_hint_.load(std::memory_order_relaxed)));
+        cdr::OutputStream out(pool_->acquire_storage(
+            scratch_hint_.load(std::memory_order_relaxed)));
         out.write_raw(header_template_.data(), header_template_.size());
         out.rebase(); // body alignment is payload-relative, as on the wire
         out.write_ulong(static_cast<std::uint32_t>(priority_));
@@ -63,8 +78,7 @@ public:
         if (out.size() > scratch_hint_.load(std::memory_order_relaxed)) {
             scratch_hint_.store(out.size(), std::memory_order_relaxed);
         }
-        bridge_->wire_->send_frame(
-            net::FrameBufferPool::global().adopt(out.take_buffer()));
+        bridge_->wire_->send_frame(pool_->adopt(out.take_buffer()));
         bridge_->sent_.fetch_add(1, std::memory_order_relaxed);
     }
 
@@ -100,6 +114,9 @@ private:
     std::function<void(const void*, cdr::OutputStream&)> legacy_encode_;
     std::string route_;
     int priority_;
+    /// The band lane's pool (or the wire's default pool): outbound frame
+    /// storage is acquired from and recycles back into it.
+    net::FrameBufferPool* pool_ = nullptr;
     /// GIOP + request header bytes, rendered once; only the two length
     /// fields (message_size, payload length) get patched per message.
     std::vector<std::uint8_t> header_template_;
@@ -133,6 +150,28 @@ RemoteBridge::RemoteBridge(core::Application& app,
             {"pool_tls_hits", pool.tls_hits},
             {"pool_misses", pool.allocations},
         };
+        // Lane-group wires: per-lane depth/stall/drop visibility plus the
+        // failover counters, so lane starvation is observable in
+        // trace_report instead of inferred from end-to-end latency.
+        if (auto* group = dynamic_cast<net::LaneGroup*>(wire_.get())) {
+            g.counters.emplace_back("lane_failovers",
+                                    group->lane_failovers());
+            g.counters.emplace_back("lanes_down", lanes_down_.load());
+            for (std::size_t i = 0; i < group->lane_count(); ++i) {
+                const net::TransportStats ls = group->lane_stats(i);
+                const std::string p = "lane" + std::to_string(i) + "_";
+                g.counters.emplace_back(p + "frames_sent", ls.frames_sent);
+                g.counters.emplace_back(p + "frames_dropped",
+                                        ls.frames_dropped);
+                g.counters.emplace_back(p + "send_stalls", ls.send_stalls);
+                g.counters.emplace_back(p + "intake_depth_hwm",
+                                        ls.intake_depth_hwm);
+            }
+        }
+        if (reactor_ != nullptr) {
+            g.counters.emplace_back("reactor_register_failures",
+                                    reactor_->stats().register_failures);
+        }
         return g;
     });
 }
@@ -140,12 +179,23 @@ RemoteBridge::RemoteBridge(core::Application& app,
 RemoteBridge::~RemoteBridge() { shutdown(); }
 
 void RemoteBridge::export_route(core::OutPortBase& local_out,
-                                const std::string& route) {
+                                const std::string& route, int band) {
     if (started_.load()) {
         throw BridgeError("cannot add routes after start()");
     }
     const Serializer& serializer =
         SerializerRegistry::global().find(local_out.type());
+    if (band >= static_cast<int>(net::kMaxLanes)) {
+        throw BridgeError("route '" + route + "': band " +
+                          std::to_string(band) + " exceeds the wire limit (" +
+                          std::to_string(net::kMaxLanes - 1) + ")");
+    }
+    if (band < 0 && wire_->lane_count() > 1) {
+        // No explicit band: derive one from the port's default priority,
+        // the same composition-time mapping the CCL compiler performs.
+        band = static_cast<int>(net::LanePolicy{}.band_for_priority(
+            local_out.default_priority(), wire_->lane_count()));
+    }
     // A sync In port on the bridge component: the sending component's
     // thread serializes and writes the frame (natural backpressure).
     core::InPortConfig cfg;
@@ -153,7 +203,7 @@ void RemoteBridge::export_route(core::OutPortBase& local_out,
     cfg.min_threads = cfg.max_threads = 0;
     auto* handler = component_->region().make<ExportHandler>(
         *this, serializer, route, ++next_export_id_,
-        local_out.default_priority());
+        local_out.default_priority(), band);
     core::InPortBase& in = component_->add_in_port_erased(
         "exp" + std::to_string(next_port_id_++) + ":" + route,
         local_out.type(), local_out.type_name(), cfg, *handler);
@@ -201,31 +251,61 @@ void RemoteBridge::start() {
     // Fixed-size id cache, allocated before any reader exists so the hot
     // path never grows it. Ids above the bound just take the map path.
     id_cache_.reset(64);
+    const std::size_t lanes = wire_->lane_count();
     if (options_.reader_model == ReaderModel::kReactor &&
-        wire_->reactor_hook() != nullptr) {
+        wire_->lane(0).reactor_hook() != nullptr) {
         reactor_ = options_.reactor != nullptr ? options_.reactor
                                                : &net::Reactor::shared();
-        reactor_wire_ = reactor_->register_wire(
-            *wire_,
-            [this](net::FrameBuffer frame) {
-                // In-place decode on the resident buffer; the pooled
-                // storage recycles when `frame` dies on return.
-                handle_frame(frame.data(), frame.size());
-            },
-            /*on_closed=*/{}, options_.reactor_band);
+        // Each lane registers individually, pinned to the reactor loop of
+        // its band: lane i = band i (offset by reactor_band when the
+        // caller reserved a loop range), so an urgent lane never shares a
+        // loop thread with a bulk lane. All lanes share handle_frame —
+        // routes multiplex across lanes, route-id cache included.
+        reactor_wires_.reserve(lanes);
+        for (std::size_t i = 0; i < lanes; ++i) {
+            const int band =
+                options_.reactor_band >= 0
+                    ? options_.reactor_band + static_cast<int>(i)
+                    : (lanes > 1 ? static_cast<int>(i) : -1);
+            net::Reactor::ClosedHandler on_closed;
+            if (lanes > 1) {
+                // A lane dying under a live group is a counted failover
+                // event on the receive side, not a route teardown.
+                on_closed = [this] {
+                    lanes_down_.fetch_add(1, std::memory_order_relaxed);
+                };
+            }
+            reactor_wires_.push_back(reactor_->register_wire(
+                wire_->lane(i),
+                [this](net::FrameBuffer frame) {
+                    // In-place decode on the resident buffer; the pooled
+                    // storage recycles when `frame` dies on return.
+                    handle_frame(frame.data(), frame.size());
+                },
+                std::move(on_closed), band));
+        }
         reactor_attached_ = true;
         return;
     }
-    reader_ = std::make_unique<rt::RtThread>(name_ + "-reader", rt::Priority{},
-                                             [this] { reader_loop(); });
+    readers_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+        const std::string suffix =
+            lanes > 1 ? "-reader" + std::to_string(i) : "-reader";
+        readers_.push_back(std::make_unique<rt::RtThread>(
+            name_ + suffix, rt::Priority{}, [this, i] { reader_loop(i); }));
+    }
 }
 
-void RemoteBridge::reader_loop() {
+void RemoteBridge::reader_loop(std::size_t lane) {
+    net::Transport& wire = wire_->lane(lane);
     for (;;) {
         std::optional<net::FrameBuffer> frame;
         try {
-            frame = wire_->recv_frame();
+            frame = wire.recv_frame();
         } catch (const std::exception&) {
+            if (wire_->lane_count() > 1) {
+                lanes_down_.fetch_add(1, std::memory_order_relaxed);
+            }
             return;
         }
         if (!frame.has_value()) return;
@@ -334,11 +414,15 @@ void RemoteBridge::shutdown() {
     // (3) join the blocking reader, if this bridge ran one; (4) retire
     // the counter source so trace_report can never touch a dead wire.
     if (reactor_attached_) {
-        reactor_->deregister_wire(reactor_wire_);
+        for (const std::uint64_t id : reactor_wires_) {
+            reactor_->deregister_wire(id);
+        }
         reactor_attached_ = false;
     }
     if (wire_ != nullptr) wire_->close();
-    if (reader_ != nullptr) reader_->join();
+    for (auto& reader : readers_) {
+        if (reader != nullptr) reader->join();
+    }
     if (counter_token_ != 0) {
         app_->remove_counter_source(counter_token_);
         counter_token_ = 0;

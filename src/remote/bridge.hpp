@@ -81,8 +81,14 @@ public:
     RemoteBridge& operator=(const RemoteBridge&) = delete;
 
     /// Ship everything `local_out` sends to the peer under `route`.
-    /// The message type must have a registered serializer.
-    void export_route(core::OutPortBase& local_out, const std::string& route);
+    /// The message type must have a registered serializer. `band` picks
+    /// the priority-banded lane the route's frames ride when the wire is
+    /// a net::LaneGroup (stamped once into the route's header template):
+    /// band < 0 derives it from the port's default priority via
+    /// net::LanePolicy on a multi-lane wire, and leaves single-wire
+    /// frames byte-identical to stock GIOP.
+    void export_route(core::OutPortBase& local_out, const std::string& route,
+                      int band = -1);
 
     /// Deliver frames arriving under `route` into `local_in`. Messages are
     /// drawn from the connection's pool and sent at `priority` (or, when
@@ -130,7 +136,7 @@ private:
 
     class ExportHandler;
 
-    void reader_loop();
+    void reader_loop(std::size_t lane);
     void handle_frame(const std::uint8_t* frame, std::size_t size);
     void handle_frame_legacy(const std::uint8_t* frame, std::size_t size);
 
@@ -149,9 +155,13 @@ private:
     /// remote/route_cache.hpp for the memory-order argument.
     RouteIdCache<ImportRoute> id_cache_;
     std::uint32_t next_export_id_ = 0; ///< ids start at 1; 0 = untagged
-    std::unique_ptr<rt::RtThread> reader_;
+    /// One blocking reader per lane (kThreadPerWire); one entry on a
+    /// plain single-wire transport.
+    std::vector<std::unique_ptr<rt::RtThread>> readers_;
     net::Reactor* reactor_ = nullptr;  ///< resolved at start()
-    std::uint64_t reactor_wire_ = 0;
+    /// Reactor wire ids, one per lane, each pinned to the loop of its
+    /// band so urgent lanes never share a loop thread with bulk lanes.
+    std::vector<std::uint64_t> reactor_wires_;
     bool reactor_attached_ = false;
     std::uint64_t counter_token_ = 0;
     std::atomic<bool> started_{false};
@@ -159,6 +169,9 @@ private:
     std::atomic<std::uint64_t> sent_{0};
     std::atomic<std::uint64_t> received_{0};
     std::atomic<std::uint64_t> dropped_{0};
+    /// Lanes the reactor closed on EOF/error while the group stayed up —
+    /// the counted failover event on the receive side.
+    std::atomic<std::uint64_t> lanes_down_{0};
     int next_port_id_ = 0;
 };
 

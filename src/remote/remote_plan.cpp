@@ -1,0 +1,50 @@
+#include "remote/remote_plan.hpp"
+
+namespace compadres::remote {
+
+void apply_remote_plan(const compiler::AssemblyPlan& plan,
+                       const std::string& remote_name,
+                       core::Application& app, RemoteBridge& bridge) {
+    const compiler::PlannedRemote* remote = nullptr;
+    for (const compiler::PlannedRemote& r : plan.remotes) {
+        if (r.name == remote_name) {
+            remote = &r;
+            break;
+        }
+    }
+    if (remote == nullptr) {
+        throw BridgeError("plan has no remote named '" + remote_name + "'");
+    }
+    for (const compiler::PlannedRemoteRoute& r : remote->exports) {
+        core::Component* comp = app.find(r.instance);
+        if (comp == nullptr) {
+            throw BridgeError("remote '" + remote_name + "' export '" +
+                              r.route + "': application has no instance '" +
+                              r.instance + "'");
+        }
+        core::OutPortBase* out = comp->find_out_port(r.port);
+        if (out == nullptr) {
+            throw BridgeError("remote '" + remote_name + "' export '" +
+                              r.route + "': instance '" + r.instance +
+                              "' has no Out port '" + r.port + "'");
+        }
+        bridge.export_route(*out, r.route, r.band);
+    }
+    for (const compiler::PlannedRemoteRoute& r : remote->imports) {
+        core::Component* comp = app.find(r.instance);
+        if (comp == nullptr) {
+            throw BridgeError("remote '" + remote_name + "' import '" +
+                              r.route + "': application has no instance '" +
+                              r.instance + "'");
+        }
+        core::InPortBase* in = comp->find_in_port(r.port);
+        if (in == nullptr) {
+            throw BridgeError("remote '" + remote_name + "' import '" +
+                              r.route + "': instance '" + r.instance +
+                              "' has no In port '" + r.port + "'");
+        }
+        bridge.import_route(r.route, *in);
+    }
+}
+
+} // namespace compadres::remote

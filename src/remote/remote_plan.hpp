@@ -1,0 +1,30 @@
+// Compiler-to-bridge glue: apply a validated <Remote> plan to a live
+// RemoteBridge.
+//
+// The CCL compiler turned <Remote>/<Bands>/<Export>/<Import> into a
+// PlannedRemote (parse -> validate -> plan); this translates that plan
+// into export_route/import_route calls against the assembled application,
+// so band assignment stays a composition-time artifact — generated from
+// the CCL, never hand-wired in application code. The paper's RT-OSGi
+// contemporaries make the same argument for priority mapping (PAPERS.md);
+// this is the Compadres version of it.
+//
+// Lives in the remote library (not the compiler): the compiler stays free
+// of transport dependencies, while the remote layer already links both.
+#pragma once
+
+#include "compiler/validator.hpp"
+#include "remote/bridge.hpp"
+
+namespace compadres::remote {
+
+/// Find `remote_name` in the plan and wire its routes into `bridge`
+/// (exports with their planned bands, imports at frame-carried priority).
+/// `app` must be the application assembled from the same plan. Call
+/// before bridge.start(). Throws BridgeError when the plan has no such
+/// remote or the assembled application is missing a named instance/port.
+void apply_remote_plan(const compiler::AssemblyPlan& plan,
+                       const std::string& remote_name,
+                       core::Application& app, RemoteBridge& bridge);
+
+} // namespace compadres::remote

@@ -230,3 +230,54 @@ TEST(GiopLocate, TruncationRejected) {
             << "prefix " << len;
     }
 }
+
+// Priority band: bits 4-6 of the flags octet carry the lane band (our
+// extension); band 0 stays byte-identical to stock GIOP 1.0.
+TEST(GiopBand, BandRoundTripsThroughFlagsOctet) {
+    cdr::RequestHeader req;
+    req.request_id = 1;
+    req.object_key = "K";
+    req.operation = "op";
+    auto frame = cdr::encode_request(req, nullptr, 0);
+    EXPECT_EQ(cdr::frame_band(frame.data()), 0u); // default stock frame
+    for (std::uint8_t band = 0; band <= 7; ++band) {
+        cdr::set_frame_band(frame.data(), band);
+        EXPECT_EQ(cdr::frame_band(frame.data()), band);
+        const auto header = cdr::decode_header(frame.data(), frame.size());
+        EXPECT_EQ(header.band, band);
+        // The stamp never disturbs the rest of the frame: decode still works.
+        const auto decoded = cdr::decode_request(frame.data(), frame.size());
+        EXPECT_EQ(decoded.header.request_id, 1u);
+    }
+}
+
+TEST(GiopBand, RestampPreservesByteOrderBit) {
+    cdr::RequestHeader req;
+    req.object_key = "K";
+    req.operation = "op";
+    auto frame = cdr::encode_request(req, nullptr, 0);
+    const std::uint8_t order_bit =
+        frame[cdr::GiopHeader::kFlagsOffset] & 0x01;
+    cdr::set_frame_band(frame.data(), 5);
+    cdr::set_frame_band(frame.data(), 2);
+    EXPECT_EQ(frame[cdr::GiopHeader::kFlagsOffset] & 0x01, order_bit);
+    EXPECT_EQ(cdr::frame_band(frame.data()), 2u);
+}
+
+TEST(GiopBand, ReservedFlagBitsStillRejected) {
+    cdr::RequestHeader req;
+    req.object_key = "K";
+    req.operation = "op";
+    const auto base = cdr::encode_request(req, nullptr, 0);
+    for (const std::uint8_t bit : {0x02, 0x04, 0x08, 0x80}) {
+        auto frame = base;
+        frame[cdr::GiopHeader::kFlagsOffset] |= bit;
+        EXPECT_THROW(cdr::decode_header(frame.data(), frame.size()),
+                     cdr::MarshalError)
+            << "reserved bit 0x" << std::hex << int(bit);
+    }
+    // All band bits set together is still a legal (band 7) frame.
+    auto frame = base;
+    cdr::set_frame_band(frame.data(), 7);
+    EXPECT_NO_THROW(cdr::decode_header(frame.data(), frame.size()));
+}

@@ -244,3 +244,103 @@ TEST(CclErrors, NegativeScopeLevel) {
                      "</Component></Application>"),
                  CclError);
 }
+
+// ---- <Remote> / <Bands> (priority-banded connection lanes) ----
+
+TEST(CclRemote, ParsesRemoteWithBandsExportsAndImports) {
+    const auto model = compiler::parse_ccl_string(
+        "<Application><ApplicationName>A</ApplicationName>"
+        "<Component><InstanceName>I</InstanceName>"
+        "<ClassName>C</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component>"
+        "<Remote><RemoteName>uplink</RemoteName><Bands>3</Bands>"
+        "<Export><Component>I</Component><Port>out</Port>"
+        "<Route>a.b</Route><Band>2</Band></Export>"
+        "<Import><Component>I</Component><Port>in</Port>"
+        "<Route>c.d</Route></Import></Remote>"
+        "<RTSJAttributes><ReactorBands>3</ReactorBands></RTSJAttributes>"
+        "</Application>");
+    ASSERT_EQ(model.remotes.size(), 1u);
+    const compiler::CclRemote& r = model.remotes[0];
+    EXPECT_EQ(r.name, "uplink");
+    EXPECT_EQ(r.bands, 3u);
+    ASSERT_EQ(r.exports.size(), 1u);
+    EXPECT_EQ(r.exports[0].component, "I");
+    EXPECT_EQ(r.exports[0].port, "out");
+    EXPECT_EQ(r.exports[0].route, "a.b");
+    EXPECT_EQ(r.exports[0].band, 2);
+    ASSERT_EQ(r.imports.size(), 1u);
+    EXPECT_EQ(r.imports[0].route, "c.d");
+    EXPECT_EQ(r.imports[0].band, -1); // absent <Band> stays unset
+    EXPECT_EQ(model.rtsj.reactor_bands, 3u);
+}
+
+TEST(CclRemote, BandsDefaultsToTwoAndReactorBandsToFour) {
+    const auto model = compiler::parse_ccl_string(
+        "<Application><ApplicationName>A</ApplicationName>"
+        "<Component><InstanceName>I</InstanceName>"
+        "<ClassName>C</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component>"
+        "<Remote><RemoteName>R</RemoteName>"
+        "<Export><Component>I</Component><Port>p</Port>"
+        "<Route>r</Route></Export></Remote></Application>");
+    ASSERT_EQ(model.remotes.size(), 1u);
+    EXPECT_EQ(model.remotes[0].bands, 2u);
+    EXPECT_EQ(model.rtsj.reactor_bands, 4u);
+}
+
+TEST(CclRemoteErrors, MissingRemoteName) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Remote><Bands>2</Bands>"
+                     "<Export><Component>I</Component><Port>p</Port>"
+                     "<Route>r</Route></Export></Remote></Application>"),
+                 CclError);
+}
+
+TEST(CclRemoteErrors, ZeroBands) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Remote><RemoteName>R</RemoteName><Bands>0</Bands>"
+                     "<Export><Component>I</Component><Port>p</Port>"
+                     "<Route>r</Route></Export></Remote></Application>"),
+                 CclError);
+}
+
+TEST(CclRemoteErrors, RemoteWithoutRoutes) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+                     "</Remote></Application>"),
+                 CclError);
+}
+
+TEST(CclRemoteErrors, ExportMissingRoute) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Remote><RemoteName>R</RemoteName>"
+                     "<Export><Component>I</Component><Port>p</Port>"
+                     "</Export></Remote></Application>"),
+                 CclError);
+}
+
+TEST(CclRemoteErrors, NegativeBand) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Remote><RemoteName>R</RemoteName>"
+                     "<Export><Component>I</Component><Port>p</Port>"
+                     "<Route>r</Route><Band>-1</Band></Export>"
+                     "</Remote></Application>"),
+                 CclError);
+}
+
+TEST(CclRemoteErrors, ZeroReactorBands) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Component><InstanceName>I</InstanceName>"
+                     "<ClassName>C</ClassName>"
+                     "<ComponentType>Immortal</ComponentType></Component>"
+                     "<RTSJAttributes><ReactorBands>0</ReactorBands>"
+                     "</RTSJAttributes></Application>"),
+                 CclError);
+}

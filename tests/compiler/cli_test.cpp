@@ -64,6 +64,27 @@ const char* kCcl = R"(
  </Component>
 </Application>)";
 
+// Same topology, plus a priority-banded remote sharding P1.out / P2.in
+// across two lanes.
+const char* kCclRemote = R"(
+<Application>
+ <ApplicationName>PingApp</ApplicationName>
+ <Component>
+  <InstanceName>P1</InstanceName><ClassName>Pinger</ClassName>
+  <ComponentType>Immortal</ComponentType>
+  <Component>
+   <InstanceName>P2</InstanceName><ClassName>Ponger</ClassName>
+   <ComponentType>Scoped</ComponentType><ScopeLevel>1</ScopeLevel>
+  </Component>
+ </Component>
+ <Remote>
+  <RemoteName>peer</RemoteName>
+  <Bands>2</Bands>
+  <Export><Component>P1</Component><Port>out</Port><Route>cmd</Route><Band>0</Band></Export>
+  <Import><Component>P2</Component><Port>in</Port><Route>ack</Route></Import>
+ </Remote>
+</Application>)";
+
 struct CliResult {
     int code;
     std::string out;
@@ -156,6 +177,60 @@ TEST(Cli, PlanDumpsTopology) {
     EXPECT_NE(r.out.find("application: PingApp"), std::string::npos);
     EXPECT_NE(r.out.find("P1.out -> P2.in"), std::string::npos);
     EXPECT_NE(r.out.find("host=P1"), std::string::npos);
+}
+
+TEST(Cli, PlanDumpsRemoteLanesWithBands) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto ccl = write_file(dir, "a.ccl.xml", kCclRemote);
+    const auto r = run({"plan", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("remote: peer bands=2"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("export cmd: P1.out type=MyInteger band=0"),
+              std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("import ack: P2.in type=MyInteger"),
+              std::string::npos)
+        << r.out;
+}
+
+TEST(Cli, PlanShowsAutoBandForUnpinnedExports) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    std::string ccl_text = kCclRemote;
+    const std::string pin = "<Band>0</Band>";
+    const auto pos = ccl_text.find(pin);
+    ASSERT_NE(pos, std::string::npos);
+    ccl_text.erase(pos, pin.size());
+    const auto ccl = write_file(dir, "a.ccl.xml", ccl_text);
+    const auto r = run({"plan", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("export cmd: P1.out type=MyInteger band=auto"),
+              std::string::npos)
+        << r.out;
+}
+
+TEST(Cli, CheckCountsRemotes) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    const auto ccl = write_file(dir, "a.ccl.xml", kCclRemote);
+    const auto r = run({"check", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("1 remote(s)"), std::string::npos) << r.out;
+}
+
+TEST(Cli, CheckRejectsBandBeyondRemoteWidth) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    std::string ccl_text = kCclRemote;
+    const std::string pin = "<Band>0</Band>";
+    const auto pos = ccl_text.find(pin);
+    ASSERT_NE(pos, std::string::npos);
+    ccl_text.replace(pos, pin.size(), "<Band>5</Band>");
+    const auto ccl = write_file(dir, "a.ccl.xml", ccl_text);
+    const auto r = run({"check", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("band range"), std::string::npos) << r.err;
 }
 
 TEST(Cli, MainStubWritesCompilableStub) {

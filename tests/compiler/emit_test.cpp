@@ -66,12 +66,35 @@ bool components_equal(const CclComponent& a, const CclComponent& b) {
     return true;
 }
 
+bool routes_equal(const std::vector<CclRemoteRoute>& a,
+                  const std::vector<CclRemoteRoute>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].component != b[i].component || a[i].port != b[i].port ||
+            a[i].route != b[i].route || a[i].band != b[i].band) {
+            return false;
+        }
+    }
+    return true;
+}
+
 bool models_equal(const CclModel& a, const CclModel& b) {
     if (a.application_name != b.application_name ||
         a.components.size() != b.components.size() ||
+        a.remotes.size() != b.remotes.size() ||
         a.rtsj.immortal_size != b.rtsj.immortal_size ||
+        a.rtsj.reactor_bands != b.rtsj.reactor_bands ||
         a.rtsj.scoped_pools.size() != b.rtsj.scoped_pools.size()) {
         return false;
+    }
+    for (std::size_t i = 0; i < a.remotes.size(); ++i) {
+        const CclRemote& r = a.remotes[i];
+        const CclRemote& s = b.remotes[i];
+        if (r.name != s.name || r.bands != s.bands ||
+            !routes_equal(r.exports, s.exports) ||
+            !routes_equal(r.imports, s.imports)) {
+            return false;
+        }
     }
     for (std::size_t i = 0; i < a.components.size(); ++i) {
         if (!components_equal(a.components[i], b.components[i])) return false;
@@ -133,6 +156,30 @@ TEST(Emit, CclRoundTripsListing12Shape) {
     calc.scope_level = 1;
     server.children.push_back(calc);
     model.components.push_back(server);
+
+    const std::string xml_text = emit_ccl(model);
+    const CclModel reparsed = parse_ccl_string(xml_text);
+    EXPECT_TRUE(models_equal(model, reparsed)) << xml_text;
+}
+
+TEST(Emit, CclRoundTripsRemoteAndReactorBands) {
+    CclModel model;
+    model.application_name = "Banded";
+    model.rtsj.reactor_bands = 6;
+
+    CclComponent hub;
+    hub.instance_name = "H";
+    hub.class_name = "Hub";
+    hub.type = core::ComponentType::kImmortal;
+    model.components.push_back(hub);
+
+    CclRemote remote;
+    remote.name = "peer";
+    remote.bands = 3;
+    remote.exports.push_back({"H", "cmdOut", "cmd-route", 0, 0});
+    remote.exports.push_back({"H", "logOut", "log-route", -1, 0});
+    remote.imports.push_back({"H", "ackIn", "ack-route", -1, 0});
+    model.remotes.push_back(remote);
 
     const std::string xml_text = emit_ccl(model);
     const CclModel reparsed = parse_ccl_string(xml_text);
@@ -214,6 +261,27 @@ TEST_P(EmitFuzzTest, RandomCclRoundTrips) {
             parent = &parent->children.back();
         }
     }
+    // Sometimes shard the app across priority-banded remotes too.
+    const int remote_count = static_cast<int>(rng() % 3);
+    for (int r = 0; r < remote_count; ++r) {
+        CclRemote remote;
+        remote.name = "peer" + std::to_string(r);
+        remote.bands = 1 + rng() % 4;
+        const int export_count = 1 + static_cast<int>(rng() % 3);
+        for (int e = 0; e < export_count; ++e) {
+            const int band =
+                rng() % 2 == 0 ? -1 : static_cast<int>(rng() % remote.bands);
+            remote.exports.push_back({"inst0", "p" + std::to_string(e),
+                                      "route" + std::to_string(r * 8 + e),
+                                      band, 0});
+        }
+        if (rng() % 2 == 0) {
+            remote.imports.push_back(
+                {"inst0", "pin", "route" + std::to_string(r * 8 + 7), -1, 0});
+        }
+        model.remotes.push_back(remote);
+    }
+    if (remote_count > 0) model.rtsj.reactor_bands = 1 + rng() % 8;
     const CclModel reparsed = parse_ccl_string(emit_ccl(model));
     EXPECT_TRUE(models_equal(model, reparsed)) << emit_ccl(model);
 }

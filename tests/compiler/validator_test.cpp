@@ -401,3 +401,139 @@ TEST(Validator, AllIssuesReportedTogether) {
         "<ComponentType>Immortal</ComponentType></Component>");
     EXPECT_GE(issues.size(), 2u);
 }
+
+// ---- <Remote> / <Bands> (priority-banded connection lanes) ----
+
+namespace {
+
+const char* kRemoteOk =
+    "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+    "<Export><Component>H</Component><Port>cmdOut</Port>"
+    "<Route>r.cmd</Route><Band>1</Band></Export>"
+    "<Import><Component>H</Component><Port>ackIn</Port>"
+    "<Route>r.ack</Route></Import></Remote>";
+
+} // namespace
+
+TEST(ValidatorRemote, ValidRemotePlanned) {
+    const auto plan = plan_of(hub_with("") + kRemoteOk);
+    ASSERT_EQ(plan.remotes.size(), 1u);
+    const compiler::PlannedRemote& r = plan.remotes[0];
+    EXPECT_EQ(r.name, "R");
+    EXPECT_EQ(r.bands, 2u);
+    ASSERT_EQ(r.exports.size(), 1u);
+    EXPECT_EQ(r.exports[0].instance, "H");
+    EXPECT_EQ(r.exports[0].port, "cmdOut");
+    EXPECT_EQ(r.exports[0].route, "r.cmd");
+    EXPECT_EQ(r.exports[0].band, 1);
+    EXPECT_EQ(r.exports[0].message_type, "Cmd");
+    ASSERT_EQ(r.imports.size(), 1u);
+    EXPECT_EQ(r.imports[0].route, "r.ack");
+    EXPECT_EQ(r.imports[0].band, -1);
+    EXPECT_EQ(r.imports[0].message_type, "Ack");
+}
+
+TEST(ValidatorRemote, ExportBandOutsideRangeReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route><Band>2</Band></Export></Remote>");
+    EXPECT_TRUE(any_issue_contains(issues, "outside the remote's band range"));
+}
+
+TEST(ValidatorRemote, BandsBeyondReactorBandsReported) {
+    // Default <ReactorBands> is 4: a 5-lane remote would share loop
+    // threads between bands.
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>5</Bands>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    EXPECT_TRUE(any_issue_contains(issues, "exceeds <ReactorBands> 4"));
+}
+
+TEST(ValidatorRemote, BandsWithinRaisedReactorBandsAccepted) {
+    const auto plan = plan_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>5</Bands>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>"
+        "<RTSJAttributes><ReactorBands>6</ReactorBands></RTSJAttributes>");
+    ASSERT_EQ(plan.remotes.size(), 1u);
+    EXPECT_EQ(plan.remotes[0].bands, 5u);
+    EXPECT_EQ(plan.rtsj.reactor_bands, 6u);
+}
+
+TEST(ValidatorRemote, BandsBeyondWireFormatReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>9</Bands>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>"
+        "<RTSJAttributes><ReactorBands>16</ReactorBands></RTSJAttributes>");
+    EXPECT_TRUE(any_issue_contains(issues, "wire-format limit of 8"));
+}
+
+TEST(ValidatorRemote, UnknownInstanceReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+        "<Export><Component>Ghost</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    EXPECT_TRUE(any_issue_contains(issues, "unknown instance 'Ghost'"));
+}
+
+TEST(ValidatorRemote, UnknownPortReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+        "<Export><Component>H</Component><Port>nope</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    EXPECT_TRUE(any_issue_contains(issues, "unknown port 'H.nope'"));
+}
+
+TEST(ValidatorRemote, ExportFromInPortReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+        "<Export><Component>H</Component><Port>ackIn</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    EXPECT_TRUE(any_issue_contains(issues, "exports ship from Out ports"));
+}
+
+TEST(ValidatorRemote, ImportIntoOutPortReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+        "<Import><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Import></Remote>");
+    EXPECT_TRUE(any_issue_contains(issues, "imports feed\n"
+                                           "In ports") ||
+                any_issue_contains(issues, "imports feed In ports"));
+}
+
+TEST(ValidatorRemote, ImportWithBandReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+        "<Import><Component>H</Component><Port>ackIn</Port>"
+        "<Route>r.ack</Route><Band>1</Band></Import></Remote>");
+    EXPECT_TRUE(any_issue_contains(
+        issues, "imports take the band stamped by the exporting peer"));
+}
+
+TEST(ValidatorRemote, DuplicateRouteAndRemoteNameReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>"
+        "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r2.cmd</Route></Export></Remote>");
+    EXPECT_TRUE(any_issue_contains(issues, "duplicate export route 'r.cmd'"));
+    EXPECT_TRUE(any_issue_contains(issues, "duplicate remote name 'R'"));
+}

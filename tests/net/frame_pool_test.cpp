@@ -72,9 +72,12 @@ TEST(FrameBuffer, MoveTransfersOwnership) {
     EXPECT_EQ(pool.stats().recycled, 1u);
 }
 
+// Note the declaration order throughout: a frame recycles into its home
+// pool on destruction, so a ring holding frames must die before the pool
+// that backs them.
 TEST(FrameRing, PreservesFifoOrder) {
-    net::FrameRing ring(8);
     net::FrameBufferPool pool;
+    net::FrameRing ring(8);
     for (std::uint8_t i = 0; i < 5; ++i) {
         net::FrameBuffer f = pool.acquire(4);
         f.data()[0] = i;
@@ -88,8 +91,8 @@ TEST(FrameRing, PreservesFifoOrder) {
 }
 
 TEST(FrameRing, BlockedPushUnblocksOnPop) {
-    net::FrameRing ring(1);
     net::FrameBufferPool pool;
+    net::FrameRing ring(1);
     ASSERT_TRUE(ring.push(pool.acquire(4)));
     std::thread pusher([&] { EXPECT_TRUE(ring.push(pool.acquire(4))); });
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -99,8 +102,8 @@ TEST(FrameRing, BlockedPushUnblocksOnPop) {
 }
 
 TEST(FrameRing, CloseDrainsThenReturnsEmpty) {
-    net::FrameRing ring(4);
     net::FrameBufferPool pool;
+    net::FrameRing ring(4);
     ASSERT_TRUE(ring.push(pool.acquire(4)));
     ring.close();
     EXPECT_FALSE(ring.push(pool.acquire(4)));

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Aggregate the repo's BENCH_*.json artifacts into one trajectory table.
+
+Each perf PR lands a bench binary that drops a BENCH_<name>.json next to
+the build tree (hop, remote, fanin, lanes, ...). This reads every
+BENCH_*.json under the given directory (default: ./build, falling back to
+the current directory) and prints one row per benchmark with its headline
+numbers, so the performance trajectory across PRs is visible in one
+place without opening four differently-shaped JSON files.
+
+Stdlib only; no dependencies.
+
+Usage:
+    tools/bench_trend.py [build-dir ...]
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def us(ns):
+    """ns -> microseconds string, or '-' when absent."""
+    if ns is None:
+        return "-"
+    return "%.1f" % (ns / 1000.0)
+
+
+def headline(doc):
+    """(p50_us, p99_us, detail) headline for one bench document.
+
+    Every bench names its own headline comparison; anything unrecognized
+    still gets a row from whatever common fields it carries.
+    """
+    name = doc.get("benchmark", "?")
+    if name == "hop_microbench":
+        s = doc.get("single_lock", {})
+        return (
+            us(s.get("median_ns")),
+            us(s.get("p99_ns")),
+            "locks/hop %.3f" % doc.get("locks_per_uncontended_hop", -1),
+        )
+    if name == "remote_roundtrip":
+        sizes = doc.get("sizes", [])
+        fast = sizes[0].get("fast", {}) if sizes else {}
+        return (
+            us(fast.get("median_ns")),
+            us(fast.get("p99_ns")),
+            "allocs/msg %.2f, p50 vs legacy %+.1f%%"
+            % (
+                doc.get("allocs_per_message_steady_state", -1),
+                doc.get("improvement_p50_32B_pct", 0),
+            ),
+        )
+    if name == "fanin_roundtrip":
+        gated = doc.get("gated_interleaved", {})
+        return (
+            us(gated.get("reactor64_p50_ns")),
+            us(gated.get("reactor64_p99_ns")),
+            "reactor@64 on %s threads, allocs/msg %.2f"
+            % (
+                doc.get("reactor_threads_at_64", "?"),
+                doc.get("allocs_per_message_steady_state", -1),
+            ),
+        )
+    if name == "lane_interference":
+        legs = {leg.get("leg"): leg for leg in doc.get("legs", [])}
+        con = legs.get("two_lane_bulk", {})
+        sw_unc = legs.get("single_wire", {})
+        sw_con = legs.get("single_wire_bulk", {})
+        inversion = "-"
+        if sw_unc.get("p50_ns") and sw_con.get("p50_ns"):
+            inversion = "%.0fx" % (sw_con["p50_ns"] / sw_unc["p50_ns"])
+        return (
+            us(con.get("p50_ns")),
+            us(con.get("p99_ns")),
+            "urgent under bulk; single-wire inversion %s, allocs/msg %.2f"
+            % (inversion, doc.get("allocs_per_message_steady_state", -1)),
+        )
+    return ("-", "-", "(no headline extractor)")
+
+
+def main(argv):
+    dirs = argv[1:]
+    if not dirs:
+        dirs = ["build" if os.path.isdir("build") else "."]
+    paths = []
+    for d in dirs:
+        paths.extend(sorted(glob.glob(os.path.join(d, "BENCH_*.json"))))
+    if not paths:
+        print("no BENCH_*.json found under: %s" % ", ".join(dirs))
+        return 1
+
+    rows = []
+    for path in paths:
+        base = os.path.basename(path)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            rows.append((base, "?", "-", "-", "unreadable: %s" % e))
+            continue
+        p50, p99, detail = headline(doc)
+        rows.append((base, doc.get("benchmark", "?"), p50, p99, detail))
+
+    widths = [
+        max(len(r[i]) for r in rows + [HEADER]) for i in range(len(HEADER))
+    ]
+    for row in [HEADER] + rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    return 0
+
+
+HEADER = ("file", "benchmark", "p50(us)", "p99(us)", "headline")
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
