@@ -1,0 +1,510 @@
+// Observability-plane overhead bench + gates.
+//
+// The same loopback echo harness as remote_roundtrip, run twice per batch
+// pair: once with the observability plane fully off (tracer disabled,
+// flight recorder disabled) and once with it on in its deployment shape
+// (recorder enabled, 1-in-4 flows sampled — sampled frames pay the
+// 16-byte GIOP trailer plus the span-scoped hop/span events). A separate
+// trace-everything rung (shift 0, every flow traced) is measured and
+// reported but not gated: that is the diagnostic mode. Batches alternate
+// off/on within the same time window so scheduler and frequency drift hit
+// both variants equally, and the gated number is the median of per-pair
+// overhead ratios.
+//
+// Gates (run by the `obs_bench` tool target, and in --smoke form by ctest):
+//   * tracing-enabled p50 is within 5% of tracing-disabled (full runs on
+//     plain builds only; timing under --smoke or sanitizers is noise),
+//   * steady-state allocations per message == 0 with the recorder and a
+//     sampled trace context active (counted by a global operator new
+//     override; ring/TLS setup is absorbed in warm-up, as a deployment
+//     would during initialization),
+//   * a traced round trip stitches: the flight-recorder dump decodes, and
+//     one trace id carries span-send and span-recv events across at least
+//     two threads (client side and server side of the wire), proving the
+//     trailer survives the hop and RemoteBridge reinstalls the context.
+// The stitched dump is also rendered through chrome_trace_json to
+// BENCH_obs_trace.json — the same Perfetto-loadable output
+// tools/compadres-trace produces. Results land in BENCH_obs.json.
+#include "common.hpp"
+
+#include "net/frame_pool.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
+#include "remote/bridge.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <new>
+#include <set>
+#include <sstream>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define COMPADRES_UNDER_SANITIZER 1
+#endif
+#if !defined(COMPADRES_UNDER_SANITIZER) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define COMPADRES_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef COMPADRES_UNDER_SANITIZER
+#define COMPADRES_UNDER_SANITIZER 0
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+} // namespace
+
+// Count every heap allocation in the process so the steady-state gate can
+// assert the instrumented hop makes none.
+void* operator new(std::size_t n) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n ? n : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(al);
+    if (void* p = std::aligned_alloc(a, (n + a - 1) / a * a)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+    return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+
+using namespace compadres;
+
+namespace {
+
+constexpr std::size_t kBatch = 64;  ///< round trips in flight per sample
+constexpr std::size_t kPayloadSizes[] = {32, 256};
+
+core::InPortConfig sync_port() {
+    core::InPortConfig cfg;
+    cfg.min_threads = cfg.max_threads = 0;
+    return cfg;
+}
+
+void obs_on(int sample_shift) {
+    obs::FlightRecorder::enable();
+    obs::Tracer::configure(sample_shift);
+}
+
+void obs_off() {
+    obs::Tracer::configure(-1);
+    obs::Tracer::clear_current();
+    obs::FlightRecorder::disable();
+}
+
+/// A.ping -> bridge -> B (echo) -> bridge -> A.pong over one loopback wire.
+class EchoHarness {
+public:
+    EchoHarness() {
+        core::register_builtin_message_types();
+        remote::register_builtin_serializers();
+        auto [wire_a, wire_b] = net::make_loopback_pair(256);
+        bridge_a_ = std::make_unique<remote::RemoteBridge>(
+            app_a_, std::move(wire_a), "obs-a");
+        bridge_b_ = std::make_unique<remote::RemoteBridge>(
+            app_b_, std::move(wire_b), "obs-b");
+
+        auto& pinger = app_a_.create_immortal<core::Component>("Pinger");
+        ping_out_ = &pinger.add_out_port<core::OctetSeq>("out", "OctetSeq");
+        bridge_a_->export_route(*ping_out_, "ping");
+        auto& pong_in = pinger.add_in_port<core::OctetSeq>(
+            "back", "OctetSeq", sync_port(),
+            [this](core::OctetSeq&, core::Smm&) {
+                bool wake;
+                {
+                    std::lock_guard lk(mu_);
+                    wake = ++pongs_ >= target_.load(std::memory_order_relaxed);
+                }
+                if (wake) cv_.notify_one();
+            });
+        bridge_a_->import_route("pong", pong_in);
+
+        auto& echo = app_b_.create_immortal<core::Component>("Echo");
+        echo_out_ = &echo.add_out_port<core::OctetSeq>("out", "OctetSeq");
+        bridge_b_->export_route(*echo_out_, "pong");
+        auto& echo_in = echo.add_in_port<core::OctetSeq>(
+            "in", "OctetSeq", sync_port(),
+            [this](core::OctetSeq& m, core::Smm&) {
+                core::OctetSeq* fwd = echo_out_->get_message();
+                fwd->assign(m.data.data(), m.length);
+                echo_out_->send(fwd, 5);
+            });
+        bridge_b_->import_route("ping", echo_in);
+
+        bridge_a_->start();
+        bridge_b_->start();
+        // The payload bytes are never inspected (length is the knob), so
+        // the pools' release scrub would only measure itself.
+        ping_out_->pool()->set_scrub_on_release(false);
+        echo_out_->pool()->set_scrub_on_release(false);
+    }
+
+    void send_ping(std::size_t payload_len) {
+        core::OctetSeq* msg = ping_out_->get_message();
+        msg->length = payload_len;
+        ping_out_->send(msg, 5);
+    }
+
+    void set_target(std::uint64_t target) {
+        target_.store(target, std::memory_order_relaxed);
+    }
+
+    void await_pongs(std::uint64_t target) {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return pongs_ >= target; });
+    }
+
+    std::uint64_t pongs() const {
+        std::lock_guard lk(mu_);
+        return pongs_;
+    }
+
+private:
+    core::Application app_a_{"obs-app-a"};
+    core::Application app_b_{"obs-app-b"};
+    std::unique_ptr<remote::RemoteBridge> bridge_a_;
+    std::unique_ptr<remote::RemoteBridge> bridge_b_;
+    core::OutPort<core::OctetSeq>* ping_out_ = nullptr;
+    core::OutPort<core::OctetSeq>* echo_out_ = nullptr;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::uint64_t pongs_ = 0;
+    std::atomic<std::uint64_t> target_{0};
+};
+
+struct RungResult {
+    rt::StatsSummary off;            ///< per-message ns, plane disabled
+    rt::StatsSummary on;             ///< per-message ns, plane fully on
+    double overhead_pct = 0.0;       ///< median of per-pair (on-off)/off
+    double allocs_per_message = 0.0; ///< steady state, plane on
+};
+
+/// One pipelined batch of round trips; returns per-message nanoseconds.
+std::int64_t run_batch(EchoHarness& h, std::size_t payload,
+                       std::uint64_t& done) {
+    done += kBatch;
+    h.set_target(done);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < kBatch; ++k) h.send_ping(payload);
+    h.await_pongs(done);
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+               .count() /
+           static_cast<std::int64_t>(kBatch);
+}
+
+/// Alternate plane-off and plane-on batches in one time window. The
+/// allocation counter is read around the on-segment only: that is the
+/// configuration the zero-alloc gate is about.
+RungResult run_rung(EchoHarness& h, std::size_t payload, std::size_t iters,
+                    std::size_t warmup, int sample_shift) {
+    rt::StatsRecorder rec_off(iters);
+    rt::StatsRecorder rec_on(iters);
+    rt::StatsRecorder rec_overhead(iters); // per-pair overhead, ppm
+    std::uint64_t done = h.pongs();
+    std::uint64_t on_allocs = 0;
+    for (std::size_t it = 0; it < warmup + iters; ++it) {
+        obs_off();
+        const std::int64_t ns_off = run_batch(h, payload, done);
+        obs_on(sample_shift);
+        const std::uint64_t a0 = g_allocs.load();
+        const std::int64_t ns_on = run_batch(h, payload, done);
+        const std::uint64_t a1 = g_allocs.load();
+        if (it >= warmup) {
+            on_allocs += a1 - a0;
+            rec_off.record(ns_off);
+            rec_on.record(ns_on);
+            if (ns_off > 0) {
+                rec_overhead.record((ns_on - ns_off) * 1'000'000 / ns_off);
+            }
+        }
+    }
+    obs_off();
+    RungResult r;
+    r.off = rec_off.summarize();
+    r.on = rec_on.summarize();
+    r.overhead_pct =
+        static_cast<double>(rec_overhead.summarize().median) / 10'000.0;
+    r.allocs_per_message = static_cast<double>(on_allocs) /
+                           static_cast<double>(iters * kBatch);
+    return r;
+}
+
+struct StitchResult {
+    bool decoded = false;       ///< dump parsed back into events
+    bool stitched = false;      ///< one trace id spans send+recv on >= 2 tids
+    std::size_t events = 0;     ///< decoded event count
+    std::size_t span_events = 0;
+    std::uint64_t trace_id = 0; ///< the stitched trace id (report only)
+    std::size_t perfetto_bytes = 0;
+};
+
+/// Run a handful of fully-traced round trips, dump the recorder, and
+/// verify that client and server hops of one flow share a trace id. Also
+/// renders the dump through chrome_trace_json (what compadres-trace does).
+StitchResult run_stitch(EchoHarness& h, const char* perfetto_path) {
+    obs::FlightRecorder::enable();
+    obs::FlightRecorder::clear();
+    obs::Tracer::configure(0);
+    obs::Tracer::clear_current();
+    std::uint64_t done = h.pongs();
+    done += 8;
+    h.set_target(done);
+    for (int i = 0; i < 8; ++i) {
+        obs::Tracer::clear_current(); // each ping starts a fresh trace
+        h.send_ping(64);
+    }
+    h.await_pongs(done);
+    obs_off();
+
+    StitchResult r;
+    std::ostringstream dump;
+    obs::FlightRecorder::dump(dump);
+    const std::string bytes = dump.str();
+    std::vector<obs::Event> events;
+    try {
+        events = obs::decode_events(
+            reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "stitch: dump failed to decode: %s\n", e.what());
+        return r;
+    }
+    r.decoded = true;
+    r.events = events.size();
+
+    // trace id -> {tids seen, send seen, recv seen}
+    struct Flow {
+        std::set<std::uint32_t> tids;
+        bool send = false;
+        bool recv = false;
+    };
+    std::map<std::uint64_t, Flow> flows;
+    for (const obs::Event& e : events) {
+        if (e.type != obs::EventType::kSpanSend &&
+            e.type != obs::EventType::kSpanRecv) {
+            continue;
+        }
+        ++r.span_events;
+        Flow& f = flows[e.a];
+        f.tids.insert(e.tid);
+        if (e.type == obs::EventType::kSpanSend) f.send = true;
+        if (e.type == obs::EventType::kSpanRecv) f.recv = true;
+    }
+    for (const auto& [id, f] : flows) {
+        if (f.send && f.recv && f.tids.size() >= 2) {
+            r.stitched = true;
+            r.trace_id = id;
+            break;
+        }
+    }
+
+    const std::string json = obs::chrome_trace_json(events);
+    r.perfetto_bytes = json.size();
+    if (std::FILE* f = std::fopen(perfetto_path, "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+    }
+    return r;
+}
+
+void print_row(const char* name, std::size_t payload,
+               const rt::StatsSummary& s) {
+    std::printf("%-10s %6zu B %10.2f %10.2f %10.2f %10.2f\n", name, payload,
+                static_cast<double>(s.median) / 1000.0,
+                static_cast<double>(s.p90) / 1000.0,
+                static_cast<double>(s.p99) / 1000.0,
+                static_cast<double>(s.max) / 1000.0);
+}
+
+void emit_stats(std::FILE* f, const rt::StatsSummary& s) {
+    std::fprintf(f,
+                 "{\"median_ns\": %lld, \"p90_ns\": %lld, \"p99_ns\": %lld, "
+                 "\"max_ns\": %lld}",
+                 static_cast<long long>(s.median),
+                 static_cast<long long>(s.p90),
+                 static_cast<long long>(s.p99),
+                 static_cast<long long>(s.max));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const char* json_path = "BENCH_obs.json";
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            json_path = argv[i];
+        }
+    }
+    const std::size_t iters = smoke ? 100 : bench::sample_count(2'000);
+    const std::size_t warmup = smoke ? 30 : iters / 5;
+    std::printf("=== Observability plane: overhead of tracing + recorder ===\n");
+    std::printf("batched %zu in flight, %zu samples per rung%s\n\n", kBatch,
+                iters, smoke ? " (smoke)" : "");
+
+    constexpr std::size_t kSizeCount =
+        sizeof(kPayloadSizes) / sizeof(kPayloadSizes[0]);
+    // Pre-warm the frame pool past peak in-flight demand so a mid-run
+    // burst never has to allocate (traced frames are 16 B longer but stay
+    // within the same pool classes).
+    net::FrameBufferPool::global().prewarm(512, 4 * kBatch);
+    net::FrameBufferPool::global().prewarm(4096, 4 * kBatch);
+
+    RungResult rungs[kSizeCount];
+    RungResult trace_all; // shift 0: every flow traced (reported, ungated)
+    StitchResult stitch;
+    const std::string perfetto_path =
+        std::string(json_path).find("smoke") != std::string::npos
+            ? "BENCH_obs_trace_smoke.json"
+            : "BENCH_obs_trace.json";
+    {
+        EchoHarness h;
+        // Timed burn-in with the plane toggling exactly as the measured
+        // loop will: first-event ring allocation, trace TLS setup, and
+        // frame-pool growth for the 16-byte-longer traced frames all land
+        // here, not in a measured or alloc-counted batch.
+        {
+            const auto burn_until = std::chrono::steady_clock::now() +
+                                    std::chrono::milliseconds(smoke ? 50
+                                                                    : 2000);
+            std::uint64_t done = h.pongs();
+            while (std::chrono::steady_clock::now() < burn_until) {
+                obs_off();
+                run_batch(h, kPayloadSizes[0], done);
+                obs_on(0);
+                run_batch(h, kPayloadSizes[0], done);
+            }
+            obs_off();
+        }
+        // Gated rungs run the deployment configuration: recorder on,
+        // 1-in-4 flows sampled (CCL <SampleShift>2</SampleShift>). The
+        // trace-everything rung (shift 0) is reported alongside so the
+        // debug-configuration cost stays visible, but is not gated — it
+        // is a diagnostic mode, not a steady-state deployment.
+        for (std::size_t i = 0; i < kSizeCount; ++i) {
+            rungs[i] = run_rung(h, kPayloadSizes[i], iters, warmup, 2);
+        }
+        trace_all = run_rung(h, kPayloadSizes[0], iters, warmup, 0);
+        stitch = run_stitch(h, perfetto_path.c_str());
+    }
+
+    std::printf("%-10s %8s %10s %10s %10s %10s\n", "Variant", "payload",
+                "p50(us)", "p90(us)", "p99(us)", "max(us)");
+    for (std::size_t i = 0; i < kSizeCount; ++i) {
+        print_row("off", kPayloadSizes[i], rungs[i].off);
+        print_row("on", kPayloadSizes[i], rungs[i].on);
+    }
+    print_row("trace-all", kPayloadSizes[0], trace_all.on);
+
+    double worst_allocs = trace_all.allocs_per_message;
+    for (const RungResult& r : rungs) {
+        worst_allocs = std::max(worst_allocs, r.allocs_per_message);
+    }
+    std::printf("\nsteady-state allocations per message (plane on): %.4f\n",
+                worst_allocs);
+    std::printf("p50 at %zu B: off %.2f us vs on %.2f us "
+                "(paired median overhead %.1f%%; trace-all %.1f%%)\n",
+                kPayloadSizes[0],
+                static_cast<double>(rungs[0].off.median) / 1000.0,
+                static_cast<double>(rungs[0].on.median) / 1000.0,
+                rungs[0].overhead_pct, trace_all.overhead_pct);
+    std::printf("trace stitch: %zu events (%zu span), %s, wrote %s (%zu B)\n",
+                stitch.events, stitch.span_events,
+                stitch.stitched ? "stitched across the wire" : "NOT stitched",
+                perfetto_path.c_str(), stitch.perfetto_bytes);
+
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+        std::fprintf(f, "{\n  \"benchmark\": \"obs_overhead\",\n");
+        std::fprintf(f, "  \"batch_in_flight\": %zu,\n", kBatch);
+        std::fprintf(f, "  \"samples_per_rung\": %zu,\n", iters);
+        std::fprintf(f, "  \"sizes\": [\n");
+        for (std::size_t i = 0; i < kSizeCount; ++i) {
+            std::fprintf(f, "    {\"payload_bytes\": %zu, \"off\": ",
+                         kPayloadSizes[i]);
+            emit_stats(f, rungs[i].off);
+            std::fprintf(f, ", \"on\": ");
+            emit_stats(f, rungs[i].on);
+            std::fprintf(f, ", \"overhead_pct\": %.1f}%s\n",
+                         rungs[i].overhead_pct,
+                         i + 1 < kSizeCount ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"sample_shift\": 2,\n");
+        std::fprintf(f, "  \"overhead_p50_pct\": %.1f,\n",
+                     rungs[0].overhead_pct);
+        std::fprintf(f, "  \"trace_all_overhead_p50_pct\": %.1f,\n",
+                     trace_all.overhead_pct);
+        std::fprintf(f, "  \"allocs_per_message_steady_state\": %.4f,\n",
+                     worst_allocs);
+        std::fprintf(f,
+                     "  \"trace_stitch\": {\"decoded\": %s, \"stitched\": %s, "
+                     "\"events\": %zu, \"span_events\": %zu, "
+                     "\"trace_id\": \"0x%llx\", \"perfetto_bytes\": %zu}\n}\n",
+                     stitch.decoded ? "true" : "false",
+                     stitch.stitched ? "true" : "false", stitch.events,
+                     stitch.span_events,
+                     static_cast<unsigned long long>(stitch.trace_id),
+                     stitch.perfetto_bytes);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", json_path);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path);
+    }
+
+    bool ok = true;
+    // Gate 1: the instrumented steady state is allocation-free. Sanitizer
+    // runtimes allocate behind the scenes, so plain builds only.
+    if (!COMPADRES_UNDER_SANITIZER && worst_allocs != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: plane-on path allocated %.4f times per message "
+                     "in steady state (want 0)\n",
+                     worst_allocs);
+        ok = false;
+    }
+    // Gate 2: a traced round trip stitches across the wire — the dump
+    // decodes and one trace id carries span-send + span-recv events on at
+    // least two threads.
+    if (!stitch.decoded || !stitch.stitched) {
+        std::fprintf(stderr,
+                     "FAIL: trace stitch gate (decoded=%d stitched=%d, "
+                     "%zu span events)\n",
+                     stitch.decoded ? 1 : 0, stitch.stitched ? 1 : 0,
+                     stitch.span_events);
+        ok = false;
+    }
+    // Gate 3 (full runs on plain builds only): the fully-on plane costs at
+    // most 5% of round-trip p50, by the paired-batch median that cancels
+    // machine drift.
+    if (!smoke && !COMPADRES_UNDER_SANITIZER &&
+        rungs[0].overhead_pct > 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: observability plane added %.1f%% to p50 at %zu B "
+                     "(want <= 5%%)\n",
+                     rungs[0].overhead_pct, kPayloadSizes[0]);
+        ok = false;
+    }
+    std::printf("%s\n", ok ? "obs gates PASSED" : "obs gates FAILED");
+    return ok ? 0 : 1;
+}

@@ -99,6 +99,13 @@ public:
     /// Patch a previously written ulong (used for GIOP message size).
     void patch_ulong(std::size_t offset, std::uint32_t v);
 
+    /// Patch a single previously written octet (used for GIOP flag bits
+    /// that are only known after the body is encoded).
+    void patch_octet(std::size_t offset, std::uint8_t v) {
+        buf_.at(offset) = v;
+    }
+    std::uint8_t octet_at(std::size_t offset) const { return buf_.at(offset); }
+
 private:
     template <typename T>
     void write_scalar(T v) {

@@ -63,16 +63,19 @@ GiopHeader decode_header(const std::uint8_t* data, std::size_t size) {
         throw MarshalError("unsupported GIOP major version " +
                            std::to_string(h.version_major));
     }
-    // Flags octet: bit 0 = byte order, bits 4-6 = priority band (our
-    // extension; zero on stock GIOP 1.0 frames). Bits 1-3 and 7 stay
-    // reserved-must-be-zero so genuinely corrupt octets still fail.
+    // Flags octet: bit 0 = byte order, bit 3 = trace-context trailer,
+    // bits 4-6 = priority band (our extensions; zero on stock GIOP 1.0
+    // frames). Bits 1-2 and 7 stay reserved-must-be-zero so genuinely
+    // corrupt octets still fail.
     if ((data[GiopHeader::kFlagsOffset] &
          ~static_cast<std::uint8_t>(
-             0x01 | (GiopHeader::kBandMask << GiopHeader::kBandShift))) != 0) {
+             0x01 | GiopHeader::kTraceFlag |
+             (GiopHeader::kBandMask << GiopHeader::kBandShift))) != 0) {
         throw MarshalError("bad GIOP flags octet");
     }
     h.byte_order = static_cast<ByteOrder>(data[GiopHeader::kFlagsOffset] & 0x01);
     h.band = frame_band(data);
+    h.has_trace_context = frame_has_trace_context(data);
     h.msg_type = static_cast<GiopMsgType>(data[7]);
     InputStream in(data + 8, 4, h.byte_order);
     h.message_size = in.read_ulong();
@@ -159,6 +162,45 @@ void finish_payload(OutputStream& out, std::size_t payload_len_offset) {
                     static_cast<std::uint32_t>(out.size() -
                                                (payload_len_offset + 4)));
     finish_frame(out);
+}
+
+void append_trace_trailer(OutputStream& out, std::uint64_t trace_id,
+                          std::uint32_t span_id) {
+    // Trailer bytes are defined little-endian independent of the frame's
+    // byte-order bit, so no alignment or swap bookkeeping leaks into the
+    // payload encoding that precedes it.
+    std::uint8_t trailer[kTraceTrailerSize] = {};
+    for (std::size_t i = 0; i < 8; ++i) {
+        trailer[i] = static_cast<std::uint8_t>(trace_id >> (8 * i));
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        trailer[8 + i] = static_cast<std::uint8_t>(span_id >> (8 * i));
+    }
+    out.write_raw(trailer, sizeof(trailer));
+    out.patch_octet(GiopHeader::kFlagsOffset,
+                    static_cast<std::uint8_t>(
+                        out.octet_at(GiopHeader::kFlagsOffset) |
+                        GiopHeader::kTraceFlag));
+    finish_frame(out); // message_size now covers the trailer
+}
+
+bool read_trace_trailer(const std::uint8_t* frame, std::size_t size,
+                        std::uint64_t& trace_id,
+                        std::uint32_t& span_id) noexcept {
+    if (size < GiopHeader::kSize + kTraceTrailerSize) return false;
+    if (!frame_has_trace_context(frame)) return false;
+    const std::uint8_t* t = frame + size - kTraceTrailerSize;
+    std::uint64_t id = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        id |= std::uint64_t{t[i]} << (8 * i);
+    }
+    std::uint32_t span = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        span |= std::uint32_t{t[8 + i]} << (8 * i);
+    }
+    trace_id = id;
+    span_id = span;
+    return true;
 }
 
 std::vector<std::uint8_t> encode_locate_request(const LocateRequestHeader& req) {

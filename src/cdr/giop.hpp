@@ -41,19 +41,33 @@ struct GiopHeader {
     static constexpr std::uint8_t kMagic[4] = {'G', 'I', 'O', 'P'};
     /// Offset of the flags octet within the header. GIOP 1.0 defines only
     /// bit 0 (byte order); this repository carries the frame's priority
-    /// band in bits 4-6 (see frame_band/set_frame_band) — the octet's
-    /// reserved bits, which stock GIOP 1.0 requires to be zero, so a
-    /// band-0 frame stays byte-identical to a stock frame.
+    /// band in bits 4-6 (see frame_band/set_frame_band) and a trace-
+    /// context-present flag in bit 3 (see append_trace_trailer) — the
+    /// octet's reserved bits, which stock GIOP 1.0 requires to be zero, so
+    /// a band-0 frame without a trace context stays byte-identical to a
+    /// stock frame.
     static constexpr std::size_t kFlagsOffset = 6;
     static constexpr std::uint8_t kBandShift = 4;
     static constexpr std::uint8_t kBandMask = 0x07;
+    /// Flags-octet bit 3: the last kTraceTrailerSize bytes of the body are
+    /// a trace-context trailer (service-context stand-in; GIOP 1.0 has no
+    /// context list on this path).
+    static constexpr std::uint8_t kTraceFlag = 0x08;
     std::uint8_t version_major = 1;
     std::uint8_t version_minor = 0;
     ByteOrder byte_order = native_order();
     GiopMsgType msg_type = GiopMsgType::kRequest;
     std::uint8_t band = 0; ///< priority band carried in the flags octet
+    bool has_trace_context = false; ///< flags bit 3 (trace trailer present)
     std::uint32_t message_size = 0; ///< body bytes following the header
 };
+
+/// Trace-context trailer: appended after the payload octet sequence,
+/// counted inside message_size so frame assembly and trailer-unaware
+/// decoders (which stop after the payload) are untouched. Fixed 16 bytes,
+/// always little-endian regardless of the frame's byte-order bit:
+/// u64 trace id, u32 span id, u32 reserved (zero).
+inline constexpr std::size_t kTraceTrailerSize = 16;
 
 /// Priority band (0-7) carried in a frame's flags octet. `frame` must be
 /// at least GiopHeader::kSize bytes.
@@ -70,6 +84,26 @@ inline void set_frame_band(std::uint8_t* frame, std::uint8_t band) noexcept {
          ~(GiopHeader::kBandMask << GiopHeader::kBandShift)) |
         ((band & GiopHeader::kBandMask) << GiopHeader::kBandShift));
 }
+
+/// Whether a frame's flags octet announces a trace-context trailer.
+inline bool frame_has_trace_context(const std::uint8_t* frame) noexcept {
+    return (frame[GiopHeader::kFlagsOffset] & GiopHeader::kTraceFlag) != 0;
+}
+
+/// Append a trace-context trailer to a frame already completed by
+/// finish_payload(): writes the 16 trailer bytes, sets the flags-octet
+/// trace bit, and re-patches message_size to cover the trailer. The
+/// payload length field is untouched, so trailer-unaware decoders read
+/// the frame exactly as before.
+void append_trace_trailer(OutputStream& out, std::uint64_t trace_id,
+                          std::uint32_t span_id);
+
+/// Read the trace-context trailer off a complete frame. Returns false (and
+/// leaves the outputs untouched) when the frame carries no trailer or is
+/// too short to hold one.
+bool read_trace_trailer(const std::uint8_t* frame, std::size_t size,
+                        std::uint64_t& trace_id,
+                        std::uint32_t& span_id) noexcept;
 
 struct RequestHeader {
     std::uint32_t request_id = 0;

@@ -234,6 +234,41 @@ core::RtsjAttributes parse_rtsj(const xml::XmlNode& node) {
         if (v < 1) throw CclError("ReactorBands must be >= 1");
         attrs.reactor_bands = static_cast<std::size_t>(v);
     }
+    // <Trace>: the observability plane's deployment knobs. Presence of the
+    // block turns wire trace propagation on; the flight recorder defaults
+    // to on inside the block (its own child can turn it back off).
+    if (const xml::XmlNode* trace = node.child("Trace")) {
+        attrs.trace.enabled = true;
+        attrs.trace.recorder = true;
+        if (const xml::XmlNode* shift = trace->child("SampleShift")) {
+            const long v =
+                parse_number(shift->text, "Trace SampleShift", shift->line);
+            if (v < 0 || v > 62) {
+                throw CclError("Trace SampleShift must be in [0, 62] (line " +
+                               std::to_string(shift->line) + ")");
+            }
+            attrs.trace.sample_shift = static_cast<unsigned>(v);
+        }
+        if (const xml::XmlNode* depth = trace->child("RingDepth")) {
+            const long v =
+                parse_number(depth->text, "Trace RingDepth", depth->line);
+            if (v < 1) {
+                throw CclError("Trace RingDepth must be positive (line " +
+                               std::to_string(depth->line) + ")");
+            }
+            attrs.trace.ring_depth = static_cast<std::size_t>(v);
+        }
+        if (const xml::XmlNode* rec = trace->child("Recorder")) {
+            if (rec->text == "true" || rec->text == "1") {
+                attrs.trace.recorder = true;
+            } else if (rec->text == "false" || rec->text == "0") {
+                attrs.trace.recorder = false;
+            } else {
+                throw CclError("Trace Recorder must be true or false (line " +
+                               std::to_string(rec->line) + ")");
+            }
+        }
+    }
     return attrs;
 }
 

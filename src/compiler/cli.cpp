@@ -58,6 +58,11 @@ void dump_plan(const AssemblyPlan& plan, std::ostream& out) {
         out << "scope pool: level " << pool.level << ", " << pool.scope_size
             << " bytes x " << pool.pool_size << "\n";
     }
+    if (plan.rtsj.trace.enabled || plan.rtsj.trace.recorder) {
+        out << "trace: sample-shift " << plan.rtsj.trace.sample_shift
+            << ", ring depth " << plan.rtsj.trace.ring_depth << ", recorder "
+            << (plan.rtsj.trace.recorder ? "on" : "off") << "\n";
+    }
     for (const auto& comp : plan.components) {
         out << "component: " << comp.instance_name << " class="
             << comp.class_name << " "

@@ -152,6 +152,16 @@ std::string emit_ccl(const CclModel& model) {
     }
     rtsj->children.push_back(text_element(
         "ReactorBands", std::to_string(model.rtsj.reactor_bands)));
+    if (model.rtsj.trace.enabled || model.rtsj.trace.recorder) {
+        auto trace = element("Trace");
+        trace->children.push_back(text_element(
+            "SampleShift", std::to_string(model.rtsj.trace.sample_shift)));
+        trace->children.push_back(text_element(
+            "RingDepth", std::to_string(model.rtsj.trace.ring_depth)));
+        trace->children.push_back(text_element(
+            "Recorder", model.rtsj.trace.recorder ? "true" : "false"));
+        rtsj->children.push_back(std::move(trace));
+    }
     root->children.push_back(std::move(rtsj));
     return xml::write(*root);
 }

@@ -59,6 +59,12 @@ AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl) {
     AssemblyPlan plan;
     plan.application_name = ccl.application_name;
     plan.rtsj = ccl.rtsj;
+    if (plan.rtsj.trace.ring_depth > (std::size_t{1} << 24)) {
+        issues.push_back(
+            "Trace RingDepth " + std::to_string(plan.rtsj.trace.ring_depth) +
+            " exceeds the flight recorder's per-thread maximum (" +
+            std::to_string(std::size_t{1} << 24) + " events)");
+    }
 
     // ---- pass 1: instance table, classes, scope levels ----
     std::map<std::string, InstanceInfo> table;

@@ -9,6 +9,10 @@ Application::Application(std::string name, RtsjAttributes attrs)
     : name_(std::move(name)), attrs_(std::move(attrs)),
       immortal_(std::make_unique<memory::ImmortalMemory>(
           attrs_.immortal_size, name_ + "-immortal")) {
+    // CCL <Trace>: process-wide observability knobs. A default-constructed
+    // TraceConfig leaves everything off, so this is a no-op for assemblies
+    // without the block.
+    obs::apply(attrs_.trace);
     for (const ScopePoolSpec& spec : attrs_.scoped_pools) {
         if (pools_.count(spec.level) != 0) {
             throw AssemblyError("duplicate scoped pool for level " +
@@ -228,6 +232,56 @@ Application::add_counter_source(std::function<CounterGroup()> source) {
 void Application::remove_counter_source(std::uint64_t token) {
     std::lock_guard lk(counter_mu_);
     counter_sources_.erase(token);
+}
+
+namespace {
+
+/// Flatten a TraceReport into the registry's {name, value} sample shape:
+/// fabric totals, one row of counters per In port, and every registered
+/// counter-source group (prefixed by its source name).
+std::vector<obs::SourceSample> flatten_report(const TraceReport& report) {
+    std::vector<obs::SourceSample> out;
+    const auto push = [&](std::string name, std::uint64_t v) {
+        out.push_back(obs::SourceSample{std::move(name), v});
+    };
+    push("fabric_queue_lock_acquisitions", report.queue_lock_acquisitions);
+    push("fabric_credit_stalls", report.credit_stalls);
+    for (const PortTrace& p : report.ports) {
+        const std::string base = "port_" + p.port + "_";
+        push(base + "delivered", p.delivered);
+        push(base + "processed", p.processed);
+        push(base + "errors", p.errors);
+        push(base + "overwritten", p.overwritten);
+        push(base + "dropped", p.dropped);
+        push(base + "credit_stalls", p.credit_stalls);
+        push(base + "depth_high_water", p.depth_high_water);
+    }
+    for (const CounterGroup& g : report.counters) {
+        for (const auto& [cname, value] : g.counters) {
+            push(g.source + "_" + cname, value);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void Application::publish_metrics(obs::MetricsRegistry& registry) const {
+    for (obs::SourceSample& s : flatten_report(trace_report())) {
+        registry.gauge("compadres_" + name_ + "_" + s.name)
+            .set(static_cast<std::int64_t>(s.value));
+    }
+}
+
+std::uint64_t
+Application::register_metrics_source(obs::MetricsRegistry& registry,
+                                     const std::string& prefix) const {
+    const std::string pfx = prefix.empty() ? "compadres_" + name_ : prefix;
+    // The callback runs under the registry mutex; remove_source blocks
+    // until it returns, so the caller can tear the Application down right
+    // after removal without racing an in-flight exposition.
+    return registry.add_source(
+        pfx, [this] { return flatten_report(trace_report()); });
 }
 
 void Application::shutdown() {

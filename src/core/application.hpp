@@ -16,6 +16,8 @@
 #include "core/smm.hpp"
 #include "memory/immortal.hpp"
 #include "memory/scope_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 
 #include <cstdint>
 #include <functional>
@@ -49,6 +51,11 @@ struct RtsjAttributes {
     /// compiler) — lanes beyond it would silently share a loop and the
     /// head-of-line isolation the bands promise would be fiction.
     std::size_t reactor_bands = 4;
+    /// CCL <Trace>: observability-plane knobs (trace sampling shift, flight
+    /// recorder on/off and ring depth). Defaults leave both disabled, so an
+    /// assembly without a <Trace> block pays nothing. Applied process-wide
+    /// by the Application constructor via obs::apply().
+    obs::TraceConfig trace;
 };
 
 class Application {
@@ -162,6 +169,19 @@ public:
     /// the counted object immediately after removal.
     std::uint64_t add_counter_source(std::function<CounterGroup()> source);
     void remove_counter_source(std::uint64_t token);
+
+    /// Write the current trace_report() into a MetricsRegistry once: port
+    /// counters become gauges named
+    /// "compadres_port_<counter>{port=...}"-style flattened names, fabric
+    /// totals and registered counter sources become untyped samples.
+    void publish_metrics(obs::MetricsRegistry& registry) const;
+
+    /// Register this application as a live snapshot source on `registry`:
+    /// every exposition (prometheus_text / json_snapshot) re-samples the
+    /// delivery fabric. Returns the registry token; the caller must
+    /// remove_source(token) before the Application is destroyed.
+    std::uint64_t register_metrics_source(obs::MetricsRegistry& registry,
+                                          const std::string& prefix = "") const;
 
 private:
     friend class Smm;

@@ -2,6 +2,7 @@
 
 #include "core/dispatcher.hpp"
 #include "core/message_pool.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace compadres::core {
 
@@ -13,7 +14,16 @@ public:
     const char* name() const noexcept override { return "Block"; }
 
     DeliveryOutcome admit(InPortBase& port, Envelope&) override {
-        port.credits().acquire();
+        rt::CreditGate& gate = port.credits();
+        if (!gate.try_acquire()) {
+            // About to wait for a credit: a flight-recorder mark makes the
+            // stall visible on the sender's timeline, not just in the
+            // aggregate stall counter.
+            obs::FlightRecorder::emit(
+                obs::EventType::kCreditStall,
+                reinterpret_cast<std::uintptr_t>(&port), 0);
+            gate.acquire();
+        }
         return DeliveryOutcome::kAdmitted;
     }
 };

@@ -3,6 +3,8 @@
 #include "core/hooks.hpp"
 #include "core/message_pool.hpp"
 #include "core/port.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
 #include "rt/clock.hpp"
 
 #include <cstdio>
@@ -79,6 +81,13 @@ void Dispatcher::worker_loop() {
         auto item = queue_.pop();
         if (!item.has_value()) return; // closed and drained
         if (hooks::tracing()) item->first.t_dequeue = rt::now_ns();
+        // Span-scoped, matching the enqueue site in InPortBase::deliver.
+        if (item->first.trace_id != 0) {
+            obs::FlightRecorder::emit(
+                obs::EventType::kHopDequeue,
+                reinterpret_cast<std::uintptr_t>(item->first.port),
+                static_cast<std::uint32_t>(item->first.priority));
+        }
         busy_.fetch_add(1);
         // The pool thread assumes the priority of the message it is about
         // to process (paper §2.2). Best-effort under an unprivileged OS.
@@ -92,6 +101,19 @@ void Dispatcher::worker_loop() {
 bool Dispatcher::execute(const Envelope& env) noexcept {
     const bool traced = hooks::tracing();
     const std::int64_t start = traced ? rt::now_ns() : 0;
+    // Re-install the envelope's trace context around the handler (empty
+    // contexts install nothing, so the untraced path never touches TLS)
+    // and bracket the handler run in the flight recorder. The brackets are
+    // span-scoped like the enqueue/dequeue events: only sampled flows pay
+    // for (and appear in) the handler timeline.
+    const obs::ScopedTraceContext trace_scope(
+        obs::TraceContext{env.trace_id, env.span_id});
+    const bool recorded =
+        env.trace_id != 0 && obs::FlightRecorder::enabled();
+    if (recorded) {
+        obs::FlightRecorder::emit_always(obs::EventType::kHopHandlerStart,
+                                         env.trace_id, env.span_id);
+    }
     bool ok = true;
     try {
         env.port->handler().process_raw(env.msg, *env.smm);
@@ -124,6 +146,10 @@ bool Dispatcher::execute(const Envelope& env) noexcept {
         t.dequeue_ns = env.t_dequeue != 0 ? env.t_dequeue : start;
         t.priority = env.priority;
         hooks::notify_hop(*env.port, t);
+    }
+    if (recorded) {
+        obs::FlightRecorder::emit_always(obs::EventType::kHopHandlerEnd,
+                                         env.trace_id, env.span_id);
     }
     return ok;
 }

@@ -9,6 +9,12 @@
 // installed (core/hooks.hpp), in which case the delivery path records when
 // the envelope entered the intake queue and when a worker picked it up —
 // the difference is the hop's queue wait.
+//
+// The trace id/span pair is the obs-plane context (obs/trace_context.hpp):
+// stamped at send_raw() from the sending thread's current context and
+// re-installed around the handler by the dispatcher, so a sampled trace
+// survives the asynchronous boundary between sender and pool thread. Both
+// stay zero when tracing is off.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,8 @@ struct Envelope {
     int priority = 0;
     std::int64_t t_enqueue = 0; ///< HopTrace stamp; 0 when tracing is off
     std::int64_t t_dequeue = 0; ///< HopTrace stamp; 0 when tracing is off
+    std::uint64_t trace_id = 0; ///< obs trace context; 0 when untraced
+    std::uint32_t span_id = 0;  ///< obs trace context; 0 when untraced
 };
 
 } // namespace compadres::core

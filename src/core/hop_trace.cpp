@@ -6,15 +6,68 @@
 
 namespace compadres::core {
 
+namespace {
+
+/// Pointer hash for the open-addressed slot table (fibonacci mix of the
+/// address with its low alignment bits sheared off).
+std::size_t slot_hash(const InPortBase* p) noexcept {
+    return static_cast<std::size_t>(
+        (reinterpret_cast<std::uintptr_t>(p) >> 4) * 0x9E3779B97F4A7C15ULL);
+}
+
+} // namespace
+
+HopTraceRecorder::HopTraceRecorder() : slots_(kSlotCount) {}
+
+HopTraceRecorder::~HopTraceRecorder() = default;
+
+HopTraceRecorder::PortSeries*
+HopTraceRecorder::series_for(const InPortBase& port) {
+    const std::size_t mask = kSlotCount - 1;
+    const std::size_t start = slot_hash(&port) & mask;
+    // Lock-free probe: slots are published once (null -> series) and never
+    // change until clear(), so an acquire load that sees a non-null slot
+    // sees the series fully constructed.
+    for (std::size_t i = 0; i < kSlotCount; ++i) {
+        const std::size_t at = (start + i) & mask;
+        PortSeries* s = slots_[at].load(std::memory_order_acquire);
+        if (s == nullptr) break; // first hop of this port: publish below
+        if (s->key == &port) return s;
+    }
+    // Cold path (once per port): allocate, resolve the name, publish.
+    std::lock_guard lk(insert_mu_);
+    for (std::size_t i = 0; i < kSlotCount; ++i) {
+        const std::size_t at = (start + i) & mask;
+        PortSeries* s = slots_[at].load(std::memory_order_acquire);
+        if (s != nullptr) {
+            if (s->key == &port) return s;
+            continue;
+        }
+        auto series = std::make_unique<PortSeries>();
+        series->key = &port;
+        series->name = port.qualified_name();
+        PortSeries* raw = series.get();
+        storage_.push_back(std::move(series));
+        slots_[at].store(raw, std::memory_order_release);
+        return raw;
+    }
+    return nullptr; // table full
+}
+
 void HopTraceRecorder::on_hop(const InPortBase& port,
                               const hooks::HopTimes& t) noexcept {
     try {
-        std::lock_guard lk(mu_);
-        auto [it, inserted] = series_.try_emplace(&port);
-        if (inserted) it->second.name = port.qualified_name();
-        it->second.queue_wait.record(t.dequeue_ns - t.enqueue_ns);
-        it->second.handler.record(t.process_end_ns - t.process_start_ns);
-        it->second.total.record(t.process_end_ns - t.enqueue_ns);
+        PortSeries* s = series_for(port);
+        if (s == nullptr) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        // Per-series lock: workers draining different ports append in
+        // parallel; only same-port hops serialize (they share the vectors).
+        std::lock_guard lk(s->mu);
+        s->queue_wait.record(t.dequeue_ns - t.enqueue_ns);
+        s->handler.record(t.process_end_ns - t.process_start_ns);
+        s->total.record(t.process_end_ns - t.enqueue_ns);
     } catch (...) {
         // A sink must never take down the dispatch thread; dropping one
         // sample under memory pressure is the lesser evil.
@@ -22,45 +75,54 @@ void HopTraceRecorder::on_hop(const InPortBase& port,
 }
 
 std::vector<std::string> HopTraceRecorder::ports() const {
-    std::lock_guard lk(mu_);
+    std::lock_guard lk(insert_mu_);
     std::vector<std::string> out;
-    out.reserve(series_.size());
-    for (const auto& [_, s] : series_) out.push_back(s.name);
+    out.reserve(storage_.size());
+    for (const auto& s : storage_) out.push_back(s->name);
     return out;
 }
 
 const HopTraceRecorder::PortSeries*
 HopTraceRecorder::find(const std::string& port) const {
-    for (const auto& [_, s] : series_) {
-        if (s.name == port) return &s;
+    for (const auto& s : storage_) {
+        if (s->name == port) return s.get();
     }
     return nullptr;
 }
 
 rt::StatsSummary
 HopTraceRecorder::queue_wait_summary(const std::string& port) const {
-    std::lock_guard lk(mu_);
+    std::lock_guard lk(insert_mu_);
     const PortSeries* s = find(port);
-    return s != nullptr ? s->queue_wait.summarize() : rt::StatsSummary{};
+    if (s == nullptr) return rt::StatsSummary{};
+    std::lock_guard slk(s->mu);
+    return s->queue_wait.summarize();
 }
 
 rt::StatsSummary
 HopTraceRecorder::handler_summary(const std::string& port) const {
-    std::lock_guard lk(mu_);
+    std::lock_guard lk(insert_mu_);
     const PortSeries* s = find(port);
-    return s != nullptr ? s->handler.summarize() : rt::StatsSummary{};
+    if (s == nullptr) return rt::StatsSummary{};
+    std::lock_guard slk(s->mu);
+    return s->handler.summarize();
 }
 
 rt::StatsSummary
 HopTraceRecorder::total_summary(const std::string& port) const {
-    std::lock_guard lk(mu_);
+    std::lock_guard lk(insert_mu_);
     const PortSeries* s = find(port);
-    return s != nullptr ? s->total.summarize() : rt::StatsSummary{};
+    if (s == nullptr) return rt::StatsSummary{};
+    std::lock_guard slk(s->mu);
+    return s->total.summarize();
 }
 
 void HopTraceRecorder::clear() {
-    std::lock_guard lk(mu_);
-    series_.clear();
+    std::lock_guard lk(insert_mu_);
+    for (auto& slot : slots_) {
+        slot.store(nullptr, std::memory_order_relaxed);
+    }
+    storage_.clear();
 }
 
 std::string TraceReport::to_string() const {

@@ -4,16 +4,25 @@
 //
 // The recorder keys its series by port pointer (no per-hop string
 // allocation); the qualified name is resolved once on the port's first hop.
-// on_hop runs concurrently on dispatcher workers, so the series map is
-// mutex-protected — an installed sink is allowed to cost, the unset one is
-// not (see core/hooks.hpp).
+// on_hop runs concurrently on dispatcher workers, so the lookup must not
+// serialize them: series live in a fixed open-addressed table of
+// publish-once atomic slots (the remote/route_cache.hpp idiom — CAS from
+// null under a cold insert mutex, acquire loads on the hot path), and only
+// the matched port's own series takes a mutex to append its samples. Two
+// workers draining different ports never contend; the global map lock the
+// first version of this recorder took per hop is gone.
+//
+// clear() frees the published series and therefore must not run
+// concurrently with traffic — same contract as installing/removing the
+// sink itself (core/hooks.hpp).
 #pragma once
 
 #include "core/hooks.hpp"
 #include "rt/stats.hpp"
 
+#include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -24,6 +33,9 @@ namespace compadres::core {
 /// how long envelopes sat in the intake queue vs how long handlers ran.
 class HopTraceRecorder final : public hooks::TraceSink {
 public:
+    HopTraceRecorder();
+    ~HopTraceRecorder() override;
+
     void on_hop(const InPortBase& port,
                 const hooks::HopTimes& times) noexcept override;
 
@@ -35,20 +47,42 @@ public:
     rt::StatsSummary handler_summary(const std::string& port) const;
     rt::StatsSummary total_summary(const std::string& port) const;
 
+    /// Samples dropped because the slot table was full (more than
+    /// kSlotCount distinct ports hopped through one recorder).
+    std::uint64_t dropped_samples() const noexcept {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /// Drop all series. NOT safe against concurrent on_hop — quiesce
+    /// traffic (or clear the hooks sink) first.
     void clear();
 
 private:
+    /// Hot-path table capacity; a power of two. 512 distinct In ports per
+    /// recorder covers every assembly in the repository many times over.
+    static constexpr std::size_t kSlotCount = 512;
+
     struct PortSeries {
+        const InPortBase* key = nullptr;
         std::string name;
+        mutable std::mutex mu;        ///< guards the three recorders only
         rt::StatsRecorder queue_wait; ///< dequeue - enqueue
         rt::StatsRecorder handler;    ///< process_end - process_start
         rt::StatsRecorder total;      ///< process_end - enqueue
     };
 
+    /// Lock-free lookup; falls back to the insert mutex only for a port's
+    /// first hop. Returns nullptr when the table is full.
+    PortSeries* series_for(const InPortBase& port);
+
     const PortSeries* find(const std::string& port) const;
 
-    mutable std::mutex mu_;
-    std::map<const InPortBase*, PortSeries> series_;
+    /// Open-addressed publish-once slots: null until a series is published
+    /// with a release CAS; never modified again until clear().
+    std::vector<std::atomic<PortSeries*>> slots_;
+    mutable std::mutex insert_mu_; ///< series allocation + name resolution
+    std::vector<std::unique_ptr<PortSeries>> storage_; ///< under insert_mu_
+    std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// One In port's row in a trace report. Counters are always live (they are

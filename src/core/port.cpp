@@ -5,6 +5,8 @@
 #include "core/hooks.hpp"
 #include "core/registry.hpp"
 #include "core/smm.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
 #include "rt/clock.hpp"
 
 namespace compadres::core {
@@ -50,6 +52,15 @@ void InPortBase::deliver(Envelope env) {
     }
     delivered_.fetch_add(1);
     if (hooks::tracing()) env.t_enqueue = rt::now_ns();
+    // Hop-lifecycle events are span-scoped: only envelopes carrying a
+    // sampled trace context record them, so the per-message recorder cost
+    // scales with the sampling rate, not the message rate. SampleShift 0
+    // records every hop. Wire/stall/failover events stay always-on.
+    if (env.trace_id != 0) {
+        obs::FlightRecorder::emit(obs::EventType::kHopEnqueue,
+                                  reinterpret_cast<std::uintptr_t>(this),
+                                  static_cast<std::uint32_t>(env.priority));
+    }
     if (dispatcher_ == nullptr) {
         // Not bound (synchronous wiring or pool sizes 0): run inline.
         // execute() ends with on_processed(), which releases the credit.
@@ -172,10 +183,22 @@ void OutPortBase::send_raw(void* msg, int priority) {
     sent_.fetch_add(1);
     MessagePoolBase* p = pool();
     const int prio = rt::Priority::clamped(priority).value;
+    // Stamp the sending thread's trace context into the envelopes so a
+    // sampled trace follows the message across the dispatcher boundary.
+    // One relaxed load when tracing is off (obs::Tracer::active()).
+    std::uint64_t trace_id = 0;
+    std::uint32_t span_id = 0;
+    if (obs::Tracer::active()) {
+        const obs::TraceContext ctx = obs::Tracer::current();
+        trace_id = ctx.trace_id;
+        span_id = ctx.span_id;
+    }
     // Fan-out: receivers 2..N get pool clones so each handler owns (and
     // releases) a distinct message; the original goes to the first target.
     for (std::size_t i = 1; i < targets_.size(); ++i) {
         Envelope copy{p->clone_raw(msg), p, targets_[i], smm_, prio};
+        copy.trace_id = trace_id;
+        copy.span_id = span_id;
         try {
             targets_[i]->deliver(copy);
         } catch (...) {
@@ -184,6 +207,8 @@ void OutPortBase::send_raw(void* msg, int priority) {
         }
     }
     Envelope env{msg, p, targets_[0], smm_, prio};
+    env.trace_id = trace_id;
+    env.span_id = span_id;
     try {
         targets_[0]->deliver(env);
     } catch (...) {

@@ -1,6 +1,7 @@
 #include "net/lane_group.hpp"
 
 #include "cdr/giop.hpp"
+#include "obs/flight_recorder.hpp"
 
 #include <unistd.h>
 
@@ -132,6 +133,8 @@ void LaneGroup::note_lane_failure(std::size_t idx) noexcept {
     if (!alive_[idx].load(std::memory_order_relaxed)) return; // already seen
     alive_[idx].store(false, std::memory_order_release);
     failovers_.fetch_add(1, std::memory_order_relaxed);
+    obs::FlightRecorder::emit(obs::EventType::kLaneFailover, idx,
+                              static_cast<std::uint32_t>(lanes_.size()));
     // Reroute every band currently mapped to the dead lane onto the
     // nearest surviving lane (ties break toward the more urgent side).
     for (std::size_t band = 0; band < route_.size(); ++band) {

@@ -1,6 +1,7 @@
 #include "net/tcp.hpp"
 
 #include "cdr/giop.hpp"
+#include "obs/flight_recorder.hpp"
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -92,6 +93,11 @@ public:
     }
 
     void send_frame(FrameBuffer frame) override {
+        obs::FlightRecorder::emit(
+            obs::EventType::kFrameSend, frame.size(),
+            frame.size() >= cdr::GiopHeader::kSize
+                ? cdr::frame_band(frame.data())
+                : 0);
         std::unique_lock lk(mu_);
         if (opts_.policy == WritePolicy::kDirect) {
             // Serialize writers on the same flag close() waits on.
@@ -198,6 +204,8 @@ public:
             throw TransportError("connection truncated mid-frame");
         }
         frames_received_.fetch_add(1, std::memory_order_relaxed);
+        obs::FlightRecorder::emit(obs::EventType::kFrameRecv, total,
+                                  cdr::frame_band(frame.data()));
         return frame;
     }
 
@@ -321,6 +329,7 @@ public:
 
     void note_frame_received() noexcept override {
         frames_received_.fetch_add(1, std::memory_order_relaxed);
+        obs::FlightRecorder::emit(obs::EventType::kFrameRecv, 0, 0);
     }
 
     void set_corked(bool on) override {
@@ -449,11 +458,19 @@ private:
                 stage_batch();
             } else {
                 parked_ = false; // resume the saved iovec position
+                obs::FlightRecorder::emit(obs::EventType::kWriterResume,
+                                          static_cast<std::uint64_t>(fd_),
+                                          static_cast<std::uint32_t>(
+                                              batch_.size()));
             }
             lk.unlock();
             cv_.notify_all(); // intake space freed: admit blocked senders
             const WriteOutcome outcome = write_batch_step();
             if (outcome == WriteOutcome::kAgain) {
+                obs::FlightRecorder::emit(obs::EventType::kWriterPark,
+                                          static_cast<std::uint64_t>(fd_),
+                                          static_cast<std::uint32_t>(
+                                              batch_.size()));
                 lk.lock();
                 parked_ = true;
                 writer_active_ = false;
@@ -467,6 +484,9 @@ private:
             lk.lock();
             if (outcome == WriteOutcome::kDone) {
                 frames_sent_.fetch_add(n, std::memory_order_relaxed);
+                obs::FlightRecorder::emit(obs::EventType::kCoalesceFlush,
+                                          static_cast<std::uint64_t>(fd_),
+                                          static_cast<std::uint32_t>(n));
             } else {
                 send_failed_ = true;
                 frames_dropped_.fetch_add(n, std::memory_order_relaxed);

@@ -1,0 +1,402 @@
+#include "obs/flight_recorder.hpp"
+
+#include "rt/clock.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace compadres::obs {
+
+namespace fr_detail {
+
+namespace {
+
+constexpr std::size_t kMaxRings = 512;
+constexpr char kMagic[4] = {'C', 'F', 'R', '1'};
+
+// ---- timestamps ----
+//
+// The ring stores raw tick counts, not nanoseconds: on x86 a clock_gettime
+// (even via vDSO) costs ~25 ns, several times the rest of the emit path,
+// so emit reads the invariant TSC (~half that) and the dump converts ticks
+// to wall nanoseconds with a rate calibrated between enable() and the dump
+// itself. Off x86 the "ticks" are rt::now_ns() and the rate calibrates to
+// ~1. The dump format is unchanged — consumers always see nanoseconds.
+
+std::uint64_t now_ticks() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#else
+    return static_cast<std::uint64_t>(rt::now_ns());
+#endif
+}
+
+/// (ticks, ns) anchor captured the first time anyone asks — enable() asks,
+/// so the anchor predates every recorded event.
+struct CalibrationAnchor {
+    std::uint64_t tsc0;
+    std::int64_t ns0;
+};
+
+const CalibrationAnchor& calibration_anchor() noexcept {
+    static const CalibrationAnchor anchor = [] {
+        CalibrationAnchor a;
+        a.tsc0 = now_ticks();
+        a.ns0 = rt::now_ns();
+        return a;
+    }();
+    return anchor;
+}
+
+/// ns-per-tick rate over the anchor..now interval. When the dump runs
+/// right after enable() the interval is stretched to ~200 us first so the
+/// rate has enough baseline to be stable. Only dumps pay this; emit never
+/// calls it.
+double ticks_to_ns_rate() noexcept {
+    const CalibrationAnchor& a = calibration_anchor();
+    std::uint64_t t1 = now_ticks();
+    std::int64_t n1 = rt::now_ns();
+    while (n1 - a.ns0 < 200'000) {
+        t1 = now_ticks();
+        n1 = rt::now_ns();
+    }
+    const std::int64_t dt = static_cast<std::int64_t>(t1 - a.tsc0);
+    if (dt <= 0) return 1.0;
+    return static_cast<double>(n1 - a.ns0) / static_cast<double>(dt);
+}
+
+std::int64_t ticks_to_ns(std::uint64_t ticks, double rate) noexcept {
+    const CalibrationAnchor& a = calibration_anchor();
+    return a.ns0 +
+           static_cast<std::int64_t>(
+               static_cast<double>(static_cast<std::int64_t>(ticks - a.tsc0)) *
+               rate);
+}
+
+/// Lock-free ring table: slots are published once with a release store and
+/// never recycled, so readers — including a fatal-signal handler — walk it
+/// with acquire loads and no lock. Rings are intentionally leaked (bounded
+/// by thread count x depth x 32 B): a dump may run after their owning
+/// threads exited.
+std::atomic<Ring*> g_rings[kMaxRings];
+std::atomic<std::size_t> g_ring_count{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::size_t> g_depth{4096};
+
+std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 16;
+    while (p < v && p < (std::size_t{1} << 24)) p <<= 1;
+    return p;
+}
+
+std::uint32_t current_tid() noexcept {
+    return static_cast<std::uint32_t>(::syscall(SYS_gettid));
+}
+
+} // namespace
+
+Ring::Ring(std::size_t depth_pow2, std::uint32_t thread_id)
+    : mask(depth_pow2 - 1), tid(thread_id),
+      words(new std::atomic<std::uint64_t>[depth_pow2 * kWordsPerEvent]()) {}
+
+Ring* tls_ring() noexcept {
+    thread_local Ring* ring = [] {
+        const std::size_t idx =
+            g_ring_count.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= kMaxRings) {
+            g_ring_count.store(kMaxRings, std::memory_order_relaxed);
+            return static_cast<Ring*>(nullptr);
+        }
+        auto* r = new Ring(round_up_pow2(
+                               g_depth.load(std::memory_order_relaxed)),
+                           current_tid());
+        g_rings[idx].store(r, std::memory_order_release);
+        return r;
+    }();
+    return ring;
+}
+
+} // namespace fr_detail
+
+namespace {
+
+using fr_detail::kWordsPerEvent;
+using fr_detail::Ring;
+
+/// Snapshot bounds of one ring: the newest min(head, depth) events.
+struct RingView {
+    std::uint64_t begin;
+    std::uint64_t end;
+};
+
+RingView ring_view(const Ring& r) noexcept {
+    const std::uint64_t head = r.head.load(std::memory_order_acquire);
+    const std::uint64_t depth = r.mask + 1;
+    return {head > depth ? head - depth : 0, head};
+}
+
+/// Serialize every ring through a writer callable (ostream for dump(),
+/// a raw fd for the async-signal-safe fatal dump) so both paths share one
+/// format. Writer signature: bool(const void*, size_t).
+template <typename Writer>
+std::size_t dump_with(Writer&& write) {
+    if (!write(fr_detail::kMagic, sizeof(fr_detail::kMagic))) return 0;
+    const std::uint32_t version = 1;
+    if (!write(&version, sizeof(version))) return 0;
+    // Rings hold raw ticks; the dump is nanoseconds (see "timestamps").
+    const double rate = fr_detail::ticks_to_ns_rate();
+    std::size_t total = 0;
+    const std::size_t n = std::min(
+        fr_detail::g_ring_count.load(std::memory_order_relaxed),
+        std::size_t{512});
+    for (std::size_t i = 0; i < n; ++i) {
+        const Ring* r = fr_detail::g_rings[i].load(std::memory_order_acquire);
+        if (r == nullptr) continue;
+        const RingView view = ring_view(*r);
+        const std::uint32_t tid = r->tid;
+        const std::uint32_t count =
+            static_cast<std::uint32_t>(view.end - view.begin);
+        if (!write(&tid, sizeof(tid))) return total;
+        if (!write(&count, sizeof(count))) return total;
+        for (std::uint64_t seq = view.begin; seq != view.end; ++seq) {
+            std::uint64_t ev[kWordsPerEvent];
+            const std::size_t base = (seq & r->mask) * kWordsPerEvent;
+            for (std::size_t w = 0; w < kWordsPerEvent; ++w) {
+                ev[w] = r->words[base + w].load(std::memory_order_relaxed);
+            }
+            ev[0] = static_cast<std::uint64_t>(
+                fr_detail::ticks_to_ns(ev[0], rate));
+            if (!write(ev, sizeof(ev))) return total;
+            ++total;
+        }
+    }
+    return total;
+}
+
+// ---- fatal-signal dump ----
+
+char g_fatal_path[256];
+std::atomic<bool> g_fatal_installed{false};
+
+void fatal_dump_handler(int sig) {
+    const int fd =
+        ::open(g_fatal_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+        dump_with([fd](const void* p, std::size_t len) {
+            const auto* bytes = static_cast<const std::uint8_t*>(p);
+            while (len > 0) {
+                const ::ssize_t n = ::write(fd, bytes, len);
+                if (n <= 0) return errno == EINTR;
+                bytes += n;
+                len -= static_cast<std::size_t>(n);
+            }
+            return true;
+        });
+        ::close(fd);
+    }
+    // Handlers were installed with SA_RESETHAND: re-raising runs the
+    // default disposition (core dump / termination).
+    ::raise(sig);
+}
+
+} // namespace
+
+void FlightRecorder::enable(std::size_t ring_depth) noexcept {
+    if (ring_depth > 0) {
+        fr_detail::g_depth.store(ring_depth, std::memory_order_relaxed);
+    }
+    // Pin the tick->ns anchor before the first event can be recorded.
+    fr_detail::calibration_anchor();
+    fr_detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::disable() noexcept {
+    fr_detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void FlightRecorder::emit_always(EventType type, std::uint64_t a,
+                                 std::uint32_t b) noexcept {
+    Ring* r = fr_detail::tls_ring();
+    if (r == nullptr) {
+        fr_detail::g_dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+    const std::size_t base = (h & r->mask) * kWordsPerEvent;
+    r->words[base + 0].store(fr_detail::now_ticks(),
+                             std::memory_order_relaxed);
+    r->words[base + 1].store(a, std::memory_order_relaxed);
+    r->words[base + 2].store((std::uint64_t{b} << 32) | r->tid,
+                             std::memory_order_relaxed);
+    r->words[base + 3].store(static_cast<std::uint64_t>(type),
+                             std::memory_order_relaxed);
+    r->head.store(h + 1, std::memory_order_release);
+}
+
+std::size_t FlightRecorder::dump(std::ostream& out) {
+    return dump_with([&out](const void* p, std::size_t len) {
+        out.write(static_cast<const char*>(p),
+                  static_cast<std::streamsize>(len));
+        return static_cast<bool>(out);
+    });
+}
+
+bool FlightRecorder::dump_file(const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    dump(out);
+    return static_cast<bool>(out);
+}
+
+void FlightRecorder::clear() noexcept {
+    const std::size_t n = std::min(
+        fr_detail::g_ring_count.load(std::memory_order_relaxed),
+        std::size_t{512});
+    for (std::size_t i = 0; i < n; ++i) {
+        if (Ring* r = fr_detail::g_rings[i].load(std::memory_order_acquire)) {
+            r->head.store(0, std::memory_order_relaxed);
+        }
+    }
+}
+
+std::size_t FlightRecorder::ring_count() noexcept {
+    std::size_t live = 0;
+    const std::size_t n = std::min(
+        fr_detail::g_ring_count.load(std::memory_order_relaxed),
+        std::size_t{512});
+    for (std::size_t i = 0; i < n; ++i) {
+        if (fr_detail::g_rings[i].load(std::memory_order_acquire) != nullptr) {
+            ++live;
+        }
+    }
+    return live;
+}
+
+std::uint64_t FlightRecorder::dropped() noexcept {
+    return fr_detail::g_dropped.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::install_fatal_dump(const char* path) noexcept {
+    std::snprintf(g_fatal_path, sizeof(g_fatal_path), "%s", path);
+    if (g_fatal_installed.exchange(true)) return;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = fatal_dump_handler;
+    sa.sa_flags = SA_RESETHAND;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGSEGV, &sa, nullptr);
+    ::sigaction(SIGBUS, &sa, nullptr);
+    ::sigaction(SIGABRT, &sa, nullptr);
+}
+
+const char* event_name(EventType type) noexcept {
+    switch (type) {
+    case EventType::kNone: return "none";
+    case EventType::kHopEnqueue: return "hop-enqueue";
+    case EventType::kHopDequeue: return "hop-dequeue";
+    case EventType::kHopHandlerStart: return "hop-handler";
+    case EventType::kHopHandlerEnd: return "hop-handler-end";
+    case EventType::kFrameSend: return "frame-send";
+    case EventType::kFrameRecv: return "frame-recv";
+    case EventType::kCoalesceFlush: return "coalesce-flush";
+    case EventType::kWriterPark: return "writer-park";
+    case EventType::kWriterResume: return "writer-resume";
+    case EventType::kLaneFailover: return "lane-failover";
+    case EventType::kCreditStall: return "credit-stall";
+    case EventType::kSpanSend: return "span-send";
+    case EventType::kSpanRecv: return "span-recv";
+    }
+    return "unknown";
+}
+
+// ---- decoding ----
+
+std::vector<Event> decode_events(const std::uint8_t* data, std::size_t size) {
+    if (size < 8 || std::memcmp(data, fr_detail::kMagic, 4) != 0) {
+        throw std::runtime_error("not a compadres flight-recorder dump");
+    }
+    std::size_t at = 8; // magic + version
+    std::vector<Event> out;
+    while (at + 8 <= size) {
+        std::uint32_t tid = 0;
+        std::uint32_t count = 0;
+        std::memcpy(&tid, data + at, 4);
+        std::memcpy(&count, data + at + 4, 4);
+        at += 8;
+        if (at + std::uint64_t{count} * 32 > size) {
+            throw std::runtime_error("truncated flight-recorder dump");
+        }
+        for (std::uint32_t i = 0; i < count; ++i) {
+            std::uint64_t w[kWordsPerEvent];
+            std::memcpy(w, data + at, sizeof(w));
+            at += sizeof(w);
+            Event e;
+            e.ts_ns = static_cast<std::int64_t>(w[0]);
+            e.a = w[1];
+            e.b = static_cast<std::uint32_t>(w[2] >> 32);
+            e.tid = static_cast<std::uint32_t>(w[2]);
+            e.type = static_cast<EventType>(w[3]);
+            if (e.type != EventType::kNone) out.push_back(e);
+        }
+    }
+    return out;
+}
+
+std::vector<Event> decode_events_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    return decode_events(bytes.data(), bytes.size());
+}
+
+std::string chrome_trace_json(const std::vector<Event>& events) {
+    std::vector<Event> sorted(events);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Event& x, const Event& y) {
+                         return x.ts_ns < y.ts_ns;
+                     });
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    char line[256];
+    bool first = true;
+    for (const Event& e : sorted) {
+        const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+        const char* ph = "i";
+        const char* name = event_name(e.type);
+        if (e.type == EventType::kHopHandlerStart) {
+            ph = "B";
+            name = "hop-handler";
+        } else if (e.type == EventType::kHopHandlerEnd) {
+            ph = "E";
+            name = "hop-handler";
+        }
+        std::snprintf(
+            line, sizeof(line),
+            "%s{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,"
+            "\"tid\":%" PRIu32 "%s,\"args\":{\"a\":\"0x%" PRIx64
+            "\",\"b\":%" PRIu32 "}}",
+            first ? "" : ",\n", name, ph, ts_us, e.tid,
+            std::strcmp(ph, "i") == 0 ? ",\"s\":\"t\"" : "", e.a, e.b);
+        out += line;
+        first = false;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+} // namespace compadres::obs

@@ -1,0 +1,151 @@
+// Flight recorder — per-thread lock-free rings of fixed-size binary events.
+//
+// Every hot-path subsystem drops 32-byte events here: hop lifecycle
+// (enqueue / dequeue / handler bracket), wire traffic (frame send/recv,
+// coalesced flushes, writer park/resume), lane failovers, credit stalls,
+// and trace-context spans crossing the wire. The write path is a single
+// relaxed flag load when disabled, and when enabled it is one thread-local
+// pointer read, a TSC read, and four relaxed atomic stores into the
+// calling thread's own ring — no locks, no allocation, no cross-thread
+// cache traffic (the only allocation is the ring itself, once per thread
+// on its first event, which a deployment absorbs during warm-up). Rings
+// store raw tick counts; dumps convert to nanoseconds with a rate
+// calibrated over the run, so consumers always see ns.
+//
+// Hop-lifecycle events (enqueue / dequeue / handler brackets) are
+// span-scoped: they fire only for envelopes carrying a sampled trace
+// context, so their steady-state cost scales with the <SampleShift>
+// sampling rate rather than the message rate (shift 0 records every hop).
+// Wire, stall, and failover events are always-on — they are the black box.
+//
+// Rings are registered in a fixed lock-free table so a dump — on demand,
+// at shutdown, or from a fatal-signal handler (install_fatal_dump) — can
+// walk them without taking any lock. Each ring keeps the newest `depth`
+// events per thread; older ones are overwritten, which is exactly the
+// black-box semantics the name promises. Slot words are relaxed atomics,
+// so a dump racing a writer is data-race-free; the worst outcome is one
+// event decoded from the newer generation at the wrap point.
+//
+// `tools/compadres-trace` (and chrome_trace_json below) turn a binary dump
+// into Chrome trace-event JSON loadable in Perfetto.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace compadres::obs {
+
+enum class EventType : std::uint16_t {
+    kNone = 0,
+    kHopEnqueue = 1,      ///< a = In-port pointer, b = priority (span-scoped)
+    kHopDequeue = 2,      ///< a = In-port pointer, b = priority (span-scoped)
+    kHopHandlerStart = 3, ///< a = trace id, b = span id (span-scoped)
+    kHopHandlerEnd = 4,   ///< a = trace id, b = span id (span-scoped)
+    kFrameSend = 5,       ///< a = frame bytes, b = priority band
+    kFrameRecv = 6,       ///< a = frame bytes (0 if unknown), b = band
+    kCoalesceFlush = 7,   ///< a = frames in the flushed batch
+    kWriterPark = 8,      ///< a = frames parked on EAGAIN
+    kWriterResume = 9,    ///< a = frames resumed
+    kLaneFailover = 10,   ///< a = lane index
+    kCreditStall = 11,    ///< a = In-port pointer
+    kSpanSend = 12,       ///< a = trace id, b = span id (wire trailer out)
+    kSpanRecv = 13,       ///< a = trace id, b = span id (wire trailer in)
+};
+
+/// Stable short name ("hop-enqueue", "span-send", ...) for decoders.
+const char* event_name(EventType type) noexcept;
+
+/// Decoded event. The on-wire/in-ring layout is four little-endian 64-bit
+/// words: {ts_ns, a, (b << 32) | tid, type}.
+struct Event {
+    std::int64_t ts_ns = 0;
+    std::uint64_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t tid = 0;
+    EventType type = EventType::kNone;
+};
+
+namespace fr_detail {
+
+inline constexpr std::size_t kWordsPerEvent = 4;
+
+/// One thread's ring. Single writer (the owning thread); any reader. The
+/// slot words are relaxed atomics so concurrent dumps are race-free.
+struct Ring {
+    Ring(std::size_t depth_pow2, std::uint32_t thread_id);
+    const std::size_t mask;
+    const std::uint32_t tid;
+    std::atomic<std::uint64_t> head{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+};
+
+inline std::atomic<bool> g_enabled{false};
+
+/// The calling thread's ring, registering it on first use. Returns nullptr
+/// when the process-wide ring table is full (events are then dropped).
+Ring* tls_ring() noexcept;
+
+} // namespace fr_detail
+
+class FlightRecorder {
+public:
+    /// Turn recording on. `ring_depth` (rounded up to a power of two)
+    /// applies to rings created after this call; existing rings keep their
+    /// depth. Idempotent.
+    static void enable(std::size_t ring_depth = 4096) noexcept;
+    static void disable() noexcept;
+    static bool enabled() noexcept {
+        return fr_detail::g_enabled.load(std::memory_order_relaxed);
+    }
+
+    /// Record one event on the calling thread's ring. The disabled path is
+    /// one relaxed load and a not-taken branch.
+    static void emit(EventType type, std::uint64_t a = 0,
+                     std::uint32_t b = 0) noexcept {
+        if (!enabled()) return;
+        emit_always(type, a, b);
+    }
+
+    /// emit() without the enabled check (for sites that hoisted it).
+    static void emit_always(EventType type, std::uint64_t a,
+                            std::uint32_t b) noexcept;
+
+    /// Serialize every ring (binary format: "CFR1" magic, then per ring a
+    /// {tid, count} header and count 32-byte events, oldest first).
+    /// Returns the number of events written.
+    static std::size_t dump(std::ostream& out);
+    static bool dump_file(const std::string& path);
+
+    /// Rewind all rings (bench/test reuse). Not safe against concurrent
+    /// emits — quiesce traffic first.
+    static void clear() noexcept;
+
+    /// Number of per-thread rings registered so far.
+    static std::size_t ring_count() noexcept;
+    /// Events dropped because the ring table was full.
+    static std::uint64_t dropped() noexcept;
+
+    /// Arrange for a binary dump to `path` on SIGSEGV/SIGBUS/SIGABRT. The
+    /// handler is async-signal-safe (open/write/close on pre-stored state)
+    /// and re-raises the signal after dumping.
+    static void install_fatal_dump(const char* path) noexcept;
+};
+
+// ---- decoding (shared by tools/compadres-trace, benches, and tests) ----
+
+/// Parse a binary dump produced by FlightRecorder::dump. Throws
+/// std::runtime_error on malformed input.
+std::vector<Event> decode_events(const std::uint8_t* data, std::size_t size);
+std::vector<Event> decode_events_file(const std::string& path);
+
+/// Render events as Chrome trace-event JSON (Perfetto-loadable): handler
+/// brackets become duration ("B"/"E") slices, everything else instant
+/// events, with trace/span ids in args for cross-process correlation.
+std::string chrome_trace_json(const std::vector<Event>& events);
+
+} // namespace compadres::obs

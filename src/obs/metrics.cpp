@@ -1,0 +1,254 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace compadres::obs {
+
+namespace metrics_detail {
+
+std::size_t thread_stripe() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+}
+
+} // namespace metrics_detail
+
+// ---- Histogram ----
+
+Histogram::Histogram() : stripes_(std::make_unique<Stripe[]>(kHistStripes)) {}
+
+std::size_t Histogram::bucket_index(std::uint64_t v) noexcept {
+    if (v < 4) return static_cast<std::size_t>(v);
+    const int e = std::bit_width(v) - 1; // 2 <= e <= 63
+    const std::size_t sub =
+        static_cast<std::size_t>((v >> (e - 2)) & 0x03); // linear quarter
+    const std::size_t idx = static_cast<std::size_t>(e - 1) * 4 + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t index) noexcept {
+    if (index < 4) return index;
+    const std::uint64_t e = index / 4 + 1;
+    const std::uint64_t sub = index % 4;
+    // Bucket covers [2^e + sub*2^(e-2), 2^e + (sub+1)*2^(e-2)).
+    return (std::uint64_t{1} << e) + (sub + 1) * (std::uint64_t{1} << (e - 2)) -
+           1;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+    Snapshot s;
+    for (std::size_t i = 0; i < kHistStripes; ++i) {
+        s.sum += stripes_[i].sum.load(std::memory_order_relaxed);
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            const std::uint64_t n =
+                stripes_[i].buckets[b].load(std::memory_order_relaxed);
+            s.buckets[b] += n;
+            s.count += n;
+        }
+    }
+    return s;
+}
+
+std::uint64_t Histogram::Snapshot::percentile(double q) const noexcept {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += buckets[b];
+        if (seen > rank) return bucket_upper_bound(b);
+    }
+    return bucket_upper_bound(kBuckets - 1);
+}
+
+// ---- MetricsRegistry ----
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(const std::string& name,
+                                                   Kind kind,
+                                                   const std::string& help) {
+    auto [it, inserted] = entries_.try_emplace(name);
+    Entry& e = it->second;
+    if (inserted) {
+        e.kind = kind;
+        e.help = help;
+        switch (kind) {
+        case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+        case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+        case Kind::kHistogram:
+            e.histogram = std::make_unique<Histogram>();
+            break;
+        }
+    } else if (e.kind != kind) {
+        throw std::invalid_argument("metric '" + name +
+                                    "' already registered as a different "
+                                    "instrument kind");
+    }
+    return e;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+    std::lock_guard lk(mu_);
+    return *entry_for(name, Kind::kCounter, help).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+    std::lock_guard lk(mu_);
+    return *entry_for(name, Kind::kGauge, help).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help) {
+    std::lock_guard lk(mu_);
+    return *entry_for(name, Kind::kHistogram, help).histogram;
+}
+
+std::uint64_t MetricsRegistry::add_source(const std::string& prefix,
+                                          Source sample) {
+    std::lock_guard lk(mu_);
+    const std::uint64_t token = next_token_++;
+    sources_.emplace(token, std::make_pair(prefix, std::move(sample)));
+    return token;
+}
+
+void MetricsRegistry::remove_source(std::uint64_t token) {
+    // Taking mu_ serializes against the exposition writers, so by the time
+    // this returns no snapshot can still be inside the callback.
+    std::lock_guard lk(mu_);
+    sources_.erase(token);
+}
+
+std::string sanitize_metric_name(const std::string& name) {
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+    std::lock_guard lk(mu_);
+    std::ostringstream out;
+    for (const auto& [name, e] : entries_) {
+        const std::string pname = sanitize_metric_name(name);
+        if (!e.help.empty()) {
+            out << "# HELP " << pname << " " << e.help << "\n";
+        }
+        switch (e.kind) {
+        case Kind::kCounter:
+            out << "# TYPE " << pname << " counter\n";
+            out << pname << " " << e.counter->value() << "\n";
+            break;
+        case Kind::kGauge:
+            out << "# TYPE " << pname << " gauge\n";
+            out << pname << " " << e.gauge->value() << "\n";
+            break;
+        case Kind::kHistogram: {
+            out << "# TYPE " << pname << " histogram\n";
+            const Histogram::Snapshot s = e.histogram->snapshot();
+            std::uint64_t cumulative = 0;
+            for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+                if (s.buckets[b] == 0) continue;
+                cumulative += s.buckets[b];
+                out << pname << "_bucket{le=\""
+                    << Histogram::bucket_upper_bound(b) << "\"} " << cumulative
+                    << "\n";
+            }
+            out << pname << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+            out << pname << "_sum " << s.sum << "\n";
+            out << pname << "_count " << s.count << "\n";
+            break;
+        }
+        }
+    }
+    for (const auto& [token, src] : sources_) {
+        (void)token;
+        for (const SourceSample& sample : src.second()) {
+            out << sanitize_metric_name(src.first + "_" + sample.name) << " "
+                << sample.value << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string MetricsRegistry::json_snapshot() const {
+    std::lock_guard lk(mu_);
+    std::ostringstream out;
+    out << "{\n  \"benchmark\": \"metrics_snapshot\",\n";
+    out << "  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, e] : entries_) {
+        if (e.kind != Kind::kCounter) continue;
+        out << (first ? "" : ",") << "\n    \"" << name
+            << "\": " << e.counter->value();
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, e] : entries_) {
+        if (e.kind != Kind::kGauge) continue;
+        out << (first ? "" : ",") << "\n    \"" << name
+            << "\": " << e.gauge->value();
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, e] : entries_) {
+        if (e.kind != Kind::kHistogram) continue;
+        const Histogram::Snapshot s = e.histogram->snapshot();
+        out << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+            << s.count << ", \"sum\": " << s.sum
+            << ", \"p50\": " << s.percentile(0.50)
+            << ", \"p90\": " << s.percentile(0.90)
+            << ", \"p99\": " << s.percentile(0.99) << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"sources\": {";
+    first = true;
+    for (const auto& [token, src] : sources_) {
+        (void)token;
+        for (const SourceSample& sample : src.second()) {
+            out << (first ? "" : ",") << "\n    \"" << src.first << "_"
+                << sample.name << "\": " << sample.value;
+            first = false;
+        }
+    }
+    out << (first ? "" : "\n  ") << "}\n}\n";
+    return out.str();
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << json_snapshot();
+    return static_cast<bool>(out);
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard lk(mu_);
+    entries_.clear();
+    sources_.clear();
+}
+
+} // namespace compadres::obs

@@ -1,0 +1,182 @@
+// MetricsRegistry — the unified counter/gauge/histogram surface of the
+// observability plane.
+//
+// Increment paths are lock-free and wait-free: a Counter is striped across
+// cache-line-sized shards indexed by a per-thread ordinal, so concurrent
+// writers touch distinct lines and a snapshot reconciles the stripes with
+// relaxed loads; a Histogram has log-bucketed fixed storage (no allocation
+// ever, any value maps to one of 256 buckets spanning [0, 2^63)) striped
+// the same way. Registration and snapshotting take the registry mutex —
+// cold paths by construction.
+//
+// The registry absorbs the framework's ad-hoc counter surfaces (port
+// counters, frame-pool hit rates, reactor/lane stats) through snapshot
+// sources: a source is a callback returning {name, value} samples, the
+// same shape Application::add_counter_source feeds trace_report, exposed
+// uniformly in the Prometheus text and JSON snapshot writers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace compadres::obs {
+
+namespace metrics_detail {
+/// Stable per-thread stripe index in [0, kStripes).
+std::size_t thread_stripe() noexcept;
+inline constexpr std::size_t kStripes = 16;
+} // namespace metrics_detail
+
+/// Monotonic counter. add() is a relaxed fetch_add on the calling
+/// thread's stripe — wait-free, and contention-free up to kStripes
+/// concurrent writer threads.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        stripes_[metrics_detail::thread_stripe()].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+    void inc() noexcept { add(1); }
+    std::uint64_t value() const noexcept {
+        std::uint64_t sum = 0;
+        for (const Stripe& s : stripes_) {
+            sum += s.v.load(std::memory_order_relaxed);
+        }
+        return sum;
+    }
+
+private:
+    struct alignas(64) Stripe {
+        std::atomic<std::uint64_t> v{0};
+    };
+    Stripe stripes_[metrics_detail::kStripes];
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+public:
+    void set(std::int64_t v) noexcept {
+        v_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t d) noexcept {
+        v_.fetch_add(d, std::memory_order_relaxed);
+    }
+    std::int64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram: 4 linear sub-buckets per power of two, 256
+/// buckets total (exact below 4, ~12% relative bucket width above).
+/// observe() is two relaxed fetch_adds on the calling thread's stripe.
+class Histogram {
+public:
+    static constexpr std::size_t kBuckets = 256;
+
+    Histogram();
+
+    void observe(std::uint64_t v) noexcept {
+        Stripe& s = stripes_[metrics_detail::thread_stripe() % kHistStripes];
+        s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    struct Snapshot {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t buckets[kBuckets] = {};
+        /// Upper bound of the bucket holding quantile q (0..1).
+        std::uint64_t percentile(double q) const noexcept;
+    };
+    Snapshot snapshot() const noexcept;
+
+    static std::size_t bucket_index(std::uint64_t v) noexcept;
+    /// Inclusive upper bound of a bucket's value range.
+    static std::uint64_t bucket_upper_bound(std::size_t index) noexcept;
+
+private:
+    static constexpr std::size_t kHistStripes = 4;
+    struct alignas(64) Stripe {
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> buckets[kBuckets]{};
+    };
+    std::unique_ptr<Stripe[]> stripes_;
+};
+
+/// One sample from a snapshot source.
+struct SourceSample {
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+class MetricsRegistry {
+public:
+    /// Process-wide registry (benches/examples share it; tests may build
+    /// their own).
+    static MetricsRegistry& global();
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Find-or-create by name. Returned references stay valid for the
+    /// registry's lifetime. Throws std::invalid_argument when the name is
+    /// already registered as a different instrument kind.
+    Counter& counter(const std::string& name, const std::string& help = "");
+    Gauge& gauge(const std::string& name, const std::string& help = "");
+    Histogram& histogram(const std::string& name,
+                         const std::string& help = "");
+
+    /// Register a snapshot source: `sample` is called (under the registry
+    /// mutex) by the exposition writers, its samples appearing as
+    /// "<prefix>_<name>" untyped values. Returns a removal token.
+    /// remove_source blocks until any in-flight exposition is done with
+    /// the callback, so the owner may free captured state right after.
+    using Source = std::function<std::vector<SourceSample>()>;
+    std::uint64_t add_source(const std::string& prefix, Source sample);
+    void remove_source(std::uint64_t token);
+
+    /// Prometheus text exposition (metric names sanitized to the
+    /// [a-zA-Z0-9_:] charset).
+    std::string prometheus_text() const;
+
+    /// JSON snapshot in the shape tools/bench_trend.py ingests
+    /// ({"benchmark": "metrics_snapshot", ...}).
+    std::string json_snapshot() const;
+    bool write_json(const std::string& path) const;
+
+    /// Drop every instrument and source (testing).
+    void reset();
+
+private:
+    enum class Kind { kCounter, kGauge, kHistogram };
+    struct Entry {
+        Kind kind;
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+    Entry& entry_for(const std::string& name, Kind kind,
+                     const std::string& help);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_;
+    std::map<std::uint64_t, std::pair<std::string, Source>> sources_;
+    std::uint64_t next_token_ = 1;
+};
+
+/// Sanitize a metric name for Prometheus exposition.
+std::string sanitize_metric_name(const std::string& name);
+
+} // namespace compadres::obs

@@ -1,0 +1,89 @@
+#include "obs/trace_context.hpp"
+
+#include "obs/flight_recorder.hpp"
+#include "rt/clock.hpp"
+
+namespace compadres::obs {
+
+namespace {
+
+thread_local TraceContext t_ctx;
+
+/// splitmix64 — cheap, allocation-free id mixing.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/// Per-thread send counter / id seed. Seeded from the monotonic clock and
+/// a process-wide thread ordinal so two threads (or two processes started
+/// the same nanosecond) never mint colliding trace ids in practice.
+struct ThreadTraceState {
+    std::uint64_t sends = 0;
+    std::uint64_t seed;
+    std::uint32_t next_span;
+    ThreadTraceState() {
+        static std::atomic<std::uint64_t> ordinal{1};
+        seed = mix64(static_cast<std::uint64_t>(rt::now_ns()) ^
+                     (ordinal.fetch_add(1, std::memory_order_relaxed) << 48));
+        next_span = static_cast<std::uint32_t>(seed >> 32) | 1u;
+    }
+};
+
+ThreadTraceState& thread_state() noexcept {
+    thread_local ThreadTraceState state;
+    return state;
+}
+
+} // namespace
+
+void Tracer::configure(int sample_shift) noexcept {
+    trace_detail::g_sample_shift.store(sample_shift < 0 ? -1 : sample_shift,
+                                       std::memory_order_relaxed);
+}
+
+TraceContext Tracer::current() noexcept { return t_ctx; }
+
+void Tracer::set_current(TraceContext ctx) noexcept { t_ctx = ctx; }
+
+void Tracer::clear_current() noexcept { t_ctx = TraceContext{}; }
+
+std::uint32_t Tracer::next_span() noexcept {
+    ThreadTraceState& s = thread_state();
+    if (++s.next_span == 0) ++s.next_span;
+    return s.next_span;
+}
+
+TraceContext Tracer::on_send() noexcept {
+    const int shift =
+        trace_detail::g_sample_shift.load(std::memory_order_relaxed);
+    if (shift < 0) return {};
+    if (t_ctx) {
+        // Mid-flow: continue the inherited trace with a fresh span.
+        return {t_ctx.trace_id, next_span()};
+    }
+    ThreadTraceState& s = thread_state();
+    ++s.sends;
+    if (shift > 0 &&
+        (s.sends & ((std::uint64_t{1} << (shift < 63 ? shift : 63)) - 1)) !=
+            0) {
+        return {};
+    }
+    std::uint64_t id = mix64(s.seed ^ s.sends);
+    if (id == 0) id = 1;
+    return {id, next_span()};
+}
+
+void apply(const TraceConfig& config) {
+    if (config.recorder) {
+        FlightRecorder::enable(config.ring_depth);
+    }
+    if (config.enabled) {
+        Tracer::configure(static_cast<int>(
+            config.sample_shift > 62u ? 62u : config.sample_shift));
+    }
+}
+
+} // namespace compadres::obs

@@ -1,0 +1,105 @@
+// Trace-context propagation — the id half of the observability plane.
+//
+// A trace context is a 64-bit trace id plus a 32-bit span id. The trace id
+// is minted once, at the first sampled send of a flow, and then rides every
+// hop of that flow — across dispatcher queues inside a process (stamped
+// into the Envelope) and across the wire between processes (a GIOP
+// trailer, see cdr/giop.hpp append_trace_trailer) — so one sensor→actuator
+// path renders as a single spanning trace in the flight-recorder timeline.
+// The span id distinguishes the individual hops of one trace.
+//
+// Cost discipline mirrors core/hooks.hpp: Tracer::active() is one relaxed
+// atomic load, and every instrumentation site checks it (or an Envelope
+// field) before touching thread-local state, so a build with tracing off
+// pays a predictable not-taken branch per site and nothing else. No code
+// in this header allocates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace compadres::obs {
+
+struct TraceContext {
+    std::uint64_t trace_id = 0; ///< 0 = no context
+    std::uint32_t span_id = 0;
+    explicit operator bool() const noexcept { return trace_id != 0; }
+};
+
+/// CCL <Trace> block (parse→validate→plan→emit→compadresc). apply() turns
+/// the declarative knobs into Tracer / FlightRecorder configuration; a
+/// default-constructed config is a no-op, so applications without a
+/// <Trace> block never disturb process-global observability state.
+struct TraceConfig {
+    /// <Trace> present: wire trace-context propagation is on.
+    bool enabled = false;
+    /// <SampleShift>: sample 1 in 2^shift sends that carry no inherited
+    /// context. 0 traces every flow.
+    unsigned sample_shift = 10;
+    /// <Recorder>: the flight recorder (obs/flight_recorder.hpp).
+    bool recorder = false;
+    /// <RingDepth>: per-thread flight-recorder ring depth (events; rounded
+    /// up to a power of two).
+    std::size_t ring_depth = 4096;
+};
+void apply(const TraceConfig& config);
+
+namespace trace_detail {
+/// Sampling shift; < 0 means tracing is off. One relaxed load on the hot
+/// path, exactly like hooks::detail::g_sink.
+inline std::atomic<int> g_sample_shift{-1};
+} // namespace trace_detail
+
+class Tracer {
+public:
+    /// Enable with a sampling shift (0 = every flow, n = 1 in 2^n), or
+    /// disable with a negative shift. Safe to call at any time; sites
+    /// observe the change at their next relaxed load.
+    static void configure(int sample_shift) noexcept;
+
+    static bool active() noexcept {
+        return trace_detail::g_sample_shift.load(std::memory_order_relaxed) >=
+               0;
+    }
+
+    /// The calling thread's current context ({0,0} when none).
+    static TraceContext current() noexcept;
+    static void set_current(TraceContext ctx) noexcept;
+    static void clear_current() noexcept;
+
+    /// Decide the context an outbound wire message carries. An active
+    /// current context continues (same trace id, fresh span); with no
+    /// context the sampler decides whether this send starts a new trace.
+    /// Returns {0,0} when the send goes out untraced.
+    static TraceContext on_send() noexcept;
+
+    /// Fresh span id for the calling thread (never 0).
+    static std::uint32_t next_span() noexcept;
+};
+
+/// RAII installer: sets the thread's context for the scope of a delivery
+/// (a decoded wire frame, a dispatched envelope) and restores the previous
+/// one on exit. An empty context installs nothing, so untraced traffic
+/// never touches thread-local state.
+class ScopedTraceContext {
+public:
+    explicit ScopedTraceContext(TraceContext ctx) noexcept {
+        if (ctx) {
+            prev_ = Tracer::current();
+            installed_ = true;
+            Tracer::set_current(ctx);
+        }
+    }
+    ~ScopedTraceContext() {
+        if (installed_) Tracer::set_current(prev_);
+    }
+    ScopedTraceContext(const ScopedTraceContext&) = delete;
+    ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+private:
+    TraceContext prev_;
+    bool installed_ = false;
+};
+
+} // namespace compadres::obs

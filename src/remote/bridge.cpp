@@ -2,6 +2,8 @@
 
 #include "cdr/giop.hpp"
 #include "net/lane_group.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_context.hpp"
 
 #include <cstdio>
 
@@ -75,6 +77,19 @@ public:
         out.write_ulong(static_cast<std::uint32_t>(priority_));
         encode_fn_(encode_ctx_, msg, out);
         cdr::finish_payload(out, len_offset_);
+        // Wire trace propagation: when the sampler elects this message (or
+        // the exporting thread already carries a context from an upstream
+        // hop), a 16-byte trailer rides after the payload. Frames without a
+        // context stay byte-identical to stock GIOP 1.0 — untraced traffic
+        // pays one relaxed load here.
+        if (obs::Tracer::active()) {
+            const obs::TraceContext ctx = obs::Tracer::on_send();
+            if (ctx) {
+                cdr::append_trace_trailer(out, ctx.trace_id, ctx.span_id);
+                obs::FlightRecorder::emit(obs::EventType::kSpanSend,
+                                          ctx.trace_id, ctx.span_id);
+            }
+        }
         if (out.size() > scratch_hint_.load(std::memory_order_relaxed)) {
             scratch_hint_.store(out.size(), std::memory_order_relaxed);
         }
@@ -355,6 +370,17 @@ void RemoteBridge::handle_frame(const std::uint8_t* frame, std::size_t size) {
             route.out->pool()->release_raw(msg);
             throw;
         }
+        // Stitch: a trace trailer on the frame re-installs the sender's
+        // context around the local fan-out, so both processes' hops share
+        // one trace id. The no-trailer path is one flag test on the header.
+        std::uint64_t trace_id = 0;
+        std::uint32_t span_id = 0;
+        if (cdr::read_trace_trailer(frame, size, trace_id, span_id)) {
+            obs::FlightRecorder::emit(obs::EventType::kSpanRecv, trace_id,
+                                      span_id);
+        }
+        const obs::ScopedTraceContext trace_scope(
+            obs::TraceContext{trace_id, span_id});
         route.out->send_raw(msg, route.priority >= 0 ? route.priority
                                                      : carried_priority);
     } catch (const std::exception& e) {

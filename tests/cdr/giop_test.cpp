@@ -269,7 +269,7 @@ TEST(GiopBand, ReservedFlagBitsStillRejected) {
     req.object_key = "K";
     req.operation = "op";
     const auto base = cdr::encode_request(req, nullptr, 0);
-    for (const std::uint8_t bit : {0x02, 0x04, 0x08, 0x80}) {
+    for (const std::uint8_t bit : {0x02, 0x04, 0x80}) {
         auto frame = base;
         frame[cdr::GiopHeader::kFlagsOffset] |= bit;
         EXPECT_THROW(cdr::decode_header(frame.data(), frame.size()),
@@ -280,4 +280,87 @@ TEST(GiopBand, ReservedFlagBitsStillRejected) {
     auto frame = base;
     cdr::set_frame_band(frame.data(), 7);
     EXPECT_NO_THROW(cdr::decode_header(frame.data(), frame.size()));
+    // Bit 3 graduated from reserved to the trace-context flag: a frame
+    // carrying it decodes, and the header reports the context.
+    auto traced = base;
+    traced[cdr::GiopHeader::kFlagsOffset] |= cdr::GiopHeader::kTraceFlag;
+    cdr::GiopHeader h{};
+    EXPECT_NO_THROW(h = cdr::decode_header(traced.data(), traced.size()));
+    EXPECT_TRUE(h.has_trace_context);
+}
+
+// ---- trace-context trailer (observability plane) ----
+
+namespace {
+
+/// Template + payload + finish, the bridge's streaming encode shape.
+std::vector<std::uint8_t> traced_frame(bool with_trailer) {
+    cdr::OutputStream out;
+    const std::size_t len_offset = cdr::begin_request_payload(
+        out, /*request_id=*/9, /*response_expected=*/false, "K", "op");
+    out.rebase();
+    out.write_ulong(0x11223344);
+    cdr::finish_payload(out, len_offset);
+    if (with_trailer) {
+        cdr::append_trace_trailer(out, 0xA1B2C3D4E5F60718ULL, 0x0BADCAFE);
+    }
+    return out.take_buffer();
+}
+
+} // namespace
+
+TEST(GiopTrace, TrailerRoundTrips) {
+    const auto frame = traced_frame(true);
+    ASSERT_TRUE(cdr::frame_has_trace_context(frame.data()));
+    std::uint64_t trace_id = 0;
+    std::uint32_t span_id = 0;
+    ASSERT_TRUE(cdr::read_trace_trailer(frame.data(), frame.size(), trace_id,
+                                        span_id));
+    EXPECT_EQ(trace_id, 0xA1B2C3D4E5F60718ULL);
+    EXPECT_EQ(span_id, 0x0BADCAFEu);
+    // message_size covers the trailer; the header decodes and reports it.
+    const cdr::GiopHeader h = cdr::decode_header(frame.data(), frame.size());
+    EXPECT_TRUE(h.has_trace_context);
+    EXPECT_EQ(cdr::GiopHeader::kSize + h.message_size, frame.size());
+}
+
+TEST(GiopTrace, UntracedFramesAreByteIdenticalToStockGiop) {
+    const auto plain = traced_frame(false);
+    // No trace flag, no trailer bytes, nothing else disturbed.
+    EXPECT_FALSE(cdr::frame_has_trace_context(plain.data()));
+    const auto traced = traced_frame(true);
+    ASSERT_EQ(traced.size(), plain.size() + cdr::kTraceTrailerSize);
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        if (i == cdr::GiopHeader::kFlagsOffset) {
+            EXPECT_EQ(traced[i], plain[i] | cdr::GiopHeader::kTraceFlag);
+            continue;
+        }
+        if (i >= 8 && i < 12) continue; // message_size grew by the trailer
+        EXPECT_EQ(traced[i], plain[i]) << "offset " << i;
+    }
+}
+
+TEST(GiopTrace, TrailerIsInvisibleToPayloadDecoding) {
+    // decode_request_view stops after the payload octet sequence, so a
+    // trailer-unaware consumer sees the same request either way.
+    const auto traced = traced_frame(true);
+    const auto view =
+        cdr::decode_request_view(traced.data(), traced.size());
+    EXPECT_EQ(view.header.operation, "op");
+    ASSERT_EQ(view.payload_len, 4u);
+    cdr::InputStream body(view.payload, view.payload_len, view.byte_order);
+    EXPECT_EQ(body.read_ulong(), 0x11223344u);
+}
+
+TEST(GiopTrace, ReadTrailerRejectsShortOrUnflaggedFrames) {
+    std::uint64_t trace_id = 0;
+    std::uint32_t span_id = 0;
+    const auto plain = traced_frame(false);
+    EXPECT_FALSE(cdr::read_trace_trailer(plain.data(), plain.size(), trace_id,
+                                         span_id));
+    // Flag set but the frame is too short to hold a trailer.
+    auto stub = bytes({'G', 'I', 'O', 'P', 1, 0, 0x08, 0, 0, 0, 0, 0});
+    EXPECT_FALSE(cdr::read_trace_trailer(stub.data(), stub.size(), trace_id,
+                                         span_id));
+    EXPECT_EQ(trace_id, 0u);
 }

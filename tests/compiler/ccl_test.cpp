@@ -344,3 +344,66 @@ TEST(CclRemoteErrors, ZeroReactorBands) {
                      "</RTSJAttributes></Application>"),
                  CclError);
 }
+
+// ---- <Trace> (observability plane) ----
+
+namespace {
+const char* kTraceAppPrefix =
+    "<Application><ApplicationName>A</ApplicationName>"
+    "<Component><InstanceName>I</InstanceName>"
+    "<ClassName>C</ClassName>"
+    "<ComponentType>Immortal</ComponentType></Component>";
+} // namespace
+
+TEST(CclTrace, FullBlockParses) {
+    const auto model = compiler::parse_ccl_string(
+        std::string(kTraceAppPrefix) +
+        "<RTSJAttributes><Trace><SampleShift>4</SampleShift>"
+        "<RingDepth>1024</RingDepth><Recorder>false</Recorder></Trace>"
+        "</RTSJAttributes></Application>");
+    EXPECT_TRUE(model.rtsj.trace.enabled);
+    EXPECT_EQ(model.rtsj.trace.sample_shift, 4u);
+    EXPECT_EQ(model.rtsj.trace.ring_depth, 1024u);
+    EXPECT_FALSE(model.rtsj.trace.recorder);
+}
+
+TEST(CclTrace, BlockPresenceEnablesWithDefaults) {
+    const auto model = compiler::parse_ccl_string(
+        std::string(kTraceAppPrefix) +
+        "<RTSJAttributes><Trace></Trace></RTSJAttributes></Application>");
+    EXPECT_TRUE(model.rtsj.trace.enabled);
+    EXPECT_TRUE(model.rtsj.trace.recorder); // defaults on inside the block
+    EXPECT_EQ(model.rtsj.trace.sample_shift, 10u);
+    EXPECT_EQ(model.rtsj.trace.ring_depth, 4096u);
+}
+
+TEST(CclTrace, AbsentBlockLeavesTracingOff) {
+    const auto model = compiler::parse_ccl_string(
+        std::string(kTraceAppPrefix) + "</Application>");
+    EXPECT_FALSE(model.rtsj.trace.enabled);
+    EXPECT_FALSE(model.rtsj.trace.recorder);
+}
+
+TEST(CclTraceErrors, OutOfRangeSampleShift) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     std::string(kTraceAppPrefix) +
+                     "<RTSJAttributes><Trace><SampleShift>63</SampleShift>"
+                     "</Trace></RTSJAttributes></Application>"),
+                 CclError);
+}
+
+TEST(CclTraceErrors, ZeroRingDepth) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     std::string(kTraceAppPrefix) +
+                     "<RTSJAttributes><Trace><RingDepth>0</RingDepth>"
+                     "</Trace></RTSJAttributes></Application>"),
+                 CclError);
+}
+
+TEST(CclTraceErrors, MalformedRecorderFlag) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     std::string(kTraceAppPrefix) +
+                     "<RTSJAttributes><Trace><Recorder>maybe</Recorder>"
+                     "</Trace></RTSJAttributes></Application>"),
+                 CclError);
+}

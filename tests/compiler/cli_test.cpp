@@ -260,3 +260,21 @@ TEST(Cli, CanonReEmitsParseableDocuments) {
     EXPECT_NO_THROW(compadres::compiler::parse_ccl_string(
         r.out.substr(app_pos)));
 }
+
+TEST(Cli, PlanDumpsTraceKnobs) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    std::string ccl_text = kCcl;
+    const std::string anchor = "</Application>";
+    const auto pos = ccl_text.find(anchor);
+    ASSERT_NE(pos, std::string::npos);
+    ccl_text.insert(pos,
+                    "<RTSJAttributes><Trace><SampleShift>3</SampleShift>"
+                    "<RingDepth>512</RingDepth></Trace></RTSJAttributes>");
+    const auto ccl = write_file(dir, "a.ccl.xml", ccl_text);
+    const auto r = run({"plan", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("trace: sample-shift 3, ring depth 512, recorder on"),
+              std::string::npos)
+        << r.out;
+}

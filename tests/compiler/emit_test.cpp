@@ -288,3 +288,30 @@ TEST_P(EmitFuzzTest, RandomCclRoundTrips) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EmitFuzzTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Emit, CclRoundTripsTraceBlock) {
+    CclModel model;
+    model.application_name = "Traced";
+    model.rtsj.trace.enabled = true;
+    model.rtsj.trace.sample_shift = 6;
+    model.rtsj.trace.ring_depth = 8192;
+    model.rtsj.trace.recorder = false;
+
+    CclComponent hub;
+    hub.instance_name = "H";
+    hub.class_name = "Hub";
+    hub.type = core::ComponentType::kImmortal;
+    model.components.push_back(hub);
+
+    const std::string xml_text = emit_ccl(model);
+    EXPECT_NE(xml_text.find("<Trace>"), std::string::npos) << xml_text;
+    const CclModel reparsed = parse_ccl_string(xml_text);
+    EXPECT_TRUE(reparsed.rtsj.trace.enabled);
+    EXPECT_EQ(reparsed.rtsj.trace.sample_shift, 6u);
+    EXPECT_EQ(reparsed.rtsj.trace.ring_depth, 8192u);
+    EXPECT_FALSE(reparsed.rtsj.trace.recorder);
+
+    // And a model with no trace block emits none.
+    model.rtsj.trace = {};
+    EXPECT_EQ(emit_ccl(model).find("<Trace>"), std::string::npos);
+}

@@ -537,3 +537,20 @@ TEST(ValidatorRemote, DuplicateRouteAndRemoteNameReported) {
     EXPECT_TRUE(any_issue_contains(issues, "duplicate export route 'r.cmd'"));
     EXPECT_TRUE(any_issue_contains(issues, "duplicate remote name 'R'"));
 }
+
+TEST(ValidatorTrace, OversizedRingDepthReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<RTSJAttributes><Trace><RingDepth>33554432</RingDepth></Trace>"
+        "</RTSJAttributes>");
+    EXPECT_TRUE(any_issue_contains(issues, "RingDepth"));
+}
+
+TEST(ValidatorTrace, TraceConfigSurvivesPlanning) {
+    const auto plan = plan_of(
+        hub_with("") +
+        "<RTSJAttributes><Trace><SampleShift>2</SampleShift></Trace>"
+        "</RTSJAttributes>");
+    EXPECT_TRUE(plan.rtsj.trace.enabled);
+    EXPECT_EQ(plan.rtsj.trace.sample_shift, 2u);
+}

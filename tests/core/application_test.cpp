@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <thread>
+
 using namespace compadres;
 using test::TestMsg;
 
@@ -214,4 +218,104 @@ TEST_F(ApplicationTest, DescribeListsTopologyAndConnections) {
     EXPECT_NE(text.find("  - Beta [scoped L1"), std::string::npos);
     EXPECT_NE(text.find("Alpha.out -> Beta.in <TestMsg> via SMM of Alpha"),
               std::string::npos);
+}
+
+// ---- counter sources and the observability plane ----
+
+TEST_F(ApplicationTest, CounterSourceRemovalRacesTraceReport) {
+    // remove_counter_source must block until any in-flight trace_report is
+    // done with the callback, so an owner can free captured state right
+    // after removal. Hammer report/remove/re-add from two threads while the
+    // callbacks read through a pointer that removal invalidates.
+    core::Application app("race");
+    std::atomic<bool> stop{false};
+    std::atomic<int> reports{0};
+
+    std::thread reporter([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const core::TraceReport report = app.trace_report();
+            for (const core::CounterGroup& g : report.counters) {
+                // Groups must always be fully formed — a torn callback
+                // would surface here as a dead pointer dereference.
+                EXPECT_FALSE(g.source.empty());
+            }
+            reports.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    for (int round = 0; round < 200; ++round) {
+        auto counted = std::make_unique<std::uint64_t>(7);
+        const std::uint64_t token =
+            app.add_counter_source([raw = counted.get()] {
+                core::CounterGroup g;
+                g.source = "racy";
+                g.counters = {{"value", *raw}};
+                return g;
+            });
+        app.remove_counter_source(token);
+        // Safe to free immediately: the contract says no in-flight
+        // trace_report still holds the callback.
+        counted.reset();
+    }
+    stop.store(true);
+    reporter.join();
+    EXPECT_GT(reports.load(), 0);
+}
+
+TEST_F(ApplicationTest, TraceReportToStringWithZeroHopPorts) {
+    core::Application app("zero-hop");
+    auto& a = app.create_immortal<core::Component>("Alpha");
+    auto& b = app.create_immortal<core::Component>("Beta");
+    a.add_out_port<TestMsg>("out", "TestMsg");
+    b.add_in_port<TestMsg>("in", "TestMsg", sync_port(),
+                           [](TestMsg&, core::Smm&) {});
+    app.connect(a, "out", b, "in");
+    // No traffic at all: every counter zero, no latency series.
+    const core::TraceReport report = app.trace_report();
+    ASSERT_EQ(report.ports.size(), 1u);
+    EXPECT_EQ(report.ports[0].delivered, 0u);
+    EXPECT_FALSE(report.ports[0].traced);
+    const std::string text = report.to_string();
+    EXPECT_NE(text.find("1 port(s)"), std::string::npos);
+    EXPECT_NE(text.find("Beta.in"), std::string::npos);
+    EXPECT_NE(text.find("delivered=0"), std::string::npos);
+    // Zero-hop ports must not print latency quantiles (nothing recorded).
+    EXPECT_EQ(text.find("queue-wait"), std::string::npos);
+}
+
+TEST_F(ApplicationTest, PublishMetricsFlattensFabricIntoRegistry) {
+    core::Application app("metrics");
+    auto& a = app.create_immortal<core::Component>("Alpha");
+    auto& b = app.create_immortal<core::Component>("Beta");
+    auto& out = a.add_out_port<TestMsg>("out", "TestMsg");
+    b.add_in_port<TestMsg>("in", "TestMsg", sync_port(),
+                           [](TestMsg&, core::Smm&) {});
+    app.connect(a, "out", b, "in");
+    app.add_counter_source([] {
+        core::CounterGroup g;
+        g.source = "wire";
+        g.counters = {{"frames", 5}};
+        return g;
+    });
+    app.start();
+    for (int i = 0; i < 3; ++i) {
+        TestMsg* msg = out.get_message();
+        msg->value = i;
+        out.send(msg, 2);
+    }
+    obs::MetricsRegistry reg;
+    app.publish_metrics(reg);
+    const std::string json = reg.json_snapshot();
+    EXPECT_NE(json.find("\"compadres_metrics_port_Beta.in_delivered\": 3"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"compadres_metrics_wire_frames\": 5"),
+              std::string::npos);
+
+    // The live-source variant re-samples on every exposition.
+    obs::MetricsRegistry live;
+    const std::uint64_t token = app.register_metrics_source(live);
+    const std::string text = live.prometheus_text();
+    EXPECT_NE(text.find("compadres_metrics_port_Beta_in_delivered 3"),
+              std::string::npos);
+    live.remove_source(token);
 }

@@ -1,0 +1,119 @@
+// HopTraceRecorder's lock-free series lookup: workers draining different
+// ports must be able to append samples concurrently without serializing on
+// a recorder-wide lock, and the first-hop publication must be safe against
+// racing lookups of the same port.
+#include "core/hop_trace.hpp"
+
+#include "core/application.hpp"
+#include "core/component.hpp"
+#include "core/port.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace compadres;
+
+namespace {
+
+struct Sample {
+    int value = 0;
+};
+
+class SinkComponent final : public core::Component {
+public:
+    explicit SinkComponent(const core::ComponentContext& ctx, int n_ports)
+        : core::Component(ctx) {
+        core::InPortConfig cfg;
+        cfg.buffer_size = 4;
+        cfg.min_threads = cfg.max_threads = 0;
+        for (int i = 0; i < n_ports; ++i) {
+            ports.push_back(&add_in_port<Sample>(
+                "in" + std::to_string(i), "Sample", cfg,
+                [](Sample&, core::Smm&) {}));
+        }
+    }
+    std::vector<core::InPortBase*> ports;
+};
+
+core::hooks::HopTimes times_at(std::int64_t base) {
+    core::hooks::HopTimes t;
+    t.enqueue_ns = base;
+    t.dequeue_ns = base + 100;
+    t.process_start_ns = base + 100;
+    t.process_end_ns = base + 300;
+    return t;
+}
+
+} // namespace
+
+TEST(HopTraceRecorder, ConcurrentHopsOnDistinctPorts) {
+    core::Application app("hop-trace-test");
+    constexpr int kPorts = 8;
+    constexpr int kHopsPerPort = 5000;
+    auto& sink = app.create_immortal<SinkComponent>("sink", kPorts);
+
+    core::HopTraceRecorder recorder;
+    std::vector<std::thread> threads;
+    threads.reserve(kPorts);
+    for (int p = 0; p < kPorts; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kHopsPerPort; ++i) {
+                recorder.on_hop(*sink.ports[static_cast<std::size_t>(p)],
+                                times_at(i));
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(recorder.dropped_samples(), 0u);
+    const auto names = recorder.ports();
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kPorts));
+    for (int p = 0; p < kPorts; ++p) {
+        const std::string name =
+            sink.ports[static_cast<std::size_t>(p)]->qualified_name();
+        const auto total = recorder.total_summary(name);
+        EXPECT_EQ(total.count, static_cast<std::size_t>(kHopsPerPort)) << name;
+        const auto wait = recorder.queue_wait_summary(name);
+        EXPECT_EQ(wait.median, 100) << name;
+    }
+}
+
+TEST(HopTraceRecorder, RacingFirstHopsOfTheSamePortPublishOnce) {
+    core::Application app("hop-trace-race");
+    auto& sink = app.create_immortal<SinkComponent>("sink", 1);
+    for (int round = 0; round < 50; ++round) {
+        core::HopTraceRecorder recorder;
+        constexpr int kThreads = 4;
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back(
+                [&] { recorder.on_hop(*sink.ports[0], times_at(0)); });
+        }
+        for (auto& t : threads) t.join();
+        // All racers must land on one series: one port name, all samples.
+        ASSERT_EQ(recorder.ports().size(), 1u);
+        EXPECT_EQ(recorder
+                      .total_summary(sink.ports[0]->qualified_name())
+                      .count,
+                  static_cast<std::size_t>(kThreads));
+    }
+}
+
+TEST(HopTraceRecorder, ClearDropsSeries) {
+    core::Application app("hop-trace-clear");
+    auto& sink = app.create_immortal<SinkComponent>("sink", 2);
+    core::HopTraceRecorder recorder;
+    recorder.on_hop(*sink.ports[0], times_at(0));
+    recorder.on_hop(*sink.ports[1], times_at(0));
+    ASSERT_EQ(recorder.ports().size(), 2u);
+    recorder.clear();
+    EXPECT_TRUE(recorder.ports().empty());
+    EXPECT_EQ(recorder.total_summary(sink.ports[0]->qualified_name()).count,
+              0u);
+    // The table is reusable after clear().
+    recorder.on_hop(*sink.ports[0], times_at(0));
+    EXPECT_EQ(recorder.ports().size(), 1u);
+}

@@ -1,0 +1,163 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace obs = compadres::obs;
+
+namespace {
+
+/// Serialize, then decode back. The recorder is process-global, so each
+/// test clears it first and quiesces its own threads before dumping.
+std::vector<obs::Event> roundtrip() {
+    std::ostringstream out;
+    obs::FlightRecorder::dump(out);
+    const std::string bytes = out.str();
+    return obs::decode_events(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+}
+
+} // namespace
+
+TEST(FlightRecorder, DisabledEmitIsANoOp) {
+    obs::FlightRecorder::disable();
+    obs::FlightRecorder::clear();
+    obs::FlightRecorder::emit(obs::EventType::kFrameSend, 1, 2);
+    EXPECT_FALSE(obs::FlightRecorder::enabled());
+    for (const obs::Event& e : roundtrip()) {
+        EXPECT_NE(e.type, obs::EventType::kFrameSend);
+    }
+}
+
+TEST(FlightRecorder, RecordsAndDecodesEvents) {
+    obs::FlightRecorder::enable(64);
+    obs::FlightRecorder::clear();
+    obs::FlightRecorder::emit(obs::EventType::kFrameSend, 0xABCD, 3);
+    obs::FlightRecorder::emit(obs::EventType::kSpanSend, 0x1234567890ULL, 7);
+    const auto events = roundtrip();
+    bool saw_send = false, saw_span = false;
+    for (const obs::Event& e : events) {
+        if (e.type == obs::EventType::kFrameSend && e.a == 0xABCD && e.b == 3) {
+            saw_send = true;
+        }
+        if (e.type == obs::EventType::kSpanSend && e.a == 0x1234567890ULL &&
+            e.b == 7) {
+            saw_span = true;
+            EXPECT_NE(e.tid, 0u);
+            EXPECT_GT(e.ts_ns, 0);
+        }
+    }
+    EXPECT_TRUE(saw_send);
+    EXPECT_TRUE(saw_span);
+    obs::FlightRecorder::disable();
+}
+
+TEST(FlightRecorder, RingOverwritesOldestKeepingNewest) {
+    obs::FlightRecorder::enable(16);
+    obs::FlightRecorder::clear();
+    // 100 events through a depth-16 ring: only the newest 16 survive. A
+    // fresh thread guarantees a fresh ring at the just-set depth — the
+    // main thread's ring may predate this test with a larger depth
+    // (enable() only applies its depth to rings created after it).
+    std::thread writer([] {
+        for (std::uint64_t i = 0; i < 100; ++i) {
+            obs::FlightRecorder::emit(obs::EventType::kCoalesceFlush, i, 0);
+        }
+    });
+    writer.join();
+    std::size_t mine = 0;
+    std::uint64_t min_a = ~std::uint64_t{0};
+    for (const obs::Event& e : roundtrip()) {
+        if (e.type != obs::EventType::kCoalesceFlush) continue;
+        ++mine;
+        if (e.a < min_a) min_a = e.a;
+    }
+    EXPECT_LE(mine, 16u);
+    EXPECT_GE(min_a, 84u); // 100 - 16
+    obs::FlightRecorder::disable();
+}
+
+TEST(FlightRecorder, EachThreadGetsItsOwnRing) {
+    obs::FlightRecorder::enable(64);
+    obs::FlightRecorder::clear();
+    std::thread t1([] {
+        obs::FlightRecorder::emit(obs::EventType::kLaneFailover, 1, 0);
+    });
+    std::thread t2([] {
+        obs::FlightRecorder::emit(obs::EventType::kLaneFailover, 2, 0);
+    });
+    t1.join();
+    t2.join();
+    std::uint32_t tid1 = 0, tid2 = 0;
+    for (const obs::Event& e : roundtrip()) {
+        if (e.type != obs::EventType::kLaneFailover) continue;
+        if (e.a == 1) tid1 = e.tid;
+        if (e.a == 2) tid2 = e.tid;
+    }
+    EXPECT_NE(tid1, 0u);
+    EXPECT_NE(tid2, 0u);
+    EXPECT_NE(tid1, tid2);
+    obs::FlightRecorder::disable();
+}
+
+TEST(FlightRecorder, DumpFileRoundtrip) {
+    obs::FlightRecorder::enable(64);
+    obs::FlightRecorder::clear();
+    obs::FlightRecorder::emit(obs::EventType::kCreditStall, 0xFEED, 0);
+    const std::string path = ::testing::TempDir() + "fr_dump_test.bin";
+    ASSERT_TRUE(obs::FlightRecorder::dump_file(path));
+    const auto events = obs::decode_events_file(path);
+    bool found = false;
+    for (const obs::Event& e : events) {
+        if (e.type == obs::EventType::kCreditStall && e.a == 0xFEED) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    std::remove(path.c_str());
+    obs::FlightRecorder::disable();
+}
+
+TEST(FlightRecorder, DecodeRejectsGarbage) {
+    const std::uint8_t junk[] = {'X', 'Y', 'Z', 'W', 0, 0, 0, 0};
+    EXPECT_THROW(obs::decode_events(junk, sizeof(junk)), std::runtime_error);
+    EXPECT_THROW(obs::decode_events(junk, 2), std::runtime_error);
+}
+
+TEST(FlightRecorder, ChromeTraceJsonPairsHandlerBrackets) {
+    std::vector<obs::Event> events;
+    obs::Event start;
+    start.ts_ns = 1000;
+    start.a = 0xAA;
+    start.b = 1;
+    start.tid = 42;
+    start.type = obs::EventType::kHopHandlerStart;
+    obs::Event end = start;
+    end.ts_ns = 3000;
+    end.type = obs::EventType::kHopHandlerEnd;
+    obs::Event instant;
+    instant.ts_ns = 2000;
+    instant.a = 0xBB;
+    instant.tid = 42;
+    instant.type = obs::EventType::kSpanSend;
+    events.push_back(end); // out of order on purpose: the writer sorts
+    events.push_back(start);
+    events.push_back(instant);
+    const std::string json = obs::chrome_trace_json(events);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("span-send"), std::string::npos);
+    // "B" must precede "E" after the sort.
+    EXPECT_LT(json.find("\"ph\":\"B\""), json.find("\"ph\":\"E\""));
+}
+
+TEST(FlightRecorder, EventNamesAreStable) {
+    EXPECT_STREQ(obs::event_name(obs::EventType::kHopEnqueue), "hop-enqueue");
+    EXPECT_STREQ(obs::event_name(obs::EventType::kSpanRecv), "span-recv");
+    EXPECT_STREQ(obs::event_name(obs::EventType::kNone), "none");
+}

@@ -1,0 +1,128 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <thread>
+#include <vector>
+
+namespace obs = compadres::obs;
+
+TEST(Counter, StripedAddsSumAcrossThreads) {
+    obs::Counter c;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) c.inc();
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+    obs::Gauge g;
+    g.set(42);
+    EXPECT_EQ(g.value(), 42);
+    g.add(-50);
+    EXPECT_EQ(g.value(), -8);
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndBounded) {
+    std::size_t prev = 0;
+    for (std::uint64_t v = 0; v < 4096; ++v) {
+        const std::size_t idx = obs::Histogram::bucket_index(v);
+        EXPECT_GE(idx, prev) << "v=" << v;
+        EXPECT_LT(idx, obs::Histogram::kBuckets);
+        // Every value must fall at or below its bucket's upper bound, and
+        // above the previous bucket's.
+        EXPECT_LE(v, obs::Histogram::bucket_upper_bound(idx)) << "v=" << v;
+        if (idx > 0) {
+            EXPECT_GT(v, obs::Histogram::bucket_upper_bound(idx - 1))
+                << "v=" << v;
+        }
+        prev = idx;
+    }
+    // The whole u64 range maps inside the table.
+    EXPECT_LT(obs::Histogram::bucket_index(~std::uint64_t{0}),
+              obs::Histogram::kBuckets);
+}
+
+TEST(Histogram, PercentilesTrackObservations) {
+    obs::Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1000u);
+    EXPECT_EQ(snap.sum, 500500u);
+    // Log buckets above 4 are ~12% wide; allow that slack.
+    EXPECT_GE(snap.percentile(0.5), 500u);
+    EXPECT_LE(snap.percentile(0.5), 640u);
+    EXPECT_GE(snap.percentile(0.99), 990u);
+    EXPECT_LE(snap.percentile(0.99), 1280u);
+}
+
+TEST(MetricsRegistry, FindOrCreateAndKindMismatch) {
+    obs::MetricsRegistry reg;
+    obs::Counter& c1 = reg.counter("frames_total", "frames");
+    obs::Counter& c2 = reg.counter("frames_total");
+    EXPECT_EQ(&c1, &c2);
+    c1.add(3);
+    EXPECT_THROW(reg.gauge("frames_total"), std::invalid_argument);
+    EXPECT_THROW(reg.histogram("frames_total"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, PrometheusTextExposition) {
+    obs::MetricsRegistry reg;
+    reg.counter("msgs_total", "messages").add(7);
+    reg.gauge("queue.depth").set(3);
+    reg.histogram("latency_ns").observe(5);
+    const std::string text = reg.prometheus_text();
+    EXPECT_NE(text.find("# TYPE msgs_total counter"), std::string::npos);
+    EXPECT_NE(text.find("msgs_total 7"), std::string::npos);
+    // Dots sanitize to underscores for Prometheus.
+    EXPECT_NE(text.find("queue_depth 3"), std::string::npos);
+    EXPECT_NE(text.find("latency_ns_count 1"), std::string::npos);
+    EXPECT_NE(text.find("latency_ns_sum 5"), std::string::npos);
+    EXPECT_NE(text.find("latency_ns_bucket"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonSnapshotShape) {
+    obs::MetricsRegistry reg;
+    reg.counter("sent").add(2);
+    reg.histogram("rtt").observe(10);
+    reg.add_source("bridge", [] {
+        return std::vector<obs::SourceSample>{{"pool_hits", 9}};
+    });
+    const std::string json = reg.json_snapshot();
+    EXPECT_NE(json.find("\"benchmark\": \"metrics_snapshot\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"sent\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"bridge_pool_hits\": 9"), std::string::npos);
+    EXPECT_NE(json.find("\"rtt\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, SourceRemovalStopsSampling) {
+    obs::MetricsRegistry reg;
+    int calls = 0;
+    const std::uint64_t token = reg.add_source("src", [&] {
+        ++calls;
+        return std::vector<obs::SourceSample>{{"n", 1}};
+    });
+    (void)reg.json_snapshot();
+    EXPECT_EQ(calls, 1);
+    reg.remove_source(token);
+    (void)reg.json_snapshot();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+    EXPECT_EQ(&obs::MetricsRegistry::global(), &obs::MetricsRegistry::global());
+}
+
+TEST(SanitizeMetricName, ReplacesIllegalChars) {
+    EXPECT_EQ(obs::sanitize_metric_name("a.b-c d"), "a_b_c_d");
+    EXPECT_EQ(obs::sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+}

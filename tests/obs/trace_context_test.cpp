@@ -1,0 +1,126 @@
+#include "obs/trace_context.hpp"
+
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+namespace obs = compadres::obs;
+
+namespace {
+
+/// Every test leaves the process-global tracer off and the calling
+/// thread's context clear.
+struct TracerGuard {
+    ~TracerGuard() {
+        obs::Tracer::configure(-1);
+        obs::Tracer::clear_current();
+    }
+};
+
+} // namespace
+
+TEST(Tracer, InactiveByDefaultAndOnSendReturnsEmpty) {
+    TracerGuard guard;
+    obs::Tracer::configure(-1);
+    EXPECT_FALSE(obs::Tracer::active());
+    const obs::TraceContext ctx = obs::Tracer::on_send();
+    EXPECT_FALSE(static_cast<bool>(ctx));
+    EXPECT_EQ(ctx.trace_id, 0u);
+}
+
+TEST(Tracer, ShiftZeroSamplesEverySend) {
+    TracerGuard guard;
+    obs::Tracer::configure(0);
+    ASSERT_TRUE(obs::Tracer::active());
+    obs::Tracer::clear_current();
+    std::set<std::uint64_t> ids;
+    for (int i = 0; i < 16; ++i) {
+        obs::Tracer::clear_current();
+        const obs::TraceContext ctx = obs::Tracer::on_send();
+        ASSERT_TRUE(static_cast<bool>(ctx)) << "send " << i;
+        EXPECT_NE(ctx.span_id, 0u);
+        ids.insert(ctx.trace_id);
+    }
+    // Every fresh send mints a distinct trace id.
+    EXPECT_EQ(ids.size(), 16u);
+}
+
+TEST(Tracer, SamplingShiftThinsFreshTraces) {
+    TracerGuard guard;
+    obs::Tracer::configure(3); // 1 in 8
+    obs::Tracer::clear_current();
+    int sampled = 0;
+    for (int i = 0; i < 64; ++i) {
+        obs::Tracer::clear_current();
+        if (obs::Tracer::on_send()) ++sampled;
+    }
+    EXPECT_EQ(sampled, 8);
+}
+
+TEST(Tracer, OnSendContinuesCurrentTraceWithFreshSpan) {
+    TracerGuard guard;
+    obs::Tracer::configure(10); // sparse sampler: continuation must not rely on it
+    const obs::TraceContext parent{0xDEADBEEF, 7};
+    obs::Tracer::set_current(parent);
+    const obs::TraceContext child = obs::Tracer::on_send();
+    ASSERT_TRUE(static_cast<bool>(child));
+    EXPECT_EQ(child.trace_id, parent.trace_id);
+    EXPECT_NE(child.span_id, parent.span_id);
+}
+
+TEST(Tracer, ContextIsThreadLocal) {
+    TracerGuard guard;
+    obs::Tracer::configure(0);
+    obs::Tracer::set_current({0x1111, 1});
+    obs::TraceContext seen_on_other{};
+    std::thread t([&] { seen_on_other = obs::Tracer::current(); });
+    t.join();
+    EXPECT_EQ(seen_on_other.trace_id, 0u);
+    EXPECT_EQ(obs::Tracer::current().trace_id, 0x1111u);
+}
+
+TEST(ScopedTraceContext, InstallsAndRestores) {
+    TracerGuard guard;
+    obs::Tracer::set_current({0xAAAA, 1});
+    {
+        const obs::ScopedTraceContext scope(obs::TraceContext{0xBBBB, 2});
+        EXPECT_EQ(obs::Tracer::current().trace_id, 0xBBBBu);
+        EXPECT_EQ(obs::Tracer::current().span_id, 2u);
+    }
+    EXPECT_EQ(obs::Tracer::current().trace_id, 0xAAAAu);
+}
+
+TEST(ScopedTraceContext, EmptyContextInstallsNothing) {
+    TracerGuard guard;
+    obs::Tracer::set_current({0xCCCC, 3});
+    {
+        const obs::ScopedTraceContext scope(obs::TraceContext{});
+        EXPECT_EQ(obs::Tracer::current().trace_id, 0xCCCCu);
+    }
+    EXPECT_EQ(obs::Tracer::current().trace_id, 0xCCCCu);
+}
+
+TEST(TraceConfig, ApplyConfiguresTracerAndRecorder) {
+    TracerGuard guard;
+    obs::TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.sample_shift = 2;
+    cfg.recorder = true;
+    cfg.ring_depth = 32;
+    obs::apply(cfg);
+    EXPECT_TRUE(obs::Tracer::active());
+    EXPECT_TRUE(obs::FlightRecorder::enabled());
+    obs::FlightRecorder::disable();
+}
+
+TEST(TraceConfig, DefaultConfigIsANoOp) {
+    TracerGuard guard;
+    obs::Tracer::configure(-1);
+    obs::FlightRecorder::disable();
+    obs::apply(obs::TraceConfig{});
+    EXPECT_FALSE(obs::Tracer::active());
+    EXPECT_FALSE(obs::FlightRecorder::enabled());
+}

@@ -7,6 +7,7 @@
 #include "core/messages.hpp"
 #include "net/lane_group.hpp"
 #include "net/tcp.hpp"
+#include "obs/trace_context.hpp"
 #include "remote/remote_plan.hpp"
 
 #include <gtest/gtest.h>
@@ -16,6 +17,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 
 using namespace compadres;
@@ -646,4 +648,102 @@ TEST_F(BridgeTest, ApplyRemotePlanWiresBandedRoutes) {
     ASSERT_TRUE(sink_a.wait_for(1));
     EXPECT_EQ(sink_b.values[0], 41);
     EXPECT_EQ(sink_a.values[0], 42);
+}
+
+// ---- wire trace-context propagation (observability plane) ----
+
+TEST_F(BridgeTest, TraceContextCrossesTheWire) {
+    // Shift 0: every export is sampled. The handler on the receiving side
+    // must observe the same trace id the sender minted, re-installed from
+    // the frame's 16-byte trailer.
+    obs::Tracer::configure(0);
+    obs::Tracer::clear_current();
+
+    core::Application sender_app("t-sender");
+    core::Application receiver_app("t-receiver");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge_a(sender_app, std::move(wire_a));
+    remote::RemoteBridge bridge_b(receiver_app, std::move(wire_b));
+
+    auto& producer = sender_app.create_immortal<core::Component>("Producer");
+    auto& out = producer.add_out_port<core::MyInteger>("out", "MyInteger");
+    bridge_a.export_route(out, "traced");
+
+    IntSink sink;
+    std::mutex ctx_mu;
+    std::vector<obs::TraceContext> seen;
+    auto& consumer = receiver_app.create_immortal<core::Component>("Consumer");
+    auto& in = consumer.add_in_port<core::MyInteger>(
+        "in", "MyInteger", sync_port(), [&](core::MyInteger& m, core::Smm&) {
+            {
+                std::lock_guard lk(ctx_mu);
+                seen.push_back(obs::Tracer::current());
+            }
+            sink.add(m.value);
+        });
+    bridge_b.import_route("traced", in);
+
+    bridge_a.start();
+    bridge_b.start();
+    sender_app.start();
+    receiver_app.start();
+
+    constexpr int kMsgs = 8;
+    for (int i = 0; i < kMsgs; ++i) {
+        obs::Tracer::clear_current();
+        core::MyInteger* msg = out.get_message();
+        msg->value = i;
+        out.send(msg, 5);
+    }
+    ASSERT_TRUE(sink.wait_for(kMsgs));
+    obs::Tracer::configure(-1);
+    obs::Tracer::clear_current();
+
+    std::lock_guard lk(ctx_mu);
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(kMsgs));
+    std::set<std::uint64_t> ids;
+    for (const obs::TraceContext& ctx : seen) {
+        EXPECT_TRUE(static_cast<bool>(ctx)) << "handler ran untraced";
+        EXPECT_NE(ctx.span_id, 0u);
+        ids.insert(ctx.trace_id);
+    }
+    // Each send started a fresh trace; each crossed intact.
+    EXPECT_EQ(ids.size(), static_cast<std::size_t>(kMsgs));
+}
+
+TEST_F(BridgeTest, UntracedTrafficCarriesNoContext) {
+    obs::Tracer::configure(-1); // tracing off: frames must stay stock GIOP
+    core::Application sender_app("u-sender");
+    core::Application receiver_app("u-receiver");
+    auto [wire_a, wire_b] = net::make_loopback_pair();
+    remote::RemoteBridge bridge_a(sender_app, std::move(wire_a));
+    remote::RemoteBridge bridge_b(receiver_app, std::move(wire_b));
+
+    auto& producer = sender_app.create_immortal<core::Component>("Producer");
+    auto& out = producer.add_out_port<core::MyInteger>("out", "MyInteger");
+    bridge_a.export_route(out, "plain");
+
+    IntSink sink;
+    std::atomic<std::uint64_t> traced{0};
+    auto& consumer = receiver_app.create_immortal<core::Component>("Consumer");
+    auto& in = consumer.add_in_port<core::MyInteger>(
+        "in", "MyInteger", sync_port(), [&](core::MyInteger& m, core::Smm&) {
+            if (obs::Tracer::current()) traced.fetch_add(1);
+            sink.add(m.value);
+        });
+    bridge_b.import_route("plain", in);
+
+    bridge_a.start();
+    bridge_b.start();
+    sender_app.start();
+    receiver_app.start();
+
+    for (int i = 0; i < 5; ++i) {
+        core::MyInteger* msg = out.get_message();
+        msg->value = i;
+        out.send(msg, 5);
+    }
+    ASSERT_TRUE(sink.wait_for(5));
+    EXPECT_EQ(traced.load(), 0u);
+    EXPECT_EQ(bridge_b.frames_dropped(), 0u);
 }

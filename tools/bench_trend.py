@@ -2,16 +2,21 @@
 """Aggregate the repo's BENCH_*.json artifacts into one trajectory table.
 
 Each perf PR lands a bench binary that drops a BENCH_<name>.json next to
-the build tree (hop, remote, fanin, lanes, ...). This reads every
+the build tree (hop, remote, fanin, lanes, obs, ...). This reads every
 BENCH_*.json under the given directory (default: ./build, falling back to
 the current directory) and prints one row per benchmark with its headline
 numbers, so the performance trajectory across PRs is visible in one
-place without opening four differently-shaped JSON files.
+place without opening five differently-shaped JSON files.
+
+Missing, empty, or corrupt files never abort the run: absent files are
+reported as an informational note (exit 0, so CI steps that run before
+any bench has executed don't fail), and unreadable files get a row
+flagging the problem while every other row still prints.
 
 Stdlib only; no dependencies.
 
 Usage:
-    tools/bench_trend.py [build-dir ...]
+    tools/bench_trend.py [--format text|markdown] [build-dir ...]
 """
 
 import glob
@@ -78,37 +83,111 @@ def headline(doc):
             "urgent under bulk; single-wire inversion %s, allocs/msg %.2f"
             % (inversion, doc.get("allocs_per_message_steady_state", -1)),
         )
+    if name == "obs_overhead":
+        sizes = doc.get("sizes", [])
+        on = sizes[0].get("on", {}) if sizes else {}
+        stitch = doc.get("trace_stitch", {})
+        return (
+            us(on.get("median_ns")),
+            us(on.get("p99_ns")),
+            "plane-on overhead %+.1f%%, allocs/msg %.2f, stitch %s"
+            % (
+                doc.get("overhead_p50_pct", 0),
+                doc.get("allocs_per_message_steady_state", -1),
+                "ok" if stitch.get("stitched") else "FAIL",
+            ),
+        )
+    if name == "metrics_snapshot":
+        counters = doc.get("counters", {})
+        gauges = doc.get("gauges", {})
+        hists = doc.get("histograms", {})
+        sources = doc.get("sources", {})
+        return (
+            "-",
+            "-",
+            "%d counter(s), %d gauge(s), %d histogram(s), %d source sample(s)"
+            % (len(counters), len(gauges), len(hists), len(sources)),
+        )
     return ("-", "-", "(no headline extractor)")
 
 
+def render_text(rows):
+    widths = [
+        max(len(r[i]) for r in rows + [HEADER]) for i in range(len(HEADER))
+    ]
+    for row in [HEADER] + rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+
+
+def render_markdown(rows):
+    """GitHub-flavored pipe table (for CI job summaries)."""
+    print("| " + " | ".join(HEADER) + " |")
+    print("|" + "|".join(" --- " for _ in HEADER) + "|")
+    for row in rows:
+        print("| " + " | ".join(c.replace("|", "\\|") for c in row) + " |")
+
+
 def main(argv):
-    dirs = argv[1:]
+    fmt = "text"
+    dirs = []
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--format":
+            if not args or args[0] not in ("text", "markdown"):
+                print("--format needs 'text' or 'markdown'", file=sys.stderr)
+                return 2
+            fmt = args.pop(0)
+        elif a.startswith("--format="):
+            fmt = a.split("=", 1)[1]
+            if fmt not in ("text", "markdown"):
+                print("--format needs 'text' or 'markdown'", file=sys.stderr)
+                return 2
+        elif a in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        else:
+            dirs.append(a)
     if not dirs:
         dirs = ["build" if os.path.isdir("build") else "."]
     paths = []
     for d in dirs:
         paths.extend(sorted(glob.glob(os.path.join(d, "BENCH_*.json"))))
     if not paths:
-        print("no BENCH_*.json found under: %s" % ", ".join(dirs))
-        return 1
+        # Not an error: the trend table is simply empty until a bench runs.
+        print(
+            "no BENCH_*.json found under: %s (run a bench target first, "
+            "e.g. `cmake --build build --target obs_bench`)" % ", ".join(dirs)
+        )
+        return 0
 
     rows = []
     for path in paths:
         base = os.path.basename(path)
         try:
             with open(path) as f:
-                doc = json.load(f)
-        except (OSError, ValueError) as e:
+                text = f.read()
+        except OSError as e:
             rows.append((base, "?", "-", "-", "unreadable: %s" % e))
+            continue
+        if not text.strip():
+            rows.append((base, "?", "-", "-", "empty file (bench aborted?)"))
+            continue
+        try:
+            doc = json.loads(text)
+        except ValueError as e:
+            rows.append((base, "?", "-", "-", "corrupt JSON: %s" % e))
+            continue
+        if not isinstance(doc, dict):
+            rows.append((base, "?", "-", "-", "not a JSON object"))
             continue
         p50, p99, detail = headline(doc)
         rows.append((base, doc.get("benchmark", "?"), p50, p99, detail))
 
-    widths = [
-        max(len(r[i]) for r in rows + [HEADER]) for i in range(len(HEADER))
-    ]
-    for row in [HEADER] + rows:
-        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip())
+    if fmt == "markdown":
+        render_markdown(rows)
+    else:
+        render_text(rows)
     return 0
 
 

@@ -1,0 +1,82 @@
+// compadres-trace: decode a flight-recorder binary dump into Chrome
+// trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+//   compadres-trace <dump.bin> [-o out.json]
+//
+// Without -o the JSON goes to stdout, so
+//   compadres-trace flight.bin > trace.json
+// works too. A short per-event-type census goes to stderr either way, so
+// piping stdout stays clean.
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <string>
+
+namespace obs = compadres::obs;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s <dump.bin> [-o out.json]\n"
+                 "  Decodes a Compadres flight-recorder dump (written by\n"
+                 "  FlightRecorder::dump_file or the fatal-signal handler)\n"
+                 "  into Chrome trace-event JSON for Perfetto.\n",
+                 argv0);
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const char* in_path = nullptr;
+    const char* out_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-o") == 0) {
+            if (i + 1 >= argc) return usage(argv[0]);
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "-h") == 0 ||
+                   std::strcmp(argv[i], "--help") == 0) {
+            return usage(argv[0]);
+        } else if (!in_path) {
+            in_path = argv[i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (!in_path) return usage(argv[0]);
+
+    std::vector<obs::Event> events;
+    try {
+        events = obs::decode_events_file(in_path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", in_path, e.what());
+        return 2;
+    }
+
+    std::map<std::string, std::size_t> census;
+    for (const obs::Event& e : events) ++census[obs::event_name(e.type)];
+    std::fprintf(stderr, "%s: %zu event(s)\n", in_path, events.size());
+    for (const auto& [name, count] : census) {
+        std::fprintf(stderr, "  %-16s %zu\n", name.c_str(), count);
+    }
+
+    const std::string json = obs::chrome_trace_json(events);
+    if (out_path) {
+        std::FILE* f = std::fopen(out_path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out_path);
+            return 2;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s\n", out_path);
+    } else {
+        std::fwrite(json.data(), 1, json.size(), stdout);
+    }
+    return 0;
+}
