@@ -74,9 +74,9 @@ core::InPortConfig parse_port_attributes(const xml::XmlNode& node,
     }
     const std::string overflow = node.child_text("Overflow", "Block");
     if (overflow == "Block") {
-        cfg.overflow = core::OverflowPolicy::kBlock;
+        cfg.policy.overflow = core::OverflowPolicy::kBlock;
     } else if (overflow == "Ring") {
-        cfg.overflow = core::OverflowPolicy::kRingOverwrite;
+        cfg.policy.overflow = core::OverflowPolicy::kRingOverwrite;
     } else {
         throw CclError("Overflow of '" + port_name +
                        "' must be 'Block' or 'Ring', got '" + overflow + "'");
@@ -165,7 +165,18 @@ CclRemoteRoute parse_remote_route(const xml::XmlNode& node,
                            "' must be >= 0 (line " +
                            std::to_string(band->line) + ")");
         }
-        route.band = static_cast<int>(v);
+        route.policy.band = static_cast<int>(v);
+    }
+    if (const xml::XmlNode* coalesce = node.child("Coalesce")) {
+        if (coalesce->text == "On") {
+            route.policy.coalesce = true;
+        } else if (coalesce->text == "Off") {
+            route.policy.coalesce = false;
+        } else {
+            throw CclError("Coalesce of route '" + route.route +
+                           "' must be 'On' or 'Off', got '" + coalesce->text +
+                           "' (line " + std::to_string(coalesce->line) + ")");
+        }
     }
     return route;
 }

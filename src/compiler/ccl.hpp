@@ -54,13 +54,16 @@ struct CclComponent {
 };
 
 /// One <Export> or <Import> inside a <Remote>: binds an instance's port
-/// to a named wire route, optionally pinning the route to a priority
-/// band (exports only; imports take the band stamped by the peer).
+/// to a named wire route, optionally pinning the route's transmission
+/// policy — <Band> and <Coalesce> (exports only; imports take the band
+/// stamped by the peer).
 struct CclRemoteRoute {
     std::string component; ///< instance name
     std::string port;
     std::string route; ///< wire route name
-    int band = -1;     ///< -1: derived from the port's default priority
+    /// Route policy: policy.band -1 derives the lane from the port's
+    /// default priority; policy.coalesce maps <Coalesce>On/Off.
+    core::TransmissionPolicy policy;
     int line = 0;
 };
 

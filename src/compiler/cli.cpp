@@ -2,7 +2,9 @@
 
 #include "compiler/assembler.hpp"
 #include "compiler/codegen.hpp"
+#include "compiler/diff.hpp"
 #include "compiler/emit.hpp"
+#include "core/recompose.hpp"
 
 #include <filesystem>
 #include <fstream>
@@ -16,14 +18,20 @@ constexpr int kOk = 0;
 constexpr int kUsage = 1;
 constexpr int kInvalid = 2;
 constexpr int kIo = 3;
+/// `diff` contract: a transition the live runtime cannot apply exits 1.
+constexpr int kInvalidTransition = 1;
 
 void print_usage(std::ostream& err) {
     err << "usage:\n"
            "  compadresc check     <cdl.xml> [<ccl.xml>]\n"
            "  compadresc skeletons <cdl.xml> -o <dir>\n"
            "  compadresc plan      <cdl.xml> <ccl.xml>\n"
+           "  compadresc diff      <cdl.xml> <old.ccl> <new.ccl>\n"
            "  compadresc main-stub <cdl.xml> <ccl.xml> -o <dir>\n"
-           "  compadresc canon     <cdl.xml> [<ccl.xml>]\n";
+           "  compadresc canon     <cdl.xml> [<ccl.xml>]\n"
+           "diff prints the live-recompose plan (spawns/retires, route\n"
+           "adds/removes, repolicies) without applying it; exit 1 when the\n"
+           "transition cannot be applied to a running application.\n";
 }
 
 /// Extracts "-o <dir>" from args; empty string when absent.
@@ -77,7 +85,7 @@ void dump_plan(const AssemblyPlan& plan, std::ostream& out) {
                 << (cfg.strategy == core::ThreadpoolStrategy::kShared
                         ? " shared"
                         : " dedicated")
-                << (cfg.overflow == core::OverflowPolicy::kRingOverwrite
+                << (cfg.policy.overflow == core::OverflowPolicy::kRingOverwrite
                         ? " overflow=ring"
                         : "")
                 << "\n";
@@ -96,11 +104,12 @@ void dump_plan(const AssemblyPlan& plan, std::ostream& out) {
         for (const auto& r : remote.exports) {
             out << "  export " << r.route << ": " << r.instance << "."
                 << r.port << " type=" << r.message_type << " band=";
-            if (r.band >= 0) {
-                out << r.band;
+            if (r.policy.band >= 0) {
+                out << r.policy.band;
             } else {
                 out << "auto";
             }
+            if (!r.policy.coalesce) out << " coalesce=off";
             out << "\n";
         }
         for (const auto& r : remote.imports) {
@@ -164,6 +173,24 @@ int compadresc_main(const std::vector<std::string>& args_in, std::ostream& out,
             const CclModel ccl = parse_ccl_file(args[1]);
             dump_plan(validate_and_plan(cdl, ccl), out);
             return kOk;
+        }
+        if (command == "diff" || command == "--diff") {
+            if (args.size() != 3) {
+                print_usage(err);
+                return kUsage;
+            }
+            const CdlModel cdl = parse_cdl_file(args[0]);
+            const AssemblyPlan from =
+                validate_and_plan(cdl, parse_ccl_file(args[1]));
+            const AssemblyPlan to =
+                validate_and_plan(cdl, parse_ccl_file(args[2]));
+            try {
+                out << core::describe(diff_plans(from, to));
+                return kOk;
+            } catch (const ValidationError& e) {
+                err << e.what() << "\n";
+                return kInvalidTransition;
+            }
         }
         if (command == "main-stub") {
             if (args.size() != 2 || output_dir.empty()) {

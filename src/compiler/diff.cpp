@@ -1,0 +1,265 @@
+#include "compiler/diff.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace compadres::compiler {
+
+namespace {
+
+bool same_structure(const core::InPortConfig& a, const core::InPortConfig& b) {
+    return a.buffer_size == b.buffer_size && a.strategy == b.strategy &&
+           a.min_threads == b.min_threads && a.max_threads == b.max_threads;
+}
+
+std::string route_key(const PlannedConnection& c) {
+    return c.from_instance + "." + c.from_port + " -> " + c.to_instance + "." +
+           c.to_port;
+}
+
+void diff_rtsj(const core::RtsjAttributes& a, const core::RtsjAttributes& b,
+               std::vector<std::string>& issues) {
+    if (a.immortal_size != b.immortal_size) {
+        issues.push_back("cannot change <ImmortalSize> live (" +
+                         std::to_string(a.immortal_size) + " -> " +
+                         std::to_string(b.immortal_size) +
+                         "): the immortal region is allocated at startup");
+    }
+    if (a.reactor_bands != b.reactor_bands) {
+        issues.push_back(
+            "cannot change <ReactorBands> live: the reactor loop pool is "
+            "sized at startup");
+    }
+    auto pool_key = [](const core::ScopePoolSpec& s) {
+        return std::to_string(s.level) + ":" + std::to_string(s.scope_size) +
+               "x" + std::to_string(s.pool_size);
+    };
+    std::multiset<std::string> pa, pb;
+    for (const core::ScopePoolSpec& s : a.scoped_pools) pa.insert(pool_key(s));
+    for (const core::ScopePoolSpec& s : b.scoped_pools) pb.insert(pool_key(s));
+    if (pa != pb) {
+        issues.push_back(
+            "cannot change <ScopedPool> declarations live: scoped-region "
+            "pools are pre-created in immortal memory at startup");
+    }
+    if (a.trace.enabled != b.trace.enabled ||
+        a.trace.sample_shift != b.trace.sample_shift ||
+        a.trace.recorder != b.trace.recorder ||
+        a.trace.ring_depth != b.trace.ring_depth) {
+        issues.push_back(
+            "cannot change the <Trace> block live: observability knobs are "
+            "applied process-wide at startup");
+    }
+}
+
+} // namespace
+
+core::RecomposePlan diff_plans(const AssemblyPlan& from,
+                               const AssemblyPlan& to) {
+    std::vector<std::string> issues;
+    core::RecomposePlan plan;
+    plan.application = from.application_name;
+    if (from.application_name != to.application_name) {
+        issues.push_back("the plans describe different applications ('" +
+                         from.application_name + "' vs '" +
+                         to.application_name + "')");
+    }
+    diff_rtsj(from.rtsj, to.rtsj, issues);
+
+    // ---- components: spawn / retire / in-place checks ----
+    std::map<std::string, const PlannedComponent*> from_comps, to_comps;
+    for (const PlannedComponent& c : from.components) {
+        from_comps[c.instance_name] = &c;
+    }
+    for (const PlannedComponent& c : to.components) {
+        to_comps[c.instance_name] = &c;
+    }
+    for (const PlannedComponent& c : to.components) {
+        auto it = from_comps.find(c.instance_name);
+        if (it == from_comps.end()) {
+            // New instance: spawn in `to` order (parents precede children
+            // in a validated plan).
+            core::RecomposeComponentSpec spec;
+            spec.instance = c.instance_name;
+            spec.class_name = c.class_name;
+            spec.type = c.type;
+            spec.level = c.scope_level;
+            spec.parent = c.parent_instance;
+            spec.port_configs = c.port_configs;
+            plan.spawns.push_back(std::move(spec));
+            continue;
+        }
+        const PlannedComponent& old = *it->second;
+        if (old.class_name != c.class_name) {
+            issues.push_back("component '" + c.instance_name +
+                             "' changes class ('" + old.class_name + "' -> '" +
+                             c.class_name +
+                             "'); retire and respawn under a new instance "
+                             "name instead");
+        }
+        if (old.type != c.type || old.scope_level != c.scope_level) {
+            issues.push_back("component '" + c.instance_name +
+                             "' changes memory placement (type/level); a "
+                             "live instance cannot move regions");
+        }
+        if (old.parent_instance != c.parent_instance) {
+            issues.push_back("component '" + c.instance_name +
+                             "' changes parent ('" +
+                             (old.parent_instance.empty() ? "<root>"
+                                                          : old.parent_instance) +
+                             "' -> '" +
+                             (c.parent_instance.empty() ? "<root>"
+                                                        : c.parent_instance) +
+                             "'); the scope stack is fixed at creation");
+        }
+        // Port attributes: structural knobs are frozen (they size pools and
+        // queues live traffic is using); the TransmissionPolicy is exactly
+        // what live recomposition CAN change.
+        std::set<std::string> port_names;
+        for (const auto& [name, cfg] : old.port_configs) port_names.insert(name);
+        for (const auto& [name, cfg] : c.port_configs) port_names.insert(name);
+        for (const std::string& port : port_names) {
+            const auto fa = old.port_configs.find(port);
+            const auto fb = c.port_configs.find(port);
+            const core::InPortConfig cfg_a =
+                fa == old.port_configs.end() ? core::InPortConfig{} : fa->second;
+            const core::InPortConfig cfg_b =
+                fb == c.port_configs.end() ? core::InPortConfig{} : fb->second;
+            if (!same_structure(cfg_a, cfg_b)) {
+                issues.push_back(
+                    "port '" + c.instance_name + "." + port +
+                    "' changes structural attributes (buffer/threadpool); "
+                    "only the transmission policy can change live");
+                continue;
+            }
+            if (cfg_a.policy != cfg_b.policy) {
+                core::RecomposeRepolicy r;
+                r.instance = c.instance_name;
+                r.port = port;
+                r.from = cfg_a.policy;
+                r.to = cfg_b.policy;
+                plan.repolicies.push_back(std::move(r));
+            }
+        }
+    }
+    // Retires in REVERSE creation order, so children go before parents.
+    for (auto it = from.components.rbegin(); it != from.components.rend();
+         ++it) {
+        if (to_comps.count(it->instance_name) != 0) continue;
+        if (it->type == core::ComponentType::kImmortal) {
+            issues.push_back("component '" + it->instance_name +
+                             "' is immortal and cannot be retired live (its "
+                             "storage only dies with the application)");
+            continue;
+        }
+        plan.retires.push_back(it->instance_name);
+    }
+
+    // ---- connections: add / remove ----
+    std::map<std::string, const PlannedConnection*> from_conns, to_conns;
+    for (const PlannedConnection& c : from.connections) {
+        from_conns[route_key(c)] = &c;
+    }
+    for (const PlannedConnection& c : to.connections) {
+        to_conns[route_key(c)] = &c;
+    }
+    for (const PlannedConnection& c : to.connections) {
+        auto it = from_conns.find(route_key(c));
+        if (it == from_conns.end()) {
+            plan.route_adds.push_back(core::RecomposeRoute{
+                c.from_instance, c.from_port, c.to_instance, c.to_port,
+                c.pool_capacity});
+            continue;
+        }
+        if (it->second->pool_capacity != c.pool_capacity) {
+            issues.push_back("connection " + route_key(c) +
+                             " changes pool capacity; message pools are "
+                             "sized at wiring time");
+        }
+    }
+    for (const PlannedConnection& c : from.connections) {
+        if (to_conns.count(route_key(c)) != 0) continue;
+        plan.route_removes.push_back(core::RecomposeRoute{
+            c.from_instance, c.from_port, c.to_instance, c.to_port, 0});
+    }
+
+    // ---- remotes: the topology is frozen, the policy is not ----
+    std::map<std::string, const PlannedRemote*> from_remotes, to_remotes;
+    for (const PlannedRemote& r : from.remotes) from_remotes[r.name] = &r;
+    for (const PlannedRemote& r : to.remotes) to_remotes[r.name] = &r;
+    for (const PlannedRemote& r : to.remotes) {
+        if (from_remotes.count(r.name) == 0) {
+            issues.push_back("remote '" + r.name +
+                             "' is new; remote connections (and their lane "
+                             "handshake) cannot be added live");
+        }
+    }
+    for (const PlannedRemote& r : from.remotes) {
+        auto it = to_remotes.find(r.name);
+        if (it == to_remotes.end()) {
+            issues.push_back("remote '" + r.name +
+                             "' disappears; remote connections cannot be "
+                             "torn down live");
+            continue;
+        }
+        const PlannedRemote& nu = *it->second;
+        if (r.bands != nu.bands) {
+            issues.push_back("remote '" + r.name +
+                             "': <Bands> changes; the lane group is "
+                             "established by the startup handshake");
+        }
+        std::map<std::string, const PlannedRemoteRoute*> old_exports;
+        for (const PlannedRemoteRoute& e : r.exports) old_exports[e.route] = &e;
+        for (const PlannedRemoteRoute& e : nu.exports) {
+            auto old_it = old_exports.find(e.route);
+            if (old_it == old_exports.end()) {
+                issues.push_back("remote '" + r.name + "' export '" + e.route +
+                                 "' is new; remote routes are registered "
+                                 "before the bridge starts");
+                continue;
+            }
+            const PlannedRemoteRoute& old = *old_it->second;
+            if (old.instance != e.instance || old.port != e.port) {
+                issues.push_back("remote '" + r.name + "' export '" + e.route +
+                                 "' rebinds to a different port; remote "
+                                 "routes are frozen");
+                continue;
+            }
+            if (old.policy != e.policy) {
+                core::RecomposeRepolicy rep;
+                rep.remote = true;
+                rep.remote_name = r.name;
+                rep.route = e.route;
+                rep.from = old.policy;
+                rep.to = e.policy;
+                plan.repolicies.push_back(std::move(rep));
+            }
+        }
+        for (const PlannedRemoteRoute& e : r.exports) {
+            bool still = false;
+            for (const PlannedRemoteRoute& n : nu.exports) {
+                if (n.route == e.route) still = true;
+            }
+            if (!still) {
+                issues.push_back("remote '" + r.name + "' export '" + e.route +
+                                 "' disappears; remote routes cannot be "
+                                 "removed live");
+            }
+        }
+        std::set<std::string> old_imports, new_imports;
+        for (const PlannedRemoteRoute& i : r.imports) old_imports.insert(i.route);
+        for (const PlannedRemoteRoute& i : nu.imports) new_imports.insert(i.route);
+        if (old_imports != new_imports) {
+            issues.push_back("remote '" + r.name +
+                             "': the import route set changes; remote routes "
+                             "are frozen");
+        }
+    }
+
+    if (!issues.empty()) throw ValidationError(std::move(issues));
+    return plan;
+}
+
+} // namespace compadres::compiler

@@ -1,0 +1,29 @@
+// Assembly diff — turn two validated CCL plans into a live-recompose plan.
+//
+// `compadresc diff old.ccl new.ccl` and the runtime's live re-deploy both
+// go through diff_plans: it compares two AssemblyPlans of the SAME
+// application and produces the core::RecomposePlan (components to
+// spawn/retire, routes to add/remove, routes whose TransmissionPolicy
+// changes) that apply_recompose executes under quiesce-reroute-resume.
+//
+// Not every textual CCL change is a legal LIVE transition. The memory
+// layout is frozen at startup (immortal size, scoped pools, reactor
+// bands), a component instance cannot change class/type/level/parent in
+// place, structural port attributes (buffer size, threading) size pools
+// and queues that live traffic is using, and remote topology (the
+// <Remote> set, its band count, its route set) is frozen once the lane
+// handshake ran. Those differences raise ValidationError listing every
+// offending transition — `compadresc diff` exits 1 on them.
+#pragma once
+
+#include "compiler/validator.hpp"
+#include "core/recompose.hpp"
+
+namespace compadres::compiler {
+
+/// Diff `from` -> `to` into a live-applicable plan. Throws ValidationError
+/// (with every issue collected) when the transition cannot be applied to a
+/// running application.
+core::RecomposePlan diff_plans(const AssemblyPlan& from, const AssemblyPlan& to);
+
+} // namespace compadres::compiler

@@ -47,7 +47,8 @@ std::unique_ptr<XmlNode> ccl_port_node(const CclPortDecl& port) {
             "MaxThreadpoolSize", std::to_string(port.attributes.max_threads)));
         attrs->children.push_back(text_element(
             "Overflow",
-            port.attributes.overflow == core::OverflowPolicy::kRingOverwrite
+            port.attributes.policy.overflow ==
+                    core::OverflowPolicy::kRingOverwrite
                 ? "Ring"
                 : "Block"));
         node->children.push_back(std::move(attrs));
@@ -123,9 +124,12 @@ std::string emit_ccl(const CclModel& model) {
             n->children.push_back(text_element("Component", route.component));
             n->children.push_back(text_element("Port", route.port));
             n->children.push_back(text_element("Route", route.route));
-            if (route.band >= 0) {
+            if (route.policy.band >= 0) {
                 n->children.push_back(
-                    text_element("Band", std::to_string(route.band)));
+                    text_element("Band", std::to_string(route.policy.band)));
+            }
+            if (!route.policy.coalesce) {
+                n->children.push_back(text_element("Coalesce", "Off"));
             }
             return n;
         };

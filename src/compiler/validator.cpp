@@ -132,7 +132,7 @@ AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl) {
             }
             if (own != nullptr && own->direction == PortDirection::kIn &&
                 port.has_attributes &&
-                port.attributes.overflow ==
+                port.attributes.policy.overflow ==
                     core::OverflowPolicy::kRingOverwrite &&
                 port.attributes.max_threads == 0) {
                 issues.push_back(
@@ -368,11 +368,11 @@ AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl) {
         };
         for (const CclRemoteRoute& r : remote.exports) {
             const CdlPort* port = check_route(r, /*is_export=*/true);
-            if (r.band >= 0 && static_cast<std::size_t>(r.band) >=
-                                   remote.bands) {
+            if (r.policy.band >= 0 && static_cast<std::size_t>(r.policy.band) >=
+                                          remote.bands) {
                 issues.push_back("remote '" + remote.name + "' export '" +
                                  r.route + "': <Band> " +
-                                 std::to_string(r.band) +
+                                 std::to_string(r.policy.band) +
                                  " is outside the remote's band range [0, " +
                                  std::to_string(remote.bands) + ")");
                 continue;
@@ -382,17 +382,24 @@ AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl) {
             planned.instance = r.component;
             planned.port = r.port;
             planned.route = r.route;
-            planned.band = r.band;
+            planned.policy = r.policy;
             planned.message_type = port->message_type;
             pr.exports.push_back(std::move(planned));
         }
         for (const CclRemoteRoute& r : remote.imports) {
             const CdlPort* port = check_route(r, /*is_export=*/false);
-            if (r.band >= 0) {
+            if (r.policy.band >= 0) {
                 issues.push_back("remote '" + remote.name + "' import '" +
                                  r.route +
                                  "' declares a <Band>; imports take the band "
                                  "stamped by the exporting peer");
+                continue;
+            }
+            if (!r.policy.coalesce) {
+                issues.push_back("remote '" + remote.name + "' import '" +
+                                 r.route +
+                                 "' declares <Coalesce>; the exporting peer "
+                                 "owns the route's wire policy");
                 continue;
             }
             if (port == nullptr) continue;

@@ -73,10 +73,10 @@ struct PlannedRemoteRoute {
     std::string instance;
     std::string port;
     std::string route;
-    /// Exports: the priority-banded lane the route rides (-1 = derived
-    /// from the port's default priority at bridge setup). Always -1 for
+    /// Exports: the route's transmission policy (band -1 = derived from
+    /// the port's default priority at bridge setup). Always defaulted for
     /// imports — the band travels in the frame.
-    int band = -1;
+    core::TransmissionPolicy policy;
     std::string message_type;
 };
 

@@ -28,6 +28,7 @@ Application::Application(std::string name, RtsjAttributes attrs)
 Application::~Application() { shutdown(); }
 
 memory::ScopePool& Application::pool_for_level(int level) {
+    std::lock_guard lk(topology_mu_);
     auto it = pools_.find(level);
     if (it != pools_.end()) return *it->second;
     // Level not named in the CCL: give it a sane default pool so
@@ -65,7 +66,8 @@ Component& Application::create_by_name(const std::string& class_name,
 void Application::adopt(Component& comp, memory::ScopePool* pool,
                         memory::LTScopedMemory* scope,
                         memory::ScopeHandle keepalive) {
-    if (find(comp.instance_name()) != nullptr) {
+    std::lock_guard lk(topology_mu_);
+    if (find_unlocked(comp.instance_name()) != nullptr) {
         throw AssemblyError("duplicate component instance name '" +
                             comp.instance_name() + "'");
     }
@@ -77,11 +79,17 @@ void Application::adopt(Component& comp, memory::ScopePool* pool,
     records_.push_back(std::move(rec));
 }
 
-Component* Application::find(const std::string& instance_name) const noexcept {
+Component*
+Application::find_unlocked(const std::string& instance_name) const noexcept {
     for (const Record& rec : records_) {
         if (rec.comp->instance_name() == instance_name) return rec.comp;
     }
     return nullptr;
+}
+
+Component* Application::find(const std::string& instance_name) const noexcept {
+    std::lock_guard lk(topology_mu_);
+    return find_unlocked(instance_name);
 }
 
 Component& Application::component(const std::string& instance_name) const {
@@ -115,12 +123,89 @@ void Application::connect(Component& from, const std::string& out_name,
     connect(from.out_port(out_name), to.in_port(in_name), pool_capacity);
 }
 
+void Application::disconnect(OutPortBase& out, InPortBase& in) {
+    if (!out.remove_target(in)) {
+        throw AssemblyError("no connection " + out.qualified_name() + " -> " +
+                            in.qualified_name() + " to disconnect");
+    }
+    // Wait out any send that loaded the old fan-out; messages it delivered
+    // are already queued on `in` and drain through the handler normally —
+    // disconnect reroutes the future, it never drops the past.
+    out.wait_sends_quiesced();
+}
+
+void Application::retire(const std::string& instance_name) {
+    Record rec;
+    {
+        std::lock_guard lk(topology_mu_);
+        auto it = records_.begin();
+        for (; it != records_.end(); ++it) {
+            if (it->comp->instance_name() == instance_name) break;
+        }
+        if (it == records_.end()) {
+            throw AssemblyError("no component instance named '" +
+                                instance_name + "'");
+        }
+        Component& comp = *it->comp;
+        if (it->scope == nullptr) {
+            throw AssemblyError("component '" + instance_name +
+                                "' is immortal and cannot be retired");
+        }
+        if (!comp.children().empty()) {
+            throw AssemblyError("component '" + instance_name +
+                                "' still has children; retire them first");
+        }
+        for (const OutPortBase* port : comp.out_ports()) {
+            if (port->connected()) {
+                throw AssemblyError("out-port " + port->qualified_name() +
+                                    " is still connected; disconnect before "
+                                    "retiring '" + instance_name + "'");
+            }
+        }
+        for (const Record& other : records_) {
+            if (other.comp == &comp) continue;
+            for (const OutPortBase* port : other.comp->out_ports()) {
+                for (const InPortBase* target : port->targets()) {
+                    if (&target->owner() == &comp) {
+                        throw AssemblyError(
+                            "in-port " + target->qualified_name() +
+                            " is still a target of " + port->qualified_name() +
+                            "; disconnect before retiring '" + instance_name +
+                            "'");
+                    }
+                }
+            }
+        }
+        rec = std::move(*it);
+        records_.erase(it);
+    }
+    // Nothing routes here anymore; let messages already admitted drain
+    // through the handlers, then stop the dispatchers and reclaim.
+    for (InPortBase* port : rec.comp->in_ports()) {
+        port->credits().wait_drained();
+    }
+    rec.comp->shutdown_dispatch();
+    for (OutPortBase* port : rec.comp->out_ports()) {
+        if (port->smm() != nullptr) port->smm()->unregister_out_port(*port);
+    }
+    if (rec.comp->parent() != nullptr) {
+        rec.comp->parent()->remove_child(*rec.comp);
+    }
+    rec.keepalive.release();
+    rec.pool->release(*rec.scope);
+}
+
 void Application::start() {
-    if (started_) return;
-    started_ = true;
+    if (started_.exchange(true)) return;
+    std::vector<Component*> comps;
+    {
+        std::lock_guard lk(topology_mu_);
+        comps.reserve(records_.size());
+        for (const Record& rec : records_) comps.push_back(rec.comp);
+    }
     // Creation order is parents-before-children by construction.
-    for (const Record& rec : records_) {
-        rec.comp->_start();
+    for (Component* comp : comps) {
+        comp->_start();
     }
 }
 
@@ -151,6 +236,7 @@ void describe_component(std::ostringstream& out, const Component& comp,
 } // namespace
 
 std::string Application::describe() const {
+    std::lock_guard lk(topology_mu_);
     std::ostringstream out;
     out << "application '" << name_ << "' (" << records_.size()
         << " components)\n";
@@ -180,6 +266,7 @@ TraceReport Application::trace_report() const {
     TraceReport report;
     auto* recorder = dynamic_cast<HopTraceRecorder*>(hooks::sink());
     std::set<const Dispatcher*> dispatchers;
+    std::unique_lock topo(topology_mu_);
     for (const Record& rec : records_) {
         for (const InPortBase* port : rec.comp->in_ports()) {
             PortTrace row;
@@ -209,6 +296,7 @@ TraceReport Application::trace_report() const {
     for (const Dispatcher* d : dispatchers) {
         report.queue_lock_acquisitions += d->queue_lock_count();
     }
+    topo.unlock();
     {
         // Snapshot under the source lock: a concurrent
         // remove_counter_source blocks here until the callback it is
@@ -284,12 +372,22 @@ Application::register_metrics_source(obs::MetricsRegistry& registry,
         pfx, [this] { return flatten_report(trace_report()); });
 }
 
-void Application::shutdown() {
-    if (shut_down_) return;
-    shut_down_ = true;
+void Application::stop() {
+    // Serialize against an in-flight recompose: a stop landing mid-plan
+    // waits here until apply_recompose releases the mutex, so teardown
+    // never races a half-applied topology. The exchange then makes the
+    // body run exactly once no matter how many threads call stop().
+    std::lock_guard recompose(recompose_mu_);
+    if (stopped_.exchange(true)) return;
+    std::vector<Record> records;
+    {
+        std::lock_guard lk(topology_mu_);
+        records = std::move(records_);
+        records_.clear();
+    }
     // 1. Quiesce: stop every dispatcher (newest components first) so no
     //    handler runs while storage is being reclaimed.
-    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
         it->comp->shutdown_dispatch();
     }
     root_->shutdown_dispatch();
@@ -298,13 +396,12 @@ void Application::shutdown() {
     //    destructor via the scope's finalizers, then the region returns to
     //    its pool. Immortal components are finalized when the immortal
     //    region itself is destroyed with the Application.
-    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
         if (it->scope != nullptr) {
             it->keepalive.release();
             it->pool->release(*it->scope);
         }
     }
-    records_.clear();
 }
 
 } // namespace compadres::core

@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_context.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -127,6 +128,20 @@ public:
     void connect(Component& from, const std::string& out_name, Component& to,
                  const std::string& in_name, std::size_t pool_capacity = 0);
 
+    /// Unwire a live connection without dropping anything already sent:
+    /// publishes a target snapshot minus `in`, then waits for every send
+    /// that may have seen the old fan-out to finish. Messages already
+    /// queued on `in` drain through its handler normally. Throws when the
+    /// two ports are not connected.
+    void disconnect(OutPortBase& out, InPortBase& in);
+
+    /// Tear down one scoped component at runtime (live recomposition):
+    /// verifies nothing is still routed to or from it, drains its In
+    /// ports, stops its dispatchers, unregisters its Out ports, and
+    /// returns its region to the level pool. Immortal components cannot
+    /// be retired (their storage only dies with the application).
+    void retire(const std::string& instance_name);
+
     /// The component whose SMM hosts a connection between these two
     /// components (closest common ancestor; endpoints count as their own
     /// ancestors). Exposed for tests and the compiler's validator.
@@ -137,13 +152,31 @@ public:
     /// Calls _start() on every component in creation order (parents first,
     /// since children are always created after their parent).
     void start();
+    bool started() const noexcept {
+        return started_.load(std::memory_order_acquire);
+    }
 
     /// Stop all dispatchers, tear down scoped components (reverse creation
-    /// order, reclaiming their regions into the pools). Idempotent; also
-    /// run by the destructor.
-    void shutdown();
+    /// order, reclaiming their regions into the pools). Idempotent AND
+    /// safe to call concurrently — from any number of threads, and
+    /// concurrently with an in-flight apply_recompose (they serialize on
+    /// the recompose mutex; whoever wins, the loser sees a consistent
+    /// world). Also run by the destructor.
+    void stop();
+    /// Historical name for stop().
+    void shutdown() { stop(); }
+    bool stopped() const noexcept {
+        return stopped_.load(std::memory_order_acquire);
+    }
 
-    std::size_t component_count() const noexcept { return records_.size(); }
+    /// Serializes stop() against live recomposition (core/recompose.hpp
+    /// holds it for the whole apply). Exposed for the recompose engine.
+    std::mutex& recompose_mutex() noexcept { return recompose_mu_; }
+
+    std::size_t component_count() const noexcept {
+        std::lock_guard lk(topology_mu_);
+        return records_.size();
+    }
 
     /// Human-readable topology dump: the component tree with regions and
     /// levels, then every connection with its ports, message type, and
@@ -196,6 +229,7 @@ private:
     void adopt(Component& comp, memory::ScopePool* pool,
                memory::LTScopedMemory* scope,
                memory::ScopeHandle keepalive = {});
+    Component* find_unlocked(const std::string& instance_name) const noexcept;
 
     std::string name_;
     RtsjAttributes attrs_;
@@ -203,11 +237,19 @@ private:
     std::map<int, memory::ScopePool*> pools_; // non-owning; live in immortal
     Component* root_ = nullptr;                // lives in immortal
     std::vector<Record> records_;
+    /// Guards records_ + pools_ so topology reads (find, describe,
+    /// trace_report) are consistent against live recomposition. Never held
+    /// on the message path.
+    mutable std::mutex topology_mu_;
+    /// Coarse control-plane lock: stop() and apply_recompose serialize
+    /// here, so a stop landing mid-recompose waits for the plan to finish
+    /// (or abort) before tearing the world down.
+    std::mutex recompose_mu_;
     mutable std::mutex counter_mu_; ///< guards counter_sources_ + calls
     std::map<std::uint64_t, std::function<CounterGroup()>> counter_sources_;
     std::uint64_t next_counter_token_ = 1;
-    bool started_ = false;
-    bool shut_down_ = false;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopped_{false};
 };
 
 } // namespace compadres::core

@@ -9,6 +9,8 @@
 #include "obs/trace_context.hpp"
 #include "rt/clock.hpp"
 
+#include <thread>
+
 namespace compadres::core {
 
 std::string PortBase::qualified_name() const {
@@ -19,8 +21,8 @@ InPortBase::InPortBase(std::string name, Component& owner, std::type_index type,
                        std::string type_name, InPortConfig config,
                        MessageHandlerBase& handler)
     : PortBase(std::move(name), owner, type, std::move(type_name)),
-      config_(config), handler_(&handler),
-      policy_(&delivery_policy_for(config.overflow)),
+      config_(config), handler_(&handler), tx_policy_(config.policy),
+      policy_(&delivery_policy_for(config.policy.overflow)),
       credits_(config.buffer_size) {}
 
 InPortBase::~InPortBase() = default;
@@ -33,13 +35,27 @@ void InPortBase::bind_dispatcher(Dispatcher& d) {
     dispatcher_ = &d;
 }
 
+void InPortBase::set_policy(const TransmissionPolicy& policy) {
+    tx_policy_ = policy;
+    policy_.store(&delivery_policy_for(policy.overflow),
+                  std::memory_order_release);
+}
+
 void InPortBase::deliver(Envelope env) {
     env.port = this;
+    // Quiesce bracket: a live recompose closes this gate's window to park
+    // new senders HERE — before they touch the budget — then waits for
+    // entrants + in-flight credits to hit zero before swapping the policy.
+    credits_.enter();
+    struct ExitGuard {
+        rt::CreditGate& gate;
+        ~ExitGuard() { gate.exit(); }
+    } bracket{credits_};
     // Admission against the per-port credit budget (CCL <BufferSize>):
     // lock-free in steady state; what happens on an exhausted budget is the
     // port's DeliveryPolicy — block the sender, or evict/drop under ring-
     // overwrite.
-    switch (policy_->admit(*this, env)) {
+    switch (policy_.load(std::memory_order_acquire)->admit(*this, env)) {
     case DeliveryOutcome::kDropped:
         // The policy returned env.msg to its pool; nothing to enqueue.
         dropped_.fetch_add(1);
@@ -150,19 +166,61 @@ void OutPortBase::attach(Smm& smm, const MessageTypeInfo& info,
     pool_.store(&smm_->pool_for_erased(info), std::memory_order_release);
 }
 
+void OutPortBase::publish_targets(std::unique_ptr<TargetList> next) {
+    // Called under targets_mu_. The retired snapshot stays alive in the
+    // history so a send that already loaded it keeps a valid view.
+    const TargetList* published = next.get();
+    target_history_.push_back(std::move(next));
+    targets_.store(published, std::memory_order_seq_cst);
+}
+
 void OutPortBase::add_target(InPortBase& target) {
     if (target.type() != type()) {
         throw PortError("message type mismatch: " + qualified_name() + " ('" +
                         type_name() + "') -> " + target.qualified_name() +
                         " ('" + target.type_name() + "')");
     }
-    for (const InPortBase* t : targets_) {
+    std::lock_guard lk(targets_mu_);
+    for (const InPortBase* t : targets()) {
         if (t == &target) {
             throw PortError("duplicate connection " + qualified_name() + " -> " +
                             target.qualified_name());
         }
     }
-    targets_.push_back(&target);
+    auto next = std::make_unique<TargetList>(targets());
+    next->push_back(&target);
+    publish_targets(std::move(next));
+}
+
+bool OutPortBase::remove_target(InPortBase& target) {
+    std::lock_guard lk(targets_mu_);
+    const TargetList& cur = targets();
+    auto next = std::make_unique<TargetList>();
+    next->reserve(cur.size());
+    for (InPortBase* t : cur) {
+        if (t != &target) next->push_back(t);
+    }
+    if (next->size() == cur.size()) return false;
+    publish_targets(std::move(next));
+    return true;
+}
+
+void OutPortBase::wait_sends_quiesced() const noexcept {
+    // The snapshot publish is seq_cst and sends bump sends_in_flight_
+    // BEFORE loading the snapshot, so once this counter reads zero every
+    // later send observes the new fan-out. Event-driven wait: register as
+    // a waiter FIRST, then re-check — a send finishing after the check
+    // sees quiesce_waiters_ > 0 and notifies under quiesce_mu_, so the
+    // wakeup cannot be lost.
+    if (sends_in_flight_.load(std::memory_order_seq_cst) == 0) return;
+    quiesce_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    {
+        std::unique_lock lk(quiesce_mu_);
+        quiesce_cv_.wait(lk, [&] {
+            return sends_in_flight_.load(std::memory_order_seq_cst) == 0;
+        });
+    }
+    quiesce_waiters_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 void* OutPortBase::get_message_raw() {
@@ -176,7 +234,26 @@ void* OutPortBase::get_message_raw() {
 }
 
 void OutPortBase::send_raw(void* msg, int priority) {
-    if (targets_.empty()) {
+    // Epoch bracket for live route removal: the counter goes up BEFORE the
+    // snapshot load, so wait_sends_quiesced() returning zero proves every
+    // later send sees the new fan-out.
+    sends_in_flight_.fetch_add(1, std::memory_order_seq_cst);
+    struct EpochGuard {
+        const OutPortBase& port;
+        ~EpochGuard() {
+            // Notify only on the 1->0 transition and only when a
+            // wait_sends_quiesced() caller is registered: the steady-state
+            // send path never takes quiesce_mu_.
+            if (port.sends_in_flight_.fetch_sub(
+                    1, std::memory_order_seq_cst) == 1 &&
+                port.quiesce_waiters_.load(std::memory_order_seq_cst) > 0) {
+                std::lock_guard lk(port.quiesce_mu_);
+                port.quiesce_cv_.notify_all();
+            }
+        }
+    } epoch{*this};
+    const TargetList& fanout = targets();
+    if (fanout.empty()) {
         throw PortError("out-port " + qualified_name() + " is not connected");
     }
     hooks::notify_dispatch();
@@ -195,22 +272,22 @@ void OutPortBase::send_raw(void* msg, int priority) {
     }
     // Fan-out: receivers 2..N get pool clones so each handler owns (and
     // releases) a distinct message; the original goes to the first target.
-    for (std::size_t i = 1; i < targets_.size(); ++i) {
-        Envelope copy{p->clone_raw(msg), p, targets_[i], smm_, prio};
+    for (std::size_t i = 1; i < fanout.size(); ++i) {
+        Envelope copy{p->clone_raw(msg), p, fanout[i], smm_, prio};
         copy.trace_id = trace_id;
         copy.span_id = span_id;
         try {
-            targets_[i]->deliver(copy);
+            fanout[i]->deliver(copy);
         } catch (...) {
             p->release_raw(copy.msg);
             throw;
         }
     }
-    Envelope env{msg, p, targets_[0], smm_, prio};
+    Envelope env{msg, p, fanout[0], smm_, prio};
     env.trace_id = trace_id;
     env.span_id = span_id;
     try {
-        targets_[0]->deliver(env);
+        fanout[0]->deliver(env);
     } catch (...) {
         p->release_raw(msg);
         throw;

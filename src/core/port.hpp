@@ -18,11 +18,15 @@
 #include "core/envelope.hpp"
 #include "core/handler.hpp"
 #include "core/message_pool.hpp"
+#include "core/transmission_policy.hpp"
 #include "rt/intake_queue.hpp"
 #include "rt/thread.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <typeindex>
@@ -41,14 +45,6 @@ enum class ThreadpoolStrategy {
     kShared,    ///< the port uses the SMM-wide shared pool
 };
 
-/// Overflow behavior of an In port (CCL <Overflow> attribute): what happens
-/// to a sender when every <BufferSize> credit is in flight.
-enum class OverflowPolicy {
-    kBlock,         ///< sender waits for a credit (lossless backpressure)
-    kRingOverwrite, ///< freshest value wins: evict the stalest queued
-                    ///< message, never block the sender (sensor streams)
-};
-
 /// Thrown on illegal port operations: sending on an unconnected port,
 /// wiring mismatched message types, connecting two ports twice, ...
 class PortError : public std::logic_error {
@@ -57,12 +53,14 @@ public:
 };
 
 /// Configuration of an In port, straight from the CCL <PortAttributes>.
+/// `policy` is only the CONSTRUCTION-TIME transmission policy; the live
+/// value (which recomposition may change) is InPortBase::policy().
 struct InPortConfig {
     std::size_t buffer_size = 8;
     ThreadpoolStrategy strategy = ThreadpoolStrategy::kDedicated;
     std::size_t min_threads = 1;
     std::size_t max_threads = 1;
-    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    TransmissionPolicy policy;
 };
 
 class PortBase {
@@ -120,6 +118,17 @@ public:
     /// blocked sender only when one is registered).
     void on_processed(bool ok) noexcept;
 
+    /// The live transmission policy of this port's route. Reads are a
+    /// control-plane affair; the data path only loads the derived
+    /// DeliveryPolicy pointer.
+    const TransmissionPolicy& policy() const noexcept { return tx_policy_; }
+
+    /// Swap the live policy. Only legal while the port's credit window is
+    /// closed and drained (core/recompose.hpp quiesced_swap) or before
+    /// traffic starts; publishes the derived DeliveryPolicy atomically so
+    /// the first post-resume delivery already sees the new admission rule.
+    void set_policy(const TransmissionPolicy& policy);
+
     /// The admission budget: one credit per in-flight message, lock-free in
     /// steady state. Exposed for policies, trace reports, and tests.
     rt::CreditGate& credits() noexcept { return credits_; }
@@ -137,7 +146,8 @@ public:
 private:
     InPortConfig config_;
     MessageHandlerBase* handler_;
-    DeliveryPolicy* policy_;
+    TransmissionPolicy tx_policy_;           ///< live route policy
+    std::atomic<DeliveryPolicy*> policy_;    ///< derived from tx_policy_
     Dispatcher* dispatcher_ = nullptr;
     rt::CreditGate credits_;
     std::atomic<std::uint64_t> delivered_{0};
@@ -166,8 +176,26 @@ public:
                 std::size_t pool_capacity);
     void add_target(InPortBase& target);
 
-    bool connected() const noexcept { return !targets_.empty(); }
-    const std::vector<InPortBase*>& targets() const noexcept { return targets_; }
+    /// Unwire one target (live recomposition). Publishes a new target
+    /// snapshot; returns false when the target was not connected. Follow
+    /// with wait_sends_quiesced() before assuming no send still sees the
+    /// old fan-out.
+    bool remove_target(InPortBase& target);
+
+    /// Block until every send that may have loaded a previous target
+    /// snapshot has left send_raw(). Called after remove_target. Event-
+    /// driven: the waiter registers itself and each send's epoch exit
+    /// notifies on the 1->0 transition, so a continuously-sending thread
+    /// cannot starve the waiter (a pure yield-spin livelocks for seconds
+    /// on a single-core host).
+    void wait_sends_quiesced() const noexcept;
+
+    bool connected() const noexcept { return !targets().empty(); }
+    const std::vector<InPortBase*>& targets() const noexcept {
+        const TargetList* t = targets_.load(std::memory_order_acquire);
+        static const TargetList kEmpty;
+        return t != nullptr ? *t : kEmpty;
+    }
     Smm* smm() const noexcept { return smm_; }
 
     /// The connection's message pool, resolved at wire() time.
@@ -190,11 +218,31 @@ public:
     std::uint64_t sent_count() const noexcept { return sent_.load(); }
 
 private:
+    using TargetList = std::vector<InPortBase*>;
+
+    /// Publish `next` as the current fan-out snapshot. The previous
+    /// snapshot is retired to target_history_, never freed while the port
+    /// lives, so a concurrent send that already loaded it stays valid.
+    void publish_targets(std::unique_ptr<TargetList> next);
+
     Smm* smm_ = nullptr;
     const MessageTypeInfo* type_info_ = nullptr;
     std::atomic<MessagePoolBase*> pool_{nullptr};
     std::size_t reserved_total_ = 0; ///< capacity across all connections
-    std::vector<InPortBase*> targets_;
+    // Copy-on-write fan-out: sends load `targets_` lock-free inside a
+    // sends_in_flight_ epoch; route add/remove builds a new vector under
+    // targets_mu_ and swaps the pointer. Retired snapshots live until the
+    // port dies (route mutations are control-plane-rare, so the history
+    // stays tiny).
+    std::atomic<const TargetList*> targets_{nullptr};
+    std::vector<std::unique_ptr<const TargetList>> target_history_;
+    std::mutex targets_mu_; ///< serializes route mutations only
+    mutable std::atomic<std::uint64_t> sends_in_flight_{0};
+    // Slow path for wait_sends_quiesced(): senders take quiesce_mu_ only
+    // when a waiter is registered, so steady-state sends stay lock-free.
+    mutable std::atomic<int> quiesce_waiters_{0};
+    mutable std::mutex quiesce_mu_;
+    mutable std::condition_variable quiesce_cv_;
     int default_priority_ = rt::Priority::kDefault;
     std::atomic<std::uint64_t> sent_{0};
     std::atomic<bool> traffic_started_{false};

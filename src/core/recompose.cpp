@@ -1,0 +1,186 @@
+#include "core/recompose.hpp"
+
+#include "core/component.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "rt/clock.hpp"
+
+#include <sstream>
+
+namespace compadres::core {
+
+std::string describe(const RecomposePlan& plan) {
+    std::ostringstream out;
+    out << "recompose plan for '" << plan.application << "' ("
+        << plan.operation_count() << " operations)\n";
+    for (const RecomposeComponentSpec& s : plan.spawns) {
+        out << "  + spawn " << s.instance << " : " << s.class_name << " ["
+            << (s.type == ComponentType::kImmortal
+                    ? std::string("immortal")
+                    : "L" + std::to_string(s.level))
+            << (s.parent.empty() ? "" : ", under " + s.parent) << "]\n";
+    }
+    for (const RecomposeRoute& r : plan.route_adds) {
+        out << "  + route " << r.from_instance << "." << r.from_port << " -> "
+            << r.to_instance << "." << r.to_port << "\n";
+    }
+    for (const RecomposeRepolicy& r : plan.repolicies) {
+        if (r.remote) {
+            out << "  ~ repolicy remote " << r.remote_name << " route '"
+                << r.route << "'";
+        } else {
+            out << "  ~ repolicy " << r.instance << "." << r.port;
+        }
+        out << ": [" << to_string(r.from) << "] -> [" << to_string(r.to)
+            << "]\n";
+    }
+    for (const RecomposeRoute& r : plan.route_removes) {
+        out << "  - route " << r.from_instance << "." << r.from_port << " -> "
+            << r.to_instance << "." << r.to_port << "\n";
+    }
+    for (const std::string& name : plan.retires) {
+        out << "  - retire " << name << "\n";
+    }
+    if (plan.empty()) out << "  (no changes)\n";
+    return out.str();
+}
+
+std::uint64_t quiesced_swap(InPortBase& in,
+                            const std::function<void()>& swap) {
+    rt::CreditGate& gate = in.credits();
+    const std::int64_t t0 = rt::now_ns();
+    gate.close_window();
+    gate.wait_drained();
+    try {
+        swap();
+    } catch (...) {
+        gate.open_window();
+        throw;
+    }
+    gate.open_window();
+    return static_cast<std::uint64_t>(rt::now_ns() - t0);
+}
+
+namespace {
+
+obs::Counter* counter(const RecomposeOptions& opts, const char* name,
+                      const char* help) {
+    return opts.metrics == nullptr ? nullptr : &opts.metrics->counter(name, help);
+}
+
+void bump(obs::Counter* c, std::uint64_t n = 1) {
+    if (c != nullptr && n != 0) c->add(n);
+}
+
+} // namespace
+
+RecomposeStats apply_recompose(Application& app, const RecomposePlan& plan,
+                               const RecomposeOptions& options) {
+    // Hold the recompose mutex for the whole plan: stop() serializes here,
+    // so teardown never interleaves with a half-applied topology.
+    std::lock_guard recompose(app.recompose_mutex());
+    obs::FlightRecorder::emit(obs::EventType::kRecomposeBegin,
+                              plan.operation_count(), 0);
+    bump(counter(options, "recompose_begun_total",
+                 "recompose plans started"));
+    RecomposeStats stats;
+    std::size_t applied = 0;
+    obs::Histogram* pause_hist =
+        options.metrics == nullptr
+            ? nullptr
+            : &options.metrics->histogram(
+                  "recompose_pause_ns",
+                  "per-route quiesce->resume pause (ns)");
+    try {
+        if (app.stopped()) {
+            throw RecomposeError("application '" + app.name() +
+                                 "' is stopped; nothing to recompose");
+        }
+        if (!plan.application.empty() && plan.application != app.name()) {
+            throw RecomposeError("plan targets application '" +
+                                 plan.application + "', not '" + app.name() +
+                                 "'");
+        }
+        for (const RecomposeComponentSpec& s : plan.spawns) {
+            Component* parent =
+                s.parent.empty() ? nullptr : &app.component(s.parent);
+            Component& comp =
+                app.create_by_name(s.class_name, s.instance, parent, s.type,
+                                   s.level, s.port_configs);
+            if (app.started()) comp._start();
+            ++stats.components_spawned;
+            ++applied;
+        }
+        for (const RecomposeRoute& r : plan.route_adds) {
+            OutPortBase& out =
+                app.component(r.from_instance).out_port(r.from_port);
+            InPortBase& in = app.component(r.to_instance).in_port(r.to_port);
+            app.connect(out, in, r.pool_capacity);
+            ++stats.routes_added;
+            ++applied;
+        }
+        std::uint32_t route_index = 0;
+        for (const RecomposeRepolicy& r : plan.repolicies) {
+            std::uint64_t pause = 0;
+            if (r.remote) {
+                if (!options.remote_applier) {
+                    throw RecomposeError(
+                        "plan repolicies remote route '" + r.route +
+                        "' but no remote applier is wired "
+                        "(RecomposeOptions::remote_applier)");
+                }
+                pause = options.remote_applier(r);
+            } else {
+                InPortBase& in =
+                    app.component(r.instance).in_port(r.port);
+                pause = quiesced_swap(in, [&] { in.set_policy(r.to); });
+            }
+            obs::FlightRecorder::emit(obs::EventType::kRecomposeApply, pause,
+                                      route_index++);
+            if (pause_hist != nullptr) {
+                pause_hist->observe(static_cast<std::int64_t>(pause));
+            }
+            stats.pause_ns.push_back(pause);
+            ++stats.routes_repoliced;
+            ++applied;
+        }
+        for (const RecomposeRoute& r : plan.route_removes) {
+            OutPortBase& out =
+                app.component(r.from_instance).out_port(r.from_port);
+            InPortBase& in = app.component(r.to_instance).in_port(r.to_port);
+            app.disconnect(out, in);
+            ++stats.routes_removed;
+            ++applied;
+        }
+        for (const std::string& name : plan.retires) {
+            app.retire(name);
+            ++stats.components_retired;
+            ++applied;
+        }
+    } catch (const std::exception& e) {
+        obs::FlightRecorder::emit(obs::EventType::kRecomposeAbort, applied, 0);
+        bump(counter(options, "recompose_aborted_total",
+                     "recompose plans aborted"));
+        throw RecomposeError(e.what());
+    }
+    bump(counter(options, "recompose_applied_total",
+                 "recompose plans fully applied"));
+    bump(counter(options, "recompose_components_spawned_total",
+                 "components spawned by recompose"),
+         stats.components_spawned);
+    bump(counter(options, "recompose_components_retired_total",
+                 "components retired by recompose"),
+         stats.components_retired);
+    bump(counter(options, "recompose_routes_added_total",
+                 "routes added by recompose"),
+         stats.routes_added);
+    bump(counter(options, "recompose_routes_removed_total",
+                 "routes removed by recompose"),
+         stats.routes_removed);
+    bump(counter(options, "recompose_routes_repoliced_total",
+                 "routes whose TransmissionPolicy was swapped live"),
+         stats.routes_repoliced);
+    return stats;
+}
+
+} // namespace compadres::core

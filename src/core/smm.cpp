@@ -106,6 +106,16 @@ void Smm::register_out_port(OutPortBase& port) {
     }
 }
 
+void Smm::unregister_out_port(OutPortBase& port) {
+    std::lock_guard lk(mu_);
+    auto it = out_ports_.find(port.qualified_name());
+    if (it != out_ports_.end() && it->second == &port) out_ports_.erase(it);
+    auto bare = out_ports_.find(port.name());
+    if (bare != out_ports_.end() && bare->second == &port) {
+        out_ports_.erase(bare);
+    }
+}
+
 OutPortBase* Smm::find_out_port(const std::string& name) const noexcept {
     std::lock_guard lk(mu_);
     auto it = out_ports_.find(name);

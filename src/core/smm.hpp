@@ -133,6 +133,10 @@ public:
     void shutdown();
 
     void register_out_port(OutPortBase& port);
+    /// Drop a retired port from the lookup maps (live recomposition). The
+    /// qualified name and an unambiguous bare-name alias are removed; a
+    /// bare name already marked ambiguous stays ambiguous.
+    void unregister_out_port(OutPortBase& port);
 
 private:
     Component* owner_;

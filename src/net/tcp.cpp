@@ -285,6 +285,28 @@ public:
         pool_ = pool ? pool : &FrameBufferPool::global();
     }
 
+    void set_coalescing(bool on) override {
+        std::unique_lock lk(mu_);
+        // Reactor mode forces coalescing (a parked batch lives in the
+        // coalescer's staging area, which kDirect doesn't have); treat the
+        // request as satisfied rather than breaking the parked-write path.
+        if (nonblocking_.load(std::memory_order_relaxed)) return;
+        const WritePolicy want =
+            on ? WritePolicy::kCoalesce : WritePolicy::kDirect;
+        if (opts_.policy == want) return;
+        opts_.policy = want;
+        if (on) return;
+        // Switching to direct: frames the coalescer staged would have no
+        // drainer once senders go direct — push them onto the wire now.
+        if (writer_active_ || parked_ || count_ == 0) return;
+        if (closing_ || send_failed_) return;
+        writer_active_ = true;
+        const bool want_writable = drain(lk);
+        lk.unlock();
+        cv_.notify_all();
+        if (want_writable && request_writable_) request_writable_();
+    }
+
     // ---- ReactorHook ----
 
     int descriptor() const noexcept override { return fd_; }

@@ -320,6 +320,9 @@ const char* event_name(EventType type) noexcept {
     case EventType::kCreditStall: return "credit-stall";
     case EventType::kSpanSend: return "span-send";
     case EventType::kSpanRecv: return "span-recv";
+    case EventType::kRecomposeBegin: return "recompose-begin";
+    case EventType::kRecomposeApply: return "recompose-apply";
+    case EventType::kRecomposeAbort: return "recompose-abort";
     }
     return "unknown";
 }

@@ -55,6 +55,9 @@ enum class EventType : std::uint16_t {
     kCreditStall = 11,    ///< a = In-port pointer
     kSpanSend = 12,       ///< a = trace id, b = span id (wire trailer out)
     kSpanRecv = 13,       ///< a = trace id, b = span id (wire trailer in)
+    kRecomposeBegin = 14, ///< a = plan operation count
+    kRecomposeApply = 15, ///< a = quiesce->resume pause ns, b = route index
+    kRecomposeAbort = 16, ///< a = operations applied before the failure
 };
 
 /// Stable short name ("hop-enqueue", "span-send", ...) for decoders.

@@ -27,7 +27,7 @@ class RemoteBridge::ExportHandler final : public core::MessageHandlerBase {
 public:
     ExportHandler(RemoteBridge& bridge, const Serializer& serializer,
                   std::string route, std::uint32_t route_id, int priority,
-                  int band)
+                  const core::TransmissionPolicy& policy)
         : bridge_(&bridge), encode_fn_(serializer.encode_fn),
           encode_ctx_(serializer.encode_ctx), encode_state_(serializer.state),
           route_(std::move(route)), priority_(priority) {
@@ -39,20 +39,7 @@ public:
             prefix, route_id, /*response_expected=*/false, kBridgeObjectKey,
             route_);
         header_template_ = prefix.take_buffer();
-        // Static per-route band, stamped once into the template's flags
-        // octet: every frame the route ships classifies for free. Storage
-        // comes from the band's own lane pool so a route's whole send
-        // path stays inside one pool ring.
-        const std::size_t lanes = bridge.wire_->lane_count();
-        pool_ = &bridge.wire_->frame_pool();
-        if (band >= 0 && lanes > 1) {
-            cdr::set_frame_band(header_template_.data(),
-                                static_cast<std::uint8_t>(band));
-            const std::size_t lane =
-                net::LanePolicy::band_for_frame(header_template_.data(),
-                                                lanes);
-            pool_ = &bridge.wire_->lane(lane).frame_pool();
-        }
+        apply_policy(policy);
         // Legacy baseline keeps the seed's doubly-erased std::function shape.
         std::function<void(const void*, cdr::OutputStream&)> inner =
             [fn = encode_fn_, ctx = encode_ctx_](const void* msg,
@@ -95,6 +82,41 @@ public:
         }
         bridge_->wire_->send_frame(pool_->adopt(out.take_buffer()));
         bridge_->sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Re-resolve everything the route's TransmissionPolicy drives: the
+    /// band stamped into the header template (every frame classifies for
+    /// free), the lane pool outbound storage is drawn from (a route's
+    /// whole send path stays inside one pool ring), and the carrying
+    /// lane's coalescing writer. Called at construction and by
+    /// repolicy_route — the latter only while the export In port's credit
+    /// window is closed and drained, so no concurrent process_raw can
+    /// observe the mutation half-applied.
+    void apply_policy(const core::TransmissionPolicy& policy) {
+        const std::size_t lanes = bridge_->wire_->lane_count();
+        int band = policy.band;
+        if (band < 0 && lanes > 1) {
+            // No explicit band: derive one from the port's default
+            // priority, the same composition-time mapping the CCL
+            // compiler performs.
+            band = static_cast<int>(
+                net::LanePolicy{}.band_for_priority(priority_, lanes));
+        }
+        pool_ = &bridge_->wire_->frame_pool();
+        if (band >= 0 && lanes > 1) {
+            cdr::set_frame_band(header_template_.data(),
+                                static_cast<std::uint8_t>(band));
+            const std::size_t lane = net::LanePolicy::band_for_frame(
+                header_template_.data(), lanes);
+            pool_ = &bridge_->wire_->lane(lane).frame_pool();
+        }
+        if (auto* group = dynamic_cast<net::LaneGroup*>(bridge_->wire_.get())) {
+            group->set_band_coalescing(
+                band >= 0 ? static_cast<std::size_t>(band) : 0,
+                policy.coalesce);
+        } else {
+            bridge_->wire_->set_coalescing(policy.coalesce);
+        }
     }
 
 private:
@@ -194,35 +216,85 @@ RemoteBridge::RemoteBridge(core::Application& app,
 RemoteBridge::~RemoteBridge() { shutdown(); }
 
 void RemoteBridge::export_route(core::OutPortBase& local_out,
-                                const std::string& route, int band) {
+                                const std::string& route,
+                                core::TransmissionPolicy policy) {
     if (started_.load()) {
         throw BridgeError("cannot add routes after start()");
     }
     const Serializer& serializer =
         SerializerRegistry::global().find(local_out.type());
-    if (band >= static_cast<int>(net::kMaxLanes)) {
+    if (policy.band >= static_cast<int>(net::kMaxLanes)) {
         throw BridgeError("route '" + route + "': band " +
-                          std::to_string(band) + " exceeds the wire limit (" +
+                          std::to_string(policy.band) +
+                          " exceeds the wire limit (" +
                           std::to_string(net::kMaxLanes - 1) + ")");
     }
-    if (band < 0 && wire_->lane_count() > 1) {
-        // No explicit band: derive one from the port's default priority,
-        // the same composition-time mapping the CCL compiler performs.
-        band = static_cast<int>(net::LanePolicy{}.band_for_priority(
-            local_out.default_priority(), wire_->lane_count()));
+    {
+        std::lock_guard lk(mu_);
+        if (exports_.count(route) != 0) {
+            throw BridgeError("route '" + route + "' already exported");
+        }
     }
     // A sync In port on the bridge component: the sending component's
-    // thread serializes and writes the frame (natural backpressure).
+    // thread serializes and writes the frame (natural backpressure). The
+    // route's policy IS the port's policy — overflow admission included.
     core::InPortConfig cfg;
     cfg.buffer_size = 16;
     cfg.min_threads = cfg.max_threads = 0;
+    cfg.policy = policy;
     auto* handler = component_->region().make<ExportHandler>(
         *this, serializer, route, ++next_export_id_,
-        local_out.default_priority(), band);
+        local_out.default_priority(), policy);
     core::InPortBase& in = component_->add_in_port_erased(
         "exp" + std::to_string(next_port_id_++) + ":" + route,
         local_out.type(), local_out.type_name(), cfg, *handler);
     app_->connect(local_out, in);
+    std::lock_guard lk(mu_);
+    exports_.emplace(route, ExportRoute{&in, handler, policy});
+}
+
+std::uint64_t RemoteBridge::repolicy_route(const std::string& route,
+                                           core::TransmissionPolicy policy) {
+    if (policy.band >= static_cast<int>(net::kMaxLanes)) {
+        throw BridgeError("route '" + route + "': band " +
+                          std::to_string(policy.band) +
+                          " exceeds the wire limit (" +
+                          std::to_string(net::kMaxLanes - 1) + ")");
+    }
+    if (stopped_.load()) {
+        throw BridgeError("cannot repolicy after shutdown()");
+    }
+    ExportRoute* exp = nullptr;
+    {
+        std::lock_guard lk(mu_);
+        auto it = exports_.find(route);
+        if (it == exports_.end()) {
+            throw BridgeError("route '" + route + "' is not exported");
+        }
+        exp = &it->second;
+    }
+    // Quiesce-reroute-resume on the export In port: new senders park at
+    // the closed credit window, in-flight serializations drain, and the
+    // swap mutates both the port's admission policy and the handler's
+    // wire-side state (band stamp, lane pool, coalescing) while nothing
+    // can observe them.
+    const std::uint64_t pause = core::quiesced_swap(*exp->in, [&] {
+        exp->in->set_policy(policy);
+        exp->handler->apply_policy(policy);
+    });
+    std::lock_guard lk(mu_);
+    exp->policy = policy;
+    return pause;
+}
+
+core::TransmissionPolicy
+RemoteBridge::export_policy(const std::string& route) const {
+    std::lock_guard lk(mu_);
+    auto it = exports_.find(route);
+    if (it == exports_.end()) {
+        throw BridgeError("route '" + route + "' is not exported");
+    }
+    return it->second.policy;
 }
 
 void RemoteBridge::import_route(const std::string& route,
@@ -453,6 +525,13 @@ void RemoteBridge::shutdown() {
         app_->remove_counter_source(counter_token_);
         counter_token_ = 0;
     }
+}
+
+std::function<std::uint64_t(const core::RecomposeRepolicy&)>
+recompose_applier(RemoteBridge& bridge) {
+    return [&bridge](const core::RecomposeRepolicy& r) {
+        return bridge.repolicy_route(r.route, r.to);
+    };
 }
 
 } // namespace compadres::remote

@@ -20,6 +20,8 @@
 #pragma once
 
 #include "core/application.hpp"
+#include "core/recompose.hpp"
+#include "core/transmission_policy.hpp"
 #include "net/reactor.hpp"
 #include "net/transport.hpp"
 #include "remote/route_cache.hpp"
@@ -81,14 +83,18 @@ public:
     RemoteBridge& operator=(const RemoteBridge&) = delete;
 
     /// Ship everything `local_out` sends to the peer under `route`.
-    /// The message type must have a registered serializer. `band` picks
-    /// the priority-banded lane the route's frames ride when the wire is
-    /// a net::LaneGroup (stamped once into the route's header template):
-    /// band < 0 derives it from the port's default priority via
-    /// net::LanePolicy on a multi-lane wire, and leaves single-wire
-    /// frames byte-identical to stock GIOP.
+    /// The message type must have a registered serializer. The route's
+    /// TransmissionPolicy drives every transmission knob at once:
+    ///   * overflow — the export In port's admission policy (block the
+    ///     sender vs ring-overwrite the oldest queued message);
+    ///   * band — the priority-banded lane the route's frames ride when
+    ///     the wire is a net::LaneGroup (stamped once into the route's
+    ///     header template); band < 0 derives it from the port's default
+    ///     priority via net::LanePolicy on a multi-lane wire, and leaves
+    ///     single-wire frames byte-identical to stock GIOP;
+    ///   * coalesce — the carrying lane's write batching.
     void export_route(core::OutPortBase& local_out, const std::string& route,
-                      int band = -1);
+                      core::TransmissionPolicy policy = {});
 
     /// Deliver frames arriving under `route` into `local_in`. Messages are
     /// drawn from the connection's pool and sent at `priority` (or, when
@@ -100,6 +106,20 @@ public:
     /// on a reactor-capable wire) or spawn the blocking reader thread.
     /// Routes may not be added after start().
     void start();
+
+    /// Swap an exported route's TransmissionPolicy on the RUNNING bridge —
+    /// the one route mutation allowed after start(). The export In port's
+    /// credit window closes, in-flight sends drain, the policy (overflow
+    /// admission, header-template band, lane pool, lane coalescing) swaps
+    /// atomically, and the window reopens: senders stall for the pause,
+    /// no frame is dropped or reordered. Returns the quiesce→resume pause
+    /// in nanoseconds. Throws BridgeError for unknown routes or bands
+    /// beyond the wire limit.
+    std::uint64_t repolicy_route(const std::string& route,
+                                 core::TransmissionPolicy policy);
+
+    /// An exported route's current policy (throws for unknown routes).
+    core::TransmissionPolicy export_policy(const std::string& route) const;
 
     /// True when frames are delivered by a reactor loop rather than a
     /// dedicated reader thread (resolved at start()).
@@ -136,6 +156,14 @@ private:
 
     class ExportHandler;
 
+    /// Live registry of exported routes — the repolicy seam. Map nodes are
+    /// stable, so repolicy_route can work on a pointer outside mu_.
+    struct ExportRoute {
+        core::InPortBase* in = nullptr;
+        ExportHandler* handler = nullptr; ///< lives in immortal memory
+        core::TransmissionPolicy policy;
+    };
+
     void reader_loop(std::size_t lane);
     void handle_frame(const std::uint8_t* frame, std::size_t size);
     void handle_frame_legacy(const std::uint8_t* frame, std::size_t size);
@@ -145,8 +173,10 @@ private:
     BridgeOptions options_;
     core::Component* component_ = nullptr; // lives in the app's immortal
     std::unique_ptr<net::Transport> wire_;
-    std::mutex mu_; ///< guards imports_ before start(); frozen after
+    mutable std::mutex mu_; ///< guards imports_ (frozen after start()) and
+                            ///< exports_ (mutable policy, stable nodes)
     std::map<std::string, ImportRoute, std::less<>> imports_;
+    std::map<std::string, ExportRoute, std::less<>> exports_;
     /// Request-id route cache, sized at start(). The peer stamps each
     /// export route's id into the GIOP request_id field (legacy frames
     /// leave it 0); repeat traffic resolves with an array index and one
@@ -174,5 +204,12 @@ private:
     std::atomic<std::uint64_t> lanes_down_{0};
     int next_port_id_ = 0;
 };
+
+/// Adapter for core::RecomposeOptions::remote_applier: routes a plan's
+/// remote repolicies to `bridge.repolicy_route`. A process talking to
+/// several peers composes its own dispatcher over the remote_name field;
+/// this covers the common one-bridge case.
+std::function<std::uint64_t(const core::RecomposeRepolicy&)>
+recompose_applier(RemoteBridge& bridge);
 
 } // namespace compadres::remote

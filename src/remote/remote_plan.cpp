@@ -28,7 +28,7 @@ void apply_remote_plan(const compiler::AssemblyPlan& plan,
                               r.route + "': instance '" + r.instance +
                               "' has no Out port '" + r.port + "'");
         }
-        bridge.export_route(*out, r.route, r.band);
+        bridge.export_route(*out, r.route, r.policy);
     }
     for (const compiler::PlannedRemoteRoute& r : remote->imports) {
         core::Component* comp = app.find(r.instance);

@@ -27,6 +27,19 @@
 //      taken only when a waiter is registered, so the completion path stays
 //      O(1) and lock-free in steady state.
 //
+// Quiesce window (live recomposition, core/recompose.hpp): the gate also
+// brackets the ADMISSION window. A sender wraps its whole admission attempt
+// in enter()/exit(); close_window() parks new entrants before they touch
+// the budget, and wait_drained() returns once no sender is inside the
+// bracket AND no credit is in flight — i.e. nothing is being admitted,
+// queued, or mid-handler. That is the point where a route's policy can be
+// swapped without a frame in motion; open_window() resumes the parked
+// senders against the new policy. Senders parked in enter() hold no entrant
+// count and no credit, so a drain always terminates as long as handlers
+// keep completing. The steady-state cost of the bracket is two relaxed-ish
+// atomic RMWs per delivery; the mutex is touched only while a window is
+// closed or a drain is waiting.
+//
 // The uncontended hop therefore performs exactly ONE lock acquisition (the
 // IntakeQueue push); both classes export counters (stall_count,
 // lock_acquisitions) so benches and tests can assert that.
@@ -78,14 +91,85 @@ public:
         waiters_.fetch_sub(1);
     }
 
-    /// Return one credit. Wakes a waiter only when one is registered, so
-    /// the steady-state completion path never takes the mutex.
+    /// Return one credit. Wakes waiters only when one is registered, so
+    /// the steady-state completion path never takes the mutex. notify_all
+    /// (not _one): blocked acquirers and a wait_drained() share the condvar,
+    /// and waking only the drain waiter would strand an acquirer.
     void release() noexcept {
         in_use_.fetch_sub(1);
         if (waiters_.load() > 0) {
             std::lock_guard lk(mu_);
-            cv_.notify_one();
+            cv_.notify_all();
         }
+    }
+
+    // ---- quiesce window (live recomposition) ----
+
+    /// Enter the admission bracket. If the window is closed, parks until it
+    /// reopens; a parked sender holds no entrant count, so it never blocks
+    /// wait_drained(). Pair with exit() once the message is enqueued (or
+    /// definitively not).
+    void enter() noexcept {
+        entrants_.fetch_add(1);
+        if (!window_closed_.load()) return;
+        // Window closed while stepping in: step back out (waking a drain
+        // waiter that may be blocked on our transient count) and park until
+        // it reopens.
+        entrants_.fetch_sub(1);
+        if (waiters_.load() > 0) {
+            std::lock_guard lk(mu_);
+            cv_.notify_all();
+        }
+        std::unique_lock lk(mu_);
+        waiters_.fetch_add(1);
+        cv_.wait(lk, [&] { return !window_closed_.load(); });
+        // Re-enter while still holding the mutex: close_window() also takes
+        // it, so a newly opened window cannot close again between the
+        // predicate check and this increment.
+        entrants_.fetch_add(1);
+        waiters_.fetch_sub(1);
+    }
+
+    /// Leave the admission bracket.
+    void exit() noexcept {
+        entrants_.fetch_sub(1);
+        if (waiters_.load() > 0) {
+            std::lock_guard lk(mu_);
+            cv_.notify_all();
+        }
+    }
+
+    /// Close the admission window: senders entering after this park in
+    /// enter() without touching the budget. Does not wait — follow with
+    /// wait_drained().
+    void close_window() noexcept {
+        std::lock_guard lk(mu_);
+        window_closed_.store(true);
+    }
+
+    /// Reopen the window and release every parked sender.
+    void open_window() noexcept {
+        {
+            std::lock_guard lk(mu_);
+            window_closed_.store(false);
+        }
+        cv_.notify_all();
+    }
+
+    bool window_closed() const noexcept { return window_closed_.load(); }
+
+    /// Block until no sender is inside the admission bracket and no credit
+    /// is in flight — nothing admitted, queued, or mid-handler. Meaningful
+    /// with the window closed (otherwise new entrants can race in); pre-
+    /// close entrants each admit at most one message and then park, so the
+    /// wait terminates as long as handlers keep completing.
+    void wait_drained() noexcept {
+        std::unique_lock lk(mu_);
+        waiters_.fetch_add(1);
+        cv_.wait(lk, [&] {
+            return entrants_.load() == 0 && in_use_.load() == 0;
+        });
+        waiters_.fetch_sub(1);
     }
 
     std::size_t limit() const noexcept { return limit_; }
@@ -119,6 +203,8 @@ private:
     std::atomic<std::size_t> hwm_{0};
     std::atomic<std::uint64_t> stalls_{0};
     std::atomic<int> waiters_{0};
+    std::atomic<int> entrants_{0};       ///< senders inside enter()/exit()
+    std::atomic<bool> window_closed_{false};
     std::mutex mu_;
     std::condition_variable cv_;
 };

@@ -266,7 +266,7 @@ TEST_F(AssemblerTest, RingOverflowReachesAssembledPort) {
         "SlowMonitor");
     auto app = compiler::assemble_from_strings(kSensorCdl, kSensorCcl);
     const core::InPortBase& in = app->component("M").in_port("readings");
-    EXPECT_EQ(in.config().overflow, core::OverflowPolicy::kRingOverwrite);
+    EXPECT_EQ(in.config().policy.overflow, core::OverflowPolicy::kRingOverwrite);
     EXPECT_EQ(in.config().buffer_size, 2u);
 }
 

@@ -73,7 +73,7 @@ TEST(Ccl, ParsesPortAttributes) {
     EXPECT_EQ(port.attributes.min_threads, 2u);
     EXPECT_EQ(port.attributes.max_threads, 10u);
     // <Overflow> is optional and defaults to lossless backpressure.
-    EXPECT_EQ(port.attributes.overflow, core::OverflowPolicy::kBlock);
+    EXPECT_EQ(port.attributes.policy.overflow, core::OverflowPolicy::kBlock);
 }
 
 TEST(Ccl, ParsesRingOverflow) {
@@ -86,7 +86,7 @@ TEST(Ccl, ParsesRingOverflow) {
         "<Overflow>Ring</Overflow></PortAttributes>"
         "</Port></Connection></Component></Application>");
     const compiler::CclPortDecl& port = model.components[0].ports.at(0);
-    EXPECT_EQ(port.attributes.overflow, core::OverflowPolicy::kRingOverwrite);
+    EXPECT_EQ(port.attributes.policy.overflow, core::OverflowPolicy::kRingOverwrite);
 }
 
 TEST(Ccl, ParsesLinks) {
@@ -268,10 +268,10 @@ TEST(CclRemote, ParsesRemoteWithBandsExportsAndImports) {
     EXPECT_EQ(r.exports[0].component, "I");
     EXPECT_EQ(r.exports[0].port, "out");
     EXPECT_EQ(r.exports[0].route, "a.b");
-    EXPECT_EQ(r.exports[0].band, 2);
+    EXPECT_EQ(r.exports[0].policy.band, 2);
     ASSERT_EQ(r.imports.size(), 1u);
     EXPECT_EQ(r.imports[0].route, "c.d");
-    EXPECT_EQ(r.imports[0].band, -1); // absent <Band> stays unset
+    EXPECT_EQ(r.imports[0].policy.band, -1); // absent <Band> stays unset
     EXPECT_EQ(model.rtsj.reactor_bands, 3u);
 }
 

@@ -49,7 +49,7 @@ bool components_equal(const CclComponent& a, const CclComponent& b) {
              p.attributes.strategy != q.attributes.strategy ||
              p.attributes.min_threads != q.attributes.min_threads ||
              p.attributes.max_threads != q.attributes.max_threads ||
-             p.attributes.overflow != q.attributes.overflow)) {
+             p.attributes.policy.overflow != q.attributes.policy.overflow)) {
             return false;
         }
         for (std::size_t j = 0; j < p.links.size(); ++j) {
@@ -71,7 +71,7 @@ bool routes_equal(const std::vector<CclRemoteRoute>& a,
     if (a.size() != b.size()) return false;
     for (std::size_t i = 0; i < a.size(); ++i) {
         if (a[i].component != b[i].component || a[i].port != b[i].port ||
-            a[i].route != b[i].route || a[i].band != b[i].band) {
+            a[i].route != b[i].route || a[i].policy != b[i].policy) {
             return false;
         }
     }
@@ -145,7 +145,7 @@ TEST(Emit, CclRoundTripsListing12Shape) {
     port.attributes.strategy = core::ThreadpoolStrategy::kShared;
     port.attributes.min_threads = 2;
     port.attributes.max_threads = 10;
-    port.attributes.overflow = core::OverflowPolicy::kRingOverwrite;
+    port.attributes.policy.overflow = core::OverflowPolicy::kRingOverwrite;
     port.links.push_back({LinkKind::kInternal, "MyCalculator", "DataOut", 0});
     server.ports.push_back(port);
 
@@ -176,9 +176,10 @@ TEST(Emit, CclRoundTripsRemoteAndReactorBands) {
     CclRemote remote;
     remote.name = "peer";
     remote.bands = 3;
-    remote.exports.push_back({"H", "cmdOut", "cmd-route", 0, 0});
-    remote.exports.push_back({"H", "logOut", "log-route", -1, 0});
-    remote.imports.push_back({"H", "ackIn", "ack-route", -1, 0});
+    remote.exports.push_back(
+        {"H", "cmdOut", "cmd-route", {core::OverflowPolicy::kBlock, 0}, 0});
+    remote.exports.push_back({"H", "logOut", "log-route", {}, 0});
+    remote.imports.push_back({"H", "ackIn", "ack-route", {}, 0});
     model.remotes.push_back(remote);
 
     const std::string xml_text = emit_ccl(model);
@@ -243,7 +244,7 @@ TEST_P(EmitFuzzTest, RandomCclRoundTrips) {
             port.attributes.strategy = rng() % 2 == 0
                                            ? core::ThreadpoolStrategy::kShared
                                            : core::ThreadpoolStrategy::kDedicated;
-            port.attributes.overflow =
+            port.attributes.policy.overflow =
                 rng() % 2 == 0 ? core::OverflowPolicy::kBlock
                                : core::OverflowPolicy::kRingOverwrite;
             if (rng() % 2 == 0) {
@@ -271,13 +272,16 @@ TEST_P(EmitFuzzTest, RandomCclRoundTrips) {
         for (int e = 0; e < export_count; ++e) {
             const int band =
                 rng() % 2 == 0 ? -1 : static_cast<int>(rng() % remote.bands);
+            core::TransmissionPolicy policy;
+            policy.band = band;
+            policy.coalesce = rng() % 2 == 0;
             remote.exports.push_back({"inst0", "p" + std::to_string(e),
                                       "route" + std::to_string(r * 8 + e),
-                                      band, 0});
+                                      policy, 0});
         }
         if (rng() % 2 == 0) {
             remote.imports.push_back(
-                {"inst0", "pin", "route" + std::to_string(r * 8 + 7), -1, 0});
+                {"inst0", "pin", "route" + std::to_string(r * 8 + 7), {}, 0});
         }
         model.remotes.push_back(remote);
     }

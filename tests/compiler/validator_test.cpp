@@ -389,7 +389,7 @@ TEST(Validator, RingOverflowAcceptedAndPlanned) {
     }
     ASSERT_NE(node, nullptr);
     ASSERT_TRUE(node->port_configs.count("cmdIn"));
-    EXPECT_EQ(node->port_configs.at("cmdIn").overflow,
+    EXPECT_EQ(node->port_configs.at("cmdIn").policy.overflow,
               core::OverflowPolicy::kRingOverwrite);
 }
 
@@ -425,11 +425,11 @@ TEST(ValidatorRemote, ValidRemotePlanned) {
     EXPECT_EQ(r.exports[0].instance, "H");
     EXPECT_EQ(r.exports[0].port, "cmdOut");
     EXPECT_EQ(r.exports[0].route, "r.cmd");
-    EXPECT_EQ(r.exports[0].band, 1);
+    EXPECT_EQ(r.exports[0].policy.band, 1);
     EXPECT_EQ(r.exports[0].message_type, "Cmd");
     ASSERT_EQ(r.imports.size(), 1u);
     EXPECT_EQ(r.imports[0].route, "r.ack");
-    EXPECT_EQ(r.imports[0].band, -1);
+    EXPECT_EQ(r.imports[0].policy.band, -1);
     EXPECT_EQ(r.imports[0].message_type, "Ack");
 }
 

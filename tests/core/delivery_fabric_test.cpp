@@ -35,7 +35,7 @@ core::InPortConfig pooled_port(std::size_t buffer = 8, std::size_t threads = 1) 
 
 core::InPortConfig ring_port(std::size_t buffer, std::size_t threads = 1) {
     core::InPortConfig cfg = pooled_port(buffer, threads);
-    cfg.overflow = core::OverflowPolicy::kRingOverwrite;
+    cfg.policy.overflow = core::OverflowPolicy::kRingOverwrite;
     return cfg;
 }
 

@@ -503,7 +503,7 @@ TEST_F(BridgeTest, BandedExportRidesItsOwnLane) {
 
     auto& producer = app_a.create_immortal<core::Component>("P");
     auto& out = producer.add_out_port<core::MyInteger>("out", "MyInteger");
-    bridge_a.export_route(out, "bulk", /*band=*/1);
+    bridge_a.export_route(out, "bulk", {core::OverflowPolicy::kBlock, /*band=*/1});
 
     IntSink sink;
     auto& consumer = app_b.create_immortal<core::Component>("C");
@@ -536,7 +536,7 @@ TEST_F(BridgeTest, TraceReportCarriesLaneCounters) {
 
     auto& producer = app_a.create_immortal<core::Component>("P");
     auto& out = producer.add_out_port<core::MyInteger>("out", "MyInteger");
-    bridge_a.export_route(out, "r", /*band=*/0);
+    bridge_a.export_route(out, "r", {core::OverflowPolicy::kBlock, /*band=*/0});
 
     IntSink sink;
     auto& consumer = app_b.create_immortal<core::Component>("C");

@@ -97,6 +97,22 @@ def headline(doc):
                 "ok" if stitch.get("stitched") else "FAIL",
             ),
         )
+    if name == "recompose_churn":
+        churn = doc.get("churn", {})
+        pause = doc.get("pause", {})
+        return (
+            us(churn.get("p50_ns")),
+            us(churn.get("p99_ns")),
+            "under churn; p50 %.2fx baseline, %d repolicies, "
+            "pause p99 %s us, lost %d, dropped +%d"
+            % (
+                doc.get("p50_ratio", -1),
+                doc.get("repolicies", 0),
+                us(pause.get("p99_ns")),
+                doc.get("lost", -1),
+                doc.get("frames_dropped_growth", -1),
+            ),
+        )
     if name == "metrics_snapshot":
         counters = doc.get("counters", {})
         gauges = doc.get("gauges", {})
@@ -162,11 +178,20 @@ def main(argv):
         return 0
 
     rows = []
+    # One row per BENCHMARK, not per file: repeated runs of the same bench
+    # (a smoke artifact next to a full one, or the same bench found under
+    # several build dirs) used to each get a row, silently inflating the
+    # table. Keep only the newest file (by mtime) per benchmark name and
+    # say which stale artifacts were skipped. Files whose bench can't be
+    # identified (unreadable/corrupt) always keep their own diagnostic row.
+    newest = {}  # benchmark name -> (mtime, path, doc)
+    skipped = []  # (base, benchmark, kept_base)
     for path in paths:
         base = os.path.basename(path)
         try:
             with open(path) as f:
                 text = f.read()
+            mtime = os.path.getmtime(path)
         except OSError as e:
             rows.append((base, "?", "-", "-", "unreadable: %s" % e))
             continue
@@ -181,6 +206,19 @@ def main(argv):
         if not isinstance(doc, dict):
             rows.append((base, "?", "-", "-", "not a JSON object"))
             continue
+        # Unnamed docs dedupe per-file (the name is all we have to group on).
+        name = doc.get("benchmark") or base
+        prev = newest.get(name)
+        if prev is None:
+            newest[name] = (mtime, path, doc)
+        elif mtime > prev[0]:
+            skipped.append((os.path.basename(prev[1]), name, base))
+            newest[name] = (mtime, path, doc)
+        else:
+            skipped.append((base, name, os.path.basename(prev[1])))
+
+    for _, (mtime, path, doc) in sorted(newest.items()):
+        base = os.path.basename(path)
         p50, p99, detail = headline(doc)
         rows.append((base, doc.get("benchmark", "?"), p50, p99, detail))
 
@@ -188,6 +226,8 @@ def main(argv):
         render_markdown(rows)
     else:
         render_text(rows)
+    for base, name, kept in sorted(skipped):
+        print("note: skipped %s (older run of %s; kept %s)" % (base, name, kept))
     return 0
 
 
