@@ -22,6 +22,7 @@
 
 #include "cdr/giop.hpp"
 #include "net/frame_pool.hpp"
+#include "net/shm_transport.hpp"
 #include "net/tcp.hpp"
 #include "remote/bridge.hpp"
 
@@ -294,6 +295,237 @@ BurstResult run_burst(net::WritePolicy policy) {
     return r;
 }
 
+// ---- co-located shm wire vs TCP fast path (wire level, pipelined) ----
+//
+// The shm rung measures the transport pair itself, not the full bridge
+// path: batches of kBatch GIOP frames pushed through one wire and echoed
+// back by a peer thread, shm and TCP batches interleaved in the same time
+// window. On a one-core host the full middleware path is dominated by
+// scheduler hand-offs that hit both wires identically; the wire-level
+// pipeline is where the syscall-free segment actually shows up.
+
+/// Echoes every frame straight back on the same wire until it closes.
+/// Survives an shm failover: after the peer's bye the echo continues over
+/// the TCP fallback until the client closes.
+struct WireEcho {
+    std::unique_ptr<net::Transport> wire;
+    std::thread thread;
+
+    void start() {
+        thread = std::thread([this] {
+            while (auto f = wire->recv_frame()) {
+                wire->send_frame(std::move(*f));
+            }
+        });
+    }
+    void join() {
+        if (thread.joinable()) thread.join();
+    }
+};
+
+struct ShmWirePair {
+    std::unique_ptr<net::Transport> client;
+    WireEcho echo;
+    bool shm = false;
+    std::string detail;
+};
+
+ShmWirePair make_shm_pair(const net::ShmOptions& opts) {
+    net::ShmAcceptor acceptor(0, opts);
+    ShmWirePair pair;
+    std::thread accept_thread([&] {
+        net::ShmConnectResult r = acceptor.accept();
+        pair.echo.wire = std::move(r.transport);
+    });
+    net::ShmConnectResult r =
+        net::shm_upgrade_connect("127.0.0.1", acceptor.bound_port(), opts);
+    accept_thread.join();
+    pair.client = std::move(r.transport);
+    pair.shm = r.shm;
+    pair.detail = std::move(r.detail);
+    return pair;
+}
+
+std::unique_ptr<net::Transport> make_tcp_pair(WireEcho& echo) {
+    net::TcpAcceptor acceptor(0);
+    std::thread accept_thread([&] { echo.wire = acceptor.accept(); });
+    auto client = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    accept_thread.join();
+    return client;
+}
+
+/// One encoded GIOP request frame carrying `payload_len` bytes.
+std::vector<std::uint8_t> wire_frame(std::size_t payload_len) {
+    cdr::RequestHeader req;
+    req.object_key = "bench";
+    req.operation = "echo";
+    std::vector<std::uint8_t> payload(payload_len, 0x42);
+    return cdr::encode_request(req, payload.data(), payload.size());
+}
+
+/// One pipelined batch: kBatch frames out, kBatch echoes back. Returns
+/// nanoseconds per round trip.
+std::int64_t wire_batch(net::Transport& t,
+                        const std::vector<std::uint8_t>& frame) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < kBatch; ++k) {
+        net::FrameBuffer fb =
+            net::FrameBufferPool::global().acquire(frame.size());
+        std::memcpy(fb.data(), frame.data(), frame.size());
+        t.send_frame(std::move(fb));
+    }
+    for (std::size_t k = 0; k < kBatch; ++k) {
+        if (!t.recv_frame().has_value()) {
+            std::fprintf(stderr, "wire closed mid-batch\n");
+            std::abort();
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+               .count() /
+           static_cast<std::int64_t>(kBatch);
+}
+
+struct ShmRungResult {
+    rt::StatsSummary shm;            ///< ns per round trip, shm wire
+    rt::StatsSummary tcp;            ///< ns per round trip, TCP fast path
+    double paired_speedup = 0.0;     ///< median of per-pair tcp/shm ratios
+    double allocs_per_message = 0.0; ///< shm batches only
+    /// Futex syscalls (waits + wakes, both endpoints) per round trip; the
+    /// steady path's only kernel entries, paid once per pipeline stall,
+    /// not per message.
+    double futex_per_message = 0.0;
+    double wakeups_per_message = 0.0;
+    std::uint64_t shm_frames = 0; ///< frames that crossed the segment
+};
+
+std::uint64_t futex_count(const net::ShmCounters& c) {
+    return c.wakeups + c.futex_waits;
+}
+
+/// Interleaved shm/TCP batches, allocation and futex counters read around
+/// the shm segments only.
+ShmRungResult run_shm_rung(net::Transport& shm_wire, net::Transport* shm_peer,
+                           net::Transport& tcp_wire, std::size_t payload,
+                           std::size_t iters, std::size_t warmup) {
+    auto* shm_a = dynamic_cast<net::ShmTransport*>(&shm_wire);
+    auto* shm_b = dynamic_cast<net::ShmTransport*>(shm_peer);
+    const std::vector<std::uint8_t> frame = wire_frame(payload);
+    rt::StatsRecorder rec_shm(iters);
+    rt::StatsRecorder rec_tcp(iters);
+    rt::StatsRecorder rec_ratio(iters); // per-pair tcp/shm ratio, x1000
+    std::uint64_t allocs = 0, futexes = 0, wakeups = 0, shm_frames0 = 0;
+    for (std::size_t it = 0; it < warmup + iters; ++it) {
+        const std::uint64_t a0 = g_allocs.load();
+        const std::uint64_t f0 =
+            (shm_a ? futex_count(shm_a->counters()) : 0) +
+            (shm_b ? futex_count(shm_b->counters()) : 0);
+        const std::uint64_t w0 = (shm_a ? shm_a->counters().wakeups : 0) +
+                                 (shm_b ? shm_b->counters().wakeups : 0);
+        if (it == warmup && shm_a) {
+            shm_frames0 = shm_a->counters().shm_frames_sent;
+        }
+        const std::int64_t ns_shm = wire_batch(shm_wire, frame);
+        const std::uint64_t a1 = g_allocs.load();
+        const std::uint64_t f1 =
+            (shm_a ? futex_count(shm_a->counters()) : 0) +
+            (shm_b ? futex_count(shm_b->counters()) : 0);
+        const std::uint64_t w1 = (shm_a ? shm_a->counters().wakeups : 0) +
+                                 (shm_b ? shm_b->counters().wakeups : 0);
+        const std::int64_t ns_tcp = wire_batch(tcp_wire, frame);
+        if (it >= warmup) {
+            allocs += a1 - a0;
+            futexes += f1 - f0;
+            wakeups += w1 - w0;
+            rec_shm.record(ns_shm);
+            rec_tcp.record(ns_tcp);
+            if (ns_shm > 0) rec_ratio.record(ns_tcp * 1000 / ns_shm);
+        }
+    }
+    ShmRungResult r;
+    r.shm = rec_shm.summarize();
+    r.tcp = rec_tcp.summarize();
+    r.paired_speedup =
+        static_cast<double>(rec_ratio.summarize().median) / 1000.0;
+    const double messages = static_cast<double>(iters * kBatch);
+    r.allocs_per_message = static_cast<double>(allocs) / messages;
+    r.futex_per_message = static_cast<double>(futexes) / messages;
+    r.wakeups_per_message = static_cast<double>(wakeups) / messages;
+    if (shm_a) {
+        r.shm_frames = shm_a->counters().shm_frames_sent - shm_frames0;
+    }
+    return r;
+}
+
+struct FailoverResult {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;   ///< echoes received
+    std::uint64_t duplicates = 0;  ///< sequence numbers seen twice
+    std::uint64_t missing = 0;     ///< sequence numbers never echoed
+    std::uint64_t failovers = 0;   ///< counted by the client transport
+    std::uint64_t resent = 0;      ///< ring frames replayed over TCP
+    bool shm_before = false;
+    bool shm_after = true;
+};
+
+/// Sliding-window echo burst with a forced shm abandon halfway through:
+/// every sequence number must come back exactly once, the late half over
+/// the TCP fallback.
+FailoverResult run_failover(const net::ShmOptions& opts) {
+    ShmWirePair pair = make_shm_pair(opts);
+    pair.echo.start();
+    FailoverResult r;
+    auto* shm = dynamic_cast<net::ShmTransport*>(pair.client.get());
+    r.shm_before = shm != nullptr && shm->shm_active();
+
+    constexpr std::uint32_t kCount = 400;
+    constexpr std::uint32_t kWindow = 32;
+    std::vector<std::uint8_t> frame = wire_frame(32);
+    std::vector<std::uint32_t> seen(kCount, 0);
+    std::uint32_t sent = 0, received = 0;
+    while (received < kCount) {
+        while (sent < kCount && sent - received < kWindow) {
+            // Sequence number in the payload tail; the echo returns the
+            // frame byte for byte.
+            std::memcpy(frame.data() + frame.size() - 4, &sent, 4);
+            net::FrameBuffer fb =
+                net::FrameBufferPool::global().acquire(frame.size());
+            std::memcpy(fb.data(), frame.data(), frame.size());
+            pair.client->send_frame(std::move(fb));
+            ++sent;
+            if (shm != nullptr && sent == kCount / 2) {
+                shm->abandon_shm("bench failover drill");
+            }
+        }
+        auto f = pair.client->recv_frame();
+        if (!f.has_value()) break;
+        std::uint32_t seq = 0;
+        std::memcpy(&seq, f->data() + f->size() - 4, 4);
+        if (seq < kCount) ++seen[seq];
+        ++received;
+    }
+    r.sent = sent;
+    r.delivered = received;
+    for (std::uint32_t n : seen) {
+        if (n == 0) ++r.missing;
+        if (n > 1) r.duplicates += n - 1;
+    }
+    if (shm != nullptr) {
+        const net::ShmCounters c = shm->counters();
+        r.failovers = c.failovers;
+        r.shm_after = shm->shm_active();
+        // The replay happens on the peer: it owns the unconsumed half of
+        // the abandoner's RX ring and resends it over TCP.
+        r.resent = c.resent_frames;
+        if (auto* peer = dynamic_cast<net::ShmTransport*>(pair.echo.wire.get())) {
+            r.resent += peer->counters().resent_frames;
+        }
+    }
+    pair.client->close();
+    pair.echo.join();
+    return r;
+}
+
 void print_row(const char* name, std::size_t payload,
                const rt::StatsSummary& s) {
     std::printf("%-10s %6zu B %10.2f %10.2f %10.2f %10.2f\n", name, payload,
@@ -318,18 +550,27 @@ void emit_stats(std::FILE* f, const rt::StatsSummary& s) {
 int main(int argc, char** argv) {
     const char* json_path = "BENCH_remote.json";
     bool smoke = false;
+    bool shm_only = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--shm-only") == 0) {
+            shm_only = true;
         } else {
             json_path = argv[i];
         }
     }
     const std::size_t iters = smoke ? 100 : bench::sample_count(2'000);
     const std::size_t warmup = smoke ? 30 : iters / 5;
+    // A killed bench run leaves its segment in /dev/shm; reclaim stale ones
+    // before creating new segments (transports sweep at startup too, this
+    // just makes the bench self-cleaning when it is the first shm user).
+    if (const std::size_t swept = net::sweep_orphan_segments()) {
+        std::printf("reclaimed %zu orphaned shm segment(s)\n", swept);
+    }
     std::printf("=== Remote round-trip: pooled wire fast path vs legacy ===\n");
-    std::printf("batched %zu in flight, %zu samples per rung%s\n\n", kBatch,
-                iters, smoke ? " (smoke)" : "");
+    std::printf("batched %zu in flight, %zu samples per rung%s%s\n\n", kBatch,
+                iters, smoke ? " (smoke)" : "", shm_only ? " (shm only)" : "");
 
     constexpr std::size_t kSizeCount =
         sizeof(kPayloadSizes) / sizeof(kPayloadSizes[0]);
@@ -343,7 +584,10 @@ int main(int argc, char** argv) {
     RungResult fast[kSizeCount];
     RungResult legacy[kSizeCount];
     double paired[kSizeCount] = {};
-    {
+    double worst_allocs = 0.0;
+    BurstResult coalesce, direct;
+    double improvement = 0.0;
+    if (!shm_only) {
         EchoHarness h_fast(false);
         EchoHarness h_legacy(true);
         // Timed burn-in before any rung is measured: the first rung would
@@ -368,70 +612,144 @@ int main(int argc, char** argv) {
             legacy[i] = pair.legacy;
             paired[i] = pair.paired_improvement_pct;
         }
-    }
 
-    std::printf("%-10s %8s %10s %10s %10s %10s\n", "Variant", "payload",
-                "p50(us)", "p90(us)", "p99(us)", "max(us)");
-    for (std::size_t i = 0; i < kSizeCount; ++i) {
-        print_row("fast", kPayloadSizes[i], fast[i].stats);
-        print_row("legacy", kPayloadSizes[i], legacy[i].stats);
-    }
-
-    double worst_allocs = 0.0;
-    for (const RungResult& r : fast) {
-        if (r.allocs_per_message > worst_allocs) {
-            worst_allocs = r.allocs_per_message;
+        std::printf("%-10s %8s %10s %10s %10s %10s\n", "Variant", "payload",
+                    "p50(us)", "p90(us)", "p99(us)", "max(us)");
+        for (std::size_t i = 0; i < kSizeCount; ++i) {
+            print_row("fast", kPayloadSizes[i], fast[i].stats);
+            print_row("legacy", kPayloadSizes[i], legacy[i].stats);
         }
+
+        for (const RungResult& r : fast) {
+            if (r.allocs_per_message > worst_allocs) {
+                worst_allocs = r.allocs_per_message;
+            }
+        }
+        std::printf(
+            "\nsteady-state allocations per message (fast path): %.4f\n",
+            worst_allocs);
+
+        coalesce = run_burst(net::WritePolicy::kCoalesce);
+        direct = run_burst(net::WritePolicy::kDirect);
+        std::printf("burst syscalls/frame: coalesce %.3f (max batch %llu), "
+                    "direct %.3f\n",
+                    coalesce.syscalls_per_frame,
+                    static_cast<unsigned long long>(coalesce.max_batch_frames),
+                    direct.syscalls_per_frame);
+
+        // The gated number is the median of per-pair improvements (each
+        // fast batch against the legacy batch run back to back with it),
+        // which cancels machine drift the ratio of two global medians is
+        // exposed to.
+        improvement = paired[0];
+        std::printf("p50 at 32 B: fast %.2f us vs legacy %.2f us "
+                    "(paired median improvement %.1f%%)\n",
+                    static_cast<double>(fast[0].stats.median) / 1000.0,
+                    static_cast<double>(legacy[0].stats.median) / 1000.0,
+                    improvement);
     }
-    std::printf("\nsteady-state allocations per message (fast path): %.4f\n",
-                worst_allocs);
 
-    const BurstResult coalesce = run_burst(net::WritePolicy::kCoalesce);
-    const BurstResult direct = run_burst(net::WritePolicy::kDirect);
-    std::printf("burst syscalls/frame: coalesce %.3f (max batch %llu), "
-                "direct %.3f\n",
-                coalesce.syscalls_per_frame,
-                static_cast<unsigned long long>(coalesce.max_batch_frames),
-                direct.syscalls_per_frame);
-
-    const double p50_fast = static_cast<double>(fast[0].stats.median);
-    const double p50_legacy = static_cast<double>(legacy[0].stats.median);
-    // The gated number is the median of per-pair improvements (each fast
-    // batch against the legacy batch run back to back with it), which
-    // cancels machine drift the ratio of two global medians is exposed to.
-    const double improvement = paired[0];
-    std::printf("p50 at 32 B: fast %.2f us vs legacy %.2f us "
-                "(paired median improvement %.1f%%)\n",
-                p50_fast / 1000.0, p50_legacy / 1000.0, improvement);
+    // ---- co-located shm rung: segment wire vs TCP fast path, same run ----
+    const net::ShmOptions shm_opts;
+    std::printf("\n=== shm wire vs TCP fast path (32 B, pipelined) ===\n");
+    ShmWirePair shm_pair = make_shm_pair(shm_opts);
+    std::printf("shm upgrade: %s (%s)\n", shm_pair.shm ? "yes" : "NO",
+                shm_pair.detail.c_str());
+    ShmRungResult shm_rung;
+    if (shm_pair.shm) {
+        shm_pair.echo.start();
+        WireEcho tcp_echo;
+        auto tcp_client = make_tcp_pair(tcp_echo);
+        tcp_echo.start();
+        shm_rung = run_shm_rung(*shm_pair.client, shm_pair.echo.wire.get(),
+                                *tcp_client, 32, iters, warmup);
+        tcp_client->close();
+        tcp_echo.join();
+        shm_pair.client->close();
+        shm_pair.echo.join();
+        std::printf("%-10s %8s %10s %10s %10s %10s\n", "Wire", "payload",
+                    "p50(us)", "p90(us)", "p99(us)", "max(us)");
+        print_row("shm", 32, shm_rung.shm);
+        print_row("tcp", 32, shm_rung.tcp);
+        std::printf("paired p50 speedup: %.1fx; allocs/msg %.4f; "
+                    "futex/roundtrip %.4f (wakeups %.4f); %llu frames over "
+                    "the segment\n",
+                    shm_rung.paired_speedup, shm_rung.allocs_per_message,
+                    shm_rung.futex_per_message, shm_rung.wakeups_per_message,
+                    static_cast<unsigned long long>(shm_rung.shm_frames));
+    }
+    const FailoverResult failover = run_failover(shm_opts);
+    std::printf("failover drill: sent %llu delivered %llu duplicates %llu "
+                "missing %llu resent %llu failovers %llu (shm %s -> %s)\n",
+                static_cast<unsigned long long>(failover.sent),
+                static_cast<unsigned long long>(failover.delivered),
+                static_cast<unsigned long long>(failover.duplicates),
+                static_cast<unsigned long long>(failover.missing),
+                static_cast<unsigned long long>(failover.resent),
+                static_cast<unsigned long long>(failover.failovers),
+                failover.shm_before ? "up" : "down",
+                failover.shm_after ? "up" : "down");
 
     if (std::FILE* f = std::fopen(json_path, "w")) {
         std::fprintf(f, "{\n  \"benchmark\": \"remote_roundtrip\",\n");
         std::fprintf(f, "  \"batch_in_flight\": %zu,\n", kBatch);
         std::fprintf(f, "  \"samples_per_rung\": %zu,\n", iters);
-        std::fprintf(f, "  \"sizes\": [\n");
-        for (std::size_t i = 0; i < kSizeCount; ++i) {
-            std::fprintf(f, "    {\"payload_bytes\": %zu, \"fast\": ",
-                         kPayloadSizes[i]);
-            emit_stats(f, fast[i].stats);
-            std::fprintf(f, ", \"legacy\": ");
-            emit_stats(f, legacy[i].stats);
-            std::fprintf(f, "}%s\n", i + 1 < kSizeCount ? "," : "");
+        if (!shm_only) {
+            std::fprintf(f, "  \"sizes\": [\n");
+            for (std::size_t i = 0; i < kSizeCount; ++i) {
+                std::fprintf(f, "    {\"payload_bytes\": %zu, \"fast\": ",
+                             kPayloadSizes[i]);
+                emit_stats(f, fast[i].stats);
+                std::fprintf(f, ", \"legacy\": ");
+                emit_stats(f, legacy[i].stats);
+                std::fprintf(f, "}%s\n", i + 1 < kSizeCount ? "," : "");
+            }
+            std::fprintf(f, "  ],\n");
+            std::fprintf(f, "  \"allocs_per_message_steady_state\": %.4f,\n",
+                         worst_allocs);
+            std::fprintf(f,
+                         "  \"burst\": {\"coalesce_syscalls_per_frame\": %.3f, "
+                         "\"direct_syscalls_per_frame\": %.3f, "
+                         "\"max_batch_frames\": %llu},\n",
+                         coalesce.syscalls_per_frame,
+                         direct.syscalls_per_frame,
+                         static_cast<unsigned long long>(
+                             coalesce.max_batch_frames));
+            std::fprintf(f, "  \"improvement_p50_32B_pct\": %.1f,\n",
+                         improvement);
+            std::fprintf(f, "  \"paired_improvement_pct\": [%.1f, %.1f, "
+                         "%.1f, %.1f],\n",
+                         paired[0], paired[1], paired[2], paired[3]);
         }
-        std::fprintf(f, "  ],\n");
-        std::fprintf(f, "  \"allocs_per_message_steady_state\": %.4f,\n",
-                     worst_allocs);
+        std::fprintf(f, "  \"shm\": {\n");
+        std::fprintf(f, "    \"upgraded\": %s,\n",
+                     shm_pair.shm ? "true" : "false");
+        std::fprintf(f, "    \"payload_bytes\": 32,\n");
+        std::fprintf(f, "    \"shm\": ");
+        emit_stats(f, shm_rung.shm);
+        std::fprintf(f, ",\n    \"tcp\": ");
+        emit_stats(f, shm_rung.tcp);
+        std::fprintf(f, ",\n    \"paired_p50_speedup\": %.2f,\n",
+                     shm_rung.paired_speedup);
+        std::fprintf(f, "    \"allocs_per_message\": %.4f,\n",
+                     shm_rung.allocs_per_message);
+        std::fprintf(f, "    \"futex_per_roundtrip\": %.4f,\n",
+                     shm_rung.futex_per_message);
+        std::fprintf(f, "    \"wakeups_per_roundtrip\": %.4f,\n",
+                     shm_rung.wakeups_per_message);
+        std::fprintf(f, "    \"shm_frames\": %llu,\n",
+                     static_cast<unsigned long long>(shm_rung.shm_frames));
         std::fprintf(f,
-                     "  \"burst\": {\"coalesce_syscalls_per_frame\": %.3f, "
-                     "\"direct_syscalls_per_frame\": %.3f, "
-                     "\"max_batch_frames\": %llu},\n",
-                     coalesce.syscalls_per_frame, direct.syscalls_per_frame,
-                     static_cast<unsigned long long>(
-                         coalesce.max_batch_frames));
-        std::fprintf(f, "  \"improvement_p50_32B_pct\": %.1f,\n",
-                     improvement);
-        std::fprintf(f, "  \"paired_improvement_pct\": [%.1f, %.1f, %.1f, "
-                     "%.1f]\n}\n",
-                     paired[0], paired[1], paired[2], paired[3]);
+                     "    \"failover\": {\"sent\": %llu, \"delivered\": %llu, "
+                     "\"duplicates\": %llu, \"missing\": %llu, "
+                     "\"resent_frames\": %llu, \"failovers\": %llu}\n",
+                     static_cast<unsigned long long>(failover.sent),
+                     static_cast<unsigned long long>(failover.delivered),
+                     static_cast<unsigned long long>(failover.duplicates),
+                     static_cast<unsigned long long>(failover.missing),
+                     static_cast<unsigned long long>(failover.resent),
+                     static_cast<unsigned long long>(failover.failovers));
+        std::fprintf(f, "  }\n}\n");
         std::fclose(f);
         std::printf("\nwrote %s\n", json_path);
     } else {
@@ -442,7 +760,7 @@ int main(int argc, char** argv) {
     // Gate 1: the steady-state remote hop is allocation-free. Sanitizer
     // runtimes allocate behind the scenes, so the gate only runs on plain
     // builds.
-    if (!COMPADRES_UNDER_SANITIZER && worst_allocs != 0.0) {
+    if (!shm_only && !COMPADRES_UNDER_SANITIZER && worst_allocs != 0.0) {
         std::fprintf(stderr,
                      "FAIL: fast path allocated %.4f times per message in "
                      "steady state (want 0)\n",
@@ -451,7 +769,7 @@ int main(int argc, char** argv) {
     }
     // Gate 2: bursts amortize syscalls — strictly fewer sendmsg calls than
     // frames.
-    if (coalesce.syscalls_per_frame >= 1.0) {
+    if (!shm_only && coalesce.syscalls_per_frame >= 1.0) {
         std::fprintf(stderr,
                      "FAIL: coalescing writer made %.3f syscalls per frame "
                      "under burst (want < 1)\n",
@@ -465,11 +783,66 @@ int main(int argc, char** argv) {
     // is shared by both wire formats, so the legacy baseline got faster
     // too and the copying overhead is now a smaller slice of a cheaper
     // round trip (measured 16-19% after, vs 21% before).
-    if (!smoke && !COMPADRES_UNDER_SANITIZER && improvement < 15.0) {
+    if (!shm_only && !smoke && !COMPADRES_UNDER_SANITIZER &&
+        improvement < 15.0) {
         std::fprintf(stderr,
                      "FAIL: p50 at 32 B improved only %.1f%% over the legacy "
                      "wire (want >= 15%%)\n",
                      improvement);
+        ok = false;
+    }
+    // Gate 4: two endpoints on the same host must actually get the
+    // segment; a fallback here means the handshake broke.
+    if (!shm_pair.shm) {
+        std::fprintf(stderr,
+                     "FAIL: co-located shm upgrade fell back to TCP (%s)\n",
+                     shm_pair.detail.c_str());
+        ok = false;
+    }
+    // Gate 5: the shm steady path makes no heap allocations and enters the
+    // kernel less than once per round trip (futex wakes amortize across
+    // the pipelined batch; everything else is user-space only).
+    if (shm_pair.shm && !COMPADRES_UNDER_SANITIZER) {
+        if (shm_rung.allocs_per_message != 0.0) {
+            std::fprintf(stderr,
+                         "FAIL: shm wire allocated %.4f times per message in "
+                         "steady state (want 0)\n",
+                         shm_rung.allocs_per_message);
+            ok = false;
+        }
+        if (shm_rung.futex_per_message >= 1.0) {
+            std::fprintf(stderr,
+                         "FAIL: shm wire made %.4f futex syscalls per round "
+                         "trip (want < 1)\n",
+                         shm_rung.futex_per_message);
+            ok = false;
+        }
+    }
+    // Gate 6 (full runs on plain builds only): the segment wire beats the
+    // same-run TCP fast path by at least 5x at the 32 B rung.
+    if (shm_pair.shm && !smoke && !COMPADRES_UNDER_SANITIZER &&
+        shm_rung.paired_speedup < 5.0) {
+        std::fprintf(stderr,
+                     "FAIL: shm p50 speedup over TCP is only %.1fx at 32 B "
+                     "(want >= 5x)\n",
+                     shm_rung.paired_speedup);
+        ok = false;
+    }
+    // Gate 7: the failover drill loses nothing and duplicates nothing —
+    // every sequence number echoed exactly once across the shm->TCP seam.
+    if (failover.missing != 0 || failover.duplicates != 0 ||
+        failover.delivered != failover.sent || failover.failovers == 0 ||
+        failover.shm_after) {
+        std::fprintf(stderr,
+                     "FAIL: failover drill sent %llu, delivered %llu "
+                     "(%llu missing, %llu duplicates, %llu failovers, shm "
+                     "%s after)\n",
+                     static_cast<unsigned long long>(failover.sent),
+                     static_cast<unsigned long long>(failover.delivered),
+                     static_cast<unsigned long long>(failover.missing),
+                     static_cast<unsigned long long>(failover.duplicates),
+                     static_cast<unsigned long long>(failover.failovers),
+                     failover.shm_after ? "still up" : "down");
         ok = false;
     }
     std::printf("%s\n", ok ? "remote gates PASSED" : "remote gates FAILED");

@@ -198,6 +198,30 @@ CclRemote parse_remote(const xml::XmlNode& node) {
                            std::to_string(bands->line) + ")");
         }
         remote.bands = static_cast<std::size_t>(v);
+        remote.bands_declared = true;
+    }
+    if (const xml::XmlNode* transport = node.child("Transport")) {
+        if (transport->text == "tcp") {
+            remote.transport = RemoteTransport::kTcp;
+        } else if (transport->text == "shm") {
+            remote.transport = RemoteTransport::kShm;
+            // shm is a single wire; an undeclared band count follows the
+            // transport instead of the lane-group default.
+            if (!remote.bands_declared) remote.bands = 1;
+        } else {
+            throw CclError("Transport of '" + remote.name +
+                           "' must be 'tcp' or 'shm', got '" +
+                           transport->text + "' (line " +
+                           std::to_string(transport->line) + ")");
+        }
+    }
+    if (const xml::XmlNode* host = node.child("Host")) {
+        if (host->text.empty()) {
+            throw CclError("<Host> of '" + remote.name +
+                           "' must not be empty (line " +
+                           std::to_string(host->line) + ")");
+        }
+        remote.host = host->text;
     }
     for (const xml::XmlNode* exp : node.children_named("Export")) {
         remote.exports.push_back(parse_remote_route(*exp, "Export"));

@@ -67,12 +67,24 @@ struct CclRemoteRoute {
     int line = 0;
 };
 
+/// How a <Remote>'s frames travel: priority-banded TCP lanes (the
+/// default), or the co-located shared-memory wire (net/shm_transport.hpp)
+/// with its TCP control/fallback channel.
+enum class RemoteTransport { kTcp, kShm };
+
 /// One <Remote>: a lane-group connection to a peer application. <Bands>
 /// is the lane count (priority-banded TCP wires) the connection shards
-/// across — see net/lane_group.hpp.
+/// across — see net/lane_group.hpp. <Transport>shm</Transport> selects
+/// the shared-memory wire instead (single-lane, same-host only — the
+/// validator rejects a non-loopback <Host> and explicit multi-band
+/// declarations); <Host> names the peer endpoint, defaulting to
+/// 127.0.0.1.
 struct CclRemote {
     std::string name;
     std::size_t bands = 2;
+    bool bands_declared = false; ///< <Bands> appeared explicitly
+    RemoteTransport transport = RemoteTransport::kTcp;
+    std::string host = "127.0.0.1";
     std::vector<CclRemoteRoute> exports;
     std::vector<CclRemoteRoute> imports;
     int line = 0;

@@ -100,7 +100,11 @@ void dump_plan(const AssemblyPlan& plan, std::ostream& out) {
             << conn.pool_capacity << "\n";
     }
     for (const auto& remote : plan.remotes) {
-        out << "remote: " << remote.name << " bands=" << remote.bands << "\n";
+        out << "remote: " << remote.name << " bands=" << remote.bands
+            << " transport="
+            << (remote.transport == RemoteTransport::kShm ? "shm" : "tcp");
+        if (remote.host != "127.0.0.1") out << " host=" << remote.host;
+        out << "\n";
         for (const auto& r : remote.exports) {
             out << "  export " << r.route << ": " << r.instance << "."
                 << r.port << " type=" << r.message_type << " band=";

@@ -210,6 +210,17 @@ core::RecomposePlan diff_plans(const AssemblyPlan& from,
                              "': <Bands> changes; the lane group is "
                              "established by the startup handshake");
         }
+        if (r.transport != nu.transport) {
+            issues.push_back("remote '" + r.name +
+                             "': <Transport> changes; the wire (shm segment "
+                             "or lane group) is established by the startup "
+                             "handshake");
+        }
+        if (r.host != nu.host) {
+            issues.push_back("remote '" + r.name +
+                             "': <Host> changes; reconnecting to a different "
+                             "peer is not a live transition");
+        }
         std::map<std::string, const PlannedRemoteRoute*> old_exports;
         for (const PlannedRemoteRoute& e : r.exports) old_exports[e.route] = &e;
         for (const PlannedRemoteRoute& e : nu.exports) {

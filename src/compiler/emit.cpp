@@ -117,6 +117,12 @@ std::string emit_ccl(const CclModel& model) {
         node->children.push_back(text_element("RemoteName", remote.name));
         node->children.push_back(
             text_element("Bands", std::to_string(remote.bands)));
+        node->children.push_back(text_element(
+            "Transport",
+            remote.transport == RemoteTransport::kShm ? "shm" : "tcp"));
+        if (remote.host != "127.0.0.1") {
+            node->children.push_back(text_element("Host", remote.host));
+        }
         const auto route_node = [](const char* name,
                                    const CclRemoteRoute& route) {
             auto n = std::make_unique<XmlNode>();

@@ -301,9 +301,32 @@ AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl) {
         PlannedRemote pr;
         pr.name = remote.name;
         pr.bands = remote.bands;
+        pr.transport = remote.transport;
+        pr.host = remote.host;
         if (remote.bands < 1) {
             issues.push_back("remote '" + remote.name +
                              "': <Bands> must be >= 1");
+        }
+        if (remote.transport == RemoteTransport::kShm) {
+            // The shm wire is one segment, one lane: priority isolation
+            // comes from not sharing a kernel queue at all. An explicit
+            // multi-band declaration contradicts that.
+            if (remote.bands_declared && remote.bands > 1) {
+                issues.push_back(
+                    "remote '" + remote.name + "': <Transport>shm "
+                    "carries a single lane — <Bands> " +
+                    std::to_string(remote.bands) +
+                    " conflicts (drop <Bands> or use <Transport>tcp)");
+            }
+            // Shared memory cannot cross hosts; catching a non-loopback
+            // endpoint here beats a silent per-connection TCP fallback.
+            if (remote.host != "127.0.0.1" && remote.host != "localhost" &&
+                remote.host != "::1") {
+                issues.push_back(
+                    "remote '" + remote.name + "': <Transport>shm "
+                    "requires a co-located peer, but <Host> is '" +
+                    remote.host + "' (shared memory cannot cross hosts)");
+            }
         }
         if (remote.bands > kWireBandLimit) {
             issues.push_back("remote '" + remote.name + "': <Bands> " +

@@ -84,6 +84,10 @@ struct PlannedRemoteRoute {
 struct PlannedRemote {
     std::string name;
     std::size_t bands = 2; ///< lane count (validated <= rtsj.reactor_bands)
+    /// Wire selection: TCP lane group, or the co-located shared-memory
+    /// wire (validated single-band, loopback host only).
+    RemoteTransport transport = RemoteTransport::kTcp;
+    std::string host = "127.0.0.1";
     std::vector<PlannedRemoteRoute> exports;
     std::vector<PlannedRemoteRoute> imports;
 };

@@ -1,0 +1,130 @@
+// Ring-pair transports — one skeleton for every zero-copy frame wire.
+//
+// Two transports in this repo move frames through a pair of bounded rings
+// instead of a kernel socket: the in-process loopback (heap FrameRings)
+// and the cross-process shared-memory wire (SPSC rings inside a mapped
+// segment, net/shm_transport.hpp). Before this header they were two
+// near-copies of the same send/recv/close/stats scaffolding; now both are
+// instantiations of RingPairTransport over a RingPair policy, so the
+// tested code path — frame accounting, close semantics, the recv retry
+// loop — exists once.
+//
+// A RingPair provides:
+//   bool send(FrameBuffer& frame)
+//       Accept one frame. On success the frame has been consumed (moved
+//       into the ring). On false the pair's send side is down; a pair
+//       backing a transport with a fallback path (shm -> TCP) must leave
+//       `frame` intact so the on_send_down hook can reroute it; a pair
+//       with nowhere else to go may have consumed it (the default hook
+//       throws without touching the frame).
+//   RingRecv recv()
+//       One bounded receive attempt: a frame, `closed` (down and
+//       drained), or neither — idle, meaning the pair waited its bounded
+//       interval without data and the transport should run its
+//       on_recv_idle hook (poll a control channel, check peer liveness)
+//       before retrying. Pairs that can block indefinitely (heap rings)
+//       simply never return idle.
+//   void close()
+//       Close both directions; queued frames stay poppable.
+//   std::size_t tx_depth() / rx_depth()
+//       Frames currently queued per direction (0 when untracked).
+#pragma once
+
+#include "net/transport.hpp"
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace compadres::net {
+
+/// Result of one bounded RingPair::recv attempt. Exactly one of:
+/// frame set; closed true; neither (idle — run the transport's idle hook
+/// and retry).
+struct RingRecv {
+    std::optional<FrameBuffer> frame;
+    bool closed = false;
+
+    static RingRecv ended() {
+        RingRecv r;
+        r.closed = true;
+        return r;
+    }
+};
+
+template <typename RingPair>
+class RingPairTransport : public Transport {
+public:
+    RingPairTransport(RingPair rings, std::string label)
+        : rings_(std::move(rings)), label_(std::move(label)) {}
+
+    using Transport::send_frame; // keep the copying vector shim visible
+
+    void send_frame(FrameBuffer frame) override {
+        if (!rings_.send(frame)) {
+            on_send_down(std::move(frame));
+            return;
+        }
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::optional<FrameBuffer> recv_frame() override {
+        for (;;) {
+            RingRecv r = rings_.recv();
+            if (!r.frame.has_value()) {
+                // Down-and-drained consults the closed hook (a transport
+                // with a fallback wire keeps serving frames from it);
+                // idle consults the idle hook (liveness, control traffic).
+                r = r.closed ? on_ring_closed() : on_recv_idle();
+            }
+            if (r.frame.has_value()) {
+                frames_received_.fetch_add(1, std::memory_order_relaxed);
+                return std::move(r.frame);
+            }
+            if (r.closed) return std::nullopt;
+        }
+    }
+
+    void close() override {
+        rings_.close();
+        on_close();
+    }
+
+    std::string peer_description() const override { return label_; }
+
+    TransportStats stats() const override {
+        TransportStats s;
+        s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+        s.frames_received = frames_received_.load(std::memory_order_relaxed);
+        s.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+protected:
+    /// The ring rejected the frame (send side down). Default: no fallback
+    /// wire, so the peer is simply gone.
+    virtual void on_send_down(FrameBuffer&&) {
+        throw TransportError(label_ + ": peer closed");
+    }
+
+    /// Ring down and drained. Default: the transport is done. A transport
+    /// with a fallback wire overrides this to keep receiving from it.
+    virtual RingRecv on_ring_closed() { return RingRecv::ended(); }
+
+    /// The pair waited its bounded interval without data. Default: retry
+    /// (only reached by pairs that actually return idle).
+    virtual RingRecv on_recv_idle() { return RingRecv{}; }
+
+    /// Extra teardown after the rings close (close a fallback wire, wake
+    /// a peer). Default: nothing.
+    virtual void on_close() {}
+
+    RingPair rings_;
+    std::string label_;
+    std::atomic<std::uint64_t> frames_sent_{0};
+    std::atomic<std::uint64_t> frames_received_{0};
+    std::atomic<std::uint64_t> frames_dropped_{0};
+};
+
+} // namespace compadres::net

@@ -1,0 +1,1100 @@
+#include "net/shm_transport.hpp"
+
+#include "cdr/giop.hpp"
+#include "obs/flight_recorder.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace compadres::net {
+
+using shm_detail::SegDir;
+using shm_detail::SegHeader;
+using shm_detail::SegSlot;
+using shm_detail::align8;
+
+namespace {
+
+// ---- futex plumbing -------------------------------------------------------
+// Non-private futexes: the wait/wake address lives in a MAP_SHARED segment,
+// so the kernel keys on the backing page and the two processes' different
+// virtual addresses still name the same futex.
+
+void futex_wait_us(std::atomic<std::uint32_t>& word, std::uint32_t expected,
+                   std::size_t timeout_us) {
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(timeout_us / 1000000);
+    ts.tv_nsec = static_cast<long>((timeout_us % 1000000) * 1000);
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAIT,
+            expected, &ts, nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>& word) {
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAKE,
+            INT_MAX, nullptr, nullptr, 0);
+}
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    asm volatile("" ::: "memory");
+#endif
+}
+
+std::uint64_t mint_generation() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (static_cast<std::uint64_t>(ts.tv_sec) << 32) ^
+           static_cast<std::uint64_t>(ts.tv_nsec) ^
+           (static_cast<std::uint64_t>(getpid()) << 16) ^
+           counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+/// Clamp options into a self-consistent geometry (pow2 ring, arena big
+/// enough that the largest frame plus a wrap skip always fits).
+ShmOptions normalize(ShmOptions o) {
+    o.ring_capacity = round_up_pow2(o.ring_capacity ? o.ring_capacity : 2);
+    if (o.ring_capacity < 2) o.ring_capacity = 2;
+    if (o.arena_bytes < 4096) o.arena_bytes = 4096;
+    o.arena_bytes = align8(o.arena_bytes);
+    if (o.max_frame_bytes > o.arena_bytes / 2) {
+        o.max_frame_bytes = o.arena_bytes / 2;
+    }
+    if (o.max_frame_bytes < 64) o.max_frame_bytes = 64;
+    return o;
+}
+
+bool pid_alive(pid_t pid) noexcept {
+    return pid > 0 && (kill(pid, 0) == 0 || errno == EPERM);
+}
+
+void sweep_once_at_startup() {
+    static std::once_flag flag;
+    std::call_once(flag, [] { sweep_orphan_segments(); });
+}
+
+constexpr const char* kControlKey = "compadres.shm";
+
+} // namespace
+
+// ---- ShmSegment -----------------------------------------------------------
+
+std::shared_ptr<ShmSegment> ShmSegment::create(const ShmOptions& options) {
+    sweep_once_at_startup();
+    const ShmOptions o = normalize(options);
+    static std::atomic<std::uint32_t> seq{0};
+
+    auto seg = std::shared_ptr<ShmSegment>(new ShmSegment());
+    int fd = -1;
+    for (int attempt = 0; attempt < 4 && fd < 0; ++attempt) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "%s%u.%u.%llx", shm_detail::kNamePrefix,
+                      static_cast<unsigned>(getpid()),
+                      seq.fetch_add(1, std::memory_order_relaxed),
+                      static_cast<unsigned long long>(mint_generation() & 0xffffff));
+        fd = shm_open(buf, O_CREAT | O_EXCL | O_RDWR, 0600);
+        if (fd >= 0) seg->name_ = buf;
+    }
+    if (fd < 0) {
+        throw TransportError(std::string("shm_open failed: ") +
+                             std::strerror(errno));
+    }
+    const std::size_t total =
+        shm_detail::segment_bytes(o.ring_capacity, o.arena_bytes);
+    if (ftruncate(fd, static_cast<off_t>(total)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        shm_unlink(seg->name_.c_str());
+        throw TransportError(std::string("shm ftruncate failed: ") +
+                             std::strerror(err));
+    }
+    void* base =
+        mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+        shm_unlink(seg->name_.c_str());
+        throw TransportError(std::string("shm mmap failed: ") +
+                             std::strerror(errno));
+    }
+    seg->base_ = static_cast<std::uint8_t*>(base);
+    seg->map_bytes_ = total;
+    seg->side_ = 0;
+
+    auto* h = new (base) SegHeader{};
+    std::memcpy(h->magic, shm_detail::kMagic, sizeof h->magic);
+    h->version = shm_detail::kVersion;
+    h->ring_capacity = static_cast<std::uint32_t>(o.ring_capacity);
+    h->arena_bytes = static_cast<std::uint32_t>(o.arena_bytes);
+    h->max_frame_bytes = static_cast<std::uint32_t>(o.max_frame_bytes);
+    h->generation = mint_generation();
+    h->pid[0].store(static_cast<std::uint32_t>(getpid()),
+                    std::memory_order_relaxed);
+    h->attached[0].store(1, std::memory_order_release);
+    return seg;
+}
+
+std::shared_ptr<ShmSegment> ShmSegment::attach(const std::string& name,
+                                               std::uint64_t generation) {
+    sweep_once_at_startup();
+    int fd = shm_open(name.c_str(), O_RDWR, 0);
+    if (fd < 0) {
+        throw TransportError("shm segment unavailable (cross-host peer or "
+                             "cleaned segment): " +
+                             name);
+    }
+    struct stat st{};
+    if (fstat(fd, &st) != 0 ||
+        static_cast<std::size_t>(st.st_size) < sizeof(SegHeader)) {
+        ::close(fd);
+        throw TransportError("shm segment truncated: " + name);
+    }
+    const std::size_t total = static_cast<std::size_t>(st.st_size);
+    void* base =
+        mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+        throw TransportError(std::string("shm mmap failed: ") +
+                             std::strerror(errno));
+    }
+    auto seg = std::shared_ptr<ShmSegment>(new ShmSegment());
+    seg->base_ = static_cast<std::uint8_t*>(base);
+    seg->map_bytes_ = total;
+    seg->side_ = 1;
+    seg->name_ = name;
+
+    SegHeader& h = seg->header();
+    if (std::memcmp(h.magic, shm_detail::kMagic, sizeof h.magic) != 0) {
+        throw TransportError("shm segment bad magic: " + name);
+    }
+    if (h.version != shm_detail::kVersion) {
+        throw TransportError("shm version mismatch: segment v" +
+                             std::to_string(h.version) + ", expected v" +
+                             std::to_string(shm_detail::kVersion));
+    }
+    if (shm_detail::segment_bytes(h.ring_capacity, h.arena_bytes) != total ||
+        (h.ring_capacity & (h.ring_capacity - 1)) != 0 ||
+        h.ring_capacity < 2) {
+        throw TransportError("shm segment geometry corrupt: " + name);
+    }
+    if (h.generation != generation) {
+        throw TransportError("shm stale generation: segment holds " +
+                             std::to_string(h.generation) + ", hello claims " +
+                             std::to_string(generation));
+    }
+    std::uint32_t expect = 0;
+    if (!h.attached[1].compare_exchange_strong(expect, 1,
+                                               std::memory_order_acq_rel)) {
+        throw TransportError("shm segment already attached: " + name);
+    }
+    h.pid[1].store(static_cast<std::uint32_t>(getpid()),
+                   std::memory_order_release);
+    return seg;
+}
+
+ShmSegment::~ShmSegment() {
+    detach();
+    if (side_ == 0) unlink();
+    if (base_ != nullptr) munmap(base_, map_bytes_);
+}
+
+SegSlot* ShmSegment::slots(int side) const noexcept {
+    auto* first = reinterpret_cast<SegSlot*>(base_ + shm_detail::slots_offset());
+    return first + static_cast<std::size_t>(side) * header().ring_capacity;
+}
+
+std::uint8_t* ShmSegment::arena(int side) const noexcept {
+    return base_ + shm_detail::arena_offset(header().ring_capacity) +
+           static_cast<std::size_t>(side) * header().arena_bytes;
+}
+
+void ShmSegment::detach() noexcept {
+    if (base_ != nullptr) {
+        header().attached[side_].store(0, std::memory_order_release);
+    }
+}
+
+void ShmSegment::unlink() noexcept {
+    if (!unlinked_ && !name_.empty()) {
+        unlinked_ = true;
+        shm_unlink(name_.c_str());
+    }
+}
+
+// ---- ShmSession -----------------------------------------------------------
+
+/// The engine behind ShmTransport: SPSC ring producer/consumer over the
+/// segment, plus the TCP control/fallback channel and the failover state
+/// machine. Lock order: send_mu_ before recv_mu_, never the reverse.
+/// recv_mu_ is held only for the duration of a pop — never across a futex
+/// wait — so an abandoner freezing the rx tail cannot deadlock against a
+/// sleeping receiver. recv_frame is single-consumer (one bridge reader
+/// thread), like every transport in this repo; send_frame is any-thread.
+class ShmSession {
+public:
+    ShmSession(std::shared_ptr<ShmSegment> seg, std::unique_ptr<Transport> tcp,
+               const ShmOptions& opts)
+        : seg_(std::move(seg)), tcp_(std::move(tcp)), opts_(normalize(opts)),
+          side_(seg_->side()) {
+        SegHeader& h = seg_->header();
+        capacity_ = h.ring_capacity;
+        mask_ = capacity_ - 1;
+        arena_bytes_ = h.arena_bytes;
+        max_frame_ = h.max_frame_bytes;
+        tx_slots_ = seg_->slots(side_);
+        rx_slots_ = seg_->slots(1 - side_);
+        tx_arena_ = seg_->arena(side_);
+        rx_arena_ = seg_->arena(1 - side_);
+        if (ReactorHook* hook = tcp_->reactor_hook()) {
+            tcp_fd_ = hook->descriptor();
+        }
+    }
+
+    ~ShmSession() { close_all(); }
+
+    // -- ring-pair surface --------------------------------------------------
+
+    /// Push one frame into our produced ring. False (frame untouched) when
+    /// the shm path cannot take it — oversize (triggers orderly failover),
+    /// peer gone, bye exchanged, or closed — and the caller reroutes to TCP.
+    bool ring_send(FrameBuffer& frame) {
+        std::lock_guard lk(send_mu_);
+        if (bye_pending_.load(std::memory_order_acquire)) {
+            complete_peer_bye_locked();
+        }
+        if (!tx_up_.load(std::memory_order_relaxed)) return false;
+        const std::size_t len = frame.size();
+        if (len > max_frame_) {
+            // One route's frames must stay ordered, so an oversize frame
+            // cannot simply take the other path: abandon shm first, then
+            // everything (this frame included) rides TCP.
+            abandon_locked("oversize frame");
+            return false;
+        }
+        std::size_t pos = 0;
+        if (!acquire_tx_space_locked(len, pos)) return false;
+        std::memcpy(tx_arena_ + pos, frame.data(), len);
+        tx_slots_[tx_head_ & mask_] =
+            SegSlot{static_cast<std::uint32_t>(pos),
+                    static_cast<std::uint32_t>(len)};
+        arena_head_ += align8(len);
+        ++tx_head_;
+        SegDir& d = tx_dir();
+        d.head.store(tx_head_, std::memory_order_release);
+        // Only-if-waiters wake (Dekker with the consumer's registration:
+        // the seq_cst fence orders our head publish before the waiters
+        // exchange; the consumer's seq_cst registration orders before its
+        // head re-check, so one of us always sees the other). The exchange
+        // CLAIMS the registration: a woken-but-not-yet-scheduled consumer
+        // costs one wake per waiting episode, not one per push — on a
+        // single core the consumer can stay registered across a whole
+        // batch of sends.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (d.data_waiters.exchange(0, std::memory_order_seq_cst) != 0) {
+            d.data_seq.fetch_add(1, std::memory_order_release);
+            futex_wake_all(d.data_seq);
+            wakeups_.fetch_add(1, std::memory_order_relaxed);
+            obs::FlightRecorder::emit(obs::EventType::kShmWakeup, len, 0);
+        }
+        shm_sent_.fetch_add(1, std::memory_order_relaxed);
+        obs::FlightRecorder::emit(obs::EventType::kFrameSend, len, 0);
+        return true;
+    }
+
+    /// One bounded receive attempt: spin, then at most one futex sleep
+    /// cycle, then report idle so the transport can poll the control
+    /// channel and peer liveness between cycles.
+    RingRecv ring_recv() {
+        RingRecv r = try_pop();
+        if (r.frame.has_value() || r.closed) return r;
+        SegDir& d = rx_dir();
+        for (std::size_t i = 0; i < opts_.spin_budget; ++i) {
+            if (d.head.load(std::memory_order_acquire) != rx_tail_hint_) {
+                return try_pop();
+            }
+            cpu_relax();
+            spins_.fetch_add(1, std::memory_order_relaxed);
+        }
+        // SPSC: we are the only registrar, the producer claims with
+        // exchange(0), so plain stores keep the flag in {0, 1}.
+        d.data_waiters.store(1, std::memory_order_seq_cst);
+        const std::uint32_t seq = d.data_seq.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const bool wake_worthy =
+            d.head.load(std::memory_order_acquire) != rx_tail_hint_ ||
+            d.closed.load(std::memory_order_acquire) != 0 ||
+            rx_peer_done_.load(std::memory_order_acquire) ||
+            rx_frozen_.load(std::memory_order_acquire) ||
+            closed_.load(std::memory_order_acquire);
+        if (!wake_worthy) {
+            futex_wait_us(d.data_seq, seq, opts_.wait_cycle_us);
+            futex_waits_.fetch_add(1, std::memory_order_relaxed);
+        }
+        d.data_waiters.store(0, std::memory_order_release);
+        return try_pop();
+    }
+
+    std::size_t tx_depth() const {
+        const SegDir& d = seg_->header().dir[side_];
+        return d.head.load(std::memory_order_relaxed) -
+               d.tail.load(std::memory_order_relaxed);
+    }
+    std::size_t rx_depth() const {
+        const SegDir& d = seg_->header().dir[1 - side_];
+        return d.head.load(std::memory_order_relaxed) -
+               d.tail.load(std::memory_order_relaxed);
+    }
+
+    // -- transport hooks ----------------------------------------------------
+
+    /// on_send_down: the ring refused the frame; carry it over TCP (after
+    /// finishing any failover handshake that refusal was part of).
+    void fallback_send(FrameBuffer frame) {
+        std::lock_guard lk(send_mu_);
+        if (bye_pending_.load(std::memory_order_acquire)) {
+            complete_peer_bye_locked();
+        }
+        if (closed_.load(std::memory_order_relaxed) ||
+            !tcp_up_.load(std::memory_order_relaxed)) {
+            throw TransportError(label() + ": peer closed");
+        }
+        tcp_->send_frame(std::move(frame));
+        tcp_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// on_recv_idle: the ring waited one cycle with no data. Poll the TCP
+    /// channel for control/fallback traffic, and periodically check that
+    /// the peer process still exists.
+    RingRecv idle_poll() {
+        if (closed_.load(std::memory_order_acquire)) {
+            return RingRecv::ended();
+        }
+        if (tcp_fd_ >= 0 && tcp_up_.load(std::memory_order_relaxed)) {
+            pollfd p{tcp_fd_, POLLIN | POLLRDHUP, 0};
+            if (poll(&p, 1, 0) > 0) return pump_tcp();
+        }
+        if (++liveness_tick_ % 8 == 0 && !peer_alive()) {
+            note_peer_dead();
+        }
+        return RingRecv{};
+    }
+
+    /// on_ring_closed: the segment is drained and done (graceful close,
+    /// failover, or peer death); keep receiving from the TCP wire.
+    RingRecv tcp_recv_blocking() {
+        if (!tcp_up_.load(std::memory_order_relaxed) ||
+            closed_.load(std::memory_order_relaxed)) {
+            return RingRecv::ended();
+        }
+        return pump_tcp();
+    }
+
+    /// Orderly reroute-to-TCP. Freezes our rx tail, stops our tx, tells
+    /// the peer (which replays our unconsumed inbound frames over TCP).
+    void abandon(const char* reason) {
+        std::lock_guard lk(send_mu_);
+        if (bye_pending_.load(std::memory_order_acquire)) {
+            complete_peer_bye_locked();
+        }
+        abandon_locked(reason);
+    }
+
+    void close_all() {
+        if (close_done_.exchange(true)) return;
+        {
+            std::lock_guard lk(send_mu_);
+            if (bye_pending_.load(std::memory_order_acquire)) {
+                complete_peer_bye_locked();
+            }
+            closed_.store(true, std::memory_order_release);
+            tx_up_.store(false, std::memory_order_release);
+            SegDir& d = tx_dir();
+            d.closed.store(1, std::memory_order_release);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            d.data_seq.fetch_add(1, std::memory_order_release);
+            futex_wake_all(d.data_seq); // peer's receiver
+        }
+        { std::lock_guard rlk(recv_mu_); } // no pop in flight past here
+        wake_local_waiters();
+        seg_->detach();
+        if (side_ == 0) seg_->unlink();
+        tcp_->close();
+    }
+
+    // -- introspection ------------------------------------------------------
+
+    ShmCounters counters() const {
+        ShmCounters c;
+        c.shm_frames_sent = shm_sent_.load(std::memory_order_relaxed);
+        c.shm_frames_received = shm_recv_.load(std::memory_order_relaxed);
+        c.tcp_frames_sent = tcp_sent_.load(std::memory_order_relaxed);
+        c.tcp_frames_received = tcp_recv_.load(std::memory_order_relaxed);
+        c.wakeups = wakeups_.load(std::memory_order_relaxed);
+        c.futex_waits = futex_waits_.load(std::memory_order_relaxed);
+        c.spins = spins_.load(std::memory_order_relaxed);
+        c.failovers = failovers_.load(std::memory_order_relaxed);
+        c.resent_frames = resent_.load(std::memory_order_relaxed);
+        c.dropped_on_failover = dropped_.load(std::memory_order_relaxed);
+        c.tx_depth = tx_depth();
+        c.rx_depth = rx_depth();
+        c.shm_active = shm_active();
+        return c;
+    }
+
+    bool shm_active() const {
+        return tx_up_.load(std::memory_order_relaxed) &&
+               !rx_frozen_.load(std::memory_order_relaxed) &&
+               !closed_.load(std::memory_order_relaxed);
+    }
+
+    const std::string& segment_name() const { return seg_->name(); }
+    std::uint64_t generation() const { return seg_->generation(); }
+    std::string label() const { return "shm:" + seg_->name(); }
+
+    FrameBufferPool& pool() noexcept {
+        return opts_.pool != nullptr ? *opts_.pool : FrameBufferPool::global();
+    }
+
+private:
+    SegDir& tx_dir() noexcept { return seg_->header().dir[side_]; }
+    SegDir& rx_dir() noexcept { return seg_->header().dir[1 - side_]; }
+
+    /// Reserve a slot + `len` arena bytes, applying the wrap skip. Blocks
+    /// (bounded futex cycles with liveness/bye checks) under backpressure.
+    /// False when the shm path went down while waiting.
+    bool acquire_tx_space_locked(std::size_t len, std::size_t& pos_out) {
+        SegDir& d = tx_dir();
+        for (;;) {
+            if (tx_head_ - cached_tx_tail_ >= capacity_) {
+                cached_tx_tail_ = d.tail.load(std::memory_order_acquire);
+            }
+            const std::uint64_t pos = arena_head_ % arena_bytes_;
+            const std::uint64_t skip =
+                (arena_bytes_ - pos < len) ? (arena_bytes_ - pos) : 0;
+            const std::uint64_t need = skip + align8(len);
+            if (arena_head_ + need - cached_arena_tail_ > arena_bytes_) {
+                cached_arena_tail_ =
+                    d.arena_tail.load(std::memory_order_acquire);
+            }
+            if (tx_head_ - cached_tx_tail_ < capacity_ &&
+                arena_head_ + need - cached_arena_tail_ <= arena_bytes_) {
+                arena_head_ += skip;
+                pos_out = static_cast<std::size_t>(arena_head_ % arena_bytes_);
+                return true;
+            }
+            if (!wait_tx_space_locked(cached_tx_tail_, cached_arena_tail_)) {
+                return false;
+            }
+        }
+    }
+
+    /// One bounded wait for the consumer to free space. Aborts (false)
+    /// when the shm path goes down — an inbound bye is completed here so
+    /// the blocked sender cannot deadlock the recv thread on send_mu_.
+    bool wait_tx_space_locked(std::uint32_t seen_tail,
+                              std::uint64_t seen_arena_tail) {
+        if (bye_pending_.load(std::memory_order_acquire)) {
+            complete_peer_bye_locked();
+            return false;
+        }
+        if (!tx_up_.load(std::memory_order_relaxed)) return false;
+        if (!peer_alive()) {
+            note_peer_dead_locked();
+            return false;
+        }
+        SegDir& d = tx_dir();
+        d.space_waiters.store(1, std::memory_order_seq_cst);
+        const std::uint32_t seq = d.space_seq.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const bool progressed =
+            d.tail.load(std::memory_order_acquire) != seen_tail ||
+            d.arena_tail.load(std::memory_order_acquire) != seen_arena_tail ||
+            bye_pending_.load(std::memory_order_acquire) ||
+            !tx_up_.load(std::memory_order_relaxed);
+        if (!progressed) {
+            futex_wait_us(d.space_seq, seq, opts_.wait_cycle_us);
+            futex_waits_.fetch_add(1, std::memory_order_relaxed);
+        }
+        d.space_waiters.store(0, std::memory_order_release);
+        if (bye_pending_.load(std::memory_order_acquire)) {
+            complete_peer_bye_locked();
+            return false;
+        }
+        return tx_up_.load(std::memory_order_relaxed);
+    }
+
+    /// Non-blocking pop of our inbound ring. Exactly one of: frame;
+    /// closed (ring down AND drained); idle.
+    RingRecv try_pop() {
+        std::lock_guard lk(recv_mu_);
+        if (rx_frozen_.load(std::memory_order_acquire) ||
+            closed_.load(std::memory_order_acquire)) {
+            return RingRecv::ended();
+        }
+        SegDir& d = rx_dir();
+        const std::uint32_t head = d.head.load(std::memory_order_acquire);
+        if (head == rx_tail_) {
+            const bool done = rx_peer_done_.load(std::memory_order_acquire) ||
+                              d.closed.load(std::memory_order_acquire) != 0 ||
+                              peer_dead_.load(std::memory_order_acquire);
+            return done ? RingRecv::ended() : RingRecv{};
+        }
+        const SegSlot slot = rx_slots_[rx_tail_ & mask_];
+        // Mirror the producer's wrap skip: a slot that does not start at
+        // our retire position means the producer jumped to the boundary.
+        if (rx_arena_tail_ % arena_bytes_ != slot.offset) {
+            rx_arena_tail_ += arena_bytes_ - (rx_arena_tail_ % arena_bytes_);
+        }
+        FrameBuffer buf = pool().acquire(slot.len);
+        std::memcpy(buf.data(), rx_arena_ + slot.offset, slot.len);
+        rx_arena_tail_ += align8(slot.len);
+        d.arena_tail.store(rx_arena_tail_, std::memory_order_release);
+        ++rx_tail_;
+        rx_tail_hint_ = rx_tail_;
+        d.tail.store(rx_tail_, std::memory_order_release);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (d.space_waiters.exchange(0, std::memory_order_seq_cst) != 0) {
+            d.space_seq.fetch_add(1, std::memory_order_release);
+            futex_wake_all(d.space_seq);
+            wakeups_.fetch_add(1, std::memory_order_relaxed);
+            obs::FlightRecorder::emit(obs::EventType::kShmWakeup, slot.len, 1);
+        }
+        shm_recv_.fetch_add(1, std::memory_order_relaxed);
+        obs::FlightRecorder::emit(obs::EventType::kFrameRecv, slot.len, 0);
+        return RingRecv{.frame = std::move(buf)};
+    }
+
+    /// Read one TCP frame (blocking) and classify: shm control is handled
+    /// here, data frames are delivered to the caller.
+    RingRecv pump_tcp() {
+        std::optional<FrameBuffer> f;
+        try {
+            f = tcp_->recv_frame();
+        } catch (const TransportError&) {
+            f.reset();
+        }
+        if (!f.has_value()) {
+            tcp_up_.store(false, std::memory_order_release);
+            // Peer's graceful close: its ring-closed flag (or death) ends
+            // the segment side; retry lets the ring report it.
+            return RingRecv{};
+        }
+        if (is_control_bye(*f)) {
+            handle_peer_bye();
+            return RingRecv{};
+        }
+        tcp_recv_.fetch_add(1, std::memory_order_relaxed);
+        return RingRecv{.frame = std::move(*f)};
+    }
+
+    static bool is_control_bye(const FrameBuffer& f) noexcept {
+        try {
+            if (f.size() < cdr::GiopHeader::kSize) return false;
+            const cdr::GiopHeader h = cdr::decode_header(f.data(), f.size());
+            if (h.msg_type != cdr::GiopMsgType::kRequest) return false;
+            const cdr::DecodedRequestView v =
+                cdr::decode_request_view(f.data(), f.size());
+            return v.header.object_key == kControlKey &&
+                   v.header.operation == "bye";
+        } catch (...) {
+            return false;
+        }
+    }
+
+    /// Inbound bye (recv thread). Flag it, wake any sender blocked inside
+    /// a space wait (it completes the bye itself — see
+    /// wait_tx_space_locked), then complete under send_mu_.
+    void handle_peer_bye() {
+        bye_pending_.store(true, std::memory_order_release);
+        SegDir& d = tx_dir();
+        d.space_seq.fetch_add(1, std::memory_order_release);
+        futex_wake_all(d.space_seq);
+        std::lock_guard lk(send_mu_);
+        complete_peer_bye_locked();
+    }
+
+    /// The peer froze its rx tail and switched to TCP. Replay exactly our
+    /// unconsumed [tail, head) outbound frames over TCP — ahead of any
+    /// newer sends, which serialize behind send_mu_ — then treat the
+    /// peer's production side as finished.
+    void complete_peer_bye_locked() {
+        if (!bye_pending_.exchange(false, std::memory_order_acq_rel)) return;
+        tx_up_.store(false, std::memory_order_release);
+        SegDir& d = tx_dir();
+        std::uint32_t t = d.tail.load(std::memory_order_acquire);
+        std::uint64_t at = d.arena_tail.load(std::memory_order_acquire);
+        while (t != tx_head_) {
+            const SegSlot slot = tx_slots_[t & mask_];
+            if (at % arena_bytes_ != slot.offset) {
+                at += arena_bytes_ - (at % arena_bytes_);
+            }
+            at += align8(slot.len);
+            ++t;
+            if (!tcp_up_.load(std::memory_order_relaxed)) {
+                dropped_.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            FrameBuffer f = pool().acquire(slot.len);
+            std::memcpy(f.data(), tx_arena_ + slot.offset, slot.len);
+            try {
+                tcp_->send_frame(std::move(f));
+                resent_.fetch_add(1, std::memory_order_relaxed);
+            } catch (const TransportError&) {
+                tcp_up_.store(false, std::memory_order_release);
+                dropped_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        rx_peer_done_.store(true, std::memory_order_release);
+        wake_local_waiters();
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        obs::FlightRecorder::emit(obs::EventType::kShmFailover, 0, 0);
+    }
+
+    void abandon_locked(const char* reason) {
+        if (bye_sent_.exchange(true, std::memory_order_acq_rel)) return;
+        (void)reason;
+        tx_up_.store(false, std::memory_order_release);
+        {
+            std::lock_guard rlk(recv_mu_);
+            rx_frozen_.store(true, std::memory_order_release);
+        }
+        wake_local_waiters();
+        if (tcp_up_.load(std::memory_order_relaxed)) {
+            try {
+                send_control_locked("bye");
+            } catch (const TransportError&) {
+                tcp_up_.store(false, std::memory_order_release);
+            }
+        }
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        obs::FlightRecorder::emit(obs::EventType::kShmFailover, 1, 0);
+    }
+
+    void note_peer_dead() {
+        std::lock_guard lk(send_mu_);
+        note_peer_dead_locked();
+    }
+
+    /// Peer died without a bye. Our unconsumed outbound frames are moot
+    /// (their consumer is gone — counted, not resent); the peer's already
+    /// published inbound frames stay deliverable until the ring drains.
+    void note_peer_dead_locked() {
+        if (peer_dead_.exchange(true, std::memory_order_acq_rel)) return;
+        tx_up_.store(false, std::memory_order_release);
+        const SegDir& d = seg_->header().dir[side_];
+        dropped_.fetch_add(tx_head_ - d.tail.load(std::memory_order_acquire),
+                           std::memory_order_relaxed);
+        rx_peer_done_.store(true, std::memory_order_release);
+        wake_local_waiters();
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        obs::FlightRecorder::emit(obs::EventType::kShmFailover, 2, 0);
+    }
+
+    bool peer_alive() noexcept {
+        const SegHeader& h = seg_->header();
+        const int peer = 1 - side_;
+        if (h.attached[peer].load(std::memory_order_acquire) == 0) {
+            // Graceful detach (or not yet attached): not death. The ring
+            // closed flag / TCP EOF covers the graceful path.
+            return true;
+        }
+        return pid_alive(static_cast<pid_t>(
+            h.pid[peer].load(std::memory_order_acquire)));
+    }
+
+    /// Wake our own receiver (sleeping on the peer's data futex) and our
+    /// own senders (sleeping on our space futex) so they re-check state.
+    void wake_local_waiters() {
+        SegDir& rd = rx_dir();
+        rd.data_seq.fetch_add(1, std::memory_order_release);
+        futex_wake_all(rd.data_seq);
+        SegDir& td = tx_dir();
+        td.space_seq.fetch_add(1, std::memory_order_release);
+        futex_wake_all(td.space_seq);
+    }
+
+    void send_control_locked(const char* op) {
+        cdr::RequestHeader req;
+        req.request_id = 0;
+        req.response_expected = false;
+        req.object_key = kControlKey;
+        req.operation = op;
+        tcp_->send_frame(cdr::encode_request(req, nullptr, 0));
+    }
+
+    std::shared_ptr<ShmSegment> seg_;
+    std::unique_ptr<Transport> tcp_;
+    const ShmOptions opts_;
+    const int side_;
+    std::uint32_t capacity_ = 0;
+    std::uint32_t mask_ = 0;
+    std::uint64_t arena_bytes_ = 0;
+    std::size_t max_frame_ = 0;
+    SegSlot* tx_slots_ = nullptr;
+    SegSlot* rx_slots_ = nullptr;
+    std::uint8_t* tx_arena_ = nullptr;
+    std::uint8_t* rx_arena_ = nullptr;
+    int tcp_fd_ = -1;
+
+    std::mutex send_mu_; ///< producer serialization + failover atomicity
+    std::mutex recv_mu_; ///< pop vs rx-freeze (never held across a wait)
+
+    // Producer-local mirrors (under send_mu_). Cached consumer positions
+    // avoid re-reading the shared line until the ring looks full.
+    std::uint32_t tx_head_ = 0;
+    std::uint32_t cached_tx_tail_ = 0;
+    std::uint64_t arena_head_ = 0;
+    std::uint64_t cached_arena_tail_ = 0;
+
+    // Consumer-local (under recv_mu_; the hint is read lock-free by the
+    // single recv thread's spin loop).
+    std::uint32_t rx_tail_ = 0;
+    std::uint32_t rx_tail_hint_ = 0;
+    std::uint64_t rx_arena_tail_ = 0;
+    std::uint64_t liveness_tick_ = 0;
+
+    std::atomic<bool> tx_up_{true};
+    std::atomic<bool> rx_frozen_{false};
+    std::atomic<bool> rx_peer_done_{false};
+    std::atomic<bool> bye_pending_{false};
+    std::atomic<bool> bye_sent_{false};
+    std::atomic<bool> peer_dead_{false};
+    std::atomic<bool> closed_{false};
+    std::atomic<bool> close_done_{false};
+    std::atomic<bool> tcp_up_{true};
+
+    std::atomic<std::uint64_t> shm_sent_{0};
+    std::atomic<std::uint64_t> shm_recv_{0};
+    std::atomic<std::uint64_t> tcp_sent_{0};
+    std::atomic<std::uint64_t> tcp_recv_{0};
+    std::atomic<std::uint64_t> wakeups_{0};
+    std::atomic<std::uint64_t> futex_waits_{0};
+    std::atomic<std::uint64_t> spins_{0};
+    std::atomic<std::uint64_t> failovers_{0};
+    std::atomic<std::uint64_t> resent_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+// ---- ShmRingPair ----------------------------------------------------------
+
+bool ShmRingPair::send(FrameBuffer& frame) { return session->ring_send(frame); }
+RingRecv ShmRingPair::recv() { return session->ring_recv(); }
+void ShmRingPair::close() { session->close_all(); }
+std::size_t ShmRingPair::tx_depth() const { return session->tx_depth(); }
+std::size_t ShmRingPair::rx_depth() const { return session->rx_depth(); }
+
+// ---- ShmTransport ---------------------------------------------------------
+
+ShmTransport::ShmTransport(std::shared_ptr<ShmSession> session,
+                           std::string label)
+    : RingPairTransport(ShmRingPair{std::move(session)}, std::move(label)) {}
+
+ShmTransport::~ShmTransport() { close(); }
+
+ShmCounters ShmTransport::counters() const { return rings_.session->counters(); }
+bool ShmTransport::shm_active() const { return rings_.session->shm_active(); }
+const std::string& ShmTransport::segment_name() const {
+    return rings_.session->segment_name();
+}
+std::uint64_t ShmTransport::generation() const {
+    return rings_.session->generation();
+}
+void ShmTransport::abandon_shm(const char* reason) {
+    rings_.session->abandon(reason);
+}
+FrameBufferPool& ShmTransport::frame_pool() noexcept {
+    return rings_.session->pool();
+}
+void ShmTransport::on_send_down(FrameBuffer&& frame) {
+    rings_.session->fallback_send(std::move(frame));
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+RingRecv ShmTransport::on_ring_closed() {
+    return rings_.session->tcp_recv_blocking();
+}
+RingRecv ShmTransport::on_recv_idle() { return rings_.session->idle_poll(); }
+void ShmTransport::on_close() {}
+
+// ---- handshake ------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kHelloRequestId = 1;
+
+std::vector<std::uint8_t> encode_hello(const std::string& segment_name,
+                                       std::uint64_t generation) {
+    cdr::OutputStream payload;
+    payload.write_string(segment_name);
+    payload.write_ulonglong(generation);
+    payload.write_ulong(shm_detail::kVersion);
+    cdr::RequestHeader req;
+    req.request_id = kHelloRequestId;
+    req.response_expected = true;
+    req.object_key = kControlKey;
+    req.operation = "hello";
+    const std::vector<std::uint8_t> body = payload.take_buffer();
+    return cdr::encode_request(req, body.data(), body.size());
+}
+
+std::vector<std::uint8_t> encode_hello_reply(bool ok,
+                                             const std::string& detail) {
+    cdr::OutputStream payload;
+    payload.write_ulong(ok ? 1 : 0);
+    payload.write_string(detail);
+    cdr::ReplyHeader rep;
+    rep.request_id = kHelloRequestId;
+    rep.status = cdr::ReplyStatus::kNoException;
+    const std::vector<std::uint8_t> body = payload.take_buffer();
+    return cdr::encode_reply(rep, body.data(), body.size());
+}
+
+/// Plain transport wrapper that yields one already-read frame before
+/// delegating — used when a ShmAcceptor's first inbound frame turns out
+/// not to be a hello (a protocol-unaware client), so nothing is lost.
+class StashedFrameTransport final : public Transport {
+public:
+    StashedFrameTransport(std::unique_ptr<Transport> inner, FrameBuffer first)
+        : inner_(std::move(inner)), stash_(std::move(first)), have_(true) {}
+
+    void send_frame(FrameBuffer frame) override {
+        inner_->send_frame(std::move(frame));
+    }
+    std::optional<FrameBuffer> recv_frame() override {
+        if (have_) {
+            have_ = false;
+            return std::move(stash_);
+        }
+        return inner_->recv_frame();
+    }
+    void close() override { inner_->close(); }
+    std::string peer_description() const override {
+        return inner_->peer_description();
+    }
+    TransportStats stats() const override { return inner_->stats(); }
+    void prepare_close() override { inner_->prepare_close(); }
+    FrameBufferPool& frame_pool() noexcept override {
+        return inner_->frame_pool();
+    }
+
+private:
+    std::unique_ptr<Transport> inner_;
+    FrameBuffer stash_;
+    bool have_;
+};
+
+} // namespace
+
+ShmConnectResult shm_upgrade_connect(const std::string& host,
+                                     std::uint16_t port,
+                                     const ShmOptions& shm_options,
+                                     const TcpOptions& tcp_options) {
+    sweep_once_at_startup();
+    std::unique_ptr<Transport> tcp = tcp_connect(host, port, tcp_options);
+
+    std::shared_ptr<ShmSegment> seg;
+    std::string create_fail;
+    try {
+        seg = ShmSegment::create(shm_options);
+    } catch (const TransportError& e) {
+        create_fail = e.what();
+    }
+
+    tcp->send_frame(encode_hello(seg ? seg->name() : std::string(),
+                                 seg ? seg->generation() : 0));
+    std::optional<FrameBuffer> reply = tcp->recv_frame();
+    if (!reply.has_value()) {
+        throw TransportError("shm handshake: peer closed before replying");
+    }
+    bool ok = false;
+    std::string detail;
+    try {
+        const cdr::DecodedReply rep =
+            cdr::decode_reply(reply->data(), reply->size());
+        cdr::InputStream in(rep.payload, rep.payload_len,
+                            cdr::decode_header(reply->data(), reply->size())
+                                .byte_order);
+        ok = in.read_ulong() != 0;
+        detail = in.read_string();
+    } catch (const std::exception& e) {
+        throw TransportError(std::string("shm handshake: malformed reply: ") +
+                             e.what());
+    }
+
+    if (ok && seg) {
+        const std::string name = seg->name();
+        auto session = std::make_shared<ShmSession>(seg, std::move(tcp),
+                                                    shm_options);
+        return ShmConnectResult{
+            std::make_unique<ShmTransport>(std::move(session),
+                                           "shm-client:" + name),
+            true, "segment " + name};
+    }
+    seg.reset(); // creator dtor unlinks the unused segment
+    if (!create_fail.empty() && detail.empty()) detail = create_fail;
+    return ShmConnectResult{std::move(tcp), false, detail};
+}
+
+ShmAcceptor::ShmAcceptor(std::uint16_t port, const ShmOptions& shm_options,
+                         const TcpOptions& tcp_options)
+    : tcp_(port, tcp_options), shm_options_(shm_options) {
+    sweep_once_at_startup();
+}
+
+ShmConnectResult ShmAcceptor::accept() {
+    std::unique_ptr<Transport> tcp = tcp_.accept();
+    if (!tcp) return ShmConnectResult{nullptr, false, "acceptor closed"};
+
+    std::optional<FrameBuffer> first;
+    try {
+        first = tcp->recv_frame();
+    } catch (const TransportError& e) {
+        return ShmConnectResult{nullptr, false,
+                                std::string("handshake read failed: ") +
+                                    e.what()};
+    }
+    if (!first.has_value()) {
+        return ShmConnectResult{nullptr, false,
+                                "peer closed during handshake"};
+    }
+
+    std::string seg_name;
+    std::uint64_t generation = 0;
+    std::uint32_t version = 0;
+    bool is_hello = false;
+    try {
+        const cdr::GiopHeader gh =
+            cdr::decode_header(first->data(), first->size());
+        if (gh.msg_type == cdr::GiopMsgType::kRequest) {
+            const cdr::DecodedRequestView v =
+                cdr::decode_request_view(first->data(), first->size());
+            if (v.header.object_key == kControlKey &&
+                v.header.operation == "hello") {
+                is_hello = true;
+                cdr::InputStream in(v.payload, v.payload_len, v.byte_order);
+                seg_name = in.read_string();
+                generation = in.read_ulonglong();
+                version = in.read_ulong();
+            }
+        }
+    } catch (...) {
+        is_hello = false;
+    }
+    if (!is_hello) {
+        // Protocol-unaware client: hand back plain TCP with the frame
+        // re-queued so nothing is lost.
+        return ShmConnectResult{std::make_unique<StashedFrameTransport>(
+                                    std::move(tcp), std::move(*first)),
+                                false, "peer sent no shm hello"};
+    }
+
+    std::string nack;
+    std::shared_ptr<ShmSegment> seg;
+    if (seg_name.empty()) {
+        nack = "client could not create a segment";
+    } else if (version != shm_detail::kVersion) {
+        nack = "version mismatch: hello v" + std::to_string(version) +
+               ", expected v" + std::to_string(shm_detail::kVersion);
+    } else {
+        try {
+            seg = ShmSegment::attach(seg_name, generation);
+        } catch (const TransportError& e) {
+            nack = e.what();
+        }
+    }
+
+    try {
+        tcp->send_frame(encode_hello_reply(seg != nullptr, nack));
+    } catch (const TransportError& e) {
+        return ShmConnectResult{nullptr, false,
+                                std::string("handshake reply failed: ") +
+                                    e.what()};
+    }
+    if (!seg) return ShmConnectResult{std::move(tcp), false, nack};
+
+    ShmOptions opts = shm_options_;
+    // Geometry lives in the segment header; only the local knobs (spin
+    // budget, wait cadence, pool) come from the acceptor's options.
+    const std::string name = seg->name();
+    auto session = std::make_shared<ShmSession>(seg, std::move(tcp), opts);
+    return ShmConnectResult{
+        std::make_unique<ShmTransport>(std::move(session),
+                                       "shm-server:" + name),
+        true, "segment " + name};
+}
+
+// ---- orphan sweep ---------------------------------------------------------
+
+std::size_t sweep_orphan_segments() noexcept {
+    std::size_t removed = 0;
+    DIR* dir = opendir("/dev/shm");
+    if (dir == nullptr) return 0;
+    constexpr const char* kPrefix = "compadres."; // kNamePrefix sans '/'
+    const std::size_t prefix_len = std::strlen(kPrefix);
+    while (dirent* e = readdir(dir)) {
+        if (std::strncmp(e->d_name, kPrefix, prefix_len) != 0) continue;
+        // The name embeds the creator pid; a live creator means a segment
+        // mid-handshake whose header may not be written yet — never sweep
+        // those out from under it.
+        const long name_pid = std::strtol(e->d_name + prefix_len, nullptr, 10);
+        if (pid_alive(static_cast<pid_t>(name_pid))) continue;
+
+        const std::string shm_name = std::string("/") + e->d_name;
+        int fd = shm_open(shm_name.c_str(), O_RDONLY, 0);
+        if (fd < 0) continue;
+        bool drop = false;
+        struct stat st{};
+        if (fstat(fd, &st) != 0 ||
+            static_cast<std::size_t>(st.st_size) < sizeof(SegHeader)) {
+            drop = true;
+        } else {
+            void* p = mmap(nullptr, sizeof(SegHeader), PROT_READ, MAP_SHARED,
+                           fd, 0);
+            if (p != MAP_FAILED) {
+                const auto* h = static_cast<const SegHeader*>(p);
+                if (std::memcmp(h->magic, shm_detail::kMagic,
+                                sizeof h->magic) != 0) {
+                    drop = true;
+                } else {
+                    bool alive = false;
+                    for (int s = 0; s < 2; ++s) {
+                        if (h->attached[s].load(std::memory_order_acquire) !=
+                                0 &&
+                            pid_alive(static_cast<pid_t>(h->pid[s].load(
+                                std::memory_order_acquire)))) {
+                            alive = true;
+                        }
+                    }
+                    drop = !alive;
+                }
+                munmap(p, sizeof(SegHeader));
+            }
+        }
+        ::close(fd);
+        if (drop && shm_unlink(shm_name.c_str()) == 0) ++removed;
+    }
+    closedir(dir);
+    return removed;
+}
+
+} // namespace compadres::net

@@ -323,6 +323,8 @@ const char* event_name(EventType type) noexcept {
     case EventType::kRecomposeBegin: return "recompose-begin";
     case EventType::kRecomposeApply: return "recompose-apply";
     case EventType::kRecomposeAbort: return "recompose-abort";
+    case EventType::kShmWakeup: return "shm-wakeup";
+    case EventType::kShmFailover: return "shm-failover";
     }
     return "unknown";
 }

@@ -58,6 +58,8 @@ enum class EventType : std::uint16_t {
     kRecomposeBegin = 14, ///< a = plan operation count
     kRecomposeApply = 15, ///< a = quiesce->resume pause ns, b = route index
     kRecomposeAbort = 16, ///< a = operations applied before the failure
+    kShmWakeup = 17,      ///< a = frame bytes, b = 0 data-wake / 1 space-wake
+    kShmFailover = 18,    ///< a = 0 peer-bye / 1 local-abandon / 2 peer-death
 };
 
 /// Stable short name ("hop-enqueue", "span-send", ...) for decoders.

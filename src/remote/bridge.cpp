@@ -2,6 +2,7 @@
 
 #include "cdr/giop.hpp"
 #include "net/lane_group.hpp"
+#include "net/shm_transport.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace_context.hpp"
 
@@ -204,6 +205,28 @@ RemoteBridge::RemoteBridge(core::Application& app,
                 g.counters.emplace_back(p + "intake_depth_hwm",
                                         ls.intake_depth_hwm);
             }
+        }
+        // Shared-memory wires: ring depth, wakeup/spin discipline, and the
+        // failover path. shm_active flips to 0 when the wire degrades to
+        // its TCP fallback (peer death, oversize frame, forced abandon).
+        if (auto* shm = dynamic_cast<net::ShmTransport*>(wire_.get())) {
+            const net::ShmCounters c = shm->counters();
+            g.counters.emplace_back("shm_active", shm->shm_active() ? 1 : 0);
+            g.counters.emplace_back("shm_frames_sent", c.shm_frames_sent);
+            g.counters.emplace_back("shm_frames_received",
+                                    c.shm_frames_received);
+            g.counters.emplace_back("shm_tcp_frames_sent", c.tcp_frames_sent);
+            g.counters.emplace_back("shm_tcp_frames_received",
+                                    c.tcp_frames_received);
+            g.counters.emplace_back("shm_tx_depth", c.tx_depth);
+            g.counters.emplace_back("shm_rx_depth", c.rx_depth);
+            g.counters.emplace_back("shm_wakeups", c.wakeups);
+            g.counters.emplace_back("shm_futex_waits", c.futex_waits);
+            g.counters.emplace_back("shm_spins", c.spins);
+            g.counters.emplace_back("shm_failovers", c.failovers);
+            g.counters.emplace_back("shm_resent_frames", c.resent_frames);
+            g.counters.emplace_back("shm_dropped_on_failover",
+                                    c.dropped_on_failover);
         }
         if (reactor_ != nullptr) {
             g.counters.emplace_back("reactor_register_failures",

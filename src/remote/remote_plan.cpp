@@ -1,5 +1,7 @@
 #include "remote/remote_plan.hpp"
 
+#include "net/tcp.hpp"
+
 namespace compadres::remote {
 
 void apply_remote_plan(const compiler::AssemblyPlan& plan,
@@ -45,6 +47,33 @@ void apply_remote_plan(const compiler::AssemblyPlan& plan,
         }
         bridge.import_route(r.route, *in);
     }
+}
+
+PlannedWire connect_planned_wire(const compiler::PlannedRemote& remote,
+                                 std::uint16_t port,
+                                 const net::ShmOptions& shm_options,
+                                 const net::LaneGroupOptions& lane_options) {
+    PlannedWire wire;
+    if (remote.transport == compiler::RemoteTransport::kShm) {
+        // The handshake keeps the TCP connection either way: as the shm
+        // control channel on success, as the data path on fallback.
+        net::ShmConnectResult r = net::shm_upgrade_connect(
+            remote.host, port, shm_options, lane_options.tcp);
+        wire.transport = std::move(r.transport);
+        wire.shm = r.shm;
+        wire.detail = std::move(r.detail);
+        return wire;
+    }
+    if (remote.bands > 1) {
+        net::LaneGroupOptions opts = lane_options;
+        opts.bands = remote.bands;
+        wire.transport = net::lane_connect(remote.host, port, opts);
+        wire.detail = "lane group, " + std::to_string(remote.bands) + " bands";
+        return wire;
+    }
+    wire.transport = net::tcp_connect(remote.host, port, lane_options.tcp);
+    wire.detail = "plain tcp";
+    return wire;
 }
 
 } // namespace compadres::remote

@@ -14,9 +14,29 @@
 #pragma once
 
 #include "compiler/validator.hpp"
+#include "net/lane_group.hpp"
+#include "net/shm_transport.hpp"
 #include "remote/bridge.hpp"
 
 namespace compadres::remote {
+
+/// Wire dialed for a PlannedRemote: the transport plus whether the shm
+/// upgrade actually stuck (false + detail = degraded to TCP).
+struct PlannedWire {
+    std::unique_ptr<net::Transport> transport;
+    bool shm = false;
+    std::string detail;
+};
+
+/// Dial the wire `remote` declares: <Transport>shm runs the segment
+/// handshake (falling back to the same TCP connection when the peer
+/// cannot share memory), multi-band tcp opens a LaneGroup, single-band
+/// tcp a plain connection. The CCL's <Host> picks the endpoint. Throws
+/// TransportError when TCP itself cannot connect.
+PlannedWire connect_planned_wire(
+    const compiler::PlannedRemote& remote, std::uint16_t port,
+    const net::ShmOptions& shm_options = {},
+    const net::LaneGroupOptions& lane_options = {});
 
 /// Find `remote_name` in the plan and wire its routes into `bridge`
 /// (exports with their planned bands, imports at frame-carried priority).

@@ -289,6 +289,67 @@ TEST(CclRemote, BandsDefaultsToTwoAndReactorBandsToFour) {
     EXPECT_EQ(model.rtsj.reactor_bands, 4u);
 }
 
+TEST(CclRemote, ParsesTransportAndHost) {
+    const auto model = compiler::parse_ccl_string(
+        "<Application><ApplicationName>A</ApplicationName>"
+        "<Component><InstanceName>I</InstanceName>"
+        "<ClassName>C</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component>"
+        "<Remote><RemoteName>R</RemoteName>"
+        "<Transport>shm</Transport><Host>localhost</Host>"
+        "<Export><Component>I</Component><Port>p</Port>"
+        "<Route>r</Route></Export></Remote></Application>");
+    ASSERT_EQ(model.remotes.size(), 1u);
+    const compiler::CclRemote& r = model.remotes[0];
+    EXPECT_EQ(r.transport, compiler::RemoteTransport::kShm);
+    EXPECT_EQ(r.host, "localhost");
+    // shm carries a single lane; an undeclared <Bands> collapses to 1
+    // instead of the TCP default of 2.
+    EXPECT_FALSE(r.bands_declared);
+    EXPECT_EQ(r.bands, 1u);
+}
+
+TEST(CclRemote, TransportDefaultsToTcpAndLoopbackHost) {
+    const auto model = compiler::parse_ccl_string(
+        "<Application><ApplicationName>A</ApplicationName>"
+        "<Component><InstanceName>I</InstanceName>"
+        "<ClassName>C</ClassName>"
+        "<ComponentType>Immortal</ComponentType></Component>"
+        "<Remote><RemoteName>R</RemoteName>"
+        "<Export><Component>I</Component><Port>p</Port>"
+        "<Route>r</Route></Export></Remote></Application>");
+    EXPECT_EQ(model.remotes[0].transport, compiler::RemoteTransport::kTcp);
+    EXPECT_EQ(model.remotes[0].host, "127.0.0.1");
+}
+
+TEST(CclRemoteErrors, UnknownTransportRejected) {
+    try {
+        compiler::parse_ccl_string(
+            "<Application><ApplicationName>A</ApplicationName>"
+            "<Component><InstanceName>I</InstanceName>"
+            "<ClassName>C</ClassName>"
+            "<ComponentType>Immortal</ComponentType></Component>"
+            "<Remote><RemoteName>R</RemoteName>"
+            "<Transport>rdma</Transport>"
+            "<Export><Component>I</Component><Port>p</Port>"
+            "<Route>r</Route></Export></Remote></Application>");
+        FAIL() << "unknown transport should throw";
+    } catch (const CclError& e) {
+        EXPECT_NE(std::string(e.what()).find("'tcp' or 'shm'"),
+                  std::string::npos);
+    }
+}
+
+TEST(CclRemoteErrors, EmptyHostRejected) {
+    EXPECT_THROW(compiler::parse_ccl_string(
+                     "<Application><ApplicationName>A</ApplicationName>"
+                     "<Remote><RemoteName>R</RemoteName>"
+                     "<Host></Host>"
+                     "<Export><Component>I</Component><Port>p</Port>"
+                     "<Route>r</Route></Export></Remote></Application>"),
+                 CclError);
+}
+
 TEST(CclRemoteErrors, MissingRemoteName) {
     EXPECT_THROW(compiler::parse_ccl_string(
                      "<Application><ApplicationName>A</ApplicationName>"

@@ -291,6 +291,46 @@ TEST(DiffPlans, RemotePolicyChangeBecomesRemoteRepolicy) {
     EXPECT_THROW(diff_plans(from, wider), ValidationError);
 }
 
+TEST(DiffPlans, RemoteTransportAndHostAreFrozen) {
+    const char* shape = R"(
+<Application>
+ <ApplicationName>LiveApp</ApplicationName>
+ <Component>
+  <InstanceName>src</InstanceName><ClassName>Src</ClassName>
+  <ComponentType>Immortal</ComponentType>
+ </Component>
+ <Remote>
+  <RemoteName>peer</RemoteName>%s
+  <Export><Component>src</Component><Port>out</Port><Route>telemetry</Route></Export>
+ </Remote>
+</Application>)";
+    auto remote_plan = [&](const char* knobs) {
+        char buf[1024];
+        std::snprintf(buf, sizeof buf, shape, knobs);
+        return validate_and_plan(parse_cdl_string(kCdl),
+                                 parse_ccl_string(buf));
+    };
+    const AssemblyPlan tcp = remote_plan("");
+    const AssemblyPlan shm = remote_plan("\n  <Transport>shm</Transport>");
+    const AssemblyPlan moved = remote_plan("\n  <Host>localhost</Host>");
+    try {
+        diff_plans(tcp, shm);
+        FAIL() << "transport change should be rejected";
+    } catch (const ValidationError& e) {
+        EXPECT_NE(std::string(e.what()).find("<Transport> changes"),
+                  std::string::npos);
+    }
+    try {
+        diff_plans(tcp, moved);
+        FAIL() << "host change should be rejected";
+    } catch (const ValidationError& e) {
+        EXPECT_NE(std::string(e.what()).find("<Host> changes"),
+                  std::string::npos);
+    }
+    // Same transport and host diff clean.
+    EXPECT_NO_THROW(diff_plans(shm, remote_plan("<Transport>shm</Transport>")));
+}
+
 TEST(CompadrescDiff, ExitCodesMatchTheContract) {
     TempDir dir;
     const std::string cdl = write_file(dir, "app.cdl.xml", kCdl);

@@ -91,6 +91,7 @@ bool models_equal(const CclModel& a, const CclModel& b) {
         const CclRemote& r = a.remotes[i];
         const CclRemote& s = b.remotes[i];
         if (r.name != s.name || r.bands != s.bands ||
+            r.transport != s.transport || r.host != s.host ||
             !routes_equal(r.exports, s.exports) ||
             !routes_equal(r.imports, s.imports)) {
             return false;
@@ -183,6 +184,32 @@ TEST(Emit, CclRoundTripsRemoteAndReactorBands) {
     model.remotes.push_back(remote);
 
     const std::string xml_text = emit_ccl(model);
+    const CclModel reparsed = parse_ccl_string(xml_text);
+    EXPECT_TRUE(models_equal(model, reparsed)) << xml_text;
+}
+
+TEST(Emit, CclRoundTripsShmTransportAndHost) {
+    CclModel model;
+    model.application_name = "CoLocated";
+
+    CclComponent hub;
+    hub.instance_name = "H";
+    hub.class_name = "Hub";
+    hub.type = core::ComponentType::kImmortal;
+    model.components.push_back(hub);
+
+    CclRemote remote;
+    remote.name = "peer";
+    remote.transport = RemoteTransport::kShm;
+    remote.host = "localhost";
+    remote.bands = 1;
+    remote.bands_declared = true; // emit always writes <Bands>
+    remote.exports.push_back({"H", "cmdOut", "cmd-route", {}, 0});
+    model.remotes.push_back(remote);
+
+    const std::string xml_text = emit_ccl(model);
+    EXPECT_NE(xml_text.find("<Transport>shm</Transport>"), std::string::npos);
+    EXPECT_NE(xml_text.find("<Host>localhost</Host>"), std::string::npos);
     const CclModel reparsed = parse_ccl_string(xml_text);
     EXPECT_TRUE(models_equal(model, reparsed)) << xml_text;
 }

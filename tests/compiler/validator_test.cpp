@@ -465,6 +465,52 @@ TEST(ValidatorRemote, BandsWithinRaisedReactorBandsAccepted) {
     EXPECT_EQ(plan.rtsj.reactor_bands, 6u);
 }
 
+TEST(ValidatorRemote, ShmRemotePlannedWithTransportAndHost) {
+    const auto plan = plan_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName>"
+        "<Transport>shm</Transport><Host>localhost</Host>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    ASSERT_EQ(plan.remotes.size(), 1u);
+    EXPECT_EQ(plan.remotes[0].transport, compiler::RemoteTransport::kShm);
+    EXPECT_EQ(plan.remotes[0].host, "localhost");
+    EXPECT_EQ(plan.remotes[0].bands, 1u);
+}
+
+TEST(ValidatorRemote, ShmWithMultipleBandsReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
+        "<Transport>shm</Transport>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    EXPECT_TRUE(any_issue_contains(issues, "carries a single lane"));
+}
+
+TEST(ValidatorRemote, ShmAcrossHostsReported) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName>"
+        "<Transport>shm</Transport><Host>10.0.0.7</Host>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    EXPECT_TRUE(
+        any_issue_contains(issues, "shared memory cannot cross hosts"));
+}
+
+TEST(ValidatorRemote, TcpRemoteMayNameAnyHost) {
+    const auto plan = plan_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName>"
+        "<Host>10.0.0.7</Host>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    ASSERT_EQ(plan.remotes.size(), 1u);
+    EXPECT_EQ(plan.remotes[0].transport, compiler::RemoteTransport::kTcp);
+    EXPECT_EQ(plan.remotes[0].host, "10.0.0.7");
+}
+
 TEST(ValidatorRemote, BandsBeyondWireFormatReported) {
     const auto issues = issues_of(
         hub_with("") +

@@ -1,0 +1,466 @@
+// ShmTransport: segment lifecycle, the compadres.shm handshake with its
+// fallback ladder, ring backpressure, and the zero-loss failover seam.
+#include "cdr/giop.hpp"
+#include "net/shm_transport.hpp"
+#include "net/tcp.hpp"
+#include "remote/remote_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace compadres;
+
+// fork-based tests (peer kill, orphan reclaim) are meaningless under the
+// sanitizer runtimes, which do not survive fork+threads.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define COMPADRES_UNDER_SANITIZER 1
+#endif
+#if !defined(COMPADRES_UNDER_SANITIZER) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define COMPADRES_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef COMPADRES_UNDER_SANITIZER
+#define COMPADRES_UNDER_SANITIZER 0
+#endif
+
+namespace {
+
+std::vector<std::uint8_t> data_frame(std::uint32_t seq,
+                                     std::size_t payload_size = 32) {
+    cdr::RequestHeader req;
+    req.request_id = seq;
+    req.object_key = "K";
+    req.operation = "op";
+    std::vector<std::uint8_t> payload(payload_size, 0x5A);
+    return cdr::encode_request(req, payload.data(), payload.size());
+}
+
+std::uint32_t frame_seq(const net::FrameBuffer& f) {
+    return cdr::decode_request(f.data(), f.size()).header.request_id;
+}
+
+/// The client half of the compadres.shm hello, built by hand so tests can
+/// claim arbitrary versions and generations.
+std::vector<std::uint8_t> hello_frame(const std::string& segment,
+                                      std::uint64_t generation,
+                                      std::uint32_t version) {
+    cdr::RequestHeader req;
+    req.request_id = 1;
+    req.object_key = "compadres.shm";
+    req.operation = "hello";
+    cdr::OutputStream payload;
+    payload.write_string(segment);
+    payload.write_ulonglong(generation);
+    payload.write_ulong(version);
+    const std::vector<std::uint8_t> bytes = payload.take_buffer();
+    return cdr::encode_request(req, bytes.data(), bytes.size());
+}
+
+struct HelloReply {
+    bool ok = false;
+    std::string detail;
+};
+
+HelloReply read_reply(net::Transport& wire) {
+    const auto frame = wire.recv_frame();
+    if (!frame.has_value()) return {};
+    const cdr::DecodedReply rep = cdr::decode_reply(frame->data(),
+                                                    frame->size());
+    cdr::InputStream in(
+        rep.payload, rep.payload_len,
+        cdr::decode_header(frame->data(), frame->size()).byte_order);
+    HelloReply r;
+    r.ok = in.read_ulong() != 0;
+    r.detail = in.read_string();
+    return r;
+}
+
+struct NegotiatedPair {
+    std::unique_ptr<net::Transport> client;
+    std::unique_ptr<net::Transport> server;
+    bool client_shm = false;
+    bool server_shm = false;
+    std::string detail;
+};
+
+NegotiatedPair negotiate(const net::ShmOptions& opts) {
+    net::ShmAcceptor acceptor(0, opts);
+    NegotiatedPair pair;
+    std::thread accept_thread([&] {
+        net::ShmConnectResult r = acceptor.accept();
+        pair.server = std::move(r.transport);
+        pair.server_shm = r.shm;
+    });
+    net::ShmConnectResult r =
+        net::shm_upgrade_connect("127.0.0.1", acceptor.bound_port(), opts);
+    accept_thread.join();
+    pair.client = std::move(r.transport);
+    pair.client_shm = r.shm;
+    pair.detail = std::move(r.detail);
+    return pair;
+}
+
+} // namespace
+
+TEST(ShmHandshake, UpgradesCoLocatedPair) {
+    NegotiatedPair pair = negotiate({});
+    ASSERT_TRUE(pair.client_shm);
+    ASSERT_TRUE(pair.server_shm);
+    EXPECT_NE(pair.detail.find("segment"), std::string::npos);
+
+    pair.client->send_frame(data_frame(7));
+    pair.server->send_frame(data_frame(9));
+    const auto at_server = pair.server->recv_frame();
+    const auto at_client = pair.client->recv_frame();
+    ASSERT_TRUE(at_server.has_value());
+    ASSERT_TRUE(at_client.has_value());
+    EXPECT_EQ(frame_seq(*at_server), 7u);
+    EXPECT_EQ(frame_seq(*at_client), 9u);
+
+    auto* shm = dynamic_cast<net::ShmTransport*>(pair.client.get());
+    ASSERT_NE(shm, nullptr);
+    EXPECT_TRUE(shm->shm_active());
+    EXPECT_EQ(shm->counters().shm_frames_sent, 1u);
+    EXPECT_EQ(shm->counters().shm_frames_received, 1u);
+    EXPECT_EQ(shm->counters().tcp_frames_sent, 0u);
+
+    pair.client->close();
+    EXPECT_FALSE(pair.server->recv_frame().has_value());
+}
+
+TEST(ShmHandshake, ProtocolUnawareClientKeepsPlainTcpAndItsFirstFrame) {
+    net::ShmAcceptor acceptor(0);
+    std::unique_ptr<net::Transport> server;
+    bool server_shm = true;
+    std::string detail;
+    std::thread accept_thread([&] {
+        net::ShmConnectResult r = acceptor.accept();
+        server = std::move(r.transport);
+        server_shm = r.shm;
+        detail = std::move(r.detail);
+    });
+    auto client = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    client->send_frame(data_frame(42));
+    accept_thread.join();
+
+    EXPECT_FALSE(server_shm);
+    EXPECT_NE(detail.find("no shm hello"), std::string::npos);
+    // The frame that was mistaken for a hello is re-queued, not lost.
+    const auto first = server->recv_frame();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(frame_seq(*first), 42u);
+    server->send_frame(data_frame(43));
+    const auto back = client->recv_frame();
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(frame_seq(*back), 43u);
+}
+
+TEST(ShmHandshake, NacksVersionMismatch) {
+    auto seg = net::ShmSegment::create({});
+    net::ShmAcceptor acceptor(0);
+    net::ShmConnectResult server;
+    std::thread accept_thread(
+        [&] { server = acceptor.accept(); });
+    auto client = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    client->send_frame(hello_frame(seg->name(), seg->generation(), 99));
+    const HelloReply reply = read_reply(*client);
+    accept_thread.join();
+
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.detail.find("version mismatch"), std::string::npos);
+    EXPECT_FALSE(server.shm);
+    EXPECT_NE(server.detail.find("version mismatch"), std::string::npos);
+}
+
+TEST(ShmHandshake, NacksStaleGeneration) {
+    auto seg = net::ShmSegment::create({});
+    net::ShmAcceptor acceptor(0);
+    net::ShmConnectResult server;
+    std::thread accept_thread(
+        [&] { server = acceptor.accept(); });
+    auto client = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    client->send_frame(hello_frame(seg->name(), seg->generation() + 1,
+                                   net::shm_detail::kVersion));
+    const HelloReply reply = read_reply(*client);
+    accept_thread.join();
+
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.detail.find("stale generation"), std::string::npos);
+    EXPECT_FALSE(server.shm);
+}
+
+TEST(ShmHandshake, NacksWhenClientCouldNotCreateASegment) {
+    net::ShmAcceptor acceptor(0);
+    net::ShmConnectResult server;
+    std::thread accept_thread(
+        [&] { server = acceptor.accept(); });
+    auto client = net::tcp_connect("127.0.0.1", acceptor.bound_port());
+    client->send_frame(
+        hello_frame(std::string(), 0, net::shm_detail::kVersion));
+    const HelloReply reply = read_reply(*client);
+    accept_thread.join();
+
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.detail.find("could not create"), std::string::npos);
+    EXPECT_FALSE(server.shm);
+    // Both ends hold a plain TCP wire that still moves frames.
+    client->send_frame(data_frame(5));
+    const auto f = server.transport->recv_frame();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(frame_seq(*f), 5u);
+}
+
+TEST(ShmSegment, RejectsDoubleAttach) {
+    auto seg = net::ShmSegment::create({});
+    auto first = net::ShmSegment::attach(seg->name(), seg->generation());
+    ASSERT_NE(first, nullptr);
+    try {
+        net::ShmSegment::attach(seg->name(), seg->generation());
+        FAIL() << "second attach should throw";
+    } catch (const net::TransportError& e) {
+        EXPECT_NE(std::string(e.what()).find("already attached"),
+                  std::string::npos);
+    }
+}
+
+TEST(ShmSegment, AttachReportsMissingSegmentAsCrossHost) {
+    try {
+        net::ShmSegment::attach("/compadres.0.0.nonexistent", 1);
+        FAIL() << "attach to a missing name should throw";
+    } catch (const net::TransportError& e) {
+        EXPECT_NE(std::string(e.what()).find("cross-host"),
+                  std::string::npos);
+    }
+}
+
+TEST(ShmTransport, FullRingBackpressureBlocksThenDrains) {
+    net::ShmOptions opts;
+    opts.ring_capacity = 4;
+    opts.wait_cycle_us = 2000;
+    NegotiatedPair pair = negotiate(opts);
+    ASSERT_TRUE(pair.client_shm);
+
+    constexpr std::uint32_t kCount = 32;
+    std::atomic<std::uint32_t> sent{0};
+    std::thread sender([&] {
+        for (std::uint32_t i = 0; i < kCount; ++i) {
+            net::FrameBuffer fb = pair.client->frame_pool().adopt(
+                data_frame(i));
+            pair.client->send_frame(std::move(fb));
+            sent.fetch_add(1);
+        }
+    });
+    // With 4 slots the sender must stall far short of kCount while nobody
+    // consumes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_LE(sent.load(), 5u);
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+        const auto f = pair.server->recv_frame();
+        ASSERT_TRUE(f.has_value());
+        EXPECT_EQ(frame_seq(*f), i);
+    }
+    sender.join();
+    EXPECT_EQ(sent.load(), kCount);
+    pair.client->close();
+}
+
+TEST(ShmTransport, AbandonMidBurstLosesNothing) {
+    NegotiatedPair pair = negotiate({});
+    ASSERT_TRUE(pair.client_shm);
+    auto* shm = dynamic_cast<net::ShmTransport*>(pair.client.get());
+    ASSERT_NE(shm, nullptr);
+
+    std::thread echo([&] {
+        while (auto f = pair.server->recv_frame()) {
+            pair.server->send_frame(std::move(*f));
+        }
+    });
+
+    constexpr std::uint32_t kCount = 100;
+    constexpr std::uint32_t kWindow = 16;
+    std::vector<std::uint32_t> seen(kCount, 0);
+    std::uint32_t sent = 0, received = 0;
+    while (received < kCount) {
+        while (sent < kCount && sent - received < kWindow) {
+            pair.client->send_frame(data_frame(sent));
+            ++sent;
+            if (sent == kCount / 2) shm->abandon_shm("test drill");
+        }
+        const auto f = pair.client->recv_frame();
+        ASSERT_TRUE(f.has_value());
+        ++seen[frame_seq(*f)];
+        ++received;
+    }
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(seen[i], 1u) << "sequence " << i;
+    }
+    EXPECT_FALSE(shm->shm_active());
+    EXPECT_GE(shm->counters().failovers, 1u);
+    EXPECT_GT(shm->counters().tcp_frames_sent, 0u);
+    pair.client->close();
+    echo.join();
+}
+
+TEST(ShmTransport, OversizeFrameFailsOverAndStaysOrdered) {
+    net::ShmOptions opts;
+    opts.arena_bytes = 64 * 1024;
+    opts.max_frame_bytes = 1024;
+    NegotiatedPair pair = negotiate(opts);
+    ASSERT_TRUE(pair.client_shm);
+
+    pair.client->send_frame(data_frame(1, 64));     // fits: rides the ring
+    pair.client->send_frame(data_frame(2, 8192));   // oversize: failover
+    pair.client->send_frame(data_frame(3, 64));     // post-failover: TCP
+    for (std::uint32_t want = 1; want <= 3; ++want) {
+        const auto f = pair.server->recv_frame();
+        ASSERT_TRUE(f.has_value());
+        EXPECT_EQ(frame_seq(*f), want);
+    }
+    auto* shm = dynamic_cast<net::ShmTransport*>(pair.client.get());
+    ASSERT_NE(shm, nullptr);
+    EXPECT_FALSE(shm->shm_active());
+    EXPECT_GE(shm->counters().failovers, 1u);
+    pair.client->close();
+}
+
+TEST(PlannedWire, ShmRemoteDialsTheSegment) {
+    net::ShmAcceptor acceptor(0);
+    compiler::PlannedRemote remote;
+    remote.transport = compiler::RemoteTransport::kShm;
+    remote.host = "127.0.0.1";
+    remote.bands = 1;
+    std::unique_ptr<net::Transport> server;
+    std::thread accept_thread(
+        [&] { server = acceptor.accept().transport; });
+    remote::PlannedWire wire =
+        remote::connect_planned_wire(remote, acceptor.bound_port());
+    accept_thread.join();
+
+    EXPECT_TRUE(wire.shm);
+    EXPECT_NE(dynamic_cast<net::ShmTransport*>(wire.transport.get()),
+              nullptr);
+    wire.transport->send_frame(data_frame(11));
+    const auto f = server->recv_frame();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(frame_seq(*f), 11u);
+}
+
+TEST(PlannedWire, SingleBandTcpRemoteDialsPlainTcp) {
+    net::TcpAcceptor acceptor(0);
+    compiler::PlannedRemote remote; // defaults: tcp, loopback, bands
+    remote.bands = 1;
+    std::unique_ptr<net::Transport> server;
+    std::thread accept_thread([&] { server = acceptor.accept(); });
+    remote::PlannedWire wire =
+        remote::connect_planned_wire(remote, acceptor.bound_port());
+    accept_thread.join();
+
+    EXPECT_FALSE(wire.shm);
+    EXPECT_EQ(dynamic_cast<net::ShmTransport*>(wire.transport.get()),
+              nullptr);
+    wire.transport->send_frame(data_frame(12));
+    const auto f = server->recv_frame();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(frame_seq(*f), 12u);
+}
+
+TEST(ShmSweep, LiveCreatorSegmentSurvivesSweep) {
+    auto seg = net::ShmSegment::create({});
+    net::sweep_orphan_segments();
+    // Our pid is embedded in the name and we are alive: the segment must
+    // still be attachable.
+    auto attached = net::ShmSegment::attach(seg->name(), seg->generation());
+    EXPECT_NE(attached, nullptr);
+}
+
+#if !COMPADRES_UNDER_SANITIZER
+
+TEST(ShmTransport, PeerDeathDrainsRingThenFailsOver) {
+    net::ShmAcceptor acceptor(0);
+    int ready[2];
+    ASSERT_EQ(pipe(ready), 0);
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child: connect, push 10 frames into the segment, report, then
+        // hang until SIGKILL — a crashed co-located peer.
+        close(ready[0]);
+        try {
+            net::ShmConnectResult r = net::shm_upgrade_connect(
+                "127.0.0.1", acceptor.bound_port());
+            if (!r.shm) _exit(2);
+            for (std::uint32_t i = 0; i < 10; ++i) {
+                r.transport->send_frame(data_frame(i));
+            }
+            char byte = 1;
+            if (write(ready[1], &byte, 1) != 1) _exit(3);
+            pause();
+        } catch (...) {
+            _exit(4);
+        }
+        _exit(0);
+    }
+    close(ready[1]);
+    net::ShmConnectResult server = acceptor.accept();
+    ASSERT_TRUE(server.shm);
+    char byte = 0;
+    ASSERT_EQ(read(ready[0], &byte, 1), 1);
+    close(ready[0]);
+    ASSERT_EQ(kill(child, SIGKILL), 0);
+    ASSERT_EQ(waitpid(child, nullptr, 0), child); // reap: pid must be gone
+
+    // Everything the peer published before dying is still in the segment
+    // and must be delivered; only then does the wire close.
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        const auto f = server.transport->recv_frame();
+        ASSERT_TRUE(f.has_value()) << "frame " << i << " lost to peer death";
+        EXPECT_EQ(frame_seq(*f), i);
+    }
+    EXPECT_FALSE(server.transport->recv_frame().has_value());
+    auto* shm = dynamic_cast<net::ShmTransport*>(server.transport.get());
+    ASSERT_NE(shm, nullptr);
+    EXPECT_FALSE(shm->shm_active());
+}
+
+TEST(ShmSweep, ReclaimsSegmentOfDeadCreator) {
+    int names[2];
+    ASSERT_EQ(pipe(names), 0);
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child: create a segment and die without the destructor — the
+        // orphan a crashed process leaves in /dev/shm.
+        close(names[0]);
+        try {
+            auto seg = net::ShmSegment::create({});
+            const std::string& name = seg->name();
+            if (write(names[1], name.c_str(), name.size() + 1) < 0) _exit(3);
+            _exit(0); // no dtor: the name stays linked
+        } catch (...) {
+            _exit(4);
+        }
+    }
+    close(names[1]);
+    char buf[128] = {};
+    ASSERT_GT(read(names[0], buf, sizeof buf - 1), 0);
+    close(names[0]);
+    ASSERT_EQ(waitpid(child, nullptr, 0), child);
+
+    const std::string name(buf);
+    EXPECT_GE(net::sweep_orphan_segments(), 1u);
+    errno = 0;
+    EXPECT_EQ(shm_open(name.c_str(), O_RDWR, 0), -1);
+    EXPECT_EQ(errno, ENOENT);
+}
+
+#endif // !COMPADRES_UNDER_SANITIZER

@@ -47,17 +47,35 @@ def headline(doc):
             "locks/hop %.3f" % doc.get("locks_per_uncontended_hop", -1),
         )
     if name == "remote_roundtrip":
+        shm = doc.get("shm", {})
+        if shm.get("upgraded"):
+            # Co-located rung: headline the shared-memory wire against the
+            # same-run TCP control, plus the failover drill outcome.
+            s = shm.get("shm", {})
+            fo = shm.get("failover", {})
+            return (
+                us(s.get("median_ns")),
+                us(s.get("p99_ns")),
+                "shm rung %.1fx vs same-run tcp, allocs/msg %.2f, "
+                "futex/rt %.3f, failover missing %d dup %d resent %d"
+                % (
+                    shm.get("paired_p50_speedup", -1),
+                    shm.get("allocs_per_message", -1),
+                    shm.get("futex_per_roundtrip", -1),
+                    fo.get("missing", -1),
+                    fo.get("duplicates", -1),
+                    fo.get("resent_frames", -1),
+                ),
+            )
         sizes = doc.get("sizes", [])
         fast = sizes[0].get("fast", {}) if sizes else {}
-        return (
-            us(fast.get("median_ns")),
-            us(fast.get("p99_ns")),
-            "allocs/msg %.2f, p50 vs legacy %+.1f%%"
-            % (
-                doc.get("allocs_per_message_steady_state", -1),
-                doc.get("improvement_p50_32B_pct", 0),
-            ),
+        detail = "allocs/msg %.2f, p50 vs legacy %+.1f%%" % (
+            doc.get("allocs_per_message_steady_state", -1),
+            doc.get("improvement_p50_32B_pct", 0),
         )
+        if "shm" in doc:
+            detail += ", shm upgrade FAILED"
+        return (us(fast.get("median_ns")), us(fast.get("p99_ns")), detail)
     if name == "fanin_roundtrip":
         gated = doc.get("gated_interleaved", {})
         return (
