@@ -363,6 +363,14 @@ std::vector<std::uint8_t> wire_frame(std::size_t payload_len) {
     return cdr::encode_request(req, payload.data(), payload.size());
 }
 
+/// Like wire_frame, stamped with a priority band for banded wires.
+std::vector<std::uint8_t> wire_frame_band(std::size_t payload_len,
+                                          std::uint8_t band) {
+    std::vector<std::uint8_t> f = wire_frame(payload_len);
+    cdr::set_frame_band(f.data(), band);
+    return f;
+}
+
 /// One pipelined batch: kBatch frames out, kBatch echoes back. Returns
 /// nanoseconds per round trip.
 std::int64_t wire_batch(net::Transport& t,
@@ -396,7 +404,9 @@ struct ShmRungResult {
     /// not per message.
     double futex_per_message = 0.0;
     double wakeups_per_message = 0.0;
-    std::uint64_t shm_frames = 0; ///< frames that crossed the segment
+    std::uint64_t shm_frames = 0;  ///< frames that crossed the segment
+    std::uint64_t rx_copies = 0;   ///< copy-out fallbacks, both endpoints
+    std::uint64_t rx_borrowed = 0; ///< zero-copy receives, both endpoints
 };
 
 std::uint64_t futex_count(const net::ShmCounters& c) {
@@ -454,6 +464,169 @@ ShmRungResult run_shm_rung(net::Transport& shm_wire, net::Transport* shm_peer,
     if (shm_a) {
         r.shm_frames = shm_a->counters().shm_frames_sent - shm_frames0;
     }
+    for (auto* t : {shm_a, shm_b}) {
+        if (t == nullptr) continue;
+        const net::ShmCounters c = t->counters();
+        r.rx_copies += c.rx_copies;
+        r.rx_borrowed += c.rx_borrowed;
+    }
+    return r;
+}
+
+// ---- zero-copy receive payload sweep ----
+//
+// Two live segments in the same run, identical except for the receive
+// discipline: one hands out borrowed frames (views into the rx arena),
+// the other copies every frame into a pooled buffer first (the pre-change
+// behavior, still available as the pin-budget fallback). The echo shape
+// pays the receive cost on both endpoints, so a batch's delta is two
+// memcpys per round trip.
+
+struct SweepRow {
+    std::size_t payload = 0;
+    rt::StatsSummary zero_copy;
+    rt::StatsSummary copying;
+    /// Median over batches of the per-pair improvement; robust to drift
+    /// (see PairResult::paired_improvement_pct).
+    double paired_improvement_pct = 0.0;
+};
+
+SweepRow run_sweep_rung(net::Transport& zc_wire, net::Transport& copy_wire,
+                        std::size_t payload, std::size_t iters,
+                        std::size_t warmup) {
+    const std::vector<std::uint8_t> frame = wire_frame(payload);
+    rt::StatsRecorder rec_zc(iters);
+    rt::StatsRecorder rec_copy(iters);
+    rt::StatsRecorder rec_improve(iters);
+    for (std::size_t it = 0; it < warmup + iters; ++it) {
+        const std::int64_t ns_zc = wire_batch(zc_wire, frame);
+        const std::int64_t ns_copy = wire_batch(copy_wire, frame);
+        if (it >= warmup) {
+            rec_zc.record(ns_zc);
+            rec_copy.record(ns_copy);
+            if (ns_copy > 0) {
+                rec_improve.record((ns_copy - ns_zc) * 1'000'000 / ns_copy);
+            }
+        }
+    }
+    SweepRow r;
+    r.payload = payload;
+    r.zero_copy = rec_zc.summarize();
+    r.copying = rec_copy.summarize();
+    r.paired_improvement_pct =
+        static_cast<double>(rec_improve.summarize().median) / 10'000.0;
+    return r;
+}
+
+// ---- 2-band shm interference rung ----
+
+struct TwoBandResult {
+    rt::StatsSummary uncontended; ///< urgent-only round trips, ns
+    rt::StatsSummary contended;   ///< urgent under a band-1 bulk window
+    double p99_ratio = 0.0;
+    std::uint64_t bulk_frames = 0;
+    std::uint64_t urgent_band_frames = 0; ///< band-0 rx frames, client side
+    bool ran = false;
+};
+
+/// Urgent (band 0, 32 B) round trips over a 2-band segment, alone and
+/// under a credit-windowed band-1 bulk stream on the same wire. Both
+/// endpoints drain band 0 first, so the urgent request overtakes the
+/// queued bulk at the echo and its reply overtakes the queued echoes on
+/// the way back; a single-band segment would serve the whole window FIFO
+/// ahead of it. Phases alternate per round so drift hits both halves.
+TwoBandResult run_two_band_rung(std::size_t probes, std::size_t rounds) {
+    net::ShmOptions opts;
+    opts.bands = 2;
+    ShmWirePair pair = make_shm_pair(opts);
+    TwoBandResult r;
+    if (!pair.shm) return r;
+    pair.echo.start();
+    const std::vector<std::uint8_t> urgent = wire_frame_band(32, 0);
+    const std::vector<std::uint8_t> bulk = wire_frame_band(3072, 1);
+    constexpr std::size_t kBulkWindow = 24;
+    rt::StatsRecorder rec_unc(probes * rounds);
+    rt::StatsRecorder rec_con(probes * rounds);
+    std::size_t bulk_out = 0;
+    std::uint64_t bulk_frames = 0;
+    auto send_copy = [&](const std::vector<std::uint8_t>& f) {
+        net::FrameBuffer fb =
+            net::FrameBufferPool::global().acquire(f.size());
+        std::memcpy(fb.data(), f.data(), f.size());
+        pair.client->send_frame(std::move(fb));
+    };
+    const auto is_bulk = [](const net::FrameBuffer& f) {
+        return f.size() >= cdr::GiopHeader::kSize &&
+               cdr::frame_band(f.data()) == 1;
+    };
+    // One urgent round trip: send, then pop until the band-0 echo comes
+    // back, counting band-1 echoes against the bulk window.
+    auto probe = [&]() -> std::int64_t {
+        const auto t0 = std::chrono::steady_clock::now();
+        send_copy(urgent);
+        for (;;) {
+            auto f = pair.client->recv_frame();
+            if (!f.has_value()) {
+                std::fprintf(stderr, "two-band wire closed mid-probe\n");
+                std::abort();
+            }
+            if (is_bulk(*f)) {
+                --bulk_out;
+                continue;
+            }
+            break;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count();
+    };
+    // Round 0 is warm-up: probes run but are not recorded.
+    for (std::size_t round = 0; round <= rounds; ++round) {
+        for (std::size_t i = 0; i < probes; ++i) {
+            const std::int64_t ns = probe();
+            if (round > 0) rec_unc.record(ns);
+        }
+        for (std::size_t i = 0; i < probes; ++i) {
+            // Drain half the window's echoes, then top back up, so the
+            // probe fires while the echo side is actively churning fresh
+            // bulk — not against a window of already-delivered echoes
+            // parked in the client's band-1 ring.
+            while (bulk_out > kBulkWindow / 2) {
+                auto f = pair.client->recv_frame();
+                if (!f.has_value()) {
+                    std::fprintf(stderr, "two-band wire closed mid-drain\n");
+                    std::abort();
+                }
+                if (is_bulk(*f)) --bulk_out;
+            }
+            while (bulk_out < kBulkWindow) {
+                send_copy(bulk);
+                ++bulk_out;
+                ++bulk_frames;
+            }
+            const std::int64_t ns = probe();
+            if (round > 0) rec_con.record(ns);
+        }
+        // Drain the window so the next uncontended phase starts clean.
+        while (bulk_out > 0) {
+            auto f = pair.client->recv_frame();
+            if (!f.has_value()) break;
+            if (is_bulk(*f)) --bulk_out;
+        }
+    }
+    if (auto* shm = dynamic_cast<net::ShmTransport*>(pair.client.get())) {
+        r.urgent_band_frames = shm->counters().band_rx_frames[0];
+    }
+    pair.client->close();
+    pair.echo.join();
+    r.uncontended = rec_unc.summarize();
+    r.contended = rec_con.summarize();
+    if (r.uncontended.p99 > 0) {
+        r.p99_ratio = static_cast<double>(r.contended.p99) /
+                      static_cast<double>(r.uncontended.p99);
+    }
+    r.bulk_frames = bulk_frames;
+    r.ran = true;
     return r;
 }
 
@@ -464,13 +637,19 @@ struct FailoverResult {
     std::uint64_t missing = 0;     ///< sequence numbers never echoed
     std::uint64_t failovers = 0;   ///< counted by the client transport
     std::uint64_t resent = 0;      ///< ring frames replayed over TCP
+    std::uint64_t replay_skipped = 0; ///< replayed duplicates deduped
+    std::uint64_t pinned_held = 0; ///< borrowed frames held across abandon
+    bool pinned_ok = true;         ///< pinned bytes intact at the end
     bool shm_before = false;
     bool shm_after = true;
 };
 
 /// Sliding-window echo burst with a forced shm abandon halfway through:
 /// every sequence number must come back exactly once, the late half over
-/// the TCP fallback.
+/// the TCP fallback. Every 8th echo is pinned — the borrowed frame (a
+/// live view into the segment) is held across the failover and its bytes
+/// verified at the end — so the drill also proves the retire window and
+/// the replay-dedup path under outstanding pins.
 FailoverResult run_failover(const net::ShmOptions& opts) {
     ShmWirePair pair = make_shm_pair(opts);
     pair.echo.start();
@@ -482,6 +661,10 @@ FailoverResult run_failover(const net::ShmOptions& opts) {
     constexpr std::uint32_t kWindow = 32;
     std::vector<std::uint8_t> frame = wire_frame(32);
     std::vector<std::uint32_t> seen(kCount, 0);
+    std::vector<net::FrameBuffer> pinned;
+    std::vector<std::uint32_t> pinned_seq;
+    pinned.reserve(64);
+    pinned_seq.reserve(64);
     std::uint32_t sent = 0, received = 0;
     while (received < kCount) {
         while (sent < kCount && sent - received < kWindow) {
@@ -503,6 +686,13 @@ FailoverResult run_failover(const net::ShmOptions& opts) {
         std::memcpy(&seq, f->data() + f->size() - 4, 4);
         if (seq < kCount) ++seen[seq];
         ++received;
+        // Pin every 8th echo across the failover (under the default pin
+        // budget; pre-abandon pins are borrowed arena views, later ones
+        // are pooled TCP frames — both must survive untouched).
+        if (received % 8 == 0 && pinned.size() < 48 && f->size() >= 4) {
+            pinned_seq.push_back(seq);
+            pinned.push_back(std::move(*f));
+        }
     }
     r.sent = sent;
     r.delivered = received;
@@ -510,10 +700,17 @@ FailoverResult run_failover(const net::ShmOptions& opts) {
         if (n == 0) ++r.missing;
         if (n > 1) r.duplicates += n - 1;
     }
+    r.pinned_held = pinned.size();
+    for (std::size_t i = 0; i < pinned.size(); ++i) {
+        std::uint32_t seq = 0;
+        std::memcpy(&seq, pinned[i].data() + pinned[i].size() - 4, 4);
+        if (seq != pinned_seq[i]) r.pinned_ok = false;
+    }
     if (shm != nullptr) {
         const net::ShmCounters c = shm->counters();
         r.failovers = c.failovers;
         r.shm_after = shm->shm_active();
+        r.replay_skipped = c.replay_skipped;
         // The replay happens on the peer: it owns the unconsumed half of
         // the abandoner's RX ring and resends it over TCP.
         r.resent = c.resent_frames;
@@ -521,6 +718,7 @@ FailoverResult run_failover(const net::ShmOptions& opts) {
             r.resent += peer->counters().resent_frames;
         }
     }
+    pinned.clear(); // release the borrowed slots before closing the wire
     pair.client->close();
     pair.echo.join();
     return r;
@@ -673,20 +871,90 @@ int main(int argc, char** argv) {
         print_row("tcp", 32, shm_rung.tcp);
         std::printf("paired p50 speedup: %.1fx; allocs/msg %.4f; "
                     "futex/roundtrip %.4f (wakeups %.4f); %llu frames over "
-                    "the segment\n",
+                    "the segment; rx borrowed %llu copies %llu\n",
                     shm_rung.paired_speedup, shm_rung.allocs_per_message,
                     shm_rung.futex_per_message, shm_rung.wakeups_per_message,
-                    static_cast<unsigned long long>(shm_rung.shm_frames));
+                    static_cast<unsigned long long>(shm_rung.shm_frames),
+                    static_cast<unsigned long long>(shm_rung.rx_borrowed),
+                    static_cast<unsigned long long>(shm_rung.rx_copies));
     }
+
+    // ---- zero-copy receive sweep: borrowed frames vs copy-out, same run --
+    constexpr std::size_t kSweepSizes[] = {32, 512, 4096};
+    constexpr std::size_t kSweepCount =
+        sizeof(kSweepSizes) / sizeof(kSweepSizes[0]);
+    SweepRow sweep[kSweepCount] = {};
+    bool sweep_ran = false;
+    {
+        net::FrameBufferPool::global().prewarm(8192, kBatch);
+        net::ShmOptions zc_opts;
+        zc_opts.borrowed_frames = true;
+        net::ShmOptions copy_opts;
+        copy_opts.borrowed_frames = false;
+        ShmWirePair zc_pair = make_shm_pair(zc_opts);
+        ShmWirePair copy_pair = make_shm_pair(copy_opts);
+        if (zc_pair.shm && copy_pair.shm) {
+            sweep_ran = true;
+            zc_pair.echo.start();
+            copy_pair.echo.start();
+            std::printf("\n=== zero-copy receive vs copy-out (payload sweep) "
+                        "===\n");
+            std::printf("%-10s %8s %10s %10s %10s %10s\n", "Receive",
+                        "payload", "p50(us)", "p90(us)", "p99(us)", "max(us)");
+            for (std::size_t i = 0; i < kSweepCount; ++i) {
+                sweep[i] = run_sweep_rung(*zc_pair.client, *copy_pair.client,
+                                          kSweepSizes[i], iters, warmup);
+                print_row("zero-copy", kSweepSizes[i], sweep[i].zero_copy);
+                print_row("copy-out", kSweepSizes[i], sweep[i].copying);
+                std::printf("%-10s %6zu B   paired p50 improvement %.1f%%\n",
+                            "", kSweepSizes[i],
+                            sweep[i].paired_improvement_pct);
+            }
+            zc_pair.client->close();
+            zc_pair.echo.join();
+            copy_pair.client->close();
+            copy_pair.echo.join();
+        } else {
+            std::fprintf(stderr, "sweep skipped: shm upgrade failed (%s / %s)\n",
+                         zc_pair.detail.c_str(), copy_pair.detail.c_str());
+        }
+    }
+
+    // ---- 2-band interference rung ----
+    const TwoBandResult two_band =
+        run_two_band_rung(smoke ? 50 : iters / 2, smoke ? 1 : 4);
+    if (two_band.ran) {
+        std::printf("\n=== 2-band shm: urgent under bulk ===\n");
+        std::printf("%-12s %10s %10s %10s\n", "Urgent", "p50(us)", "p99(us)",
+                    "max(us)");
+        std::printf("%-12s %10.2f %10.2f %10.2f\n", "alone",
+                    static_cast<double>(two_band.uncontended.median) / 1000.0,
+                    static_cast<double>(two_band.uncontended.p99) / 1000.0,
+                    static_cast<double>(two_band.uncontended.max) / 1000.0);
+        std::printf("%-12s %10.2f %10.2f %10.2f\n", "under bulk",
+                    static_cast<double>(two_band.contended.median) / 1000.0,
+                    static_cast<double>(two_band.contended.p99) / 1000.0,
+                    static_cast<double>(two_band.contended.max) / 1000.0);
+        std::printf("urgent p99 ratio %.2fx over %llu bulk frames\n",
+                    two_band.p99_ratio,
+                    static_cast<unsigned long long>(two_band.bulk_frames));
+    } else {
+        std::fprintf(stderr, "2-band rung skipped: shm upgrade failed\n");
+    }
+
     const FailoverResult failover = run_failover(shm_opts);
     std::printf("failover drill: sent %llu delivered %llu duplicates %llu "
-                "missing %llu resent %llu failovers %llu (shm %s -> %s)\n",
+                "missing %llu resent %llu replay-skipped %llu failovers %llu "
+                "pinned %llu (%s) (shm %s -> %s)\n",
                 static_cast<unsigned long long>(failover.sent),
                 static_cast<unsigned long long>(failover.delivered),
                 static_cast<unsigned long long>(failover.duplicates),
                 static_cast<unsigned long long>(failover.missing),
                 static_cast<unsigned long long>(failover.resent),
+                static_cast<unsigned long long>(failover.replay_skipped),
                 static_cast<unsigned long long>(failover.failovers),
+                static_cast<unsigned long long>(failover.pinned_held),
+                failover.pinned_ok ? "intact" : "CORRUPT",
                 failover.shm_before ? "up" : "down",
                 failover.shm_after ? "up" : "down");
 
@@ -739,15 +1007,51 @@ int main(int argc, char** argv) {
                      shm_rung.wakeups_per_message);
         std::fprintf(f, "    \"shm_frames\": %llu,\n",
                      static_cast<unsigned long long>(shm_rung.shm_frames));
+        std::fprintf(f, "    \"rx_copies\": %llu,\n",
+                     static_cast<unsigned long long>(shm_rung.rx_copies));
+        std::fprintf(f, "    \"rx_borrowed\": %llu,\n",
+                     static_cast<unsigned long long>(shm_rung.rx_borrowed));
+        if (sweep_ran) {
+            std::fprintf(f, "    \"sweep\": [\n");
+            for (std::size_t i = 0; i < kSweepCount; ++i) {
+                std::fprintf(f, "      {\"payload_bytes\": %zu, "
+                             "\"zero_copy\": ",
+                             sweep[i].payload);
+                emit_stats(f, sweep[i].zero_copy);
+                std::fprintf(f, ", \"copying\": ");
+                emit_stats(f, sweep[i].copying);
+                std::fprintf(f, ", \"paired_improvement_pct\": %.1f}%s\n",
+                             sweep[i].paired_improvement_pct,
+                             i + 1 < kSweepCount ? "," : "");
+            }
+            std::fprintf(f, "    ],\n");
+        }
+        if (two_band.ran) {
+            std::fprintf(f, "    \"two_band\": {\"uncontended\": ");
+            emit_stats(f, two_band.uncontended);
+            std::fprintf(f, ", \"contended\": ");
+            emit_stats(f, two_band.contended);
+            std::fprintf(f,
+                         ", \"urgent_p99_ratio\": %.2f, "
+                         "\"bulk_frames\": %llu},\n",
+                         two_band.p99_ratio,
+                         static_cast<unsigned long long>(
+                             two_band.bulk_frames));
+        }
         std::fprintf(f,
                      "    \"failover\": {\"sent\": %llu, \"delivered\": %llu, "
                      "\"duplicates\": %llu, \"missing\": %llu, "
-                     "\"resent_frames\": %llu, \"failovers\": %llu}\n",
+                     "\"resent_frames\": %llu, \"replay_skipped\": %llu, "
+                     "\"pinned_held\": %llu, \"pinned_ok\": %s, "
+                     "\"failovers\": %llu}\n",
                      static_cast<unsigned long long>(failover.sent),
                      static_cast<unsigned long long>(failover.delivered),
                      static_cast<unsigned long long>(failover.duplicates),
                      static_cast<unsigned long long>(failover.missing),
                      static_cast<unsigned long long>(failover.resent),
+                     static_cast<unsigned long long>(failover.replay_skipped),
+                     static_cast<unsigned long long>(failover.pinned_held),
+                     failover.pinned_ok ? "true" : "false",
                      static_cast<unsigned long long>(failover.failovers));
         std::fprintf(f, "  }\n}\n");
         std::fclose(f);
@@ -829,20 +1133,67 @@ int main(int argc, char** argv) {
         ok = false;
     }
     // Gate 7: the failover drill loses nothing and duplicates nothing —
-    // every sequence number echoed exactly once across the shm->TCP seam.
+    // every sequence number echoed exactly once across the shm->TCP seam —
+    // and the frames the app kept pinned across the failover still read the
+    // bytes the producer wrote (the frozen segment stays mapped and intact
+    // until every borrowed frame dies).
     if (failover.missing != 0 || failover.duplicates != 0 ||
         failover.delivered != failover.sent || failover.failovers == 0 ||
-        failover.shm_after) {
+        failover.shm_after || !failover.pinned_ok) {
         std::fprintf(stderr,
                      "FAIL: failover drill sent %llu, delivered %llu "
                      "(%llu missing, %llu duplicates, %llu failovers, shm "
-                     "%s after)\n",
+                     "%s after, pinned %s)\n",
                      static_cast<unsigned long long>(failover.sent),
                      static_cast<unsigned long long>(failover.delivered),
                      static_cast<unsigned long long>(failover.missing),
                      static_cast<unsigned long long>(failover.duplicates),
                      static_cast<unsigned long long>(failover.failovers),
-                     failover.shm_after ? "still up" : "down");
+                     failover.shm_after ? "still up" : "down",
+                     failover.pinned_ok ? "intact" : "CORRUPT");
+        ok = false;
+    }
+    // Gate 8: with borrowed frames on, the steady shm rung never falls back
+    // to the copy-out path — every received frame is a view into the
+    // segment.
+    if (shm_pair.shm && shm_rung.rx_copies != 0) {
+        std::fprintf(stderr,
+                     "FAIL: shm receive path copied %llu frames out of the "
+                     "segment in steady state (want 0; borrowed %llu)\n",
+                     static_cast<unsigned long long>(shm_rung.rx_copies),
+                     static_cast<unsigned long long>(shm_rung.rx_borrowed));
+        ok = false;
+    }
+    // Gate 9 (full runs on plain builds only): the zero-copy receive path
+    // never loses to the copy-out baseline at the smallest payload, and
+    // wins by >= 15% paired p50 once the memcpy is 4 KiB per direction.
+    if (sweep_ran && !smoke && !COMPADRES_UNDER_SANITIZER) {
+        if (sweep[0].paired_improvement_pct < 0.0) {
+            std::fprintf(stderr,
+                         "FAIL: zero-copy receive is %.1f%% slower than the "
+                         "copying baseline at %zu B (want >= 0%%)\n",
+                         -sweep[0].paired_improvement_pct, sweep[0].payload);
+            ok = false;
+        }
+        if (sweep[kSweepCount - 1].paired_improvement_pct < 15.0) {
+            std::fprintf(stderr,
+                         "FAIL: zero-copy receive improved paired p50 only "
+                         "%.1f%% at %zu B (want >= 15%%)\n",
+                         sweep[kSweepCount - 1].paired_improvement_pct,
+                         sweep[kSweepCount - 1].payload);
+            ok = false;
+        }
+    }
+    // Gate 10 (full runs on plain builds only): a saturating bulk lane must
+    // not queue ahead of the urgent lane — banded rings keep the urgent p99
+    // within 2x of its uncontended baseline.
+    if (two_band.ran && !smoke && !COMPADRES_UNDER_SANITIZER &&
+        two_band.p99_ratio > 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: urgent p99 under bulk is %.2fx the uncontended "
+                     "p99 (want <= 2x; %llu bulk frames interleaved)\n",
+                     two_band.p99_ratio,
+                     static_cast<unsigned long long>(two_band.bulk_frames));
         ok = false;
     }
     std::printf("%s\n", ok ? "remote gates PASSED" : "remote gates FAILED");

@@ -205,8 +205,9 @@ CclRemote parse_remote(const xml::XmlNode& node) {
             remote.transport = RemoteTransport::kTcp;
         } else if (transport->text == "shm") {
             remote.transport = RemoteTransport::kShm;
-            // shm is a single wire; an undeclared band count follows the
-            // transport instead of the lane-group default.
+            // shm defaults to one lane; a declared <Bands> N carves the
+            // segment into N ring+arena pairs per direction instead of
+            // following the lane-group default.
             if (!remote.bands_declared) remote.bands = 1;
         } else {
             throw CclError("Transport of '" + remote.name +

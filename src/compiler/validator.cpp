@@ -308,16 +308,6 @@ AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl) {
                              "': <Bands> must be >= 1");
         }
         if (remote.transport == RemoteTransport::kShm) {
-            // The shm wire is one segment, one lane: priority isolation
-            // comes from not sharing a kernel queue at all. An explicit
-            // multi-band declaration contradicts that.
-            if (remote.bands_declared && remote.bands > 1) {
-                issues.push_back(
-                    "remote '" + remote.name + "': <Transport>shm "
-                    "carries a single lane — <Bands> " +
-                    std::to_string(remote.bands) +
-                    " conflicts (drop <Bands> or use <Transport>tcp)");
-            }
             // Shared memory cannot cross hosts; catching a non-loopback
             // endpoint here beats a silent per-connection TCP fallback.
             if (remote.host != "127.0.0.1" && remote.host != "localhost" &&
@@ -335,7 +325,13 @@ AssemblyPlan validate_and_plan(const CdlModel& cdl, const CclModel& ccl) {
                              std::to_string(kWireBandLimit) +
                              " (3-bit band field in the GIOP flags octet)");
         }
-        if (remote.bands > plan.rtsj.reactor_bands) {
+        // Shm lanes live inside one segment drained by a single recv
+        // thread — they isolate queueing (per-band rings and arenas), not
+        // loop threads — so the reactor-band ceiling applies only to
+        // TCP lane groups, where each band is its own socket on its own
+        // loop.
+        if (remote.transport != RemoteTransport::kShm &&
+            remote.bands > plan.rtsj.reactor_bands) {
             issues.push_back(
                 "remote '" + remote.name + "': <Bands> " +
                 std::to_string(remote.bands) +

@@ -74,6 +74,7 @@ std::uint64_t next_pool_id() noexcept {
 
 FrameBufferPool::FrameBufferPool(FramePoolOptions options)
     : opts_(options), id_(next_pool_id()) {
+    scrub_.store(options.scrub_on_release, std::memory_order_relaxed);
     // Reserve the free-list spines up front so recycle() itself never
     // allocates on the hot path.
     for (std::size_t c = 0; c < kClassCount; ++c) {
@@ -145,7 +146,39 @@ FrameBuffer FrameBufferPool::acquire(std::size_t size) {
     return FrameBuffer(std::move(storage), this);
 }
 
+std::size_t FrameBufferPool::acquire_batch(std::size_t size, FrameBuffer* out,
+                                           std::size_t count) {
+    if (count == 0) return 0;
+    const std::size_t cls = class_for_acquire(size, kClassSizes);
+    acquires_.fetch_add(count, std::memory_order_relaxed);
+    std::size_t served = 0;
+    if (cls < kClassCount) {
+        std::lock_guard lk(mu_);
+        while (served < count && !free_[cls].empty()) {
+            std::vector<std::uint8_t> storage = std::move(free_[cls].back());
+            free_[cls].pop_back();
+            storage.resize(size);
+            out[served++] = FrameBuffer(std::move(storage), this);
+        }
+    }
+    if (served > 0) hits_.fetch_add(served, std::memory_order_relaxed);
+    if (served < count) {
+        auto& miss_counter = cls < kClassCount ? allocations_ : oversize_;
+        miss_counter.fetch_add(count - served, std::memory_order_relaxed);
+    }
+    for (std::size_t i = served; i < count; ++i) {
+        std::vector<std::uint8_t> fresh;
+        fresh.reserve(cls < kClassCount ? kClassSizes[cls] : size);
+        fresh.resize(size);
+        out[i] = FrameBuffer(std::move(fresh), this);
+    }
+    return served;
+}
+
 void FrameBufferPool::recycle(std::vector<std::uint8_t>&& bytes) noexcept {
+    if (scrub_.load(std::memory_order_relaxed) && !bytes.empty()) {
+        std::memset(bytes.data(), 0, bytes.size());
+    }
     const std::size_t cls = class_for_recycle(bytes.capacity(), kClassSizes);
     if (cls >= kClassCount) return; // sub-class storage: just free it
     if (opts_.thread_cache) {
@@ -173,6 +206,7 @@ FrameBufferPool::Stats FrameBufferPool::stats() const {
     s.allocations = allocations_.load(std::memory_order_relaxed);
     s.oversize = oversize_.load(std::memory_order_relaxed);
     s.recycled = recycled_.load(std::memory_order_relaxed);
+    s.borrowed = borrowed_.load(std::memory_order_relaxed);
     return s;
 }
 

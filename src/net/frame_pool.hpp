@@ -9,7 +9,11 @@
 //
 // Three pieces:
 //   * FrameBuffer     — move-only handle over pooled storage; returns the
-//                       storage to its home pool on destruction.
+//                       storage to its home pool on destruction. Can also
+//                       borrow external storage (a shared-memory arena
+//                       slot) and run a release hook instead of rejoining
+//                       a free list — the seam the zero-copy shm receive
+//                       path hangs off.
 //   * FrameBufferPool — size-classed free lists (mutex-guarded; the lock is
 //                       held for a pointer swap only) with hit/miss stats.
 //   * FrameRing       — fixed-capacity closable MPMC ring of FrameBuffers.
@@ -22,6 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -30,24 +35,49 @@ namespace compadres::net {
 
 class FrameBufferPool;
 
-/// Move-only handle over a frame's bytes. The storage is a std::vector
-/// whose capacity survives the round trip through the pool, so resize()
-/// within the size class never allocates.
+/// Move-only handle over a frame's bytes. Two storage modes:
+///
+///   * pooled (the default): the storage is a std::vector whose capacity
+///     survives the round trip through the pool, so resize() within the
+///     size class never allocates;
+///   * borrowed: the bytes live in storage the frame does not own (an shm
+///     rx-arena slot). Death runs a release hook exactly once — retiring
+///     the slot — instead of recycling anything, and an optional keepalive
+///     pins the storage's owner (the segment mapping) for the frame's
+///     lifetime. There is no pooled storage behind a borrowed frame, so
+///     none of the pool's release-time work (scrub, free-list push)
+///     applies to it.
 class FrameBuffer {
 public:
+    /// Runs exactly once when a borrowed frame dies, from whichever thread
+    /// drops the frame. `token` round-trips the value given to borrow()
+    /// (the shm wire packs band + slot index into it).
+    using ReleaseHook = void (*)(void* ctx, std::uint32_t token) noexcept;
+
     FrameBuffer() = default;
     FrameBuffer(FrameBuffer&& other) noexcept
-        : bytes_(std::move(other.bytes_)), home_(other.home_) {
+        : bytes_(std::move(other.bytes_)), home_(other.home_),
+          ext_(other.ext_), ext_size_(other.ext_size_), hook_(other.hook_),
+          hook_ctx_(other.hook_ctx_), token_(other.token_),
+          keepalive_(std::move(other.keepalive_)) {
         other.home_ = nullptr;
         other.bytes_.clear();
+        other.clear_external();
     }
     FrameBuffer& operator=(FrameBuffer&& other) noexcept {
         if (this != &other) {
             release();
             bytes_ = std::move(other.bytes_);
             home_ = other.home_;
+            ext_ = other.ext_;
+            ext_size_ = other.ext_size_;
+            hook_ = other.hook_;
+            hook_ctx_ = other.hook_ctx_;
+            token_ = other.token_;
+            keepalive_ = std::move(other.keepalive_);
             other.home_ = nullptr;
             other.bytes_.clear();
+            other.clear_external();
         }
         return *this;
     }
@@ -55,21 +85,65 @@ public:
     FrameBuffer& operator=(const FrameBuffer&) = delete;
     ~FrameBuffer() { release(); }
 
-    std::uint8_t* data() noexcept { return bytes_.data(); }
-    const std::uint8_t* data() const noexcept { return bytes_.data(); }
-    std::size_t size() const noexcept { return bytes_.size(); }
-    bool empty() const noexcept { return bytes_.empty(); }
-    std::size_t capacity() const noexcept { return bytes_.capacity(); }
+    /// Wrap external storage as a frame. The hook fires exactly once when
+    /// the frame dies; `keepalive` (optional) is held until then, so a
+    /// borrowed frame can outlive the transport that minted it without
+    /// its bytes being unmapped underneath it.
+    static FrameBuffer borrow(std::uint8_t* data, std::size_t len,
+                              ReleaseHook hook, void* ctx,
+                              std::uint32_t token,
+                              std::shared_ptr<void> keepalive = nullptr) {
+        FrameBuffer f;
+        f.ext_ = data;
+        f.ext_size_ = len;
+        f.hook_ = hook;
+        f.hook_ctx_ = ctx;
+        f.token_ = token;
+        f.keepalive_ = std::move(keepalive);
+        return f;
+    }
 
-    /// Never allocates while n stays within the pooled capacity.
-    void resize(std::size_t n) { bytes_.resize(n); }
+    /// True when the bytes are external (release runs the hook, not a
+    /// pool recycle).
+    bool borrowed() const noexcept { return hook_ != nullptr; }
+
+    std::uint8_t* data() noexcept { return hook_ ? ext_ : bytes_.data(); }
+    const std::uint8_t* data() const noexcept {
+        return hook_ ? ext_ : bytes_.data();
+    }
+    std::size_t size() const noexcept {
+        return hook_ ? ext_size_ : bytes_.size();
+    }
+    bool empty() const noexcept { return size() == 0; }
+    std::size_t capacity() const noexcept {
+        return hook_ ? ext_size_ : bytes_.capacity();
+    }
+
+    /// Never allocates while n stays within the pooled capacity. On a
+    /// borrowed frame, shrinking trims the view in place; growing
+    /// materializes the bytes into owned storage first (the arena slot
+    /// cannot be extended), releasing the borrow.
+    void resize(std::size_t n) {
+        if (hook_ != nullptr) {
+            if (n <= ext_size_) {
+                ext_size_ = n;
+                return;
+            }
+            materialize();
+        }
+        bytes_.resize(n);
+    }
 
     void assign(const std::uint8_t* src, std::size_t n) {
+        if (hook_ != nullptr) release(); // content replaced wholesale
         bytes_.resize(n);
         if (n > 0) std::memcpy(bytes_.data(), src, n);
     }
 
-    /// Return the storage to the home pool now (also done on destruction).
+    /// Return the storage to the home pool now — or, for a borrowed
+    /// frame, run the release hook (also done on destruction). There is
+    /// no scrub or free-list work on the borrowed path: the frame never
+    /// owned pooled storage.
     void release() noexcept;
 
 private:
@@ -77,8 +151,29 @@ private:
     FrameBuffer(std::vector<std::uint8_t> bytes, FrameBufferPool* home)
         : bytes_(std::move(bytes)), home_(home) {}
 
+    void clear_external() noexcept {
+        ext_ = nullptr;
+        ext_size_ = 0;
+        hook_ = nullptr;
+        hook_ctx_ = nullptr;
+        token_ = 0;
+    }
+
+    /// Copy borrowed bytes into owned storage and release the borrow.
+    void materialize() {
+        std::vector<std::uint8_t> owned(ext_, ext_ + ext_size_);
+        release();
+        bytes_ = std::move(owned);
+    }
+
     std::vector<std::uint8_t> bytes_;
     FrameBufferPool* home_ = nullptr; ///< null: plain heap-backed buffer
+    std::uint8_t* ext_ = nullptr;     ///< borrowed storage (see borrow())
+    std::size_t ext_size_ = 0;
+    ReleaseHook hook_ = nullptr;
+    void* hook_ctx_ = nullptr;
+    std::uint32_t token_ = 0;
+    std::shared_ptr<void> keepalive_;
 };
 
 /// Construction-time knobs for a FrameBufferPool instance. The defaults
@@ -95,6 +190,12 @@ struct FramePoolOptions {
     /// the ring owns plain byte vectors — but claims ring slots other
     /// pools could use); the process-global pool and lane pools enable it.
     bool thread_cache = false;
+    /// Zero a buffer's bytes when it rejoins a free list. Off by default
+    /// (the hot path hands stale storage straight back out); deployments
+    /// that must not leak payload bytes across routes turn it on. Borrowed
+    /// frames are exempt by construction — they carry no pooled storage,
+    /// so their release path never scrubs anything.
+    bool scrub_on_release = false;
 };
 
 /// Size-classed recycling pool for frame storage.
@@ -108,6 +209,9 @@ public:
         std::uint64_t allocations = 0; ///< fresh storage allocated (misses)
         std::uint64_t oversize = 0;    ///< above the largest class: unpooled
         std::uint64_t recycled = 0;    ///< buffers returned to a free list
+        std::uint64_t borrowed = 0;    ///< frames minted over external
+                                       ///< storage (shm arena views) —
+                                       ///< see note_borrowed()
     };
 
     explicit FrameBufferPool(FramePoolOptions options = {});
@@ -117,6 +221,14 @@ public:
 
     /// A buffer of exactly `size` bytes (content uninitialized/stale).
     FrameBuffer acquire(std::size_t size);
+
+    /// Fill `out[0..count)` with buffers of exactly `size` bytes under a
+    /// single free-list lock acquisition (the per-call TLS path is skipped
+    /// — batch callers are replaying a backlog, not iterating a hot loop).
+    /// Always fills all `count` slots, allocating for misses; returns how
+    /// many came from the free list.
+    std::size_t acquire_batch(std::size_t size, FrameBuffer* out,
+                              std::size_t count);
 
     /// Raw storage with capacity >= `capacity_hint` and size 0 — the encode
     /// path adopts this into a cdr::OutputStream, then wraps the encoded
@@ -138,6 +250,22 @@ public:
     /// Return storage to the matching free list (or free it when it is
     /// smaller than every class or the list is full).
     void recycle(std::vector<std::uint8_t>&& bytes) noexcept;
+
+    /// Count a frame handed out over external storage on this pool's
+    /// account. Borrowed frames never touch the free lists, so without
+    /// this the pool's books would show an shm-fed consumer doing no
+    /// acquire traffic at all; trace_report surfaces the split.
+    void note_borrowed() noexcept {
+        borrowed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /// Flip scrub-on-release at runtime (see FramePoolOptions).
+    void set_scrub_on_release(bool on) noexcept {
+        scrub_.store(on, std::memory_order_relaxed);
+    }
+    bool scrub_on_release() const noexcept {
+        return scrub_.load(std::memory_order_relaxed);
+    }
 
     Stats stats() const;
 
@@ -173,9 +301,22 @@ private:
     std::atomic<std::uint64_t> allocations_{0};
     std::atomic<std::uint64_t> oversize_{0};
     std::atomic<std::uint64_t> recycled_{0};
+    std::atomic<std::uint64_t> borrowed_{0};
+    std::atomic<bool> scrub_{false};
 };
 
 inline void FrameBuffer::release() noexcept {
+    if (hook_ != nullptr) {
+        // Borrowed path: retire the external slot and drop the keepalive.
+        // Deliberately no scrub and no free-list traffic — the bytes
+        // belong to the arena owner, not to any pool.
+        ReleaseHook hook = hook_;
+        void* ctx = hook_ctx_;
+        const std::uint32_t token = token_;
+        clear_external();
+        hook(ctx, token);
+        keepalive_.reset();
+    }
     if (home_ != nullptr) {
         FrameBufferPool* home = home_;
         home_ = nullptr;

@@ -1,6 +1,7 @@
 #include "net/shm_transport.hpp"
 
 #include "cdr/giop.hpp"
+#include "net/lane_group.hpp"
 #include "obs/flight_recorder.hpp"
 
 #include <dirent.h>
@@ -14,11 +15,13 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <climits>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 namespace compadres::net {
 
@@ -77,12 +80,24 @@ std::size_t round_up_pow2(std::size_t n) noexcept {
 ShmOptions normalize(ShmOptions o) {
     o.ring_capacity = round_up_pow2(o.ring_capacity ? o.ring_capacity : 2);
     if (o.ring_capacity < 2) o.ring_capacity = 2;
+    // Bounded so a slot index always fits the 24 bits a borrowed frame's
+    // release token reserves for it (the band takes the top 8).
+    if (o.ring_capacity > (1u << 20)) o.ring_capacity = 1u << 20;
     if (o.arena_bytes < 4096) o.arena_bytes = 4096;
     o.arena_bytes = align8(o.arena_bytes);
     if (o.max_frame_bytes > o.arena_bytes / 2) {
         o.max_frame_bytes = o.arena_bytes / 2;
     }
     if (o.max_frame_bytes < 64) o.max_frame_bytes = 64;
+    if (o.bands < 1) o.bands = 1;
+    if (o.bands > shm_detail::kMaxShmBands) o.bands = shm_detail::kMaxShmBands;
+    if (o.max_pinned_slots == 0) o.max_pinned_slots = o.ring_capacity / 2;
+    // Strictly below capacity: at pinned == capacity the slot index
+    // (head & mask) of the next pop would collide with an unreleased
+    // slot's bitmap bit.
+    if (o.max_pinned_slots > o.ring_capacity - 1) {
+        o.max_pinned_slots = o.ring_capacity - 1;
+    }
     return o;
 }
 
@@ -122,7 +137,7 @@ std::shared_ptr<ShmSegment> ShmSegment::create(const ShmOptions& options) {
                              std::strerror(errno));
     }
     const std::size_t total =
-        shm_detail::segment_bytes(o.ring_capacity, o.arena_bytes);
+        shm_detail::segment_bytes(o.bands, o.ring_capacity, o.arena_bytes);
     if (ftruncate(fd, static_cast<off_t>(total)) != 0) {
         const int err = errno;
         ::close(fd);
@@ -148,7 +163,9 @@ std::shared_ptr<ShmSegment> ShmSegment::create(const ShmOptions& options) {
     h->ring_capacity = static_cast<std::uint32_t>(o.ring_capacity);
     h->arena_bytes = static_cast<std::uint32_t>(o.arena_bytes);
     h->max_frame_bytes = static_cast<std::uint32_t>(o.max_frame_bytes);
+    h->bands = static_cast<std::uint32_t>(o.bands);
     h->generation = mint_generation();
+    new (seg->base_ + shm_detail::dirs_offset()) SegDir[2 * o.bands]{};
     h->pid[0].store(static_cast<std::uint32_t>(getpid()),
                     std::memory_order_relaxed);
     h->attached[0].store(1, std::memory_order_release);
@@ -193,7 +210,9 @@ std::shared_ptr<ShmSegment> ShmSegment::attach(const std::string& name,
                              std::to_string(h.version) + ", expected v" +
                              std::to_string(shm_detail::kVersion));
     }
-    if (shm_detail::segment_bytes(h.ring_capacity, h.arena_bytes) != total ||
+    if (h.bands < 1 || h.bands > shm_detail::kMaxShmBands ||
+        shm_detail::segment_bytes(h.bands, h.ring_capacity, h.arena_bytes) !=
+            total ||
         (h.ring_capacity & (h.ring_capacity - 1)) != 0 ||
         h.ring_capacity < 2) {
         throw TransportError("shm segment geometry corrupt: " + name);
@@ -219,14 +238,23 @@ ShmSegment::~ShmSegment() {
     if (base_ != nullptr) munmap(base_, map_bytes_);
 }
 
-SegSlot* ShmSegment::slots(int side) const noexcept {
-    auto* first = reinterpret_cast<SegSlot*>(base_ + shm_detail::slots_offset());
-    return first + static_cast<std::size_t>(side) * header().ring_capacity;
+SegDir& ShmSegment::dir(int side, std::size_t band) const noexcept {
+    auto* first = reinterpret_cast<SegDir*>(base_ + shm_detail::dirs_offset());
+    return first[static_cast<std::size_t>(side) * header().bands + band];
 }
 
-std::uint8_t* ShmSegment::arena(int side) const noexcept {
-    return base_ + shm_detail::arena_offset(header().ring_capacity) +
-           static_cast<std::size_t>(side) * header().arena_bytes;
+SegSlot* ShmSegment::slots(int side, std::size_t band) const noexcept {
+    auto* first = reinterpret_cast<SegSlot*>(
+        base_ + shm_detail::slots_offset(header().bands));
+    return first + (static_cast<std::size_t>(side) * header().bands + band) *
+                       header().ring_capacity;
+}
+
+std::uint8_t* ShmSegment::arena(int side, std::size_t band) const noexcept {
+    return base_ +
+           shm_detail::arena_offset(header().bands, header().ring_capacity) +
+           (static_cast<std::size_t>(side) * header().bands + band) *
+               header().arena_bytes;
 }
 
 void ShmSegment::detach() noexcept {
@@ -244,14 +272,26 @@ void ShmSegment::unlink() noexcept {
 
 // ---- ShmSession -----------------------------------------------------------
 
-/// The engine behind ShmTransport: SPSC ring producer/consumer over the
-/// segment, plus the TCP control/fallback channel and the failover state
-/// machine. Lock order: send_mu_ before recv_mu_, never the reverse.
-/// recv_mu_ is held only for the duration of a pop — never across a futex
-/// wait — so an abandoner freezing the rx tail cannot deadlock against a
-/// sleeping receiver. recv_frame is single-consumer (one bridge reader
-/// thread), like every transport in this repo; send_frame is any-thread.
-class ShmSession {
+/// The engine behind ShmTransport: per-band SPSC ring producer/consumer
+/// over the segment, plus the TCP control/fallback channel and the
+/// failover state machine.
+///
+/// Locking. Producers serialize per band (TxBand::mu), so a bulk band
+/// parked in a space wait never stalls an urgent send. send_mu_ guards
+/// the failover state machine (bye in either direction, peer death,
+/// close) and TCP fallback ordering; a state transition takes send_mu_
+/// first, then every band mutex in index order — never the reverse, so a
+/// producer holding its band mutex must not take send_mu_ (failure
+/// handling runs after the band mutex is dropped). recv_mu_ serializes
+/// pops against the rx freeze and is held only for the duration of a pop
+/// — never across a futex wait — so an abandoner freezing the rx tails
+/// cannot deadlock against a sleeping receiver. retire_mu_ guards the
+/// released bitmaps and published tails (taken after recv_mu_ where both
+/// are needed, never before). recv_frame is single-consumer (one bridge
+/// reader thread), like every transport in this repo; send_frame is
+/// any-thread. enable_shared_from_this: every borrowed frame keeps the
+/// session (and therefore the segment mapping) alive until it dies.
+class ShmSession : public std::enable_shared_from_this<ShmSession> {
 public:
     ShmSession(std::shared_ptr<ShmSegment> seg, std::unique_ptr<Transport> tcp,
                const ShmOptions& opts)
@@ -262,10 +302,25 @@ public:
         mask_ = capacity_ - 1;
         arena_bytes_ = h.arena_bytes;
         max_frame_ = h.max_frame_bytes;
-        tx_slots_ = seg_->slots(side_);
-        rx_slots_ = seg_->slots(1 - side_);
-        tx_arena_ = seg_->arena(side_);
-        rx_arena_ = seg_->arena(1 - side_);
+        bands_ = h.bands;
+        // Geometry (bands included) comes from the header so both sides
+        // agree; only local knobs come from opts_. Re-clamp the pin
+        // budget against the header's capacity, which can differ from
+        // the capacity in this side's options.
+        max_pinned_ = opts_.max_pinned_slots;
+        if (max_pinned_ > capacity_ - 1) max_pinned_ = capacity_ - 1;
+        if (max_pinned_ < 1) max_pinned_ = 1;
+        for (std::size_t b = 0; b < bands_; ++b) {
+            tx_[b].slots = seg_->slots(side_, b);
+            tx_[b].arena = seg_->arena(side_, b);
+            rx_[b].slots = seg_->slots(1 - side_, b);
+            rx_[b].arena = seg_->arena(1 - side_, b);
+            rx_[b].released =
+                std::make_unique<std::atomic<std::uint8_t>[]>(capacity_);
+            for (std::uint32_t i = 0; i < capacity_; ++i) {
+                rx_[b].released[i].store(0, std::memory_order_relaxed);
+            }
+        }
         if (ReactorHook* hook = tcp_->reactor_hook()) {
             tcp_fd_ = hook->descriptor();
         }
@@ -275,51 +330,57 @@ public:
 
     // -- ring-pair surface --------------------------------------------------
 
-    /// Push one frame into our produced ring. False (frame untouched) when
-    /// the shm path cannot take it — oversize (triggers orderly failover),
-    /// peer gone, bye exchanged, or closed — and the caller reroutes to TCP.
+    /// Push one frame into the ring its band selects. False (frame
+    /// untouched) when the shm path cannot take it — oversize (triggers
+    /// orderly failover), peer gone, bye exchanged, or closed — and the
+    /// caller reroutes to TCP.
     bool ring_send(FrameBuffer& frame) {
-        std::lock_guard lk(send_mu_);
         if (bye_pending_.load(std::memory_order_acquire)) {
+            std::lock_guard lk(send_mu_);
             complete_peer_bye_locked();
         }
-        if (!tx_up_.load(std::memory_order_relaxed)) return false;
+        if (!tx_up_.load(std::memory_order_acquire)) return false;
         const std::size_t len = frame.size();
-        if (len > max_frame_) {
-            // One route's frames must stay ordered, so an oversize frame
-            // cannot simply take the other path: abandon shm first, then
-            // everything (this frame included) rides TCP.
-            abandon_locked("oversize frame");
+        const std::size_t band = band_of(frame.data(), len);
+        TxBand& tx = tx_[band];
+        bool peer_died = false;
+        if (len <= max_frame_) {
+            std::lock_guard lk(tx.mu);
+            if (!tx_up_.load(std::memory_order_acquire)) return false;
+            std::size_t pos = 0;
+            switch (acquire_tx_space_locked(tx, band, len, pos)) {
+            case kSpaceDown:
+                return false;
+            case kSpacePeerDead:
+                peer_died = true;
+                break;
+            case kSpaceOk:
+                std::memcpy(tx.arena + pos, frame.data(), len);
+                tx.slots[tx.head & mask_] =
+                    SegSlot{static_cast<std::uint32_t>(pos),
+                            static_cast<std::uint32_t>(len)};
+                tx.arena_head += align8(len);
+                ++tx.head;
+                tx_dir(band).head.store(tx.head, std::memory_order_release);
+                wake_data_waiter(len, band);
+                tx.sent.fetch_add(1, std::memory_order_relaxed);
+                shm_sent_.fetch_add(1, std::memory_order_relaxed);
+                obs::FlightRecorder::emit(obs::EventType::kFrameSend, len,
+                                          static_cast<std::uint32_t>(band));
+                return true;
+            }
+        }
+        // Failure transitions run with the band mutex dropped: both take
+        // send_mu_ and then every band mutex.
+        if (peer_died) {
+            note_peer_dead();
             return false;
         }
-        std::size_t pos = 0;
-        if (!acquire_tx_space_locked(len, pos)) return false;
-        std::memcpy(tx_arena_ + pos, frame.data(), len);
-        tx_slots_[tx_head_ & mask_] =
-            SegSlot{static_cast<std::uint32_t>(pos),
-                    static_cast<std::uint32_t>(len)};
-        arena_head_ += align8(len);
-        ++tx_head_;
-        SegDir& d = tx_dir();
-        d.head.store(tx_head_, std::memory_order_release);
-        // Only-if-waiters wake (Dekker with the consumer's registration:
-        // the seq_cst fence orders our head publish before the waiters
-        // exchange; the consumer's seq_cst registration orders before its
-        // head re-check, so one of us always sees the other). The exchange
-        // CLAIMS the registration: a woken-but-not-yet-scheduled consumer
-        // costs one wake per waiting episode, not one per push — on a
-        // single core the consumer can stay registered across a whole
-        // batch of sends.
-        std::atomic_thread_fence(std::memory_order_seq_cst);
-        if (d.data_waiters.exchange(0, std::memory_order_seq_cst) != 0) {
-            d.data_seq.fetch_add(1, std::memory_order_release);
-            futex_wake_all(d.data_seq);
-            wakeups_.fetch_add(1, std::memory_order_relaxed);
-            obs::FlightRecorder::emit(obs::EventType::kShmWakeup, len, 0);
-        }
-        shm_sent_.fetch_add(1, std::memory_order_relaxed);
-        obs::FlightRecorder::emit(obs::EventType::kFrameSend, len, 0);
-        return true;
+        // One route's frames must stay ordered, so an oversize frame
+        // cannot simply take the other path: abandon shm first, then
+        // everything (this frame included) rides TCP.
+        abandon("oversize frame");
+        return false;
     }
 
     /// One bounded receive attempt: spin, then at most one futex sleep
@@ -328,22 +389,22 @@ public:
     RingRecv ring_recv() {
         RingRecv r = try_pop();
         if (r.frame.has_value() || r.closed) return r;
-        SegDir& d = rx_dir();
         for (std::size_t i = 0; i < opts_.spin_budget; ++i) {
-            if (d.head.load(std::memory_order_acquire) != rx_tail_hint_) {
-                return try_pop();
-            }
+            if (rx_ring_has_data()) return try_pop();
             cpu_relax();
             spins_.fetch_add(1, std::memory_order_relaxed);
         }
-        // SPSC: we are the only registrar, the producer claims with
+        // All bands share one side-level data futex (the producing side's
+        // band-0 dir): the consumer registers once and whichever band's
+        // producer publishes next claims + wakes it. SPSC per
+        // registration: we are the only registrar, producers claim with
         // exchange(0), so plain stores keep the flag in {0, 1}.
+        SegDir& d = rx_dir(0);
         d.data_waiters.store(1, std::memory_order_seq_cst);
         const std::uint32_t seq = d.data_seq.load(std::memory_order_acquire);
         std::atomic_thread_fence(std::memory_order_seq_cst);
         const bool wake_worthy =
-            d.head.load(std::memory_order_acquire) != rx_tail_hint_ ||
-            d.closed.load(std::memory_order_acquire) != 0 ||
+            rx_ring_has_data() || rx_rings_closed() ||
             rx_peer_done_.load(std::memory_order_acquire) ||
             rx_frozen_.load(std::memory_order_acquire) ||
             closed_.load(std::memory_order_acquire);
@@ -356,15 +417,24 @@ public:
     }
 
     std::size_t tx_depth() const {
-        const SegDir& d = seg_->header().dir[side_];
-        return d.head.load(std::memory_order_relaxed) -
-               d.tail.load(std::memory_order_relaxed);
+        std::size_t total = 0;
+        for (std::size_t b = 0; b < bands_; ++b) {
+            const SegDir& d = seg_->dir(side_, b);
+            total += d.head.load(std::memory_order_relaxed) -
+                     d.tail.load(std::memory_order_relaxed);
+        }
+        return total;
     }
     std::size_t rx_depth() const {
-        const SegDir& d = seg_->header().dir[1 - side_];
-        return d.head.load(std::memory_order_relaxed) -
-               d.tail.load(std::memory_order_relaxed);
+        std::size_t total = 0;
+        for (std::size_t b = 0; b < bands_; ++b) {
+            const SegDir& d = seg_->dir(1 - side_, b);
+            total += d.head.load(std::memory_order_relaxed) -
+                     d.tail.load(std::memory_order_relaxed);
+        }
+        return total;
     }
+    std::size_t bands() const noexcept { return bands_; }
 
     // -- transport hooks ----------------------------------------------------
 
@@ -428,15 +498,28 @@ public:
                 complete_peer_bye_locked();
             }
             closed_.store(true, std::memory_order_release);
+            // Wake senders parked in a space wait so they drop their band
+            // mutex (they re-check closed_), letting us take every band.
+            wake_space_waiters();
+            std::array<std::unique_lock<std::mutex>, shm_detail::kMaxShmBands>
+                band_locks;
+            for (std::size_t b = 0; b < bands_; ++b) {
+                band_locks[b] = std::unique_lock(tx_[b].mu);
+            }
             tx_up_.store(false, std::memory_order_release);
-            SegDir& d = tx_dir();
-            d.closed.store(1, std::memory_order_release);
+            for (std::size_t b = 0; b < bands_; ++b) {
+                tx_dir(b).closed.store(1, std::memory_order_release);
+            }
             std::atomic_thread_fence(std::memory_order_seq_cst);
-            d.data_seq.fetch_add(1, std::memory_order_release);
-            futex_wake_all(d.data_seq); // peer's receiver
+            SegDir& d0 = tx_dir(0);
+            d0.data_seq.fetch_add(1, std::memory_order_release);
+            futex_wake_all(d0.data_seq); // peer's receiver
         }
         { std::lock_guard rlk(recv_mu_); } // no pop in flight past here
         wake_local_waiters();
+        // The mapping itself stays alive while borrowed frames hold the
+        // session (each one keeps a shared_ptr); detach only drops our
+        // attached flag so the peer and the orphan sweeper see us gone.
         seg_->detach();
         if (side_ == 0) seg_->unlink();
         tcp_->close();
@@ -456,8 +539,32 @@ public:
         c.failovers = failovers_.load(std::memory_order_relaxed);
         c.resent_frames = resent_.load(std::memory_order_relaxed);
         c.dropped_on_failover = dropped_.load(std::memory_order_relaxed);
-        c.tx_depth = tx_depth();
-        c.rx_depth = rx_depth();
+        c.replay_skipped = replay_skipped_.load(std::memory_order_relaxed);
+        c.bands = static_cast<std::uint32_t>(bands_);
+        std::uint64_t txd = 0;
+        std::uint64_t rxd = 0;
+        for (std::size_t b = 0; b < bands_; ++b) {
+            const SegDir& dt = seg_->dir(side_, b);
+            const SegDir& dr = seg_->dir(1 - side_, b);
+            c.band_tx_depth[b] = dt.head.load(std::memory_order_relaxed) -
+                                 dt.tail.load(std::memory_order_relaxed);
+            c.band_rx_depth[b] = dr.head.load(std::memory_order_relaxed) -
+                                 dr.tail.load(std::memory_order_relaxed);
+            c.band_tx_stalls[b] = tx_[b].stalls.load(std::memory_order_relaxed);
+            c.band_tx_frames[b] = tx_[b].sent.load(std::memory_order_relaxed);
+            c.band_rx_frames[b] =
+                rx_[b].received.load(std::memory_order_relaxed);
+            txd += c.band_tx_depth[b];
+            rxd += c.band_rx_depth[b];
+            c.rx_borrowed += rx_[b].borrowed.load(std::memory_order_relaxed);
+            c.rx_copies += rx_[b].copies.load(std::memory_order_relaxed);
+            c.rx_pin_stalls +=
+                rx_[b].pin_stalls.load(std::memory_order_relaxed);
+            c.rx_pinned += rx_[b].next.load(std::memory_order_relaxed) -
+                           rx_[b].retired.load(std::memory_order_relaxed);
+        }
+        c.tx_depth = txd;
+        c.rx_depth = rxd;
         c.shm_active = shm_active();
         return c;
     }
@@ -477,112 +584,317 @@ public:
     }
 
 private:
-    SegDir& tx_dir() noexcept { return seg_->header().dir[side_]; }
-    SegDir& rx_dir() noexcept { return seg_->header().dir[1 - side_]; }
+    /// Per-band producer state, guarded by its own mutex so a bulk band's
+    /// space wait never blocks an urgent send. Cached consumer positions
+    /// avoid re-reading the shared line until the ring looks full.
+    struct TxBand {
+        std::mutex mu;
+        std::uint32_t head = 0;
+        std::uint32_t cached_tail = 0;
+        std::uint64_t arena_head = 0;
+        std::uint64_t cached_arena_tail = 0;
+        SegSlot* slots = nullptr;
+        std::uint8_t* arena = nullptr;
+        std::atomic<std::uint64_t> sent{0};
+        std::atomic<std::uint64_t> stalls{0};
+    };
 
-    /// Reserve a slot + `len` arena bytes, applying the wrap skip. Blocks
-    /// (bounded futex cycles with liveness/bye checks) under backpressure.
-    /// False when the shm path went down while waiting.
-    bool acquire_tx_space_locked(std::size_t len, std::size_t& pos_out) {
-        SegDir& d = tx_dir();
-        for (;;) {
-            if (tx_head_ - cached_tx_tail_ >= capacity_) {
-                cached_tx_tail_ = d.tail.load(std::memory_order_acquire);
-            }
-            const std::uint64_t pos = arena_head_ % arena_bytes_;
-            const std::uint64_t skip =
-                (arena_bytes_ - pos < len) ? (arena_bytes_ - pos) : 0;
-            const std::uint64_t need = skip + align8(len);
-            if (arena_head_ + need - cached_arena_tail_ > arena_bytes_) {
-                cached_arena_tail_ =
-                    d.arena_tail.load(std::memory_order_acquire);
-            }
-            if (tx_head_ - cached_tx_tail_ < capacity_ &&
-                arena_head_ + need - cached_arena_tail_ <= arena_bytes_) {
-                arena_head_ += skip;
-                pos_out = static_cast<std::size_t>(arena_head_ % arena_bytes_);
+    /// Per-band consumer state. `next` (the delivery cursor) is advanced
+    /// by the recv thread under recv_mu_; the retire window — `retired`,
+    /// `arena_retired`, the released bitmap — belongs to retire_mu_,
+    /// because release hooks run on whatever thread drops a borrowed
+    /// frame. `head_hint` is the recv thread's lock-free spin mirror.
+    struct RxBand {
+        std::atomic<std::uint32_t> next{0};
+        std::uint32_t head_hint = 0;
+        std::atomic<std::uint32_t> retired{0};
+        std::uint64_t arena_retired = 0;
+        std::atomic<std::uint32_t> skip_replay{0};
+        std::unique_ptr<std::atomic<std::uint8_t>[]> released;
+        SegSlot* slots = nullptr;
+        std::uint8_t* arena = nullptr;
+        std::atomic<std::uint64_t> received{0};
+        std::atomic<std::uint64_t> borrowed{0};
+        std::atomic<std::uint64_t> copies{0};
+        std::atomic<std::uint64_t> pin_stalls{0};
+    };
+
+    enum SpaceResult { kSpaceOk, kSpaceDown, kSpacePeerDead };
+
+    SegDir& tx_dir(std::size_t band) noexcept {
+        return seg_->dir(side_, band);
+    }
+    SegDir& rx_dir(std::size_t band) noexcept {
+        return seg_->dir(1 - side_, band);
+    }
+
+    /// Band selection mirrors LaneGroup: the GIOP flags octet names the
+    /// band, clamped into the configured lane count. Short frames and
+    /// single-band segments take band 0.
+    std::size_t band_of(const std::uint8_t* data,
+                        std::size_t len) const noexcept {
+        if (bands_ == 1 || len < cdr::GiopHeader::kSize) return 0;
+        return LanePolicy::band_for_frame(data, bands_);
+    }
+
+    bool rx_ring_has_data() noexcept {
+        for (std::size_t b = 0; b < bands_; ++b) {
+            if (rx_dir(b).head.load(std::memory_order_acquire) !=
+                rx_[b].head_hint) {
                 return true;
             }
-            if (!wait_tx_space_locked(cached_tx_tail_, cached_arena_tail_)) {
+        }
+        return false;
+    }
+
+    bool rx_rings_closed() noexcept {
+        for (std::size_t b = 0; b < bands_; ++b) {
+            if (rx_dir(b).closed.load(std::memory_order_acquire) == 0) {
                 return false;
+            }
+        }
+        return true;
+    }
+
+    /// Anything that should abort an in-flight send attempt.
+    bool tx_interrupted() const noexcept {
+        return bye_pending_.load(std::memory_order_acquire) ||
+               bye_sent_.load(std::memory_order_acquire) ||
+               peer_dead_.load(std::memory_order_acquire) ||
+               closed_.load(std::memory_order_acquire) ||
+               !tx_up_.load(std::memory_order_acquire);
+    }
+
+    /// Only-if-waiters wake of the consumer's side-level data futex
+    /// (Dekker with the consumer's registration: the seq_cst fence orders
+    /// our head publish before the waiters exchange; the consumer's
+    /// seq_cst registration orders before its head re-check, so one of us
+    /// always sees the other). The exchange CLAIMS the registration: a
+    /// woken-but-not-yet-scheduled consumer costs one wake per waiting
+    /// episode, not one per push — on a single core the consumer can stay
+    /// registered across a whole batch of sends. All bands funnel through
+    /// band 0's dir; concurrent producers race on the exchange and
+    /// exactly one wins.
+    void wake_data_waiter(std::size_t len, std::size_t band) {
+        SegDir& d0 = tx_dir(0);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (d0.data_waiters.exchange(0, std::memory_order_seq_cst) != 0) {
+            d0.data_seq.fetch_add(1, std::memory_order_release);
+            futex_wake_all(d0.data_seq);
+            wakeups_.fetch_add(1, std::memory_order_relaxed);
+            obs::FlightRecorder::emit(obs::EventType::kShmWakeup, len, 0);
+            // Priority handoff: on a banded segment, a band-0 frame just
+            // woke a consumer that outranks whatever this thread does next
+            // (typically draining bulk lanes). Without kernel priority
+            // preemption (SCHED_FIFO is rarely available in containers) the
+            // woken thread only runs when this one exhausts its slice, so
+            // an urgent frame sits decoded-but-undelivered behind bulk
+            // work. Yielding here is the uniprocessor stand-in for a
+            // priority-based dispatch: it costs one syscall per *claimed*
+            // wake (rare — the exchange above already dedups), and only
+            // when lanes exist to invert.
+            if (bands_ > 1 && band == 0) {
+                std::this_thread::yield();
             }
         }
     }
 
-    /// One bounded wait for the consumer to free space. Aborts (false)
-    /// when the shm path goes down — an inbound bye is completed here so
-    /// the blocked sender cannot deadlock the recv thread on send_mu_.
-    bool wait_tx_space_locked(std::uint32_t seen_tail,
-                              std::uint64_t seen_arena_tail) {
-        if (bye_pending_.load(std::memory_order_acquire)) {
-            complete_peer_bye_locked();
-            return false;
+    /// Nudge every band's space futex so parked senders re-check state
+    /// (and drop their band mutex when a transition is in flight).
+    void wake_space_waiters() {
+        for (std::size_t b = 0; b < bands_; ++b) {
+            SegDir& d = tx_dir(b);
+            d.space_seq.fetch_add(1, std::memory_order_release);
+            futex_wake_all(d.space_seq);
         }
-        if (!tx_up_.load(std::memory_order_relaxed)) return false;
-        if (!peer_alive()) {
-            note_peer_dead_locked();
-            return false;
+    }
+
+    /// Reserve a slot + `len` arena bytes in one band, applying the wrap
+    /// skip. Blocks (bounded futex cycles with liveness/bye checks) under
+    /// backpressure.
+    SpaceResult acquire_tx_space_locked(TxBand& tx, std::size_t band,
+                                        std::size_t len,
+                                        std::size_t& pos_out) {
+        SegDir& d = tx_dir(band);
+        for (;;) {
+            if (tx.head - tx.cached_tail >= capacity_) {
+                tx.cached_tail = d.tail.load(std::memory_order_acquire);
+            }
+            const std::uint64_t pos = tx.arena_head % arena_bytes_;
+            const std::uint64_t skip =
+                (arena_bytes_ - pos < len) ? (arena_bytes_ - pos) : 0;
+            const std::uint64_t need = skip + align8(len);
+            if (tx.arena_head + need - tx.cached_arena_tail > arena_bytes_) {
+                tx.cached_arena_tail =
+                    d.arena_tail.load(std::memory_order_acquire);
+            }
+            if (tx.head - tx.cached_tail < capacity_ &&
+                tx.arena_head + need - tx.cached_arena_tail <= arena_bytes_) {
+                tx.arena_head += skip;
+                pos_out =
+                    static_cast<std::size_t>(tx.arena_head % arena_bytes_);
+                return kSpaceOk;
+            }
+            const SpaceResult w = wait_tx_space_locked(tx, band);
+            if (w != kSpaceOk) return w;
         }
-        SegDir& d = tx_dir();
+    }
+
+    /// One bounded wait for the consumer to free space, holding only this
+    /// band's mutex. Never completes a bye or peer-death transition here —
+    /// those take send_mu_ then every band mutex, the wrong order from
+    /// under a band mutex — it just reports the condition and the caller
+    /// finishes it after unlocking. Transitions wake the space futexes
+    /// before taking band mutexes, so a parked waiter re-checks promptly.
+    SpaceResult wait_tx_space_locked(TxBand& tx, std::size_t band) {
+        if (tx_interrupted()) return kSpaceDown;
+        if (!peer_alive()) return kSpacePeerDead;
+        SegDir& d = tx_dir(band);
+        const std::uint32_t seen_tail = tx.cached_tail;
+        const std::uint64_t seen_arena_tail = tx.cached_arena_tail;
+        tx.stalls.fetch_add(1, std::memory_order_relaxed);
+        // SPSC per band dir: producers serialize on tx.mu, so at most one
+        // registrar; the retirer claims with exchange(0).
         d.space_waiters.store(1, std::memory_order_seq_cst);
         const std::uint32_t seq = d.space_seq.load(std::memory_order_acquire);
         std::atomic_thread_fence(std::memory_order_seq_cst);
         const bool progressed =
             d.tail.load(std::memory_order_acquire) != seen_tail ||
             d.arena_tail.load(std::memory_order_acquire) != seen_arena_tail ||
-            bye_pending_.load(std::memory_order_acquire) ||
-            !tx_up_.load(std::memory_order_relaxed);
+            tx_interrupted();
         if (!progressed) {
             futex_wait_us(d.space_seq, seq, opts_.wait_cycle_us);
             futex_waits_.fetch_add(1, std::memory_order_relaxed);
         }
         d.space_waiters.store(0, std::memory_order_release);
-        if (bye_pending_.load(std::memory_order_acquire)) {
-            complete_peer_bye_locked();
-            return false;
-        }
-        return tx_up_.load(std::memory_order_relaxed);
+        if (tx_interrupted()) return kSpaceDown;
+        return kSpaceOk;
     }
 
-    /// Non-blocking pop of our inbound ring. Exactly one of: frame;
-    /// closed (ring down AND drained); idle.
+    /// Non-blocking pop of our inbound rings, band 0 (most urgent) first.
+    /// Exactly one of: frame; closed (rings down AND drained); idle.
     RingRecv try_pop() {
         std::lock_guard lk(recv_mu_);
         if (rx_frozen_.load(std::memory_order_acquire) ||
             closed_.load(std::memory_order_acquire)) {
             return RingRecv::ended();
         }
-        SegDir& d = rx_dir();
-        const std::uint32_t head = d.head.load(std::memory_order_acquire);
-        if (head == rx_tail_) {
-            const bool done = rx_peer_done_.load(std::memory_order_acquire) ||
-                              d.closed.load(std::memory_order_acquire) != 0 ||
-                              peer_dead_.load(std::memory_order_acquire);
-            return done ? RingRecv::ended() : RingRecv{};
+        bool all_closed = true;
+        for (std::size_t b = 0; b < bands_; ++b) {
+            SegDir& d = rx_dir(b);
+            const std::uint32_t next =
+                rx_[b].next.load(std::memory_order_relaxed);
+            if (d.head.load(std::memory_order_acquire) != next) {
+                return pop_band_locked(b, next);
+            }
+            if (d.closed.load(std::memory_order_acquire) == 0) {
+                all_closed = false;
+            }
         }
-        const SegSlot slot = rx_slots_[rx_tail_ & mask_];
-        // Mirror the producer's wrap skip: a slot that does not start at
-        // our retire position means the producer jumped to the boundary.
-        if (rx_arena_tail_ % arena_bytes_ != slot.offset) {
-            rx_arena_tail_ += arena_bytes_ - (rx_arena_tail_ % arena_bytes_);
+        const bool done = rx_peer_done_.load(std::memory_order_acquire) ||
+                          all_closed ||
+                          peer_dead_.load(std::memory_order_acquire);
+        return done ? RingRecv::ended() : RingRecv{};
+    }
+
+    /// Deliver the frame at `next` in band `b`. Zero-copy when borrowing
+    /// is on and the pin budget allows: the frame is a view of the arena
+    /// slot, the release hook retires it when the frame dies, and the
+    /// keepalive pins this session (and the mapping) underneath it.
+    /// Otherwise copy out into a pooled buffer and retire immediately.
+    RingRecv pop_band_locked(std::size_t b, std::uint32_t next) {
+        RxBand& rx = rx_[b];
+        const std::uint32_t idx = next & mask_;
+        const SegSlot slot = rx.slots[idx];
+        std::uint8_t* src = rx.arena + slot.offset;
+        // Delivered-but-unretired slots. Capping below capacity keeps
+        // bitmap indices collision-free (at pinned == capacity the next
+        // pop would reuse a still-pinned slot's bit).
+        const std::uint32_t pinned =
+            next - rx.retired.load(std::memory_order_acquire);
+        FrameBuffer out;
+        bool copied = false;
+        if (borrowed_ && pinned < max_pinned_) {
+            out = FrameBuffer::borrow(
+                src, slot.len, &ShmSession::release_hook, this,
+                (static_cast<std::uint32_t>(b) << 24) | idx,
+                shared_from_this());
+            rx.borrowed.fetch_add(1, std::memory_order_relaxed);
+            pool().note_borrowed();
+        } else {
+            if (borrowed_) {
+                rx.pin_stalls.fetch_add(1, std::memory_order_relaxed);
+            }
+            out = pool().acquire(slot.len);
+            std::memcpy(out.data(), src, slot.len);
+            rx.copies.fetch_add(1, std::memory_order_relaxed);
+            copied = true;
         }
-        FrameBuffer buf = pool().acquire(slot.len);
-        std::memcpy(buf.data(), rx_arena_ + slot.offset, slot.len);
-        rx_arena_tail_ += align8(slot.len);
-        d.arena_tail.store(rx_arena_tail_, std::memory_order_release);
-        ++rx_tail_;
-        rx_tail_hint_ = rx_tail_;
-        d.tail.store(rx_tail_, std::memory_order_release);
+        rx.next.store(next + 1, std::memory_order_release);
+        rx.head_hint = next + 1;
+        rx.received.fetch_add(1, std::memory_order_relaxed);
+        shm_recv_.fetch_add(1, std::memory_order_relaxed);
+        obs::FlightRecorder::emit(obs::EventType::kFrameRecv, slot.len,
+                                  static_cast<std::uint32_t>(b));
+        if (copied) release_slot(b, idx);
+        return RingRecv{.frame = std::move(out)};
+    }
+
+    static void release_hook(void* ctx, std::uint32_t token) noexcept {
+        static_cast<ShmSession*>(ctx)->release_slot(token >> 24,
+                                                    token & 0xffffffu);
+    }
+
+    /// Borrowed-frame death (any thread): mark the slot released, then
+    /// advance the published tail over the maximal released prefix. The
+    /// tail never moves while the rx side is frozen or closed — a
+    /// failover's replay window is pinned to the frozen tail (see
+    /// abandon_locked), and a closed segment is no longer producing.
+    void release_slot(std::size_t band, std::uint32_t idx) noexcept {
+        RxBand& rx = rx_[band];
+        std::lock_guard lk(retire_mu_);
+        rx.released[idx].store(1, std::memory_order_relaxed);
+        if (rx_frozen_.load(std::memory_order_acquire) ||
+            closed_.load(std::memory_order_acquire)) {
+            return; // bookkeeping only; the tail stays frozen
+        }
+        retire_band_locked(band);
+    }
+
+    /// Advance retired/tail over every contiguously released slot,
+    /// mirroring the producer's wrap skip on the arena position, then
+    /// wake a space-starved producer if one is parked.
+    void retire_band_locked(std::size_t band) noexcept {
+        RxBand& rx = rx_[band];
+        SegDir& d = rx_dir(band);
+        std::uint32_t r = rx.retired.load(std::memory_order_relaxed);
+        const std::uint32_t limit = rx.next.load(std::memory_order_acquire);
+        bool advanced = false;
+        while (r != limit &&
+               rx.released[r & mask_].load(std::memory_order_relaxed) != 0) {
+            rx.released[r & mask_].store(0, std::memory_order_relaxed);
+            const SegSlot slot = rx.slots[r & mask_];
+            // A slot that does not start at our retire position means the
+            // producer jumped to the arena boundary.
+            if (rx.arena_retired % arena_bytes_ != slot.offset) {
+                rx.arena_retired +=
+                    arena_bytes_ - (rx.arena_retired % arena_bytes_);
+            }
+            rx.arena_retired += align8(slot.len);
+            ++r;
+            advanced = true;
+        }
+        if (!advanced) return;
+        d.arena_tail.store(rx.arena_retired, std::memory_order_release);
+        rx.retired.store(r, std::memory_order_release);
+        d.tail.store(r, std::memory_order_release);
         std::atomic_thread_fence(std::memory_order_seq_cst);
         if (d.space_waiters.exchange(0, std::memory_order_seq_cst) != 0) {
             d.space_seq.fetch_add(1, std::memory_order_release);
             futex_wake_all(d.space_seq);
             wakeups_.fetch_add(1, std::memory_order_relaxed);
-            obs::FlightRecorder::emit(obs::EventType::kShmWakeup, slot.len, 1);
+            obs::FlightRecorder::emit(obs::EventType::kShmWakeup, 0, 1);
         }
-        shm_recv_.fetch_add(1, std::memory_order_relaxed);
-        obs::FlightRecorder::emit(obs::EventType::kFrameRecv, slot.len, 0);
-        return RingRecv{.frame = std::move(buf)};
     }
 
     /// Read one TCP frame (blocking) and classify: shm control is handled
@@ -604,6 +916,20 @@ private:
             handle_peer_bye();
             return RingRecv{};
         }
+        // After we froze our rx side with delivered-but-unretired slots
+        // outstanding, the peer's replay re-sends those frames (it can
+        // only see the frozen tail). Drop exactly the per-band skip
+        // counts recorded at the freeze; everything past them is new.
+        if (rx_frozen_.load(std::memory_order_acquire)) {
+            const std::size_t band = band_of(f->data(), f->size());
+            auto& skip = rx_[band].skip_replay;
+            const std::uint32_t left = skip.load(std::memory_order_acquire);
+            if (left > 0) {
+                skip.store(left - 1, std::memory_order_release);
+                replay_skipped_.fetch_add(1, std::memory_order_relaxed);
+                return RingRecv{};
+            }
+        }
         tcp_recv_.fetch_add(1, std::memory_order_relaxed);
         return RingRecv{.frame = std::move(*f)};
     }
@@ -623,46 +949,42 @@ private:
     }
 
     /// Inbound bye (recv thread). Flag it, wake any sender blocked inside
-    /// a space wait (it completes the bye itself — see
+    /// a space wait (it aborts and falls through to the completion — see
     /// wait_tx_space_locked), then complete under send_mu_.
     void handle_peer_bye() {
         bye_pending_.store(true, std::memory_order_release);
-        SegDir& d = tx_dir();
-        d.space_seq.fetch_add(1, std::memory_order_release);
-        futex_wake_all(d.space_seq);
+        wake_space_waiters();
         std::lock_guard lk(send_mu_);
         complete_peer_bye_locked();
     }
 
-    /// The peer froze its rx tail and switched to TCP. Replay exactly our
-    /// unconsumed [tail, head) outbound frames over TCP — ahead of any
-    /// newer sends, which serialize behind send_mu_ — then treat the
-    /// peer's production side as finished.
+    /// The peer froze its rx tails and switched to TCP. Take every band
+    /// mutex (stopping the producers), replay exactly our unconsumed
+    /// [tail, head) outbound frames over TCP — band 0 first, and ahead of
+    /// any newer sends, which serialize behind send_mu_ — then treat the
+    /// peer's production side as finished. The replay batch-reserves
+    /// pooled buffers and stages frames through the coalescing TCP
+    /// writer, so a 400-frame resend costs a handful of pool-lock
+    /// acquisitions and a few large writev flushes instead of one lock
+    /// and one syscall per frame.
     void complete_peer_bye_locked() {
         if (!bye_pending_.exchange(false, std::memory_order_acq_rel)) return;
+        std::array<std::unique_lock<std::mutex>, shm_detail::kMaxShmBands>
+            band_locks;
+        for (std::size_t b = 0; b < bands_; ++b) {
+            band_locks[b] = std::unique_lock(tx_[b].mu);
+        }
         tx_up_.store(false, std::memory_order_release);
-        SegDir& d = tx_dir();
-        std::uint32_t t = d.tail.load(std::memory_order_acquire);
-        std::uint64_t at = d.arena_tail.load(std::memory_order_acquire);
-        while (t != tx_head_) {
-            const SegSlot slot = tx_slots_[t & mask_];
-            if (at % arena_bytes_ != slot.offset) {
-                at += arena_bytes_ - (at % arena_bytes_);
-            }
-            at += align8(slot.len);
-            ++t;
-            if (!tcp_up_.load(std::memory_order_relaxed)) {
-                dropped_.fetch_add(1, std::memory_order_relaxed);
-                continue;
-            }
-            FrameBuffer f = pool().acquire(slot.len);
-            std::memcpy(f.data(), tx_arena_ + slot.offset, slot.len);
+        const bool coalesce = tcp_up_.load(std::memory_order_relaxed);
+        if (coalesce) tcp_->set_coalescing(true);
+        for (std::size_t b = 0; b < bands_; ++b) {
+            replay_band_locked(tx_[b], tx_dir(b));
+        }
+        if (coalesce) {
             try {
-                tcp_->send_frame(std::move(f));
-                resent_.fetch_add(1, std::memory_order_relaxed);
+                tcp_->set_coalescing(false); // flush the staged replay
             } catch (const TransportError&) {
                 tcp_up_.store(false, std::memory_order_release);
-                dropped_.fetch_add(1, std::memory_order_relaxed);
             }
         }
         rx_peer_done_.store(true, std::memory_order_release);
@@ -671,13 +993,81 @@ private:
         obs::FlightRecorder::emit(obs::EventType::kShmFailover, 0, 0);
     }
 
+    void replay_band_locked(TxBand& tx, SegDir& d) {
+        std::uint32_t t = d.tail.load(std::memory_order_acquire);
+        std::uint64_t at = d.arena_tail.load(std::memory_order_acquire);
+        constexpr std::size_t kReplayBatch = 32;
+        FrameBuffer bufs[kReplayBatch];
+        while (t != tx.head) {
+            // Window of up to kReplayBatch pending slots, sized by the
+            // largest frame among them so one batch-acquire covers all of
+            // them (the per-frame resize down never reallocates).
+            std::size_t n = 0;
+            std::size_t max_len = 0;
+            for (std::uint32_t w = t; w != tx.head && n < kReplayBatch;
+                 ++w, ++n) {
+                const std::size_t len = tx.slots[w & mask_].len;
+                if (len > max_len) max_len = len;
+            }
+            if (tcp_up_.load(std::memory_order_relaxed)) {
+                pool().acquire_batch(max_len, bufs, n);
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                const SegSlot slot = tx.slots[t & mask_];
+                if (at % arena_bytes_ != slot.offset) {
+                    at += arena_bytes_ - (at % arena_bytes_);
+                }
+                at += align8(slot.len);
+                ++t;
+                if (!tcp_up_.load(std::memory_order_relaxed)) {
+                    dropped_.fetch_add(1, std::memory_order_relaxed);
+                    bufs[i].release();
+                    continue;
+                }
+                bufs[i].resize(slot.len);
+                std::memcpy(bufs[i].data(), tx.arena + slot.offset, slot.len);
+                try {
+                    tcp_->send_frame(std::move(bufs[i]));
+                    resent_.fetch_add(1, std::memory_order_relaxed);
+                } catch (const TransportError&) {
+                    tcp_up_.store(false, std::memory_order_release);
+                    dropped_.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        }
+    }
+
+    /// Orderly reroute-to-TCP. Stops our producers (all bands), freezes
+    /// our rx tails recording how many delivered-but-unretired slots each
+    /// band holds — the peer's replay will re-send those, and pump_tcp
+    /// skips exactly that many — then tells the peer. Pinned borrowed
+    /// frames stay valid across the switch: the frozen tails keep the
+    /// peer's producer from ever reclaiming their arena bytes, and it
+    /// stops producing once the bye lands anyway.
     void abandon_locked(const char* reason) {
         if (bye_sent_.exchange(true, std::memory_order_acq_rel)) return;
         (void)reason;
-        tx_up_.store(false, std::memory_order_release);
+        // Senders parked in a space wait hold their band mutex; they
+        // re-check bye_sent_ on wake and bail, letting us take it.
+        wake_space_waiters();
+        {
+            std::array<std::unique_lock<std::mutex>, shm_detail::kMaxShmBands>
+                band_locks;
+            for (std::size_t b = 0; b < bands_; ++b) {
+                band_locks[b] = std::unique_lock(tx_[b].mu);
+            }
+            tx_up_.store(false, std::memory_order_release);
+        } // no ring publish of ours can land past this point
         {
             std::lock_guard rlk(recv_mu_);
+            std::lock_guard tlk(retire_mu_);
             rx_frozen_.store(true, std::memory_order_release);
+            for (std::size_t b = 0; b < bands_; ++b) {
+                rx_[b].skip_replay.store(
+                    rx_[b].next.load(std::memory_order_relaxed) -
+                        rx_[b].retired.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+            }
         }
         wake_local_waiters();
         if (tcp_up_.load(std::memory_order_relaxed)) {
@@ -698,13 +1088,26 @@ private:
 
     /// Peer died without a bye. Our unconsumed outbound frames are moot
     /// (their consumer is gone — counted, not resent); the peer's already
-    /// published inbound frames stay deliverable until the ring drains.
+    /// published inbound frames stay deliverable until the rings drain,
+    /// and already-pinned slots stay valid forever (a dead producer can
+    /// never reclaim them).
     void note_peer_dead_locked() {
         if (peer_dead_.exchange(true, std::memory_order_acq_rel)) return;
-        tx_up_.store(false, std::memory_order_release);
-        const SegDir& d = seg_->header().dir[side_];
-        dropped_.fetch_add(tx_head_ - d.tail.load(std::memory_order_acquire),
-                           std::memory_order_relaxed);
+        wake_space_waiters();
+        {
+            std::array<std::unique_lock<std::mutex>, shm_detail::kMaxShmBands>
+                band_locks;
+            for (std::size_t b = 0; b < bands_; ++b) {
+                band_locks[b] = std::unique_lock(tx_[b].mu);
+            }
+            tx_up_.store(false, std::memory_order_release);
+            for (std::size_t b = 0; b < bands_; ++b) {
+                dropped_.fetch_add(
+                    tx_[b].head -
+                        tx_dir(b).tail.load(std::memory_order_acquire),
+                    std::memory_order_relaxed);
+            }
+        }
         rx_peer_done_.store(true, std::memory_order_release);
         wake_local_waiters();
         failovers_.fetch_add(1, std::memory_order_relaxed);
@@ -723,15 +1126,14 @@ private:
             h.pid[peer].load(std::memory_order_acquire)));
     }
 
-    /// Wake our own receiver (sleeping on the peer's data futex) and our
-    /// own senders (sleeping on our space futex) so they re-check state.
+    /// Wake our own receiver (sleeping on the peer side's band-0 data
+    /// futex) and our own senders (sleeping on our per-band space
+    /// futexes) so they re-check state.
     void wake_local_waiters() {
-        SegDir& rd = rx_dir();
+        SegDir& rd = rx_dir(0);
         rd.data_seq.fetch_add(1, std::memory_order_release);
         futex_wake_all(rd.data_seq);
-        SegDir& td = tx_dir();
-        td.space_seq.fetch_add(1, std::memory_order_release);
-        futex_wake_all(td.space_seq);
+        wake_space_waiters();
     }
 
     void send_control_locked(const char* op) {
@@ -751,28 +1153,19 @@ private:
     std::uint32_t mask_ = 0;
     std::uint64_t arena_bytes_ = 0;
     std::size_t max_frame_ = 0;
-    SegSlot* tx_slots_ = nullptr;
-    SegSlot* rx_slots_ = nullptr;
-    std::uint8_t* tx_arena_ = nullptr;
-    std::uint8_t* rx_arena_ = nullptr;
+    std::size_t bands_ = 1;
+    std::uint32_t max_pinned_ = 1;
+    const bool borrowed_ = opts_.borrowed_frames;
     int tcp_fd_ = -1;
 
-    std::mutex send_mu_; ///< producer serialization + failover atomicity
-    std::mutex recv_mu_; ///< pop vs rx-freeze (never held across a wait)
+    std::mutex send_mu_;   ///< failover state machine + TCP send ordering
+    std::mutex recv_mu_;   ///< pop vs rx-freeze (never held across a wait)
+    std::mutex retire_mu_; ///< released bitmaps + published tails
 
-    // Producer-local mirrors (under send_mu_). Cached consumer positions
-    // avoid re-reading the shared line until the ring looks full.
-    std::uint32_t tx_head_ = 0;
-    std::uint32_t cached_tx_tail_ = 0;
-    std::uint64_t arena_head_ = 0;
-    std::uint64_t cached_arena_tail_ = 0;
+    std::array<TxBand, shm_detail::kMaxShmBands> tx_;
+    std::array<RxBand, shm_detail::kMaxShmBands> rx_;
 
-    // Consumer-local (under recv_mu_; the hint is read lock-free by the
-    // single recv thread's spin loop).
-    std::uint32_t rx_tail_ = 0;
-    std::uint32_t rx_tail_hint_ = 0;
-    std::uint64_t rx_arena_tail_ = 0;
-    std::uint64_t liveness_tick_ = 0;
+    std::uint64_t liveness_tick_ = 0; ///< recv-thread-only
 
     std::atomic<bool> tx_up_{true};
     std::atomic<bool> rx_frozen_{false};
@@ -794,6 +1187,7 @@ private:
     std::atomic<std::uint64_t> failovers_{0};
     std::atomic<std::uint64_t> resent_{0};
     std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> replay_skipped_{0};
 };
 
 // ---- ShmRingPair ----------------------------------------------------------
@@ -814,6 +1208,7 @@ ShmTransport::~ShmTransport() { close(); }
 
 ShmCounters ShmTransport::counters() const { return rings_.session->counters(); }
 bool ShmTransport::shm_active() const { return rings_.session->shm_active(); }
+std::size_t ShmTransport::bands() const { return rings_.session->bands(); }
 const std::string& ShmTransport::segment_name() const {
     return rings_.session->segment_name();
 }

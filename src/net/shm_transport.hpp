@@ -3,15 +3,36 @@
 // Every route used to ride TCP through the kernel even when both ends
 // share a host — the dominant deployment in the paper's own co-located
 // evaluation. ShmTransport keeps the Transport pooled-frame contract but
-// moves the bytes through a POSIX shared-memory segment instead: a pair
-// of fixed-capacity lock-free SPSC slot rings plus one payload arena per
-// direction, all inside one `shm_open` + `mmap` mapping. A steady-path
-// send is a bump-allocate in the arena, one memcpy of the frame bytes,
-// and a release-store publishing the slot index — zero syscalls, zero
-// kernel copies. Receivers spin briefly, then sleep on a (non-private)
-// futex with the same only-if-waiters discipline FrameRing uses for its
-// condvars: a producer touches the futex word only when a consumer has
-// registered as waiting, so a busy pipeline never pays a wake syscall.
+// moves the bytes through a POSIX shared-memory segment instead: per
+// priority band, a pair of fixed-capacity lock-free SPSC slot rings plus
+// one payload arena per direction, all inside one `shm_open` + `mmap`
+// mapping. A steady-path send is a bump-allocate in the band's arena,
+// one memcpy of the frame bytes, and a release-store publishing the slot
+// index — zero syscalls, zero kernel copies. The receive path is
+// zero-copy: recv hands out a borrowed FrameBuffer viewing the arena
+// slot in place, and the slot is retired only when that frame dies (see
+// "retire window" below). Receivers spin briefly, then sleep on a
+// (non-private) futex with the same only-if-waiters discipline FrameRing
+// uses for its condvars: a producer touches the futex word only when a
+// consumer has registered as waiting, so a busy pipeline never pays a
+// wake syscall.
+//
+// Retire window: an SPSC ring tail must advance contiguously, but the
+// app can drop borrowed frames in any order (or hold one for a long
+// time). The consumer therefore tracks a per-slot released bitmap and
+// publishes the tail over the maximal released prefix; when the app pins
+// more slots than the configured budget, recv falls back to copying the
+// frame out (counted — shm_rx_copies stays 0 in a steady state that
+// drops frames promptly) so the producer is never wedged by a leak.
+//
+// Bands: one segment carries `bands` direction pairs, mirroring
+// LaneGroup's priority-banded lanes — the band in the GIOP flags octet
+// picks the ring, each band has its own arena and space futex (so a bulk
+// band blocked on backpressure never stalls an urgent send), the single
+// receive thread drains band 0 first, and per-band depth/stall counters
+// feed trace_report. Failover (oversize frame, abandon, peer death)
+// reroutes all bands onto the one TCP wire at once, keeping per-band
+// frame order.
 //
 // The zircon split (control channel / bulk shared segment) is the model:
 // a plain TCP connection stays open next to the segment and carries the
@@ -45,18 +66,24 @@
 namespace compadres::net {
 
 struct ShmOptions {
-    /// Slots per direction (rounded up to a power of two). Bounds frames
-    /// in flight exactly like a FrameRing's capacity.
+    /// Slots per band per direction (rounded up to a power of two).
+    /// Bounds frames in flight exactly like a FrameRing's capacity.
     std::size_t ring_capacity = 256;
-    /// Payload arena bytes per direction. Frames are bump-allocated here;
-    /// a frame never spans the wrap boundary (the producer skips to the
-    /// start instead, and the consumer mirrors the skip deterministically).
+    /// Payload arena bytes per band per direction. Frames are
+    /// bump-allocated here; a frame never spans the wrap boundary (the
+    /// producer skips to the start instead, and the consumer mirrors the
+    /// skip deterministically).
     std::size_t arena_bytes = 1 * 1024 * 1024;
     /// Largest frame carried through the segment (clamped to arena/2).
     /// A larger frame triggers an orderly failover to the TCP wire —
     /// frames on one route must stay ordered, so the transport cannot
     /// split traffic across both paths.
     std::size_t max_frame_bytes = 256 * 1024;
+    /// Direction pairs in the segment, one per priority band (1..8,
+    /// creator-side; the attacher reads the count from the header). The
+    /// GIOP flags-octet band picks the ring, clamped LaneGroup-style to
+    /// bands-1.
+    std::size_t bands = 1;
     /// Consumer pause-spins before registering as a futex waiter. Kept
     /// deliberately small: on a single-core host the producer cannot run
     /// while the consumer spins, so a long spin only burns the quantum.
@@ -64,14 +91,30 @@ struct ShmOptions {
     /// Futex sleep per wait cycle, µs. Doubles as the cadence at which a
     /// blocked receiver polls the TCP control channel and peer liveness.
     std::size_t wait_cycle_us = 10 * 1000;
-    /// Pool inbound frames are copied out into; nullptr = process global.
+    /// Hand inbound frames out as borrowed views into the rx arena
+    /// (zero-copy) instead of copying into a pooled buffer. On by
+    /// default; the bench's copying baseline turns it off.
+    bool borrowed_frames = true;
+    /// Pinned-slot backpressure budget: the most rx slots (per band) the
+    /// app may hold via undropped borrowed frames before recv falls back
+    /// to copy-out (counted in shm_rx_copies / shm_rx_pin_stalls). 0
+    /// means ring_capacity / 2; always clamped to ring_capacity - 1.
+    std::size_t max_pinned_slots = 0;
+    /// Pool inbound frames are copied out into (pin budget exhausted or
+    /// borrowed_frames off); nullptr = process global.
     FrameBufferPool* pool = nullptr;
 };
 
 namespace shm_detail {
 
 inline constexpr char kMagic[8] = {'C', 'P', 'D', 'S', 'H', 'M', '0', '1'};
-inline constexpr std::uint32_t kVersion = 1;
+/// v2: banded segments — the header grew a `bands` count and the
+/// direction blocks moved out of the header into a per-(side, band)
+/// array. v1 peers nack the hello and both sides stay on TCP.
+inline constexpr std::uint32_t kVersion = 2;
+/// Direction pairs one segment can carry (the GIOP flags octet caps the
+/// band at 7, mirroring LaneGroup::kMaxLanes).
+inline constexpr std::size_t kMaxShmBands = 8;
 /// shm_open name prefix; in /dev/shm the leading '/' is stripped.
 inline constexpr const char* kNamePrefix = "/compadres.";
 
@@ -105,13 +148,17 @@ struct SegSlot {
 };
 
 /// Versioned segment header. Sides: 0 = creator (connector), 1 = attacher
-/// (acceptor). dir[i] carries frames produced by side i.
+/// (acceptor). The header is followed by a SegDir array indexed
+/// (side * bands + band) — the dirs for side i carry frames produced by
+/// side i — then the slot rings and arenas in the same order.
 struct SegHeader {
     char magic[8];
     std::uint32_t version;
-    std::uint32_t ring_capacity;   ///< power of two
-    std::uint32_t arena_bytes;     ///< per direction
+    std::uint32_t ring_capacity;   ///< power of two, per band-direction
+    std::uint32_t arena_bytes;     ///< per band-direction
     std::uint32_t max_frame_bytes; ///< enforced by both producers
+    std::uint32_t bands;           ///< direction pairs per side (1..8)
+    std::uint32_t reserved;
     /// Creator-minted instance id. The hello carries it and the attacher
     /// cross-checks against the mapped header, so a handshake can never
     /// bind to a stale same-named segment left by an earlier process.
@@ -121,7 +168,6 @@ struct SegHeader {
     /// its attached flag is still set died without saying goodbye.
     std::atomic<std::uint32_t> pid[2];
     std::atomic<std::uint32_t> attached[2];
-    SegDir dir[2];
 };
 
 static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
@@ -131,16 +177,26 @@ static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
 inline constexpr std::size_t align8(std::size_t n) noexcept {
     return (n + 7u) & ~std::size_t{7};
 }
+/// SegDir is cache-line aligned; the dir array keeps that alignment.
+inline constexpr std::size_t align64(std::size_t n) noexcept {
+    return (n + 63u) & ~std::size_t{63};
+}
 
-inline constexpr std::size_t slots_offset() noexcept {
-    return align8(sizeof(SegHeader));
+inline constexpr std::size_t dirs_offset() noexcept {
+    return align64(sizeof(SegHeader));
 }
-inline constexpr std::size_t arena_offset(std::size_t ring_capacity) noexcept {
-    return align8(slots_offset() + 2 * ring_capacity * sizeof(SegSlot));
+inline constexpr std::size_t slots_offset(std::size_t bands) noexcept {
+    return align8(dirs_offset() + 2 * bands * sizeof(SegDir));
 }
-inline constexpr std::size_t segment_bytes(std::size_t ring_capacity,
+inline constexpr std::size_t arena_offset(std::size_t bands,
+                                          std::size_t ring_capacity) noexcept {
+    return align8(slots_offset(bands) +
+                  2 * bands * ring_capacity * sizeof(SegSlot));
+}
+inline constexpr std::size_t segment_bytes(std::size_t bands,
+                                           std::size_t ring_capacity,
                                            std::size_t arena_bytes) noexcept {
-    return arena_offset(ring_capacity) + 2 * arena_bytes;
+    return arena_offset(bands, ring_capacity) + 2 * bands * arena_bytes;
 }
 
 } // namespace shm_detail
@@ -168,12 +224,16 @@ public:
     const std::string& name() const noexcept { return name_; }
     std::uint64_t generation() const noexcept { return header().generation; }
     int side() const noexcept { return side_; }
+    std::uint32_t bands() const noexcept { return header().bands; }
 
     shm_detail::SegHeader& header() const noexcept {
         return *reinterpret_cast<shm_detail::SegHeader*>(base_);
     }
-    shm_detail::SegSlot* slots(int side) const noexcept;
-    std::uint8_t* arena(int side) const noexcept;
+    /// Control words for the ring carrying frames side `side` produces on
+    /// band `band`.
+    shm_detail::SegDir& dir(int side, std::size_t band) const noexcept;
+    shm_detail::SegSlot* slots(int side, std::size_t band) const noexcept;
+    std::uint8_t* arena(int side, std::size_t band) const noexcept;
 
     /// Mark this side detached (graceful) so the peer and the orphan
     /// sweep stop considering our pid. Idempotent.
@@ -205,9 +265,29 @@ struct ShmCounters {
     std::uint64_t failovers = 0;   ///< shm abandoned for the TCP wire
     std::uint64_t resent_frames = 0;  ///< ring frames replayed over TCP
     std::uint64_t dropped_on_failover = 0; ///< undeliverable (peer died)
-    std::uint64_t tx_depth = 0; ///< instantaneous frames in our TX ring
-    std::uint64_t rx_depth = 0; ///< instantaneous frames in our RX ring
+    std::uint64_t tx_depth = 0; ///< instantaneous frames in our TX rings
+    std::uint64_t rx_depth = 0; ///< instantaneous frames in our RX rings
     bool shm_active = false;    ///< still moving frames through the segment
+
+    // Zero-copy receive path.
+    std::uint64_t rx_borrowed = 0;   ///< frames handed out as arena views
+    std::uint64_t rx_copies = 0;     ///< frames copied out instead (pin
+                                     ///< budget hit or borrowing disabled)
+    std::uint64_t rx_pinned = 0;     ///< instantaneous undropped borrowed
+                                     ///< slots (sum over bands)
+    std::uint64_t rx_pin_stalls = 0; ///< pops forced to copy by the budget
+    std::uint64_t replay_skipped = 0; ///< replayed frames deduped after a
+                                      ///< failover with delivered-but-
+                                      ///< unretired slots outstanding
+
+    // Banded lanes (first `bands` entries are meaningful).
+    std::uint32_t bands = 1;
+    std::uint64_t band_tx_depth[shm_detail::kMaxShmBands] = {};
+    std::uint64_t band_rx_depth[shm_detail::kMaxShmBands] = {};
+    std::uint64_t band_tx_stalls[shm_detail::kMaxShmBands] = {};   ///< space
+                                                                   ///< waits
+    std::uint64_t band_tx_frames[shm_detail::kMaxShmBands] = {};
+    std::uint64_t band_rx_frames[shm_detail::kMaxShmBands] = {};
 };
 
 class ShmSession;
@@ -236,6 +316,7 @@ public:
     bool shm_active() const;
     const std::string& segment_name() const;
     std::uint64_t generation() const;
+    std::size_t bands() const;
 
     /// Orderly reroute-to-TCP (the path peer death and oversize frames
     /// take), exposed so tests and the bench can trigger a mid-burst

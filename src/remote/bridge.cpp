@@ -187,6 +187,7 @@ RemoteBridge::RemoteBridge(core::Application& app,
             {"pool_hits", pool.hits},
             {"pool_tls_hits", pool.tls_hits},
             {"pool_misses", pool.allocations},
+            {"pool_borrowed", pool.borrowed},
         };
         // Lane-group wires: per-lane depth/stall/drop visibility plus the
         // failover counters, so lane starvation is observable in
@@ -227,6 +228,30 @@ RemoteBridge::RemoteBridge(core::Application& app,
             g.counters.emplace_back("shm_resent_frames", c.resent_frames);
             g.counters.emplace_back("shm_dropped_on_failover",
                                     c.dropped_on_failover);
+            g.counters.emplace_back("shm_replay_skipped", c.replay_skipped);
+            // Zero-copy receive health: borrowed is the steady state,
+            // copies should stay 0 (a nonzero value means the pin budget
+            // forced copy-out fallbacks, visible in pin_stalls too).
+            g.counters.emplace_back("shm_rx_borrowed", c.rx_borrowed);
+            g.counters.emplace_back("shm_rx_copies", c.rx_copies);
+            g.counters.emplace_back("shm_rx_pinned", c.rx_pinned);
+            g.counters.emplace_back("shm_rx_pin_stalls", c.rx_pin_stalls);
+            g.counters.emplace_back("shm_bands", c.bands);
+            if (c.bands > 1) {
+                for (std::uint32_t b = 0; b < c.bands; ++b) {
+                    const std::string p = "shm_band" + std::to_string(b) + "_";
+                    g.counters.emplace_back(p + "tx_depth",
+                                            c.band_tx_depth[b]);
+                    g.counters.emplace_back(p + "rx_depth",
+                                            c.band_rx_depth[b]);
+                    g.counters.emplace_back(p + "tx_stalls",
+                                            c.band_tx_stalls[b]);
+                    g.counters.emplace_back(p + "tx_frames",
+                                            c.band_tx_frames[b]);
+                    g.counters.emplace_back(p + "rx_frames",
+                                            c.band_rx_frames[b]);
+                }
+            }
         }
         if (reactor_ != nullptr) {
             g.counters.emplace_back("reactor_register_failures",

@@ -56,9 +56,13 @@ PlannedWire connect_planned_wire(const compiler::PlannedRemote& remote,
     PlannedWire wire;
     if (remote.transport == compiler::RemoteTransport::kShm) {
         // The handshake keeps the TCP connection either way: as the shm
-        // control channel on success, as the data path on fallback.
+        // control channel on success, as the data path on fallback. The
+        // declared band count shapes the segment: one ring+arena pair per
+        // band per direction.
+        net::ShmOptions opts = shm_options;
+        if (remote.bands > 1) opts.bands = remote.bands;
         net::ShmConnectResult r = net::shm_upgrade_connect(
-            remote.host, port, shm_options, lane_options.tcp);
+            remote.host, port, opts, lane_options.tcp);
         wire.transport = std::move(r.transport);
         wire.shm = r.shm;
         wire.detail = std::move(r.detail);

@@ -303,7 +303,7 @@ TEST(CclRemote, ParsesTransportAndHost) {
     const compiler::CclRemote& r = model.remotes[0];
     EXPECT_EQ(r.transport, compiler::RemoteTransport::kShm);
     EXPECT_EQ(r.host, "localhost");
-    // shm carries a single lane; an undeclared <Bands> collapses to 1
+    // shm defaults to one lane; an undeclared <Bands> collapses to 1
     // instead of the TCP default of 2.
     EXPECT_FALSE(r.bands_declared);
     EXPECT_EQ(r.bands, 1u);

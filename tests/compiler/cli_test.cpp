@@ -211,6 +211,24 @@ TEST(Cli, PlanDumpsShmTransportAndHost) {
         << r.out;
 }
 
+TEST(Cli, PlanDumpsBandedShmRemote) {
+    TempDir dir;
+    const auto cdl = write_file(dir, "a.cdl.xml", kCdl);
+    std::string ccl_text = kCclRemote;
+    const std::string bands = "<Bands>2</Bands>";
+    const auto pos = ccl_text.find(bands);
+    ASSERT_NE(pos, std::string::npos);
+    ccl_text.replace(pos, bands.size(),
+                     "<Bands>2</Bands><Transport>shm</Transport>"
+                     "<Host>localhost</Host>");
+    const auto ccl = write_file(dir, "a.ccl.xml", ccl_text);
+    const auto r = run({"plan", cdl.string(), ccl.string()});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("remote: peer bands=2 transport=shm host=localhost"),
+              std::string::npos)
+        << r.out;
+}
+
 TEST(Cli, PlanShowsAutoBandForUnpinnedExports) {
     TempDir dir;
     const auto cdl = write_file(dir, "a.cdl.xml", kCdl);

@@ -478,14 +478,42 @@ TEST(ValidatorRemote, ShmRemotePlannedWithTransportAndHost) {
     EXPECT_EQ(plan.remotes[0].bands, 1u);
 }
 
-TEST(ValidatorRemote, ShmWithMultipleBandsReported) {
-    const auto issues = issues_of(
+TEST(ValidatorRemote, ShmWithMultipleBandsAccepted) {
+    // Banded shm lanes: each band gets its own ring+arena pair inside
+    // one segment, so a multi-band shm remote is a valid plan.
+    const auto plan = plan_of(
         hub_with("") +
         "<Remote><RemoteName>R</RemoteName><Bands>2</Bands>"
         "<Transport>shm</Transport>"
         "<Export><Component>H</Component><Port>cmdOut</Port>"
         "<Route>r.cmd</Route></Export></Remote>");
-    EXPECT_TRUE(any_issue_contains(issues, "carries a single lane"));
+    ASSERT_EQ(plan.remotes.size(), 1u);
+    EXPECT_EQ(plan.remotes[0].transport, compiler::RemoteTransport::kShm);
+    EXPECT_EQ(plan.remotes[0].bands, 2u);
+}
+
+TEST(ValidatorRemote, ShmBandsExemptFromReactorBandCeiling) {
+    // Shm lanes share one recv thread by design (they isolate queueing,
+    // not loop threads), so <ReactorBands> does not cap them — only the
+    // wire-format limit does.
+    const auto plan = plan_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>5</Bands>"
+        "<Transport>shm</Transport>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    ASSERT_EQ(plan.remotes.size(), 1u);
+    EXPECT_EQ(plan.remotes[0].bands, 5u);
+}
+
+TEST(ValidatorRemote, ShmBandsStillCappedByWireFormat) {
+    const auto issues = issues_of(
+        hub_with("") +
+        "<Remote><RemoteName>R</RemoteName><Bands>9</Bands>"
+        "<Transport>shm</Transport>"
+        "<Export><Component>H</Component><Port>cmdOut</Port>"
+        "<Route>r.cmd</Route></Export></Remote>");
+    EXPECT_TRUE(any_issue_contains(issues, "wire-format limit of 8"));
 }
 
 TEST(ValidatorRemote, ShmAcrossHostsReported) {

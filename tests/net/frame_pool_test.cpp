@@ -72,6 +72,138 @@ TEST(FrameBuffer, MoveTransfersOwnership) {
     EXPECT_EQ(pool.stats().recycled, 1u);
 }
 
+namespace {
+struct HookLog {
+    int calls = 0;
+    std::uint32_t last_token = 0;
+    static void hook(void* ctx, std::uint32_t token) noexcept {
+        auto* log = static_cast<HookLog*>(ctx);
+        ++log->calls;
+        log->last_token = token;
+    }
+};
+} // namespace
+
+TEST(FrameBuffer, BorrowWrapsExternalStorageAndRunsHookOnce) {
+    std::uint8_t arena[32] = {9, 8, 7};
+    HookLog log;
+    {
+        net::FrameBuffer f =
+            net::FrameBuffer::borrow(arena, 3, &HookLog::hook, &log, 0x42);
+        EXPECT_TRUE(f.borrowed());
+        EXPECT_EQ(f.data(), arena); // a view, not a copy
+        ASSERT_EQ(f.size(), 3u);
+        EXPECT_EQ(f.data()[0], 9);
+        EXPECT_EQ(log.calls, 0); // alive: slot still pinned
+        f.release();
+        EXPECT_EQ(log.calls, 1);
+        EXPECT_EQ(log.last_token, 0x42u);
+        EXPECT_FALSE(f.borrowed()); // released: now an empty plain frame
+    } // destruction must not re-run the hook
+    EXPECT_EQ(log.calls, 1);
+}
+
+TEST(FrameBuffer, MoveTransfersBorrowWithoutRunningHook) {
+    std::uint8_t arena[8] = {1};
+    HookLog log;
+    net::FrameBuffer a =
+        net::FrameBuffer::borrow(arena, 8, &HookLog::hook, &log, 7);
+    net::FrameBuffer b = std::move(a);
+    EXPECT_EQ(log.calls, 0);
+    EXPECT_FALSE(a.borrowed()); // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.borrowed());
+    EXPECT_EQ(b.data(), arena);
+    net::FrameBuffer c;
+    c = std::move(b);
+    EXPECT_EQ(log.calls, 0); // move-assign into an empty frame: no release
+    c.release();
+    EXPECT_EQ(log.calls, 1);
+}
+
+TEST(FrameBuffer, BorrowedResizeShrinksInPlaceGrowMaterializes) {
+    std::uint8_t arena[16] = {1, 2, 3, 4, 5, 6, 7, 8};
+    HookLog log;
+    net::FrameBuffer f =
+        net::FrameBuffer::borrow(arena, 8, &HookLog::hook, &log, 1);
+    f.resize(4); // shrink: still a view
+    EXPECT_TRUE(f.borrowed());
+    EXPECT_EQ(f.data(), arena);
+    EXPECT_EQ(log.calls, 0);
+    f.resize(12); // grow: arena slot cannot extend — copy out, retire slot
+    EXPECT_FALSE(f.borrowed());
+    EXPECT_NE(f.data(), arena);
+    EXPECT_EQ(log.calls, 1);
+    ASSERT_EQ(f.size(), 12u);
+    EXPECT_EQ(f.data()[3], 4); // shrunk view's bytes survived the copy
+}
+
+TEST(FrameBuffer, BorrowKeepaliveHeldUntilRelease) {
+    std::uint8_t arena[4] = {};
+    HookLog log;
+    auto owner = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = owner;
+    {
+        net::FrameBuffer f = net::FrameBuffer::borrow(
+            arena, 4, &HookLog::hook, &log, 0, owner);
+        owner.reset(); // the frame is now the only thing pinning it
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired()); // frame death dropped the keepalive
+    EXPECT_EQ(log.calls, 1);
+}
+
+TEST(FrameBufferPool, AcquireBatchFillsAllSlotsUnderOneLock) {
+    net::FrameBufferPool pool;
+    pool.prewarm(256, 4);
+    const auto before = pool.stats();
+    net::FrameBuffer bufs[6];
+    const std::size_t hits = pool.acquire_batch(256, bufs, 6);
+    EXPECT_EQ(hits, 4u); // free list had 4; the rest were fresh
+    for (auto& b : bufs) {
+        ASSERT_EQ(b.size(), 256u);
+        b.data()[0] = 1; // storage is real and writable
+    }
+    const auto after = pool.stats();
+    EXPECT_EQ(after.acquires - before.acquires, 6u);
+    EXPECT_EQ(after.hits - before.hits, 4u);
+    EXPECT_EQ(after.allocations - before.allocations, 2u);
+}
+
+TEST(FrameBufferPool, BorrowedStatTracksExternalFrames) {
+    net::FrameBufferPool pool;
+    EXPECT_EQ(pool.stats().borrowed, 0u);
+    pool.note_borrowed();
+    pool.note_borrowed();
+    EXPECT_EQ(pool.stats().borrowed, 2u);
+    // Borrowed frames never touch acquire/recycle books.
+    EXPECT_EQ(pool.stats().acquires, 0u);
+    EXPECT_EQ(pool.stats().recycled, 0u);
+}
+
+TEST(FrameBufferPool, ScrubOnReleaseZeroesPooledStorageOnly) {
+    net::FramePoolOptions opts;
+    opts.scrub_on_release = true;
+    net::FrameBufferPool pool(opts);
+    EXPECT_TRUE(pool.scrub_on_release());
+    {
+        net::FrameBuffer b = pool.acquire(64);
+        std::memset(b.data(), 0xAB, 64);
+    } // recycle scrubs
+    net::FrameBuffer again = pool.acquire(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        ASSERT_EQ(again.data()[i], 0u) << "byte " << i << " leaked";
+    }
+    // A borrowed frame released while scrub is on must leave its (external)
+    // bytes alone — they belong to the arena owner.
+    std::uint8_t arena[4] = {1, 2, 3, 4};
+    HookLog log;
+    net::FrameBuffer::borrow(arena, 4, &HookLog::hook, &log, 0).release();
+    EXPECT_EQ(arena[0], 1);
+    EXPECT_EQ(log.calls, 1);
+    pool.set_scrub_on_release(false);
+    EXPECT_FALSE(pool.scrub_on_release());
+}
+
 // Note the declaration order throughout: a frame recycles into its home
 // pool on destruction, so a ring holding frames must die before the pool
 // that backs them.

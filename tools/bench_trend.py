@@ -145,6 +145,71 @@ def headline(doc):
     return ("-", "-", "(no headline extractor)")
 
 
+def extra_rows(base, doc):
+    """(rows, notes) beyond the headline for benches with sub-rungs.
+
+    remote_roundtrip's co-located run carries a zero-copy payload sweep and
+    a 2-band interference rung; each gets its own row so the trajectory of
+    both is visible without opening the JSON. Older artifacts that predate
+    those fields get a note, never an error — the trend table must keep
+    rendering across a bench-format transition.
+    """
+    rows = []
+    notes = []
+    if doc.get("benchmark") != "remote_roundtrip":
+        return rows, notes
+    shm = doc.get("shm", {})
+    if not shm.get("upgraded"):
+        return rows, notes
+    sweep = shm.get("sweep")
+    if sweep:
+        for entry in sweep:
+            zc = entry.get("zero_copy", {})
+            rows.append(
+                (
+                    base,
+                    "  sweep@%sB" % entry.get("payload_bytes", "?"),
+                    us(zc.get("median_ns")),
+                    us(zc.get("p99_ns")),
+                    "zero-copy rx vs copy-out: paired p50 %+.1f%%"
+                    % entry.get("paired_improvement_pct", 0),
+                )
+            )
+    else:
+        notes.append(
+            "note: %s has no zero-copy payload sweep (artifact predates "
+            "the banded-shm bench; re-run remote_roundtrip)" % base
+        )
+    two_band = shm.get("two_band")
+    if two_band:
+        con = two_band.get("contended", {})
+        rows.append(
+            (
+                base,
+                "  2-band shm",
+                us(con.get("median_ns")),
+                us(con.get("p99_ns")),
+                "urgent under bulk; p99 %.2fx uncontended over %d bulk "
+                "frames"
+                % (
+                    two_band.get("urgent_p99_ratio", -1),
+                    two_band.get("bulk_frames", -1),
+                ),
+            )
+        )
+    else:
+        notes.append(
+            "note: %s has no 2-band shm rung (artifact predates the "
+            "banded-shm bench; re-run remote_roundtrip)" % base
+        )
+    if sweep and "rx_copies" in shm and shm.get("rx_copies") != 0:
+        notes.append(
+            "note: %s shm steady state copied %s frames out of the "
+            "segment (zero-copy regression?)" % (base, shm.get("rx_copies"))
+        )
+    return rows, notes
+
+
 def render_text(rows):
     widths = [
         max(len(r[i]) for r in rows + [HEADER]) for i in range(len(HEADER))
@@ -235,15 +300,21 @@ def main(argv):
         else:
             skipped.append((base, name, os.path.basename(prev[1])))
 
+    notes = []
     for _, (mtime, path, doc) in sorted(newest.items()):
         base = os.path.basename(path)
         p50, p99, detail = headline(doc)
         rows.append((base, doc.get("benchmark", "?"), p50, p99, detail))
+        sub_rows, sub_notes = extra_rows(base, doc)
+        rows.extend(sub_rows)
+        notes.extend(sub_notes)
 
     if fmt == "markdown":
         render_markdown(rows)
     else:
         render_text(rows)
+    for note in notes:
+        print(note)
     for base, name, kept in sorted(skipped):
         print("note: skipped %s (older run of %s; kept %s)" % (base, name, kept))
     return 0
