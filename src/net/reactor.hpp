@@ -1,4 +1,4 @@
-// Epoll reactor: multiplex many wires onto a bounded event-loop pool.
+// Reactor: multiplex many wires onto a bounded event-loop pool.
 //
 // The thread-per-wire reader model (one blocking recv_frame loop per
 // transport) costs a stack, a kernel thread, and scheduler churn per
@@ -6,36 +6,31 @@
 // allocation-free wire path is the bottleneck. The reactor inverts it:
 // a small pool of event-loop threads (default min(4, hw_concurrency),
 // override with COMPADRES_REACTOR_THREADS or ReactorOptions::threads)
-// owns every registered descriptor through epoll(7) and drives both
-// readiness directions:
+// owns every registered descriptor and drives both readiness directions.
 //
-//   * reads   — edge-triggered (EPOLLET): on EPOLLIN the loop reads until
-//               EAGAIN, assembling GIOP frames incrementally (12-byte
-//               header, then exactly message_size more bytes) into a
-//               resident pooled FrameBuffer, and hands each completed
-//               frame to the wire's on_frame callback on the loop thread.
-//   * writes  — the transport's coalescing writer parks its batch on
-//               EAGAIN and calls the request-writable waker; the loop
-//               arms EPOLLOUT (EPOLL_CTL_MOD re-edges, so a socket that
-//               is already writable fires immediately — no lost wakeup)
-//               and resumes the flush via ReactorHook::flush_pending_writes.
+// Each loop runs one of two interchangeable backends behind the
+// LoopBackend seam (reactor.cpp):
 //
-// Cross-thread operations (register, deregister, arm-write, stop) post
-// commands through an eventfd so the owning loop applies every epoll
-// mutation itself; no epoll_ctl races with epoll_wait consumers.
+//   * epoll (portable default) — edge-triggered reads that pump until
+//     EAGAIN, assembling GIOP frames incrementally into pooled
+//     FrameBuffers; the transport's coalescing writer parks its batch on
+//     EAGAIN and the loop arms EPOLLOUT to resume it.
+//   * io_uring (ReactorBackend::kUring, or default under a
+//     COMPADRES_URING=ON build) — multishot recv completes straight into
+//     pool-backed provided buffers (no read() syscalls), loop-thread
+//     sends are gather-send SQEs completed in-ring (no sendmsg), and a
+//     whole CQE batch of pumps plus their corked replies costs one
+//     io_uring_enter — zero under the opt-in SQPOLL knob. Setup failure
+//     (ENOSYS/EPERM under seccomp, absurd queue depth) falls back to
+//     epoll per loop, counted in ReactorStats::uring_fallbacks.
 //
-// Wires are assigned to loops round-robin, or pinned by priority band
-// (band % thread_count) so an urgent route never shares a loop thread
-// with bulk traffic when the caller separates them.
-//
-// Shutdown ordering is deterministic: deregistration first flushes the
-// transport's coalescing intake on the loop thread (drop-and-count if the
-// peer stopped draining), then removes the descriptor from epoll, then
-// releases any partially-assembled inbound frame back to the pool.
-// stop() and deregister_wire() are idempotent; deregister_wire is safe
-// from the loop's own callbacks (executed inline) or any other thread
-// (blocking handshake). stop() joins the loop threads, so call it from
-// outside the loops.
+// Frame delivery, corking, command posting, and teardown semantics are
+// identical across backends: on_frame on the loop thread, replies a pump
+// produces coalesce into one flush at uncork, cross-thread operations
+// post commands through an eventfd (bridged into the uring backend as a
+// re-posted in-ring read chain), and deregistration flushes-or-drops
+// deterministically. Wires are assigned round-robin or pinned by
+// priority band (band % thread_count).
 #pragma once
 
 #include "net/transport.hpp"
@@ -47,30 +42,79 @@
 
 namespace compadres::net {
 
+/// Which event backend a reactor loop runs. kDefault resolves the
+/// COMPADRES_REACTOR_BACKEND env var ("epoll"/"uring") if set, else the
+/// compile-time default (epoll, unless built with -DCOMPADRES_URING=ON).
+enum class ReactorBackend : std::uint8_t { kDefault = 0, kEpoll, kUring };
+
 struct ReactorOptions {
     /// Event-loop threads. 0 = COMPADRES_REACTOR_THREADS env var if set,
     /// else min(4, hardware_concurrency).
     std::size_t threads = 0;
     /// Run loop threads under SCHED_BATCH (best-effort, unprivileged).
     /// A loop that wakeup-preempts the producers feeding it sees one
-    /// frame per epoll edge and can never coalesce; the batch hint lets
-    /// a bursting sender finish before the loop runs, so one pump sees
-    /// the whole burst and replies fold into one sendmsg. Turn off when
+    /// frame per wakeup and can never coalesce; the batch hint lets a
+    /// bursting sender finish before the loop runs, so one pump sees
+    /// the whole burst and replies fold into one flush. Turn off when
     /// loop threads are given an explicit RT scheduling class instead.
     bool sched_batch_hint = true;
+    /// Loop backend selection (see ReactorBackend). kUring still probes
+    /// at runtime and falls back to epoll when the kernel denies io_uring.
+    ReactorBackend backend = ReactorBackend::kDefault;
+    /// io_uring submission-queue polling (IORING_SETUP_SQPOLL): a kernel
+    /// thread drains the SQ so a busy loop publishes SQEs without any
+    /// syscall. Opt-in — the poller burns a core while traffic is idle.
+    bool sqpoll = false;
+    /// io_uring SQ/CQ depth per loop (0 = 256). Values the kernel rejects
+    /// (beyond IORING_MAX_ENTRIES, 32768) count as a setup failure and the
+    /// loop falls back to epoll (the forced-failure test seam).
+    unsigned uring_entries = 0;
+    /// Provided receive buffers per loop (rounded up to a power of two;
+    /// 0 = 64), each a 4 KiB chunk acquired from the loop's frame pool
+    /// size classes. Exhaustion is safe — multishot recv re-arms after
+    /// the loop recycles chunks, counted in recv_enobufs — but costs a
+    /// rearm round trip, so size generously for many-wire loops.
+    unsigned uring_buffers = 0;
 };
 
 /// Aggregated across all loops; monotonic over the reactor's lifetime.
 struct ReactorStats {
     std::uint64_t frames_assembled = 0;   ///< complete frames handed out
-    std::uint64_t writable_events = 0;    ///< EPOLLOUT deliveries handled
-    std::uint64_t spurious_writables = 0; ///< EPOLLOUT with nothing armed
-    std::uint64_t wakeups = 0;            ///< eventfd command wakeups
+    std::uint64_t writable_events = 0;    ///< write-ready deliveries handled
+    std::uint64_t spurious_writables = 0; ///< write-ready with nothing armed
+    std::uint64_t command_wakeups = 0;    ///< command-ring doorbell wakeups
     std::uint64_t wires_registered = 0;
     std::uint64_t wires_closed = 0;       ///< EOF/error-driven closes
-    /// Registrations whose EPOLL_CTL_ADD failed (unusable descriptor);
+    /// Registrations the backend could not accept (unusable descriptor);
     /// each also fired the wire's on_closed and counts in wires_closed.
-    std::uint64_t register_failures = 0;
+    std::uint64_t wire_add_failures = 0;
+    /// Loop blocking waits that entered the kernel: epoll_wait calls on
+    /// the epoll backend, io_uring_enter calls on the uring backend
+    /// (SQPOLL publishes without entering, so these can be ~0 under
+    /// load). The numerator of the loop-side syscalls_per_frame metric.
+    std::uint64_t wait_syscalls = 0;
+    /// read() calls issued by the epoll read pump. Zero on the uring
+    /// backend — receives complete in-ring into provided buffers.
+    std::uint64_t read_syscalls = 0;
+    /// Gather-send SQEs submitted on behalf of transports (uring). Each
+    /// replaces what the epoll path would have paid as a sendmsg.
+    std::uint64_t send_sqes = 0;
+    /// Multishot recv terminated because the provided-buffer ring was
+    /// empty; the loop recycles and re-arms (a latency blip, not a loss).
+    std::uint64_t recv_enobufs = 0;
+    /// Loops that requested the uring backend but fell back to epoll
+    /// because io_uring setup failed (ENOSYS/EPERM/EINVAL).
+    std::uint64_t uring_fallbacks = 0;
+    /// Loops currently running the uring backend.
+    std::uint64_t uring_loops = 0;
+
+    /// Loop-side syscalls per assembled frame (waits + pump reads over
+    /// frames). The write side lives in TransportStats::send_syscalls.
+    double loop_syscalls_per_frame() const noexcept {
+        if (frames_assembled == 0) return 0.0;
+        return static_cast<double>(wait_syscalls + read_syscalls) /
+               static_cast<double>(frames_assembled);
+    }
 };
 
 class Reactor {
@@ -85,12 +129,13 @@ public:
     /// handler must not block indefinitely: it stalls every wire on the
     /// same loop (that is the reactor bargain). send_frame from a handler
     /// is safe even under hard backpressure — a loop-thread sender never
-    /// waits for intake space (it would be waiting on its own EPOLLOUT);
-    /// it resumes a parked batch inline when possible and otherwise drops
-    /// the frame, counted in the transport's stats().frames_dropped.
+    /// waits for intake space (it would be waiting on its own write-ready
+    /// event); it resumes a parked batch inline when possible and
+    /// otherwise drops the frame, counted in the transport's
+    /// stats().frames_dropped.
     using FrameHandler = std::function<void(FrameBuffer)>;
     /// The wire hit EOF or a wire error and was removed from the loop.
-    /// Runs once, on the loop thread, after epoll deregistration.
+    /// Runs once, on the loop thread, after backend deregistration.
     using ClosedHandler = std::function<void()>;
 
     /// Hand a transport's descriptor to the pool. The transport must
@@ -115,8 +160,13 @@ public:
 
     ReactorStats stats() const;
 
-    /// Test seam: arm EPOLLOUT for a wire that parked nothing, producing
-    /// the spurious-writable delivery the rearm path must tolerate.
+    /// Backend actually running: "epoll", "uring", or "mixed" (some
+    /// loops fell back). Stable for the reactor's lifetime.
+    const char* backend_name() const noexcept;
+
+    /// Test seam: deliver a write-ready event for a wire that parked
+    /// nothing, producing the spurious wakeup the rearm path must
+    /// tolerate (EPOLLOUT arm on epoll, POLL_ADD on uring).
     void poke_writable(std::uint64_t wire_id);
 
     /// Process-wide reactor for components that multiplex by default
@@ -125,8 +175,12 @@ public:
     /// and leaking the loops sidesteps static-destruction-order races.
     static Reactor& shared();
 
-private:
+    /// One event loop (implementation detail, defined in reactor.cpp).
+    /// Public only so the LoopBackend implementations — internal-linkage
+    /// classes in reactor.cpp — can name it in their signatures.
     class Loop;
+
+private:
     std::vector<std::unique_ptr<Loop>> loops_;
     struct State;
     std::unique_ptr<State> state_;

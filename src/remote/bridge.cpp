@@ -254,8 +254,27 @@ RemoteBridge::RemoteBridge(core::Application& app,
             }
         }
         if (reactor_ != nullptr) {
-            g.counters.emplace_back("reactor_register_failures",
-                                    reactor_->stats().register_failures);
+            const net::ReactorStats rs = reactor_->stats();
+            g.counters.emplace_back("reactor_wire_add_failures",
+                                    rs.wire_add_failures);
+            // Loop-side syscall economics, both backends: waits + pump
+            // reads over assembled frames. Published as a per-1k-frames
+            // integer (counters are integral); uring loops should sit far
+            // below epoll here — reads complete in-ring.
+            g.counters.emplace_back("reactor_wait_syscalls",
+                                    rs.wait_syscalls);
+            g.counters.emplace_back("reactor_read_syscalls",
+                                    rs.read_syscalls);
+            g.counters.emplace_back(
+                "reactor_syscalls_per_1k_frames",
+                static_cast<std::uint64_t>(rs.loop_syscalls_per_frame() *
+                                           1000.0));
+            g.counters.emplace_back("reactor_send_sqes", rs.send_sqes);
+            g.counters.emplace_back("reactor_recv_enobufs",
+                                    rs.recv_enobufs);
+            g.counters.emplace_back("reactor_uring_loops", rs.uring_loops);
+            g.counters.emplace_back("reactor_uring_fallbacks",
+                                    rs.uring_fallbacks);
         }
         return g;
     });

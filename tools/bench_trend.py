@@ -145,17 +145,95 @@ def headline(doc):
     return ("-", "-", "(no headline extractor)")
 
 
+def fanin_backend_rows(base, doc):
+    """Backend-comparison sub-rows for fanin_roundtrip (PR-10)."""
+    rows = []
+    notes = []
+    compare = doc.get("backend_compare")
+    if compare is None:
+        notes.append(
+            "note: %s has no epoll-vs-uring comparison (artifact predates "
+            "the io_uring backend; re-run fanin_bench)" % base
+        )
+        return rows, notes
+    if "skipped" in compare:
+        notes.append(
+            "note: %s backend comparison skipped: %s"
+            % (base, compare["skipped"])
+        )
+        return rows, notes
+    for backend in ("epoll", "uring"):
+        leg = compare.get(backend, {})
+        rows.append(
+            (
+                base,
+                "  %s@%s" % (backend, compare.get("wires", "?")),
+                us(leg.get("p50_ns")),
+                us(leg.get("p99_ns")),
+                "loop syscalls/frame %.4f, server sendmsg/frame %.4f, "
+                "allocs/msg %.2f"
+                % (
+                    leg.get("loop_syscalls_per_frame", -1),
+                    leg.get("server_send_syscalls_per_frame", -1),
+                    leg.get("allocs_per_message", -1),
+                ),
+            )
+        )
+    return rows, notes
+
+
+def lane_backend_rows(base, doc):
+    """Backend-comparison sub-rows for lane_interference (PR-10)."""
+    rows = []
+    notes = []
+    backends = doc.get("backends")
+    if backends is None:
+        notes.append(
+            "note: %s has no reactor-served-lanes comparison (artifact "
+            "predates the io_uring backend; re-run lane_bench)" % base
+        )
+        return rows, notes
+    if "skipped" in backends:
+        notes.append(
+            "note: %s backend comparison skipped: %s"
+            % (base, backends["skipped"])
+        )
+        return rows, notes
+    for backend in ("epoll", "uring"):
+        leg = backends.get(backend, {})
+        rows.append(
+            (
+                base,
+                "  %s lanes" % backend,
+                us(leg.get("contended_p50_ns")),
+                us(leg.get("contended_p99_ns")),
+                "urgent under bulk (clean p99 %s us), loop syscalls/frame "
+                "%.4f"
+                % (
+                    us(leg.get("uncontended_p99_ns")),
+                    leg.get("loop_syscalls_per_frame", -1),
+                ),
+            )
+        )
+    return rows, notes
+
+
 def extra_rows(base, doc):
     """(rows, notes) beyond the headline for benches with sub-rungs.
 
     remote_roundtrip's co-located run carries a zero-copy payload sweep and
-    a 2-band interference rung; each gets its own row so the trajectory of
-    both is visible without opening the JSON. Older artifacts that predate
-    those fields get a note, never an error — the trend table must keep
-    rendering across a bench-format transition.
+    a 2-band interference rung; fanin_roundtrip and lane_interference carry
+    an epoll-vs-uring backend comparison. Each gets its own row so the
+    trajectory of both is visible without opening the JSON. Older artifacts
+    that predate those fields get a note, never an error — the trend table
+    must keep rendering across a bench-format transition.
     """
     rows = []
     notes = []
+    if doc.get("benchmark") == "fanin_roundtrip":
+        return fanin_backend_rows(base, doc)
+    if doc.get("benchmark") == "lane_interference":
+        return lane_backend_rows(base, doc)
     if doc.get("benchmark") != "remote_roundtrip":
         return rows, notes
     shm = doc.get("shm", {})
